@@ -1,0 +1,280 @@
+// Command snipe-bench regenerates the paper's evaluation artifacts
+// (DESIGN.md experiment index E1–E7) and prints them as the
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	snipe-bench -experiment fig1|mpiconnect|availability|multicast|migration|scalability|failover|rudploss|all
+//	snipe-bench -experiment fig1 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"snipe/internal/bench"
+	"snipe/internal/netsim"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "which experiment to run")
+	quick      = flag.Bool("quick", false, "reduced sweeps for a fast run")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	runners := map[string]func() error{
+		"fig1":         runFig1,
+		"mpiconnect":   runMPIConnect,
+		"availability": runAvailability,
+		"multicast":    runMulticast,
+		"migration":    runMigration,
+		"scalability":  runScalability,
+		"failover":     runFailover,
+		"rudploss":     runRUDPLoss,
+		"paths":        runPaths,
+	}
+	order := []string{"fig1", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "rudploss", "paths"}
+	if *experiment == "all" {
+		for _, name := range order {
+			if err := runners[name](); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		log.Fatalf("unknown experiment %q (want one of %v or all)", *experiment, order)
+	}
+	if err := run(); err != nil {
+		log.Fatalf("%s: %v", *experiment, err)
+	}
+}
+
+func tab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func runFig1() error {
+	fmt.Println("== E1 / Fig. 1: Bandwidth (MB/s) offered to SNIPE client applications on various media ==")
+	sizes := bench.Fig1Sizes
+	if *quick {
+		sizes = []int{1024, 16384, 262144}
+	}
+	points, err := bench.Fig1Sweep(nil, nil, sizes)
+	if err != nil {
+		return err
+	}
+	// Pivot: rows = message size, columns = medium/transport.
+	type col struct{ medium, transport string }
+	var cols []col
+	seen := map[col]bool{}
+	table := map[col]map[int]float64{}
+	for _, p := range points {
+		c := col{p.Medium, p.Transport}
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+			table[c] = map[int]float64{}
+		}
+		table[c][p.MsgSize] = p.MBps
+	}
+	w := tab()
+	fmt.Fprint(w, "msg size")
+	for _, c := range cols {
+		fmt.Fprintf(w, "\t%s %s", c.medium, c.transport)
+	}
+	fmt.Fprintln(w)
+	for _, s := range sizes {
+		fmt.Fprintf(w, "%d", s)
+		for _, c := range cols {
+			fmt.Fprintf(w, "\t%.2f", table[c][s])
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runMPIConnect() error {
+	fmt.Println("== E2 / §6.1: inter-MPP point-to-point, MPI Connect (SNIPE) vs PVMPI (PVM daemon-routed) ==")
+	sizes := []int{64, 1024, 4096, 65536}
+	if *quick {
+		sizes = []int{64, 4096}
+	}
+	iters := 300
+	if *quick {
+		iters = 100
+	}
+	w := tab()
+	fmt.Fprintln(w, "msg size\tMPI Connect RTT µs\tPVMPI RTT µs\tMPI Connect MB/s\tPVMPI MB/s\tspeedup")
+	for _, s := range sizes {
+		mc, err := bench.MeasureE2("mpiconnect", s, iters)
+		if err != nil {
+			return err
+		}
+		pv, err := bench.MeasureE2("pvmpi", s, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2fx\n",
+			s, mc.RTTMicros, pv.RTTMicros, mc.MBps, pv.MBps, pv.RTTMicros/mc.RTTMicros)
+	}
+	return w.Flush()
+}
+
+func runAvailability() error {
+	fmt.Println("== E3 / §6: metadata availability with one server down 30% of the run ==")
+	queries := 600
+	if *quick {
+		queries = 200
+	}
+	w := tab()
+	fmt.Fprintln(w, "system\treplicas\tqueries\tfailures\tavailability")
+	for _, replicas := range []int{1, 2, 3} {
+		r, err := bench.MeasureAvailabilitySNIPE(replicas, queries, 0.3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\n", r.System, r.Replicas, r.Queries, r.Failures, r.Availability*100)
+	}
+	pv, err := bench.MeasureAvailabilityPVM(3, queries/4, 0.3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\n", pv.System, pv.Replicas, pv.Queries, pv.Failures, pv.Availability*100)
+	return w.Flush()
+}
+
+func runMulticast() error {
+	fmt.Println("== E4 / §5.4: multicast delivery with failed routers (members register with >1/2, sends reach >1/2) ==")
+	w := tab()
+	fmt.Fprintln(w, "routers\tfailed\tmembers\tmsgs\tdelivered\trate")
+	cases := [][4]int{{1, 0, 6, 20}, {3, 0, 6, 20}, {3, 1, 6, 20}, {5, 2, 6, 20}, {1, 1, 4, 10}}
+	for _, c := range cases {
+		r, err := bench.MeasureMulticast(c[0], c[1], c[2], c[3])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.0f%%\n",
+			r.Routers, r.Failed, r.Members, r.Sent, r.Delivered, r.DeliveryRate*100)
+	}
+	return w.Flush()
+}
+
+func runMigration() error {
+	fmt.Println("== E5 / §5.6: message delivery across live migration ==")
+	msgs := 60
+	if *quick {
+		msgs = 30
+	}
+	w := tab()
+	fmt.Fprintln(w, "system buffering\tsent\tdelivered\tdowntime")
+	for _, buffered := range []bool{true, false} {
+		r, err := bench.MeasureMigration(buffered, msgs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Buffering, r.Sent, r.Delivered, r.Downtime)
+	}
+	return w.Flush()
+}
+
+func runScalability() error {
+	fmt.Println("== E6 / §2.2: host join cost and resource-manager redundancy ==")
+	maxHosts := 32
+	sample := []int{2, 8, 16, 32}
+	if *quick {
+		maxHosts, sample = 12, []int{2, 12}
+	}
+	snipePts, err := bench.MeasureHostJoinSNIPE(maxHosts, sample)
+	if err != nil {
+		return err
+	}
+	pvmPts, err := bench.MeasureHostJoinPVM(maxHosts, sample)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "n-th host\tsnipe join µs\tpvm join µs")
+	pvmByN := map[int]float64{}
+	for _, p := range pvmPts {
+		pvmByN[p.N] = p.Micros
+	}
+	for _, p := range snipePts {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", p.N, p.Micros, pvmByN[p.N])
+	}
+	w.Flush()
+
+	fmt.Println("-- spawn throughput with redundant RMs (one killed mid-run) --")
+	w = tab()
+	fmt.Fprintln(w, "RMs\tspawns\tfailures\tspawns/s")
+	for _, c := range []struct {
+		rms  int
+		kill bool
+	}{{1, true}, {2, true}, {3, true}} {
+		r, err := bench.MeasureSpawnRedundantRMs(c.rms, 3, 40, c.kill)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.1f\n", r.RMs, r.Spawns, r.Failures, r.SpawnsPerSec)
+	}
+	return w.Flush()
+}
+
+func runFailover() error {
+	fmt.Println("== E7 / §6: route failover completeness (preferred interface killed mid-stream) ==")
+	w := tab()
+	fmt.Fprintln(w, "system buffering\tsent\tdelivered\tswitchover")
+	for _, buffered := range []bool{true, false} {
+		r, err := bench.MeasureFailover(buffered, 80)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Buffering, r.Sent, r.Delivered, r.MaxGap)
+	}
+	return w.Flush()
+}
+
+func runPaths() error {
+	fmt.Println("== path ablations: RTT of the optional stack layers (ping-pong, loopback TCP) ==")
+	iters := 500
+	if *quick {
+		iters = 200
+	}
+	w := tab()
+	fmt.Fprintln(w, "path\tmsg size\tRTT µs")
+	for _, path := range []string{"direct", "encrypted", "gateway"} {
+		for _, size := range []int{64, 4096} {
+			pt, err := bench.MeasurePath(path, size, iters)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.1f\n", pt.Path, pt.MsgSize, pt.RTTMicros)
+		}
+	}
+	return w.Flush()
+}
+
+func runRUDPLoss() error {
+	fmt.Printf("== selective-resend UDP goodput vs frame loss (%s) ==\n", netsim.Ethernet100.Name)
+	losses := []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
+	msgs := 600
+	if *quick {
+		losses, msgs = []float64{0, 0.05, 0.20}, 300
+	}
+	w := tab()
+	fmt.Fprintln(w, "loss\tgoodput MB/s")
+	for i, l := range losses {
+		pt, err := bench.MeasureRUDPLoss(l, 4096, msgs, uint64(900+i))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.0f%%\t%.2f\n", l*100, pt.MBps)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,60 @@
+// Command snipe-console runs a SNIPE console (paper §3.7): an HTTP
+// interface onto the metacomputer, including the URI resolver proxy
+// that lets any browser inspect any RCDS-registered resource.
+//
+// Usage:
+//
+//	snipe-console -rc 127.0.0.1:7001 -http 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"snipe/internal/console"
+	"snipe/internal/rcds"
+)
+
+func main() {
+	log.SetPrefix("snipe-console: ")
+	log.SetFlags(0)
+	name := flag.String("name", "console", "console name")
+	rc := flag.String("rc", "127.0.0.1:7001", "comma-separated RC server addresses")
+	secret := flag.String("secret", "", "RC shared secret")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP listen address")
+	text := flag.Bool("text", false, "print a one-shot text listing instead of serving HTTP")
+	flag.Parse()
+
+	var sec []byte
+	if *secret != "" {
+		sec = []byte(*secret)
+	}
+	client := rcds.NewClient(strings.Split(*rc, ","), sec)
+	defer client.Close()
+	if _, err := client.Ping(); err != nil {
+		log.Fatalf("RC servers unreachable: %v", err)
+	}
+	con, err := console.New(*name, client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer con.Close()
+
+	if *text {
+		out, err := con.RenderText()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	url := "http://" + *httpAddr
+	if err := con.RegisterHTTPBinding(url); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("console %s serving on %s", con.URN(), url)
+	log.Fatal(http.ListenAndServe(*httpAddr, con))
+}

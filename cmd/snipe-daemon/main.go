@@ -1,0 +1,117 @@
+// Command snipe-daemon runs one host's SNIPE daemon (paper §3.3),
+// registering the host and its interfaces in the RC metadata servers
+// and serving spawn/signal/status/migrate requests.
+//
+// A few demonstration programs are preregistered (echo, worker); real
+// deployments link their own task functions into a daemon binary, the
+// substitution DESIGN.md documents for fork/exec.
+//
+// Usage:
+//
+//	snipe-daemon -host h1 -rc 127.0.0.1:7001,127.0.0.1:7002 -secret s3cret
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"snipe/internal/daemon"
+	"snipe/internal/rcds"
+	"snipe/internal/task"
+)
+
+func main() {
+	log.SetPrefix("snipe-daemon: ")
+	log.SetFlags(0)
+	host := flag.String("host", "h1", "host name (distinguished URL becomes snipe://hosts/<name>)")
+	arch := flag.String("arch", "go-sim", "architecture identifier")
+	cpus := flag.Int("cpus", 2, "CPU count to advertise")
+	memMB := flag.Int("mem", 1024, "memory (MB) to advertise")
+	rc := flag.String("rc", "127.0.0.1:7001", "comma-separated RC server addresses")
+	secret := flag.String("secret", "", "RC shared secret")
+	listen := flag.String("listen", "127.0.0.1:0", "task/daemon listen address pattern")
+	flag.Parse()
+
+	client := rcds.NewClient(strings.Split(*rc, ","), secretBytes(*secret))
+	defer client.Close()
+	if _, err := client.Ping(); err != nil {
+		log.Fatalf("RC servers unreachable: %v", err)
+	}
+
+	reg := task.NewRegistry()
+	registerDemoPrograms(reg)
+
+	d := daemon.New(daemon.Config{
+		HostName: *host,
+		Arch:     *arch,
+		CPUs:     *cpus,
+		MemoryMB: *memMB,
+		Catalog:  client,
+		Registry: reg,
+		Listens:  []daemon.ListenSpec{{Transport: "tcp", Addr: *listen}},
+	})
+	if err := d.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("host %s up: daemon %s, programs %v", d.HostURL(), d.URN(), reg.Names())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+	d.Close()
+}
+
+func secretBytes(s string) []byte {
+	if s == "" {
+		return nil
+	}
+	return []byte(s)
+}
+
+// registerDemoPrograms installs the programs shipped with the daemon.
+func registerDemoPrograms(reg *task.Registry) {
+	// echo: replies to every message with the same tag and payload.
+	reg.Register("echo", func(ctx *task.Context) error {
+		for {
+			m, err := ctx.Recv(time.Second)
+			if err != nil {
+				select {
+				case <-ctx.Done():
+					return task.ErrKilled
+				default:
+					continue
+				}
+			}
+			if err := ctx.Send(m.Src, m.Tag, m.Payload); err != nil {
+				return err
+			}
+		}
+	})
+	// worker: sums the integers in its arguments and reports the total
+	// to the URN given as the first argument.
+	reg.Register("worker", func(ctx *task.Context) error {
+		args := ctx.Args()
+		if len(args) < 1 {
+			return nil
+		}
+		var sum int64
+		for _, a := range args[1:] {
+			n, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				return err
+			}
+			sum += n
+		}
+		payload := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			payload[i] = byte(uint64(sum) >> uint(56-8*i))
+		}
+		return ctx.Send(args[0], 1, payload)
+	})
+}

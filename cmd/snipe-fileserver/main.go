@@ -1,0 +1,86 @@
+// Command snipe-fileserver runs one SNIPE file server (paper §3.2),
+// accepting sink/source traffic over SNIPE messaging and exporting the
+// store over HTTP. Start several with -replicas to run a replication
+// daemon alongside.
+//
+// Usage:
+//
+//	snipe-fileserver -name fs1 -rc 127.0.0.1:7001 -http 127.0.0.1:8081 -replicas 2
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/fileserv"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+)
+
+func main() {
+	log.SetPrefix("snipe-fileserver: ")
+	log.SetFlags(0)
+	name := flag.String("name", "fs1", "file server name")
+	rc := flag.String("rc", "127.0.0.1:7001", "comma-separated RC server addresses")
+	secret := flag.String("secret", "", "RC shared secret")
+	httpAddr := flag.String("http", "", "optional HTTP export address")
+	replicas := flag.Int("replicas", 0, "run a replication daemon targeting this many replicas (0 = off)")
+	flag.Parse()
+
+	var sec []byte
+	if *secret != "" {
+		sec = []byte(*secret)
+	}
+	client := rcds.NewClient(strings.Split(*rc, ","), sec)
+	defer client.Close()
+	if _, err := client.Ping(); err != nil {
+		log.Fatalf("RC servers unreachable: %v", err)
+	}
+	fs, err := fileserv.NewServer(*name, client, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("file server %s registered", fs.URN())
+
+	if *httpAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/files/", fs)
+			log.Printf("HTTP export on %s", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	var rep *fileserv.Replicator
+	if *replicas > 0 {
+		ep := comm.NewEndpoint(naming.ProcessURN(*name, "replicator"),
+			comm.WithResolver(naming.NewResolver(client)))
+		route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naming.Register(client, ep.URN(), []comm.Route{route})
+		rep = fileserv.NewReplicator(fileserv.NewClient(client, ep),
+			fileserv.ReplicationPolicy{MinReplicas: *replicas, Interval: 2 * time.Second})
+		rep.Start()
+		defer ep.Close()
+		log.Printf("replication daemon targeting %d replicas", *replicas)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+	if rep != nil {
+		rep.Stop()
+	}
+	fs.Close()
+}

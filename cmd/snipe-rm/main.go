@@ -1,0 +1,49 @@
+// Command snipe-rm runs one resource manager (paper §3.5). Start
+// several against the same RC servers for redundancy; clients fail
+// over between them.
+//
+// Usage:
+//
+//	snipe-rm -name rm1 -rc 127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"snipe/internal/rcds"
+	"snipe/internal/rm"
+)
+
+func main() {
+	log.SetPrefix("snipe-rm: ")
+	log.SetFlags(0)
+	name := flag.String("name", "rm1", "resource manager name")
+	rc := flag.String("rc", "127.0.0.1:7001", "comma-separated RC server addresses")
+	secret := flag.String("secret", "", "RC shared secret")
+	flag.Parse()
+
+	var sec []byte
+	if *secret != "" {
+		sec = []byte(*secret)
+	}
+	client := rcds.NewClient(strings.Split(*rc, ","), sec)
+	defer client.Close()
+	if _, err := client.Ping(); err != nil {
+		log.Fatalf("RC servers unreachable: %v", err)
+	}
+	m, err := rm.NewManager(*name, client, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("resource manager %s registered", m.URN())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down")
+	m.Close()
+}

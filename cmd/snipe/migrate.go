@@ -1,0 +1,15 @@
+package main
+
+import (
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/migrate"
+	"snipe/internal/naming"
+)
+
+// migrateRemote adapts the migration orchestrator to the CLI.
+func migrateRemote(cat naming.Catalog, ep *comm.Endpoint, taskURN, srcDaemon, dstDaemon string, timeout time.Duration) (time.Duration, error) {
+	return migrate.Remote(cat, ep, taskURN, srcDaemon, dstDaemon,
+		migrate.Options{CheckpointTimeout: timeout})
+}

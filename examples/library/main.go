@@ -1,0 +1,178 @@
+// Library: the paper's first motivating application — "indexing and
+// cataloging the worldwide digital library". Documents live on
+// replicated file servers; indexer tasks spread over the hosts fetch
+// their shard of documents (failing over between replicas), build
+// partial term counts, and publish them as RC metadata, where a
+// cataloguer merges them. Midway, a file server crashes; the run
+// completes from the surviving replicas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"snipe/internal/core"
+	"snipe/internal/fileserv"
+	"snipe/internal/task"
+)
+
+var corpus = map[string]string{
+	"doc-001": "the virtual machine is the entire internet",
+	"doc-002": "replication of data and computation gives availability",
+	"doc-003": "the internet routes around failures by replication",
+	"doc-004": "metadata servers catalog every resource on the internet",
+	"doc-005": "processes migrate and the machine keeps computing",
+	"doc-006": "availability comes from replication of metadata servers",
+}
+
+const indexURI = "urn:snipe:app:library-index"
+
+func main() {
+	log.SetFlags(0)
+
+	reg := task.NewRegistry()
+	// indexer fetches its assigned documents from any replica, counts
+	// terms, and publishes "term=count" assertions under a shared URI.
+	reg.Register("indexer", func(ctx *task.Context) error {
+		fc := fileserv.NewClient(ctx.Catalog(), ctx.Endpoint())
+		counts := map[string]int{}
+		for _, doc := range ctx.Args() {
+			data, err := fc.FetchAny(doc, nil)
+			if err != nil {
+				return fmt.Errorf("fetching %s: %w", doc, err)
+			}
+			for _, word := range strings.Fields(string(data)) {
+				counts[word]++
+			}
+		}
+		for term, n := range counts {
+			if err := ctx.Catalog().Add(indexURI, "term:"+term, fmt.Sprintf("%s=%d", ctx.URN(), n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	u, err := core.New(core.Config{
+		Hosts: []core.HostConfig{
+			{Name: "idx-1", CPUs: 2, MemoryMB: 512},
+			{Name: "idx-2", CPUs: 2, MemoryMB: 512},
+		},
+		FileServers:       3,
+		ReplicationPolicy: fileserv.ReplicationPolicy{MinReplicas: 2, Interval: 50 * time.Millisecond},
+		Registry:          reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Close()
+
+	client, err := u.NewClient("cataloguer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish the corpus to the first file server; the replication
+	// daemon spreads it to a second.
+	docs := make([]string, 0, len(corpus))
+	for name, text := range corpus {
+		if _, err := client.StoreFile("", name, []byte(text)); err != nil {
+			log.Fatal(err)
+		}
+		docs = append(docs, name)
+	}
+	sort.Strings(docs)
+	fmt.Printf("published %d documents\n", len(docs))
+
+	// Wait for every document to reach two replicas, then crash the
+	// primary server: indexers must succeed from the replicas.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		replicated := 0
+		for _, name := range docs {
+			n := 0
+			for _, fs := range u.FileServers() {
+				if _, ok := fs.Get(name); ok {
+					n++
+				}
+			}
+			if n >= 2 {
+				replicated++
+			}
+		}
+		if replicated == len(docs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("replication never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	u.FileServers()[0].Close()
+	fmt.Println("!! primary file server crashed; indexing proceeds from replicas")
+
+	// Shard the corpus over two indexers and watch them exit.
+	half := len(docs) / 2
+	var urns []string
+	for i, shard := range [][]string{docs[:half], docs[half:]} {
+		urn, err := client.SpawnOn(fmt.Sprintf("idx-%d", i+1), task.Spec{Program: "indexer", Args: shard})
+		if err != nil {
+			log.Fatal(err)
+		}
+		urns = append(urns, urn)
+	}
+	for _, urn := range urns {
+		if err := client.WaitState(urn, task.StateExited, 30*time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Merge the published partial counts into the catalog.
+	type entry struct {
+		term  string
+		count int
+	}
+	var index []entry
+	for term := range termUniverse() {
+		vals, err := client.Lookup(indexURI, "term:"+term)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, v := range vals {
+			if i := strings.LastIndexByte(v, '='); i >= 0 {
+				n, _ := strconv.Atoi(v[i+1:])
+				total += n
+			}
+		}
+		if total > 0 {
+			index = append(index, entry{term, total})
+		}
+	}
+	sort.Slice(index, func(i, j int) bool {
+		if index[i].count != index[j].count {
+			return index[i].count > index[j].count
+		}
+		return index[i].term < index[j].term
+	})
+	fmt.Println("top catalog terms:")
+	for _, e := range index[:5] {
+		fmt.Printf("  %-12s %d\n", e.term, e.count)
+	}
+}
+
+// termUniverse collects every term in the corpus (the cataloguer knows
+// the vocabulary it asked the indexers to count).
+func termUniverse() map[string]bool {
+	out := map[string]bool{}
+	for _, text := range corpus {
+		for _, w := range strings.Fields(text) {
+			out[w] = true
+		}
+	}
+	return out
+}

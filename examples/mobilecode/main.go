@@ -1,0 +1,200 @@
+// Mobilecode: signed SnipeScript on playgrounds (paper §3.6, §5.8).
+// A developer signs a mobile program, publishes it to a file server
+// with its content hash in RC metadata, and runs it on sandboxed
+// hosts. The example shows the four playground guarantees: verified
+// authenticity and integrity, enforced access rights, enforced
+// resource quotas, and checkpoint/migration of running mobile code.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"snipe/internal/core"
+	"snipe/internal/playground"
+	"snipe/internal/seckey"
+	"snipe/internal/task"
+)
+
+// collatz computes the total stopping-time steps of the Collatz
+// sequence for its argument, reporting progress-capable state so it
+// can checkpoint anywhere.
+const collatzSrc = `
+.mem 4
+; mem[0] = n, mem[1] = steps
+.str done "collatz finished"
+push 0
+sys argint
+storei 0
+loop:
+loadi 0
+push 1
+le
+jnz end
+loadi 0
+push 2
+mod
+jnz odd
+loadi 0
+push 2
+div
+storei 0
+jmp step
+odd:
+loadi 0
+push 3
+mul
+push 1
+add
+storei 0
+step:
+loadi 1
+push 1
+add
+storei 1
+jmp loop
+end:
+push $done
+sys log
+push 0
+halt`
+
+// countdown decrements from its argument to zero: a long-running
+// computation whose VM state checkpoints and migrates mid-flight.
+const countdownSrc = `
+.mem 2
+.str done "countdown finished"
+push 0
+sys argint
+storei 0
+loop:
+loadi 0
+push 0
+le
+jnz end
+loadi 0
+push 1
+sub
+storei 0
+jmp loop
+end:
+push $done
+sys log
+push 0
+halt`
+
+// hog never terminates: the playground's instruction quota must stop
+// it.
+const hogSrc = `
+.mem 2
+spin:
+jmp spin`
+
+func main() {
+	log.SetFlags(0)
+
+	// The developer's signing identity, trusted for code signing by the
+	// universe's playgrounds.
+	dev, err := seckey.NewPrincipal("urn:snipe:user:dev", rand.Reader)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := seckey.NewTrustStore()
+	trust.Trust(seckey.PurposeCodeSigning, dev.Name, dev.Public())
+
+	u, err := core.New(core.Config{
+		Hosts: []core.HostConfig{
+			{Name: "sandbox-1", CPUs: 2, MemoryMB: 256},
+			{Name: "sandbox-2", CPUs: 2, MemoryMB: 256},
+		},
+		FileServers:     1,
+		Trust:           trust,
+		PlaygroundQuota: playground.Quota{MaxSteps: 200_000_000, MaxStack: 256, MaxMem: 1024},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Close()
+
+	client, err := u.NewClient("publisher")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsURN := u.FileServers()[0].URN()
+
+	// Publish the programs, signed.
+	sources := map[string]string{"collatz.sc": collatzSrc, "countdown.sc": countdownSrc, "hog.sc": hogSrc}
+	for name, src := range sources {
+		img := playground.SignImage(dev, name, playground.MustAssemble(src), playground.PermLog)
+		if err := playground.Publish(u.Catalog(), client.Files(), fsURN, img); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("published signed code images: collatz.sc, countdown.sc, hog.sc")
+
+	// 1. Run collatz(27) to completion on sandbox-1.
+	urn, err := client.SpawnOn("sandbox-1", task.Spec{
+		Program: playground.ProgramName, CodeURL: "collatz.sc", Args: []string{"27"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.WaitState(urn, task.StateExited, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("collatz.sc ran to completion inside the sandbox")
+
+	// 2. Migrate running mobile code: start a long run, move it to
+	// sandbox-2 mid-flight (the VM state snapshot travels; the code is
+	// re-fetched and re-verified at the destination).
+	urn2, err := client.SpawnOn("sandbox-1", task.Spec{
+		Program: playground.ProgramName, CodeURL: "countdown.sc", Args: []string{"10000000"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	downtime, err := client.Migrate(urn2, "sandbox-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.WaitState(urn2, task.StateExited, 60*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("countdown run migrated mid-computation (downtime %v) and finished on sandbox-2\n", downtime)
+
+	// 3. Quota enforcement: the hog is stopped and the violation logged.
+	urn3, err := client.SpawnOn("sandbox-1", task.Spec{
+		Program: playground.ProgramName, CodeURL: "hog.sc",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.WaitState(urn3, task.StateFailed, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hog.sc exceeded its instruction quota and was stopped")
+
+	// 4. Tampered code is rejected by the integrity check.
+	data, _ := u.FileServers()[0].Get("collatz.sc")
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xFF
+	u.FileServers()[0].Put("collatz.sc", bad)
+	urn4, err := client.SpawnOn("sandbox-2", task.Spec{
+		Program: playground.ProgramName, CodeURL: "collatz.sc", Args: []string{"5"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.WaitState(urn4, task.StateFailed, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tampered collatz.sc failed integrity verification and was refused")
+
+	fmt.Println("\nplayground audit log:")
+	for _, line := range u.Playground().Log() {
+		fmt.Println("  ", line)
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: bring up a SNIPE universe, spawn a globally named task,
+// exchange messages with it, and share metadata through the replicated
+// resource catalogs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"snipe/internal/core"
+	"snipe/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Programs are Go functions registered by name — the simulation's
+	// stand-in for executables on a host's path (see DESIGN.md).
+	reg := task.NewRegistry()
+	reg.Register("greeter", func(ctx *task.Context) error {
+		m, err := ctx.Recv(30 * time.Second)
+		if err != nil {
+			return err
+		}
+		reply := fmt.Sprintf("hello %s, this is %s on %s", m.Src, ctx.URN(), ctx.Host())
+		return ctx.Send(m.Src, m.Tag, []byte(reply))
+	})
+
+	// Two virtual hosts, one replicated RC server pair, one resource
+	// manager (the Config zero values fill in the rest).
+	u, err := core.New(core.Config{
+		RCServers: 2,
+		Hosts: []core.HostConfig{
+			{Name: "alpha", CPUs: 2, MemoryMB: 512},
+			{Name: "beta", CPUs: 2, MemoryMB: 512},
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Close()
+
+	client, err := u.NewClient("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Spawn via the resource-manager service; placement is by load.
+	urn, err := client.Spawn(task.Spec{Program: "greeter"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spawned:", urn)
+
+	// Any process can message any other by URN — no virtual machine
+	// membership required.
+	if err := client.Send(urn, 42, []byte("ping")); err != nil {
+		log.Fatal(err)
+	}
+	m, err := client.RecvMatch(urn, 42, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reply:", string(m.Payload))
+
+	// The open metadata catalogs double as a shared blackboard.
+	client.PutMeta("urn:snipe:app:quickstart", "status", "done")
+	v, _, _ := client.LookupFirst("urn:snipe:app:quickstart", "status")
+	fmt.Println("metadata:", v)
+}

@@ -1,0 +1,3 @@
+module snipe
+
+go 1.22

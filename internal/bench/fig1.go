@@ -1,0 +1,213 @@
+// Package bench implements the experiment harness that regenerates the
+// paper's evaluation (DESIGN.md experiment index E1–E7). Each
+// experiment is a pure function returning structured results; the
+// root-level testing.B benchmarks and the snipe-bench CLI both call
+// into it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/netsim"
+)
+
+// Fig1Point is one measurement of Fig. 1: bandwidth offered to SNIPE
+// client applications for a message size on a medium.
+type Fig1Point struct {
+	Medium    string
+	Transport string // "snipe-tcp", "snipe-rudp", "raw"
+	MsgSize   int
+	MBps      float64 // decimal megabytes per second, as the paper plots
+}
+
+// Fig1Sizes is the message-size sweep of the figure.
+var Fig1Sizes = []int{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// Fig1Media are the paper's media plus the lossy WAN extension.
+var Fig1Media = []netsim.Profile{netsim.Ethernet10, netsim.Ethernet100, netsim.ATM155}
+
+// endpointPair builds two endpoints joined by a single shaped link of
+// the given medium, speaking the chosen SNIPE transport.
+func endpointPair(medium netsim.Profile, transport string, seed uint64) (a, b *comm.Endpoint, cleanup func(), err error) {
+	const urnA, urnB = "urn:snipe:bench:a", "urn:snipe:bench:b"
+	routeA := comm.Route{Transport: "attached", Addr: "a"}
+	routeB := comm.Route{Transport: "attached", Addr: "b"}
+	resolver := comm.StaticResolver{urnA: {routeA}, urnB: {routeB}}
+
+	// Endpoint-level retry is route failover, not loss recovery (the
+	// transports are reliable); a long interval avoids duplicating the
+	// ARQ's work on lossy media.
+	a = comm.NewEndpoint(urnA, comm.WithResolver(resolver),
+		comm.WithBufferLimit(1<<16), comm.WithRetryInterval(5*time.Second))
+	b = comm.NewEndpoint(urnB, comm.WithResolver(resolver),
+		comm.WithBufferLimit(1<<16), comm.WithRetryInterval(5*time.Second))
+
+	var fca, fcb comm.FrameConn
+	var closeLink func()
+	switch transport {
+	case "snipe-tcp":
+		ca, cb, link := netsim.StreamPipe(medium, seed)
+		fca, fcb = comm.NewStreamFrameConn(ca), comm.NewStreamFrameConn(cb)
+		closeLink = link.Close
+	case "snipe-rudp":
+		pa, pb, link := netsim.PacketPipe(medium, seed)
+		fca, fcb = comm.NewRUDPConn(pa), comm.NewRUDPConn(pb)
+		closeLink = link.Close
+	default:
+		a.Close()
+		b.Close()
+		return nil, nil, nil, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+	// Each endpoint reaches the peer over the attached conn.
+	a.AttachConn(routeB.String(), fca)
+	b.AttachConn(routeA.String(), fcb)
+	cleanup = func() {
+		a.Close()
+		b.Close()
+		closeLink()
+	}
+	return a, b, cleanup, nil
+}
+
+// targetBytes sizes a run: enough traffic to occupy the medium for
+// roughly 300 ms, bounded to keep small-message runs finite.
+func targetBytes(medium netsim.Profile, msgSize int) int {
+	t := int(medium.BytesPerSec() * 0.3)
+	if t < 16*msgSize {
+		t = 16 * msgSize
+	}
+	if t > 24<<20 {
+		t = 24 << 20
+	}
+	return t
+}
+
+// MeasureFig1 measures one point of Fig. 1 through the full SNIPE
+// client stack (endpoint, sequencing, fragmentation, acknowledgement,
+// chosen transport, shaped medium).
+func MeasureFig1(medium netsim.Profile, transport string, msgSize int, seed uint64) (Fig1Point, error) {
+	p := Fig1Point{Medium: medium.Name, Transport: transport, MsgSize: msgSize}
+	if transport == "raw" {
+		mbps, err := measureRaw(medium, msgSize, seed)
+		p.MBps = mbps
+		return p, err
+	}
+	a, b, cleanup, err := endpointPair(medium, transport, seed)
+	if err != nil {
+		return p, err
+	}
+	defer cleanup()
+
+	total := targetBytes(medium, msgSize)
+	n := total / msgSize
+	if n < 4 {
+		n = 4
+	}
+	payload := make([]byte, msgSize)
+	received := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			if _, err := b.Recv(60 * time.Second); err != nil {
+				return
+			}
+		}
+		close(received)
+	}()
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		for {
+			err := a.Send("urn:snipe:bench:b", 1, payload)
+			if err == nil {
+				break
+			}
+			if err == comm.ErrBufferFull {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			return p, err
+		}
+		// Flow control: do not let the system buffer grow without bound.
+		for a.Pending() > 256 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	select {
+	case <-received:
+	case <-time.After(120 * time.Second):
+		return p, fmt.Errorf("bench: fig1 receiver stalled (%s %s %d)", medium.Name, transport, msgSize)
+	}
+	elapsed := time.Since(start)
+	p.MBps = float64(n*msgSize) / 1e6 / elapsed.Seconds()
+	return p, nil
+}
+
+// measureRaw measures the medium ceiling: bytes written straight into
+// the shaped pipe with no protocol above it.
+func measureRaw(medium netsim.Profile, msgSize int, seed uint64) (float64, error) {
+	ca, cb, link := netsim.StreamPipe(medium, seed)
+	defer link.Close()
+	total := targetBytes(medium, msgSize)
+	n := total / msgSize
+	if n < 4 {
+		n = 4
+	}
+	buf := make([]byte, msgSize)
+	done := make(chan error, 1)
+	go func() {
+		sink := make([]byte, 64<<10)
+		remaining := n * msgSize
+		for remaining > 0 {
+			m, err := cb.Read(sink)
+			if err != nil {
+				done <- err
+				return
+			}
+			remaining -= m
+		}
+		done <- nil
+	}()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := ca.Write(buf); err != nil {
+			return 0, err
+		}
+	}
+	if err := <-done; err != nil && err != io.EOF {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(n*msgSize) / 1e6 / elapsed.Seconds(), nil
+}
+
+// Fig1Sweep runs the full figure: every medium × transport × size.
+// sizes and media may be nil for the defaults.
+func Fig1Sweep(media []netsim.Profile, transports []string, sizes []int) ([]Fig1Point, error) {
+	if media == nil {
+		media = Fig1Media
+	}
+	if transports == nil {
+		transports = []string{"raw", "snipe-tcp", "snipe-rudp"}
+	}
+	if sizes == nil {
+		sizes = Fig1Sizes
+	}
+	var out []Fig1Point
+	seed := uint64(1)
+	for _, m := range media {
+		for _, tr := range transports {
+			for _, s := range sizes {
+				seed++
+				pt, err := MeasureFig1(m, tr, s, seed)
+				if err != nil {
+					return out, err
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// framePipe returns two plaintext FrameConns over an in-memory duplex
+// stream.
+func framePipe(t *testing.T) (FrameConn, FrameConn) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	a, b := NewStreamFrameConn(ca), NewStreamFrameConn(cb)
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestEncryptedConnRoundTrip(t *testing.T) {
+	pa, pb := framePipe(t)
+	secret := []byte("shared")
+	a, err := NewEncryptedConn(pa, secret, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEncryptedConn(pb, secret, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("confidential payload")
+	go a.Send(msg)
+	got, err := b.Recv()
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("recv: %q %v", got, err)
+	}
+	// Reverse direction.
+	go b.Send([]byte("reply"))
+	got, err = a.Recv()
+	if err != nil || string(got) != "reply" {
+		t.Fatalf("reply: %q %v", got, err)
+	}
+}
+
+func TestEncryptedConnCiphertextOnWire(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	a, err := NewEncryptedConn(NewStreamFrameConn(ca), []byte("s"), "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("the secret formula: E = mc^2")
+	go a.Send(plain)
+	// Read the raw frame from the other end: it must not contain the
+	// plaintext.
+	raw, err := NewStreamFrameConn(cb).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, plain) || bytes.Contains(raw, []byte("secret formula")) {
+		t.Fatal("plaintext visible on the wire")
+	}
+}
+
+func TestEncryptedConnRejectsWrongKey(t *testing.T) {
+	pa, pb := framePipe(t)
+	a, _ := NewEncryptedConn(pa, []byte("key-1"), "l")
+	b, _ := NewEncryptedConn(pb, []byte("key-2"), "l")
+	go a.Send([]byte("x"))
+	if _, err := b.Recv(); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong key: %v", err)
+	}
+	// Different labels also fail.
+	pa2, pb2 := framePipe(t)
+	a2, _ := NewEncryptedConn(pa2, []byte("k"), "label-a")
+	b2, _ := NewEncryptedConn(pb2, []byte("k"), "label-b")
+	go a2.Send([]byte("x"))
+	if _, err := b2.Recv(); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong label: %v", err)
+	}
+}
+
+func TestEncryptedConnRejectsTampering(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	a, _ := NewEncryptedConn(NewStreamFrameConn(ca), []byte("k"), "l")
+	rawB := NewStreamFrameConn(cb)
+	done := make(chan error, 1)
+	go func() { done <- a.Send([]byte("payload")) }()
+	sealed, err := rawB.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Flip a ciphertext bit and feed it back through a fresh pair.
+	ca2, cb2 := net.Pipe()
+	defer ca2.Close()
+	defer cb2.Close()
+	b2, _ := NewEncryptedConn(NewStreamFrameConn(cb2), []byte("k"), "l")
+	tampered := append([]byte(nil), sealed...)
+	tampered[len(tampered)-1] ^= 0x01
+	go NewStreamFrameConn(ca2).Send(tampered)
+	if _, err := b2.Recv(); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tampered frame: %v", err)
+	}
+}
+
+func TestEncryptedConnMTUAccountsForOverhead(t *testing.T) {
+	pa, _ := framePipe(t)
+	a, _ := NewEncryptedConn(pa, []byte("k"), "l")
+	if a.MTU() >= pa.MTU() {
+		t.Fatalf("MTU %d not reduced from %d", a.MTU(), pa.MTU())
+	}
+}
+
+func TestEncryptedTransportEndToEnd(t *testing.T) {
+	secret := []byte("transport-secret")
+	transports := NewTransports()
+	transports.Register(EncryptedTransport{Inner: TCPTransport{}, Secret: secret})
+
+	resolver := &testResolver{m: make(map[string][]Route)}
+	a := NewEndpoint("urn:ea", WithResolver(resolver), WithTransports(transports))
+	defer a.Close()
+	b := NewEndpoint("urn:eb", WithResolver(resolver), WithTransports(transports))
+	defer b.Close()
+	ra, err := a.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver.set("urn:ea", ra)
+	resolver.set("urn:eb", rb)
+
+	payload := make([]byte, 200_000) // multi-fragment
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	if err := a.SendWait("urn:eb", 5, payload, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv(5 * time.Second)
+	if err != nil || !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("encrypted transport: len=%d err=%v", len(m.Payload), err)
+	}
+	if m.Tag != 5 {
+		t.Fatalf("tag: %d", m.Tag)
+	}
+}
+
+func TestEncryptedTransportKeyMismatchFailsClosed(t *testing.T) {
+	ta := NewTransports()
+	ta.Register(EncryptedTransport{Inner: TCPTransport{}, Secret: []byte("right")})
+	tb := NewTransports()
+	tb.Register(EncryptedTransport{Inner: TCPTransport{}, Secret: []byte("wrong")})
+
+	resolver := &testResolver{m: make(map[string][]Route)}
+	a := NewEndpoint("urn:ea", WithResolver(resolver), WithTransports(ta), WithoutBuffering())
+	defer a.Close()
+	b := NewEndpoint("urn:eb", WithResolver(resolver), WithTransports(tb))
+	defer b.Close()
+	rb, err := b.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver.set("urn:eb", rb)
+
+	a.Send("urn:eb", 1, []byte("should not arrive"))
+	if m, err := b.Recv(300 * time.Millisecond); err == nil {
+		t.Fatalf("mismatched keys delivered %q", m.Payload)
+	}
+}

@@ -1,0 +1,847 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// EndpointOption configures an Endpoint.
+type EndpointOption func(*Endpoint)
+
+// WithResolver sets the URN→routes resolver (RC-metadata-backed in the
+// full system).
+func WithResolver(r Resolver) EndpointOption {
+	return func(e *Endpoint) { e.resolver = r }
+}
+
+// WithTransports sets the transport registry.
+func WithTransports(t *Transports) EndpointOption {
+	return func(e *Endpoint) { e.transports = t }
+}
+
+// WithBufferLimit bounds the number of unacknowledged outbound
+// messages held in the system buffer.
+func WithBufferLimit(n int) EndpointOption {
+	return func(e *Endpoint) { e.bufferLimit = n }
+}
+
+// WithRetryInterval sets how often buffered messages are re-sent.
+func WithRetryInterval(d time.Duration) EndpointOption {
+	return func(e *Endpoint) { e.retryInterval = d }
+}
+
+// WithoutBuffering disables the system buffer: sends to unreachable
+// peers fail immediately and unacknowledged messages are not retried.
+// This is the ablation knob for experiment E5/E7 — with buffering off,
+// migration and link failure lose messages, as the paper's design
+// argument predicts.
+func WithoutBuffering() EndpointOption {
+	return func(e *Endpoint) { e.buffering = false }
+}
+
+// WithHandler delivers incoming messages to fn instead of the mailbox.
+// If tags are given, only messages with those tags go to the handler;
+// everything else stays in the mailbox for Recv — letting a component
+// serve a protocol and make client calls on one endpoint.
+func WithHandler(fn func(*Message), tags ...uint32) EndpointOption {
+	return func(e *Endpoint) {
+		e.handler = fn
+		if len(tags) > 0 {
+			e.handlerTags = make(map[uint32]bool, len(tags))
+			for _, t := range tags {
+				e.handlerTags[t] = true
+			}
+		}
+	}
+}
+
+// outKey identifies an unacknowledged outbound message.
+type outKey struct {
+	dst string
+	seq uint64
+}
+
+type outMsg struct {
+	msg         Message
+	lastAttempt time.Time
+	attempts    int
+	acked       chan struct{} // closed on acknowledgement
+}
+
+// reasmKey identifies an in-progress reassembly. The destination is
+// part of the key because sequence numbers are per (src → dst) stream
+// and a gateway sees many destinations' frames from one source.
+type reasmKey struct {
+	src string
+	dst string
+	seq uint64
+}
+
+// Endpoint is a process's communications identity: it owns the
+// process's URN, listens on one or more transport addresses, and
+// provides reliable, ordered, exactly-once message delivery to and
+// from other endpoints, with the system-buffering and route-failover
+// semantics of §6.
+type Endpoint struct {
+	urn        string
+	transports *Transports
+	resolver   Resolver
+
+	bufferLimit   int
+	retryInterval time.Duration
+	buffering     bool
+	handler       func(*Message)
+	handlerTags   map[uint32]bool // nil = handler takes all tags
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	listeners    []Listener
+	localRoutes  []Route
+	conns        map[string]FrameConn // route key → conn
+	nextSeq      map[string]uint64    // dst URN → next send seq
+	outstanding  map[outKey]*outMsg
+	expected     map[string]uint64              // src URN → next delivery seq
+	reorder      map[string]map[uint64]*Message // src URN → seq → message
+	reasm        map[reasmKey]*reassembly
+	mailbox      []*Message
+	handlerQueue []*Message
+	quiesced     bool // migration: stop accepting (and acking) new messages
+
+	// Gateway relay state (nil unless WithGatewayRelay); guarded by the
+	// package-level relayMu, not e.mu.
+	gateway    bool
+	relayConns map[relayKey]FrameConn
+	relayReasm map[reasmKey]*reassembly
+	closed     bool
+	done       chan struct{}
+	wg         sync.WaitGroup
+
+	// Stats.
+	sent, received, retried, duplicates uint64
+}
+
+// NewEndpoint creates an endpoint for urn. Call Listen to accept
+// traffic; Send works immediately if a resolver is configured.
+func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
+	e := &Endpoint{
+		urn:           urn,
+		transports:    NewTransports(),
+		resolver:      StaticResolver{},
+		bufferLimit:   4096,
+		retryInterval: 200 * time.Millisecond,
+		buffering:     true,
+		conns:         make(map[string]FrameConn),
+		nextSeq:       make(map[string]uint64),
+		outstanding:   make(map[outKey]*outMsg),
+		expected:      make(map[string]uint64),
+		reorder:       make(map[string]map[uint64]*Message),
+		reasm:         make(map[reasmKey]*reassembly),
+		done:          make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for _, o := range opts {
+		o(e)
+	}
+	e.wg.Add(1)
+	go e.retryLoop()
+	if e.handler != nil {
+		e.wg.Add(1)
+		go e.dispatchLoop()
+	}
+	return e
+}
+
+// dispatchLoop feeds handled messages to the handler one at a time,
+// preserving the per-source delivery order the sequencing layer
+// established.
+func (e *Endpoint) dispatchLoop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.handlerQueue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.handlerQueue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		m := e.handlerQueue[0]
+		e.handlerQueue = e.handlerQueue[1:]
+		h := e.handler
+		e.mu.Unlock()
+		h(m)
+	}
+}
+
+// URN returns the endpoint's global name.
+func (e *Endpoint) URN() string { return e.urn }
+
+// SetResolver replaces the resolver (used when a client joins a
+// universe after construction).
+func (e *Endpoint) SetResolver(r Resolver) {
+	e.mu.Lock()
+	e.resolver = r
+	e.mu.Unlock()
+}
+
+// Listen starts accepting connections on the named transport at addr.
+// The route metadata (netName, rateBps, latencyUs) is advertised to
+// peers via Routes — in the full system, published as AttrCommAddr
+// assertions in RC metadata.
+func (e *Endpoint) Listen(transport, addr, netName string, rateBps, latencyUs float64) (Route, error) {
+	tr, ok := e.transports.Get(transport)
+	if !ok {
+		return Route{}, fmt.Errorf("comm: unknown transport %q", transport)
+	}
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		return Route{}, err
+	}
+	route := Route{Transport: transport, Addr: ln.Addr(), NetName: netName, RateBps: rateBps, LatencyUs: latencyUs}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		ln.Close()
+		return Route{}, ErrClosed
+	}
+	e.listeners = append(e.listeners, ln)
+	e.localRoutes = append(e.localRoutes, route)
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return route, nil
+}
+
+// Routes returns the endpoint's advertised routes.
+func (e *Endpoint) Routes() []Route {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Route(nil), e.localRoutes...)
+}
+
+// CloseListener shuts the i-th listener (in Listen order) — the
+// link-failure injection used by the failover experiments.
+func (e *Endpoint) CloseListener(i int) error {
+	e.mu.Lock()
+	if i < 0 || i >= len(e.listeners) {
+		e.mu.Unlock()
+		return fmt.Errorf("comm: no listener %d", i)
+	}
+	ln := e.listeners[i]
+	e.mu.Unlock()
+	return ln.Close()
+}
+
+// AttachConn adopts an already-established FrameConn (e.g. one built
+// over a netsim pipe in benchmarks) for traffic to and from the peer.
+// routeKey must be unique per conn.
+func (e *Endpoint) AttachConn(routeKey string, conn FrameConn) {
+	e.mu.Lock()
+	e.conns[routeKey] = conn
+	e.mu.Unlock()
+	conn.Send(encodeHello(e.urn))
+	e.wg.Add(1)
+	go e.readLoop(conn, routeKey)
+}
+
+// Send queues payload for reliable delivery to dst. It returns once
+// the message is accepted into the system buffer (and transmission has
+// been attempted); delivery is asynchronous and survives peer
+// migration and route failures. With buffering disabled, Send fails if
+// no route currently works.
+func (e *Endpoint) Send(dst string, tag uint32, payload []byte) error {
+	_, err := e.send(dst, tag, payload)
+	return err
+}
+
+// SendWait sends and then blocks until the destination acknowledges
+// the message or the timeout expires. The message remains buffered and
+// retried even if SendWait times out.
+func (e *Endpoint) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
+	om, err := e.send(dst, tag, payload)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-om.acked:
+		return nil
+	case <-time.After(timeout):
+		return ErrTimeout
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error) {
+	if len(payload) > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(e.outstanding) >= e.bufferLimit {
+		e.mu.Unlock()
+		return nil, ErrBufferFull
+	}
+	e.nextSeq[dst]++
+	seq := e.nextSeq[dst]
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	om := &outMsg{
+		msg:   Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp},
+		acked: make(chan struct{}),
+	}
+	e.outstanding[outKey{dst, seq}] = om
+	e.sent++
+	e.mu.Unlock()
+
+	err := e.transmit(om)
+	if err != nil && !e.buffering {
+		e.mu.Lock()
+		delete(e.outstanding, outKey{dst, seq})
+		e.mu.Unlock()
+		return nil, err
+	}
+	return om, nil
+}
+
+// transmit attempts to push one buffered message over the best
+// available route, failing over across routes.
+func (e *Endpoint) transmit(om *outMsg) error {
+	e.mu.Lock()
+	om.lastAttempt = time.Now()
+	om.attempts++
+	local := append([]Route(nil), e.localRoutes...)
+	resolver := e.resolver
+	e.mu.Unlock()
+
+	routes, err := resolver.Resolve(om.msg.Dst)
+	if err != nil {
+		return fmt.Errorf("comm: resolving %s: %w", om.msg.Dst, err)
+	}
+	if len(routes) == 0 {
+		return fmt.Errorf("%w: %s has no advertised routes", ErrNoRoute, om.msg.Dst)
+	}
+	var lastErr error
+	for _, route := range OrderRoutes(local, routes) {
+		// Gateway routes (§5.1) expand to the gateway's own addresses;
+		// the frames still name the final destination, and the gateway
+		// relays them.
+		if route.Transport == GatewayTransport {
+			gwRoutes, err := resolver.Resolve(route.Addr)
+			if err != nil || len(gwRoutes) == 0 {
+				lastErr = fmt.Errorf("%w: gateway %s unresolved", ErrNoRoute, route.Addr)
+				continue
+			}
+			sent := false
+			for _, gr := range OrderRoutes(local, gwRoutes) {
+				if gr.Transport == GatewayTransport {
+					continue // no gateway chains: avoids relay cycles
+				}
+				conn, err := e.getConn(gr)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if err := e.sendOn(conn, om); err != nil {
+					lastErr = err
+					e.dropConn(gr.String(), conn)
+					continue
+				}
+				sent = true
+				break
+			}
+			if sent {
+				return nil
+			}
+			continue
+		}
+		conn, err := e.getConn(route)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := e.sendOn(conn, om); err != nil {
+			lastErr = err
+			e.dropConn(route.String(), conn)
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoRoute
+	}
+	return lastErr
+}
+
+func (e *Endpoint) sendOn(conn FrameConn, om *outMsg) error {
+	m := &om.msg
+	// Per-fragment header: frame type, length-prefixed src and dst,
+	// tag, seq, fragment index/count, payload length prefix.
+	hdr := 33 + len(m.Src) + len(m.Dst)
+	mtu := conn.MTU() - hdr
+	if mtu < 16 {
+		return fmt.Errorf("%w: URNs too long for transport MTU", ErrTooLarge)
+	}
+	for _, f := range fragment(m.Src, m.Dst, m.Tag, m.Seq, m.Payload, mtu) {
+		if err := conn.Send(encodeMsgFrame(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getConn returns a live connection for the route, dialing if needed.
+func (e *Endpoint) getConn(route Route) (FrameConn, error) {
+	key := route.String()
+	e.mu.Lock()
+	if conn, ok := e.conns[key]; ok {
+		e.mu.Unlock()
+		return conn, nil
+	}
+	tr, ok := e.transports.Get(route.Transport)
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("comm: unknown transport %q", route.Transport)
+	}
+	conn, err := tr.Dial(route.Addr)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if existing, ok := e.conns[key]; ok {
+		e.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	e.conns[key] = conn
+	e.mu.Unlock()
+	conn.Send(encodeHello(e.urn))
+	e.wg.Add(1)
+	go e.readLoop(conn, key)
+	return conn, nil
+}
+
+func (e *Endpoint) dropConn(key string, conn FrameConn) {
+	e.mu.Lock()
+	if e.conns[key] == conn {
+		delete(e.conns, key)
+	}
+	e.mu.Unlock()
+	conn.Close()
+}
+
+func (e *Endpoint) acceptLoop(ln Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		key := fmt.Sprintf("in:%p", conn)
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.conns[key] = conn
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn, key)
+	}
+}
+
+func (e *Endpoint) readLoop(conn FrameConn, key string) {
+	defer e.wg.Done()
+	defer e.dropConn(key, conn)
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		e.handleFrame(conn, frame)
+	}
+}
+
+func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
+	d := xdr.NewDecoder(frame)
+	ftype, err := d.Uint8()
+	if err != nil {
+		return
+	}
+	switch ftype {
+	case frameHello:
+		decodeHello(d) // peer identity: informational
+
+	case frameMsg:
+		f, err := decodeMsgFrame(d)
+		if err != nil {
+			return
+		}
+		e.handleMsgFrame(conn, f)
+
+	case frameAck:
+		src, dst, seq, err := decodeAck(d)
+		if err != nil {
+			return
+		}
+		// A gateway first checks whether this ack belongs to a relayed
+		// message and routes it back to the origin.
+		if e.relayAck(src, dst, seq) {
+			return
+		}
+		e.mu.Lock()
+		if om, ok := e.outstanding[outKey{dst, seq}]; ok {
+			delete(e.outstanding, outKey{dst, seq})
+			close(om.acked)
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
+	if e.gateway && f.Dst != e.urn {
+		e.relayMsgFrame(conn, f)
+		return
+	}
+	key := reasmKey{f.Src, f.Dst, f.Seq}
+	var complete []byte
+
+	e.mu.Lock()
+	// A quiesced endpoint (a task that has checkpointed for migration)
+	// neither delivers nor acknowledges: the sender keeps the message
+	// buffered and its retries find the task's new location — the
+	// paper's redirect-by-re-resolution (§5.6).
+	if e.quiesced {
+		e.mu.Unlock()
+		return
+	}
+	// Duplicate detection: anything below the expected sequence (or
+	// waiting in the reorder buffer) has already been accepted; re-ack
+	// so the sender stops retrying, but do not deliver again.
+	_, inReorder := e.reorder[f.Src][f.Seq]
+	if (e.expected[f.Src] > 0 && f.Seq < e.expected[f.Src]) || inReorder {
+		e.duplicates++
+		e.mu.Unlock()
+		conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
+		return
+	}
+	r, ok := e.reasm[key]
+	if !ok {
+		r = newReassembly(f.FragCount, f.Tag, f.Dst)
+		e.reasm[key] = r
+	}
+	payload, err := r.add(f)
+	if err != nil {
+		delete(e.reasm, key)
+		e.mu.Unlock()
+		return
+	}
+	if payload == nil {
+		e.mu.Unlock()
+		return // awaiting more fragments
+	}
+	delete(e.reasm, key)
+	complete = payload
+
+	msg := &Message{Src: f.Src, Dst: f.Dst, Tag: f.Tag, Seq: f.Seq, Payload: complete}
+	if e.expected[f.Src] == 0 {
+		e.expected[f.Src] = 1
+	}
+	if f.Seq == e.expected[f.Src] {
+		e.deliverLocked(msg)
+		e.expected[f.Src]++
+		// Drain any buffered successors.
+		for {
+			next, ok := e.reorder[f.Src][e.expected[f.Src]]
+			if !ok {
+				break
+			}
+			delete(e.reorder[f.Src], e.expected[f.Src])
+			e.deliverLocked(next)
+			e.expected[f.Src]++
+		}
+	} else {
+		if e.reorder[f.Src] == nil {
+			e.reorder[f.Src] = make(map[uint64]*Message)
+		}
+		e.reorder[f.Src][f.Seq] = msg
+	}
+	e.mu.Unlock()
+
+	// End-to-end acknowledgement: the message is safely accepted.
+	conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
+}
+
+// deliverLocked appends to the mailbox or dispatches to the handler.
+// Caller holds e.mu.
+func (e *Endpoint) deliverLocked(m *Message) {
+	e.received++
+	if e.handler != nil && (e.handlerTags == nil || e.handlerTags[m.Tag]) {
+		e.handlerQueue = append(e.handlerQueue, m)
+		e.cond.Broadcast()
+		return
+	}
+	e.mailbox = append(e.mailbox, m)
+	e.cond.Broadcast()
+}
+
+// Recv returns the next message of any tag from any source.
+func (e *Endpoint) Recv(timeout time.Duration) (*Message, error) {
+	return e.RecvMatch("", AnyTag, timeout)
+}
+
+// RecvMatch returns the next message matching src (""=any) and tag
+// (AnyTag=any), waiting up to timeout. Non-matching messages stay
+// queued for other receivers.
+func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Message, error) {
+	deadline := time.Now().Add(timeout)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for i, m := range e.mailbox {
+			if (src == "" || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+				e.mailbox = append(e.mailbox[:i], e.mailbox[i+1:]...)
+				return m, nil
+			}
+		}
+		if e.closed {
+			return nil, ErrClosed
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, ErrTimeout
+		}
+		t := time.AfterFunc(remaining, func() {
+			e.mu.Lock()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		e.cond.Wait()
+		t.Stop()
+	}
+}
+
+// retryLoop re-transmits buffered unacknowledged messages, re-resolving
+// the destination each time — which is how traffic finds a process
+// again after it migrates or a link fails.
+func (e *Endpoint) retryLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.retryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+		}
+		if !e.buffering {
+			continue
+		}
+		now := time.Now()
+		var due []*outMsg
+		e.mu.Lock()
+		for _, om := range e.outstanding {
+			if now.Sub(om.lastAttempt) >= e.retryInterval {
+				due = append(due, om)
+			}
+		}
+		e.mu.Unlock()
+		for _, om := range due {
+			e.mu.Lock()
+			e.retried++
+			e.mu.Unlock()
+			e.transmit(om) // failure leaves it buffered for next tick
+		}
+	}
+}
+
+// Pending reports the number of buffered unacknowledged messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.outstanding)
+}
+
+// Stats reports endpoint counters: messages sent, received, retry
+// transmissions, and duplicates suppressed.
+func (e *Endpoint) Stats() (sent, received, retried, duplicates uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent, e.received, e.retried, e.duplicates
+}
+
+// Close shuts down the endpoint. Buffered messages are discarded.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.done)
+	lns := e.listeners
+	conns := make([]FrameConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+// Quiesce makes the endpoint stop accepting (and acknowledging) new
+// messages, freezing its state for a checkpoint. Messages already in
+// the mailbox — accepted and acknowledged but not yet consumed — are
+// part of the sequence snapshot and travel with the checkpoint.
+func (e *Endpoint) Quiesce() {
+	e.mu.Lock()
+	e.quiesced = true
+	e.mu.Unlock()
+}
+
+// SequenceState is the portable communications state of an endpoint,
+// captured at checkpoint time so that a migrated process resumes its
+// conversations without loss or duplication (§5.6): per-peer send and
+// receive sequence numbers, plus any accepted-but-unconsumed mailbox
+// messages.
+type SequenceState struct {
+	NextSeq  map[string]uint64
+	Expected map[string]uint64
+	Mailbox  []Message
+}
+
+// SnapshotSequences captures the endpoint's communications state. The
+// endpoint should be quiesced first so the snapshot cannot miss a
+// message acknowledged after the capture.
+func (e *Endpoint) SnapshotSequences() SequenceState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := SequenceState{
+		NextSeq:  make(map[string]uint64, len(e.nextSeq)),
+		Expected: make(map[string]uint64, len(e.expected)),
+	}
+	for k, v := range e.nextSeq {
+		s.NextSeq[k] = v
+	}
+	for k, v := range e.expected {
+		s.Expected[k] = v
+	}
+	for _, m := range e.mailbox {
+		s.Mailbox = append(s.Mailbox, *m)
+	}
+	return s
+}
+
+// RestoreSequences installs state captured by SnapshotSequences into a
+// fresh endpoint (at the migration target).
+func (e *Endpoint) RestoreSequences(s SequenceState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, v := range s.NextSeq {
+		e.nextSeq[k] = v
+	}
+	for k, v := range s.Expected {
+		e.expected[k] = v
+	}
+	for i := range s.Mailbox {
+		m := s.Mailbox[i]
+		e.mailbox = append(e.mailbox, &m)
+	}
+	e.cond.Broadcast()
+}
+
+// Encode serialises sequence state for transport in a checkpoint.
+func (s SequenceState) Encode(e *xdr.Encoder) {
+	encodeU64Map(e, s.NextSeq)
+	encodeU64Map(e, s.Expected)
+	e.PutUint32(uint32(len(s.Mailbox)))
+	for _, m := range s.Mailbox {
+		e.PutString(m.Src)
+		e.PutString(m.Dst)
+		e.PutUint32(m.Tag)
+		e.PutUint64(m.Seq)
+		e.PutBytes(m.Payload)
+	}
+}
+
+// DecodeSequenceState reads state written by Encode.
+func DecodeSequenceState(d *xdr.Decoder) (SequenceState, error) {
+	var s SequenceState
+	var err error
+	if s.NextSeq, err = decodeU64Map(d); err != nil {
+		return s, err
+	}
+	if s.Expected, err = decodeU64Map(d); err != nil {
+		return s, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return s, err
+	}
+	for i := uint32(0); i < n; i++ {
+		var m Message
+		if m.Src, err = d.String(); err != nil {
+			return s, err
+		}
+		if m.Dst, err = d.String(); err != nil {
+			return s, err
+		}
+		if m.Tag, err = d.Uint32(); err != nil {
+			return s, err
+		}
+		if m.Seq, err = d.Uint64(); err != nil {
+			return s, err
+		}
+		if m.Payload, err = d.BytesCopy(); err != nil {
+			return s, err
+		}
+		s.Mailbox = append(s.Mailbox, m)
+	}
+	return s, nil
+}
+
+func encodeU64Map(e *xdr.Encoder, m map[string]uint64) {
+	e.PutUint32(uint32(len(m)))
+	for k, v := range m {
+		e.PutString(k)
+		e.PutUint64(v)
+	}
+}
+
+func decodeU64Map(d *xdr.Decoder) (map[string]uint64, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}

@@ -1,0 +1,219 @@
+// Package comm implements the SNIPE communications module (paper §3.4,
+// §5.3–5.4, §6): message passing between globally named processes over
+// multiple transports and media, with fragmentation, system-side
+// buffering of messages for unavailable or migrating tasks, and
+// automatic route/interface failover.
+//
+// The module's layering follows the 1998 implementation:
+//
+//   - FrameConn: a reliable, message-boundary-preserving connection.
+//     Two transports are provided, as in the paper: TCP/IP, and a
+//     "selective re-send UDP protocol" (RUDP) — a sliding-window
+//     selective-repeat ARQ with SACK bitmaps and adaptive RTO.
+//   - Endpoint: a process's communications identity. It listens on any
+//     number of transport addresses, resolves destination URNs to
+//     routes (via RC metadata in the full system), picks the best
+//     common network, fragments and sequences messages, acknowledges
+//     end-to-end, retries over alternate routes, and buffers traffic
+//     for peers that are temporarily unreachable — which is what makes
+//     "no loss of data while migration is in progress" (§5.6) hold.
+package comm
+
+import (
+	"errors"
+	"fmt"
+
+	"snipe/internal/xdr"
+)
+
+// Frame types exchanged between endpoints, inside transport frames.
+const (
+	frameHello uint8 = iota + 1 // sender identifies itself: URN
+	frameMsg                    // one fragment of an application message
+	frameAck                    // end-to-end acknowledgement of a message
+)
+
+// AnyTag matches any message tag in receive operations.
+const AnyTag uint32 = ^uint32(0)
+
+// Errors of the comm layer.
+var (
+	// ErrClosed indicates the endpoint or connection is closed.
+	ErrClosed = errors.New("comm: closed")
+	// ErrTimeout indicates a receive or send deadline expired.
+	ErrTimeout = errors.New("comm: timeout")
+	// ErrNoRoute indicates no route to the destination could be found.
+	ErrNoRoute = errors.New("comm: no route to destination")
+	// ErrBufferFull indicates the system buffer for an unreachable peer
+	// overflowed.
+	ErrBufferFull = errors.New("comm: system buffer full")
+	// ErrBadFrame indicates a malformed frame.
+	ErrBadFrame = errors.New("comm: malformed frame")
+	// ErrTooLarge indicates a message beyond MaxMessageSize.
+	ErrTooLarge = errors.New("comm: message too large")
+)
+
+// MaxMessageSize bounds a single application message.
+const MaxMessageSize = 64 << 20
+
+// Message is a received application message.
+type Message struct {
+	Src     string // sender URN
+	Dst     string // destination URN (this endpoint, or a group)
+	Tag     uint32 // application tag for selective receive
+	Seq     uint64 // sender-assigned per-destination sequence number
+	Payload []byte
+}
+
+// msgFrame is one fragment of a message on the wire. Every fragment
+// carries the full header so that fragments are self-contained and can
+// arrive in any order (and, after a route failover, over different
+// connections).
+type msgFrame struct {
+	Src       string
+	Dst       string
+	Tag       uint32
+	Seq       uint64
+	FragIdx   uint32
+	FragCount uint32
+	Payload   []byte
+}
+
+func encodeHello(urn string) []byte {
+	e := xdr.NewEncoder(len(urn) + 8)
+	e.PutUint8(frameHello)
+	e.PutString(urn)
+	return e.Bytes()
+}
+
+func decodeHello(d *xdr.Decoder) (string, error) {
+	return d.String()
+}
+
+func encodeMsgFrame(f *msgFrame) []byte {
+	e := xdr.NewEncoder(len(f.Payload) + len(f.Src) + len(f.Dst) + 40)
+	e.PutUint8(frameMsg)
+	e.PutString(f.Src)
+	e.PutString(f.Dst)
+	e.PutUint32(f.Tag)
+	e.PutUint64(f.Seq)
+	e.PutUint32(f.FragIdx)
+	e.PutUint32(f.FragCount)
+	e.PutBytes(f.Payload)
+	return e.Bytes()
+}
+
+func decodeMsgFrame(d *xdr.Decoder) (*msgFrame, error) {
+	f := &msgFrame{}
+	var err error
+	if f.Src, err = d.String(); err != nil {
+		return nil, err
+	}
+	if f.Dst, err = d.String(); err != nil {
+		return nil, err
+	}
+	if f.Tag, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if f.Seq, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if f.FragIdx, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if f.FragCount, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if f.Payload, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	if f.FragCount == 0 || f.FragIdx >= f.FragCount {
+		return nil, fmt.Errorf("%w: fragment %d/%d", ErrBadFrame, f.FragIdx, f.FragCount)
+	}
+	return f, nil
+}
+
+func encodeAck(src, dst string, seq uint64) []byte {
+	e := xdr.NewEncoder(len(src) + len(dst) + 16)
+	e.PutUint8(frameAck)
+	e.PutString(src) // original message's sender
+	e.PutString(dst) // original message's destination (the acker)
+	e.PutUint64(seq)
+	return e.Bytes()
+}
+
+func decodeAck(d *xdr.Decoder) (src, dst string, seq uint64, err error) {
+	if src, err = d.String(); err != nil {
+		return
+	}
+	if dst, err = d.String(); err != nil {
+		return
+	}
+	seq, err = d.Uint64()
+	return
+}
+
+// fragment splits payload into n MTU-sized fragments sharing one
+// header. mtu is the maximum fragment payload size.
+func fragment(src, dst string, tag uint32, seq uint64, payload []byte, mtu int) []*msgFrame {
+	if mtu <= 0 {
+		mtu = 1 << 16
+	}
+	count := (len(payload) + mtu - 1) / mtu
+	if count == 0 {
+		count = 1
+	}
+	frames := make([]*msgFrame, count)
+	for i := 0; i < count; i++ {
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		frames[i] = &msgFrame{
+			Src: src, Dst: dst, Tag: tag, Seq: seq,
+			FragIdx: uint32(i), FragCount: uint32(count),
+			Payload: payload[lo:hi],
+		}
+	}
+	return frames
+}
+
+// reassembly accumulates the fragments of one in-flight message.
+type reassembly struct {
+	frags    [][]byte
+	received int
+	total    int
+	size     int
+	tag      uint32
+	dst      string
+}
+
+func newReassembly(count uint32, tag uint32, dst string) *reassembly {
+	return &reassembly{frags: make([][]byte, count), total: int(count), tag: tag, dst: dst}
+}
+
+// add records a fragment; it returns the complete message payload when
+// the last fragment arrives, or nil.
+func (r *reassembly) add(f *msgFrame) ([]byte, error) {
+	if int(f.FragCount) != r.total {
+		return nil, fmt.Errorf("%w: fragment count changed mid-message", ErrBadFrame)
+	}
+	if r.frags[f.FragIdx] != nil {
+		return nil, nil // duplicate fragment (retransmission)
+	}
+	r.frags[f.FragIdx] = f.Payload
+	r.received++
+	r.size += len(f.Payload)
+	if r.size > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	if r.received < r.total {
+		return nil, nil
+	}
+	out := make([]byte, 0, r.size)
+	for _, frag := range r.frags {
+		out = append(out, frag...)
+	}
+	return out, nil
+}

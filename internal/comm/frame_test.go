@@ -1,0 +1,244 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snipe/internal/xdr"
+)
+
+func TestParseRouteRoundTrip(t *testing.T) {
+	cases := []Route{
+		{Transport: "tcp", Addr: "127.0.0.1:9000"},
+		{Transport: "rudp", Addr: "10.0.0.1:1234", NetName: "lan-a"},
+		{Transport: "tcp", Addr: "h:1", NetName: "atm", RateBps: 155e6, LatencyUs: 90},
+	}
+	for _, r := range cases {
+		got, err := ParseRoute(r.String())
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip: %v != %v", got, r)
+		}
+	}
+}
+
+func TestParseRouteErrors(t *testing.T) {
+	for _, s := range []string{"", "noscheme", "://addr", "tcp://", "tcp://a;rate=x", "tcp://a;bad"} {
+		if _, err := ParseRoute(s); err == nil {
+			t.Errorf("ParseRoute(%q) accepted", s)
+		}
+	}
+	// Unknown options are tolerated.
+	if _, err := ParseRoute("tcp://a;future=1"); err != nil {
+		t.Errorf("unknown option rejected: %v", err)
+	}
+}
+
+func TestOrderRoutesPrefersSharedNetworkThenRate(t *testing.T) {
+	local := []Route{
+		{Transport: "tcp", Addr: "l1", NetName: "myrinet-1"},
+		{Transport: "tcp", Addr: "l2", NetName: "lan-a"},
+	}
+	remote := []Route{
+		{Transport: "tcp", Addr: "public", RateBps: 1e9},
+		{Transport: "tcp", Addr: "lan", NetName: "lan-a", RateBps: 1e8},
+		{Transport: "tcp", Addr: "myri", NetName: "myrinet-1", RateBps: 6.4e8},
+		{Transport: "tcp", Addr: "other", NetName: "lan-z", RateBps: 2e9},
+	}
+	got := OrderRoutes(local, remote)
+	// Shared networks first (fastest shared first), then the rest by rate.
+	if got[0].Addr != "myri" || got[1].Addr != "lan" {
+		t.Fatalf("shared networks not preferred: %v", got)
+	}
+	if got[2].Addr != "other" || got[3].Addr != "public" {
+		t.Fatalf("non-shared rate order wrong: %v", got)
+	}
+	// Input must not be mutated.
+	if remote[0].Addr != "public" {
+		t.Fatal("OrderRoutes mutated input")
+	}
+}
+
+func TestOrderRoutesLatencyTiebreak(t *testing.T) {
+	remote := []Route{
+		{Transport: "tcp", Addr: "slowlat", RateBps: 1e8, LatencyUs: 500},
+		{Transport: "tcp", Addr: "fastlat", RateBps: 1e8, LatencyUs: 50},
+	}
+	got := OrderRoutes(nil, remote)
+	if got[0].Addr != "fastlat" {
+		t.Fatalf("latency tiebreak: %v", got)
+	}
+}
+
+func TestFragmentReassemble(t *testing.T) {
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frames := fragment("urn:a", "urn:b", 7, 42, payload, 1024)
+	if len(frames) != 10 {
+		t.Fatalf("fragment count = %d", len(frames))
+	}
+	r := newReassembly(frames[0].FragCount, frames[0].Tag, frames[0].Dst)
+	// Deliver out of order.
+	order := []int{3, 0, 9, 1, 2, 5, 4, 7, 8, 6}
+	var got []byte
+	for _, i := range order {
+		out, err := r.add(frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembled payload differs")
+	}
+}
+
+func TestFragmentEmptyPayload(t *testing.T) {
+	frames := fragment("a", "b", 0, 1, nil, 1024)
+	if len(frames) != 1 || frames[0].FragCount != 1 {
+		t.Fatalf("empty payload frames = %v", frames)
+	}
+	r := newReassembly(1, 0, "b")
+	out, err := r.add(frames[0])
+	if err != nil || out == nil || len(out) != 0 {
+		t.Fatalf("reassemble empty: %v %v", out, err)
+	}
+}
+
+func TestReassemblyDuplicateFragment(t *testing.T) {
+	frames := fragment("a", "b", 0, 1, []byte("hello world"), 4)
+	r := newReassembly(frames[0].FragCount, 0, "b")
+	if _, err := r.add(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.add(frames[0]) // duplicate
+	if err != nil || out != nil {
+		t.Fatalf("duplicate: %v %v", out, err)
+	}
+	for _, f := range frames[1:] {
+		if out, err = r.add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(out) != "hello world" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestReassemblyCountMismatch(t *testing.T) {
+	r := newReassembly(3, 0, "b")
+	bad := &msgFrame{Src: "a", Dst: "b", Seq: 1, FragIdx: 0, FragCount: 5, Payload: []byte("x")}
+	if _, err := r.add(bad); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestMsgFrameEncodeDecode(t *testing.T) {
+	f := &msgFrame{Src: "urn:snipe:p1", Dst: "urn:snipe:p2", Tag: 99,
+		Seq: 1 << 40, FragIdx: 2, FragCount: 5, Payload: []byte{1, 2, 3}}
+	buf := encodeMsgFrame(f)
+	d := xdr.NewDecoder(buf)
+	ftype, _ := d.Uint8()
+	if ftype != frameMsg {
+		t.Fatalf("frame type %d", ftype)
+	}
+	got, err := decodeMsgFrame(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != f.Src || got.Dst != f.Dst || got.Tag != 99 ||
+		got.Seq != f.Seq || got.FragIdx != 2 || got.FragCount != 5 ||
+		!bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestMsgFrameRejectsBadFragments(t *testing.T) {
+	f := &msgFrame{Src: "a", Dst: "b", FragIdx: 5, FragCount: 5, Payload: nil}
+	buf := encodeMsgFrame(f)
+	d := xdr.NewDecoder(buf)
+	d.Uint8()
+	if _, err := decodeMsgFrame(d); err == nil {
+		t.Fatal("FragIdx >= FragCount accepted")
+	}
+	f2 := &msgFrame{Src: "a", Dst: "b", FragIdx: 0, FragCount: 0}
+	d2 := xdr.NewDecoder(encodeMsgFrame(f2))
+	d2.Uint8()
+	if _, err := decodeMsgFrame(d2); err == nil {
+		t.Fatal("FragCount == 0 accepted")
+	}
+}
+
+func TestAckEncodeDecode(t *testing.T) {
+	buf := encodeAck("urn:src", "urn:dst", 77)
+	d := xdr.NewDecoder(buf)
+	ftype, _ := d.Uint8()
+	if ftype != frameAck {
+		t.Fatalf("frame type %d", ftype)
+	}
+	src, dst, seq, err := decodeAck(d)
+	if err != nil || src != "urn:src" || dst != "urn:dst" || seq != 77 {
+		t.Fatalf("ack round trip: %s %s %d %v", src, dst, seq, err)
+	}
+}
+
+// Property: fragmentation at any MTU reassembles to the original
+// payload regardless of arrival order.
+func TestQuickFragmentRoundTrip(t *testing.T) {
+	f := func(payload []byte, mtuSeed uint16, perm []uint16) bool {
+		mtu := int(mtuSeed)%4096 + 1
+		frames := fragment("s", "d", 1, 1, payload, mtu)
+		idx := make([]int, len(frames))
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := range idx {
+			if len(perm) > 0 {
+				j := int(perm[i%len(perm)]) % (i + 1)
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+		r := newReassembly(frames[0].FragCount, 1, "d")
+		var got []byte
+		for _, i := range idx {
+			out, err := r.add(frames[i])
+			if err != nil {
+				return false
+			}
+			if out != nil {
+				got = out
+			}
+		}
+		return bytes.Equal(got, payload) || (len(payload) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: route strings round-trip for arbitrary metadata values.
+func TestQuickRouteRoundTrip(t *testing.T) {
+	f := func(addrSeed uint16, net uint8, rate uint32, lat uint16) bool {
+		r := Route{
+			Transport: "tcp",
+			Addr:      "h:" + string(rune('0'+addrSeed%10)),
+			RateBps:   float64(rate),
+			LatencyUs: float64(lat),
+		}
+		if net%2 == 0 {
+			r.NetName = "lan"
+		}
+		got, err := ParseRoute(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// gatewayWorld: sender can reach the gateway; the receiver advertises
+// only a gateway route (a "non-IP host" behind a bridge, §5.1).
+func gatewayWorld(t *testing.T) (sender, gateway, receiver *Endpoint, res *testResolver) {
+	t.Helper()
+	res = newTestResolver()
+
+	gateway = NewEndpoint("urn:gw", WithResolver(res), WithGatewayRelay())
+	t.Cleanup(gateway.Close)
+	gwRoute, err := gateway.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.set("urn:gw", gwRoute)
+
+	receiver = NewEndpoint("urn:behind", WithResolver(res))
+	t.Cleanup(receiver.Close)
+	rRoute, err := receiver.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gateway resolves the receiver's real address; senders only see
+	// the gateway route.
+	_ = rRoute
+
+	sender = NewEndpoint("urn:outside", WithResolver(res), WithRetryInterval(50*time.Millisecond))
+	t.Cleanup(sender.Close)
+	sRoute, err := sender.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.set("urn:outside", GatewayRoute("urn:gw"), sRoute)
+	res.set("urn:behind", GatewayRoute("urn:gw"))
+
+	// Only the gateway knows the direct route. The shared resolver is a
+	// simplification; give the gateway its own view.
+	gwView := newTestResolver()
+	gwView.set("urn:behind", rRoute)
+	gwView.set("urn:outside", sRoute)
+	gateway.SetResolver(gwView)
+	return
+}
+
+func TestGatewayRelayDelivery(t *testing.T) {
+	sender, _, receiver, _ := gatewayWorld(t)
+	if err := sender.SendWait("urn:behind", 7, []byte("through the wall"), 10*time.Second); err != nil {
+		t.Fatalf("SendWait via gateway: %v", err)
+	}
+	m, err := receiver.Recv(5 * time.Second)
+	if err != nil || string(m.Payload) != "through the wall" {
+		t.Fatalf("recv: %v %v", m, err)
+	}
+	if m.Src != "urn:outside" || m.Tag != 7 || m.Seq != 1 {
+		t.Fatalf("message identity: %+v", m)
+	}
+}
+
+func TestGatewayRelayLargeAndOrdered(t *testing.T) {
+	sender, _, receiver, _ := gatewayWorld(t)
+	big := make([]byte, 300_000)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	for i := 0; i < 5; i++ {
+		if err := sender.Send("urn:behind", uint32(i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := receiver.Recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if int(m.Tag) != i || !bytes.Equal(m.Payload, big) {
+			t.Fatalf("message %d: tag=%d len=%d", i, m.Tag, len(m.Payload))
+		}
+	}
+	// End-to-end acks drained the sender's buffer.
+	deadline := time.Now().Add(5 * time.Second)
+	for sender.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d", sender.Pending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestGatewayReplyPath(t *testing.T) {
+	sender, _, receiver, _ := gatewayWorld(t)
+	if err := sender.Send("urn:behind", 1, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := receiver.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The receiver replies through the gateway too (its resolver maps
+	// urn:outside to the gateway route only? In this world the receiver
+	// shares the sender-side resolver, which lists the gateway first and
+	// the direct route second — either path must work).
+	if err := receiver.SendWait(m.Src, 2, []byte("pong"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sender.RecvMatch("urn:behind", 2, 5*time.Second)
+	if err != nil || string(r.Payload) != "pong" {
+		t.Fatalf("reply: %v %v", r, err)
+	}
+}
+
+func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
+	res := newTestResolver()
+	gwView := newTestResolver()
+	mkGW := func(urn string) *Endpoint {
+		gw := NewEndpoint(urn, WithResolver(gwView), WithGatewayRelay())
+		t.Cleanup(gw.Close)
+		route, err := gw.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.set(urn, route)
+		gwView.set(urn, route)
+		return gw
+	}
+	gw1 := mkGW("urn:gw1")
+	mkGW("urn:gw2")
+
+	receiver := NewEndpoint("urn:behind", WithResolver(res))
+	t.Cleanup(receiver.Close)
+	rRoute, err := receiver.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwView.set("urn:behind", rRoute) // only gateways see the direct route
+	res.set("urn:behind", GatewayRoute("urn:gw1"), GatewayRoute("urn:gw2"))
+
+	sender := NewEndpoint("urn:outside", WithResolver(res), WithRetryInterval(50*time.Millisecond))
+	t.Cleanup(sender.Close)
+	sRoute, err := sender.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.set("urn:outside", sRoute)
+	gwView.set("urn:outside", sRoute)
+
+	// The preferred gateway is dead; the send must reach the receiver
+	// via the second.
+	gw1.Close()
+	if err := sender.SendWait("urn:behind", 3, []byte("survives"), 10*time.Second); err != nil {
+		t.Fatalf("send after gateway crash: %v", err)
+	}
+	m, err := receiver.Recv(5 * time.Second)
+	if err != nil || string(m.Payload) != "survives" {
+		t.Fatalf("recv: %v %v", m, err)
+	}
+}
+
+func TestGatewayNoChains(t *testing.T) {
+	// A gateway whose own routes are gateway routes must not be used
+	// (cycle guard): the send fails with no route rather than looping.
+	res := newTestResolver()
+	sender := NewEndpoint("urn:s", WithResolver(res), WithoutBuffering())
+	t.Cleanup(sender.Close)
+	res.set("urn:dst", GatewayRoute("urn:gwA"))
+	res.set("urn:gwA", GatewayRoute("urn:gwB"))
+	res.set("urn:gwB", GatewayRoute("urn:gwA"))
+	if err := sender.Send("urn:dst", 1, []byte("x")); err == nil {
+		t.Fatal("chained gateway send succeeded")
+	}
+}

@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Route is one way to reach an endpoint: a transport name, a dialable
+// address, and the network interface metadata the paper stores in RC
+// host records (§5.2.1) — protocol, "net name" shared by hosts on the
+// same private network, per-message latency and bandwidth. The routing
+// library uses this to "choose an efficient path to the destination,
+// taking advantage of fast, private, and/or non-IP networks where
+// available" (§5.2.1).
+type Route struct {
+	Transport string  // "tcp", "rudp", ...
+	Addr      string  // transport-specific address
+	NetName   string  // shared network identifier ("" = public internet)
+	RateBps   float64 // advertised bandwidth, bits/sec (0 = unknown)
+	LatencyUs float64 // advertised per-message latency, µs (0 = unknown)
+}
+
+// String renders the route in its RC metadata form:
+//
+//	transport://addr;net=NAME;rate=BPS;lat=US
+func (r Route) String() string {
+	s := fmt.Sprintf("%s://%s", r.Transport, r.Addr)
+	if r.NetName != "" {
+		s += ";net=" + r.NetName
+	}
+	if r.RateBps > 0 {
+		s += fmt.Sprintf(";rate=%g", r.RateBps)
+	}
+	if r.LatencyUs > 0 {
+		s += fmt.Sprintf(";lat=%g", r.LatencyUs)
+	}
+	return s
+}
+
+// ParseRoute parses the RC metadata form produced by String.
+func ParseRoute(s string) (Route, error) {
+	var r Route
+	parts := strings.Split(s, ";")
+	head := parts[0]
+	i := strings.Index(head, "://")
+	if i < 0 {
+		return r, fmt.Errorf("comm: route %q missing transport://", s)
+	}
+	r.Transport = head[:i]
+	r.Addr = head[i+3:]
+	if r.Transport == "" || r.Addr == "" {
+		return r, fmt.Errorf("comm: route %q has empty transport or address", s)
+	}
+	for _, opt := range parts[1:] {
+		kv := strings.SplitN(opt, "=", 2)
+		if len(kv) != 2 {
+			return r, fmt.Errorf("comm: route option %q in %q", opt, s)
+		}
+		switch kv[0] {
+		case "net":
+			r.NetName = kv[1]
+		case "rate":
+			f, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return r, fmt.Errorf("comm: route rate in %q: %w", s, err)
+			}
+			r.RateBps = f
+		case "lat":
+			f, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return r, fmt.Errorf("comm: route latency in %q: %w", s, err)
+			}
+			r.LatencyUs = f
+		default:
+			// Unknown options are ignored for forward compatibility; the
+			// metadata schema is open.
+		}
+	}
+	return r, nil
+}
+
+// Resolver maps a destination URN to its candidate routes. The full
+// system backs this with RC metadata (AttrCommAddr assertions); tests
+// and single-process universes use a static table.
+type Resolver interface {
+	// Resolve returns the destination's advertised routes. An empty
+	// slice with nil error means the URN is known but currently has no
+	// address (e.g. mid-migration); callers should buffer and retry.
+	Resolve(urn string) ([]Route, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(urn string) ([]Route, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(urn string) ([]Route, error) { return f(urn) }
+
+// StaticResolver is a fixed URN→routes table, safe for concurrent
+// reads after construction.
+type StaticResolver map[string][]Route
+
+// Resolve implements Resolver.
+func (s StaticResolver) Resolve(urn string) ([]Route, error) {
+	return s[urn], nil
+}
+
+// OrderRoutes sorts candidate routes best-first given the local
+// endpoint's own networks, implementing §5.3: "If the source and
+// destination are on a common private network or common IP subnet, the
+// message is sent using the fastest of those. Otherwise, the message is
+// sent using the host's normal IP routing."
+func OrderRoutes(local []Route, remote []Route) []Route {
+	localNets := make(map[string]bool, len(local))
+	for _, r := range local {
+		if r.NetName != "" {
+			localNets[r.NetName] = true
+		}
+	}
+	out := append([]Route(nil), remote...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := out[i], out[j]
+		sharedI := si.NetName != "" && localNets[si.NetName]
+		sharedJ := sj.NetName != "" && localNets[sj.NetName]
+		if sharedI != sharedJ {
+			return sharedI // common private network first
+		}
+		if si.RateBps != sj.RateBps {
+			return si.RateBps > sj.RateBps // then fastest
+		}
+		if si.LatencyUs != sj.LatencyUs {
+			return si.LatencyUs < sj.LatencyUs // then lowest latency
+		}
+		return false
+	})
+	return out
+}

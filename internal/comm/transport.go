@@ -1,0 +1,181 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// FrameConn is a reliable, ordered, message-boundary-preserving
+// connection between two endpoints. Both the TCP transport and the
+// selective-resend UDP transport present this interface, so the
+// endpoint layer is transport-agnostic — the paper's "multiple
+// communication paths, media and routing methods".
+type FrameConn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv returns the next frame.
+	Recv() ([]byte, error)
+	// Close releases the connection.
+	Close() error
+	// MTU returns the preferred maximum frame size for this connection.
+	MTU() int
+	// RemoteAddr describes the peer, for logs.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound FrameConns.
+type Listener interface {
+	Accept() (FrameConn, error)
+	Addr() string
+	Close() error
+}
+
+// Transport creates listeners and outbound connections for one
+// protocol family.
+type Transport interface {
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (FrameConn, error)
+}
+
+// Transports is a registry of transports by name.
+type Transports struct {
+	mu sync.RWMutex
+	m  map[string]Transport
+}
+
+// NewTransports returns a registry preloaded with the standard
+// transports: "tcp" and "rudp".
+func NewTransports() *Transports {
+	t := &Transports{m: make(map[string]Transport)}
+	t.Register(TCPTransport{})
+	t.Register(RUDPTransport{})
+	return t
+}
+
+// Register adds or replaces a transport.
+func (t *Transports) Register(tr Transport) {
+	t.mu.Lock()
+	t.m[tr.Name()] = tr
+	t.mu.Unlock()
+}
+
+// Get returns the named transport.
+func (t *Transports) Get(name string) (Transport, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tr, ok := t.m[name]
+	return tr, ok
+}
+
+// --- TCP transport -------------------------------------------------
+
+// tcpFragmentSize bounds a frame on stream transports; large messages
+// are fragmented above this layer, keeping per-frame buffers bounded.
+const tcpFragmentSize = 64 << 10
+
+// TCPTransport is the stream transport: frames are length-prefixed on
+// a TCP connection.
+type TCPTransport struct{}
+
+// Name implements Transport.
+func (TCPTransport) Name() string { return "tcp" }
+
+// Listen implements Transport.
+func (TCPTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr string) (FrameConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewStreamFrameConn(conn), nil
+}
+
+type tcpListener struct{ ln net.Listener }
+
+func (l *tcpListener) Accept() (FrameConn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewStreamFrameConn(conn), nil
+}
+
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+func (l *tcpListener) Close() error { return l.ln.Close() }
+
+// streamFrameConn adapts any net.Conn (a real TCP connection, or a
+// netsim shaped pipe) into a FrameConn with 4-byte length prefixes.
+type streamFrameConn struct {
+	conn net.Conn
+
+	rmu sync.Mutex // serialises Recv
+	wmu sync.Mutex // serialises Send
+}
+
+// NewStreamFrameConn frames a byte-stream connection. It is exported
+// so benchmarks can run the endpoint stack over netsim media pipes.
+func NewStreamFrameConn(conn net.Conn) FrameConn {
+	return &streamFrameConn{conn: conn}
+}
+
+func (c *streamFrameConn) Send(frame []byte) error {
+	if len(frame) > maxWireFrame {
+		return ErrTooLarge
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	bufs := net.Buffers{hdr[:], frame}
+	_, err := bufs.WriteTo(c.conn)
+	return err
+}
+
+func (c *streamFrameConn) Recv() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxWireFrame {
+		return nil, ErrBadFrame
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (c *streamFrameConn) Close() error { return c.conn.Close() }
+func (c *streamFrameConn) MTU() int     { return tcpFragmentSize }
+func (c *streamFrameConn) RemoteAddr() string {
+	if a := c.conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// maxWireFrame bounds a single transport frame (fragment + headers).
+const maxWireFrame = 1 << 20

@@ -1,0 +1,177 @@
+package console
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snipe/internal/daemon"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/task"
+)
+
+type world struct {
+	t     *testing.T
+	store *rcds.Store
+	cat   naming.Catalog
+	con   *Console
+	ts    *httptest.Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	s := rcds.NewStore("con-test")
+	cat := naming.StoreCatalog(s)
+	con, err := New("ops", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(con.Close)
+	ts := httptest.NewServer(con)
+	t.Cleanup(ts.Close)
+	return &world{t: t, store: s, cat: cat, con: con, ts: ts}
+}
+
+func (w *world) get(path string) (int, string) {
+	w.t.Helper()
+	resp, err := w.ts.Client().Get(w.ts.URL + path)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	w := newWorld(t)
+	code, body := w.get("/")
+	if code != 200 || !strings.Contains(body, "SNIPE console ops") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _ := w.get("/nothing-here"); code != 404 {
+		t.Fatalf("bad path: %d", code)
+	}
+}
+
+func TestResolveProxy(t *testing.T) {
+	w := newWorld(t)
+	w.cat.Set("urn:snipe:process:h1:x", rcds.AttrState, "running")
+	w.cat.Add("urn:snipe:process:h1:x", rcds.AttrCommAddr, "tcp://127.0.0.1:9")
+	code, body := w.get("/resolve?uri=" + "urn:snipe:process:h1:x")
+	if code != 200 || !strings.Contains(body, "running") || !strings.Contains(body, "tcp://127.0.0.1:9") {
+		t.Fatalf("resolve: %d %q", code, body)
+	}
+	if code, _ := w.get("/resolve?uri=urn:unknown"); code != 404 {
+		t.Fatalf("unknown uri: %d", code)
+	}
+	if code, _ := w.get("/resolve"); code != 400 {
+		t.Fatalf("missing uri: %d", code)
+	}
+}
+
+func TestHostsAndTasksPages(t *testing.T) {
+	w := newWorld(t)
+	reg := task.NewRegistry()
+	reg.Register("idle", func(ctx *task.Context) error {
+		<-ctx.Done()
+		return task.ErrKilled
+	})
+	d := daemon.New(daemon.Config{HostName: "h1", Catalog: w.cat, Registry: reg})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	urn, err := d.Spawn(task.Spec{Program: "idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := w.get("/hosts")
+	if code != 200 || !strings.Contains(body, "snipe://hosts/h1") {
+		t.Fatalf("hosts: %d %q", code, body)
+	}
+	code, body = w.get("/tasks?host=snipe://hosts/h1")
+	if code != 200 || !strings.Contains(body, urn) || !strings.Contains(body, "running") {
+		t.Fatalf("tasks: %d %q", code, body)
+	}
+	if code, _ := w.get("/tasks?host=snipe://hosts/none"); code != 404 {
+		t.Fatalf("unknown host: %d", code)
+	}
+	if code, _ := w.get("/tasks"); code != 400 {
+		t.Fatalf("missing host: %d", code)
+	}
+}
+
+func TestGroupState(t *testing.T) {
+	w := newWorld(t)
+	g := naming.GroupURN("pipeline")
+	AddGroupMember(w.cat, g, "urn:p1")
+	AddGroupMember(w.cat, g, "urn:p2")
+	w.cat.Set("urn:p1", rcds.AttrState, "running")
+	w.cat.Set("urn:p2", rcds.AttrState, "exited")
+
+	members, err := GroupState(w.cat, g)
+	if err != nil || len(members) != 2 {
+		t.Fatalf("GroupState = %v, %v", members, err)
+	}
+	if members[0].URN != "urn:p1" || members[0].State != "running" ||
+		members[1].State != "exited" {
+		t.Fatalf("members: %v", members)
+	}
+	code, body := w.get("/group?urn=" + g)
+	if code != 200 || !strings.Contains(body, "urn:p2") {
+		t.Fatalf("group page: %d %q", code, body)
+	}
+	if code, _ := w.get("/group"); code != 400 {
+		t.Fatalf("missing urn: %d", code)
+	}
+}
+
+func TestHTTPBinding(t *testing.T) {
+	w := newWorld(t)
+	if err := w.con.RegisterHTTPBinding(w.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResolveHTTPBinding(w.cat, w.con.URN())
+	if err != nil || got != w.ts.URL {
+		t.Fatalf("binding: %q %v", got, err)
+	}
+	// A browser following the binding reaches the console.
+	resp, err := http.Get(got + "/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("follow binding: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	if _, err := ResolveHTTPBinding(w.cat, "urn:nowhere"); err == nil {
+		t.Fatal("missing binding resolved")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	w := newWorld(t)
+	reg := task.NewRegistry()
+	reg.Register("quick", func(ctx *task.Context) error { return nil })
+	d := daemon.New(daemon.Config{HostName: "h1", Catalog: w.cat, Registry: reg})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	urn, _ := d.Spawn(task.Spec{Program: "quick"})
+	d.WaitTask(urn, 5*time.Second)
+
+	text, err := w.con.RenderText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "snipe://hosts/h1") || !strings.Contains(text, urn) {
+		t.Fatalf("text console: %q", text)
+	}
+}

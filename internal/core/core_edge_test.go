@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"snipe/internal/mcast"
+	"snipe/internal/rcds"
+	"snipe/internal/task"
+)
+
+func TestCreateGroupWithoutRouters(t *testing.T) {
+	u := newUniverse(t, Config{Hosts: twoHosts()[:1]}) // McastRedundancy 0
+	if _, err := u.CreateGroup("g"); err == nil {
+		t.Fatal("group created without routers")
+	}
+}
+
+func TestSpawnOnUnknownHost(t *testing.T) {
+	u := newUniverse(t, Config{Hosts: twoHosts()[:1]})
+	c, _ := u.NewClient("app")
+	if _, err := c.SpawnOn("no-such-host", task.Spec{Program: "quick"}); err == nil {
+		t.Fatal("spawn on unknown host accepted")
+	}
+}
+
+func TestMigrateUnknownTask(t *testing.T) {
+	u := newUniverse(t, Config{Hosts: twoHosts()})
+	c, _ := u.NewClient("app")
+	if _, err := c.Migrate("urn:snipe:process:none", "h2"); err == nil {
+		t.Fatal("migrate of unknown task accepted")
+	}
+	urn, err := c.SpawnOn("h1", task.Spec{Program: "idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Migrate(urn, "no-such-host"); err == nil {
+		t.Fatal("migrate to unknown host accepted")
+	}
+	c.Signal(urn, task.SigKill)
+}
+
+func TestTaskStateUnknownURN(t *testing.T) {
+	u := newUniverse(t, Config{Hosts: twoHosts()[:1]})
+	c, _ := u.NewClient("app")
+	if _, err := c.TaskState("urn:none"); err == nil {
+		t.Fatal("state of unknown task resolved")
+	}
+	if err := c.WaitState("urn:none", task.StateExited, 100*time.Millisecond); err == nil {
+		t.Fatal("WaitState of unknown task succeeded")
+	}
+}
+
+func TestStoreFileWithoutServers(t *testing.T) {
+	u := newUniverse(t, Config{Hosts: twoHosts()[:1]}) // no file servers
+	c, _ := u.NewClient("app")
+	if _, err := c.StoreFile("", "f", []byte("x")); err == nil {
+		t.Fatal("store without servers accepted")
+	}
+}
+
+func TestServerTimestampingVisibleToClients(t *testing.T) {
+	// §3.1: "automatic time stamping of metadata by the RC servers also
+	// helps temporally dis-joint tasks" — assertions carry the server's
+	// wall-clock stamp end to end.
+	u := newUniverse(t, Config{RCServers: 1, Hosts: twoHosts()[:1]})
+	before := time.Now().UnixNano()
+	u.Catalog().Set("urn:ts", "k", "v")
+	client := rcds.NewClient(u.RCServerAddrs(), nil)
+	defer client.Close()
+	as, err := client.Get("urn:ts")
+	if err != nil || len(as) != 1 {
+		t.Fatalf("Get: %v %v", as, err)
+	}
+	if as[0].ServerTime < before || as[0].ServerTime > time.Now().UnixNano() {
+		t.Fatalf("server timestamp implausible: %d", as[0].ServerTime)
+	}
+}
+
+func TestReplicatedProcessViaGroup(t *testing.T) {
+	// §5.7: "if several computational processes are run concurrently,
+	// provided with the same input ... a multicast group can be created
+	// to provide input to all of those processes" — N replicas each see
+	// the single input exactly once.
+	reg := standardRegistry()
+	results := make(chan int64, 8)
+	reg.Register("replica", func(ctx *task.Context) error {
+		member, err := mcast.Join(ctx.Catalog(), ctx.Endpoint(), ctx.Args()[0])
+		if err != nil {
+			return err
+		}
+		_, _, data, err := member.Recv(20 * time.Second)
+		if err != nil {
+			return err
+		}
+		var v int64
+		for _, b := range data {
+			v = v<<8 | int64(b)
+		}
+		results <- v * 2 // each replica computes the same function
+		return nil
+	})
+	u := newUniverse(t, Config{Hosts: twoHosts(), McastRedundancy: 2, Registry: reg})
+	group, err := u.CreateGroup("pseudo-process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 3
+	for i := 0; i < replicas; i++ {
+		if _, err := u.Daemons()["h1"].Spawn(task.Spec{Program: "replica", Args: []string{group}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // joins settle
+
+	feeder, _ := u.NewClient("feeder")
+	fm, err := feeder.JoinGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := fm.Send(1, []byte{21}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < replicas; i++ {
+		select {
+		case v := <-results:
+			if v != 42 {
+				t.Fatalf("replica %d computed %d", i, v)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("replica %d never produced output", i)
+		}
+	}
+}
+
+func TestUniverseHelpers(t *testing.T) {
+	u := newUniverse(t, Config{RCServers: 2, Hosts: twoHosts(), McastRedundancy: 1, FileServers: 1})
+	if len(u.RCServerAddrs()) != 2 {
+		t.Fatal("RCServerAddrs")
+	}
+	if _, ok := u.Daemon("h1"); !ok {
+		t.Fatal("Daemon(h1)")
+	}
+	if _, ok := u.Daemon("nope"); ok {
+		t.Fatal("Daemon(nope)")
+	}
+	if _, ok := u.Router("h1"); !ok {
+		t.Fatal("Router(h1)")
+	}
+	if len(u.RMs()) != 1 || len(u.FileServers()) != 1 {
+		t.Fatal("RMs/FileServers")
+	}
+	if u.Playground() != nil {
+		t.Fatal("unexpected playground")
+	}
+	if u.Registry() == nil || u.Catalog() == nil {
+		t.Fatal("registry/catalog")
+	}
+	// Client URNs are namespaced.
+	c, _ := u.NewClient("named")
+	if !strings.Contains(c.URN(), "client:named") {
+		t.Fatalf("client URN: %s", c.URN())
+	}
+	if c.Endpoint() == nil {
+		t.Fatal("endpoint")
+	}
+}

@@ -1,0 +1,336 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/task"
+	"snipe/internal/xdr"
+)
+
+// handleMessage dispatches the daemon's message protocol: remote spawn,
+// signal delivery, status queries, and migration adoption. Requests
+// carry a caller-chosen request ID echoed in the response.
+func (d *Daemon) handleMessage(m *comm.Message) {
+	switch m.Tag {
+	case task.TagSpawnReq:
+		d.handleSpawnReq(m)
+	case task.TagSignal:
+		d.handleSignal(m)
+	case task.TagStatusReq:
+		d.handleStatusReq(m)
+	case task.TagMigrateReq:
+		d.handleMigrateReq(m)
+	case task.TagCheckpointReq:
+		d.handleCheckpointReq(m)
+	case task.TagReleaseReq:
+		if urn, err := xdr.NewDecoder(m.Payload).String(); err == nil {
+			d.Release(urn)
+		}
+	}
+}
+
+// ReleaseRemote ends a checkpointed task's tenure on a remote daemon.
+func ReleaseRemote(ep *comm.Endpoint, daemonURN, taskURN string) error {
+	e := xdr.NewEncoder(len(taskURN) + 8)
+	e.PutString(taskURN)
+	return ep.Send(daemonURN, task.TagReleaseReq, e.Bytes())
+}
+
+func (d *Daemon) handleCheckpointReq(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	urn, err := dec.String()
+	if err != nil {
+		return
+	}
+	timeoutMs, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	spec, err := d.Checkpoint(urn, time.Duration(timeoutMs)*time.Millisecond)
+	e := xdr.NewEncoder(256)
+	e.PutUint64(reqID)
+	e.PutBool(err == nil)
+	if err != nil {
+		e.PutString(err.Error())
+	} else {
+		e.PutString("")
+		spec.Encode(e)
+	}
+	d.ep.Send(m.Src, task.TagCheckpointResp, e.Bytes())
+}
+
+// CheckpointRemote asks the daemon at daemonURN to checkpoint taskURN,
+// returning the portable spec. The task stays on the old host (in its
+// relay window) until ReleaseRemote/Release.
+func CheckpointRemote(ep *comm.Endpoint, daemonURN, taskURN string, reqID uint64, timeout time.Duration) (task.Spec, error) {
+	e := xdr.NewEncoder(64)
+	e.PutUint64(reqID)
+	e.PutString(taskURN)
+	e.PutUint32(uint32(timeout / time.Millisecond))
+	if err := ep.Send(daemonURN, task.TagCheckpointReq, e.Bytes()); err != nil {
+		return task.Spec{}, err
+	}
+	deadline := time.Now().Add(timeout + 2*time.Second)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return task.Spec{}, comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(daemonURN, task.TagCheckpointResp, remaining)
+		if err != nil {
+			return task.Spec{}, err
+		}
+		dec := xdr.NewDecoder(m.Payload)
+		gotID, err := dec.Uint64()
+		if err != nil {
+			return task.Spec{}, err
+		}
+		if gotID != reqID {
+			continue
+		}
+		ok, err := dec.Bool()
+		if err != nil {
+			return task.Spec{}, err
+		}
+		msg, err := dec.String()
+		if err != nil {
+			return task.Spec{}, err
+		}
+		if !ok {
+			return task.Spec{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+		}
+		return task.DecodeSpec(dec)
+	}
+}
+
+func (d *Daemon) handleSpawnReq(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	spec, err := task.DecodeSpec(dec)
+	var urn string
+	if err == nil {
+		urn, err = d.Spawn(spec)
+	}
+	e := xdr.NewEncoder(64)
+	e.PutUint64(reqID)
+	e.PutBool(err == nil)
+	if err == nil {
+		e.PutString(urn)
+	} else {
+		e.PutString(err.Error())
+	}
+	d.ep.Send(m.Src, task.TagSpawnResp, e.Bytes())
+}
+
+func (d *Daemon) handleSignal(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	urn, err := dec.String()
+	if err != nil {
+		return
+	}
+	sig, err := dec.Int32()
+	if err != nil {
+		return
+	}
+	d.Signal(urn, task.Signal(sig))
+}
+
+func (d *Daemon) handleStatusReq(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	tasks := d.Tasks()
+	e := xdr.NewEncoder(256)
+	e.PutUint64(reqID)
+	e.PutUint32(uint32(len(tasks)))
+	for urn, st := range tasks {
+		e.PutString(urn)
+		e.PutString(string(st))
+	}
+	d.ep.Send(m.Src, task.TagStatusResp, e.Bytes())
+}
+
+func (d *Daemon) handleMigrateReq(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	urn, err := dec.String()
+	if err != nil {
+		return
+	}
+	spec, err := task.DecodeSpec(dec)
+	if err == nil {
+		err = d.Adopt(urn, spec)
+	}
+	e := xdr.NewEncoder(32)
+	e.PutUint64(reqID)
+	e.PutBool(err == nil)
+	if err != nil {
+		e.PutString(err.Error())
+	} else {
+		e.PutString("")
+	}
+	d.ep.Send(m.Src, task.TagMigrateResp, e.Bytes())
+}
+
+// --- Client-side helpers -------------------------------------------
+//
+// These run over any endpoint (a client library's, another daemon's, a
+// resource manager's). They serialise one request/response exchange;
+// concurrent requests from the same endpoint should use distinct
+// request IDs via the reqID counter embedded here.
+
+// ErrRemote wraps an error string returned by a remote daemon.
+var ErrRemote = errors.New("daemon: remote error")
+
+// SpawnRemote asks the daemon at daemonURN to spawn spec, returning
+// the new task's URN.
+func SpawnRemote(ep *comm.Endpoint, daemonURN string, spec task.Spec, reqID uint64, timeout time.Duration) (string, error) {
+	e := xdr.NewEncoder(256)
+	e.PutUint64(reqID)
+	spec.Encode(e)
+	if err := ep.Send(daemonURN, task.TagSpawnReq, e.Bytes()); err != nil {
+		return "", err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return "", comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(daemonURN, task.TagSpawnResp, remaining)
+		if err != nil {
+			return "", err
+		}
+		dec := xdr.NewDecoder(m.Payload)
+		gotID, err := dec.Uint64()
+		if err != nil {
+			return "", err
+		}
+		if gotID != reqID {
+			continue // response to an earlier, abandoned request
+		}
+		ok, err := dec.Bool()
+		if err != nil {
+			return "", err
+		}
+		s, err := dec.String()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrRemote, s)
+		}
+		return s, nil
+	}
+}
+
+// SignalRemote delivers a signal to a task via its host daemon.
+func SignalRemote(ep *comm.Endpoint, daemonURN, taskURN string, sig task.Signal) error {
+	e := xdr.NewEncoder(64)
+	e.PutString(taskURN)
+	e.PutInt32(int32(sig))
+	return ep.Send(daemonURN, task.TagSignal, e.Bytes())
+}
+
+// StatusRemote queries a daemon's task table.
+func StatusRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout time.Duration) (map[string]task.State, error) {
+	e := xdr.NewEncoder(16)
+	e.PutUint64(reqID)
+	if err := ep.Send(daemonURN, task.TagStatusReq, e.Bytes()); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(daemonURN, task.TagStatusResp, remaining)
+		if err != nil {
+			return nil, err
+		}
+		dec := xdr.NewDecoder(m.Payload)
+		gotID, err := dec.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		if gotID != reqID {
+			continue
+		}
+		n, err := dec.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]task.State, n)
+		for i := uint32(0); i < n; i++ {
+			urn, err := dec.String()
+			if err != nil {
+				return nil, err
+			}
+			st, err := dec.String()
+			if err != nil {
+				return nil, err
+			}
+			out[urn] = task.State(st)
+		}
+		return out, nil
+	}
+}
+
+// MigrateRemote asks the daemon at daemonURN to adopt a checkpointed
+// task under its existing URN.
+func MigrateRemote(ep *comm.Endpoint, daemonURN, taskURN string, spec task.Spec, reqID uint64, timeout time.Duration) error {
+	e := xdr.NewEncoder(256)
+	e.PutUint64(reqID)
+	e.PutString(taskURN)
+	spec.Encode(e)
+	if err := ep.Send(daemonURN, task.TagMigrateReq, e.Bytes()); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(daemonURN, task.TagMigrateResp, remaining)
+		if err != nil {
+			return err
+		}
+		dec := xdr.NewDecoder(m.Payload)
+		gotID, err := dec.Uint64()
+		if err != nil {
+			return err
+		}
+		if gotID != reqID {
+			continue
+		}
+		ok, err := dec.Bool()
+		if err != nil {
+			return err
+		}
+		msg, err := dec.String()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrRemote, msg)
+		}
+		return nil
+	}
+}

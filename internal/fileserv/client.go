@@ -1,0 +1,374 @@
+package fileserv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/lifn"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/task"
+)
+
+var reqIDs atomic.Uint64
+
+// Client gives a SNIPE process file access through its own endpoint.
+// One Client should not be used from multiple goroutines concurrently
+// with other TagFile consumers on the same endpoint.
+type Client struct {
+	cat     naming.Catalog
+	ep      *comm.Endpoint
+	timeout time.Duration
+}
+
+// NewClient builds a file client over an endpoint.
+func NewClient(cat naming.Catalog, ep *comm.Endpoint) *Client {
+	return &Client{cat: cat, ep: ep, timeout: 10 * time.Second}
+}
+
+// SetTimeout adjusts the per-request timeout (transfer deadline).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Servers returns the registered file-server URNs.
+func (c *Client) Servers() ([]string, error) {
+	return c.cat.Values(naming.ServiceURN(ServiceName), rcds.AttrLocation)
+}
+
+// Store writes data to the named file on a server: a one-shot sink.
+func (c *Client) Store(serverURN, name string, data []byte) error {
+	sink := c.OpenSink(serverURN, name)
+	if err := sink.Write(data); err != nil {
+		return err
+	}
+	return sink.Close(10 * time.Second)
+}
+
+// Fetch retrieves a whole file from a server: a one-shot source
+// streaming back to this client.
+func (c *Client) Fetch(serverURN, name string) ([]byte, error) {
+	reqID := reqIDs.Add(1)
+	req := &fileMsg{Op: opRead, ReqID: reqID, Name: name, Dst: c.ep.URN()}
+	if err := c.ep.Send(serverURN, task.TagFile, req.encode()); err != nil {
+		return nil, err
+	}
+	var out []byte
+	deadline := time.Now().Add(c.timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, comm.ErrTimeout
+		}
+		m, err := c.ep.RecvMatch(serverURN, task.TagFile, remaining)
+		if err != nil {
+			return nil, err
+		}
+		f, err := decodeFileMsg(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if f.Op != opData || f.ReqID != reqID {
+			continue // stale reply from an abandoned request
+		}
+		if !f.OK {
+			return nil, fmt.Errorf("%w: %s", ErrRemote, f.Err)
+		}
+		out = append(out, f.Data...)
+		if f.EOF {
+			return out, nil
+		}
+	}
+}
+
+// FetchAny resolves the file's replica locations from RC metadata and
+// fetches from the best one, failing over across replicas — duplicated
+// file access "via location of closest resource daemons" (§6).
+func (c *Client) FetchAny(name string, localNets []string) ([]byte, error) {
+	locs, err := lifn.Locations(c.cat, naming.FileURN(name))
+	if err != nil {
+		return nil, err
+	}
+	ranked := lifn.SelectLocation(locs, c.ep.URN(), localNets)
+	var lastErr error
+	for _, server := range ranked {
+		data, err := c.Fetch(server, name)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fileserv: all %d replicas failed: %w", len(ranked), lastErr)
+}
+
+// StreamTo spawns a file source on the server: the server reads the
+// named file and sends it, as SNIPE messages, to the given destination
+// URN (§5.9: "a file source process reads a file consisting of SNIPE
+// messages and sends them to a SNIPE address"). The receiver collects
+// it with ReceiveStream.
+func (c *Client) StreamTo(serverURN, name, dstURN string) error {
+	req := &fileMsg{Op: opRead, ReqID: reqIDs.Add(1), Name: name, Dst: dstURN}
+	return c.ep.Send(serverURN, task.TagFile, req.encode())
+}
+
+// ReceiveStream collects one file streamed to ep by a file source,
+// returning its name and contents. It accepts the first stream that
+// arrives from srcServer ("" = any server).
+func ReceiveStream(ep *comm.Endpoint, srcServer string, timeout time.Duration) (name string, data []byte, err error) {
+	deadline := time.Now().Add(timeout)
+	var cur *fileMsg
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return "", nil, comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(srcServer, task.TagFile, remaining)
+		if err != nil {
+			return "", nil, err
+		}
+		f, err := decodeFileMsg(m.Payload)
+		if err != nil || f.Op != opData {
+			continue
+		}
+		if !f.OK {
+			return f.Name, nil, fmt.Errorf("%w: %s", ErrRemote, f.Err)
+		}
+		if cur == nil {
+			cur = f
+		} else if f.ReqID != cur.ReqID || f.Name != cur.Name {
+			continue // a different interleaved stream; out of scope here
+		}
+		data = append(data, f.Data...)
+		if f.EOF {
+			return f.Name, data, nil
+		}
+	}
+}
+
+// List returns the files held by a server.
+func (c *Client) List(serverURN string) ([]string, error) {
+	reqID := reqIDs.Add(1)
+	req := &fileMsg{Op: opList, ReqID: reqID}
+	if err := c.ep.Send(serverURN, task.TagFile, req.encode()); err != nil {
+		return nil, err
+	}
+	f, err := c.awaitOp(serverURN, opListResp, reqID, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return f.Names, nil
+}
+
+// Pull instructs server to replicate the named file from fromServer.
+func (c *Client) Pull(serverURN, name, fromServerURN string) error {
+	reqID := reqIDs.Add(1)
+	req := &fileMsg{Op: opPull, ReqID: reqID, Name: name, Dst: fromServerURN}
+	if err := c.ep.Send(serverURN, task.TagFile, req.encode()); err != nil {
+		return err
+	}
+	f, err := c.awaitOp(serverURN, opAck, reqID, c.timeout)
+	if err != nil {
+		return err
+	}
+	if !f.OK {
+		return fmt.Errorf("%w: %s", ErrRemote, f.Err)
+	}
+	return nil
+}
+
+func (c *Client) awaitOp(src string, op uint8, reqID uint64, timeout time.Duration) (*fileMsg, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, comm.ErrTimeout
+		}
+		m, err := c.ep.RecvMatch(src, task.TagFile, remaining)
+		if err != nil {
+			return nil, err
+		}
+		f, err := decodeFileMsg(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if f.Op == op && f.ReqID == reqID {
+			return f, nil
+		}
+	}
+}
+
+// Sink is an open-for-writing file: "a file sink process reads SNIPE
+// messages sent to it and stores them into a file" (§5.9). Writes are
+// streamed as messages; Close commits the file and waits for the
+// server's acknowledgement.
+type Sink struct {
+	c      *Client
+	server string
+	name   string
+}
+
+// OpenSink opens the named file for writing on the server.
+func (c *Client) OpenSink(serverURN, name string) *Sink {
+	return &Sink{c: c, server: serverURN, name: name}
+}
+
+// Write appends data to the sink.
+func (s *Sink) Write(data []byte) error {
+	for off := 0; off < len(data) || off == 0; off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		msg := &fileMsg{Op: opAppend, Name: s.name, Data: data[off:end]}
+		if err := s.c.ep.Send(s.server, task.TagFile, msg.encode()); err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Close commits the file, waits for the server's acknowledgement, and
+// registers the file's location in RC metadata.
+func (s *Sink) Close(timeout time.Duration) error {
+	reqID := reqIDs.Add(1)
+	msg := &fileMsg{Op: opCommit, ReqID: reqID, Name: s.name}
+	if err := s.c.ep.Send(s.server, task.TagFile, msg.encode()); err != nil {
+		return err
+	}
+	f, err := s.c.awaitOp(s.server, opAck, reqID, timeout)
+	if err != nil {
+		return err
+	}
+	if !f.OK {
+		return fmt.Errorf("%w: %s", ErrRemote, f.Err)
+	}
+	return nil
+}
+
+// ReplicationPolicy configures a replication daemon.
+type ReplicationPolicy struct {
+	MinReplicas int
+	Interval    time.Duration
+}
+
+// Replicator is a replication daemon: it watches the file population
+// across all registered servers and creates replicas until every file
+// meets the redundancy requirement — "replication daemons on these
+// servers communicate with one another, creating and deleting replicas
+// of files according to local policy, redundancy requirements, and
+// demand" (§3.2).
+type Replicator struct {
+	c      *Client
+	policy ReplicationPolicy
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+	copied  int
+}
+
+// NewReplicator builds a replication daemon over a dedicated client.
+func NewReplicator(c *Client, policy ReplicationPolicy) *Replicator {
+	if policy.MinReplicas <= 0 {
+		policy.MinReplicas = 2
+	}
+	if policy.Interval <= 0 {
+		policy.Interval = 500 * time.Millisecond
+	}
+	return &Replicator{c: c, policy: policy, done: make(chan struct{})}
+}
+
+// Start begins the replication loop.
+func (r *Replicator) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ticker := time.NewTicker(r.policy.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.done:
+				return
+			case <-ticker.C:
+				r.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.done)
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Copied reports how many replicas this daemon has created.
+func (r *Replicator) Copied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.copied
+}
+
+// RunOnce performs one replication sweep and returns the number of
+// replicas created.
+func (r *Replicator) RunOnce() int {
+	servers, err := r.c.Servers()
+	if err != nil || len(servers) < 2 {
+		return 0
+	}
+	// Census: file → servers holding it.
+	holders := make(map[string][]string)
+	for _, srv := range servers {
+		files, err := r.c.List(srv)
+		if err != nil {
+			continue // server down; heal on a later sweep
+		}
+		for _, f := range files {
+			holders[f] = append(holders[f], srv)
+		}
+	}
+	created := 0
+	for file, have := range holders {
+		want := r.policy.MinReplicas
+		if want > len(servers) {
+			want = len(servers)
+		}
+		if len(have) >= want {
+			continue
+		}
+		haveSet := make(map[string]bool, len(have))
+		for _, h := range have {
+			haveSet[h] = true
+		}
+		src := have[0]
+		for _, dst := range servers {
+			if len(have) >= want {
+				break
+			}
+			if haveSet[dst] {
+				continue
+			}
+			if err := r.c.Pull(dst, file, src); err != nil {
+				continue
+			}
+			have = append(have, dst)
+			created++
+		}
+	}
+	r.mu.Lock()
+	r.copied += created
+	r.mu.Unlock()
+	return created
+}

@@ -1,0 +1,110 @@
+// Package lifn implements Location-Independent File Names (paper
+// [13], §5.2.3, §5.7): stable names for files and services that map,
+// through RC metadata, to a changing set of locations.
+//
+// A LIFN names the *content*; its RC metadata carries one AttrLocation
+// assertion per replica. "Any process attempting to communicate with
+// that service will then see multiple service locations (URLs) from
+// which to choose" (§5.7) — SelectLocation implements the paper's
+// closest-replica choice using the same network-name metadata the
+// unicast router uses.
+package lifn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/seckey"
+)
+
+// ErrNoLocations indicates a LIFN with no registered replicas.
+var ErrNoLocations = errors.New("lifn: no locations registered")
+
+var counter atomic.Uint64
+
+// New mints a LIFN in the SNIPE namespace. The name embeds a content
+// hash when data is supplied (content addressing gives end-to-end
+// integrity, the RCDS design goal), otherwise a process-unique counter.
+func New(hint string, data []byte) string {
+	if data != nil {
+		return fmt.Sprintf("lifn:snipe:%s-%s", hint, seckey.ContentHashHex(data)[:16])
+	}
+	return fmt.Sprintf("lifn:snipe:%s-%d", hint, counter.Add(1))
+}
+
+// Bind registers a replica location for the LIFN.
+func Bind(cat naming.Catalog, lifn, location string) error {
+	return cat.Add(lifn, rcds.AttrLocation, location)
+}
+
+// Unbind withdraws a replica location.
+func Unbind(cat naming.Catalog, lifn, location string) error {
+	return cat.Remove(lifn, rcds.AttrLocation, location)
+}
+
+// Locations returns the LIFN's registered replica locations.
+func Locations(cat naming.Catalog, lifn string) ([]string, error) {
+	locs, err := cat.Values(lifn, rcds.AttrLocation)
+	if err != nil {
+		return nil, err
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoLocations, lifn)
+	}
+	return locs, nil
+}
+
+// SelectLocation ranks the LIFN's replicas for a client at localHost
+// on the given networks and returns them best-first: same host, then a
+// shared network (";net=" annotation), then the rest in stable order.
+func SelectLocation(locations []string, localHost string, localNets []string) []string {
+	netSet := make(map[string]bool, len(localNets))
+	for _, n := range localNets {
+		netSet[n] = true
+	}
+	score := func(loc string) int {
+		if localHost != "" && strings.Contains(loc, localHost) {
+			return 0
+		}
+		if i := strings.Index(loc, ";net="); i >= 0 {
+			net := loc[i+5:]
+			if j := strings.IndexByte(net, ';'); j >= 0 {
+				net = net[:j]
+			}
+			if netSet[net] {
+				return 1
+			}
+		}
+		return 2
+	}
+	out := append([]string(nil), locations...)
+	sort.SliceStable(out, func(i, j int) bool { return score(out[i]) < score(out[j]) })
+	return out
+}
+
+// BindHash records the content hash of the LIFN's data so readers can
+// verify integrity end-to-end.
+func BindHash(cat naming.Catalog, lifn string, data []byte) error {
+	return cat.Set(lifn, rcds.AttrCodeHash, seckey.ContentHashHex(data))
+}
+
+// VerifyHash checks data against the LIFN's registered content hash.
+// A LIFN without a hash assertion verifies trivially.
+func VerifyHash(cat naming.Catalog, lifn string, data []byte) error {
+	want, ok, err := cat.FirstValue(lifn, rcds.AttrCodeHash)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if got := seckey.ContentHashHex(data); got != want {
+		return fmt.Errorf("lifn: %s content hash mismatch: got %s want %s", lifn, got[:12], want[:12])
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lifn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+)
+
+func newCat() naming.Catalog {
+	return naming.StoreCatalog(rcds.NewStore("lifn-test"))
+}
+
+func TestNewUnique(t *testing.T) {
+	a, b := New("ckpt", nil), New("ckpt", nil)
+	if a == b {
+		t.Fatal("counter LIFNs collided")
+	}
+	if !strings.HasPrefix(a, "lifn:snipe:ckpt-") {
+		t.Fatalf("format: %q", a)
+	}
+}
+
+func TestNewContentAddressed(t *testing.T) {
+	a := New("code", []byte("program-1"))
+	b := New("code", []byte("program-1"))
+	c := New("code", []byte("program-2"))
+	if a != b {
+		t.Fatal("same content, different LIFN")
+	}
+	if a == c {
+		t.Fatal("different content, same LIFN")
+	}
+}
+
+func TestBindLocationsUnbind(t *testing.T) {
+	cat := newCat()
+	l := New("data", nil)
+	if _, err := Locations(cat, l); !errors.Is(err, ErrNoLocations) {
+		t.Fatalf("want ErrNoLocations, got %v", err)
+	}
+	Bind(cat, l, "server-a")
+	Bind(cat, l, "server-b")
+	locs, err := Locations(cat, l)
+	if err != nil || len(locs) != 2 {
+		t.Fatalf("Locations = %v, %v", locs, err)
+	}
+	Unbind(cat, l, "server-a")
+	locs, _ = Locations(cat, l)
+	if len(locs) != 1 || locs[0] != "server-b" {
+		t.Fatalf("after unbind: %v", locs)
+	}
+}
+
+func TestSelectLocation(t *testing.T) {
+	locs := []string{
+		"snipe://hosts/far/fs;net=wan",
+		"snipe://hosts/here/fs;net=lan-a",
+		"snipe://hosts/local-host/fs",
+	}
+	ranked := SelectLocation(locs, "local-host", []string{"lan-a"})
+	if !strings.Contains(ranked[0], "local-host") {
+		t.Fatalf("same host not first: %v", ranked)
+	}
+	if !strings.Contains(ranked[1], "lan-a") {
+		t.Fatalf("shared net not second: %v", ranked)
+	}
+	// Stable for equal scores, input not mutated.
+	if locs[0] != "snipe://hosts/far/fs;net=wan" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSelectLocationNetSuffixParsing(t *testing.T) {
+	locs := []string{"a;net=lan;rate=5", "b;net=other"}
+	ranked := SelectLocation(locs, "", []string{"lan"})
+	if ranked[0] != "a;net=lan;rate=5" {
+		t.Fatalf("net with trailing options not matched: %v", ranked)
+	}
+}
+
+func TestHashBindVerify(t *testing.T) {
+	cat := newCat()
+	l := New("code", []byte("v1"))
+	data := []byte("the program text")
+	if err := BindHash(cat, l, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHash(cat, l, data); err != nil {
+		t.Fatalf("valid data rejected: %v", err)
+	}
+	if err := VerifyHash(cat, l, []byte("tampered")); err == nil {
+		t.Fatal("tampered data accepted")
+	}
+	// No hash registered: trivially valid.
+	if err := VerifyHash(cat, New("other", nil), data); err != nil {
+		t.Fatalf("unhashed LIFN rejected: %v", err)
+	}
+}

@@ -1,0 +1,444 @@
+// Package mcast implements SNIPE's reliable multicast (paper §5.4).
+//
+// A multicast group is a named set of processes addressable as one.
+// Actual routing is performed by multicast routers (in the paper,
+// host daemons that "elect themselves as multicast routers on a
+// per-group basis"). The fault-tolerance discipline is the paper's:
+//
+//   - each member registers its membership with more than half of the
+//     group's routers;
+//   - each message is initially sent to more than half of the routers;
+//   - routers relay to members and to routers that have not yet seen
+//     the message.
+//
+// Any majority of senders' routers intersects any majority of members'
+// routers, so "there is at least one path from the sending process to
+// each recipient process" while any minority of routers is down.
+// Duplicate deliveries from redundant paths are suppressed at routers
+// and members by (origin, message-id) dedup.
+//
+// This multicast is, as the paper notes, built for reliable group
+// communication across the Internet, not for the tightly coupled
+// collectives of MPI (those live in internal/mpi).
+package mcast
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/task"
+	"snipe/internal/xdr"
+)
+
+// Envelope kinds.
+const (
+	kJoin uint8 = iota + 1
+	kLeave
+	kData    // member → router
+	kRelay   // router → router
+	kDeliver // router → member
+)
+
+// Errors of the multicast layer.
+var (
+	// ErrNoRouters indicates a group with no reachable routers.
+	ErrNoRouters = errors.New("mcast: group has no routers")
+)
+
+// GroupTag returns the message tag used for deliveries of a group,
+// derived from the group URN so that a member of several groups can
+// receive each selectively.
+func GroupTag(group string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(group))
+	// Keep clear of the system tag range.
+	return h.Sum32() % (task.TagSystemBase - 1)
+}
+
+// envelope is the multicast wire format, carried in TagMcast messages
+// between members and routers and in group-tagged messages to members.
+type envelope struct {
+	Kind   uint8
+	Group  string
+	Origin string // original sender URN
+	MsgID  uint64 // origin-assigned
+	AppTag uint32
+	Member string // join/leave subject
+	Data   []byte
+}
+
+func (ev *envelope) encode() []byte {
+	e := xdr.NewEncoder(64 + len(ev.Data))
+	e.PutUint8(ev.Kind)
+	e.PutString(ev.Group)
+	e.PutString(ev.Origin)
+	e.PutUint64(ev.MsgID)
+	e.PutUint32(ev.AppTag)
+	e.PutString(ev.Member)
+	e.PutBytes(ev.Data)
+	return e.Bytes()
+}
+
+func decodeEnvelope(b []byte) (*envelope, error) {
+	d := xdr.NewDecoder(b)
+	ev := &envelope{}
+	var err error
+	if ev.Kind, err = d.Uint8(); err != nil {
+		return nil, err
+	}
+	if ev.Group, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.Origin, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.MsgID, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if ev.AppTag, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if ev.Member, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.Data, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+type dedupKey struct {
+	origin string
+	msgID  uint64
+}
+
+type groupState struct {
+	members map[string]bool
+	seen    map[dedupKey]bool
+}
+
+// Router relays multicast traffic for any number of groups. In the
+// full system a Router runs alongside each host daemon; it has its own
+// process URN and endpoint.
+type Router struct {
+	urn string
+	cat naming.Catalog
+	ep  *comm.Endpoint
+
+	mu     sync.Mutex
+	groups map[string]*groupState
+	closed bool
+}
+
+// NewRouter creates a router named after hostName and registers its
+// endpoint in the catalog. listens defaults to loopback TCP.
+func NewRouter(hostName string, cat naming.Catalog, listens []comm.Route) (*Router, error) {
+	r := &Router{
+		urn:    naming.ProcessURN(hostName, "mcast-router"),
+		cat:    cat,
+		groups: make(map[string]*groupState),
+	}
+	r.ep = comm.NewEndpoint(r.urn,
+		comm.WithResolver(naming.NewResolver(cat)),
+		comm.WithHandler(r.handle, task.TagMcast))
+	if len(listens) == 0 {
+		listens = []comm.Route{{Transport: "tcp", Addr: "127.0.0.1:0"}}
+	}
+	var routes []comm.Route
+	for _, l := range listens {
+		route, err := r.ep.Listen(l.Transport, l.Addr, l.NetName, l.RateBps, l.LatencyUs)
+		if err != nil {
+			r.ep.Close()
+			return nil, fmt.Errorf("mcast: router listen: %w", err)
+		}
+		routes = append(routes, route)
+	}
+	if err := naming.Register(cat, r.urn, routes); err != nil {
+		r.ep.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// URN returns the router's process URN.
+func (r *Router) URN() string { return r.urn }
+
+// MaybeServe implements the paper's self-election heuristic: the
+// router volunteers for the group if the group currently has fewer
+// than target routers. It returns whether this router now serves the
+// group.
+func (r *Router) MaybeServe(group string, target int) (bool, error) {
+	routers, err := r.cat.Values(group, rcds.AttrMcastRouter)
+	if err != nil {
+		return false, err
+	}
+	for _, existing := range routers {
+		if existing == r.urn {
+			r.ensureGroup(group)
+			return true, nil
+		}
+	}
+	if len(routers) >= target {
+		return false, nil
+	}
+	if err := r.cat.Add(group, rcds.AttrMcastRouter, r.urn); err != nil {
+		return false, err
+	}
+	r.ensureGroup(group)
+	return true, nil
+}
+
+// Serve unconditionally announces this router for the group.
+func (r *Router) Serve(group string) error {
+	if err := r.cat.Add(group, rcds.AttrMcastRouter, r.urn); err != nil {
+		return err
+	}
+	r.ensureGroup(group)
+	return nil
+}
+
+// Withdraw removes this router from the group's router set.
+func (r *Router) Withdraw(group string) error {
+	r.mu.Lock()
+	delete(r.groups, group)
+	r.mu.Unlock()
+	return r.cat.Remove(group, rcds.AttrMcastRouter, r.urn)
+}
+
+func (r *Router) ensureGroup(group string) *groupState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gs, ok := r.groups[group]
+	if !ok {
+		gs = &groupState{members: make(map[string]bool), seen: make(map[dedupKey]bool)}
+		r.groups[group] = gs
+	}
+	return gs
+}
+
+// Close withdraws the router from every group it serves and shuts its
+// endpoint (simulating a router crash for the E4 experiments when
+// called without Withdraw).
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.ep.Close()
+}
+
+func (r *Router) handle(m *comm.Message) {
+	if m.Tag != task.TagMcast {
+		return
+	}
+	ev, err := decodeEnvelope(m.Payload)
+	if err != nil {
+		return
+	}
+	switch ev.Kind {
+	case kJoin:
+		gs := r.ensureGroup(ev.Group)
+		r.mu.Lock()
+		gs.members[ev.Member] = true
+		r.mu.Unlock()
+	case kLeave:
+		gs := r.ensureGroup(ev.Group)
+		r.mu.Lock()
+		delete(gs.members, ev.Member)
+		r.mu.Unlock()
+	case kData, kRelay:
+		r.handleData(ev)
+	}
+}
+
+func (r *Router) handleData(ev *envelope) {
+	gs := r.ensureGroup(ev.Group)
+	key := dedupKey{ev.Origin, ev.MsgID}
+	r.mu.Lock()
+	if gs.seen[key] {
+		r.mu.Unlock()
+		return
+	}
+	gs.seen[key] = true
+	members := make([]string, 0, len(gs.members))
+	for m := range gs.members {
+		members = append(members, m)
+	}
+	r.mu.Unlock()
+
+	// Deliver to this router's registered members.
+	deliver := *ev
+	deliver.Kind = kDeliver
+	payload := deliver.encode()
+	tag := GroupTag(ev.Group)
+	for _, m := range members {
+		r.ep.Send(m, tag, payload)
+	}
+
+	// First-hop data is relayed to the other routers so members
+	// registered elsewhere are covered; relayed data is not re-relayed
+	// (the sender already reached a majority, and every router relays
+	// to all others, so one live first-hop router suffices).
+	if ev.Kind == kData {
+		relay := *ev
+		relay.Kind = kRelay
+		rp := relay.encode()
+		routers, err := r.cat.Values(ev.Group, rcds.AttrMcastRouter)
+		if err != nil {
+			return
+		}
+		for _, other := range routers {
+			if other != r.urn {
+				r.ep.Send(other, task.TagMcast, rp)
+			}
+		}
+	}
+}
+
+// Member is one process's handle on a multicast group. It owns the
+// member-side dedup of redundant router deliveries.
+type Member struct {
+	group string
+	self  string
+	cat   naming.Catalog
+	ep    *comm.Endpoint
+	tag   uint32
+
+	mu      sync.Mutex
+	routers []string
+	nextID  uint64
+	seen    map[dedupKey]bool
+}
+
+// Join registers ep's owner as a member of group with more than half
+// of the group's routers (all of them, which trivially satisfies the
+// majority requirement and maximises path redundancy).
+func Join(cat naming.Catalog, ep *comm.Endpoint, group string) (*Member, error) {
+	m := &Member{
+		group: group,
+		self:  ep.URN(),
+		cat:   cat,
+		ep:    ep,
+		tag:   GroupTag(group),
+		seen:  make(map[dedupKey]bool),
+	}
+	if err := m.RefreshRouters(); err != nil {
+		return nil, err
+	}
+	ev := &envelope{Kind: kJoin, Group: group, Member: m.self}
+	payload := ev.encode()
+	m.mu.Lock()
+	routers := append([]string(nil), m.routers...)
+	m.mu.Unlock()
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoRouters, group)
+	}
+	for _, r := range routers {
+		if err := ep.Send(r, task.TagMcast, payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// RefreshRouters re-reads the group's router set from RC metadata —
+// the client-side half of the paper's "notify list of processes that
+// wish to be notified if the set of multicast routers changes".
+func (m *Member) RefreshRouters() error {
+	routers, err := m.cat.Values(m.group, rcds.AttrMcastRouter)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.routers = routers
+	m.mu.Unlock()
+	return nil
+}
+
+// Leave deregisters from all routers.
+func (m *Member) Leave() {
+	ev := &envelope{Kind: kLeave, Group: m.group, Member: m.self}
+	payload := ev.encode()
+	m.mu.Lock()
+	routers := append([]string(nil), m.routers...)
+	m.mu.Unlock()
+	for _, r := range routers {
+		m.ep.Send(r, task.TagMcast, payload)
+	}
+}
+
+// Send multicasts data to the group, addressing more than half of the
+// routers; the routers' relay mesh covers the rest.
+func (m *Member) Send(appTag uint32, data []byte) error {
+	m.mu.Lock()
+	m.nextID++
+	ev := &envelope{
+		Kind: kData, Group: m.group, Origin: m.self,
+		MsgID: m.nextID, AppTag: appTag, Data: data,
+	}
+	routers := append([]string(nil), m.routers...)
+	m.mu.Unlock()
+	if len(routers) == 0 {
+		return fmt.Errorf("%w: %s", ErrNoRouters, m.group)
+	}
+	payload := ev.encode()
+	majority := len(routers)/2 + 1
+	var firstErr error
+	sentTo := 0
+	for _, r := range routers {
+		if sentTo >= majority {
+			break
+		}
+		if err := m.ep.Send(r, task.TagMcast, payload); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sentTo++
+	}
+	if sentTo == 0 {
+		return firstErr
+	}
+	return nil
+}
+
+// Recv returns the next group message (origin URN, app tag, payload),
+// suppressing duplicate deliveries from redundant router paths.
+func (m *Member) Recv(timeout time.Duration) (origin string, appTag uint32, data []byte, err error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return "", 0, nil, comm.ErrTimeout
+		}
+		msg, err := m.ep.RecvMatch("", m.tag, remaining)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		ev, err := decodeEnvelope(msg.Payload)
+		if err != nil || ev.Kind != kDeliver || ev.Group != m.group {
+			continue // foreign or malformed; tolerate open metadata world
+		}
+		key := dedupKey{ev.Origin, ev.MsgID}
+		m.mu.Lock()
+		dup := m.seen[key]
+		if !dup {
+			m.seen[key] = true
+		}
+		m.mu.Unlock()
+		if dup {
+			continue
+		}
+		return ev.Origin, ev.AppTag, ev.Data, nil
+	}
+}

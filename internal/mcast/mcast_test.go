@@ -1,0 +1,342 @@
+package mcast
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+)
+
+type world struct {
+	t     *testing.T
+	store *rcds.Store
+	cat   naming.Catalog
+}
+
+func newWorld(t *testing.T) *world {
+	s := rcds.NewStore("mcast-test")
+	return &world{t: t, store: s, cat: naming.StoreCatalog(s)}
+}
+
+func (w *world) router(host string) *Router {
+	w.t.Helper()
+	r, err := NewRouter(host, w.cat, nil)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(r.Close)
+	return r
+}
+
+func (w *world) endpoint(urn string) *comm.Endpoint {
+	w.t.Helper()
+	ep := comm.NewEndpoint(urn,
+		comm.WithResolver(naming.NewResolver(w.cat)),
+		comm.WithRetryInterval(50*time.Millisecond))
+	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	naming.Register(w.cat, urn, []comm.Route{route})
+	w.t.Cleanup(ep.Close)
+	return ep
+}
+
+func TestGroupTagStability(t *testing.T) {
+	g := naming.GroupURN("weather")
+	if GroupTag(g) != GroupTag(g) {
+		t.Fatal("tag not deterministic")
+	}
+	if GroupTag(g) == GroupTag(naming.GroupURN("other")) {
+		t.Fatal("distinct groups collided (unlucky hash; pick other names)")
+	}
+}
+
+func TestSingleRouterBasicMulticast(t *testing.T) {
+	w := newWorld(t)
+	r := w.router("h1")
+	group := naming.GroupURN("g1")
+	if err := r.Serve(group); err != nil {
+		t.Fatal(err)
+	}
+
+	members := make([]*Member, 3)
+	for i := range members {
+		ep := w.endpoint(fmt.Sprintf("urn:m%d", i))
+		m, err := Join(w.cat, ep, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = m
+	}
+	time.Sleep(50 * time.Millisecond) // joins settle
+
+	if err := members[0].Send(7, []byte("to all")); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		origin, tag, data, err := m.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if origin != "urn:m0" || tag != 7 || string(data) != "to all" {
+			t.Fatalf("member %d got %s/%d/%q", i, origin, tag, data)
+		}
+	}
+}
+
+func TestSenderReceivesOwnMessage(t *testing.T) {
+	w := newWorld(t)
+	r := w.router("h1")
+	group := naming.GroupURN("self")
+	r.Serve(group)
+	ep := w.endpoint("urn:solo")
+	m, err := Join(w.cat, ep, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	m.Send(1, []byte("echo"))
+	origin, _, data, err := m.Recv(5 * time.Second)
+	if err != nil || origin != "urn:solo" || string(data) != "echo" {
+		t.Fatalf("self delivery: %s %q %v", origin, data, err)
+	}
+}
+
+func TestMultiRouterDedup(t *testing.T) {
+	// Three routers, members registered with all: each member must see
+	// each message exactly once despite redundant delivery paths.
+	w := newWorld(t)
+	group := naming.GroupURN("dedup")
+	for i := 0; i < 3; i++ {
+		w.router(fmt.Sprintf("h%d", i)).Serve(group)
+	}
+	epA := w.endpoint("urn:a")
+	epB := w.endpoint("urn:b")
+	a, err := Join(w.cat, epA, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Join(w.cat, epB, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.Send(0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[byte]int{}
+	for i := 0; i < n; i++ {
+		_, _, data, err := b.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		got[data[0]]++
+	}
+	for k, c := range got {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times", k, c)
+		}
+	}
+	// No extras lurking.
+	if _, _, _, err := b.Recv(200 * time.Millisecond); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("extra delivery: %v", err)
+	}
+	_ = a
+}
+
+func TestRouterMinorityFailure(t *testing.T) {
+	// The paper's invariant: with members registered at >1/2 of routers
+	// and sends reaching >1/2 of routers, any minority of router
+	// failures leaves at least one delivery path.
+	w := newWorld(t)
+	group := naming.GroupURN("ft")
+	routers := make([]*Router, 3)
+	for i := range routers {
+		routers[i] = w.router(fmt.Sprintf("h%d", i))
+		routers[i].Serve(group)
+	}
+	sender, err := Join(w.cat, w.endpoint("urn:sender"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := Join(w.cat, w.endpoint("urn:receiver"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Kill one router (a minority of 3).
+	routers[0].Close()
+
+	if err := sender.Send(0, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, data, err := receiver.Recv(10 * time.Second)
+	if err != nil || string(data) != "survives" {
+		t.Fatalf("delivery after router failure: %q %v", data, err)
+	}
+}
+
+func TestMaybeServeElection(t *testing.T) {
+	w := newWorld(t)
+	group := naming.GroupURN("elect")
+	r1 := w.router("h1")
+	r2 := w.router("h2")
+	r3 := w.router("h3")
+
+	// Target redundancy 2: first two volunteer, third declines.
+	if ok, err := r1.MaybeServe(group, 2); err != nil || !ok {
+		t.Fatalf("r1: %v %v", ok, err)
+	}
+	if ok, err := r2.MaybeServe(group, 2); err != nil || !ok {
+		t.Fatalf("r2: %v %v", ok, err)
+	}
+	if ok, err := r3.MaybeServe(group, 2); err != nil || ok {
+		t.Fatalf("r3 should decline: %v %v", ok, err)
+	}
+	// Re-election is idempotent for an existing router.
+	if ok, _ := r1.MaybeServe(group, 2); !ok {
+		t.Fatal("existing router should keep serving")
+	}
+	if got := w.store.Values(group, rcds.AttrMcastRouter); len(got) != 2 {
+		t.Fatalf("router set: %v", got)
+	}
+	// Withdraw opens a slot.
+	if err := r1.Withdraw(group); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r3.MaybeServe(group, 2); !ok {
+		t.Fatal("r3 should fill the vacancy")
+	}
+}
+
+func TestLeaveStopsDelivery(t *testing.T) {
+	w := newWorld(t)
+	group := naming.GroupURN("leave")
+	w.router("h1").Serve(group)
+	a, _ := Join(w.cat, w.endpoint("urn:la"), group)
+	b, err := Join(w.cat, w.endpoint("urn:lb"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	b.Leave()
+	time.Sleep(30 * time.Millisecond)
+	a.Send(0, []byte("after leave"))
+	// a still receives (it is a member); b must not.
+	if _, _, _, err := a.Recv(5 * time.Second); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if _, _, _, err := b.Recv(200 * time.Millisecond); !errors.Is(err, comm.ErrTimeout) {
+		t.Fatalf("b received after leaving: %v", err)
+	}
+}
+
+func TestJoinNoRouters(t *testing.T) {
+	w := newWorld(t)
+	ep := w.endpoint("urn:x")
+	if _, err := Join(w.cat, ep, naming.GroupURN("empty")); !errors.Is(err, ErrNoRouters) {
+		t.Fatalf("want ErrNoRouters, got %v", err)
+	}
+}
+
+func TestTwoGroupsSelectiveReceive(t *testing.T) {
+	w := newWorld(t)
+	r := w.router("h1")
+	g1, g2 := naming.GroupURN("alpha"), naming.GroupURN("beta")
+	r.Serve(g1)
+	r.Serve(g2)
+	ep := w.endpoint("urn:dual")
+	m1, err := Join(w.cat, ep, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Join(w.cat, ep, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := w.endpoint("urn:dualsender")
+	s1, _ := Join(w.cat, sender, g1)
+	s2, _ := Join(w.cat, sender, g2)
+	time.Sleep(50 * time.Millisecond)
+
+	s1.Send(0, []byte("for-alpha"))
+	s2.Send(0, []byte("for-beta"))
+	if _, _, data, err := m1.Recv(5 * time.Second); err != nil || string(data) != "for-alpha" {
+		t.Fatalf("g1: %q %v", data, err)
+	}
+	if _, _, data, err := m2.Recv(5 * time.Second); err != nil || string(data) != "for-beta" {
+		t.Fatalf("g2: %q %v", data, err)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	ev := &envelope{Kind: kData, Group: "g", Origin: "o", MsgID: 9, AppTag: 3, Member: "m", Data: []byte{1}}
+	got, err := decodeEnvelope(ev.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != kData || got.Group != "g" || got.Origin != "o" || got.MsgID != 9 ||
+		got.AppTag != 3 || got.Member != "m" || len(got.Data) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := decodeEnvelope([]byte{1, 2}); err == nil {
+		t.Fatal("truncated envelope accepted")
+	}
+}
+
+func BenchmarkMulticastFanout8(b *testing.B) {
+	s := rcds.NewStore("bench")
+	cat := naming.StoreCatalog(s)
+	r, err := NewRouter("bh", cat, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	group := naming.GroupURN("bench")
+	r.Serve(group)
+	newEP := func(urn string) *comm.Endpoint {
+		ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(cat)))
+		route, _ := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		naming.Register(cat, urn, []comm.Route{route})
+		return ep
+	}
+	sender := newEP("urn:bs")
+	defer sender.Close()
+	sm, err := Join(cat, sender, group)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var members []*Member
+	for i := 0; i < 8; i++ {
+		ep := newEP(fmt.Sprintf("urn:bm%d", i))
+		defer ep.Close()
+		m, err := Join(cat, ep, group)
+		if err != nil {
+			b.Fatal(err)
+		}
+		members = append(members, m)
+	}
+	time.Sleep(50 * time.Millisecond)
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sm.Send(0, payload); err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range members {
+			if _, _, _, err := m.Recv(10 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

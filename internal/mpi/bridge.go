@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// Bridge connects ranks of different worlds — the inter-operability
+// layer PVMPI and MPI Connect provide between vendor MPIs (§6.1). The
+// two implementations differ exactly where the paper says they do: the
+// PVMPI bridge routes every message through PVM daemons and registers
+// names with the PVM master, while the MPI Connect bridge resolves
+// names through RC metadata and sends over direct SNIPE connections.
+type Bridge interface {
+	// Register makes (world, rank) reachable and installs its delivery
+	// callback.
+	Register(world string, rank int, deliver func(srcWorld string, srcRank, tag int, data []byte)) error
+	// Send delivers data from (srcWorld, srcRank) to (dstWorld, dstRank).
+	Send(srcWorld string, srcRank int, dstWorld string, dstRank, tag int, data []byte) error
+	// Close releases bridge resources.
+	Close()
+}
+
+// ErrNoBridge indicates inter-communication before ConnectBridge.
+var ErrNoBridge = errors.New("mpi: world has no bridge connected")
+
+// encodeInter packs the bridge payload envelope.
+func encodeInter(srcWorld string, srcRank, tag int, data []byte) []byte {
+	e := xdr.NewEncoder(32 + len(data))
+	e.PutString(srcWorld)
+	e.PutInt32(int32(srcRank))
+	e.PutInt32(int32(tag))
+	e.PutBytes(data)
+	return e.Bytes()
+}
+
+// decodeInter unpacks the bridge payload envelope.
+func decodeInter(b []byte) (srcWorld string, srcRank, tag int, data []byte, err error) {
+	d := xdr.NewDecoder(b)
+	if srcWorld, err = d.String(); err != nil {
+		return
+	}
+	var r, t int32
+	if r, err = d.Int32(); err != nil {
+		return
+	}
+	if t, err = d.Int32(); err != nil {
+		return
+	}
+	data, err = d.BytesCopy()
+	return srcWorld, int(r), int(t), data, err
+}
+
+// ConnectBridge attaches every rank of the world to the bridge,
+// forming the paper's inter-communicator: deliveries land in each
+// rank's inter-mailbox for InterRecv.
+func (w *World) ConnectBridge(b Bridge) error {
+	var err error
+	w.bridgeOnce.Do(func() {
+		w.bridge = b
+		for i := 0; i < w.size; i++ {
+			c := w.comms[i]
+			regErr := b.Register(w.name, i, func(srcWorld string, srcRank, tag int, data []byte) {
+				c.mu.Lock()
+				c.interBox = append(c.interBox, interMessage{srcWorld: srcWorld, srcRank: srcRank, tag: tag, data: data})
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			})
+			if regErr != nil && err == nil {
+				err = regErr
+			}
+		}
+	})
+	return err
+}
+
+// InterSend sends across the bridge to (dstWorld, dstRank).
+func (c *Comm) InterSend(dstWorld string, dstRank, tag int, data []byte) error {
+	b := c.world.bridge
+	if b == nil {
+		return ErrNoBridge
+	}
+	return b.Send(c.world.name, c.rank, dstWorld, dstRank, tag, data)
+}
+
+// InterRecv returns the next bridged message matching tag (AnyTag
+// wildcard).
+func (c *Comm) InterRecv(tag int, timeout time.Duration) (srcWorld string, srcRank int, data []byte, err error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i, m := range c.interBox {
+			if tag == AnyTag || m.tag == tag {
+				c.interBox = append(c.interBox[:i], c.interBox[i+1:]...)
+				return m.srcWorld, m.srcRank, m.data, nil
+			}
+		}
+		if c.world.isAborted() {
+			return "", 0, nil, ErrAborted
+		}
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return "", 0, nil, ErrTimeout
+			}
+			t := time.AfterFunc(remaining, func() {
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			})
+			c.cond.Wait()
+			t.Stop()
+		} else {
+			c.cond.Wait()
+		}
+	}
+}
+
+// bridgeKey identifies a registered rank.
+type bridgeKey struct {
+	world string
+	rank  int
+}
+
+func (k bridgeKey) String() string { return fmt.Sprintf("%s:%d", k.world, k.rank) }

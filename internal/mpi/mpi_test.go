@@ -1,0 +1,319 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"snipe/internal/naming"
+	"snipe/internal/pvm"
+	"snipe/internal/rcds"
+)
+
+func TestSendRecvOrdering(t *testing.T) {
+	w := NewWorld("w", 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 20; i++ {
+				if err := c.Send(1, 5, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 20; i++ {
+			src, data, err := c.Recv(0, 5, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			if src != 0 || data[0] != byte(i) {
+				return fmt.Errorf("order at %d: src=%d got=%d", i, src, data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcardsAndTimeout(t *testing.T) {
+	w := NewWorld("w", 3)
+	c2 := w.Rank(2)
+	if _, _, err := c2.Recv(AnySource, AnyTag, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	w.Rank(0).Send(2, 1, []byte("a"))
+	w.Rank(1).Send(2, 2, []byte("b"))
+	// Tag-selective receive out of arrival order.
+	src, data, err := c2.Recv(AnySource, 2, time.Second)
+	if err != nil || src != 1 || string(data) != "b" {
+		t.Fatalf("tag 2: %d %q %v", src, data, err)
+	}
+	// Source-selective.
+	src, data, err = c2.Recv(0, AnyTag, time.Second)
+	if err != nil || src != 0 || string(data) != "a" {
+		t.Fatalf("src 0: %d %q %v", src, data, err)
+	}
+	if err := c2.Send(99, 0, nil); !errors.Is(err, ErrRank) {
+		t.Fatalf("bad rank: %v", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorld("w", 5)
+	var before, after [5]bool
+	err := w.Run(func(c *Comm) error {
+		before[c.Rank()] = true
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Everyone must have arrived before anyone proceeds.
+		for i := 0; i < 5; i++ {
+			if !before[i] {
+				return fmt.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), i)
+			}
+		}
+		after[c.Rank()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if !after[i] {
+			t.Fatalf("rank %d never finished", i)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld("w", 4)
+	err := w.Run(func(c *Comm) error {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("the broadcast")
+		}
+		got, err := c.Bcast(2, data)
+		if err != nil {
+			return err
+		}
+		if string(got) != "the broadcast" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld("w", 4)
+	err := w.Run(func(c *Comm) error {
+		out, err := c.Gather(0, []byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			if out != nil {
+				return fmt.Errorf("non-root got %v", out)
+			}
+			return nil
+		}
+		for i, b := range out {
+			if len(b) != 1 || b[0] != byte(i*10) {
+				return fmt.Errorf("gather slot %d: %v", i, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	w := NewWorld("w", 4)
+	err := w.Run(func(c *Comm) error {
+		sum, err := c.ReduceSum(0, int64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && sum != 10 {
+			return fmt.Errorf("reduce = %d", sum)
+		}
+		all, err := c.AllReduceSum(int64(c.Rank() + 1))
+		if err != nil {
+			return err
+		}
+		if all != 10 {
+			return fmt.Errorf("allreduce at rank %d = %d", c.Rank(), all)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortUnblocksRanks(t *testing.T) {
+	w := NewWorld("w", 2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w.Rank(0).Recv(AnySource, AnyTag, 0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	w.Abort()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("want ErrAborted, got %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("abort did not unblock")
+	}
+}
+
+func TestInterSendWithoutBridge(t *testing.T) {
+	w := NewWorld("w", 1)
+	if err := w.Rank(0).InterSend("x", 0, 0, nil); !errors.Is(err, ErrNoBridge) {
+		t.Fatalf("want ErrNoBridge, got %v", err)
+	}
+}
+
+// bridgePingPong exercises an inter-world exchange over any bridge.
+func bridgePingPong(t *testing.T, wa, wb *World) {
+	t.Helper()
+	payload := []byte("across the bridge")
+	errA := make(chan error, 1)
+	go func() {
+		errA <- wa.Run(func(c *Comm) error {
+			if c.Rank() != 0 {
+				return nil
+			}
+			if err := c.InterSend(wb.Name(), 0, 3, payload); err != nil {
+				return err
+			}
+			srcWorld, srcRank, data, err := c.InterRecv(4, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			if srcWorld != wb.Name() || srcRank != 0 || !bytes.Equal(data, payload) {
+				return fmt.Errorf("reply: %s %d %q", srcWorld, srcRank, data)
+			}
+			return nil
+		})
+	}()
+	err := wb.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		srcWorld, srcRank, data, err := c.InterRecv(3, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		if srcWorld != wa.Name() || srcRank != 0 {
+			return fmt.Errorf("from: %s %d", srcWorld, srcRank)
+		}
+		return c.InterSend(wa.Name(), 0, 4, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errA; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPIConnectBridge(t *testing.T) {
+	cat := naming.StoreCatalog(rcds.NewStore("mpic-test"))
+	bridge := NewMPIConnectBridge(cat)
+	defer bridge.Close()
+	wa := NewWorld("cray", 2)
+	wb := NewWorld("paragon", 2)
+	if err := wa.ConnectBridge(bridge); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.ConnectBridge(bridge); err != nil {
+		t.Fatal(err)
+	}
+	bridgePingPong(t, wa, wb)
+}
+
+func TestPVMPIBridge(t *testing.T) {
+	reg := RelayRegistry()
+	master, err := pvm.NewMaster("mpp-a", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Kill()
+	slave, err := pvm.Join("mpp-b", "127.0.0.1:0", master.Addr(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slave.Kill()
+
+	ba := NewPVMPIBridge(master)
+	bb := NewPVMPIBridge(slave)
+	wa := NewWorld("cray", 2)
+	wb := NewWorld("paragon", 2)
+	if err := wa.ConnectBridge(ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.ConnectBridge(bb); err != nil {
+		t.Fatal(err)
+	}
+	ShareDirectory(ba, bb)
+	ShareDirectory(bb, ba)
+	bridgePingPong(t, wa, wb)
+}
+
+func TestPVMPIBridgeDiesWithMaster(t *testing.T) {
+	reg := RelayRegistry()
+	master, err := pvm.NewMaster("solo", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Kill()
+	bridge := NewPVMPIBridge(master)
+	w := NewWorld("w", 1)
+	if err := w.ConnectBridge(bridge); err != nil {
+		t.Fatal(err)
+	}
+	master.Kill()
+	// Registration of a new world fails: the pvmd is gone — "the need
+	// to provide access to a PVM daemon pvmd at all times".
+	w2 := NewWorld("late", 1)
+	if err := w2.ConnectBridge(NewPVMPIBridge(master)); err == nil {
+		t.Fatal("registration succeeded on a dead pvmd")
+	}
+}
+
+func BenchmarkIntraWorldPingPong(b *testing.B) {
+	w := NewWorld("bench", 2)
+	c0, c1 := w.Rank(0), w.Rank(1)
+	go func() {
+		for {
+			_, data, err := c1.Recv(0, 1, time.Minute)
+			if err != nil {
+				return
+			}
+			c1.Send(0, 2, data)
+		}
+	}()
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c0.Send(1, 1, payload)
+		if _, _, err := c0.Recv(1, 2, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	w.Abort()
+}

@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snipe/internal/pvm"
+)
+
+// pvmpiTag is the PVM message tag carrying bridged MPI traffic.
+const pvmpiTag = 7777
+
+// PVMPIBridge is the paper's PVMPI: every bridged rank is enrolled as
+// a PVM task, names are registered through the (centralized) virtual
+// machine, and every inter-MPP message takes PVM's default route —
+// through the local pvmd and the remote pvmd. The bridge "suffered
+// from the need to provide access to a PVM daemon pvmd at all times"
+// (§6.1); Kill the master and the bridge stops registering.
+type PVMPIBridge struct {
+	daemon *pvm.Daemon // the pvmd this MPP's relay tasks enrol with
+
+	directory map[bridgeKey]pvm.TID // name registry (guarded by directoryLock)
+	relays    map[bridgeKey]*pvm.TaskCtx
+}
+
+// relayRegistry holds the relay program shared by all PVMPI bridges in
+// this process; the deliver callback is smuggled through a registry
+// keyed by argument.
+var (
+	relayMu       sync.Mutex
+	relayHandlers = map[string]func(srcWorld string, srcRank, tag int, data []byte){}
+	relayReg      = pvm.NewRegistry()
+	relaySeq      int
+)
+
+func init() {
+	relayReg.Register("pvmpi-relay", func(ctx *pvm.TaskCtx) error {
+		key := ctx.Args()[0]
+		relayMu.Lock()
+		deliver := relayHandlers[key]
+		relayMu.Unlock()
+		for {
+			m, err := ctx.Recv(pvmpiTag, time.Hour)
+			if err != nil {
+				return nil // host died or timeout: relay ends
+			}
+			srcWorld, srcRank, tag, data, err := decodeInter(m.Payload)
+			if err == nil && deliver != nil {
+				deliver(srcWorld, srcRank, tag, data)
+			}
+		}
+	})
+}
+
+// RelayRegistry returns the program registry PVM daemons must be built
+// with for PVMPI bridging.
+func RelayRegistry() *pvm.Registry { return relayReg }
+
+// NewPVMPIBridge builds a bridge whose relay tasks enrol with the
+// given pvmd. Bridges on different "MPPs" should use different pvmds
+// of one virtual machine; their directories must be shared via
+// ShareDirectory (PVMPI used PVM's group server for this role).
+func NewPVMPIBridge(d *pvm.Daemon) *PVMPIBridge {
+	return &PVMPIBridge{
+		daemon:    d,
+		directory: make(map[bridgeKey]pvm.TID),
+		relays:    make(map[bridgeKey]*pvm.TaskCtx),
+	}
+}
+
+// directoryLock serialises access to bridge directories, shared or
+// not.
+var directoryLock sync.Mutex
+
+// ShareDirectory links two bridges' name registries, modelling PVM's
+// global group/name service (which itself lived on the master). After
+// the call both bridges resolve each other's enrolled ranks.
+func ShareDirectory(a, b *PVMPIBridge) {
+	directoryLock.Lock()
+	defer directoryLock.Unlock()
+	for k, v := range b.directory {
+		a.directory[k] = v
+	}
+	b.directory = a.directory
+}
+
+// Register enrols (world, rank) as a PVM relay task.
+func (b *PVMPIBridge) Register(world string, rank int, deliver func(string, int, int, []byte)) error {
+	key := bridgeKey{world, rank}
+	relayMu.Lock()
+	relaySeq++
+	handlerKey := fmt.Sprintf("%s#%d", key, relaySeq)
+	relayHandlers[handlerKey] = deliver
+	relayMu.Unlock()
+
+	tid, err := b.daemon.SpawnLocal("pvmpi-relay", []string{handlerKey})
+	if err != nil {
+		return fmt.Errorf("mpi: pvmpi enrol %s: %w", key, err)
+	}
+	ctx, ok := b.daemon.Task(tid)
+	if !ok {
+		return fmt.Errorf("mpi: pvmpi relay task vanished")
+	}
+	directoryLock.Lock()
+	b.directory[key] = tid
+	b.relays[key] = ctx
+	directoryLock.Unlock()
+	return nil
+}
+
+// Send routes a message through the PVM daemons.
+func (b *PVMPIBridge) Send(srcWorld string, srcRank int, dstWorld string, dstRank, tag int, data []byte) error {
+	src := bridgeKey{srcWorld, srcRank}
+	dst := bridgeKey{dstWorld, dstRank}
+	directoryLock.Lock()
+	srcCtx, okSrc := b.relays[src]
+	dstTID, okDst := b.directory[dst]
+	directoryLock.Unlock()
+	if !okSrc {
+		return fmt.Errorf("mpi: pvmpi: %s not enrolled here", src)
+	}
+	if !okDst {
+		return fmt.Errorf("mpi: pvmpi: %s not in directory", dst)
+	}
+	return srcCtx.Send(dstTID, pvmpiTag, encodeInter(srcWorld, srcRank, tag, data))
+}
+
+// Close is a no-op; relay tasks die with their pvmds.
+func (b *PVMPIBridge) Close() {}

@@ -1,0 +1,337 @@
+// Package mpi implements the message-passing substrate of the paper's
+// §6.1 application study: a small MPI-1 subset for computation inside
+// one MPP, plus the two inter-MPP bridges the paper compares —
+// PVMPI (vendor MPIs glued by PVM daemons) and MPI Connect (the same
+// glue re-based on SNIPE name resolution and direct connections).
+//
+// The intra-MPP library models "the vendor's optimized MPI": ranks are
+// goroutines in one address space exchanging messages through in-memory
+// mailboxes, deliberately much faster than any inter-MPP path, exactly
+// as a vendor MPI on an MPP interconnect was faster than the campus
+// network. The interesting measurements are the bridges (bridge.go,
+// pvmpi.go, mpiconnect.go).
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Errors of the MPI layer.
+var (
+	// ErrRank indicates an out-of-range rank.
+	ErrRank = errors.New("mpi: rank out of range")
+	// ErrTimeout indicates a receive timeout.
+	ErrTimeout = errors.New("mpi: timeout")
+	// ErrAborted indicates the world was aborted.
+	ErrAborted = errors.New("mpi: world aborted")
+)
+
+// message is one intra-world message.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// interMessage is one message received across an inter-communicator.
+type interMessage struct {
+	srcWorld string
+	srcRank  int
+	tag      int
+	data     []byte
+}
+
+// World is one MPP's COMM_WORLD.
+type World struct {
+	name  string
+	size  int
+	comms []*Comm
+
+	mu      sync.Mutex
+	aborted bool
+
+	bridge     Bridge
+	bridgeOnce sync.Once
+}
+
+// NewWorld creates a world of the given size. name identifies the
+// world across bridges (the paper's per-MPP application sub-sections).
+func NewWorld(name string, size int) *World {
+	w := &World{name: name, size: size}
+	w.comms = make([]*Comm, size)
+	for i := range w.comms {
+		c := &Comm{world: w, rank: i}
+		c.cond = sync.NewCond(&c.mu)
+		w.comms[i] = c
+	}
+	return w
+}
+
+// Name returns the world's bridge-visible name.
+func (w *World) Name() string { return w.name }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank returns rank i's communicator.
+func (w *World) Rank(i int) *Comm { return w.comms[i] }
+
+// Abort wakes every blocked rank with ErrAborted.
+func (w *World) Abort() {
+	w.mu.Lock()
+	w.aborted = true
+	w.mu.Unlock()
+	for _, c := range w.comms {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+func (w *World) isAborted() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aborted
+}
+
+// Run executes body on every rank concurrently and returns the first
+// error (aborting the world on failure).
+func (w *World) Run(body func(c *Comm) error) error {
+	errs := make(chan error, w.size)
+	for i := 0; i < w.size; i++ {
+		go func(c *Comm) {
+			if err := body(c); err != nil {
+				w.Abort()
+				errs <- fmt.Errorf("rank %d: %w", c.rank, err)
+				return
+			}
+			errs <- nil
+		}(w.comms[i])
+	}
+	var first error
+	for i := 0; i < w.size; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	world *World
+	rank  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	mailbox  []message
+	interBox []interMessage
+	collSeq  [8]int // per-collective call counters, for tag separation
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// WorldName returns the world's bridge-visible name.
+func (c *Comm) WorldName() string { return c.world.name }
+
+// Send delivers data to dst within the world. Sends are buffered and
+// never block (MPI_Bsend semantics, sufficient for the experiments).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("%w: %d", ErrRank, dst)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d := c.world.comms[dst]
+	d.mu.Lock()
+	d.mailbox = append(d.mailbox, message{src: c.rank, tag: tag, data: cp})
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return nil
+}
+
+// Recv returns the next message matching (src, tag); AnySource/AnyTag
+// wildcard. timeout <= 0 means block until aborted.
+func (c *Comm) Recv(src, tag int, timeout time.Duration) (gotSrc int, data []byte, err error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i, m := range c.mailbox {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				c.mailbox = append(c.mailbox[:i], c.mailbox[i+1:]...)
+				return m.src, m.data, nil
+			}
+		}
+		if c.world.isAborted() {
+			return 0, nil, ErrAborted
+		}
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return 0, nil, ErrTimeout
+			}
+			t := time.AfterFunc(remaining, func() {
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			})
+			c.cond.Wait()
+			t.Stop()
+		} else {
+			c.cond.Wait()
+		}
+	}
+}
+
+// Collective tag space: collectives use tags above this base so they
+// do not collide with application point-to-point traffic. MPI requires
+// every rank to call collectives in the same order, so a per-operation
+// call counter keeps consecutive collectives' messages apart.
+const collTagBase = 1 << 28
+
+// Collective operation indices into collSeq.
+const (
+	collBarrier = iota
+	collBcast
+	collGather
+	collReduce
+)
+
+// collTag mints the tag pair base for the next call of operation op.
+func (c *Comm) collTag(op int) int {
+	c.mu.Lock()
+	seq := c.collSeq[op]
+	c.collSeq[op]++
+	c.mu.Unlock()
+	return collTagBase + (seq*8+op)*2
+}
+
+// Barrier blocks until every rank has entered it (dissemination via
+// rank 0).
+func (c *Comm) Barrier() error {
+	tag := c.collTag(collBarrier)
+	if c.rank == 0 {
+		for i := 1; i < c.Size(); i++ {
+			if _, _, err := c.Recv(AnySource, tag, 0); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.Send(i, tag+1, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, tag, nil); err != nil {
+		return err
+	}
+	_, _, err := c.Recv(0, tag+1, 0)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank, returning each rank's
+// copy.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.collTag(collBcast)
+	if c.rank == root {
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := c.Send(i, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return cp, nil
+	}
+	_, got, err := c.Recv(root, tag, 0)
+	return got, err
+}
+
+// Gather collects each rank's buffer at root (nil elsewhere), ordered
+// by rank.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	tag := c.collTag(collGather)
+	if c.rank != root {
+		return nil, c.Send(root, tag, data)
+	}
+	out := make([][]byte, c.Size())
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[c.rank] = cp
+	for i := 0; i < c.Size()-1; i++ {
+		src, got, err := c.Recv(AnySource, tag, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// ReduceSum sums each rank's value at root (0 elsewhere).
+func (c *Comm) ReduceSum(root int, value int64) (int64, error) {
+	tag := c.collTag(collReduce)
+	buf := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(value) >> uint(56-8*i))
+	}
+	if c.rank != root {
+		return 0, c.Send(root, tag, buf)
+	}
+	sum := value
+	for i := 0; i < c.Size()-1; i++ {
+		_, got, err := c.Recv(AnySource, tag, 0)
+		if err != nil {
+			return 0, err
+		}
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v = v<<8 | uint64(got[j])
+		}
+		sum += int64(v)
+	}
+	return sum, nil
+}
+
+// AllReduceSum sums across all ranks and distributes the result.
+func (c *Comm) AllReduceSum(value int64) (int64, error) {
+	sum, err := c.ReduceSum(0, value)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 8)
+	if c.rank == 0 {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(sum) >> uint(56-8*i))
+		}
+	}
+	got, err := c.Bcast(0, buf)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for j := 0; j < 8; j++ {
+		v = v<<8 | uint64(got[j])
+	}
+	return int64(v), nil
+}

@@ -1,0 +1,173 @@
+// Package naming connects the communications layer to the RC metadata
+// registry: SNIPE processes are addressable by URN because their
+// communication addresses are published as RC assertions (paper §3.1),
+// and "unicast message routing is performed using the RCDS metadata for
+// the destination process" (§5.3).
+package naming
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/rcds"
+)
+
+// URN and URL constructors for the SNIPE namespace. Hosts get
+// distinguished URLs, processes distinguished URNs (§5.2).
+const (
+	// ProcessPrefix is the URN prefix for SNIPE processes.
+	ProcessPrefix = "urn:snipe:process:"
+	// HostPrefix is the distinguished-URL prefix for SNIPE hosts.
+	HostPrefix = "snipe://hosts/"
+	// GroupPrefix is the URN prefix for multicast groups.
+	GroupPrefix = "urn:snipe:group:"
+	// FilePrefix is the URN prefix for SNIPE-managed files.
+	FilePrefix = "urn:snipe:file:"
+	// ServicePrefix is the URN prefix for replicated services.
+	ServicePrefix = "urn:snipe:service:"
+)
+
+// ProcessURN returns the distinguished URN for a process.
+func ProcessURN(host, name string) string {
+	return ProcessPrefix + host + ":" + name
+}
+
+// HostURL returns the distinguished URL for a host.
+func HostURL(name string) string { return HostPrefix + name }
+
+// GroupURN returns the URN for a multicast group.
+func GroupURN(name string) string { return GroupPrefix + name }
+
+// FileURN returns the URN for a managed file.
+func FileURN(name string) string { return FilePrefix + name }
+
+// ServiceURN returns the URN for a replicated service.
+func ServiceURN(name string) string { return ServicePrefix + name }
+
+// Catalog is the RC metadata access surface SNIPE components need;
+// satisfied by *rcds.Client (remote replicas) and by in-process stores
+// via StoreCatalog.
+type Catalog interface {
+	Values(uri, name string) ([]string, error)
+	FirstValue(uri, name string) (string, bool, error)
+	URIs(prefix string) ([]string, error)
+	Add(uri, name, value string) error
+	Remove(uri, name, value string) error
+	RemoveAll(uri, name string) error
+	Set(uri, name, value string) error
+}
+
+// storeCatalog adapts an in-process rcds.Store to Catalog, for
+// single-process universes and tests.
+type storeCatalog struct{ s *rcds.Store }
+
+// StoreCatalog wraps a local store as a Catalog.
+func StoreCatalog(s *rcds.Store) Catalog { return storeCatalog{s} }
+
+func (c storeCatalog) Values(uri, name string) ([]string, error) { return c.s.Values(uri, name), nil }
+func (c storeCatalog) FirstValue(uri, name string) (string, bool, error) {
+	v, ok := c.s.FirstValue(uri, name)
+	return v, ok, nil
+}
+func (c storeCatalog) URIs(prefix string) ([]string, error) { return c.s.URIs(prefix), nil }
+func (c storeCatalog) Add(uri, name, value string) error    { c.s.Add(uri, name, value); return nil }
+func (c storeCatalog) Remove(uri, name, value string) error {
+	c.s.Remove(uri, name, value)
+	return nil
+}
+func (c storeCatalog) RemoveAll(uri, name string) error { c.s.RemoveAll(uri, name); return nil }
+func (c storeCatalog) Set(uri, name, value string) error {
+	c.s.Set(uri, name, value)
+	return nil
+}
+
+// Resolver resolves URNs to routes via RC metadata, with a small
+// negative-and-positive cache so that message sends do not hammer the
+// RC servers. Cache entries are invalidated quickly (default 150ms)
+// because stale addresses are rediscovered by the endpoint's retry
+// loop anyway — the paper's "processes that do not notice its
+// migration ... will find its new location via the RC servers" (§5.6).
+type Resolver struct {
+	cat Catalog
+	ttl time.Duration
+
+	mu    sync.Mutex
+	cache map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	routes  []comm.Route
+	expires time.Time
+}
+
+// NewResolver builds a resolver over cat.
+func NewResolver(cat Catalog) *Resolver {
+	return &Resolver{cat: cat, ttl: 150 * time.Millisecond, cache: make(map[string]cacheEntry)}
+}
+
+// SetTTL adjusts the cache lifetime.
+func (r *Resolver) SetTTL(d time.Duration) {
+	r.mu.Lock()
+	r.ttl = d
+	r.mu.Unlock()
+}
+
+// Resolve implements comm.Resolver: it reads the destination's
+// AttrCommAddr assertions and parses them into routes.
+func (r *Resolver) Resolve(urn string) ([]comm.Route, error) {
+	r.mu.Lock()
+	if e, ok := r.cache[urn]; ok && time.Now().Before(e.expires) {
+		routes := e.routes
+		r.mu.Unlock()
+		return routes, nil
+	}
+	ttl := r.ttl
+	r.mu.Unlock()
+
+	vals, err := r.cat.Values(urn, rcds.AttrCommAddr)
+	if err != nil {
+		return nil, fmt.Errorf("naming: resolving %s: %w", urn, err)
+	}
+	routes := make([]comm.Route, 0, len(vals))
+	for _, v := range vals {
+		route, err := comm.ParseRoute(v)
+		if err != nil {
+			continue // tolerate foreign address formats in open metadata
+		}
+		routes = append(routes, route)
+	}
+	r.mu.Lock()
+	r.cache[urn] = cacheEntry{routes: routes, expires: time.Now().Add(ttl)}
+	r.mu.Unlock()
+	return routes, nil
+}
+
+// Invalidate drops a cached entry (after a known migration).
+func (r *Resolver) Invalidate(urn string) {
+	r.mu.Lock()
+	delete(r.cache, urn)
+	r.mu.Unlock()
+}
+
+// Register publishes an endpoint's routes as the URN's communication
+// addresses, making the process globally visible (§5.5).
+func Register(cat Catalog, urn string, routes []comm.Route) error {
+	for _, route := range routes {
+		if err := cat.Add(urn, rcds.AttrCommAddr, route.String()); err != nil {
+			return fmt.Errorf("naming: registering %s: %w", urn, err)
+		}
+	}
+	return nil
+}
+
+// Unregister withdraws all of a URN's communication addresses — done
+// at the start of a migration so new traffic buffers until the new
+// location is published.
+func Unregister(cat Catalog, urn string) error {
+	if err := cat.RemoveAll(urn, rcds.AttrCommAddr); err != nil {
+		return fmt.Errorf("naming: unregistering %s: %w", urn, err)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package naming
+
+import (
+	"testing"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/rcds"
+)
+
+func TestNameConstructors(t *testing.T) {
+	if got := ProcessURN("h1", "worker-1"); got != "urn:snipe:process:h1:worker-1" {
+		t.Fatalf("ProcessURN = %q", got)
+	}
+	if got := HostURL("h1"); got != "snipe://hosts/h1" {
+		t.Fatalf("HostURL = %q", got)
+	}
+	if got := GroupURN("g"); got != "urn:snipe:group:g" {
+		t.Fatalf("GroupURN = %q", got)
+	}
+	if got := FileURN("f"); got != "urn:snipe:file:f" {
+		t.Fatalf("FileURN = %q", got)
+	}
+	if got := ServiceURN("s"); got != "urn:snipe:service:s" {
+		t.Fatalf("ServiceURN = %q", got)
+	}
+}
+
+func TestRegisterResolveUnregister(t *testing.T) {
+	store := rcds.NewStore("s1")
+	cat := StoreCatalog(store)
+	r := NewResolver(cat)
+	r.SetTTL(time.Millisecond)
+
+	routes := []comm.Route{
+		{Transport: "tcp", Addr: "127.0.0.1:1000"},
+		{Transport: "rudp", Addr: "127.0.0.1:1001", NetName: "lan"},
+	}
+	if err := Register(cat, "urn:p1", routes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Resolve("urn:p1")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Resolve = %v, %v", got, err)
+	}
+	if err := Unregister(cat, "urn:p1"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the cache expire
+	got, err = r.Resolve("urn:p1")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("after unregister: %v, %v", got, err)
+	}
+}
+
+func TestResolverCache(t *testing.T) {
+	store := rcds.NewStore("s1")
+	cat := StoreCatalog(store)
+	r := NewResolver(cat)
+	r.SetTTL(time.Hour)
+
+	Register(cat, "urn:p1", []comm.Route{{Transport: "tcp", Addr: "a:1"}})
+	if got, _ := r.Resolve("urn:p1"); len(got) != 1 {
+		t.Fatalf("first resolve: %v", got)
+	}
+	// Change the catalog; the cache hides it until invalidated.
+	Unregister(cat, "urn:p1")
+	if got, _ := r.Resolve("urn:p1"); len(got) != 1 {
+		t.Fatalf("cached resolve: %v", got)
+	}
+	r.Invalidate("urn:p1")
+	if got, _ := r.Resolve("urn:p1"); len(got) != 0 {
+		t.Fatalf("after invalidate: %v", got)
+	}
+}
+
+func TestResolverToleratesForeignAddressFormats(t *testing.T) {
+	store := rcds.NewStore("s1")
+	cat := StoreCatalog(store)
+	cat.Add("urn:p1", rcds.AttrCommAddr, "not-a-route")
+	cat.Add("urn:p1", rcds.AttrCommAddr, "tcp://127.0.0.1:5")
+	r := NewResolver(cat)
+	got, err := r.Resolve("urn:p1")
+	if err != nil || len(got) != 1 || got[0].Addr != "127.0.0.1:5" {
+		t.Fatalf("Resolve = %v, %v", got, err)
+	}
+}
+
+func TestResolverSatisfiesCommResolver(t *testing.T) {
+	var _ comm.Resolver = NewResolver(StoreCatalog(rcds.NewStore("x")))
+}

@@ -1,0 +1,385 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfileTransmitTime(t *testing.T) {
+	// 100 Mbit = 12.5 MB/s: 12500 bytes should take ~1ms plus overhead.
+	d := Ethernet100.TransmitTime(12500)
+	if d < time.Millisecond || d > 1100*time.Microsecond {
+		t.Fatalf("TransmitTime(12500) on 100Mb = %v", d)
+	}
+	if Ethernet10.TransmitTime(1000) <= Ethernet100.TransmitTime(1000) {
+		t.Fatal("10Mb should be slower than 100Mb")
+	}
+}
+
+func TestProfileModifiers(t *testing.T) {
+	p := Ethernet100.WithLoss(0.5)
+	if p.Loss != 0.5 || Ethernet100.Loss != 0 {
+		t.Fatal("WithLoss must copy")
+	}
+	q := WAN.WithLatency(time.Second)
+	if q.Latency != time.Second || WAN.Latency == time.Second {
+		t.Fatal("WithLatency must copy")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Float64 in [0,1).
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestStreamPipeRoundTrip(t *testing.T) {
+	a, b, link := StreamPipe(Loopback, 1)
+	defer link.Close()
+	msg := []byte("hello across the simulated wire")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestStreamPipeBidirectional(t *testing.T) {
+	a, b, link := StreamPipe(Ethernet100, 2)
+	defer link.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		io.ReadFull(a, buf)
+		if string(buf) != "pong" {
+			t.Errorf("a got %q", buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4)
+		io.ReadFull(b, buf)
+		if string(buf) != "ping" {
+			t.Errorf("b got %q", buf)
+		}
+		b.Write([]byte("pong"))
+	}()
+	wg.Wait()
+}
+
+func TestStreamPipeLargeTransferIntegrity(t *testing.T) {
+	a, b, link := StreamPipe(Loopback, 3)
+	defer link.Close()
+	rng := NewRNG(99)
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	go func() {
+		a.Write(data)
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large transfer corrupted")
+	}
+}
+
+func TestStreamPipeRateShaping(t *testing.T) {
+	// 1 Mbit/s link: 62500 bytes should take ~0.5s to arrive.
+	slow := Profile{Name: "slow", BitsPerSec: 1e6, Latency: 0, MTU: 1500}
+	a, b, link := StreamPipe(slow, 4)
+	defer link.Close()
+	const n = 62500
+	start := time.Now()
+	go func() {
+		a.Write(make([]byte, n))
+	}()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("transfer too fast for 1Mb/s link: %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("transfer far too slow: %v", elapsed)
+	}
+}
+
+func TestStreamPipeLatency(t *testing.T) {
+	p := Profile{Name: "lat", BitsPerSec: 1e9, Latency: 50 * time.Millisecond, MTU: 1500}
+	a, b, link := StreamPipe(p, 5)
+	defer link.Close()
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	io.ReadFull(b, buf)
+	if e := time.Since(start); e < 45*time.Millisecond {
+		t.Fatalf("latency not applied: %v", e)
+	}
+}
+
+func TestStreamPipeReadDeadline(t *testing.T) {
+	a, b, link := StreamPipe(Loopback, 6)
+	defer link.Close()
+	_ = a
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := b.Read(buf)
+	var opErr interface{ Timeout() bool }
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if ne, ok := err.(interface{ Unwrap() error }); ok {
+		if !errors.Is(ne.Unwrap(), ErrTimeout) {
+			t.Fatalf("want ErrTimeout, got %v", err)
+		}
+	}
+	_ = opErr
+	// Clearing the deadline allows reads again.
+	b.SetReadDeadline(time.Time{})
+	go a.Write([]byte("y"))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("after clearing deadline: %v", err)
+	}
+}
+
+func TestStreamPipeCloseUnblocksReader(t *testing.T) {
+	a, b, link := StreamPipe(Loopback, 7)
+	defer link.Close()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	a, b, link := StreamPipe(Loopback, 8)
+	defer link.Close()
+	_ = b
+	link.SetDown(true)
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("want ErrLinkDown, got %v", err)
+	}
+	link.SetDown(false)
+	go func() {
+		buf := make([]byte, 1)
+		io.ReadFull(b, buf)
+	}()
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+}
+
+func TestPacketPipeDelivery(t *testing.T) {
+	a, b, link := PacketPipe(Loopback, 9)
+	defer link.Close()
+	if err := a.Send([]byte("dgram-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send([]byte("dgram-2")); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := b.Recv()
+	if err != nil || string(p1) != "dgram-1" {
+		t.Fatalf("recv1: %q %v", p1, err)
+	}
+	p2, err := b.Recv()
+	if err != nil || string(p2) != "dgram-2" {
+		t.Fatalf("recv2: %q %v", p2, err)
+	}
+}
+
+func TestPacketPipeBoundariesPreserved(t *testing.T) {
+	a, b, link := PacketPipe(Ethernet100, 10)
+	defer link.Close()
+	sizes := []int{1, 100, 1500, 9000}
+	go func() {
+		for _, n := range sizes {
+			a.Send(make([]byte, n))
+		}
+	}()
+	for _, n := range sizes {
+		p, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != n {
+			t.Fatalf("boundary lost: want %d bytes, got %d", n, len(p))
+		}
+	}
+}
+
+func TestPacketPipeLossRate(t *testing.T) {
+	p := Loopback.WithLoss(0.3)
+	a, b, link := PacketPipe(p, 11)
+	defer link.Close()
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+		received++
+		if received+link.DroppedFrames() == total {
+			break
+		}
+	}
+	lossRate := 1 - float64(received)/total
+	if lossRate < 0.2 || lossRate > 0.4 {
+		t.Fatalf("loss rate %.3f, want ≈0.3", lossRate)
+	}
+}
+
+func TestPacketPipeRecvDeadline(t *testing.T) {
+	_, b, link := PacketPipe(Loopback, 12)
+	defer link.Close()
+	b.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := b.Recv(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestPacketPipeDeterministicLoss(t *testing.T) {
+	runOnce := func() []bool {
+		a, b, link := PacketPipe(Loopback.WithLoss(0.5), 42)
+		defer link.Close()
+		const n = 200
+		for i := 0; i < n; i++ {
+			a.Send([]byte{byte(i)})
+		}
+		got := make([]bool, 256)
+		b.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		for {
+			p, err := b.Recv()
+			if err != nil {
+				break
+			}
+			got[p[0]] = true
+		}
+		return got
+	}
+	r1, r2 := runOnce(), runOnce()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("loss pattern not deterministic for identical seeds")
+		}
+	}
+}
+
+// Property: any sequence of writes is received as the identical byte
+// stream, for any profile.
+func TestQuickStreamIntegrity(t *testing.T) {
+	profiles := []Profile{Loopback, Ethernet100, ATM155}
+	f := func(chunks [][]byte, profileIdx uint8) bool {
+		p := profiles[int(profileIdx)%len(profiles)]
+		a, b, link := StreamPipe(p, uint64(profileIdx))
+		defer link.Close()
+		var want []byte
+		for _, c := range chunks {
+			if len(c) > 4096 {
+				c = c[:4096]
+			}
+			want = append(want, c...)
+		}
+		go func() {
+			for _, c := range chunks {
+				if len(c) > 4096 {
+					c = c[:4096]
+				}
+				if len(c) > 0 {
+					a.Write(c)
+				}
+			}
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamPipeThroughput64K(b *testing.B) {
+	a, bb, link := StreamPipe(Loopback, 1)
+	defer link.Close()
+	buf := make([]byte, 64<<10)
+	go func() {
+		sink := make([]byte, 64<<10)
+		for {
+			if _, err := bb.Read(sink); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	link.Close()
+}

@@ -1,0 +1,176 @@
+package playground
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates SnipeScript assembly into a Program. The syntax:
+//
+//	; comment
+//	.mem 128            ; memory cells (default 64)
+//	.str hello "hi"     ; string constant; push with $hello
+//	loop:               ; label
+//	    push 1
+//	    push $hello     ; pushes the constant's pool index
+//	    sys log         ; syscalls by name: send recv log logint argint steps yield
+//	    jnz loop        ; jumps take label operands
+//	    halt
+//
+// Operand-carrying instructions: push, jmp, jz, jnz, call, loadi,
+// storei, sys. Everything else is zero-operand.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		pos   int // offset of the 8-byte immediate to patch
+		label string
+		line  int
+	}
+	p := &Program{MemSize: 64}
+	strIdx := map[string]int64{}
+	labels := map[string]int{}
+	var patches []pending
+	var code []byte
+
+	emitOp := func(op uint8) { code = append(code, op) }
+	emitImm := func(x int64) {
+		code = append(code,
+			byte(uint64(x)>>56), byte(uint64(x)>>48), byte(uint64(x)>>40), byte(uint64(x)>>32),
+			byte(uint64(x)>>24), byte(uint64(x)>>16), byte(uint64(x)>>8), byte(uint64(x)))
+	}
+
+	ops0 := map[string]uint8{
+		"halt": opHalt, "nop": opNop, "pop": opPop, "dup": opDup, "swap": opSwap,
+		"add": opAdd, "sub": opSub, "mul": opMul, "div": opDiv, "mod": opMod,
+		"neg": opNeg, "and": opAnd, "or": opOr, "xor": opXor, "shl": opShl, "shr": opShr,
+		"eq": opEq, "ne": opNe, "lt": opLt, "le": opLe, "gt": opGt, "ge": opGe,
+		"not": opNot, "ret": opRet, "load": opLoad, "store": opStore,
+	}
+	ops1 := map[string]uint8{
+		"push": opPush, "jmp": opJmp, "jz": opJz, "jnz": opJnz, "call": opCall,
+		"loadi": opLoadI, "storei": opStoreI, "sys": opSys,
+	}
+	syscalls := map[string]int64{
+		"send": SysSend, "recv": SysRecv, "log": SysLog, "logint": SysLogInt,
+		"argint": SysArgInt, "steps": SysSteps, "yield": SysYield,
+	}
+
+	resolveOperand := func(op string, lineNo int, opcode uint8) (int64, bool, error) {
+		// Returns (value, isLabelPatch, err).
+		if strings.HasPrefix(op, "$") {
+			idx, ok := strIdx[op[1:]]
+			if !ok {
+				return 0, false, fmt.Errorf("playground: line %d: unknown string constant %q", lineNo, op[1:])
+			}
+			return idx, false, nil
+		}
+		if n, err := strconv.ParseInt(op, 0, 64); err == nil {
+			return n, false, nil
+		}
+		switch opcode {
+		case opJmp, opJz, opJnz, opCall:
+			return 0, true, nil // label, patched later
+		case opSys:
+			if n, ok := syscalls[op]; ok {
+				return n, false, nil
+			}
+			return 0, false, fmt.Errorf("playground: line %d: unknown syscall %q", lineNo, op)
+		}
+		return 0, false, fmt.Errorf("playground: line %d: bad operand %q", lineNo, op)
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".mem"):
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("playground: line %d: .mem needs one operand", lineNo+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("playground: line %d: bad .mem size %q", lineNo+1, fields[1])
+			}
+			p.MemSize = n
+			continue
+		case strings.HasPrefix(line, ".str"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, ".str"))
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				return nil, fmt.Errorf("playground: line %d: .str needs name and value", lineNo+1)
+			}
+			name := rest[:sp]
+			val := strings.TrimSpace(rest[sp+1:])
+			unq, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, fmt.Errorf("playground: line %d: .str value must be quoted: %v", lineNo+1, err)
+			}
+			strIdx[name] = int64(len(p.Consts))
+			p.Consts = append(p.Consts, unq)
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("playground: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(code)
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		if op, ok := ops0[mnem]; ok {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("playground: line %d: %s takes no operand", lineNo+1, mnem)
+			}
+			emitOp(op)
+			continue
+		}
+		op, ok := ops1[mnem]
+		if !ok {
+			return nil, fmt.Errorf("playground: line %d: unknown instruction %q", lineNo+1, mnem)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("playground: line %d: %s takes one operand", lineNo+1, mnem)
+		}
+		val, isLabel, err := resolveOperand(fields[1], lineNo+1, op)
+		if err != nil {
+			return nil, err
+		}
+		emitOp(op)
+		if isLabel {
+			patches = append(patches, pending{pos: len(code), label: fields[1], line: lineNo + 1})
+		}
+		emitImm(val)
+	}
+
+	for _, pt := range patches {
+		target, ok := labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("playground: line %d: undefined label %q", pt.line, pt.label)
+		}
+		x := int64(target)
+		for i := 0; i < 8; i++ {
+			code[pt.pos+i] = byte(uint64(x) >> uint(56-8*i))
+		}
+	}
+	p.Code = code
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and
+// examples with literal programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,87 @@
+package playground
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"snipe/internal/seckey"
+	"snipe/internal/xdr"
+)
+
+// CodeImage is a signed unit of mobile code: the program, the rights
+// it requests, and the provider's signature. The paper's metadata
+// servers "contain signed descriptions of mobile code, allowing
+// playgrounds to verify the codes authenticity and integrity and to
+// identify the resources and access rights needed for that code to
+// operate" (§3.1).
+type CodeImage struct {
+	Name      string
+	Program   []byte // serialised Program
+	Perms     Permissions
+	Signer    string
+	Signature []byte
+}
+
+// ErrBadImage indicates a malformed or unverifiable code image.
+var ErrBadImage = errors.New("playground: bad code image")
+
+func (img *CodeImage) signedBytes() []byte {
+	e := xdr.NewEncoder(len(img.Program) + 64)
+	e.PutString(img.Name)
+	e.PutBytes(img.Program)
+	e.PutUint32(uint32(img.Perms))
+	e.PutString(img.Signer)
+	return e.Bytes()
+}
+
+// SignImage builds a signed code image from a program.
+func SignImage(signer *seckey.Principal, name string, prog *Program, perms Permissions) *CodeImage {
+	img := &CodeImage{Name: name, Program: prog.Bytes(), Perms: perms, Signer: signer.Name}
+	img.Signature = signer.Sign(img.signedBytes())
+	return img
+}
+
+// Verify checks the image's signature under the signer's key.
+func (img *CodeImage) Verify(signerKey ed25519.PublicKey) error {
+	if !seckey.Verify(signerKey, img.signedBytes(), img.Signature) {
+		return fmt.Errorf("%w: signature by %s does not verify", ErrBadImage, img.Signer)
+	}
+	return nil
+}
+
+// Encode serialises the image for storage on a file server.
+func (img *CodeImage) Encode() []byte {
+	e := xdr.NewEncoder(len(img.Program) + 128)
+	e.PutRaw(img.signedBytes())
+	e.PutBytes(img.Signature)
+	return e.Bytes()
+}
+
+// DecodeImage reads an image written by Encode.
+func DecodeImage(b []byte) (*CodeImage, error) {
+	d := xdr.NewDecoder(b)
+	img := &CodeImage{}
+	var err error
+	if img.Name, err = d.String(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if img.Program, err = d.BytesCopy(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	perms, err := d.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	img.Perms = Permissions(perms)
+	if img.Signer, err = d.String(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if img.Signature, err = d.BytesCopy(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return img, nil
+}

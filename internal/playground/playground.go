@@ -1,0 +1,229 @@
+package playground
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"snipe/internal/fileserv"
+	"snipe/internal/lifn"
+	"snipe/internal/naming"
+	"snipe/internal/seckey"
+	"snipe/internal/task"
+)
+
+// ProgramName is the registry name under which a playground installs
+// itself on a daemon; specs with Program: ProgramName and a CodeURL
+// run mobile code.
+const ProgramName = "playground"
+
+// Sentinel control errors used between the VM poll hook and the task
+// wrapper.
+var (
+	errWantCheckpoint = errors.New("playground: checkpoint requested")
+	errWantKill       = errors.New("playground: kill requested")
+)
+
+// GrantPolicy decides which rights a playground grants to code from a
+// given verified signer.
+type GrantPolicy func(signer string) Permissions
+
+// Playground is the host-side runner for signed mobile code. It
+// implements the §3.6 duties: download the code from a file server,
+// verify authenticity and integrity, verify the code has the rights it
+// needs, enforce quotas and access restrictions, log violations, and
+// provide checkpoint/restart/migration hooks.
+type Playground struct {
+	cat   naming.Catalog
+	trust *seckey.TrustStore
+	grant GrantPolicy
+	quota Quota
+
+	mu  sync.Mutex
+	log []string
+}
+
+// New builds a playground. grant defaults to denying everything from
+// unknown signers and granting the image's requested rights to any
+// signer the trust store accepts for code signing.
+func New(cat naming.Catalog, trust *seckey.TrustStore, grant GrantPolicy, quota Quota) *Playground {
+	if grant == nil {
+		grant = func(string) Permissions { return PermAll }
+	}
+	if quota == (Quota{}) {
+		quota = DefaultQuota
+	}
+	return &Playground{cat: cat, trust: trust, grant: grant, quota: quota}
+}
+
+// Log returns the playground's violation/audit log.
+func (pg *Playground) Log() []string {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return append([]string(nil), pg.log...)
+}
+
+func (pg *Playground) logf(format string, args ...interface{}) {
+	pg.mu.Lock()
+	pg.log = append(pg.log, fmt.Sprintf(format, args...))
+	pg.mu.Unlock()
+}
+
+// Register installs the playground's task function on a registry.
+func (pg *Playground) Register(reg *task.Registry) {
+	reg.Register(ProgramName, pg.Run)
+}
+
+// Run is the task function: it executes spec.CodeURL inside the
+// sandbox. It cooperates with checkpoint requests by snapshotting the
+// VM and returning task.ErrMigrated; the code itself is re-fetched
+// from the file servers at the migration target (the paper's model:
+// code and state live on file servers, §5.6).
+func (pg *Playground) Run(ctx *task.Context) error {
+	spec := ctx.Spec()
+	if spec.CodeURL == "" {
+		return fmt.Errorf("%w: spec has no CodeURL", ErrBadImage)
+	}
+
+	// 1. Download the code image from any replica.
+	fc := fileserv.NewClient(pg.cat, ctx.Endpoint())
+	raw, err := fc.FetchAny(spec.CodeURL, nil)
+	if err != nil {
+		return fmt.Errorf("playground: fetching %s: %w", spec.CodeURL, err)
+	}
+
+	// 2. Integrity: content hash published as RC metadata.
+	if err := lifn.VerifyHash(pg.cat, naming.FileURN(spec.CodeURL), raw); err != nil {
+		pg.logf("integrity violation for %s: %v", spec.CodeURL, err)
+		return err
+	}
+
+	// 3. Authenticity: the image signature must verify under a signer
+	// trusted for code signing.
+	img, err := DecodeImage(raw)
+	if err != nil {
+		return err
+	}
+	signerKey, ok := pg.trust.TrustedKey(seckey.PurposeCodeSigning, img.Signer)
+	if !ok {
+		pg.logf("untrusted signer %s for %s", img.Signer, spec.CodeURL)
+		return fmt.Errorf("%w: signer %s not trusted for code signing", seckey.ErrUntrusted, img.Signer)
+	}
+	if err := img.Verify(signerKey); err != nil {
+		pg.logf("signature violation for %s: %v", spec.CodeURL, err)
+		return err
+	}
+
+	// 4. Rights: the code's requested permissions must be granted.
+	granted := pg.grant(img.Signer)
+	if img.Perms&^granted != 0 {
+		pg.logf("rights violation: %s requests %x, granted %x", spec.CodeURL, img.Perms, granted)
+		return fmt.Errorf("%w: image requests rights %x beyond grant %x", ErrPermission, img.Perms, granted)
+	}
+
+	prog, err := ParseProgram(img.Program)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+
+	// 5. Execute under quota, binding syscalls to the task's endpoint.
+	host := &taskHost{ctx: ctx, pg: pg}
+	var vm *VM
+	if st := ctx.RestoredState(); st != nil {
+		vm, err = RestoreVM(prog, st, host, pg.quota, img.Perms)
+	} else {
+		vm, err = NewVM(prog, host, pg.quota, img.Perms)
+	}
+	if err != nil {
+		return err
+	}
+
+	exit, err := vm.Run()
+	for _, v := range vm.Violations() {
+		pg.logf("%s violation in %s: %s", v.Kind, spec.CodeURL, v.Msg)
+	}
+	switch {
+	case errors.Is(err, errWantCheckpoint):
+		ctx.SaveCheckpoint(vm.Snapshot())
+		return task.ErrMigrated
+	case errors.Is(err, errWantKill):
+		return task.ErrKilled
+	case err != nil:
+		return err
+	}
+	if exit != 0 {
+		return fmt.Errorf("playground: program exited with %d", exit)
+	}
+	return nil
+}
+
+// taskHost binds VM syscalls to the task context.
+type taskHost struct {
+	ctx *task.Context
+	pg  *Playground
+}
+
+func (h *taskHost) Send(dst string, tag uint32, value int64) error {
+	payload := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		payload[i] = byte(uint64(value) >> uint(56-8*i))
+	}
+	return h.ctx.Send(dst, tag, payload)
+}
+
+func (h *taskHost) Recv(tag uint32, timeoutMs int64) (int64, bool) {
+	if timeoutMs <= 0 {
+		timeoutMs = 1
+	}
+	m, err := h.ctx.RecvMatch("", tag, time.Duration(timeoutMs)*time.Millisecond)
+	if err != nil || len(m.Payload) < 8 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(m.Payload[i])
+	}
+	return int64(v), true
+}
+
+func (h *taskHost) Log(msg string) {
+	h.pg.logf("[%s] %s", h.ctx.URN(), msg)
+}
+
+func (h *taskHost) ArgInt(i int) int64 {
+	args := h.ctx.Args()
+	if i < 0 || i >= len(args) {
+		return 0
+	}
+	n, err := strconv.ParseInt(args[i], 0, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (h *taskHost) Poll() error {
+	select {
+	case <-h.ctx.Done():
+		return errWantKill
+	case <-h.ctx.CheckpointRequested():
+		return errWantCheckpoint
+	default:
+		if h.ctx.CheckPause() {
+			return errWantKill
+		}
+		return nil
+	}
+}
+
+// Publish stores a signed image on a file server and registers its
+// content hash in RC metadata, making it launchable by CodeURL.
+func Publish(cat naming.Catalog, fc *fileserv.Client, serverURN string, img *CodeImage) error {
+	raw := img.Encode()
+	if err := fc.Store(serverURN, img.Name, raw); err != nil {
+		return err
+	}
+	return lifn.BindHash(cat, naming.FileURN(img.Name), raw)
+}

@@ -1,0 +1,356 @@
+package playground
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/daemon"
+	"snipe/internal/fileserv"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/seckey"
+	"snipe/internal/task"
+)
+
+type detRand struct{ state uint64 }
+
+func (r *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 56)
+	}
+	return len(p), nil
+}
+
+type pgWorld struct {
+	t      *testing.T
+	store  *rcds.Store
+	cat    naming.Catalog
+	fs     *fileserv.Server
+	fc     *fileserv.Client
+	trust  *seckey.TrustStore
+	signer *seckey.Principal
+	pg     *Playground
+	reg    *task.Registry
+}
+
+func newPGWorld(t *testing.T) *pgWorld {
+	t.Helper()
+	store := rcds.NewStore("pg-test")
+	cat := naming.StoreCatalog(store)
+	fs, err := fileserv.NewServer("fs1", cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fs.Close)
+
+	ep := comm.NewEndpoint("urn:publisher", comm.WithResolver(naming.NewResolver(cat)))
+	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naming.Register(cat, "urn:publisher", []comm.Route{route})
+	t.Cleanup(ep.Close)
+
+	signer, err := seckey.NewPrincipal("urn:snipe:user:dev", &detRand{state: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := seckey.NewTrustStore()
+	trust.Trust(seckey.PurposeCodeSigning, signer.Name, signer.Public())
+
+	pg := New(cat, trust, nil, Quota{MaxSteps: 1_000_000, MaxStack: 256, MaxMem: 4096})
+	reg := task.NewRegistry()
+	pg.Register(reg)
+
+	return &pgWorld{t: t, store: store, cat: cat, fs: fs,
+		fc: fileserv.NewClient(cat, ep), trust: trust, signer: signer, pg: pg, reg: reg}
+}
+
+func (w *pgWorld) publish(name, src string, perms Permissions) {
+	w.t.Helper()
+	img := SignImage(w.signer, name, MustAssemble(src), perms)
+	if err := Publish(w.cat, w.fc, w.fs.URN(), img); err != nil {
+		w.t.Fatal(err)
+	}
+}
+
+func (w *pgWorld) daemon(host string) *daemon.Daemon {
+	w.t.Helper()
+	d := daemon.New(daemon.Config{HostName: host, Catalog: w.cat, Registry: w.reg})
+	if err := d.Start(); err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(d.Close)
+	return d
+}
+
+const helloSrc = `
+.mem 4
+.str greet "hello from mobile code"
+push $greet
+sys log
+push 0
+halt`
+
+func TestImageSignAndVerify(t *testing.T) {
+	w := newPGWorld(t)
+	img := SignImage(w.signer, "code", MustAssemble(helloSrc), PermLog)
+	if err := img.Verify(w.signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// Tampering breaks verification.
+	img.Program[0] ^= 0xFF
+	if err := img.Verify(w.signer.Public()); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("tampered image: %v", err)
+	}
+	// Encode/decode round trip.
+	img2 := SignImage(w.signer, "code", MustAssemble(helloSrc), PermLog)
+	got, err := DecodeImage(img2.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "code" || got.Perms != PermLog || got.Signer != w.signer.Name {
+		t.Fatalf("decoded: %+v", got)
+	}
+	if err := got.Verify(w.signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeImage([]byte{1}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestMobileCodeRunsOnDaemon(t *testing.T) {
+	w := newPGWorld(t)
+	w.publish("hello.sc", helloSrc, PermLog)
+	d := w.daemon("h1")
+	urn, err := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "hello.sc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.WaitTask(urn, 10*time.Second)
+	if err != nil || st != task.StateExited {
+		t.Fatalf("mobile code: %v %v", st, err)
+	}
+	logs := w.pg.Log()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "hello from mobile code") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log output missing: %v", logs)
+	}
+}
+
+func TestTamperedCodeRejected(t *testing.T) {
+	w := newPGWorld(t)
+	w.publish("good.sc", helloSrc, PermLog)
+	// Corrupt the stored bytes after the hash was registered.
+	data, _ := w.fs.Get("good.sc")
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xFF
+	w.fs.Put("good.sc", bad)
+
+	d := w.daemon("h1")
+	urn, err := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "good.sc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, werr := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateFailed || werr == nil || !strings.Contains(werr.Error(), "hash mismatch") {
+		t.Fatalf("tampered code: %v %v", st, werr)
+	}
+	foundViolation := false
+	for _, l := range w.pg.Log() {
+		if strings.Contains(l, "integrity violation") {
+			foundViolation = true
+		}
+	}
+	if !foundViolation {
+		t.Fatalf("integrity violation not logged: %v", w.pg.Log())
+	}
+}
+
+func TestUntrustedSignerRejected(t *testing.T) {
+	w := newPGWorld(t)
+	mallory, _ := seckey.NewPrincipal("urn:snipe:user:mallory", &detRand{state: 66})
+	img := SignImage(mallory, "evil.sc", MustAssemble(helloSrc), PermLog)
+	if err := Publish(w.cat, w.fc, w.fs.URN(), img); err != nil {
+		t.Fatal(err)
+	}
+	d := w.daemon("h1")
+	urn, _ := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "evil.sc"})
+	st, werr := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateFailed || !errors.Is(werr, seckey.ErrUntrusted) {
+		t.Fatalf("untrusted signer: %v %v", st, werr)
+	}
+}
+
+func TestRightsBeyondGrantRejected(t *testing.T) {
+	w := newPGWorld(t)
+	// Policy: this signer may only log.
+	w.pg.grant = func(signer string) Permissions { return PermLog }
+	w.publish("greedy.sc", helloSrc, PermLog|PermSend)
+	d := w.daemon("h1")
+	urn, _ := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "greedy.sc"})
+	st, werr := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateFailed || !errors.Is(werr, ErrPermission) {
+		t.Fatalf("greedy code: %v %v", st, werr)
+	}
+}
+
+func TestMobileCodeMessaging(t *testing.T) {
+	w := newPGWorld(t)
+	// Program: reads arg 0 (a value), sends value*2 to the URN in the
+	// constant pool.
+	src := `
+.mem 4
+.str dst "urn:collector"
+push $dst
+push 9
+push 0
+sys argint
+push 2
+mul
+sys send
+pop
+push 0
+halt`
+	w.publish("worker.sc", src, PermSend)
+	d := w.daemon("h1")
+
+	// A collector endpoint to receive the result.
+	ep := comm.NewEndpoint("urn:collector", comm.WithResolver(naming.NewResolver(w.cat)))
+	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naming.Register(w.cat, "urn:collector", []comm.Route{route})
+	defer ep.Close()
+
+	urn, err := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "worker.sc", Args: []string{"21"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ep.RecvMatch("", 9, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(m.Payload[i])
+	}
+	if int64(v) != 42 {
+		t.Fatalf("mobile code sent %d", int64(v))
+	}
+	if st, _ := d.WaitTask(urn, 10*time.Second); st != task.StateExited {
+		t.Fatalf("state: %v", st)
+	}
+}
+
+func TestMobileCodeCheckpointMigration(t *testing.T) {
+	w := newPGWorld(t)
+	// A long counting loop with yields so checkpoint requests are seen.
+	src := `
+.mem 2
+start:
+loadi 0
+push 2000000
+ge
+jnz done
+loadi 0
+push 1
+add
+storei 0
+jmp start
+done:
+push 0
+halt`
+	w.publish("counter.sc", src, 0)
+	w.pg.quota = Quota{MaxSteps: 1 << 40, MaxStack: 64, MaxMem: 64}
+	d1 := w.daemon("h1")
+	d2 := w.daemon("h2")
+
+	urn, err := d1.Spawn(task.Spec{Program: ProgramName, CodeURL: "counter.sc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	spec, err := d1.Checkpoint(urn, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Checkpoint == nil {
+		t.Fatal("no VM snapshot captured")
+	}
+	d1.Release(urn)
+	// Adopt on the second host: the code is re-fetched from the file
+	// server, the VM state restored, and the loop runs to completion.
+	if err := d2.Adopt(urn, spec); err != nil {
+		t.Fatal(err)
+	}
+	st, werr := d2.WaitTask(urn, 30*time.Second)
+	if st != task.StateExited || werr != nil {
+		t.Fatalf("migrated mobile code: %v %v", st, werr)
+	}
+}
+
+func TestMobileCodeKill(t *testing.T) {
+	w := newPGWorld(t)
+	w.publish("spin.sc", ".mem 2\nspin:\njmp spin", 0)
+	// Raise the step quota so the kill, not the quota, ends it.
+	w.pg.quota = Quota{MaxSteps: 1 << 40, MaxStack: 64, MaxMem: 64}
+	d := w.daemon("h1")
+	urn, err := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "spin.sc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := d.Signal(urn, task.SigKill); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateExited {
+		t.Fatalf("killed mobile code: %v", st)
+	}
+}
+
+func TestQuotaViolationLogged(t *testing.T) {
+	w := newPGWorld(t)
+	w.publish("hog.sc", ".mem 2\nspin:\njmp spin", 0)
+	w.pg.quota = Quota{MaxSteps: 10_000, MaxStack: 64, MaxMem: 64}
+	d := w.daemon("h1")
+	urn, _ := d.Spawn(task.Spec{Program: ProgramName, CodeURL: "hog.sc"})
+	st, werr := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateFailed || !errors.Is(werr, ErrQuota) {
+		t.Fatalf("hog: %v %v", st, werr)
+	}
+	found := false
+	for _, l := range w.pg.Log() {
+		if strings.Contains(l, "quota violation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quota violation not logged: %v", w.pg.Log())
+	}
+}
+
+func TestSpecWithoutCodeURL(t *testing.T) {
+	w := newPGWorld(t)
+	d := w.daemon("h1")
+	urn, err := d.Spawn(task.Spec{Program: ProgramName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, werr := d.WaitTask(urn, 10*time.Second)
+	if st != task.StateFailed || !errors.Is(werr, ErrBadImage) {
+		t.Fatalf("no CodeURL: %v %v", st, werr)
+	}
+}

@@ -1,0 +1,638 @@
+// Package playground implements SNIPE playgrounds (paper §3.6, §5.8):
+// trusted environments for the secure execution of mobile code.
+//
+// A playground downloads a code image from a file server, verifies its
+// authenticity and integrity (signature and content hash published as
+// RC metadata), checks that the code's requested rights are granted,
+// and runs it under enforced resource quotas — logging violations and
+// excess resource use. The paper anticipates mobile code written in "a
+// machine-independent language such as Java, Python, or Limbo ...
+// [whose] implementations may also be able to arrange the allocation
+// of program storage in a way that facilitates checkpointing, restart,
+// and migration". This package provides exactly such a language:
+// SnipeScript, a small stack-machine bytecode whose entire execution
+// state serialises to a few hundred bytes, making playground tasks
+// genuinely checkpointable and migratable.
+package playground
+
+import (
+	"errors"
+	"fmt"
+
+	"snipe/internal/xdr"
+)
+
+// Opcodes of the SnipeScript virtual machine. Operand-carrying opcodes
+// take one 8-byte immediate.
+const (
+	opHalt   uint8 = iota // stop, top of stack is the exit value (0 if empty)
+	opPush                // push imm
+	opPop                 // discard top
+	opDup                 // duplicate top
+	opSwap                // swap top two
+	opAdd                 // a b -- a+b
+	opSub                 // a b -- a-b
+	opMul                 // a b -- a*b
+	opDiv                 // a b -- a/b (b!=0)
+	opMod                 // a b -- a%b (b!=0)
+	opNeg                 // a -- -a
+	opAnd                 // bitwise and
+	opOr                  // bitwise or
+	opXor                 // bitwise xor
+	opShl                 // a n -- a<<n
+	opShr                 // a n -- a>>n (arithmetic)
+	opEq                  // a b -- a==b
+	opNe                  // a b -- a!=b
+	opLt                  // a b -- a<b
+	opLe                  // a b -- a<=b
+	opGt                  // a b -- a>b
+	opGe                  // a b -- a>=b
+	opNot                 // a -- !a (0→1, nonzero→0)
+	opJmp                 // jump to imm
+	opJz                  // pop; jump to imm if zero
+	opJnz                 // pop; jump to imm if nonzero
+	opCall                // push return pc; jump to imm
+	opRet                 // pop return pc; jump
+	opLoad                // addr -- mem[addr]
+	opStore               // value addr -- ; mem[addr]=value
+	opLoadI               // -- mem[imm]
+	opStoreI              // value -- ; mem[imm]=value
+	opSys                 // syscall imm; args per syscall
+	opNop
+	opMax // sentinel
+)
+
+// Syscall numbers (the imm of opSys).
+const (
+	// SysSend: dstStrIdx tag value -- ok. Sends one 8-byte value.
+	SysSend int64 = iota + 1
+	// SysRecv: tag timeoutMs -- value ok. ok=0 on timeout.
+	SysRecv
+	// SysLog: strIdx -- . Logs a string constant.
+	SysLog
+	// SysLogInt: value -- . Logs an integer.
+	SysLogInt
+	// SysArgInt: i -- value. Reads task argument i as an integer (0 if
+	// missing or malformed).
+	SysArgInt
+	// SysSteps: -- steps. Reads the VM's executed-instruction counter
+	// (the deterministic substitute for wall-clock time).
+	SysSteps
+	// SysYield: -- . A cooperative scheduling point (checkpoint/kill).
+	SysYield
+)
+
+// Permissions gate syscalls; a playground grants rights according to
+// the code's verified credentials.
+type Permissions uint32
+
+// Permission bits.
+const (
+	PermSend Permissions = 1 << iota
+	PermRecv
+	PermLog
+	// PermAll grants everything; for trusted code.
+	PermAll Permissions = ^Permissions(0)
+)
+
+// Quota bounds a program's resource use, enforced per instruction —
+// the playground's job of "enforcing access restrictions and resource
+// usage quotas".
+type Quota struct {
+	MaxSteps int64 // instruction budget (0 = unlimited)
+	MaxStack int   // operand stack depth
+	MaxMem   int   // memory cells
+}
+
+// DefaultQuota is a generous sandbox default.
+var DefaultQuota = Quota{MaxSteps: 10_000_000, MaxStack: 1024, MaxMem: 65536}
+
+// Violation describes a quota or permission violation, which
+// playgrounds log (§3.6).
+type Violation struct {
+	Kind string // "quota" or "permission"
+	Msg  string
+}
+
+// Errors of the VM.
+var (
+	// ErrQuota indicates an exceeded resource quota.
+	ErrQuota = errors.New("playground: quota exceeded")
+	// ErrPermission indicates a syscall without the needed right.
+	ErrPermission = errors.New("playground: permission denied")
+	// ErrFault indicates a program fault (bad opcode, stack underflow,
+	// out-of-range memory, division by zero).
+	ErrFault = errors.New("playground: program fault")
+	// ErrInterrupted indicates the host stopped execution (kill or
+	// checkpoint).
+	ErrInterrupted = errors.New("playground: interrupted")
+)
+
+// Host is the VM's gateway to SNIPE facilities; the playground binds
+// it to the task's endpoint with access control applied.
+type Host interface {
+	Send(dst string, tag uint32, value int64) error
+	Recv(tag uint32, timeoutMs int64) (int64, bool)
+	Log(msg string)
+	ArgInt(i int) int64
+	// Poll is called at yield points; it returns ErrInterrupted to stop
+	// the program (for kill or checkpoint).
+	Poll() error
+}
+
+// Program is executable SnipeScript: a string constant pool, bytecode,
+// and an initial memory size.
+type Program struct {
+	Consts  []string
+	Code    []byte
+	MemSize int
+}
+
+// Encode serialises the program.
+func (p *Program) Encode(e *xdr.Encoder) {
+	e.PutStringSlice(p.Consts)
+	e.PutBytes(p.Code)
+	e.PutUint32(uint32(p.MemSize))
+}
+
+// DecodeProgram reads a program written by Encode.
+func DecodeProgram(d *xdr.Decoder) (*Program, error) {
+	p := &Program{}
+	var err error
+	if p.Consts, err = d.StringSlice(); err != nil {
+		return nil, err
+	}
+	if p.Code, err = d.BytesCopy(); err != nil {
+		return nil, err
+	}
+	memSize, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	p.MemSize = int(memSize)
+	return p, nil
+}
+
+// Bytes returns the serialised program.
+func (p *Program) Bytes() []byte {
+	e := xdr.NewEncoder(len(p.Code) + 64)
+	p.Encode(e)
+	return e.Bytes()
+}
+
+// ParseProgram decodes a serialised program.
+func ParseProgram(b []byte) (*Program, error) {
+	d := xdr.NewDecoder(b)
+	p, err := DecodeProgram(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// VM executes a Program under quotas and permissions. Its complete
+// execution state (pc, stack, memory, step counter) can be captured
+// with Snapshot and resumed with RestoreVM — the playground hook for
+// checkpointing, restart and migration.
+type VM struct {
+	prog  *Program
+	host  Host
+	quota Quota
+	perms Permissions
+
+	pc    int
+	stack []int64
+	mem   []int64
+	steps int64
+
+	violations []Violation
+}
+
+// NewVM prepares a program for execution.
+func NewVM(prog *Program, host Host, quota Quota, perms Permissions) (*VM, error) {
+	if quota.MaxMem > 0 && prog.MemSize > quota.MaxMem {
+		return nil, fmt.Errorf("%w: program wants %d memory cells, quota %d", ErrQuota, prog.MemSize, quota.MaxMem)
+	}
+	return &VM{
+		prog:  prog,
+		host:  host,
+		quota: quota,
+		perms: perms,
+		mem:   make([]int64, prog.MemSize),
+		stack: make([]int64, 0, 64),
+	}, nil
+}
+
+// Violations returns the logged quota/permission violations.
+func (v *VM) Violations() []Violation { return v.violations }
+
+// Steps returns the number of executed instructions.
+func (v *VM) Steps() int64 { return v.steps }
+
+func (v *VM) violate(kind, format string, args ...interface{}) {
+	v.violations = append(v.violations, Violation{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *VM) push(x int64) error {
+	if v.quota.MaxStack > 0 && len(v.stack) >= v.quota.MaxStack {
+		v.violate("quota", "stack overflow at pc %d", v.pc)
+		return fmt.Errorf("%w: stack depth %d", ErrQuota, len(v.stack))
+	}
+	v.stack = append(v.stack, x)
+	return nil
+}
+
+func (v *VM) pop() (int64, error) {
+	if len(v.stack) == 0 {
+		return 0, fmt.Errorf("%w: stack underflow at pc %d", ErrFault, v.pc)
+	}
+	x := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return x, nil
+}
+
+func (v *VM) pop2() (a, b int64, err error) {
+	if b, err = v.pop(); err != nil {
+		return
+	}
+	a, err = v.pop()
+	return
+}
+
+func (v *VM) fetchImm() (int64, error) {
+	if v.pc+8 > len(v.prog.Code) {
+		return 0, fmt.Errorf("%w: truncated immediate at pc %d", ErrFault, v.pc)
+	}
+	b := v.prog.Code[v.pc:]
+	imm := int64(uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]))
+	v.pc += 8
+	return imm, nil
+}
+
+func (v *VM) str(idx int64) (string, error) {
+	if idx < 0 || int(idx) >= len(v.prog.Consts) {
+		return "", fmt.Errorf("%w: string constant %d out of range", ErrFault, idx)
+	}
+	return v.prog.Consts[idx], nil
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// yieldEvery is how many instructions run between host Poll calls.
+const yieldEvery = 4096
+
+// Run executes until HALT, a fault, a quota violation, or a host
+// interruption, returning the program's exit value.
+func (v *VM) Run() (int64, error) {
+	for {
+		if v.quota.MaxSteps > 0 && v.steps >= v.quota.MaxSteps {
+			v.violate("quota", "instruction budget %d exhausted", v.quota.MaxSteps)
+			return 0, fmt.Errorf("%w: %d instructions", ErrQuota, v.quota.MaxSteps)
+		}
+		if v.steps%yieldEvery == 0 && v.host != nil {
+			if err := v.host.Poll(); err != nil {
+				return 0, err
+			}
+		}
+		if v.pc < 0 || v.pc >= len(v.prog.Code) {
+			return 0, fmt.Errorf("%w: pc %d out of code range", ErrFault, v.pc)
+		}
+		op := v.prog.Code[v.pc]
+		v.pc++
+		v.steps++
+
+		var err error
+		switch op {
+		case opHalt:
+			if len(v.stack) == 0 {
+				return 0, nil
+			}
+			return v.stack[len(v.stack)-1], nil
+		case opNop:
+		case opPush:
+			var imm int64
+			if imm, err = v.fetchImm(); err == nil {
+				err = v.push(imm)
+			}
+		case opPop:
+			_, err = v.pop()
+		case opDup:
+			if len(v.stack) == 0 {
+				err = fmt.Errorf("%w: dup on empty stack", ErrFault)
+			} else {
+				err = v.push(v.stack[len(v.stack)-1])
+			}
+		case opSwap:
+			var a, b int64
+			if a, b, err = v.pop2(); err == nil {
+				v.push(b)
+				err = v.push(a)
+			}
+		case opAdd, opSub, opMul, opDiv, opMod, opAnd, opOr, opXor, opShl, opShr,
+			opEq, opNe, opLt, opLe, opGt, opGe:
+			var a, b int64
+			if a, b, err = v.pop2(); err != nil {
+				break
+			}
+			var r int64
+			switch op {
+			case opAdd:
+				r = a + b
+			case opSub:
+				r = a - b
+			case opMul:
+				r = a * b
+			case opDiv:
+				if b == 0 {
+					err = fmt.Errorf("%w: division by zero at pc %d", ErrFault, v.pc)
+				} else {
+					r = a / b
+				}
+			case opMod:
+				if b == 0 {
+					err = fmt.Errorf("%w: modulo by zero at pc %d", ErrFault, v.pc)
+				} else {
+					r = a % b
+				}
+			case opAnd:
+				r = a & b
+			case opOr:
+				r = a | b
+			case opXor:
+				r = a ^ b
+			case opShl:
+				r = a << uint(b&63)
+			case opShr:
+				r = a >> uint(b&63)
+			case opEq:
+				r = boolToInt(a == b)
+			case opNe:
+				r = boolToInt(a != b)
+			case opLt:
+				r = boolToInt(a < b)
+			case opLe:
+				r = boolToInt(a <= b)
+			case opGt:
+				r = boolToInt(a > b)
+			case opGe:
+				r = boolToInt(a >= b)
+			}
+			if err == nil {
+				err = v.push(r)
+			}
+		case opNeg:
+			var a int64
+			if a, err = v.pop(); err == nil {
+				err = v.push(-a)
+			}
+		case opNot:
+			var a int64
+			if a, err = v.pop(); err == nil {
+				err = v.push(boolToInt(a == 0))
+			}
+		case opJmp:
+			var imm int64
+			if imm, err = v.fetchImm(); err == nil {
+				v.pc = int(imm)
+			}
+		case opJz, opJnz:
+			var imm, c int64
+			if imm, err = v.fetchImm(); err != nil {
+				break
+			}
+			if c, err = v.pop(); err != nil {
+				break
+			}
+			if (op == opJz && c == 0) || (op == opJnz && c != 0) {
+				v.pc = int(imm)
+			}
+		case opCall:
+			var imm int64
+			if imm, err = v.fetchImm(); err != nil {
+				break
+			}
+			if err = v.push(int64(v.pc)); err == nil {
+				v.pc = int(imm)
+			}
+		case opRet:
+			var ret int64
+			if ret, err = v.pop(); err == nil {
+				v.pc = int(ret)
+			}
+		case opLoad:
+			var addr int64
+			if addr, err = v.pop(); err != nil {
+				break
+			}
+			if addr < 0 || int(addr) >= len(v.mem) {
+				err = fmt.Errorf("%w: load of cell %d (mem %d)", ErrFault, addr, len(v.mem))
+			} else {
+				err = v.push(v.mem[addr])
+			}
+		case opStore:
+			var val, addr int64
+			if val, addr, err = v.pop2(); err != nil {
+				break
+			}
+			// Stack order: value addr -- ; pop2 gives (a=val, b=addr).
+			if addr < 0 || int(addr) >= len(v.mem) {
+				err = fmt.Errorf("%w: store to cell %d (mem %d)", ErrFault, addr, len(v.mem))
+			} else {
+				v.mem[addr] = val
+			}
+		case opLoadI:
+			var imm int64
+			if imm, err = v.fetchImm(); err != nil {
+				break
+			}
+			if imm < 0 || int(imm) >= len(v.mem) {
+				err = fmt.Errorf("%w: load of cell %d", ErrFault, imm)
+			} else {
+				err = v.push(v.mem[imm])
+			}
+		case opStoreI:
+			var imm, val int64
+			if imm, err = v.fetchImm(); err != nil {
+				break
+			}
+			if val, err = v.pop(); err != nil {
+				break
+			}
+			if imm < 0 || int(imm) >= len(v.mem) {
+				err = fmt.Errorf("%w: store to cell %d", ErrFault, imm)
+			} else {
+				v.mem[imm] = val
+			}
+		case opSys:
+			err = v.syscall()
+		default:
+			err = fmt.Errorf("%w: bad opcode %d at pc %d", ErrFault, op, v.pc-1)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (v *VM) syscall() error {
+	num, err := v.fetchImm()
+	if err != nil {
+		return err
+	}
+	if v.host == nil {
+		return fmt.Errorf("%w: no host bound for syscall %d", ErrFault, num)
+	}
+	switch num {
+	case SysSend:
+		if v.perms&PermSend == 0 {
+			v.violate("permission", "send without PermSend")
+			return fmt.Errorf("%w: send", ErrPermission)
+		}
+		value, err := v.pop()
+		if err != nil {
+			return err
+		}
+		tag, err := v.pop()
+		if err != nil {
+			return err
+		}
+		dstIdx, err := v.pop()
+		if err != nil {
+			return err
+		}
+		dst, err := v.str(dstIdx)
+		if err != nil {
+			return err
+		}
+		sendErr := v.host.Send(dst, uint32(tag), value)
+		return v.push(boolToInt(sendErr == nil))
+	case SysRecv:
+		if v.perms&PermRecv == 0 {
+			v.violate("permission", "recv without PermRecv")
+			return fmt.Errorf("%w: recv", ErrPermission)
+		}
+		timeoutMs, err := v.pop()
+		if err != nil {
+			return err
+		}
+		tag, err := v.pop()
+		if err != nil {
+			return err
+		}
+		value, ok := v.host.Recv(uint32(tag), timeoutMs)
+		if err := v.push(value); err != nil {
+			return err
+		}
+		return v.push(boolToInt(ok))
+	case SysLog:
+		if v.perms&PermLog == 0 {
+			v.violate("permission", "log without PermLog")
+			return fmt.Errorf("%w: log", ErrPermission)
+		}
+		idx, err := v.pop()
+		if err != nil {
+			return err
+		}
+		s, err := v.str(idx)
+		if err != nil {
+			return err
+		}
+		v.host.Log(s)
+		return nil
+	case SysLogInt:
+		if v.perms&PermLog == 0 {
+			v.violate("permission", "log without PermLog")
+			return fmt.Errorf("%w: log", ErrPermission)
+		}
+		x, err := v.pop()
+		if err != nil {
+			return err
+		}
+		v.host.Log(fmt.Sprintf("%d", x))
+		return nil
+	case SysArgInt:
+		i, err := v.pop()
+		if err != nil {
+			return err
+		}
+		return v.push(v.host.ArgInt(int(i)))
+	case SysSteps:
+		return v.push(v.steps)
+	case SysYield:
+		return v.host.Poll()
+	}
+	return fmt.Errorf("%w: unknown syscall %d", ErrFault, num)
+}
+
+// Snapshot captures the VM's complete execution state.
+func (v *VM) Snapshot() []byte {
+	e := xdr.NewEncoder(len(v.mem)*8 + len(v.stack)*8 + 64)
+	e.PutUint32(uint32(v.pc))
+	e.PutInt64(v.steps)
+	e.PutUint32(uint32(len(v.stack)))
+	for _, x := range v.stack {
+		e.PutInt64(x)
+	}
+	e.PutUint32(uint32(len(v.mem)))
+	for _, x := range v.mem {
+		e.PutInt64(x)
+	}
+	return e.Bytes()
+}
+
+// RestoreVM rebuilds a VM from a snapshot, binding a new host (the
+// migration target's endpoint).
+func RestoreVM(prog *Program, snapshot []byte, host Host, quota Quota, perms Permissions) (*VM, error) {
+	v, err := NewVM(prog, host, quota, perms)
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(snapshot)
+	pc, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	v.pc = int(pc)
+	if v.steps, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	nStack, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if quota.MaxStack > 0 && int(nStack) > quota.MaxStack {
+		return nil, fmt.Errorf("%w: snapshot stack %d", ErrQuota, nStack)
+	}
+	v.stack = make([]int64, nStack)
+	for i := range v.stack {
+		if v.stack[i], err = d.Int64(); err != nil {
+			return nil, err
+		}
+	}
+	nMem, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if quota.MaxMem > 0 && int(nMem) > quota.MaxMem {
+		return nil, fmt.Errorf("%w: snapshot memory %d", ErrQuota, nMem)
+	}
+	v.mem = make([]int64, nMem)
+	for i := range v.mem {
+		if v.mem[i], err = d.Int64(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,543 @@
+package playground
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// nullHost satisfies Host with no-ops for pure-compute tests.
+type nullHost struct {
+	logs  []string
+	args  []int64
+	sent  []int64
+	inbox []int64
+}
+
+func (h *nullHost) Send(dst string, tag uint32, value int64) error {
+	h.sent = append(h.sent, value)
+	return nil
+}
+
+func (h *nullHost) Recv(tag uint32, timeoutMs int64) (int64, bool) {
+	if len(h.inbox) == 0 {
+		return 0, false
+	}
+	v := h.inbox[0]
+	h.inbox = h.inbox[1:]
+	return v, true
+}
+
+func (h *nullHost) Log(msg string) { h.logs = append(h.logs, msg) }
+func (h *nullHost) ArgInt(i int) int64 {
+	if i < 0 || i >= len(h.args) {
+		return 0
+	}
+	return h.args[i]
+}
+func (h *nullHost) Poll() error { return nil }
+
+func run(t *testing.T, src string, host Host, quota Quota, perms Permissions) (int64, *VM, error) {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	vm, err := NewVM(prog, host, quota, perms)
+	if err != nil {
+		return 0, nil, err
+	}
+	exit, err := vm.Run()
+	return exit, vm, err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"push 2\npush 3\nadd\nhalt", 5},
+		{"push 10\npush 3\nsub\nhalt", 7},
+		{"push 6\npush 7\nmul\nhalt", 42},
+		{"push 17\npush 5\ndiv\nhalt", 3},
+		{"push 17\npush 5\nmod\nhalt", 2},
+		{"push 5\nneg\nhalt", -5},
+		{"push 12\npush 10\nand\nhalt", 8},
+		{"push 12\npush 10\nor\nhalt", 14},
+		{"push 12\npush 10\nxor\nhalt", 6},
+		{"push 1\npush 4\nshl\nhalt", 16},
+		{"push -16\npush 2\nshr\nhalt", -4},
+		{"push 3\npush 3\neq\nhalt", 1},
+		{"push 3\npush 4\nne\nhalt", 1},
+		{"push 3\npush 4\nlt\nhalt", 1},
+		{"push 4\npush 4\nle\nhalt", 1},
+		{"push 5\npush 4\ngt\nhalt", 1},
+		{"push 4\npush 5\nge\nhalt", 0},
+		{"push 0\nnot\nhalt", 1},
+		{"push 9\nnot\nhalt", 0},
+		{"halt", 0},
+	}
+	for i, c := range cases {
+		exit, _, err := run(t, c.src, &nullHost{}, DefaultQuota, 0)
+		if err != nil || exit != c.want {
+			t.Errorf("case %d (%q): exit=%d err=%v, want %d", i, c.src, exit, err, c.want)
+		}
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	exit, _, err := run(t, "push 1\npush 2\nswap\npop\nhalt", &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 2 {
+		t.Fatalf("swap/pop: %d %v", exit, err)
+	}
+	exit, _, err = run(t, "push 7\ndup\nadd\nhalt", &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 14 {
+		t.Fatalf("dup: %d %v", exit, err)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	src := `
+.mem 16
+push 99
+storei 3
+loadi 3
+halt`
+	exit, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 99 {
+		t.Fatalf("storei/loadi: %d %v", exit, err)
+	}
+	// Indirect load/store.
+	src2 := `
+.mem 8
+push 55
+push 2
+store
+push 2
+load
+halt`
+	exit, _, err = run(t, src2, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 55 {
+		t.Fatalf("store/load: %d %v", exit, err)
+	}
+}
+
+func TestControlFlowLoop(t *testing.T) {
+	// Sum 1..10 = 55 using a loop.
+	src := `
+.mem 2
+; mem[0] = i, mem[1] = sum
+push 1
+storei 0
+loop:
+loadi 0
+push 10
+gt
+jnz done
+loadi 1
+loadi 0
+add
+storei 1
+loadi 0
+push 1
+add
+storei 0
+jmp loop
+done:
+loadi 1
+halt`
+	exit, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 55 {
+		t.Fatalf("loop sum: %d %v", exit, err)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// A function that doubles its argument (on the stack under the
+	// return address handling: we keep it simple, arg in mem[0]).
+	src := `
+.mem 1
+push 21
+storei 0
+call double
+loadi 0
+halt
+double:
+loadi 0
+push 2
+mul
+storei 0
+ret`
+	exit, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 42 {
+		t.Fatalf("call/ret: %d %v", exit, err)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []string{
+		"pop\nhalt",                    // underflow
+		"push 1\npush 0\ndiv\nhalt",    // div by zero
+		"push 1\npush 0\nmod\nhalt",    // mod by zero
+		"push 100\nload\nhalt",         // mem out of range (default 64)
+		"push 1\npush -1\nstore\nhalt", // negative address
+		"jmp 99999\nnop",               // pc out of range
+		"dup\nhalt",                    // dup on empty
+	}
+	for i, src := range cases {
+		_, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+		if !errors.Is(err, ErrFault) {
+			t.Errorf("case %d (%q): want ErrFault, got %v", i, src, err)
+		}
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	prog := &Program{Code: []byte{200}, MemSize: 0}
+	vm, err := NewVM(prog, &nullHost{}, DefaultQuota, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); !errors.Is(err, ErrFault) {
+		t.Fatalf("bad opcode: %v", err)
+	}
+}
+
+func TestStepQuota(t *testing.T) {
+	src := ".mem 4\nspin:\njmp spin"
+	_, vm, err := run(t, src, &nullHost{}, Quota{MaxSteps: 1000, MaxStack: 8, MaxMem: 8}, 0)
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+	if len(vm.Violations()) == 0 || vm.Violations()[0].Kind != "quota" {
+		t.Fatalf("violations: %v", vm.Violations())
+	}
+}
+
+func TestStackQuota(t *testing.T) {
+	src := ".mem 4\ngrow:\npush 1\njmp grow"
+	_, _, err := run(t, src, &nullHost{}, Quota{MaxSteps: 1e6, MaxStack: 16, MaxMem: 8}, 0)
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+}
+
+func TestMemQuota(t *testing.T) {
+	prog := MustAssemble(".mem 1000\nhalt")
+	if _, err := NewVM(prog, &nullHost{}, Quota{MaxMem: 100}, 0); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+}
+
+func TestSyscallPermissions(t *testing.T) {
+	sendSrc := `
+.str dst "urn:x"
+push $dst
+push 1
+push 42
+sys send
+halt`
+	// Without PermSend: denied and logged.
+	_, vm, err := run(t, sendSrc, &nullHost{}, DefaultQuota, PermLog)
+	if !errors.Is(err, ErrPermission) {
+		t.Fatalf("want ErrPermission, got %v", err)
+	}
+	found := false
+	for _, v := range vm.Violations() {
+		if v.Kind == "permission" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("permission violation not logged")
+	}
+	// With PermSend: works.
+	h := &nullHost{}
+	exit, _, err := run(t, sendSrc, h, DefaultQuota, PermSend)
+	if err != nil || exit != 1 {
+		t.Fatalf("send: %d %v", exit, err)
+	}
+	if len(h.sent) != 1 || h.sent[0] != 42 {
+		t.Fatalf("host sent: %v", h.sent)
+	}
+}
+
+func TestSyscallRecvLogArgs(t *testing.T) {
+	src := `
+.str msg "starting"
+push $msg
+sys log
+push 0
+sys argint
+push 5
+push 100
+sys recv
+pop
+add
+sys logint
+push 0
+halt`
+	h := &nullHost{inbox: []int64{30}, args: []int64{12}}
+	exit, _, err := run(t, src, h, DefaultQuota, PermAll)
+	if err != nil || exit != 0 {
+		t.Fatalf("run: %d %v", exit, err)
+	}
+	if len(h.logs) != 2 || h.logs[0] != "starting" || h.logs[1] != "42" {
+		t.Fatalf("logs: %v", h.logs)
+	}
+}
+
+func TestSysStepsAndYield(t *testing.T) {
+	src := `
+sys yield
+sys steps
+halt`
+	exit, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit <= 0 {
+		t.Fatalf("steps: %d %v", exit, err)
+	}
+}
+
+func TestPollInterruption(t *testing.T) {
+	h := &pollNHost{failAfter: 3}
+	src := "spin:\nsys yield\njmp spin"
+	prog := MustAssemble(src)
+	vm, err := NewVM(prog, h, DefaultQuota, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+}
+
+type pollNHost struct {
+	nullHost
+	calls     int
+	failAfter int
+}
+
+func (h *pollNHost) Poll() error {
+	h.calls++
+	if h.calls > h.failAfter {
+		return ErrInterrupted
+	}
+	return nil
+}
+
+func TestSnapshotRestoreMidLoop(t *testing.T) {
+	// Run a counting loop with a tiny step quota, snapshot at the
+	// quota, restore into a fresh VM with more budget, finish, and
+	// check the result equals an uninterrupted run.
+	src := `
+.mem 2
+start:
+loadi 0
+push 1000
+ge
+jnz done
+loadi 0
+push 1
+add
+storei 0
+loadi 1
+loadi 0
+add
+storei 1
+jmp start
+done:
+loadi 1
+halt`
+	prog := MustAssemble(src)
+
+	// Uninterrupted reference.
+	ref, err := NewVM(prog, &nullHost{}, DefaultQuota, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: stop after ~2000 steps via quota.
+	vm1, err := NewVM(prog, &nullHost{}, Quota{MaxSteps: 2000, MaxStack: 64, MaxMem: 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm1.Run(); !errors.Is(err, ErrQuota) {
+		t.Fatalf("expected quota stop, got %v", err)
+	}
+	snap := vm1.Snapshot()
+
+	vm2, err := RestoreVM(prog, snap, &nullHost{}, DefaultQuota, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored run = %d, want %d", got, want)
+	}
+	if vm2.Steps() <= vm1.Steps() {
+		t.Fatal("restored VM did not keep the step counter")
+	}
+}
+
+func TestRestoreRejectsOversizedState(t *testing.T) {
+	prog := MustAssemble(".mem 64\nhalt")
+	vm, _ := NewVM(prog, &nullHost{}, DefaultQuota, 0)
+	snap := vm.Snapshot()
+	if _, err := RestoreVM(prog, snap, &nullHost{}, Quota{MaxMem: 8}, 0); !errors.Is(err, ErrQuota) {
+		t.Fatalf("want ErrQuota, got %v", err)
+	}
+	if _, err := RestoreVM(prog, []byte{1, 2}, &nullHost{}, DefaultQuota, 0); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"bogus",
+		"push",
+		"add 1",
+		"jmp nowhere\nhalt",
+		".mem x",
+		".str a",
+		".str a unquoted",
+		"push $missing",
+		"dup:\ndup:\nhalt",
+		"sys explode",
+		"push zzz",
+	}
+	for i, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("case %d (%q): assembled without error", i, src)
+		}
+	}
+}
+
+func TestAssemblerCommentsAndHex(t *testing.T) {
+	src := `
+; leading comment
+push 0x10  ; hex immediate
+push 2
+mul        ; trailing comment
+halt`
+	exit, _, err := run(t, src, &nullHost{}, DefaultQuota, 0)
+	if err != nil || exit != 32 {
+		t.Fatalf("hex/comments: %d %v", exit, err)
+	}
+}
+
+func TestProgramSerializationRoundTrip(t *testing.T) {
+	prog := MustAssemble(".mem 7\n.str s \"x\"\npush $s\nsys log\nhalt")
+	got, err := ParseProgram(prog.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemSize != 7 || len(got.Consts) != 1 || got.Consts[0] != "x" ||
+		len(got.Code) != len(prog.Code) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := ParseProgram([]byte{1}); err == nil {
+		t.Fatal("truncated program accepted")
+	}
+}
+
+// Property: the VM never panics on arbitrary bytecode; it either halts
+// or returns an error within the step quota.
+func TestQuickVMNeverPanics(t *testing.T) {
+	f := func(code []byte, memSize uint8) bool {
+		prog := &Program{Code: code, MemSize: int(memSize), Consts: []string{"a"}}
+		vm, err := NewVM(prog, &nullHost{}, Quota{MaxSteps: 5000, MaxStack: 64, MaxMem: 256}, PermAll)
+		if err != nil {
+			return true
+		}
+		vm.Run()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot/restore at arbitrary interruption points is
+// transparent for the loop-sum program.
+func TestQuickSnapshotTransparency(t *testing.T) {
+	src := `
+.mem 2
+start:
+loadi 0
+push 300
+ge
+jnz done
+loadi 0
+push 1
+add
+storei 0
+loadi 1
+loadi 0
+add
+storei 1
+jmp start
+done:
+loadi 1
+halt`
+	prog := MustAssemble(src)
+	ref, _ := NewVM(prog, &nullHost{}, DefaultQuota, 0)
+	want, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(stopAt uint16) bool {
+		steps := int64(stopAt)%3000 + 1
+		vm1, _ := NewVM(prog, &nullHost{}, Quota{MaxSteps: steps, MaxStack: 64, MaxMem: 64}, 0)
+		exit, err := vm1.Run()
+		if err == nil {
+			return exit == want // finished before the quota
+		}
+		if !errors.Is(err, ErrQuota) {
+			return false
+		}
+		vm2, err := RestoreVM(prog, vm1.Snapshot(), &nullHost{}, DefaultQuota, 0)
+		if err != nil {
+			return false
+		}
+		got, err := vm2.Run()
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVMLoop(b *testing.B) {
+	src := `
+.mem 2
+start:
+loadi 0
+push 10000
+ge
+jnz done
+loadi 0
+push 1
+add
+storei 0
+jmp start
+done:
+halt`
+	prog := MustAssemble(src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm, err := NewVM(prog, nil, Quota{MaxSteps: 1e9, MaxStack: 64, MaxMem: 64}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

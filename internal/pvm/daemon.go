@@ -1,0 +1,572 @@
+package pvm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// handleFrame dispatches one pvmd protocol message.
+func (d *Daemon) handleFrame(conn connWriter, frame []byte) {
+	dec := xdr.NewDecoder(frame)
+	mt, err := dec.Uint8()
+	if err != nil {
+		return
+	}
+	switch mt {
+	case pmJoinReq:
+		d.handleJoin(conn, dec)
+	case pmHostTable:
+		d.handleHostTable(dec)
+	case pmData:
+		d.handleData(dec)
+	case pmSpawnReq:
+		d.handleSpawnReq(dec)
+	case pmSpawnResp:
+		d.handleSpawnResp(dec)
+	case pmEnroll:
+		local, err := dec.Uint32()
+		if err != nil {
+			return
+		}
+		nc, ok := conn.(net.Conn)
+		if !ok {
+			return
+		}
+		d.mu.Lock()
+		d.taskConns[int(local)] = &lockedConn{conn: nc}
+		d.mu.Unlock()
+	}
+}
+
+// connWriter is the reply surface handleFrame gets (a net.Conn).
+type connWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// handleJoin (master only) admits a new host and pushes the updated
+// host table to every member — PVM's fragile sequential update.
+func (d *Daemon) handleJoin(conn connWriter, dec *xdr.Decoder) {
+	if !d.master {
+		return
+	}
+	name, err := dec.String()
+	if err != nil {
+		return
+	}
+	addr, err := dec.String()
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	idx := len(d.hostTable)
+	d.hostTable = append(d.hostTable, hostEntry{Index: idx, Name: name, Addr: addr})
+	table := append([]hostEntry(nil), d.hostTable...)
+	d.mu.Unlock()
+
+	e := xdr.NewEncoder(16)
+	e.PutUint8(pmJoinResp)
+	e.PutUint32(uint32(idx))
+	writeFrame(conn, e.Bytes())
+
+	if err := d.broadcastHostTable(table); err != nil {
+		// A failed update leaves the virtual machine inconsistent — the
+		// PVM weakness §2.2 describes. The join stands on hosts already
+		// updated; others have a stale table.
+		return
+	}
+}
+
+// broadcastHostTable pushes the table to every slave sequentially,
+// aborting on the first unreachable host.
+func (d *Daemon) broadcastHostTable(table []hostEntry) error {
+	e := xdr.NewEncoder(256)
+	e.PutUint8(pmHostTable)
+	e.PutUint32(uint32(len(table)))
+	for _, h := range table {
+		e.PutUint32(uint32(h.Index))
+		e.PutString(h.Name)
+		e.PutString(h.Addr)
+	}
+	body := e.Bytes()
+	for _, h := range table {
+		if h.Index == d.index {
+			continue
+		}
+		// Each update leg uses a fresh connection so an unreachable
+		// slave is detected immediately — and aborts the whole update,
+		// PVM's documented fragility.
+		conn, err := net.DialTimeout("tcp", h.Addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("%w: host %s: %v", ErrHostTableUpdate, h.Name, err)
+		}
+		err = writeFrame(conn, body)
+		conn.Close()
+		if err != nil {
+			return fmt.Errorf("%w: host %s: %v", ErrHostTableUpdate, h.Name, err)
+		}
+	}
+	return nil
+}
+
+func (d *Daemon) handleHostTable(dec *xdr.Decoder) {
+	n, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	table := make([]hostEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		idx, err := dec.Uint32()
+		if err != nil {
+			return
+		}
+		name, err := dec.String()
+		if err != nil {
+			return
+		}
+		addr, err := dec.String()
+		if err != nil {
+			return
+		}
+		table = append(table, hostEntry{Index: int(idx), Name: name, Addr: addr})
+	}
+	d.mu.Lock()
+	d.hostTable = table
+	d.mu.Unlock()
+}
+
+// handleData delivers or forwards a routed task message.
+func (d *Daemon) handleData(dec *xdr.Decoder) {
+	src, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	dst, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	tag, err := dec.Int32()
+	if err != nil {
+		return
+	}
+	payload, err := dec.BytesCopy()
+	if err != nil {
+		return
+	}
+	d.routeData(Message{Src: TID(src), Dst: TID(dst), Tag: int(tag), Payload: payload})
+}
+
+// routeData implements pvmd routing: local delivery or forward to the
+// destination host's pvmd.
+func (d *Daemon) routeData(m Message) error {
+	dstHost := m.Dst.Host()
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if dstHost == d.index {
+		t, ok := d.tasks[m.Dst.Local()]
+		tc := d.taskConns[m.Dst.Local()]
+		d.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrNoSuchTask, m.Dst)
+		}
+		// Local delivery crosses the task's pvmd socket, as real PVM
+		// delivered over the task↔pvmd unix socket; the direct path is
+		// only a fallback for unenrolled tasks.
+		if tc != nil {
+			e := xdr.NewEncoder(len(m.Payload) + 32)
+			e.PutUint8(pmData)
+			e.PutUint32(uint32(m.Src))
+			e.PutUint32(uint32(m.Dst))
+			e.PutInt32(int32(m.Tag))
+			e.PutBytes(m.Payload)
+			if err := tc.write(e.Bytes()); err == nil {
+				return nil
+			}
+		}
+		t.deliver(m)
+		return nil
+	}
+	d.mu.Unlock()
+	e := xdr.NewEncoder(len(m.Payload) + 32)
+	e.PutUint8(pmData)
+	e.PutUint32(uint32(m.Src))
+	e.PutUint32(uint32(m.Dst))
+	e.PutInt32(int32(m.Tag))
+	e.PutBytes(m.Payload)
+	return d.sendTo(dstHost, e.Bytes())
+}
+
+// SpawnLocal starts a task on this pvmd directly.
+func (d *Daemon) SpawnLocal(program string, args []string) (TID, error) {
+	fn, ok := d.registry.Lookup(program)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProgram, program)
+	}
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	d.nextLocal++
+	local := d.nextLocal
+	tid := makeTID(d.index, local)
+	ctx := newTaskCtx(d, tid, args)
+	d.tasks[local] = ctx
+	addr := d.Addr()
+	d.mu.Unlock()
+
+	// Enrol the task with its pvmd over a real local socket — the
+	// task↔pvmd hop of genuine PVM. All of the task's traffic crosses
+	// this socket in both directions.
+	if sock, err := net.DialTimeout("tcp", addr, 3*time.Second); err == nil {
+		e := xdr.NewEncoder(8)
+		e.PutUint8(pmEnroll)
+		e.PutUint32(uint32(local))
+		if writeFrame(sock, e.Bytes()) == nil {
+			ctx.sock = &lockedConn{conn: sock}
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				ctx.readLoop(sock)
+			}()
+		} else {
+			sock.Close()
+		}
+	}
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ctx.err = fn(ctx)
+		close(ctx.exited)
+	}()
+	return tid, nil
+}
+
+// Task returns the context of a locally hosted task.
+func (d *Daemon) Task(tid TID) (*TaskCtx, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.tasks[tid.Local()]
+	return t, ok
+}
+
+// Spawn implements PVM's centralized placement: the request goes to
+// the master, which round-robins over the host table and forwards the
+// spawn to the chosen pvmd. Fails if the master is down (§2.2).
+func (d *Daemon) Spawn(program string, args []string) (TID, error) {
+	if d.master {
+		return d.masterSpawn(program, args)
+	}
+	// Ask the master.
+	d.mu.Lock()
+	d.nextReqID++
+	reqID := d.nextReqID
+	ch := make(chan pendingResp, 1)
+	d.pending[reqID] = ch
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, reqID)
+		d.mu.Unlock()
+	}()
+	e := xdr.NewEncoder(64)
+	e.PutUint8(pmSpawnReq)
+	e.PutUint32(uint32(d.index))
+	e.PutUint64(reqID)
+	e.PutString(program)
+	e.PutStringSlice(args)
+	if err := d.sendTo(0, e.Bytes()); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrMasterDown, err)
+	}
+	select {
+	case resp := <-ch:
+		if resp.err != "" {
+			return 0, fmt.Errorf("pvm: spawn: %s", resp.err)
+		}
+		return resp.tid, nil
+	case <-time.After(5 * time.Second):
+		return 0, fmt.Errorf("%w: spawn timed out", ErrMasterDown)
+	}
+}
+
+// masterSpawn places and executes a spawn as the master.
+func (d *Daemon) masterSpawn(program string, args []string) (TID, error) {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if len(d.hostTable) == 0 {
+		d.mu.Unlock()
+		return 0, ErrHostTableUpdate
+	}
+	target := d.hostTable[d.nextSpawn%len(d.hostTable)]
+	d.nextSpawn++
+	d.mu.Unlock()
+	if target.Index == d.index {
+		return d.SpawnLocal(program, args)
+	}
+	// Forward to the target pvmd and wait for its response.
+	d.mu.Lock()
+	d.nextReqID++
+	reqID := d.nextReqID
+	ch := make(chan pendingResp, 1)
+	d.pending[reqID] = ch
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, reqID)
+		d.mu.Unlock()
+	}()
+	e := xdr.NewEncoder(64)
+	e.PutUint8(pmSpawnReq)
+	e.PutUint32(uint32(d.index))
+	e.PutUint64(reqID)
+	e.PutString(program)
+	e.PutStringSlice(args)
+	if err := d.sendTo(target.Index, e.Bytes()); err != nil {
+		return 0, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.err != "" {
+			return 0, fmt.Errorf("pvm: spawn: %s", resp.err)
+		}
+		return resp.tid, nil
+	case <-time.After(5 * time.Second):
+		return 0, ErrTimeout
+	}
+}
+
+// handleSpawnReq executes a spawn forwarded by another pvmd (either a
+// slave's request arriving at the master, or the master's placement
+// arriving at a slave).
+func (d *Daemon) handleSpawnReq(dec *xdr.Decoder) {
+	fromIdx, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	program, err := dec.String()
+	if err != nil {
+		return
+	}
+	args, err := dec.StringSlice()
+	if err != nil {
+		return
+	}
+	var tid TID
+	var spawnErr error
+	if d.master {
+		tid, spawnErr = d.masterSpawn(program, args)
+	} else {
+		tid, spawnErr = d.SpawnLocal(program, args)
+	}
+	e := xdr.NewEncoder(64)
+	e.PutUint8(pmSpawnResp)
+	e.PutUint64(reqID)
+	e.PutUint32(uint32(tid))
+	if spawnErr != nil {
+		e.PutString(spawnErr.Error())
+	} else {
+		e.PutString("")
+	}
+	d.sendTo(int(fromIdx), e.Bytes())
+}
+
+func (d *Daemon) handleSpawnResp(dec *xdr.Decoder) {
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	tid, err := dec.Uint32()
+	if err != nil {
+		return
+	}
+	msg, err := dec.String()
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	ch, ok := d.pending[reqID]
+	d.mu.Unlock()
+	if ok {
+		select {
+		case ch <- pendingResp{tid: TID(tid), err: msg}:
+		default:
+		}
+	}
+}
+
+// LookupHost resolves a host name through the host table — the PVM
+// stand-in for metadata lookup in availability experiment E3. On a
+// slave this consults the local table copy; the canonical table lives
+// on the master, so Resolve-after-master-death returns stale or
+// missing data, unlike the replicated RC servers.
+func (d *Daemon) LookupHost(name string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead {
+		return "", ErrClosed
+	}
+	for _, h := range d.hostTable {
+		if h.Name == name {
+			return h.Addr, nil
+		}
+	}
+	return "", fmt.Errorf("%w: host %q", ErrNoSuchTask, name)
+}
+
+// TaskCtx is a running PVM task's context.
+type TaskCtx struct {
+	daemon *Daemon
+	tid    TID
+	args   []string
+	sock   *lockedConn // the task's pvmd socket (nil: direct fallback)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []Message
+	killed bool
+	exited chan struct{}
+	err    error
+}
+
+// readLoop drains deliveries from the task's pvmd socket.
+func (c *TaskCtx) readLoop(conn net.Conn) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		dec := xdr.NewDecoder(frame)
+		mt, err := dec.Uint8()
+		if err != nil || mt != pmData {
+			continue
+		}
+		src, err := dec.Uint32()
+		if err != nil {
+			continue
+		}
+		dst, err := dec.Uint32()
+		if err != nil {
+			continue
+		}
+		tag, err := dec.Int32()
+		if err != nil {
+			continue
+		}
+		payload, err := dec.BytesCopy()
+		if err != nil {
+			continue
+		}
+		c.deliver(Message{Src: TID(src), Dst: TID(dst), Tag: int(tag), Payload: payload})
+	}
+}
+
+func newTaskCtx(d *Daemon, tid TID, args []string) *TaskCtx {
+	c := &TaskCtx{daemon: d, tid: tid, args: args, exited: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// MyTID returns the task's identifier.
+func (c *TaskCtx) MyTID() TID { return c.tid }
+
+// Args returns the task's arguments.
+func (c *TaskCtx) Args() []string { return c.args }
+
+// Send routes a message via the local pvmd (PVM's default route): the
+// message crosses the task's pvmd socket, then — for remote
+// destinations — the pvmd↔pvmd connection, then the destination
+// task's socket.
+func (c *TaskCtx) Send(dst TID, tag int, payload []byte) error {
+	if c.sock != nil {
+		e := xdr.NewEncoder(len(payload) + 32)
+		e.PutUint8(pmData)
+		e.PutUint32(uint32(c.tid))
+		e.PutUint32(uint32(dst))
+		e.PutInt32(int32(tag))
+		e.PutBytes(payload)
+		return c.sock.write(e.Bytes())
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return c.daemon.routeData(Message{Src: c.tid, Dst: dst, Tag: tag, Payload: cp})
+}
+
+func (c *TaskCtx) deliver(m Message) {
+	c.mu.Lock()
+	if !c.killed {
+		c.inbox = append(c.inbox, m)
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// Recv returns the next message matching tag (-1 = any), waiting up to
+// timeout.
+func (c *TaskCtx) Recv(tag int, timeout time.Duration) (Message, error) {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for i, m := range c.inbox {
+			if tag < 0 || m.Tag == tag {
+				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+				return m, nil
+			}
+		}
+		if c.killed {
+			return Message{}, ErrClosed
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Message{}, ErrTimeout
+		}
+		t := time.AfterFunc(remaining, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		c.cond.Wait()
+		t.Stop()
+	}
+}
+
+// Killed reports whether the task's host died.
+func (c *TaskCtx) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+func (c *TaskCtx) kill() {
+	c.mu.Lock()
+	c.killed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.sock != nil {
+		c.sock.conn.Close()
+	}
+}
+
+// Wait blocks until the task function returns, yielding its error.
+func (c *TaskCtx) Wait(timeout time.Duration) error {
+	select {
+	case <-c.exited:
+		return c.err
+	case <-time.After(timeout):
+		return ErrTimeout
+	}
+}

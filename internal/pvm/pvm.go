@@ -1,0 +1,460 @@
+// Package pvm is a miniature PVM 3.x: the baseline system SNIPE was
+// built to improve on (paper §2.2). It reproduces the architectural
+// properties the paper criticises, so the comparisons in experiments
+// E2, E3 and E6 are against the real design, not a strawman:
+//
+//   - A single master pvmd owns the host table. "PVM can tolerate
+//     slave failures but not failure of its master host": when the
+//     master dies, joins, spawns and host-table lookups all fail.
+//   - Host-table updates are distributed by sequential unicast and
+//     abort if any slave is unreachable ("it also cannot tolerate link
+//     failures during host table updates").
+//   - Messages are routed through the pvmd daemons (PVM's default
+//     route): task → local pvmd → remote pvmd → task. This is the
+//     extra hop that made PVMPI slower than SNIPE-based MPI Connect
+//     (§6.1).
+//   - Resource management is centralized at the master ("the PVM
+//     resource manager uses centralized decision making").
+//   - Task identifiers (TIDs) are valid only within one virtual
+//     machine; there is no global name space.
+package pvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// Errors of the PVM layer.
+var (
+	// ErrMasterDown indicates an operation requiring the master after
+	// its failure.
+	ErrMasterDown = errors.New("pvm: master pvmd unreachable")
+	// ErrHostTableUpdate indicates a host-table update aborted by an
+	// unreachable slave.
+	ErrHostTableUpdate = errors.New("pvm: host table update failed")
+	// ErrNoSuchTask indicates a message to an unknown TID.
+	ErrNoSuchTask = errors.New("pvm: no such task")
+	// ErrUnknownProgram indicates a spawn of an unregistered program.
+	ErrUnknownProgram = errors.New("pvm: unknown program")
+	// ErrClosed indicates a dead pvmd.
+	ErrClosed = errors.New("pvm: pvmd is down")
+	// ErrTimeout indicates a receive timeout.
+	ErrTimeout = errors.New("pvm: timeout")
+)
+
+// TID is a PVM task identifier: host index in the high 16 bits, local
+// task number in the low 16 — meaningful only inside this virtual
+// machine.
+type TID uint32
+
+// Host extracts the host index.
+func (t TID) Host() int { return int(t >> 16) }
+
+// Local extracts the per-host task number.
+func (t TID) Local() int { return int(t & 0xFFFF) }
+
+func makeTID(host, local int) TID { return TID(uint32(host)<<16 | uint32(local&0xFFFF)) }
+
+// String renders the TID in PVM's hex style.
+func (t TID) String() string { return fmt.Sprintf("t%08x", uint32(t)) }
+
+// Message is a received PVM message.
+type Message struct {
+	Src     TID
+	Dst     TID
+	Tag     int
+	Payload []byte
+}
+
+// hostEntry is one row of the host table.
+type hostEntry struct {
+	Index int
+	Name  string
+	Addr  string
+}
+
+// Func is a PVM task body.
+type Func func(ctx *TaskCtx) error
+
+// Registry maps program names to task functions (the $PVM_PATH of the
+// simulation).
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Func)} }
+
+// Register installs a program.
+func (r *Registry) Register(name string, fn Func) {
+	r.mu.Lock()
+	r.m[name] = fn
+	r.mu.Unlock()
+}
+
+// Lookup finds a program.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.m[name]
+	return fn, ok
+}
+
+// Pvmd wire message types.
+const (
+	pmData uint8 = iota + 1 // routed task message
+	pmJoinReq
+	pmJoinResp
+	pmHostTable
+	pmSpawnReq
+	pmSpawnResp
+	pmTaskExit
+	pmEnroll // task → local pvmd: register the task's delivery socket
+)
+
+// lockedConn serialises writes to one task's delivery socket.
+type lockedConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (lc *lockedConn) write(frame []byte) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return writeFrame(lc.conn, frame)
+}
+
+// Daemon is one pvmd.
+type Daemon struct {
+	name     string
+	index    int
+	master   bool
+	registry *Registry
+
+	mu        sync.Mutex
+	ln        net.Listener
+	hostTable []hostEntry
+	conns     map[int]net.Conn      // host index → dialed conn
+	accepted  map[net.Conn]struct{} // inbound conns, closed on Kill
+	tasks     map[int]*TaskCtx      // local id → task
+	taskConns map[int]*lockedConn   // local id → task's enrolled socket
+	nextLocal int
+	nextSpawn int // master: round-robin pointer
+	pending   map[uint64]chan pendingResp
+	nextReqID uint64
+	dead      bool
+	wg        sync.WaitGroup
+}
+
+type pendingResp struct {
+	tid TID
+	err string
+}
+
+// NewMaster starts the master pvmd on addr (the first host of the
+// virtual machine).
+func NewMaster(name, addr string, reg *Registry) (*Daemon, error) {
+	d := &Daemon{
+		name:      name,
+		index:     0,
+		master:    true,
+		registry:  reg,
+		conns:     make(map[int]net.Conn),
+		accepted:  make(map[net.Conn]struct{}),
+		taskConns: make(map[int]*lockedConn),
+		tasks:     make(map[int]*TaskCtx),
+		pending:   make(map[uint64]chan pendingResp),
+	}
+	if err := d.listen(addr); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.hostTable = []hostEntry{{Index: 0, Name: name, Addr: d.Addr()}}
+	d.mu.Unlock()
+	return d, nil
+}
+
+// Join starts a slave pvmd and adds it to the virtual machine via the
+// master.
+func Join(name, addr, masterAddr string, reg *Registry) (*Daemon, error) {
+	d := &Daemon{
+		name:      name,
+		registry:  reg,
+		conns:     make(map[int]net.Conn),
+		accepted:  make(map[net.Conn]struct{}),
+		taskConns: make(map[int]*lockedConn),
+		tasks:     make(map[int]*TaskCtx),
+		pending:   make(map[uint64]chan pendingResp),
+	}
+	if err := d.listen(addr); err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", masterAddr, 3*time.Second)
+	if err != nil {
+		d.Kill()
+		return nil, fmt.Errorf("%w: %v", ErrMasterDown, err)
+	}
+	e := xdr.NewEncoder(64)
+	e.PutUint8(pmJoinReq)
+	e.PutString(name)
+	e.PutString(d.Addr())
+	if err := writeFrame(conn, e.Bytes()); err != nil {
+		conn.Close()
+		d.Kill()
+		return nil, fmt.Errorf("%w: %v", ErrMasterDown, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := readFrame(conn)
+	conn.Close()
+	if err != nil {
+		d.Kill()
+		return nil, fmt.Errorf("%w: %v", ErrMasterDown, err)
+	}
+	dec := xdr.NewDecoder(frame)
+	mt, _ := dec.Uint8()
+	if mt != pmJoinResp {
+		d.Kill()
+		return nil, fmt.Errorf("pvm: unexpected join response %d", mt)
+	}
+	idx, err := dec.Uint32()
+	if err != nil {
+		d.Kill()
+		return nil, err
+	}
+	d.mu.Lock()
+	d.index = int(idx)
+	d.mu.Unlock()
+	// The host table arrives via the broadcast the master sends next;
+	// wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		n := len(d.hostTable)
+		d.mu.Unlock()
+		if n > 0 {
+			return d, nil
+		}
+		if time.Now().After(deadline) {
+			d.Kill()
+			return nil, fmt.Errorf("pvm: host table never arrived")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (d *Daemon) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pvm: listen %s: %w", addr, err)
+	}
+	d.ln = ln
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return nil
+}
+
+// Addr returns the pvmd's listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Name returns the host name.
+func (d *Daemon) Name() string { return d.name }
+
+// Index returns the host index.
+func (d *Daemon) Index() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.index
+}
+
+// IsMaster reports whether this pvmd is the master.
+func (d *Daemon) IsMaster() bool { return d.master }
+
+// Hosts returns a copy of the host table.
+func (d *Daemon) Hosts() []hostEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]hostEntry(nil), d.hostTable...)
+}
+
+// Kill terminates the pvmd, modelling a host crash. Tasks on the host
+// die with it.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return
+	}
+	d.dead = true
+	tasks := make([]*TaskCtx, 0, len(d.tasks))
+	for _, t := range d.tasks {
+		tasks = append(tasks, t)
+	}
+	conns := make([]net.Conn, 0, len(d.conns)+len(d.accepted))
+	for _, c := range d.conns {
+		conns = append(conns, c)
+	}
+	for c := range d.accepted {
+		conns = append(conns, c)
+	}
+	d.conns = make(map[int]net.Conn)
+	d.accepted = make(map[net.Conn]struct{})
+	d.mu.Unlock()
+	d.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, t := range tasks {
+		t.kill()
+	}
+	d.wg.Wait()
+}
+
+func (d *Daemon) isDead() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead
+}
+
+// --- framing ---------------------------------------------------------
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	bufs := net.Buffers{hdr[:], body}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, errors.New("pvm: oversized frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		if d.dead {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.accepted[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go d.serveConn(conn)
+	}
+}
+
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer d.wg.Done()
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.accepted, conn)
+		d.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		d.handleFrame(conn, frame)
+	}
+}
+
+// connTo returns (dialing if needed) a connection to the pvmd at host
+// index idx.
+func (d *Daemon) connTo(idx int) (net.Conn, error) {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := d.conns[idx]; ok {
+		d.mu.Unlock()
+		return c, nil
+	}
+	var addr string
+	for _, h := range d.hostTable {
+		if h.Index == idx {
+			addr = h.Addr
+		}
+	}
+	d.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("%w: host %d not in table", ErrNoSuchTask, idx)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if existing, ok := d.conns[idx]; ok {
+		d.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	d.conns[idx] = conn
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer func() {
+			d.mu.Lock()
+			if d.conns[idx] == conn {
+				delete(d.conns, idx)
+			}
+			d.mu.Unlock()
+			conn.Close()
+		}()
+		for {
+			frame, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			d.handleFrame(conn, frame)
+		}
+	}()
+	return conn, nil
+}
+
+func (d *Daemon) sendTo(idx int, body []byte) error {
+	conn, err := d.connTo(idx)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, body); err != nil {
+		d.mu.Lock()
+		if d.conns[idx] == conn {
+			delete(d.conns, idx)
+		}
+		d.mu.Unlock()
+		conn.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,362 @@
+package pvm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newMachine(t *testing.T, nSlaves int, reg *Registry) (*Daemon, []*Daemon) {
+	t.Helper()
+	master, err := NewMaster("m0", "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Kill)
+	slaves := make([]*Daemon, nSlaves)
+	for i := range slaves {
+		s, err := Join(fmt.Sprintf("s%d", i+1), "127.0.0.1:0", master.Addr(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Kill)
+		slaves[i] = s
+	}
+	return master, slaves
+}
+
+func TestTIDEncoding(t *testing.T) {
+	tid := makeTID(3, 42)
+	if tid.Host() != 3 || tid.Local() != 42 {
+		t.Fatalf("TID fields: %d %d", tid.Host(), tid.Local())
+	}
+	if tid.String() != "t0003002a" {
+		t.Fatalf("TID string: %s", tid)
+	}
+}
+
+func TestJoinBuildsHostTable(t *testing.T) {
+	master, slaves := newMachine(t, 2, NewRegistry())
+	if len(master.Hosts()) != 3 {
+		t.Fatalf("master table: %v", master.Hosts())
+	}
+	// Slaves eventually hold the full table (the last join's broadcast).
+	deadline := time.Now().Add(3 * time.Second)
+	for _, s := range slaves {
+		for len(s.Hosts()) != 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("slave %s table: %v", s.Name(), s.Hosts())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if master.Index() != 0 || slaves[0].Index() != 1 || slaves[1].Index() != 2 {
+		t.Fatal("host indices wrong")
+	}
+}
+
+func TestLocalTaskMessaging(t *testing.T) {
+	reg := NewRegistry()
+	echoed := make(chan string, 1)
+	reg.Register("recv", func(ctx *TaskCtx) error {
+		m, err := ctx.Recv(7, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		echoed <- string(m.Payload)
+		return nil
+	})
+	master, _ := newMachine(t, 0, reg)
+	tid, err := master.SpawnLocal("recv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := master.SpawnLocal("recv", nil) // any task context to send from
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, _ := master.Task(sender)
+	if err := sctx.Send(tid, 7, []byte("local hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-echoed:
+		if got != "local hello" {
+			t.Fatalf("payload: %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestDaemonRoutedCrossHostMessaging(t *testing.T) {
+	reg := NewRegistry()
+	got := make(chan Message, 1)
+	reg.Register("sink", func(ctx *TaskCtx) error {
+		m, err := ctx.Recv(-1, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		got <- m
+		return nil
+	})
+	master, slaves := newMachine(t, 1, reg)
+	// Sink on the slave, sender on the master: the message crosses
+	// pvmd→pvmd.
+	sinkTID, err := slaves[0].SpawnLocal("sink", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senderTID, err := master.SpawnLocal("sink", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, _ := master.Task(senderTID)
+	if err := sctx.Send(sinkTID, 9, []byte("across hosts")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "across hosts" || m.Src != senderTID || m.Tag != 9 {
+			t.Fatalf("message: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-host message lost")
+	}
+}
+
+func TestCentralizedSpawnRoundRobin(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("idle", func(ctx *TaskCtx) error {
+		_, err := ctx.Recv(-1, 30*time.Second)
+		_ = err
+		return nil
+	})
+	master, slaves := newMachine(t, 2, reg)
+	hosts := map[int]int{}
+	for i := 0; i < 6; i++ {
+		tid, err := master.Spawn("idle", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[tid.Host()]++
+	}
+	// Round-robin over 3 hosts → 2 each.
+	if hosts[0] != 2 || hosts[1] != 2 || hosts[2] != 2 {
+		t.Fatalf("placement: %v", hosts)
+	}
+	_ = slaves
+}
+
+func TestSlaveSpawnViaMaster(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("quick", func(ctx *TaskCtx) error { return nil })
+	_, slaves := newMachine(t, 2, reg)
+	tid, err := slaves[0].Spawn("quick", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tid
+}
+
+func TestSpawnUnknownProgram(t *testing.T) {
+	master, _ := newMachine(t, 0, NewRegistry())
+	if _, err := master.SpawnLocal("ghost", nil); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("want ErrUnknownProgram, got %v", err)
+	}
+}
+
+func TestMasterFailureBreaksMachine(t *testing.T) {
+	// The PVM weakness §2.2 documents: master death breaks joins and
+	// spawns for the whole virtual machine.
+	reg := NewRegistry()
+	reg.Register("quick", func(ctx *TaskCtx) error { return nil })
+	master, slaves := newMachine(t, 1, reg)
+	master.Kill()
+
+	if _, err := slaves[0].Spawn("quick", nil); err == nil {
+		t.Fatal("spawn succeeded without master")
+	}
+	if _, err := Join("late", "127.0.0.1:0", master.Addr(), reg); !errors.Is(err, ErrMasterDown) {
+		t.Fatalf("join after master death: %v", err)
+	}
+}
+
+func TestSlaveFailureTolerated(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("quick", func(ctx *TaskCtx) error { return nil })
+	master, slaves := newMachine(t, 2, reg)
+	slaves[0].Kill()
+	// The master can still spawn locally and on the surviving slave.
+	ok := 0
+	for i := 0; i < 6; i++ {
+		if tid, err := master.Spawn("quick", nil); err == nil && tid.Host() != 1 {
+			ok++
+		}
+	}
+	if ok < 4 {
+		t.Fatalf("only %d spawns survived a slave failure", ok)
+	}
+}
+
+func TestHostTableUpdateFailsOnDeadSlave(t *testing.T) {
+	reg := NewRegistry()
+	master, slaves := newMachine(t, 1, reg)
+	// Kill the slave, then try to admit a new host: the sequential
+	// host-table broadcast hits the dead slave and fails.
+	slaves[0].Kill()
+	table := master.Hosts()
+	if err := master.broadcastHostTable(table); !errors.Is(err, ErrHostTableUpdate) {
+		t.Fatalf("want ErrHostTableUpdate, got %v", err)
+	}
+}
+
+func TestLookupHost(t *testing.T) {
+	master, slaves := newMachine(t, 1, NewRegistry())
+	// Wait for the table to reach the slave.
+	deadline := time.Now().Add(3 * time.Second)
+	for len(slaves[0].Hosts()) != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	addr, err := slaves[0].LookupHost("m0")
+	if err != nil || addr != master.Addr() {
+		t.Fatalf("lookup: %q %v", addr, err)
+	}
+	if _, err := slaves[0].LookupHost("nope"); err == nil {
+		t.Fatal("unknown host resolved")
+	}
+	slaves[0].Kill()
+	if _, err := slaves[0].LookupHost("m0"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dead daemon lookup: %v", err)
+	}
+}
+
+func TestRecvTagFilterAndTimeout(t *testing.T) {
+	reg := NewRegistry()
+	result := make(chan error, 1)
+	reg.Register("selective", func(ctx *TaskCtx) error {
+		// First a timeout with nothing queued.
+		if _, err := ctx.Recv(5, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			result <- fmt.Errorf("timeout: %v", err)
+			return nil
+		}
+		// Then selective receive: tag 2 before tag 1 despite arrival order.
+		m2, err := ctx.Recv(2, 5*time.Second)
+		if err != nil || string(m2.Payload) != "two" {
+			result <- fmt.Errorf("tag2: %v %v", m2, err)
+			return nil
+		}
+		m1, err := ctx.Recv(1, 5*time.Second)
+		if err != nil || string(m1.Payload) != "one" {
+			result <- fmt.Errorf("tag1: %v %v", m1, err)
+			return nil
+		}
+		result <- nil
+		return nil
+	})
+	master, _ := newMachine(t, 0, reg)
+	tid, err := master.SpawnLocal("selective", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := master.Task(tid)
+	time.Sleep(50 * time.Millisecond) // let the timeout branch run
+	helper, _ := master.SpawnLocal("selective", nil)
+	hctx, _ := master.Task(helper)
+	hctx.Send(tid, 1, []byte("one"))
+	hctx.Send(tid, 2, []byte("two"))
+	select {
+	case err := <-result:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("selective receive stuck")
+	}
+	_ = ctx
+}
+
+func TestTaskWaitAndArgs(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("argcheck", func(ctx *TaskCtx) error {
+		if len(ctx.Args()) != 2 || ctx.Args()[1] != "b" {
+			return fmt.Errorf("args: %v", ctx.Args())
+		}
+		return nil
+	})
+	master, _ := newMachine(t, 0, reg)
+	tid, err := master.SpawnLocal("argcheck", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, ok := master.Task(tid)
+	if !ok {
+		t.Fatal("task missing")
+	}
+	if err := ctx.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.MyTID() != tid {
+		t.Fatal("tid mismatch")
+	}
+}
+
+func TestKillIdempotent(t *testing.T) {
+	master, _ := newMachine(t, 0, NewRegistry())
+	master.Kill()
+	master.Kill()
+	if !master.isDead() {
+		t.Fatal("not dead")
+	}
+}
+
+func BenchmarkDaemonRoutedPingPong(b *testing.B) {
+	reg := NewRegistry()
+	reg.Register("echo", func(ctx *TaskCtx) error {
+		for {
+			m, err := ctx.Recv(-1, 30*time.Second)
+			if err != nil {
+				return nil
+			}
+			if err := ctx.Send(m.Src, m.Tag, m.Payload); err != nil {
+				return nil
+			}
+		}
+	})
+	reg.Register("idle", func(ctx *TaskCtx) error {
+		// Park on a tag that never arrives so the benchmark goroutine is
+		// the only consumer of the echo replies.
+		ctx.Recv(424242, time.Hour)
+		return nil
+	})
+	master, err := NewMaster("bm", "127.0.0.1:0", reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer master.Kill()
+	slave, err := Join("bs", "127.0.0.1:0", master.Addr(), reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer slave.Kill()
+	echoTID, err := slave.SpawnLocal("echo", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pingTID, err := master.SpawnLocal("idle", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ping, _ := master.Task(pingTID)
+	payload := []byte("ping")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ping.Send(echoTID, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ping.Recv(1, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

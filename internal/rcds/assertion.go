@@ -1,0 +1,269 @@
+// Package rcds implements the Resource Cataloging and Distribution
+// System substrate that SNIPE is built on (paper §2.1, §3.1, §5.2).
+//
+// RCDS maintains, for every resource named by a URI (URL or URN), a set
+// of metadata assertions — "name=value" pairs — in a highly distributed
+// and replicated registry. The registry uses a "true master–master
+// update data model" (§7): every RC server accepts writes and
+// propagates them to its peers, trading strict serializability for
+// availability, exactly the design point the paper argues for in
+// replicated registries (§2.1).
+//
+// The replication model here is a last-writer-wins element set: each
+// (URI, name, value) element carries a Lamport clock and the origin
+// server's identity; concurrent updates are resolved by (clock, origin)
+// ordering, deletions are tombstones, and anti-entropy exchanges use
+// per-origin version vectors over each server's op log. This gives the
+// paper's availability-over-atomicity consistency ("a consistency model
+// which sacrifices strict atomicity and serializability", §2.1) with
+// convergence guaranteed by commutative, idempotent merges.
+package rcds
+
+import (
+	"fmt"
+
+	"snipe/internal/xdr"
+)
+
+// Well-known assertion names used throughout SNIPE (paper §5.2). The
+// metadata schema is open — "little is hidden in internal data
+// structures" — so these are conventions, not a closed set.
+const (
+	// AttrHostDaemonURL is the URL of a host's SNIPE daemon.
+	AttrHostDaemonURL = "host-daemon-url"
+	// AttrCPUs describes the number and type of CPUs on a host.
+	AttrCPUs = "cpus"
+	// AttrArch is a host's architecture / data format identifier.
+	AttrArch = "arch"
+	// AttrInterface describes one network interface (repeatable).
+	AttrInterface = "interface"
+	// AttrBroker is the URL of a broker managing a host (repeatable).
+	AttrBroker = "broker"
+	// AttrPublicKey is a principal's public key (hex).
+	AttrPublicKey = "public-key"
+	// AttrCommAddr is a process's communications address (repeatable).
+	AttrCommAddr = "comm-addr"
+	// AttrNotify is a member of a process's notify list (repeatable).
+	AttrNotify = "notify"
+	// AttrState is a task/process state.
+	AttrState = "state"
+	// AttrLocation is a replica location for a file/service (repeatable).
+	AttrLocation = "location"
+	// AttrMcastRouter is a multicast router URL for a group (repeatable).
+	AttrMcastRouter = "mcast-router"
+	// AttrLoad is a host's load average, published by its daemon.
+	AttrLoad = "load"
+	// AttrMemory is a host's available memory in MB.
+	AttrMemory = "memory-mb"
+	// AttrSupervisorLIFN is a process's supervisor LIFN (§5.2.3).
+	AttrSupervisorLIFN = "supervisor-lifn"
+	// AttrCodeHash is the content hash of a mobile code image.
+	AttrCodeHash = "code-hash"
+	// AttrCodeSig is the signature over a mobile code image.
+	AttrCodeSig = "code-sig"
+	// AttrPlayground advertises a host's playground capabilities.
+	AttrPlayground = "playground"
+	// AttrProtocol lists a file server's supported access protocols.
+	AttrProtocol = "protocol"
+)
+
+// Assertion is one replicated metadata element: for resource URI, the
+// pair Name=Value, stamped with the update's Lamport clock and origin.
+// Deleted assertions are tombstones kept for convergence. ServerTime is
+// the wall-clock time (Unix nanoseconds) at which the accepting RC
+// server stamped the update — the paper's "automatic time stamping of
+// metadata by the RC servers" that lets temporally disjoint tasks judge
+// the age of what they read (§3.1). It is informational and plays no
+// part in conflict resolution.
+type Assertion struct {
+	URI        string
+	Name       string
+	Value      string
+	Clock      uint64 // Lamport clock of the update
+	Origin     string // ID of the server that accepted the update
+	Seq        uint64 // per-origin sequence number (op log position)
+	Deleted    bool
+	ServerTime int64
+	Signature  []byte // optional detached signature over (URI,Name,Value)
+	Signer     string // principal that produced Signature
+}
+
+// elemKey identifies an element within a URI's catalog. RCDS attributes
+// are multi-valued (a file has many locations, a process many comm
+// addresses), so identity is the (name, value) pair.
+type elemKey struct {
+	name  string
+	value string
+}
+
+// Supersedes reports whether a beats b under last-writer-wins order:
+// higher Lamport clock wins; equal clocks break ties by origin so that
+// all replicas pick the same winner.
+func (a *Assertion) Supersedes(b *Assertion) bool {
+	if a.Clock != b.Clock {
+		return a.Clock > b.Clock
+	}
+	if a.Origin != b.Origin {
+		return a.Origin > b.Origin
+	}
+	// Same origin, same clock: the later sequence number wins.
+	return a.Seq > b.Seq
+}
+
+// SignedBytes returns the canonical byte string a detached assertion
+// signature covers.
+func (a *Assertion) SignedBytes() []byte {
+	e := xdr.NewEncoder(len(a.URI) + len(a.Name) + len(a.Value) + 16)
+	e.PutString(a.URI)
+	e.PutString(a.Name)
+	e.PutString(a.Value)
+	return e.Bytes()
+}
+
+// String renders the assertion for logs.
+func (a *Assertion) String() string {
+	tomb := ""
+	if a.Deleted {
+		tomb = " (deleted)"
+	}
+	return fmt.Sprintf("%s: %s=%q @%d/%s#%d%s", a.URI, a.Name, a.Value, a.Clock, a.Origin, a.Seq, tomb)
+}
+
+// Encode writes the assertion to e.
+func (a *Assertion) Encode(e *xdr.Encoder) {
+	e.PutString(a.URI)
+	e.PutString(a.Name)
+	e.PutString(a.Value)
+	e.PutUint64(a.Clock)
+	e.PutString(a.Origin)
+	e.PutUint64(a.Seq)
+	e.PutBool(a.Deleted)
+	e.PutInt64(a.ServerTime)
+	e.PutBytes(a.Signature)
+	e.PutString(a.Signer)
+}
+
+// DecodeAssertion reads an assertion written by Encode.
+func DecodeAssertion(d *xdr.Decoder) (Assertion, error) {
+	var a Assertion
+	var err error
+	if a.URI, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Name, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Value, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Clock, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	if a.Origin, err = d.String(); err != nil {
+		return a, err
+	}
+	if a.Seq, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	if a.Deleted, err = d.Bool(); err != nil {
+		return a, err
+	}
+	if a.ServerTime, err = d.Int64(); err != nil {
+		return a, err
+	}
+	if a.Signature, err = d.BytesCopy(); err != nil {
+		return a, err
+	}
+	if len(a.Signature) == 0 {
+		a.Signature = nil
+	}
+	if a.Signer, err = d.String(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// EncodeAssertions writes a length-prefixed assertion list.
+func EncodeAssertions(e *xdr.Encoder, as []Assertion) {
+	e.PutUint32(uint32(len(as)))
+	for i := range as {
+		as[i].Encode(e)
+	}
+}
+
+// DecodeAssertions reads a list written by EncodeAssertions.
+func DecodeAssertions(d *xdr.Decoder) ([]Assertion, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Assertion, 0, minInt(int(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		a, err := DecodeAssertion(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// VersionVector summarises how much of each origin's op log a replica
+// holds: origin → highest contiguous sequence number applied.
+type VersionVector map[string]uint64
+
+// Copy returns an independent copy of the vector.
+func (v VersionVector) Copy() VersionVector {
+	out := make(VersionVector, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Dominates reports whether v has seen everything in w.
+func (v VersionVector) Dominates(w VersionVector) bool {
+	for origin, seq := range w {
+		if v[origin] < seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode writes the vector.
+func (v VersionVector) Encode(e *xdr.Encoder) {
+	e.PutUint32(uint32(len(v)))
+	for origin, seq := range v {
+		e.PutString(origin)
+		e.PutUint64(seq)
+	}
+}
+
+// DecodeVersionVector reads a vector written by Encode.
+func DecodeVersionVector(d *xdr.Decoder) (VersionVector, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	v := make(VersionVector, n)
+	for i := uint32(0); i < n; i++ {
+		origin, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := d.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		v[origin] = seq
+	}
+	return v, nil
+}

@@ -1,0 +1,307 @@
+package rcds
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// Client talks to a set of RC server replicas. Because the registry is
+// master–master, any replica can serve any request; the client fails
+// over to the next replica when one is unreachable, which is how SNIPE
+// clients ride out RC server crashes (the availability property of §6).
+// Client is safe for concurrent use; requests are serialised over one
+// connection at a time.
+type Client struct {
+	addrs  []string
+	secret []byte
+
+	mu      sync.Mutex
+	conn    net.Conn
+	current int // index into addrs of the connected server
+	timeout time.Duration
+}
+
+// NewClient returns a client over the given replica addresses. secret
+// enables HMAC authentication and must match the servers'.
+func NewClient(addrs []string, secret []byte) *Client {
+	return &Client{
+		addrs:   append([]string(nil), addrs...),
+		secret:  secret,
+		timeout: 5 * time.Second,
+	}
+}
+
+// SetTimeout sets the per-request dial/IO timeout.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Servers returns the configured replica addresses.
+func (c *Client) Servers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// Close drops the current connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// roundTrip sends req and returns the response payload decoder, failing
+// over across replicas. extraTimeout widens the IO deadline for
+// long-poll requests.
+func (c *Client) roundTrip(req []byte, extraTimeout time.Duration) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.addrs) == 0 {
+		return nil, ErrNoServers
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(c.addrs)+1; attempt++ {
+		if c.conn == nil {
+			idx := (c.current + attempt) % len(c.addrs)
+			conn, err := net.DialTimeout("tcp", c.addrs[idx], c.timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+			c.current = idx
+		}
+		c.conn.SetDeadline(time.Now().Add(c.timeout + extraTimeout))
+		if err := writeFrame(c.conn, req, c.secret); err != nil {
+			lastErr = err
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		body, err := readFrame(c.conn, c.secret)
+		if err != nil {
+			lastErr = err
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		return parseResponse(body)
+	}
+	return nil, fmt.Errorf("%w (last: %v)", ErrNoServers, lastErr)
+}
+
+// Ping checks connectivity, returning the responding server's origin ID.
+func (c *Client) Ping() (string, error) {
+	d, err := c.roundTrip(request(cmdPing, nil), 0)
+	if err != nil {
+		return "", err
+	}
+	return d.String()
+}
+
+// Set makes value the sole live value of (uri, name).
+func (c *Client) Set(uri, name, value string) error {
+	_, err := c.roundTrip(request(cmdSet, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+		e.PutString(value)
+	}), 0)
+	return err
+}
+
+// Add inserts value as an additional live value of (uri, name).
+func (c *Client) Add(uri, name, value string) error {
+	_, err := c.roundTrip(request(cmdAdd, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+		e.PutString(value)
+	}), 0)
+	return err
+}
+
+// AddSigned inserts a value with a detached signature by signer.
+func (c *Client) AddSigned(uri, name, value, signer string, sig []byte) error {
+	_, err := c.roundTrip(request(cmdAddSigned, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+		e.PutString(value)
+		e.PutString(signer)
+		e.PutBytes(sig)
+	}), 0)
+	return err
+}
+
+// Remove tombstones the (uri, name, value) element.
+func (c *Client) Remove(uri, name, value string) error {
+	_, err := c.roundTrip(request(cmdRemove, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+		e.PutString(value)
+	}), 0)
+	return err
+}
+
+// RemoveAll tombstones every live value of (uri, name).
+func (c *Client) RemoveAll(uri, name string) error {
+	_, err := c.roundTrip(request(cmdRemoveAll, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+	}), 0)
+	return err
+}
+
+// Get returns the live assertions for uri.
+func (c *Client) Get(uri string) ([]Assertion, error) {
+	d, err := c.roundTrip(request(cmdGet, func(e *xdr.Encoder) { e.PutString(uri) }), 0)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAssertions(d)
+}
+
+// Values returns the live values of (uri, name).
+func (c *Client) Values(uri, name string) ([]string, error) {
+	d, err := c.roundTrip(request(cmdValues, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+	}), 0)
+	if err != nil {
+		return nil, err
+	}
+	return d.StringSlice()
+}
+
+// FirstValue returns the most recently written live value of
+// (uri, name).
+func (c *Client) FirstValue(uri, name string) (string, bool, error) {
+	d, err := c.roundTrip(request(cmdFirst, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+	}), 0)
+	if err != nil {
+		return "", false, err
+	}
+	ok, err := d.Bool()
+	if err != nil {
+		return "", false, err
+	}
+	v, err := d.String()
+	return v, ok, err
+}
+
+// URIs returns all catalogued URIs under prefix.
+func (c *Client) URIs(prefix string) ([]string, error) {
+	d, err := c.roundTrip(request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }), 0)
+	if err != nil {
+		return nil, err
+	}
+	return d.StringSlice()
+}
+
+// Vector returns the server's version vector.
+func (c *Client) Vector() (VersionVector, error) {
+	d, err := c.roundTrip(request(cmdVector, nil), 0)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeVersionVector(d)
+}
+
+// OpsSince returns ops the holder of vector theirs has not seen.
+func (c *Client) OpsSince(theirs VersionVector, max int) ([]Assertion, error) {
+	d, err := c.roundTrip(request(cmdOpsSince, func(e *xdr.Encoder) {
+		theirs.Encode(e)
+		e.PutUint32(uint32(max))
+	}), 0)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAssertions(d)
+}
+
+// Apply pushes replication ops to the server (peer-to-peer path).
+func (c *Client) Apply(ops []Assertion) (int, error) {
+	d, err := c.roundTrip(request(cmdApply, func(e *xdr.Encoder) {
+		EncodeAssertions(e, ops)
+	}), 0)
+	if err != nil {
+		return 0, err
+	}
+	n, err := d.Uint32()
+	return int(n), err
+}
+
+// Wait long-polls until the server's catalog version exceeds since or
+// the timeout elapses, returning the current version.
+func (c *Client) Wait(since uint64, timeout time.Duration) (uint64, error) {
+	d, err := c.roundTrip(request(cmdWait, func(e *xdr.Encoder) {
+		e.PutUint64(since)
+		e.PutUint32(uint32(timeout / time.Millisecond))
+	}), timeout)
+	if err != nil {
+		return 0, err
+	}
+	return d.Uint64()
+}
+
+// Stats returns (uris, live elements, tombstones) on the server.
+func (c *Client) Stats() (uris, elems, tombs int, err error) {
+	d, err := c.roundTrip(request(cmdStats, nil), 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	u, err := d.Uint32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	el, err := d.Uint32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	tb, err := d.Uint32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(u), int(el), int(tb), nil
+}
+
+// WaitFor polls until (uri, name) has a live value or the timeout
+// elapses — the client-side rendezvous primitive SNIPE components use
+// to wait for each other's metadata to appear.
+func (c *Client) WaitFor(uri, name string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	var version uint64
+	for {
+		v, ok, err := c.FirstValue(uri, name)
+		if err == nil && ok {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return "", fmt.Errorf("rcds: waiting for %s %s: %w", uri, name, err)
+			}
+			return "", fmt.Errorf("rcds: timeout waiting for %s %s", uri, name)
+		}
+		remaining := time.Until(deadline)
+		pollWait := 200 * time.Millisecond
+		if remaining < pollWait {
+			pollWait = remaining
+		}
+		// Use the long-poll to avoid busy-waiting; ignore errors, the
+		// next FirstValue will fail over.
+		if nv, err := c.Wait(version, pollWait); err == nil {
+			version = nv
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

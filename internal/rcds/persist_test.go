@@ -1,0 +1,152 @@
+package rcds
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewStore("rc1")
+	s.Set("urn:h1", AttrArch, "go-sim")
+	s.Add("urn:f1", AttrLocation, "fs1")
+	s.Add("urn:f1", AttrLocation, "fs2")
+	s.Remove("urn:f1", AttrLocation, "fs1")
+	// Remote ops are preserved too.
+	other := NewStore("rc2")
+	s.ApplyRemote(other.Set("urn:h2", AttrArch, "sparc"))
+
+	var buf bytes.Buffer
+	if err := s.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin() != "rc1" {
+		t.Fatalf("origin: %s", got.Origin())
+	}
+	if v, ok := got.FirstValue("urn:h1", AttrArch); !ok || v != "go-sim" {
+		t.Fatalf("h1 arch: %q %v", v, ok)
+	}
+	if locs := got.Values("urn:f1", AttrLocation); len(locs) != 1 || locs[0] != "fs2" {
+		t.Fatalf("f1 locations (tombstone lost?): %v", locs)
+	}
+	if v, ok := got.FirstValue("urn:h2", AttrArch); !ok || v != "sparc" {
+		t.Fatalf("remote op lost: %q %v", v, ok)
+	}
+	// Version vector reconstructed: a caught-up peer gets nothing.
+	if ops := got.OpsSince(s.Vector(), 0); len(ops) != 0 {
+		t.Fatalf("vector drift: %d ops", len(ops))
+	}
+}
+
+func TestSnapshotPreservesClocks(t *testing.T) {
+	s := NewStore("rc1")
+	for i := 0; i < 10; i++ {
+		s.Set("u", "n", "v")
+	}
+	var buf bytes.Buffer
+	s.SaveTo(&buf)
+	got, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New local ops on the restored store must supersede pre-snapshot
+	// state everywhere (clocks must not regress).
+	ops := got.Set("u", "n", "post-restart")
+	op := ops[len(ops)-1]
+	if !op.Supersedes(&Assertion{Clock: 10, Origin: "rc1", Seq: 10}) {
+		t.Fatalf("restored clocks regressed: %+v", op)
+	}
+}
+
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	if _, err := LoadStore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadStore(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rc.snap")
+
+	// Missing file → fresh store.
+	fresh, err := LoadFile(path, "rc9")
+	if err != nil || fresh.Origin() != "rc9" {
+		t.Fatalf("fresh: %v %v", fresh, err)
+	}
+
+	s := NewStore("rc1")
+	s.Set("urn:x", "k", "v")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.FirstValue("urn:x", "k"); !ok || v != "v" {
+		t.Fatalf("file round trip: %q %v", v, ok)
+	}
+}
+
+func TestRestartedReplicaCatchesUp(t *testing.T) {
+	// A replica snapshots, "crashes", misses writes, restarts from the
+	// snapshot, and converges via anti-entropy.
+	s0 := NewServer(NewStore("rc0"), WithAntiEntropyInterval(30*time.Millisecond))
+	if err := s0.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	s1 := NewServer(NewStore("rc1"),
+		WithPeers(s0.Addr()), WithAntiEntropyInterval(30*time.Millisecond))
+	if err := s1.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	s0.SetPeers(s1.Addr())
+
+	c := NewClient([]string{s0.Addr()}, nil)
+	defer c.Close()
+	c.Set("urn:a", "k", "before")
+
+	// Replica 1 receives the write, snapshots, and dies.
+	c1 := NewClient([]string{s1.Addr()}, nil)
+	if _, err := c1.WaitFor("urn:a", "k", 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	var snap bytes.Buffer
+	if err := s1.Store().SaveTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// A write lands while replica 1 is down.
+	c.Set("urn:a", "k2", "while-down")
+
+	// Restart from the snapshot; anti-entropy pulls the missed write.
+	restored, err := LoadStore(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1b := NewServer(restored, WithPeers(s0.Addr()), WithAntiEntropyInterval(30*time.Millisecond))
+	if err := s1b.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s1b.Close()
+	c1b := NewClient([]string{s1b.Addr()}, nil)
+	defer c1b.Close()
+	if v, err := c1b.WaitFor("urn:a", "k2", 5*time.Second); err != nil || v != "while-down" {
+		t.Fatalf("catch-up: %q %v", v, err)
+	}
+	// And it kept the pre-crash state.
+	if v, ok, _ := c1b.FirstValue("urn:a", "k"); !ok || v != "before" {
+		t.Fatalf("pre-crash state: %q %v", v, ok)
+	}
+}

@@ -1,0 +1,422 @@
+package rcds
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithSecret enables HMAC authentication with the given shared secret.
+func WithSecret(secret []byte) ServerOption {
+	return func(s *Server) { s.secret = secret }
+}
+
+// WithPeers sets the addresses of the other replicas this server pushes
+// updates to and pulls anti-entropy from.
+func WithPeers(addrs ...string) ServerOption {
+	return func(s *Server) { s.peers = append([]string(nil), addrs...) }
+}
+
+// WithAntiEntropyInterval sets how often the server pulls from peers.
+func WithAntiEntropyInterval(d time.Duration) ServerOption {
+	return func(s *Server) { s.aeInterval = d }
+}
+
+// Server is one RC/metadata server replica: it serves the catalog
+// protocol on a TCP listener, pushes local writes to its peers, and
+// runs periodic anti-entropy pulls so that replicas converge even when
+// pushes are lost — the master–master model of §7.
+type Server struct {
+	store      *Store
+	secret     []byte
+	peers      []string
+	aeInterval time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	pushCh   chan []Assertion
+	done     chan struct{}
+	wg       sync.WaitGroup
+	stopped  bool
+	pushFail int // push attempts that failed (peer down); healed by anti-entropy
+}
+
+// NewServer creates a server over store. Call Start to begin serving.
+func NewServer(store *Store, opts ...ServerOption) *Server {
+	s := &Server{
+		store:      store,
+		aeInterval: 250 * time.Millisecond,
+		conns:      make(map[net.Conn]struct{}),
+		pushCh:     make(chan []Assertion, 1024),
+		done:       make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Store returns the server's underlying replica store.
+func (s *Server) Store() *Store { return s.store }
+
+// Start listens on addr (host:port; port 0 picks a free port) and
+// begins serving, pushing, and anti-entropy.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rcds: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	s.wg.Add(1)
+	go s.pushLoop()
+	if len(s.peers) > 0 && s.aeInterval > 0 {
+		s.wg.Add(1)
+		go s.antiEntropyLoop()
+	}
+	return nil
+}
+
+// Addr returns the listen address, valid after Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops serving and waits for all connection handlers to finish.
+// The store survives, so a new server can be started over it — the
+// crash/recover cycle of the availability experiments.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.done)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// SetPeers replaces the peer set (used when the replica group changes).
+func (s *Server) SetPeers(addrs ...string) {
+	s.mu.Lock()
+	s.peers = append([]string(nil), addrs...)
+	s.mu.Unlock()
+}
+
+// PushFailures reports how many peer pushes failed and were left to
+// anti-entropy to repair.
+func (s *Server) PushFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushFail
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		body, err := readFrame(conn, s.secret)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(body)
+		if err := writeFrame(conn, resp, s.secret); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request and returns the response body.
+func (s *Server) dispatch(body []byte) []byte {
+	d := xdr.NewDecoder(body)
+	cmd, err := d.Uint8()
+	if err != nil {
+		return errResponse(err)
+	}
+	switch cmd {
+	case cmdPing:
+		return okResponse(func(e *xdr.Encoder) { e.PutString(s.store.Origin()) })
+
+	case cmdSet, cmdAdd, cmdRemove:
+		uri, name, value, err := decodeTriple(d)
+		if err != nil {
+			return errResponse(err)
+		}
+		var ops []Assertion
+		switch cmd {
+		case cmdSet:
+			ops = s.store.Set(uri, name, value)
+		case cmdAdd:
+			ops = s.store.Add(uri, name, value)
+		case cmdRemove:
+			ops = s.store.Remove(uri, name, value)
+		}
+		s.enqueuePush(ops)
+		return okResponse(nil)
+
+	case cmdAddSigned:
+		uri, name, value, err := decodeTriple(d)
+		if err != nil {
+			return errResponse(err)
+		}
+		signer, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		sig, err := d.BytesCopy()
+		if err != nil {
+			return errResponse(err)
+		}
+		ops := s.store.AddSigned(uri, name, value, signer, sig)
+		s.enqueuePush(ops)
+		return okResponse(nil)
+
+	case cmdRemoveAll:
+		uri, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		name, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		ops := s.store.RemoveAll(uri, name)
+		s.enqueuePush(ops)
+		return okResponse(nil)
+
+	case cmdGet:
+		uri, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		as := s.store.Get(uri)
+		return okResponse(func(e *xdr.Encoder) { EncodeAssertions(e, as) })
+
+	case cmdValues:
+		uri, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		name, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(func(e *xdr.Encoder) { e.PutStringSlice(s.store.Values(uri, name)) })
+
+	case cmdFirst:
+		uri, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		name, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		v, ok := s.store.FirstValue(uri, name)
+		return okResponse(func(e *xdr.Encoder) { e.PutBool(ok); e.PutString(v) })
+
+	case cmdURIs:
+		prefix, err := d.String()
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(func(e *xdr.Encoder) { e.PutStringSlice(s.store.URIs(prefix)) })
+
+	case cmdVector:
+		vv := s.store.Vector()
+		return okResponse(func(e *xdr.Encoder) { vv.Encode(e) })
+
+	case cmdOpsSince:
+		theirs, err := DecodeVersionVector(d)
+		if err != nil {
+			return errResponse(err)
+		}
+		max, err := d.Uint32()
+		if err != nil {
+			return errResponse(err)
+		}
+		ops := s.store.OpsSince(theirs, int(max))
+		return okResponse(func(e *xdr.Encoder) { EncodeAssertions(e, ops) })
+
+	case cmdApply:
+		ops, err := DecodeAssertions(d)
+		if err != nil {
+			return errResponse(err)
+		}
+		n := s.store.ApplyRemote(ops)
+		// Relay newly learned ops onward so partially connected replica
+		// groups still converge quickly.
+		if n > 0 {
+			s.enqueuePush(ops)
+		}
+		return okResponse(func(e *xdr.Encoder) { e.PutUint32(uint32(n)) })
+
+	case cmdWait:
+		since, err := d.Uint64()
+		if err != nil {
+			return errResponse(err)
+		}
+		timeoutMs, err := d.Uint32()
+		if err != nil {
+			return errResponse(err)
+		}
+		v := s.store.WaitVersion(since, time.Duration(timeoutMs)*time.Millisecond)
+		return okResponse(func(e *xdr.Encoder) { e.PutUint64(v) })
+
+	case cmdStats:
+		uris, elems, tombs := s.store.Stats()
+		return okResponse(func(e *xdr.Encoder) {
+			e.PutUint32(uint32(uris))
+			e.PutUint32(uint32(elems))
+			e.PutUint32(uint32(tombs))
+		})
+	}
+	return errResponse(fmt.Errorf("unknown command %d", cmd))
+}
+
+func decodeTriple(d *xdr.Decoder) (uri, name, value string, err error) {
+	if uri, err = d.String(); err != nil {
+		return
+	}
+	if name, err = d.String(); err != nil {
+		return
+	}
+	value, err = d.String()
+	return
+}
+
+// enqueuePush queues ops for asynchronous push replication.
+func (s *Server) enqueuePush(ops []Assertion) {
+	if len(ops) == 0 || len(s.peers) == 0 {
+		return
+	}
+	select {
+	case s.pushCh <- ops:
+	default:
+		// Push queue full: anti-entropy will deliver these ops instead.
+		s.mu.Lock()
+		s.pushFail++
+		s.mu.Unlock()
+	}
+}
+
+// pushLoop forwards queued ops to every peer.
+func (s *Server) pushLoop() {
+	defer s.wg.Done()
+	clients := make(map[string]*Client)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for {
+		select {
+		case <-s.done:
+			return
+		case ops := <-s.pushCh:
+			s.mu.Lock()
+			peers := append([]string(nil), s.peers...)
+			s.mu.Unlock()
+			for _, peer := range peers {
+				c, ok := clients[peer]
+				if !ok {
+					c = NewClient([]string{peer}, s.secret)
+					clients[peer] = c
+				}
+				if _, err := c.Apply(ops); err != nil {
+					s.mu.Lock()
+					s.pushFail++
+					s.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+// antiEntropyLoop periodically pulls missing ops from each peer.
+func (s *Server) antiEntropyLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.aeInterval)
+	defer ticker.Stop()
+	clients := make(map[string]*Client)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			peers := append([]string(nil), s.peers...)
+			s.mu.Unlock()
+			for _, peer := range peers {
+				c, ok := clients[peer]
+				if !ok {
+					c = NewClient([]string{peer}, s.secret)
+					clients[peer] = c
+				}
+				ops, err := c.OpsSince(s.store.Vector(), 0)
+				if err != nil {
+					continue // peer down; try again next tick
+				}
+				if len(ops) > 0 {
+					s.store.ApplyRemote(ops)
+				}
+			}
+		}
+	}
+}
+
+// ErrStopped is returned by operations on a closed server.
+var ErrStopped = errors.New("rcds: server stopped")

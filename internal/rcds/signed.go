@@ -1,0 +1,82 @@
+package rcds
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"snipe/internal/seckey"
+)
+
+// Signed assertions implement RCDS's end-to-end metadata authenticity
+// (§2.1): "subsets of metadata can also be cryptographically signed …
+// and the signatures provided to RCDS clients", so a client can verify
+// a value even though it arrived through an untrusted replica chain.
+// The signer's public key is itself published as RC metadata
+// (AttrPublicKey of the signer's URN), mirroring §4's key distribution.
+
+// ErrUnverified indicates an assertion whose signature is missing or
+// does not verify.
+var ErrUnverified = errors.New("rcds: assertion signature unverified")
+
+// SignAssertionValue produces the detached signature for a
+// (uri, name, value) triple.
+func SignAssertionValue(signer *seckey.Principal, uri, name, value string) []byte {
+	a := Assertion{URI: uri, Name: name, Value: value}
+	return signer.Sign(a.SignedBytes())
+}
+
+// VerifyAssertion checks an assertion's detached signature under pub.
+func VerifyAssertion(a *Assertion, pub ed25519.PublicKey) error {
+	if len(a.Signature) == 0 {
+		return fmt.Errorf("%w: %s %s has no signature", ErrUnverified, a.URI, a.Name)
+	}
+	if !seckey.Verify(pub, a.SignedBytes(), a.Signature) {
+		return fmt.Errorf("%w: %s %s signed by %q", ErrUnverified, a.URI, a.Name, a.Signer)
+	}
+	return nil
+}
+
+// AddSignedBy signs and publishes one assertion in a single step.
+func (c *Client) AddSignedBy(signer *seckey.Principal, uri, name, value string) error {
+	sig := SignAssertionValue(signer, uri, name, value)
+	return c.AddSigned(uri, name, value, signer.Name, sig)
+}
+
+// PublishKey publishes a principal's public key as its RC metadata, so
+// verifiers can find it (§4: "each principal's public key is stored as
+// an attribute of that principal's RC metadata").
+func (c *Client) PublishKey(p *seckey.Principal) error {
+	return c.Set(p.Name, AttrPublicKey, p.PublicHex())
+}
+
+// VerifiedValues returns the values of (uri, name) whose signatures
+// verify under their signers' published keys, ignoring unsigned or
+// unverifiable ones. The trust decision — whether a given signer is
+// acceptable — is the caller's, applied to the returned signer names.
+func (c *Client) VerifiedValues(uri, name string) (values []string, signers []string, err error) {
+	as, err := c.Get(uri)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range as {
+		a := &as[i]
+		if a.Name != name || len(a.Signature) == 0 || a.Signer == "" {
+			continue
+		}
+		keyHex, ok, err := c.FirstValue(a.Signer, AttrPublicKey)
+		if err != nil || !ok {
+			continue
+		}
+		pub, err := seckey.ParsePublicHex(keyHex)
+		if err != nil {
+			continue
+		}
+		if VerifyAssertion(a, pub) != nil {
+			continue
+		}
+		values = append(values, a.Value)
+		signers = append(signers, a.Signer)
+	}
+	return values, signers, nil
+}

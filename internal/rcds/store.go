@@ -1,0 +1,413 @@
+package rcds
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event reports a catalog change to a subscriber.
+type Event struct {
+	Assertion Assertion
+}
+
+// Store is one replica's catalog state: the merged element sets per
+// URI, the per-origin op logs used for anti-entropy, and the version
+// vector summarising them. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	origin  string
+	lamport uint64
+	seq     uint64 // this origin's next op sequence number - 1
+
+	catalogs map[string]map[elemKey]*Assertion
+	log      map[string]map[uint64]Assertion // origin → seq → op (may have holes)
+	vv       VersionVector                   // contiguous high-water marks
+
+	version uint64 // bumped on every visible change
+	cond    *sync.Cond
+
+	subs   map[int]*subscription
+	nextID int
+
+	nowFn func() int64 // injectable wall clock for tests
+}
+
+type subscription struct {
+	prefix string
+	ch     chan Event
+}
+
+// NewStore returns an empty replica identified by origin.
+func NewStore(origin string) *Store {
+	s := &Store{
+		origin:   origin,
+		catalogs: make(map[string]map[elemKey]*Assertion),
+		log:      make(map[string]map[uint64]Assertion),
+		vv:       make(VersionVector),
+		subs:     make(map[int]*subscription),
+		nowFn:    func() int64 { return time.Now().UnixNano() },
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Origin returns the replica's identity.
+func (s *Store) Origin() string { return s.origin }
+
+// newLocalOp mints a local assertion with fresh clock and sequence.
+// Caller holds s.mu.
+func (s *Store) newLocalOp(uri, name, value string, deleted bool) Assertion {
+	s.lamport++
+	s.seq++
+	return Assertion{
+		URI:        uri,
+		Name:       name,
+		Value:      value,
+		Clock:      s.lamport,
+		Origin:     s.origin,
+		Seq:        s.seq,
+		Deleted:    deleted,
+		ServerTime: s.nowFn(),
+	}
+}
+
+// applyLocked merges one assertion into the catalog and, when it came
+// from this store's own mint or is a remote op, records it in the log.
+// Returns true if the catalog visibly changed. Caller holds s.mu.
+func (s *Store) applyLocked(a Assertion) bool {
+	cat, ok := s.catalogs[a.URI]
+	if !ok {
+		cat = make(map[elemKey]*Assertion)
+		s.catalogs[a.URI] = cat
+	}
+	key := elemKey{a.Name, a.Value}
+	cur, exists := cat[key]
+	if exists && !a.Supersedes(cur) {
+		return false
+	}
+	cp := a
+	cat[key] = &cp
+	if a.Clock > s.lamport {
+		s.lamport = a.Clock
+	}
+	s.version++
+	s.notifyLocked(a)
+	s.cond.Broadcast()
+	return true
+}
+
+// recordLocked files op in the origin's log and advances the contiguous
+// version vector, draining any pending ops that become contiguous.
+// Caller holds s.mu.
+func (s *Store) recordLocked(a Assertion) {
+	l, ok := s.log[a.Origin]
+	if !ok {
+		l = make(map[uint64]Assertion)
+		s.log[a.Origin] = l
+	}
+	if _, dup := l[a.Seq]; dup {
+		return
+	}
+	l[a.Seq] = a
+	for {
+		next := s.vv[a.Origin] + 1
+		if _, ok := l[next]; !ok {
+			break
+		}
+		s.vv[a.Origin] = next
+	}
+}
+
+func (s *Store) notifyLocked(a Assertion) {
+	for _, sub := range s.subs {
+		if strings.HasPrefix(a.URI, sub.prefix) {
+			select {
+			case sub.ch <- Event{Assertion: a}:
+			default: // slow subscriber: drop rather than block the store
+			}
+		}
+	}
+}
+
+// Set makes value the sole live value for (uri, name): existing live
+// values of the attribute are tombstoned and the new element added.
+// It returns the ops to be pushed to peers.
+func (s *Store) Set(uri, name, value string) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ops []Assertion
+	for key, cur := range s.catalogs[uri] {
+		if key.name == name && !cur.Deleted && key.value != value {
+			ops = append(ops, s.newLocalOp(uri, name, key.value, true))
+		}
+	}
+	ops = append(ops, s.newLocalOp(uri, name, value, false))
+	for _, op := range ops {
+		s.recordLocked(op)
+		s.applyLocked(op)
+	}
+	return ops
+}
+
+// Add inserts value as an additional live value for (uri, name) —
+// RCDS attributes such as locations and comm addresses are
+// multi-valued. Returns the op to push.
+func (s *Store) Add(uri, name, value string) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.newLocalOp(uri, name, value, false)
+	s.recordLocked(op)
+	s.applyLocked(op)
+	return []Assertion{op}
+}
+
+// AddSigned inserts a value carrying a detached signature (used for
+// signed metadata subsets such as published keys and code signatures).
+func (s *Store) AddSigned(uri, name, value string, signer string, sig []byte) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.newLocalOp(uri, name, value, false)
+	op.Signer = signer
+	op.Signature = sig
+	s.recordLocked(op)
+	s.applyLocked(op)
+	return []Assertion{op}
+}
+
+// Remove tombstones the (uri, name, value) element. Returns the ops to
+// push (empty if the element was not live).
+func (s *Store) Remove(uri, name, value string) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.catalogs[uri][elemKey{name, value}]
+	if !ok || cur.Deleted {
+		return nil
+	}
+	op := s.newLocalOp(uri, name, value, true)
+	s.recordLocked(op)
+	s.applyLocked(op)
+	return []Assertion{op}
+}
+
+// RemoveAll tombstones every live value of (uri, name).
+func (s *Store) RemoveAll(uri, name string) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ops []Assertion
+	for key, cur := range s.catalogs[uri] {
+		if key.name == name && !cur.Deleted {
+			ops = append(ops, s.newLocalOp(uri, name, key.value, true))
+		}
+	}
+	for _, op := range ops {
+		s.recordLocked(op)
+		s.applyLocked(op)
+	}
+	return ops
+}
+
+// ApplyRemote merges ops received from a peer (push or anti-entropy),
+// returning the number that changed the catalog.
+func (s *Store) ApplyRemote(ops []Assertion) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := 0
+	for _, op := range ops {
+		if op.Origin == s.origin {
+			continue // our own ops echoed back
+		}
+		s.recordLocked(op)
+		if s.applyLocked(op) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Get returns the live assertions for uri, sorted by (name, value).
+func (s *Store) Get(uri string) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Assertion
+	for _, a := range s.catalogs[uri] {
+		if !a.Deleted {
+			out = append(out, *a)
+		}
+	}
+	sortAssertions(out)
+	return out
+}
+
+// Values returns the live values of (uri, name), sorted.
+func (s *Store) Values(uri, name string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for key, a := range s.catalogs[uri] {
+		if key.name == name && !a.Deleted {
+			out = append(out, key.value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FirstValue returns the most recently written live value of
+// (uri, name), if any.
+func (s *Store) FirstValue(uri, name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Assertion
+	for key, a := range s.catalogs[uri] {
+		if key.name == name && !a.Deleted {
+			if best == nil || a.Supersedes(best) {
+				best = a
+			}
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.Value, true
+}
+
+// URIs returns all URIs with live assertions under the prefix, sorted.
+func (s *Store) URIs(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for uri, cat := range s.catalogs {
+		if !strings.HasPrefix(uri, prefix) {
+			continue
+		}
+		for _, a := range cat {
+			if !a.Deleted {
+				out = append(out, uri)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vector returns a copy of the replica's contiguous version vector.
+func (s *Store) Vector() VersionVector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vv.Copy()
+}
+
+// OpsSince returns up to max ops that remote (with version vector
+// theirs) has not seen, in per-origin sequence order. max <= 0 means
+// unlimited.
+func (s *Store) OpsSince(theirs VersionVector, max int) []Assertion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Assertion
+	origins := make([]string, 0, len(s.log))
+	for origin := range s.log {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	for _, origin := range origins {
+		l := s.log[origin]
+		for seq := theirs[origin] + 1; seq <= s.vv[origin]; seq++ {
+			op, ok := l[seq]
+			if !ok {
+				break
+			}
+			out = append(out, op)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Version returns the store's change counter.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// WaitVersion blocks until the store's version exceeds since or the
+// timeout elapses, returning the current version. It is the long-poll
+// primitive behind metadata change notification.
+func (s *Store) WaitVersion(since uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.version <= since {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		t := time.AfterFunc(remaining, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		s.cond.Wait()
+		t.Stop()
+	}
+	return s.version
+}
+
+// Subscribe delivers every catalog change whose URI has the given
+// prefix to ch until Unsubscribe. Events are dropped rather than
+// blocking the store if ch is full; subscribers needing completeness
+// should re-read the catalog on wakeup.
+func (s *Store) Subscribe(prefix string, ch chan Event) (id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id = s.nextID
+	s.nextID++
+	s.subs[id] = &subscription{prefix: prefix, ch: ch}
+	return id
+}
+
+// Unsubscribe removes a subscription.
+func (s *Store) Unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, id)
+}
+
+// Stats reports catalog sizes for monitoring.
+func (s *Store) Stats() (uris, elements, tombstones int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uris = len(s.catalogs)
+	for _, cat := range s.catalogs {
+		for _, a := range cat {
+			if a.Deleted {
+				tombstones++
+			} else {
+				elements++
+			}
+		}
+	}
+	return
+}
+
+// SetNowFunc overrides the wall clock used for server timestamps; for
+// tests.
+func (s *Store) SetNowFunc(f func() int64) {
+	s.mu.Lock()
+	s.nowFn = f
+	s.mu.Unlock()
+}
+
+func sortAssertions(as []Assertion) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Name != as[j].Name {
+			return as[i].Name < as[j].Name
+		}
+		return as[i].Value < as[j].Value
+	})
+}

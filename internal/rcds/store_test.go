@@ -1,0 +1,440 @@
+package rcds
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+func TestSetGetSingleValue(t *testing.T) {
+	s := NewStore("s1")
+	s.Set("urn:snipe:host:h1", AttrArch, "linux-amd64")
+	v, ok := s.FirstValue("urn:snipe:host:h1", AttrArch)
+	if !ok || v != "linux-amd64" {
+		t.Fatalf("FirstValue = %q, %v", v, ok)
+	}
+	// Set replaces.
+	s.Set("urn:snipe:host:h1", AttrArch, "solaris-sparc")
+	vals := s.Values("urn:snipe:host:h1", AttrArch)
+	if len(vals) != 1 || vals[0] != "solaris-sparc" {
+		t.Fatalf("after replace: %v", vals)
+	}
+}
+
+func TestAddMultiValued(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("urn:snipe:file:f1", AttrLocation, "http://a/f1")
+	s.Add("urn:snipe:file:f1", AttrLocation, "http://b/f1")
+	s.Add("urn:snipe:file:f1", AttrLocation, "http://b/f1") // duplicate
+	vals := s.Values("urn:snipe:file:f1", AttrLocation)
+	if len(vals) != 2 {
+		t.Fatalf("want 2 locations, got %v", vals)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("u", "n", "v1")
+	s.Add("u", "n", "v2")
+	ops := s.Remove("u", "n", "v1")
+	if len(ops) != 1 || !ops[0].Deleted {
+		t.Fatalf("Remove ops = %v", ops)
+	}
+	if vals := s.Values("u", "n"); len(vals) != 1 || vals[0] != "v2" {
+		t.Fatalf("after remove: %v", vals)
+	}
+	// Removing a non-live element is a no-op.
+	if ops := s.Remove("u", "n", "v1"); ops != nil {
+		t.Fatalf("double remove ops = %v", ops)
+	}
+	if ops := s.Remove("u", "n", "never"); ops != nil {
+		t.Fatalf("remove of absent ops = %v", ops)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("u", "n", "v1")
+	s.Add("u", "n", "v2")
+	s.Add("u", "other", "x")
+	s.RemoveAll("u", "n")
+	if vals := s.Values("u", "n"); len(vals) != 0 {
+		t.Fatalf("after RemoveAll: %v", vals)
+	}
+	if vals := s.Values("u", "other"); len(vals) != 1 {
+		t.Fatalf("other attribute disturbed: %v", vals)
+	}
+}
+
+func TestGetSortedAndLiveOnly(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("u", "b", "2")
+	s.Add("u", "a", "1")
+	s.Add("u", "a", "0")
+	s.Remove("u", "b", "2")
+	as := s.Get("u")
+	if len(as) != 2 {
+		t.Fatalf("Get returned %d assertions", len(as))
+	}
+	if as[0].Name != "a" || as[0].Value != "0" || as[1].Value != "1" {
+		t.Fatalf("not sorted: %v", as)
+	}
+}
+
+func TestURIs(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("urn:snipe:host:h1", "a", "1")
+	s.Add("urn:snipe:host:h2", "a", "1")
+	s.Add("urn:snipe:proc:p1", "a", "1")
+	s.RemoveAll("urn:snipe:host:h2", "a")
+	got := s.URIs("urn:snipe:host:")
+	if len(got) != 1 || got[0] != "urn:snipe:host:h1" {
+		t.Fatalf("URIs = %v", got)
+	}
+	if all := s.URIs(""); len(all) != 2 {
+		t.Fatalf("all URIs = %v", all)
+	}
+}
+
+func TestServerTimeStamping(t *testing.T) {
+	s := NewStore("s1")
+	var fake int64 = 12345
+	s.SetNowFunc(func() int64 { return fake })
+	ops := s.Add("u", "n", "v")
+	if ops[0].ServerTime != 12345 {
+		t.Fatalf("ServerTime = %d", ops[0].ServerTime)
+	}
+}
+
+func TestReplicationConvergenceTwoWay(t *testing.T) {
+	a, b := NewStore("a"), NewStore("b")
+	opsA := a.Set("u", "n", "from-a")
+	opsB := b.Set("u", "n", "from-b")
+	// Exchange in both orders; replicas must converge identically.
+	a.ApplyRemote(opsB)
+	b.ApplyRemote(opsA)
+	va, _ := a.FirstValue("u", "n")
+	vb, _ := b.FirstValue("u", "n")
+	if va != vb {
+		t.Fatalf("diverged: a=%q b=%q", va, vb)
+	}
+	// Concurrent Sets with equal clocks: higher origin wins.
+	if va != "from-b" {
+		t.Fatalf("tiebreak: got %q, want from-b", va)
+	}
+}
+
+func TestReplicationIdempotent(t *testing.T) {
+	a, b := NewStore("a"), NewStore("b")
+	ops := a.Add("u", "n", "v")
+	if n := b.ApplyRemote(ops); n != 1 {
+		t.Fatalf("first apply changed %d", n)
+	}
+	if n := b.ApplyRemote(ops); n != 0 {
+		t.Fatalf("second apply changed %d", n)
+	}
+	if n := a.ApplyRemote(ops); n != 0 {
+		t.Fatalf("self apply changed %d", n)
+	}
+}
+
+func TestTombstoneBeatsEarlierAdd(t *testing.T) {
+	a, b := NewStore("a"), NewStore("b")
+	add := a.Add("u", "n", "v")
+	b.ApplyRemote(add)
+	del := b.Remove("u", "n", "v")
+	a.ApplyRemote(del)
+	if vals := a.Values("u", "n"); len(vals) != 0 {
+		t.Fatalf("tombstone lost: %v", vals)
+	}
+	// A later re-add resurrects the element everywhere.
+	re := a.Add("u", "n", "v")
+	b.ApplyRemote(re)
+	if vals := b.Values("u", "n"); len(vals) != 1 {
+		t.Fatalf("re-add lost: %v", vals)
+	}
+}
+
+func TestVersionVectorAndOpsSince(t *testing.T) {
+	a := NewStore("a")
+	a.Add("u", "n", "1")
+	a.Add("u", "n", "2")
+	a.Add("u", "n", "3")
+	vv := a.Vector()
+	if vv["a"] != 3 {
+		t.Fatalf("vector = %v", vv)
+	}
+	// A peer that has seen 1 op should receive the remaining 2.
+	ops := a.OpsSince(VersionVector{"a": 1}, 0)
+	if len(ops) != 2 || ops[0].Seq != 2 || ops[1].Seq != 3 {
+		t.Fatalf("OpsSince = %v", ops)
+	}
+	// max limits the batch.
+	if ops := a.OpsSince(VersionVector{}, 2); len(ops) != 2 {
+		t.Fatalf("limited OpsSince = %v", ops)
+	}
+	// A fully caught-up peer gets nothing.
+	if ops := a.OpsSince(vv, 0); len(ops) != 0 {
+		t.Fatalf("caught-up OpsSince = %v", ops)
+	}
+}
+
+func TestOutOfOrderRemoteOps(t *testing.T) {
+	a, b := NewStore("a"), NewStore("b")
+	op1 := a.Add("u", "n", "1")[0]
+	op2 := a.Add("u", "n", "2")[0]
+	op3 := a.Add("u", "n", "3")[0]
+	// Deliver 3 then 1 then 2 (push reordering).
+	b.ApplyRemote([]Assertion{op3})
+	if vv := b.Vector(); vv["a"] != 0 {
+		t.Fatalf("vector advanced past a hole: %v", vv)
+	}
+	b.ApplyRemote([]Assertion{op1})
+	if vv := b.Vector(); vv["a"] != 1 {
+		t.Fatalf("vector after op1: %v", vv)
+	}
+	b.ApplyRemote([]Assertion{op2})
+	if vv := b.Vector(); vv["a"] != 3 {
+		t.Fatalf("vector after hole filled: %v", vv)
+	}
+	// Catalog saw all three regardless of order.
+	if vals := b.Values("u", "n"); len(vals) != 3 {
+		t.Fatalf("values = %v", vals)
+	}
+	// b can now serve a's full log to a third replica.
+	c := NewStore("c")
+	c.ApplyRemote(b.OpsSince(VersionVector{}, 0))
+	if vals := c.Values("u", "n"); len(vals) != 3 {
+		t.Fatalf("relay values = %v", vals)
+	}
+}
+
+func TestWaitVersion(t *testing.T) {
+	s := NewStore("s1")
+	v0 := s.Version()
+	done := make(chan uint64, 1)
+	go func() { done <- s.WaitVersion(v0, 2*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	s.Add("u", "n", "v")
+	select {
+	case v := <-done:
+		if v <= v0 {
+			t.Fatalf("version did not advance: %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitVersion did not wake")
+	}
+	// Timeout path.
+	start := time.Now()
+	v := s.WaitVersion(s.Version(), 50*time.Millisecond)
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("WaitVersion returned too early")
+	}
+	if v != s.Version() {
+		t.Fatalf("version mismatch: %d", v)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := NewStore("s1")
+	ch := make(chan Event, 16)
+	id := s.Subscribe("urn:snipe:proc:", ch)
+	s.Add("urn:snipe:proc:p1", AttrState, "running")
+	s.Add("urn:snipe:host:h1", AttrLoad, "0.5") // outside prefix
+	select {
+	case ev := <-ch:
+		if ev.Assertion.URI != "urn:snipe:proc:p1" {
+			t.Fatalf("event = %v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event")
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected event: %v", ev)
+	default:
+	}
+	s.Unsubscribe(id)
+	s.Add("urn:snipe:proc:p2", AttrState, "running")
+	select {
+	case ev := <-ch:
+		t.Fatalf("event after unsubscribe: %v", ev)
+	default:
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore("s1")
+	s.Add("u1", "n", "v")
+	s.Add("u2", "n", "v")
+	s.Remove("u2", "n", "v")
+	uris, elems, tombs := s.Stats()
+	if uris != 2 || elems != 1 || tombs != 1 {
+		t.Fatalf("Stats = %d %d %d", uris, elems, tombs)
+	}
+}
+
+func TestAssertionEncodeDecode(t *testing.T) {
+	a := Assertion{
+		URI: "urn:x", Name: "n", Value: "v", Clock: 7, Origin: "s1",
+		Seq: 3, Deleted: true, ServerTime: -42,
+		Signature: []byte{1, 2}, Signer: "alice",
+	}
+	e := xdr.NewEncoder(0)
+	a.Encode(e)
+	d := xdr.NewDecoder(e.Bytes())
+	got, err := DecodeAssertion(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.URI != a.URI || got.Clock != 7 || !got.Deleted || got.ServerTime != -42 ||
+		got.Signer != "alice" || len(got.Signature) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestVersionVectorDominates(t *testing.T) {
+	v := VersionVector{"a": 3, "b": 1}
+	w := VersionVector{"a": 2}
+	if !v.Dominates(w) {
+		t.Fatal("v should dominate w")
+	}
+	if w.Dominates(v) {
+		t.Fatal("w should not dominate v")
+	}
+	if !v.Dominates(VersionVector{}) {
+		t.Fatal("anything dominates empty")
+	}
+}
+
+func TestSupersedesOrdering(t *testing.T) {
+	base := Assertion{Clock: 5, Origin: "m", Seq: 1}
+	cases := []struct {
+		a    Assertion
+		want bool
+	}{
+		{Assertion{Clock: 6, Origin: "a", Seq: 1}, true},
+		{Assertion{Clock: 4, Origin: "z", Seq: 9}, false},
+		{Assertion{Clock: 5, Origin: "z", Seq: 1}, true},
+		{Assertion{Clock: 5, Origin: "a", Seq: 1}, false},
+		{Assertion{Clock: 5, Origin: "m", Seq: 2}, true},
+		{Assertion{Clock: 5, Origin: "m", Seq: 1}, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Supersedes(&base); got != c.want {
+			t.Errorf("case %d: Supersedes = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: N replicas applying a random interleaving of each other's
+// ops all converge to the same catalog (strong eventual consistency).
+func TestQuickConvergence(t *testing.T) {
+	type opSpec struct {
+		Replica uint8
+		URI     uint8
+		Name    uint8
+		Value   uint8
+		Kind    uint8 // 0 set, 1 add, 2 remove
+	}
+	f := func(specs []opSpec, order []uint16) bool {
+		const nReplicas = 3
+		stores := make([]*Store, nReplicas)
+		for i := range stores {
+			stores[i] = NewStore(fmt.Sprintf("r%d", i))
+		}
+		var allOps []Assertion
+		for _, sp := range specs {
+			st := stores[int(sp.Replica)%nReplicas]
+			uri := fmt.Sprintf("u%d", sp.URI%3)
+			name := fmt.Sprintf("n%d", sp.Name%2)
+			value := fmt.Sprintf("v%d", sp.Value%4)
+			var ops []Assertion
+			switch sp.Kind % 3 {
+			case 0:
+				ops = st.Set(uri, name, value)
+			case 1:
+				ops = st.Add(uri, name, value)
+			case 2:
+				ops = st.Remove(uri, name, value)
+			}
+			allOps = append(allOps, ops...)
+		}
+		// Deliver every op to every replica in a permuted order (ops a
+		// replica already has are ignored by ApplyRemote's dedup).
+		perm := make([]Assertion, len(allOps))
+		copy(perm, allOps)
+		for i := range perm {
+			if len(order) == 0 {
+				break
+			}
+			j := int(order[i%len(order)]) % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for _, st := range stores {
+			st.ApplyRemote(perm)
+		}
+		// All replicas must agree on every URI's live set.
+		for uri := 0; uri < 3; uri++ {
+			u := fmt.Sprintf("u%d", uri)
+			ref := stores[0].Get(u)
+			for _, st := range stores[1:] {
+				got := st.Get(u)
+				if len(got) != len(ref) {
+					return false
+				}
+				for i := range ref {
+					if got[i].Name != ref[i].Name || got[i].Value != ref[i].Value {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assertions round-trip through the wire encoding.
+func TestQuickAssertionRoundTrip(t *testing.T) {
+	f := func(uri, name, value, origin string, clock, seq uint64, deleted bool, st int64) bool {
+		a := Assertion{URI: uri, Name: name, Value: value, Origin: origin,
+			Clock: clock, Seq: seq, Deleted: deleted, ServerTime: st}
+		e := xdr.NewEncoder(0)
+		a.Encode(e)
+		got, err := DecodeAssertion(xdr.NewDecoder(e.Bytes()))
+		return err == nil && got.URI == uri && got.Name == name &&
+			got.Value == value && got.Origin == origin && got.Clock == clock &&
+			got.Seq == seq && got.Deleted == deleted && got.ServerTime == st
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStoreSet(b *testing.B) {
+	s := NewStore("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set("urn:snipe:host:h1", AttrLoad, "0.5")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore("bench")
+	for i := 0; i < 10; i++ {
+		s.Add("u", fmt.Sprintf("n%d", i), "v")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get("u")
+	}
+}

@@ -1,0 +1,152 @@
+package rcds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"snipe/internal/seckey"
+	"snipe/internal/xdr"
+)
+
+// Command codes of the RC server protocol. The 1997 implementation used
+// SUN RPC with MD5-hashed shared secrets (§6); this build speaks a
+// length-prefixed binary protocol with optional HMAC-SHA256 message
+// authentication — the same shared-secret mechanism with a current hash
+// (see DESIGN.md substitutions).
+const (
+	cmdPing uint8 = iota + 1
+	cmdSet
+	cmdAdd
+	cmdAddSigned
+	cmdRemove
+	cmdRemoveAll
+	cmdGet
+	cmdValues
+	cmdFirst
+	cmdURIs
+	cmdVector
+	cmdOpsSince
+	cmdApply
+	cmdWait
+	cmdStats
+)
+
+// Response status codes.
+const (
+	statusOK  uint8 = 0
+	statusErr uint8 = 1
+)
+
+// Frame size limit: a single RPC may carry at most this many bytes.
+const maxFrame = 16 << 20
+
+// Errors of the wire layer.
+var (
+	// ErrFrameTooLarge indicates a declared frame beyond maxFrame.
+	ErrFrameTooLarge = errors.New("rcds: frame too large")
+	// ErrBadMAC indicates a frame failing HMAC verification.
+	ErrBadMAC = errors.New("rcds: bad frame MAC")
+	// ErrServer wraps an error string returned by the server.
+	ErrServer = errors.New("rcds: server error")
+	// ErrNoServers indicates every configured RC server failed.
+	ErrNoServers = errors.New("rcds: no reachable RC server")
+)
+
+const macSize = 32
+
+// writeFrame sends one length-prefixed frame, appending an HMAC when
+// secret is non-empty.
+func writeFrame(w io.Writer, body []byte, secret []byte) error {
+	total := len(body)
+	if len(secret) > 0 {
+		total += macSize
+	}
+	if total > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	bufs := net.Buffers{hdr[:], body}
+	if len(secret) > 0 {
+		bufs = append(bufs, seckey.SumMAC(secret, body))
+	}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame receives one frame, verifying its HMAC when secret is
+// non-empty and returning the body.
+func readFrame(r io.Reader, secret []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if len(secret) > 0 {
+		if len(buf) < macSize {
+			return nil, ErrBadMAC
+		}
+		body, mac := buf[:len(buf)-macSize], buf[len(buf)-macSize:]
+		if !seckey.CheckMAC(secret, body, mac) {
+			return nil, ErrBadMAC
+		}
+		return body, nil
+	}
+	return buf, nil
+}
+
+// request assembles cmd+payload into a frame body.
+func request(cmd uint8, payload func(*xdr.Encoder)) []byte {
+	e := xdr.NewEncoder(64)
+	e.PutUint8(cmd)
+	if payload != nil {
+		payload(e)
+	}
+	return e.Bytes()
+}
+
+// okResponse assembles a success response.
+func okResponse(payload func(*xdr.Encoder)) []byte {
+	e := xdr.NewEncoder(64)
+	e.PutUint8(statusOK)
+	if payload != nil {
+		payload(e)
+	}
+	return e.Bytes()
+}
+
+// errResponse assembles an error response.
+func errResponse(err error) []byte {
+	e := xdr.NewEncoder(64)
+	e.PutUint8(statusErr)
+	e.PutString(err.Error())
+	return e.Bytes()
+}
+
+// parseResponse splits a response into a decoder positioned at the
+// payload, or the server-side error.
+func parseResponse(body []byte) (*xdr.Decoder, error) {
+	d := xdr.NewDecoder(body)
+	status, err := d.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		msg, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+	}
+	return d, nil
+}

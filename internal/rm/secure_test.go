@@ -1,0 +1,139 @@
+package rm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snipe/internal/seckey"
+	"snipe/internal/task"
+)
+
+type detRand struct{ state uint64 }
+
+func (r *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 56)
+	}
+	return len(p), nil
+}
+
+// secureWorld sets up the §4 trust topology: the RM is CA for users
+// and hosts; the resource host trusts the RM for grants.
+type secureWorld struct {
+	*world
+	m         *Manager
+	rmPrin    *seckey.Principal
+	user      *seckey.Principal
+	hostPrin  *seckey.Principal
+	userCert  *seckey.KeyCertificate
+	hostCert  *seckey.KeyCertificate
+	hostTrust *seckey.TrustStore
+}
+
+func newSecureWorld(t *testing.T) *secureWorld {
+	t.Helper()
+	w := newWorld(t)
+	w.daemon("h1", "go-sim", 512, 2)
+	m := w.manager("rm1")
+
+	rmPrin, err := seckey.NewPrincipal(m.URN(), &detRand{state: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := seckey.NewPrincipal("urn:snipe:user:alice", &detRand{state: 2})
+	hostPrin, _ := seckey.NewPrincipal("snipe://hosts/h1", &detRand{state: 3})
+
+	userCert := seckey.NewKeyCertificate(rmPrin, user.Name, user.Public(), seckey.PurposeUserCA, 0, 0)
+	hostCert := seckey.NewKeyCertificate(rmPrin, hostPrin.Name, hostPrin.Public(), seckey.PurposeHostCA, 0, 0)
+
+	rmTrust := seckey.NewTrustStore()
+	rmTrust.Trust(seckey.PurposeUserCA, rmPrin.Name, rmPrin.Public())
+	rmTrust.Trust(seckey.PurposeHostCA, rmPrin.Name, rmPrin.Public())
+	acl := seckey.ACLFunc(func(u, r string) bool { return u == user.Name })
+	m.SetAuthorizer(seckey.NewAuthorizer(rmPrin, rmTrust, acl))
+
+	hostTrust := seckey.NewTrustStore()
+	hostTrust.Trust(seckey.PurposeResourceGrant, rmPrin.Name, rmPrin.Public())
+
+	return &secureWorld{world: w, m: m, rmPrin: rmPrin, user: user,
+		hostPrin: hostPrin, userCert: userCert, hostCert: hostCert, hostTrust: hostTrust}
+}
+
+func (sw *secureWorld) request(process, resource string) *SecureRequest {
+	return &SecureRequest{
+		Spec:     task.Spec{Program: "quick"},
+		Grant:    seckey.NewUserGrant(sw.user, process, sw.hostPrin.Name, resource, 0, 0),
+		UserCert: sw.userCert,
+		Att:      seckey.NewHostAttestation(sw.hostPrin, process, resource, 0, 0),
+		HostCert: sw.hostCert,
+	}
+}
+
+func TestSecureAllocateEndToEnd(t *testing.T) {
+	sw := newSecureWorld(t)
+	c := sw.client("urn:secclient")
+	req := sw.request("urn:snipe:process:pending", "snipe://res/cluster")
+	urn, err := c.SecureAllocate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(urn, "quick") {
+		t.Fatalf("urn = %q", urn)
+	}
+	// The RM's authorization is published with the task and verifies at
+	// a host that trusts the RM.
+	if err := VerifyTaskAuthorization(sw.cat, sw.hostTrust, urn, 1<<40); err != nil {
+		t.Fatalf("published authorization: %v", err)
+	}
+	// A host with no trust in this RM rejects it.
+	if err := VerifyTaskAuthorization(sw.cat, seckey.NewTrustStore(), urn, 1<<40); err == nil {
+		t.Fatal("untrusting host accepted the authorization")
+	}
+}
+
+func TestSecureAllocateForgedGrant(t *testing.T) {
+	sw := newSecureWorld(t)
+	c := sw.client("urn:secclient")
+	mallory, _ := seckey.NewPrincipal(sw.user.Name, &detRand{state: 99})
+	req := sw.request("urn:p", "snipe://res/x")
+	req.Grant = seckey.NewUserGrant(mallory, "urn:p", sw.hostPrin.Name, "snipe://res/x", 0, 0)
+	if _, err := c.SecureAllocate(req); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("forged grant: %v", err)
+	}
+}
+
+func TestSecureAllocateScopeMismatch(t *testing.T) {
+	sw := newSecureWorld(t)
+	c := sw.client("urn:secclient")
+	req := sw.request("urn:p", "snipe://res/x")
+	// Attestation for a different resource.
+	req.Att = seckey.NewHostAttestation(sw.hostPrin, "urn:p", "snipe://res/OTHER", 0, 0)
+	if _, err := c.SecureAllocate(req); err == nil {
+		t.Fatal("scope mismatch accepted")
+	}
+}
+
+func TestSecureAllocateWithoutAuthorizer(t *testing.T) {
+	w := newWorld(t)
+	w.daemon("h1", "go-sim", 512, 2)
+	m := w.manager("rmplain")
+	req := &SecureRequest{Spec: task.Spec{Program: "quick"}}
+	if _, err := m.SecureAllocate(req, 1); !errors.Is(err, ErrNoAuthorizer) {
+		t.Fatalf("want ErrNoAuthorizer, got %v", err)
+	}
+}
+
+func TestSecureRequestRoundTrip(t *testing.T) {
+	sw := newSecureWorld(t)
+	req := sw.request("urn:p", "snipe://res/x")
+	// Encode/decode preserves verifiability.
+	now := uint64(time.Now().Unix())
+	urn, err := sw.m.SecureAllocate(req, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = urn
+}

@@ -1,0 +1,147 @@
+package seckey
+
+import (
+	"fmt"
+)
+
+// Grant-protocol field names. A grant or attestation is a Statement
+// whose Fields identify the process, host and resource in question; the
+// two-certificate protocol of §4 requires that the resource manager see
+// the same (process, host, resource) triple from both the user and the
+// requesting host before issuing its own authorization.
+const (
+	FieldProcess  = "process"  // URN of the requesting process
+	FieldHost     = "host"     // distinguished URL of the requesting host
+	FieldResource = "resource" // URL of the resource being requested
+)
+
+// UserGrant is "a signed statement from the user, granting a particular
+// process on a particular host, access to the desired resources".
+type UserGrant struct{ *Statement }
+
+// NewUserGrant issues a grant signed by user.
+func NewUserGrant(user *Principal, processURN, hostURL, resourceURL string, notBefore, notAfter uint64) *UserGrant {
+	fields := map[string]string{
+		FieldProcess:  processURN,
+		FieldHost:     hostURL,
+		FieldResource: resourceURL,
+	}
+	return &UserGrant{NewStatement(user, processURN, PurposeResourceGrant, fields, notBefore, notAfter)}
+}
+
+// HostAttestation is "a signed statement from the requesting host
+// indicating that the resources are requested by that process".
+type HostAttestation struct{ *Statement }
+
+// NewHostAttestation issues an attestation signed by host.
+func NewHostAttestation(host *Principal, processURN, resourceURL string, notBefore, notAfter uint64) *HostAttestation {
+	fields := map[string]string{
+		FieldProcess:  processURN,
+		FieldHost:     host.Name,
+		FieldResource: resourceURL,
+	}
+	return &HostAttestation{NewStatement(host, processURN, PurposeResourceGrant, fields, notBefore, notAfter)}
+}
+
+// Authorization is the resource manager's own signed statement
+// "authorizing use of the requested resources by that process", which
+// it transmits to the hosts where the resources reside.
+type Authorization struct{ *Statement }
+
+// ACL answers whether a user may access a resource; resource managers
+// consult it after both certificates verify.
+type ACL interface {
+	// Allowed reports whether user may access resource.
+	Allowed(user, resource string) bool
+}
+
+// ACLFunc adapts a function to the ACL interface.
+type ACLFunc func(user, resource string) bool
+
+// Allowed implements ACL.
+func (f ACLFunc) Allowed(user, resource string) bool { return f(user, resource) }
+
+// Authorizer implements the resource-manager side of the §4 protocol:
+// verify the user grant against keys trusted for PurposeUserCA-certified
+// users, verify the host attestation against PurposeHostCA-certified
+// hosts, check the ACL, then issue a signed Authorization.
+type Authorizer struct {
+	rm    *Principal
+	trust *TrustStore
+	acl   ACL
+}
+
+// NewAuthorizer returns an Authorizer signing as rm, trusting trust,
+// and consulting acl.
+func NewAuthorizer(rm *Principal, trust *TrustStore, acl ACL) *Authorizer {
+	return &Authorizer{rm: rm, trust: trust, acl: acl}
+}
+
+// Authorize runs the two-certificate check. userCert and hostCert are
+// the key certificates for the grant's and attestation's signers; now is
+// the RM's logical time. On success it returns the RM's signed
+// authorization for the (process, host, resource) triple.
+func (a *Authorizer) Authorize(grant *UserGrant, userCert *KeyCertificate, att *HostAttestation, hostCert *KeyCertificate, now uint64) (*Authorization, error) {
+	// First certificate: the user's key must be certified by a party the
+	// RM trusts to vouch for users.
+	if userCert.Purpose != PurposeUserCA {
+		return nil, fmt.Errorf("%w: user certificate has purpose %q", ErrUntrusted, userCert.Purpose)
+	}
+	userKey, err := a.trust.VerifyCertificate(userCert, now)
+	if err != nil {
+		return nil, fmt.Errorf("seckey: user certificate: %w", err)
+	}
+	if userCert.Subject != grant.Signer {
+		return nil, fmt.Errorf("%w: certificate subject %q is not grant signer %q", ErrScopeMismatch, userCert.Subject, grant.Signer)
+	}
+	if err := grant.VerifySignature(userKey, now); err != nil {
+		return nil, fmt.Errorf("seckey: user grant: %w", err)
+	}
+
+	// Second certificate: the requesting host's key must be certified by
+	// a party the RM trusts to vouch for hosts.
+	if hostCert.Purpose != PurposeHostCA {
+		return nil, fmt.Errorf("%w: host certificate has purpose %q", ErrUntrusted, hostCert.Purpose)
+	}
+	hostKey, err := a.trust.VerifyCertificate(hostCert, now)
+	if err != nil {
+		return nil, fmt.Errorf("seckey: host certificate: %w", err)
+	}
+	if hostCert.Subject != att.Signer {
+		return nil, fmt.Errorf("%w: certificate subject %q is not attestation signer %q", ErrScopeMismatch, hostCert.Subject, att.Signer)
+	}
+	if err := att.VerifySignature(hostKey, now); err != nil {
+		return nil, fmt.Errorf("seckey: host attestation: %w", err)
+	}
+
+	// Scopes must agree: same process, same host, same resource.
+	for _, f := range []string{FieldProcess, FieldHost, FieldResource} {
+		if grant.Fields[f] != att.Fields[f] {
+			return nil, fmt.Errorf("%w: field %s: grant %q, attestation %q",
+				ErrScopeMismatch, f, grant.Fields[f], att.Fields[f])
+		}
+	}
+
+	// Policy: does this user have permission for this resource?
+	if a.acl != nil && !a.acl.Allowed(grant.Signer, grant.Fields[FieldResource]) {
+		return nil, fmt.Errorf("%w: user %s may not access %s", ErrUntrusted, grant.Signer, grant.Fields[FieldResource])
+	}
+
+	fields := map[string]string{
+		FieldProcess:  grant.Fields[FieldProcess],
+		FieldHost:     grant.Fields[FieldHost],
+		FieldResource: grant.Fields[FieldResource],
+		"granted-by":  grant.Signer,
+	}
+	return &Authorization{NewStatement(a.rm, grant.Fields[FieldProcess], PurposeResourceGrant, fields, now, grant.NotAfter)}, nil
+}
+
+// VerifyAuthorization is the resource-host side: check that auth was
+// signed by a resource manager this host trusts for resource grants.
+func VerifyAuthorization(trust *TrustStore, auth *Authorization, now uint64) error {
+	rmKey, ok := trust.TrustedKey(PurposeResourceGrant, auth.Signer)
+	if !ok {
+		return fmt.Errorf("%w: RM %s for resource grants", ErrUntrusted, auth.Signer)
+	}
+	return auth.VerifySignature(rmKey, now)
+}

@@ -1,0 +1,359 @@
+package seckey
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"snipe/internal/xdr"
+)
+
+// detRand is a deterministic byte stream for reproducible key
+// generation in tests.
+type detRand struct{ state uint64 }
+
+func (r *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		r.state = r.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(r.state >> 56)
+	}
+	return len(p), nil
+}
+
+func newTestPrincipal(t *testing.T, name string, seed uint64) *Principal {
+	t.Helper()
+	p, err := NewPrincipal(name, &detRand{state: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSignVerify(t *testing.T) {
+	p := newTestPrincipal(t, "urn:snipe:user:alice", 1)
+	msg := []byte("spawn request")
+	sig := p.Sign(msg)
+	if !Verify(p.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if Verify(p.Public(), []byte("tampered"), sig) {
+		t.Fatal("tampered message accepted")
+	}
+	sig[0] ^= 0xFF
+	if Verify(p.Public(), msg, sig) {
+		t.Fatal("tampered signature accepted")
+	}
+	if Verify(nil, msg, sig) {
+		t.Fatal("nil key accepted")
+	}
+}
+
+func TestPublicHexRoundTrip(t *testing.T) {
+	p := newTestPrincipal(t, "urn:snipe:host:h1", 2)
+	got, err := ParsePublicHex(p.PublicHex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p.Public()) {
+		t.Fatal("hex round trip mismatch")
+	}
+	if _, err := ParsePublicHex("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParsePublicHex("abcd"); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestStatementRoundTripAndTamper(t *testing.T) {
+	signer := newTestPrincipal(t, "urn:snipe:rm:r1", 3)
+	s := NewStatement(signer, "urn:snipe:process:p1", PurposeResourceGrant,
+		map[string]string{"a": "1", "b": "2"}, 5, 100)
+	if err := s.VerifySignature(signer.Public(), 50); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	// Encode/decode round trip.
+	e := xdr.NewEncoder(0)
+	s.Encode(e)
+	d := xdr.NewDecoder(e.Bytes())
+	got, err := DecodeStatement(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Subject != s.Subject || got.Signer != s.Signer || got.Purpose != s.Purpose {
+		t.Fatalf("decoded statement differs: %+v", got)
+	}
+	if err := got.VerifySignature(signer.Public(), 50); err != nil {
+		t.Fatalf("decoded verify: %v", err)
+	}
+
+	// Tampering with a field breaks the signature.
+	got.Fields["a"] = "evil"
+	if err := got.VerifySignature(signer.Public(), 50); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered field: want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestStatementExpiry(t *testing.T) {
+	signer := newTestPrincipal(t, "rm", 4)
+	s := NewStatement(signer, "x", PurposeUserCA, nil, 10, 20)
+	if err := s.VerifySignature(signer.Public(), 9); !errors.Is(err, ErrExpired) {
+		t.Fatalf("before NotBefore: %v", err)
+	}
+	if err := s.VerifySignature(signer.Public(), 21); !errors.Is(err, ErrExpired) {
+		t.Fatalf("after NotAfter: %v", err)
+	}
+	if err := s.VerifySignature(signer.Public(), 15); err != nil {
+		t.Fatalf("within interval: %v", err)
+	}
+	// NotAfter == 0 means no expiry.
+	s2 := NewStatement(signer, "x", PurposeUserCA, nil, 0, 0)
+	if err := s2.VerifySignature(signer.Public(), 1<<60); err != nil {
+		t.Fatalf("no expiry: %v", err)
+	}
+}
+
+func TestKeyCertificate(t *testing.T) {
+	ca := newTestPrincipal(t, "urn:snipe:rm:ca", 5)
+	alice := newTestPrincipal(t, "urn:snipe:user:alice", 6)
+	cert := NewKeyCertificate(ca, alice.Name, alice.Public(), PurposeUserCA, 0, 0)
+
+	key, err := cert.SubjectKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key, alice.Public()) {
+		t.Fatal("certified key differs")
+	}
+
+	trust := NewTrustStore()
+	if _, err := trust.VerifyCertificate(cert, 1); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("empty trust store: %v", err)
+	}
+	trust.Trust(PurposeUserCA, ca.Name, ca.Public())
+	if _, err := trust.VerifyCertificate(cert, 1); err != nil {
+		t.Fatalf("trusted CA: %v", err)
+	}
+	trust.Revoke(PurposeUserCA, ca.Name)
+	if _, err := trust.VerifyCertificate(cert, 1); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("after revoke: %v", err)
+	}
+}
+
+func TestTrustStoreKeyCopied(t *testing.T) {
+	ca := newTestPrincipal(t, "ca", 7)
+	trust := NewTrustStore()
+	key := make([]byte, len(ca.Public()))
+	copy(key, ca.Public())
+	trust.Trust(PurposeUserCA, "ca", key)
+	key[0] ^= 0xFF // mutate the caller's slice
+	stored, ok := trust.TrustedKey(PurposeUserCA, "ca")
+	if !ok {
+		t.Fatal("key missing")
+	}
+	if !bytes.Equal(stored, ca.Public()) {
+		t.Fatal("trust store aliased caller's key slice")
+	}
+}
+
+func setupGrantWorld(t *testing.T) (rm *Authorizer, user, host *Principal, userCert, hostCert *KeyCertificate, hostTrust *TrustStore, rmPrincipal *Principal) {
+	t.Helper()
+	rmPrincipal = newTestPrincipal(t, "urn:snipe:rm:r1", 10)
+	user = newTestPrincipal(t, "urn:snipe:user:alice", 11)
+	host = newTestPrincipal(t, "snipe://hosts/h1", 12)
+
+	// The RM doubles as CA for its users and hosts, as §4 recommends.
+	userCert = NewKeyCertificate(rmPrincipal, user.Name, user.Public(), PurposeUserCA, 0, 0)
+	hostCert = NewKeyCertificate(rmPrincipal, host.Name, host.Public(), PurposeHostCA, 0, 0)
+
+	rmTrust := NewTrustStore()
+	rmTrust.Trust(PurposeUserCA, rmPrincipal.Name, rmPrincipal.Public())
+	rmTrust.Trust(PurposeHostCA, rmPrincipal.Name, rmPrincipal.Public())
+
+	acl := ACLFunc(func(u, r string) bool {
+		return u == user.Name && r == "snipe://res/db"
+	})
+	rm = NewAuthorizer(rmPrincipal, rmTrust, acl)
+
+	hostTrust = NewTrustStore()
+	hostTrust.Trust(PurposeResourceGrant, rmPrincipal.Name, rmPrincipal.Public())
+	return
+}
+
+func TestTwoCertificateGrantProtocol(t *testing.T) {
+	rm, user, host, userCert, hostCert, hostTrust, _ := setupGrantWorld(t)
+
+	grant := NewUserGrant(user, "urn:snipe:process:p1", host.Name, "snipe://res/db", 0, 0)
+	att := NewHostAttestation(host, "urn:snipe:process:p1", "snipe://res/db", 0, 0)
+
+	auth, err := rm.Authorize(grant, userCert, att, hostCert, 1)
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if auth.Fields[FieldProcess] != "urn:snipe:process:p1" {
+		t.Fatalf("authorization fields: %v", auth.Fields)
+	}
+	// The resource host verifies the RM's authorization.
+	if err := VerifyAuthorization(hostTrust, auth, 2); err != nil {
+		t.Fatalf("VerifyAuthorization: %v", err)
+	}
+	// A host that does not trust this RM rejects it.
+	if err := VerifyAuthorization(NewTrustStore(), auth, 2); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("untrusting host: %v", err)
+	}
+}
+
+func TestGrantScopeMismatch(t *testing.T) {
+	rm, user, host, userCert, hostCert, _, _ := setupGrantWorld(t)
+	grant := NewUserGrant(user, "urn:snipe:process:p1", host.Name, "snipe://res/db", 0, 0)
+	// Attestation names a different process.
+	att := NewHostAttestation(host, "urn:snipe:process:OTHER", "snipe://res/db", 0, 0)
+	if _, err := rm.Authorize(grant, userCert, att, hostCert, 1); !errors.Is(err, ErrScopeMismatch) {
+		t.Fatalf("want ErrScopeMismatch, got %v", err)
+	}
+}
+
+func TestGrantACLDenied(t *testing.T) {
+	rm, user, host, userCert, hostCert, _, _ := setupGrantWorld(t)
+	grant := NewUserGrant(user, "urn:snipe:process:p1", host.Name, "snipe://res/forbidden", 0, 0)
+	att := NewHostAttestation(host, "urn:snipe:process:p1", "snipe://res/forbidden", 0, 0)
+	if _, err := rm.Authorize(grant, userCert, att, hostCert, 1); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("want ErrUntrusted (ACL), got %v", err)
+	}
+}
+
+func TestGrantForgedByImpostor(t *testing.T) {
+	rm, user, host, userCert, hostCert, _, _ := setupGrantWorld(t)
+	mallory := newTestPrincipal(t, user.Name, 99) // same name, different key
+	grant := NewUserGrant(mallory, "urn:snipe:process:p1", host.Name, "snipe://res/db", 0, 0)
+	att := NewHostAttestation(host, "urn:snipe:process:p1", "snipe://res/db", 0, 0)
+	if _, err := rm.Authorize(grant, userCert, att, hostCert, 1); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+}
+
+func TestGrantWrongCertificatePurpose(t *testing.T) {
+	rm, user, host, _, hostCert, _, rmPrincipal := setupGrantWorld(t)
+	// A host-purpose certificate presented as the user certificate.
+	wrongCert := NewKeyCertificate(rmPrincipal, user.Name, user.Public(), PurposeHostCA, 0, 0)
+	grant := NewUserGrant(user, "urn:snipe:process:p1", host.Name, "snipe://res/db", 0, 0)
+	att := NewHostAttestation(host, "urn:snipe:process:p1", "snipe://res/db", 0, 0)
+	if _, err := rm.Authorize(grant, wrongCert, att, hostCert, 1); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("want ErrUntrusted, got %v", err)
+	}
+}
+
+func TestGrantCertSubjectMismatch(t *testing.T) {
+	rm, user, host, _, hostCert, _, rmPrincipal := setupGrantWorld(t)
+	// Certificate certifies a different user's name with alice's key.
+	badCert := NewKeyCertificate(rmPrincipal, "urn:snipe:user:bob", user.Public(), PurposeUserCA, 0, 0)
+	grant := NewUserGrant(user, "urn:snipe:process:p1", host.Name, "snipe://res/db", 0, 0)
+	att := NewHostAttestation(host, "urn:snipe:process:p1", "snipe://res/db", 0, 0)
+	if _, err := rm.Authorize(grant, badCert, att, hostCert, 1); !errors.Is(err, ErrScopeMismatch) {
+		t.Fatalf("want ErrScopeMismatch, got %v", err)
+	}
+}
+
+func TestContentHash(t *testing.T) {
+	h1 := ContentHashHex([]byte("code image v1"))
+	h2 := ContentHashHex([]byte("code image v2"))
+	if h1 == h2 {
+		t.Fatal("distinct content hashed equal")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash hex length %d", len(h1))
+	}
+	if h1 != ContentHashHex([]byte("code image v1")) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestMAC(t *testing.T) {
+	key := MACKey([]byte("shared-secret"), "rc-server-1")
+	msg := []byte("catalog update")
+	mac := SumMAC(key, msg)
+	if !CheckMAC(key, msg, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if CheckMAC(key, []byte("other"), mac) {
+		t.Fatal("wrong message accepted")
+	}
+	otherKey := MACKey([]byte("shared-secret"), "rc-server-2")
+	if CheckMAC(otherKey, msg, mac) {
+		t.Fatal("wrong label key accepted")
+	}
+}
+
+func TestSortedKeysProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		m := make(map[string]string, len(keys))
+		for _, k := range keys {
+			m[k] = "v"
+		}
+		sorted := sortedKeys(m)
+		if len(sorted) != len(m) {
+			return false
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1] >= sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: statement signatures survive arbitrary field sets, and any
+// single-field mutation is detected.
+func TestQuickStatementIntegrity(t *testing.T) {
+	signer := newTestPrincipal(t, "signer", 42)
+	f := func(subject, k, v, v2 string) bool {
+		if v == v2 {
+			return true
+		}
+		s := NewStatement(signer, subject, PurposeCodeSigning, map[string]string{k: v}, 0, 0)
+		if s.VerifySignature(signer.Public(), 1) != nil {
+			return false
+		}
+		s.Fields[k] = v2
+		return errors.Is(s.VerifySignature(signer.Public(), 1), ErrBadSignature)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignStatement(b *testing.B) {
+	signer, err := NewPrincipal("bench", &detRand{state: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fields := map[string]string{"process": "p", "host": "h", "resource": "r"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewStatement(signer, "subject", PurposeResourceGrant, fields, 0, 0)
+	}
+}
+
+func BenchmarkVerifyStatement(b *testing.B) {
+	signer, err := NewPrincipal("bench", &detRand{state: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewStatement(signer, "subject", PurposeResourceGrant,
+		map[string]string{"process": "p"}, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.VerifySignature(signer.Public(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

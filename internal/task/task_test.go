@@ -1,0 +1,179 @@
+package task
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+func TestSpecEncodeDecode(t *testing.T) {
+	s := Spec{
+		Program: "worker",
+		Args:    []string{"a", "b"},
+		Req: Requirements{
+			Arch: "go-sim", MinMemoryMB: 64, Host: "snipe://hosts/h1", Playground: true,
+		},
+		NotifyList: []string{"urn:snipe:process:c"},
+		CodeURL:    "urn:snipe:file:code",
+		Checkpoint: []byte{1, 2, 3},
+		SeqState:   []byte{4},
+	}
+	e := xdr.NewEncoder(0)
+	s.Encode(e)
+	got, err := DecodeSpec(xdr.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "worker" || len(got.Args) != 2 || got.Req.Arch != "go-sim" ||
+		got.Req.MinMemoryMB != 64 || !got.Req.Playground ||
+		len(got.NotifyList) != 1 || got.CodeURL != "urn:snipe:file:code" ||
+		len(got.Checkpoint) != 3 || len(got.SeqState) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestSpecEmptyCheckpointDecodesNil(t *testing.T) {
+	s := Spec{Program: "p"}
+	e := xdr.NewEncoder(0)
+	s.Encode(e)
+	got, err := DecodeSpec(xdr.NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checkpoint != nil || got.SeqState != nil {
+		t.Fatal("empty checkpoint should decode as nil")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	r.Register("p1", func(ctx *Context) error { called = true; return nil })
+	fn, err := r.Lookup("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(nil)
+	if !called {
+		t.Fatal("function not invoked")
+	}
+	if _, err := r.Lookup("missing"); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("want ErrUnknownProgram, got %v", err)
+	}
+	if n := len(r.Names()); n != 1 {
+		t.Fatalf("Names = %d", n)
+	}
+}
+
+func TestContextKill(t *testing.T) {
+	ctx := NewContext("urn:t", "snipe://hosts/h", Spec{}, nil)
+	done := make(chan struct{})
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+	ctx.Deliver(SigKill)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed by SigKill")
+	}
+	if !ctx.CheckPause() {
+		t.Fatal("CheckPause should report killed")
+	}
+	ctx.Deliver(SigKill) // idempotent
+}
+
+func TestContextSuspendResume(t *testing.T) {
+	ctx := NewContext("urn:t", "h", Spec{}, nil)
+	ctx.Deliver(SigSuspend)
+	if !ctx.Suspended() {
+		t.Fatal("not suspended")
+	}
+	resumed := make(chan struct{})
+	go func() {
+		ctx.CheckPause() // blocks while suspended
+		close(resumed)
+	}()
+	select {
+	case <-resumed:
+		t.Fatal("CheckPause returned while suspended")
+	case <-time.After(50 * time.Millisecond):
+	}
+	ctx.Deliver(SigResume)
+	select {
+	case <-resumed:
+	case <-time.After(time.Second):
+		t.Fatal("CheckPause did not resume")
+	}
+}
+
+func TestContextKillUnblocksSuspended(t *testing.T) {
+	ctx := NewContext("urn:t", "h", Spec{}, nil)
+	ctx.Deliver(SigSuspend)
+	done := make(chan bool)
+	go func() { done <- ctx.CheckPause() }()
+	time.Sleep(20 * time.Millisecond)
+	ctx.Deliver(SigKill)
+	select {
+	case killed := <-done:
+		if !killed {
+			t.Fatal("CheckPause should report killed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("kill did not unblock suspended task")
+	}
+}
+
+func TestContextUserSignals(t *testing.T) {
+	ctx := NewContext("urn:t", "h", Spec{}, nil)
+	ctx.Deliver(SigUser + 3)
+	select {
+	case sig := <-ctx.Signals():
+		if sig != SigUser+3 {
+			t.Fatalf("signal = %d", sig)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("user signal not delivered")
+	}
+}
+
+func TestContextCheckpointFlow(t *testing.T) {
+	ctx := NewContext("urn:t", "h", Spec{}, nil)
+	ctx.RequestCheckpoint()
+	select {
+	case <-ctx.CheckpointRequested():
+	case <-time.After(time.Second):
+		t.Fatal("checkpoint request not delivered")
+	}
+	ctx.SaveCheckpoint([]byte("state"))
+	if string(ctx.TakeCheckpoint()) != "state" {
+		t.Fatal("checkpoint not stored")
+	}
+	// RequestCheckpoint coalesces.
+	ctx.RequestCheckpoint()
+	ctx.RequestCheckpoint()
+}
+
+func TestContextRestoredState(t *testing.T) {
+	ctx := NewContext("urn:t", "h", Spec{Checkpoint: []byte("resume")}, nil)
+	if string(ctx.RestoredState()) != "resume" {
+		t.Fatal("restored state missing")
+	}
+}
+
+func TestStateChangeEncodeDecode(t *testing.T) {
+	sc := StateChange{URN: "urn:t", From: StateRunning, To: StateExited, Host: "snipe://hosts/h"}
+	got, err := DecodeStateChange(EncodeStateChange(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := DecodeStateChange([]byte{1}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

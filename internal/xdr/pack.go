@@ -1,0 +1,332 @@
+package xdr
+
+import "fmt"
+
+// Kind tags a packed item with its type, making Packer buffers
+// self-describing in the style of PVM's typed pack/unpack routines.
+type Kind uint8
+
+// Item kinds recognised by Packer/Unpacker.
+const (
+	KindInvalid Kind = iota
+	KindInt8
+	KindInt16
+	KindInt32
+	KindInt64
+	KindUint8
+	KindUint16
+	KindUint32
+	KindUint64
+	KindFloat32
+	KindFloat64
+	KindBool
+	KindString
+	KindBytes
+	KindInt64Slice
+	KindFloat64Slice
+	KindStringSlice
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid:      "invalid",
+	KindInt8:         "int8",
+	KindInt16:        "int16",
+	KindInt32:        "int32",
+	KindInt64:        "int64",
+	KindUint8:        "uint8",
+	KindUint16:       "uint16",
+	KindUint32:       "uint32",
+	KindUint64:       "uint64",
+	KindFloat32:      "float32",
+	KindFloat64:      "float64",
+	KindBool:         "bool",
+	KindString:       "string",
+	KindBytes:        "bytes",
+	KindInt64Slice:   "[]int64",
+	KindFloat64Slice: "[]float64",
+	KindStringSlice:  "[]string",
+}
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Packer builds a self-describing typed message buffer. Each Pack* call
+// appends a one-byte kind tag followed by the value's encoding, so that
+// the receiving Unpacker can verify it is reading the type the sender
+// wrote — the PVM heritage SNIPE's client library keeps (§3.4).
+// The zero value is ready to use.
+type Packer struct {
+	enc Encoder
+}
+
+// NewPacker returns a Packer with capacity preallocated.
+func NewPacker(capacity int) *Packer {
+	return &Packer{enc: Encoder{buf: make([]byte, 0, capacity)}}
+}
+
+// Bytes returns the packed buffer.
+func (p *Packer) Bytes() []byte { return p.enc.Bytes() }
+
+// Len returns the packed length in bytes.
+func (p *Packer) Len() int { return p.enc.Len() }
+
+// Reset discards all packed data.
+func (p *Packer) Reset() { p.enc.Reset() }
+
+// PackInt8 appends a tagged int8.
+func (p *Packer) PackInt8(v int8) { p.enc.PutUint8(uint8(KindInt8)); p.enc.PutInt8(v) }
+
+// PackInt16 appends a tagged int16.
+func (p *Packer) PackInt16(v int16) { p.enc.PutUint8(uint8(KindInt16)); p.enc.PutInt16(v) }
+
+// PackInt32 appends a tagged int32.
+func (p *Packer) PackInt32(v int32) { p.enc.PutUint8(uint8(KindInt32)); p.enc.PutInt32(v) }
+
+// PackInt64 appends a tagged int64.
+func (p *Packer) PackInt64(v int64) { p.enc.PutUint8(uint8(KindInt64)); p.enc.PutInt64(v) }
+
+// PackUint8 appends a tagged uint8.
+func (p *Packer) PackUint8(v uint8) { p.enc.PutUint8(uint8(KindUint8)); p.enc.PutUint8(v) }
+
+// PackUint16 appends a tagged uint16.
+func (p *Packer) PackUint16(v uint16) { p.enc.PutUint8(uint8(KindUint16)); p.enc.PutUint16(v) }
+
+// PackUint32 appends a tagged uint32.
+func (p *Packer) PackUint32(v uint32) { p.enc.PutUint8(uint8(KindUint32)); p.enc.PutUint32(v) }
+
+// PackUint64 appends a tagged uint64.
+func (p *Packer) PackUint64(v uint64) { p.enc.PutUint8(uint8(KindUint64)); p.enc.PutUint64(v) }
+
+// PackFloat32 appends a tagged float32.
+func (p *Packer) PackFloat32(v float32) { p.enc.PutUint8(uint8(KindFloat32)); p.enc.PutFloat32(v) }
+
+// PackFloat64 appends a tagged float64.
+func (p *Packer) PackFloat64(v float64) { p.enc.PutUint8(uint8(KindFloat64)); p.enc.PutFloat64(v) }
+
+// PackBool appends a tagged bool.
+func (p *Packer) PackBool(v bool) { p.enc.PutUint8(uint8(KindBool)); p.enc.PutBool(v) }
+
+// PackString appends a tagged string.
+func (p *Packer) PackString(v string) { p.enc.PutUint8(uint8(KindString)); p.enc.PutString(v) }
+
+// PackBytes appends a tagged byte slice.
+func (p *Packer) PackBytes(v []byte) { p.enc.PutUint8(uint8(KindBytes)); p.enc.PutBytes(v) }
+
+// PackInt64Slice appends a tagged []int64.
+func (p *Packer) PackInt64Slice(v []int64) {
+	p.enc.PutUint8(uint8(KindInt64Slice))
+	p.enc.PutUint32(uint32(len(v)))
+	for _, x := range v {
+		p.enc.PutInt64(x)
+	}
+}
+
+// PackFloat64Slice appends a tagged []float64.
+func (p *Packer) PackFloat64Slice(v []float64) {
+	p.enc.PutUint8(uint8(KindFloat64Slice))
+	p.enc.PutUint32(uint32(len(v)))
+	for _, x := range v {
+		p.enc.PutFloat64(x)
+	}
+}
+
+// PackStringSlice appends a tagged []string.
+func (p *Packer) PackStringSlice(v []string) {
+	p.enc.PutUint8(uint8(KindStringSlice))
+	p.enc.PutStringSlice(v)
+}
+
+// Unpacker reads a typed buffer produced by Packer, verifying each
+// item's kind tag.
+type Unpacker struct {
+	dec Decoder
+}
+
+// NewUnpacker returns an Unpacker over data.
+func NewUnpacker(data []byte) *Unpacker {
+	return &Unpacker{dec: Decoder{buf: data}}
+}
+
+// Remaining reports the number of unread bytes.
+func (u *Unpacker) Remaining() int { return u.dec.Remaining() }
+
+// Finish returns an error if unread bytes remain.
+func (u *Unpacker) Finish() error { return u.dec.Finish() }
+
+// NextKind peeks at the kind of the next item without consuming it.
+func (u *Unpacker) NextKind() (Kind, error) {
+	if u.dec.Remaining() < 1 {
+		return KindInvalid, ErrShortBuffer
+	}
+	return Kind(u.dec.buf[u.dec.off]), nil
+}
+
+func (u *Unpacker) expect(k Kind) error {
+	got, err := u.dec.Uint8()
+	if err != nil {
+		return err
+	}
+	if Kind(got) != k {
+		return fmt.Errorf("%w: want %v, got %v", ErrTypeMismatch, k, Kind(got))
+	}
+	return nil
+}
+
+// Int8 unpacks a tagged int8.
+func (u *Unpacker) Int8() (int8, error) {
+	if err := u.expect(KindInt8); err != nil {
+		return 0, err
+	}
+	return u.dec.Int8()
+}
+
+// Int16 unpacks a tagged int16.
+func (u *Unpacker) Int16() (int16, error) {
+	if err := u.expect(KindInt16); err != nil {
+		return 0, err
+	}
+	return u.dec.Int16()
+}
+
+// Int32 unpacks a tagged int32.
+func (u *Unpacker) Int32() (int32, error) {
+	if err := u.expect(KindInt32); err != nil {
+		return 0, err
+	}
+	return u.dec.Int32()
+}
+
+// Int64 unpacks a tagged int64.
+func (u *Unpacker) Int64() (int64, error) {
+	if err := u.expect(KindInt64); err != nil {
+		return 0, err
+	}
+	return u.dec.Int64()
+}
+
+// Uint8 unpacks a tagged uint8.
+func (u *Unpacker) Uint8() (uint8, error) {
+	if err := u.expect(KindUint8); err != nil {
+		return 0, err
+	}
+	return u.dec.Uint8()
+}
+
+// Uint16 unpacks a tagged uint16.
+func (u *Unpacker) Uint16() (uint16, error) {
+	if err := u.expect(KindUint16); err != nil {
+		return 0, err
+	}
+	return u.dec.Uint16()
+}
+
+// Uint32 unpacks a tagged uint32.
+func (u *Unpacker) Uint32() (uint32, error) {
+	if err := u.expect(KindUint32); err != nil {
+		return 0, err
+	}
+	return u.dec.Uint32()
+}
+
+// Uint64 unpacks a tagged uint64.
+func (u *Unpacker) Uint64() (uint64, error) {
+	if err := u.expect(KindUint64); err != nil {
+		return 0, err
+	}
+	return u.dec.Uint64()
+}
+
+// Float32 unpacks a tagged float32.
+func (u *Unpacker) Float32() (float32, error) {
+	if err := u.expect(KindFloat32); err != nil {
+		return 0, err
+	}
+	return u.dec.Float32()
+}
+
+// Float64 unpacks a tagged float64.
+func (u *Unpacker) Float64() (float64, error) {
+	if err := u.expect(KindFloat64); err != nil {
+		return 0, err
+	}
+	return u.dec.Float64()
+}
+
+// Bool unpacks a tagged bool.
+func (u *Unpacker) Bool() (bool, error) {
+	if err := u.expect(KindBool); err != nil {
+		return false, err
+	}
+	return u.dec.Bool()
+}
+
+// String unpacks a tagged string.
+func (u *Unpacker) String() (string, error) {
+	if err := u.expect(KindString); err != nil {
+		return "", err
+	}
+	return u.dec.String()
+}
+
+// Bytes unpacks a tagged byte slice into fresh storage.
+func (u *Unpacker) Bytes() ([]byte, error) {
+	if err := u.expect(KindBytes); err != nil {
+		return nil, err
+	}
+	return u.dec.BytesCopy()
+}
+
+// Int64Slice unpacks a tagged []int64.
+func (u *Unpacker) Int64Slice() ([]int64, error) {
+	if err := u.expect(KindInt64Slice); err != nil {
+		return nil, err
+	}
+	n, err := u.dec.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*8 > u.dec.Remaining() {
+		return nil, ErrStringTooLong
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], err = u.dec.Int64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Float64Slice unpacks a tagged []float64.
+func (u *Unpacker) Float64Slice() ([]float64, error) {
+	if err := u.expect(KindFloat64Slice); err != nil {
+		return nil, err
+	}
+	n, err := u.dec.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*8 > u.dec.Remaining() {
+		return nil, ErrStringTooLong
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = u.dec.Float64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// StringSlice unpacks a tagged []string.
+func (u *Unpacker) StringSlice() ([]string, error) {
+	if err := u.expect(KindStringSlice); err != nil {
+		return nil, err
+	}
+	return u.dec.StringSlice()
+}

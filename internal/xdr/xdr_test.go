@@ -1,0 +1,412 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeScalars(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint8(0xAB)
+	e.PutUint16(0xCDEF)
+	e.PutUint32(0xDEADBEEF)
+	e.PutUint64(0x0123456789ABCDEF)
+	e.PutInt8(-5)
+	e.PutInt16(-1234)
+	e.PutInt32(-123456789)
+	e.PutInt64(-1234567890123456789)
+	e.PutFloat32(3.25)
+	e.PutFloat64(-2.5e100)
+	e.PutBool(true)
+	e.PutBool(false)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uint8(); err != nil || v != 0xAB {
+		t.Fatalf("Uint8 = %v, %v", v, err)
+	}
+	if v, err := d.Uint16(); err != nil || v != 0xCDEF {
+		t.Fatalf("Uint16 = %v, %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %v, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 0x0123456789ABCDEF {
+		t.Fatalf("Uint64 = %v, %v", v, err)
+	}
+	if v, err := d.Int8(); err != nil || v != -5 {
+		t.Fatalf("Int8 = %v, %v", v, err)
+	}
+	if v, err := d.Int16(); err != nil || v != -1234 {
+		t.Fatalf("Int16 = %v, %v", v, err)
+	}
+	if v, err := d.Int32(); err != nil || v != -123456789 {
+		t.Fatalf("Int32 = %v, %v", v, err)
+	}
+	if v, err := d.Int64(); err != nil || v != -1234567890123456789 {
+		t.Fatalf("Int64 = %v, %v", v, err)
+	}
+	if v, err := d.Float32(); err != nil || v != 3.25 {
+		t.Fatalf("Float32 = %v, %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != -2.5e100 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestEncodeDecodeStringsAndBytes(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutString("hello, SNIPE")
+	e.PutString("")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutBytes(nil)
+	e.PutStringSlice([]string{"a", "", "URN:snipe:x"})
+	e.PutRaw([]byte{9, 9})
+
+	d := NewDecoder(e.Bytes())
+	if s, err := d.String(); err != nil || s != "hello, SNIPE" {
+		t.Fatalf("String = %q, %v", s, err)
+	}
+	if s, err := d.String(); err != nil || s != "" {
+		t.Fatalf("empty String = %q, %v", s, err)
+	}
+	if b, err := d.Bytes(); err != nil || !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v, %v", b, err)
+	}
+	if b, err := d.Bytes(); err != nil || len(b) != 0 {
+		t.Fatalf("nil Bytes = %v, %v", b, err)
+	}
+	ss, err := d.StringSlice()
+	if err != nil || len(ss) != 3 || ss[2] != "URN:snipe:x" {
+		t.Fatalf("StringSlice = %v, %v", ss, err)
+	}
+	raw, err := d.Raw(2)
+	if err != nil || !bytes.Equal(raw, []byte{9, 9}) {
+		t.Fatalf("Raw = %v, %v", raw, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+	// A failed read must not advance the cursor.
+	if v, err := d.Uint16(); err != nil || v != 0x0102 {
+		t.Fatalf("after failed read: %v, %v", v, err)
+	}
+}
+
+func TestDecoderCorruptLength(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutUint32(1 << 30) // absurd declared length
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bytes(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("want ErrStringTooLong, got %v", err)
+	}
+
+	// Declared length longer than remaining data.
+	e.Reset()
+	e.PutUint32(10)
+	e.PutRaw([]byte("abc"))
+	d = NewDecoder(e.Bytes())
+	if _, err := d.String(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("want ErrStringTooLong, got %v", err)
+	}
+}
+
+func TestDecoderTrailingData(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint8(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); !errors.Is(err, ErrTrailingData) {
+		t.Fatalf("want ErrTrailingData, got %v", err)
+	}
+}
+
+func TestBytesCopyIndependence(t *testing.T) {
+	e := NewEncoder(0)
+	e.PutBytes([]byte{7, 8, 9})
+	src := e.Bytes()
+	d := NewDecoder(src)
+	got, err := d.BytesCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[4] = 0 // mutate the first payload byte in the source buffer
+	if got[0] != 7 {
+		t.Fatal("BytesCopy result aliases source buffer")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p := NewPacker(0)
+	p.PackInt8(-1)
+	p.PackInt16(-300)
+	p.PackInt32(1 << 20)
+	p.PackInt64(-(1 << 40))
+	p.PackUint8(200)
+	p.PackUint16(60000)
+	p.PackUint32(4e9)
+	p.PackUint64(1 << 63)
+	p.PackFloat32(1.5)
+	p.PackFloat64(math.Pi)
+	p.PackBool(true)
+	p.PackString("metadata")
+	p.PackBytes([]byte{0xFF, 0x00})
+	p.PackInt64Slice([]int64{1, -2, 3})
+	p.PackFloat64Slice([]float64{0.5, -0.25})
+	p.PackStringSlice([]string{"x", "y"})
+
+	u := NewUnpacker(p.Bytes())
+	if v, err := u.Int8(); err != nil || v != -1 {
+		t.Fatalf("Int8: %v %v", v, err)
+	}
+	if v, err := u.Int16(); err != nil || v != -300 {
+		t.Fatalf("Int16: %v %v", v, err)
+	}
+	if v, err := u.Int32(); err != nil || v != 1<<20 {
+		t.Fatalf("Int32: %v %v", v, err)
+	}
+	if v, err := u.Int64(); err != nil || v != -(1<<40) {
+		t.Fatalf("Int64: %v %v", v, err)
+	}
+	if v, err := u.Uint8(); err != nil || v != 200 {
+		t.Fatalf("Uint8: %v %v", v, err)
+	}
+	if v, err := u.Uint16(); err != nil || v != 60000 {
+		t.Fatalf("Uint16: %v %v", v, err)
+	}
+	if v, err := u.Uint32(); err != nil || v != 4e9 {
+		t.Fatalf("Uint32: %v %v", v, err)
+	}
+	if v, err := u.Uint64(); err != nil || v != 1<<63 {
+		t.Fatalf("Uint64: %v %v", v, err)
+	}
+	if v, err := u.Float32(); err != nil || v != 1.5 {
+		t.Fatalf("Float32: %v %v", v, err)
+	}
+	if v, err := u.Float64(); err != nil || v != math.Pi {
+		t.Fatalf("Float64: %v %v", v, err)
+	}
+	if v, err := u.Bool(); err != nil || !v {
+		t.Fatalf("Bool: %v %v", v, err)
+	}
+	if v, err := u.String(); err != nil || v != "metadata" {
+		t.Fatalf("String: %v %v", v, err)
+	}
+	if v, err := u.Bytes(); err != nil || !bytes.Equal(v, []byte{0xFF, 0x00}) {
+		t.Fatalf("Bytes: %v %v", v, err)
+	}
+	if v, err := u.Int64Slice(); err != nil || len(v) != 3 || v[1] != -2 {
+		t.Fatalf("Int64Slice: %v %v", v, err)
+	}
+	if v, err := u.Float64Slice(); err != nil || len(v) != 2 || v[1] != -0.25 {
+		t.Fatalf("Float64Slice: %v %v", v, err)
+	}
+	if v, err := u.StringSlice(); err != nil || len(v) != 2 || v[0] != "x" {
+		t.Fatalf("StringSlice: %v %v", v, err)
+	}
+	if err := u.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestUnpackTypeMismatch(t *testing.T) {
+	p := NewPacker(0)
+	p.PackInt32(42)
+	u := NewUnpacker(p.Bytes())
+	if _, err := u.String(); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("want ErrTypeMismatch, got %v", err)
+	}
+}
+
+func TestNextKind(t *testing.T) {
+	p := NewPacker(0)
+	p.PackFloat64(1)
+	u := NewUnpacker(p.Bytes())
+	k, err := u.NextKind()
+	if err != nil || k != KindFloat64 {
+		t.Fatalf("NextKind = %v, %v", k, err)
+	}
+	// Peeking must not consume.
+	if _, err := u.Float64(); err != nil {
+		t.Fatalf("Float64 after peek: %v", err)
+	}
+	if _, err := u.NextKind(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("NextKind at end: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFloat64.String() != "float64" {
+		t.Fatal("KindFloat64 name")
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+// Property: any sequence of (uint64, string, bytes) triples round-trips.
+func TestQuickRoundTripTriples(t *testing.T) {
+	f := func(u64s []uint64, strs []string, blobs [][]byte) bool {
+		e := NewEncoder(0)
+		for _, v := range u64s {
+			e.PutUint64(v)
+		}
+		e.PutStringSlice(strs)
+		e.PutUint32(uint32(len(blobs)))
+		for _, b := range blobs {
+			e.PutBytes(b)
+		}
+		d := NewDecoder(e.Bytes())
+		for _, v := range u64s {
+			got, err := d.Uint64()
+			if err != nil || got != v {
+				return false
+			}
+		}
+		gotStrs, err := d.StringSlice()
+		if err != nil || len(gotStrs) != len(strs) {
+			return false
+		}
+		for i := range strs {
+			if gotStrs[i] != strs[i] {
+				return false
+			}
+		}
+		n, err := d.Uint32()
+		if err != nil || int(n) != len(blobs) {
+			return false
+		}
+		for _, b := range blobs {
+			got, err := d.Bytes()
+			if err != nil || !bytes.Equal(got, b) {
+				return false
+			}
+		}
+		return d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: floats round-trip bit-exactly, including NaN payload bits.
+func TestQuickFloatBits(t *testing.T) {
+	f := func(bits uint64) bool {
+		v := math.Float64frombits(bits)
+		e := NewEncoder(8)
+		e.PutFloat64(v)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Float64()
+		return err == nil && math.Float64bits(got) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a decoder never reads past the end of arbitrary input; it
+// either returns a value or an error, and never panics.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		for d.Remaining() > 0 {
+			if _, err := d.Bytes(); err != nil {
+				// On error the cursor may stop; consume one byte to progress.
+				if _, err := d.Uint8(); err != nil {
+					return true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: packer/unpacker round-trips arbitrary typed payloads.
+func TestQuickPackRoundTrip(t *testing.T) {
+	f := func(i int64, s string, b []byte, fs []float64) bool {
+		p := NewPacker(0)
+		p.PackInt64(i)
+		p.PackString(s)
+		p.PackBytes(b)
+		p.PackFloat64Slice(fs)
+		u := NewUnpacker(p.Bytes())
+		gi, err := u.Int64()
+		if err != nil || gi != i {
+			return false
+		}
+		gs, err := u.String()
+		if err != nil || gs != s {
+			return false
+		}
+		gb, err := u.Bytes()
+		if err != nil || !bytes.Equal(gb, b) {
+			return false
+		}
+		gfs, err := u.Float64Slice()
+		if err != nil || len(gfs) != len(fs) {
+			return false
+		}
+		for idx := range fs {
+			if math.Float64bits(gfs[idx]) != math.Float64bits(fs[idx]) {
+				return false
+			}
+		}
+		return u.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeSmall(b *testing.B) {
+	e := NewEncoder(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutUint64(uint64(i))
+		e.PutString("urn:snipe:process:42")
+		e.PutUint32(7)
+	}
+}
+
+func BenchmarkDecodeSmall(b *testing.B) {
+	e := NewEncoder(64)
+	e.PutUint64(1)
+	e.PutString("urn:snipe:process:42")
+	e.PutUint32(7)
+	data := e.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(data)
+		if _, err := d.Uint64(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.String(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Uint32(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
