@@ -22,6 +22,7 @@ import (
 var (
 	experiment = flag.String("experiment", "all", "which experiment to run")
 	quick      = flag.Bool("quick", false, "reduced sweeps for a fast run")
+	fig1Out    = flag.String("fig1-out", "BENCH_fig1.json", "path for the fig1 JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -97,7 +98,31 @@ func runFig1() error {
 		}
 		fmt.Fprintln(w)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("-- end-to-end ack latency (µs) per point --")
+	w = tab()
+	fmt.Fprintln(w, "medium\ttransport\tmsg size\tp50\tp90\tp99\tmax")
+	for _, p := range points {
+		if p.AckLatencyUs == nil {
+			continue
+		}
+		h := p.AckLatencyUs
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			p.Medium, p.Transport, p.MsgSize,
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if *fig1Out != "" {
+		if err := bench.WriteFig1Artifact(*fig1Out, points, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points)\n", *fig1Out, len(points))
+	}
+	return nil
 }
 
 func runMPIConnect() error {

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	snipe-console -rc 127.0.0.1:7001 -http 127.0.0.1:8080
+//	snipe-console -rc 127.0.0.1:7001 -stats snipe://hosts/alpha
+//	snipe-console -rc 127.0.0.1:7001 -stats all
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 
 	"snipe/internal/console"
@@ -21,13 +24,20 @@ import (
 func main() {
 	log.SetPrefix("snipe-console: ")
 	log.SetFlags(0)
-	name := flag.String("name", "console", "console name")
+	name := flag.String("name", "", "console name (default: console-<pid>)")
 	rc := flag.String("rc", "127.0.0.1:7001", "comma-separated RC server addresses")
 	secret := flag.String("secret", "", "RC shared secret")
 	httpAddr := flag.String("http", "127.0.0.1:8080", "HTTP listen address")
 	text := flag.Bool("text", false, "print a one-shot text listing instead of serving HTTP")
+	statsHost := flag.String("stats", "", "print a one-shot metrics snapshot for the host URL (or 'all')")
 	flag.Parse()
 
+	if *name == "" {
+		// Each invocation is a distinct SNIPE process: a reused URN would
+		// collide with the comm layer's per-source duplicate suppression
+		// on the daemons (sequence numbers restart at 1).
+		*name = fmt.Sprintf("console-%d", os.Getpid())
+	}
 	var sec []byte
 	if *secret != "" {
 		sec = []byte(*secret)
@@ -45,6 +55,18 @@ func main() {
 
 	if *text {
 		out, err := con.RenderText()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *statsHost != "" {
+		host := *statsHost
+		if host == "all" {
+			host = ""
+		}
+		out, err := con.RenderStats(host)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,21 +6,27 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"snipe/internal/comm"
 	"snipe/internal/netsim"
+	"snipe/internal/stats"
 )
 
 // Fig1Point is one measurement of Fig. 1: bandwidth offered to SNIPE
-// client applications for a message size on a medium.
+// client applications for a message size on a medium, plus the sender
+// endpoint's end-to-end ack-latency histogram for SNIPE transports.
 type Fig1Point struct {
-	Medium    string
-	Transport string // "snipe-tcp", "snipe-rudp", "raw"
-	MsgSize   int
-	MBps      float64 // decimal megabytes per second, as the paper plots
+	Medium    string  `json:"medium"`
+	Transport string  `json:"transport"` // "snipe-tcp", "snipe-rudp", "raw"
+	MsgSize   int     `json:"msg_size"`
+	MBps      float64 `json:"mbps"` // decimal megabytes per second, as the paper plots
+
+	AckLatencyUs *stats.HistogramSnapshot `json:"ack_latency_us,omitempty"`
 }
 
 // Fig1Sizes is the message-size sweep of the figure.
@@ -142,6 +148,9 @@ func MeasureFig1(medium netsim.Profile, transport string, msgSize int, seed uint
 	}
 	elapsed := time.Since(start)
 	p.MBps = float64(n*msgSize) / 1e6 / elapsed.Seconds()
+	if h, ok := a.MetricsSnapshot().Histograms["ack_latency_us"]; ok && h.Count > 0 {
+		p.AckLatencyUs = &h
+	}
 	return p, nil
 }
 
@@ -181,6 +190,33 @@ func measureRaw(medium netsim.Profile, msgSize int, seed uint64) (float64, error
 	}
 	elapsed := time.Since(start)
 	return float64(n*msgSize) / 1e6 / elapsed.Seconds(), nil
+}
+
+// Fig1Artifact is the machine-readable form of a Fig. 1 run, written
+// to BENCH_fig1.json so successive revisions leave a comparable perf
+// trajectory behind.
+type Fig1Artifact struct {
+	Experiment  string         `json:"experiment"`
+	GeneratedAt string         `json:"generated_at"`
+	Quick       bool           `json:"quick"`
+	Points      []Fig1Point    `json:"points"`
+	Netsim      stats.Snapshot `json:"netsim"` // media-level totals for the whole run
+}
+
+// WriteFig1Artifact writes the run's artifact as indented JSON.
+func WriteFig1Artifact(path string, points []Fig1Point, quick bool) error {
+	art := Fig1Artifact{
+		Experiment:  "fig1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Points:      points,
+		Netsim:      netsim.Metrics().Snapshot(),
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // Fig1Sweep runs the full figure: every medium × transport × size.

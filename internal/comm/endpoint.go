@@ -2,9 +2,11 @@ package comm
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"snipe/internal/stats"
 	"snipe/internal/xdr"
 )
 
@@ -28,9 +30,28 @@ func WithBufferLimit(n int) EndpointOption {
 	return func(e *Endpoint) { e.bufferLimit = n }
 }
 
-// WithRetryInterval sets how often buffered messages are re-sent.
+// WithRetryInterval sets the base interval of the retry schedule: a
+// buffered message's first retry comes one interval after its initial
+// transmission, with capped exponential backoff (plus jitter) on each
+// further attempt.
 func WithRetryInterval(d time.Duration) EndpointOption {
 	return func(e *Endpoint) { e.retryInterval = d }
+}
+
+// WithMaxRetryBackoff caps the per-message retry backoff: however many
+// attempts a message has accumulated, it is retried at least this
+// often. The cap bounds how long a peer returning from migration or a
+// link failure waits for buffered traffic to find it again.
+func WithMaxRetryBackoff(d time.Duration) EndpointOption {
+	return func(e *Endpoint) { e.maxRetryBackoff = d }
+}
+
+// WithRouteCacheTTL sets how long resolved routes are reused before the
+// resolver is asked again. A send failure over cached routes
+// invalidates the entry immediately, so the TTL only bounds staleness
+// on paths that appear healthy.
+func WithRouteCacheTTL(d time.Duration) EndpointOption {
+	return func(e *Endpoint) { e.routeCacheTTL = d }
 }
 
 // WithoutBuffering disables the system buffer: sends to unreachable
@@ -66,9 +87,17 @@ type outKey struct {
 
 type outMsg struct {
 	msg         Message
+	enqueued    time.Time     // when the message entered the system buffer
 	lastAttempt time.Time
+	backoff     time.Duration // wait after lastAttempt before the next retry
 	attempts    int
 	acked       chan struct{} // closed on acknowledgement
+}
+
+// routeCacheEntry caches one destination's resolved routes.
+type routeCacheEntry struct {
+	routes  []Route
+	expires time.Time
 }
 
 // reasmKey identifies an in-progress reassembly. The destination is
@@ -90,18 +119,21 @@ type Endpoint struct {
 	transports *Transports
 	resolver   Resolver
 
-	bufferLimit   int
-	retryInterval time.Duration
-	buffering     bool
-	handler       func(*Message)
-	handlerTags   map[uint32]bool // nil = handler takes all tags
+	bufferLimit     int
+	retryInterval   time.Duration
+	maxRetryBackoff time.Duration
+	routeCacheTTL   time.Duration
+	buffering       bool
+	handler         func(*Message)
+	handlerTags     map[uint32]bool // nil = handler takes all tags
 
 	mu           sync.Mutex
 	cond         *sync.Cond
 	listeners    []Listener
 	localRoutes  []Route
-	conns        map[string]FrameConn // route key → conn
-	nextSeq      map[string]uint64    // dst URN → next send seq
+	conns        map[string]FrameConn       // route key → conn
+	routeCache   map[string]routeCacheEntry // dst URN → resolved routes
+	nextSeq      map[string]uint64          // dst URN → next send seq
 	outstanding  map[outKey]*outMsg
 	expected     map[string]uint64              // src URN → next delivery seq
 	reorder      map[string]map[uint64]*Message // src URN → seq → message
@@ -119,29 +151,54 @@ type Endpoint struct {
 	done       chan struct{}
 	wg         sync.WaitGroup
 
-	// Stats.
-	sent, received, retried, duplicates uint64
+	// Telemetry. Hot-path counters are captured once at construction;
+	// all mutation is atomic (see internal/stats).
+	metrics     *stats.Registry
+	mSent       *stats.Counter
+	mReceived   *stats.Counter
+	mRetried    *stats.Counter
+	mDuplicates *stats.Counter
+	mFragments  *stats.Counter
+	mResolves   *stats.Counter
+	mCacheHits  *stats.Counter
+	mSendErrors *stats.Counter
+	hAckLatency *stats.Histogram // µs, send → end-to-end ack
+	hMsgSize    *stats.Histogram // bytes per application message
 }
 
 // NewEndpoint creates an endpoint for urn. Call Listen to accept
 // traffic; Send works immediately if a resolver is configured.
 func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 	e := &Endpoint{
-		urn:           urn,
-		transports:    NewTransports(),
-		resolver:      StaticResolver{},
-		bufferLimit:   4096,
-		retryInterval: 200 * time.Millisecond,
-		buffering:     true,
-		conns:         make(map[string]FrameConn),
-		nextSeq:       make(map[string]uint64),
-		outstanding:   make(map[outKey]*outMsg),
-		expected:      make(map[string]uint64),
-		reorder:       make(map[string]map[uint64]*Message),
-		reasm:         make(map[reasmKey]*reassembly),
-		done:          make(chan struct{}),
+		urn:             urn,
+		transports:      NewTransports(),
+		resolver:        StaticResolver{},
+		bufferLimit:     4096,
+		retryInterval:   200 * time.Millisecond,
+		maxRetryBackoff: 5 * time.Second,
+		routeCacheTTL:   250 * time.Millisecond,
+		buffering:       true,
+		conns:           make(map[string]FrameConn),
+		routeCache:      make(map[string]routeCacheEntry),
+		nextSeq:         make(map[string]uint64),
+		outstanding:     make(map[outKey]*outMsg),
+		expected:        make(map[string]uint64),
+		reorder:         make(map[string]map[uint64]*Message),
+		reasm:           make(map[reasmKey]*reassembly),
+		done:            make(chan struct{}),
+		metrics:         stats.NewRegistry(),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.mSent = e.metrics.Counter("sent")
+	e.mReceived = e.metrics.Counter("received")
+	e.mRetried = e.metrics.Counter("retried")
+	e.mDuplicates = e.metrics.Counter("duplicates")
+	e.mFragments = e.metrics.Counter("fragments")
+	e.mResolves = e.metrics.Counter("resolves")
+	e.mCacheHits = e.metrics.Counter("route_cache_hits")
+	e.mSendErrors = e.metrics.Counter("send_errors")
+	e.hAckLatency = e.metrics.Histogram("ack_latency_us", stats.LatencyBucketsUs)
+	e.hMsgSize = e.metrics.Histogram("msg_size_bytes", stats.SizeBuckets)
 	for _, o := range opts {
 		o(e)
 	}
@@ -180,10 +237,12 @@ func (e *Endpoint) dispatchLoop() {
 func (e *Endpoint) URN() string { return e.urn }
 
 // SetResolver replaces the resolver (used when a client joins a
-// universe after construction).
+// universe after construction). Cached routes from the old resolver
+// are dropped.
 func (e *Endpoint) SetResolver(r Resolver) {
 	e.mu.Lock()
 	e.resolver = r
+	e.routeCache = make(map[string]routeCacheEntry)
 	e.mu.Unlock()
 }
 
@@ -293,12 +352,14 @@ func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error)
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	om := &outMsg{
-		msg:   Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp},
-		acked: make(chan struct{}),
+		msg:      Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp},
+		enqueued: time.Now(),
+		acked:    make(chan struct{}),
 	}
 	e.outstanding[outKey{dst, seq}] = om
-	e.sent++
 	e.mu.Unlock()
+	e.mSent.Inc()
+	e.hMsgSize.Observe(float64(len(payload)))
 
 	err := e.transmit(om)
 	if err != nil && !e.buffering {
@@ -316,11 +377,11 @@ func (e *Endpoint) transmit(om *outMsg) error {
 	e.mu.Lock()
 	om.lastAttempt = time.Now()
 	om.attempts++
+	om.backoff = e.retryBackoff(om.attempts)
 	local := append([]Route(nil), e.localRoutes...)
-	resolver := e.resolver
 	e.mu.Unlock()
 
-	routes, err := resolver.Resolve(om.msg.Dst)
+	routes, err := e.resolveRoutes(om.msg.Dst)
 	if err != nil {
 		return fmt.Errorf("comm: resolving %s: %w", om.msg.Dst, err)
 	}
@@ -333,7 +394,7 @@ func (e *Endpoint) transmit(om *outMsg) error {
 		// the frames still name the final destination, and the gateway
 		// relays them.
 		if route.Transport == GatewayTransport {
-			gwRoutes, err := resolver.Resolve(route.Addr)
+			gwRoutes, err := e.resolveRoutes(route.Addr)
 			if err != nil || len(gwRoutes) == 0 {
 				lastErr = fmt.Errorf("%w: gateway %s unresolved", ErrNoRoute, route.Addr)
 				continue
@@ -350,7 +411,9 @@ func (e *Endpoint) transmit(om *outMsg) error {
 				}
 				if err := e.sendOn(conn, om); err != nil {
 					lastErr = err
+					e.mSendErrors.Inc()
 					e.dropConn(gr.String(), conn)
+					e.invalidateRoutes(route.Addr)
 					continue
 				}
 				sent = true
@@ -368,7 +431,9 @@ func (e *Endpoint) transmit(om *outMsg) error {
 		}
 		if err := e.sendOn(conn, om); err != nil {
 			lastErr = err
+			e.mSendErrors.Inc()
 			e.dropConn(route.String(), conn)
+			e.invalidateRoutes(om.msg.Dst)
 			continue
 		}
 		return nil
@@ -377,6 +442,64 @@ func (e *Endpoint) transmit(om *outMsg) error {
 		lastErr = ErrNoRoute
 	}
 	return lastErr
+}
+
+// resolveRoutes returns dst's advertised routes, consulting the
+// short-TTL route cache first. Empty results are cached too: a burst
+// of retries to an unknown or mid-migration peer costs one resolver
+// call per TTL instead of one per buffered message per tick.
+func (e *Endpoint) resolveRoutes(dst string) ([]Route, error) {
+	now := time.Now()
+	e.mu.Lock()
+	if ent, ok := e.routeCache[dst]; ok && now.Before(ent.expires) {
+		routes := ent.routes
+		e.mu.Unlock()
+		e.mCacheHits.Inc()
+		return routes, nil
+	}
+	resolver := e.resolver
+	ttl := e.routeCacheTTL
+	e.mu.Unlock()
+	e.mResolves.Inc()
+	routes, err := resolver.Resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	if ttl > 0 {
+		e.mu.Lock()
+		e.routeCache[dst] = routeCacheEntry{routes: routes, expires: now.Add(ttl)}
+		e.mu.Unlock()
+	}
+	return routes, nil
+}
+
+// invalidateRoutes drops dst's cached routes after a send failure so
+// the next attempt re-resolves immediately — failover must not wait
+// out the TTL.
+func (e *Endpoint) invalidateRoutes(dst string) {
+	e.mu.Lock()
+	delete(e.routeCache, dst)
+	e.mu.Unlock()
+}
+
+// retryBackoff computes how long a message that has been attempted n
+// times waits before its next retry: the base interval doubled per
+// attempt, capped at maxRetryBackoff, plus positive-only jitter (up to
+// a quarter of the backoff) so co-buffered messages don't retry in
+// lockstep. The jitter never shortens the window, which keeps the
+// lower bound exact for schedule assertions. Caller holds e.mu.
+func (e *Endpoint) retryBackoff(attempts int) time.Duration {
+	d := e.retryInterval
+	for i := 1; i < attempts && d < e.maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > e.maxRetryBackoff {
+		d = e.maxRetryBackoff
+	}
+	if d > 0 {
+		d += time.Duration(rand.Int63n(int64(d)/4 + 1))
+	}
+	return d
 }
 
 func (e *Endpoint) sendOn(conn FrameConn, om *outMsg) error {
@@ -392,6 +515,7 @@ func (e *Endpoint) sendOn(conn FrameConn, om *outMsg) error {
 		if err := conn.Send(encodeMsgFrame(f)); err != nil {
 			return err
 		}
+		e.mFragments.Inc()
 	}
 	return nil
 }
@@ -502,11 +626,15 @@ func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
 			return
 		}
 		e.mu.Lock()
-		if om, ok := e.outstanding[outKey{dst, seq}]; ok {
+		om, ok := e.outstanding[outKey{dst, seq}]
+		if ok {
 			delete(e.outstanding, outKey{dst, seq})
 			close(om.acked)
 		}
 		e.mu.Unlock()
+		if ok {
+			e.hAckLatency.Observe(float64(time.Since(om.enqueued).Microseconds()))
+		}
 	}
 }
 
@@ -532,7 +660,7 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	// so the sender stops retrying, but do not deliver again.
 	_, inReorder := e.reorder[f.Src][f.Seq]
 	if (e.expected[f.Src] > 0 && f.Seq < e.expected[f.Src]) || inReorder {
-		e.duplicates++
+		e.mDuplicates.Inc()
 		e.mu.Unlock()
 		conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
 		return
@@ -587,7 +715,7 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 // deliverLocked appends to the mailbox or dispatches to the handler.
 // Caller holds e.mu.
 func (e *Endpoint) deliverLocked(m *Message) {
-	e.received++
+	e.mReceived.Inc()
 	if e.handler != nil && (e.handlerTags == nil || e.handlerTags[m.Tag]) {
 		e.handlerQueue = append(e.handlerQueue, m)
 		e.cond.Broadcast()
@@ -635,7 +763,10 @@ func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Me
 
 // retryLoop re-transmits buffered unacknowledged messages, re-resolving
 // the destination each time — which is how traffic finds a process
-// again after it migrates or a link fails.
+// again after it migrates or a link fails. Each message waits out its
+// own capped-exponential backoff window between attempts, so a dead
+// peer is probed ever more gently instead of being hammered every
+// tick.
 func (e *Endpoint) retryLoop() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(e.retryInterval)
@@ -653,16 +784,14 @@ func (e *Endpoint) retryLoop() {
 		var due []*outMsg
 		e.mu.Lock()
 		for _, om := range e.outstanding {
-			if now.Sub(om.lastAttempt) >= e.retryInterval {
+			if now.Sub(om.lastAttempt) >= om.backoff {
 				due = append(due, om)
 			}
 		}
 		e.mu.Unlock()
 		for _, om := range due {
-			e.mu.Lock()
-			e.retried++
-			e.mu.Unlock()
-			e.transmit(om) // failure leaves it buffered for next tick
+			e.mRetried.Inc()
+			e.transmit(om) // failure leaves it buffered for a later tick
 		}
 	}
 }
@@ -677,9 +806,46 @@ func (e *Endpoint) Pending() int {
 // Stats reports endpoint counters: messages sent, received, retry
 // transmissions, and duplicates suppressed.
 func (e *Endpoint) Stats() (sent, received, retried, duplicates uint64) {
+	return e.mSent.Value(), e.mReceived.Value(), e.mRetried.Value(), e.mDuplicates.Value()
+}
+
+// Metrics returns the endpoint's live metric registry; counters update
+// as traffic flows. Gauges are refreshed by MetricsSnapshot.
+func (e *Endpoint) Metrics() *stats.Registry { return e.metrics }
+
+// MetricsSnapshot captures the endpoint's metrics, refreshing the
+// instantaneous gauges first: buffered unacknowledged messages, open
+// connections, and — for transports that expose them — cumulative RUDP
+// retransmissions and mean smoothed RTT across connections.
+func (e *Endpoint) MetricsSnapshot() stats.Snapshot {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.sent, e.received, e.retried, e.duplicates
+	pending := len(e.outstanding)
+	conns := make([]FrameConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	var retrans int
+	var srttSum float64
+	var srttN int
+	for _, c := range conns {
+		if r, ok := c.(interface{ Retransmissions() int }); ok {
+			retrans += r.Retransmissions()
+		}
+		if s, ok := c.(interface{ SRTT() time.Duration }); ok {
+			if v := s.SRTT(); v > 0 {
+				srttSum += float64(v.Microseconds())
+				srttN++
+			}
+		}
+	}
+	e.metrics.Gauge("pending").Set(float64(pending))
+	e.metrics.Gauge("conns").Set(float64(len(conns)))
+	e.metrics.Gauge("rudp_retransmissions").Set(float64(retrans))
+	if srttN > 0 {
+		e.metrics.Gauge("rudp_srtt_us").Set(srttSum / float64(srttN))
+	}
+	return e.metrics.Snapshot()
 }
 
 // Close shuts down the endpoint. Buffered messages are discarded.

@@ -110,13 +110,31 @@ func (c *rudpConn) MTU() int {
 	return m
 }
 
-func (c *rudpConn) RemoteAddr() string { return "rudp" }
+// RemoteAddr reports the peer address of the underlying link, so logs
+// and metrics identify real peers; links without an address (e.g.
+// netsim pipe ends) fall back to the transport name.
+func (c *rudpConn) RemoteAddr() string {
+	if ra, ok := c.link.(interface{ RemoteAddr() string }); ok {
+		if a := ra.RemoteAddr(); a != "" {
+			return a
+		}
+	}
+	return "rudp"
+}
 
 // Retransmissions reports the total number of re-sent data packets.
 func (c *rudpConn) Retransmissions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.retxTot
+}
+
+// SRTT reports the smoothed round-trip-time estimate (zero before the
+// first sample).
+func (c *rudpConn) SRTT() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.srtt
 }
 
 // Send transmits one frame reliably, blocking while the send window is

@@ -85,6 +85,9 @@ func (l *udpDialLink) SetReadDeadline(t time.Time) {
 func (l *udpDialLink) Close() error { return l.sock.Close() }
 func (l *udpDialLink) MTU() int     { return udpMTU }
 
+// RemoteAddr reports the connected socket's peer address.
+func (l *udpDialLink) RemoteAddr() string { return l.sock.RemoteAddr().String() }
+
 // rudpListener owns one UDP socket and demultiplexes per-peer links.
 type rudpListener struct {
 	sock    *net.UDPConn
@@ -247,6 +250,9 @@ func (p *udpPeerLink) Close() error {
 }
 
 func (p *udpPeerLink) MTU() int { return udpMTU }
+
+// RemoteAddr reports the demultiplexed peer's address.
+func (p *udpPeerLink) RemoteAddr() string { return p.raddr.String() }
 
 // deadlineError satisfies the Timeout contract for the peer link.
 type deadlineError struct{}

@@ -29,6 +29,7 @@ import (
 	"snipe/internal/daemon"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
+	"snipe/internal/stats"
 	"snipe/internal/task"
 )
 
@@ -69,6 +70,7 @@ func New(name string, cat naming.Catalog) (*Console, error) {
 	mux.HandleFunc("/hosts", c.handleHosts)
 	mux.HandleFunc("/tasks", c.handleTasks)
 	mux.HandleFunc("/group", c.handleGroup)
+	mux.HandleFunc("/stats", c.handleStats)
 	c.mux = mux
 	return c, nil
 }
@@ -76,8 +78,12 @@ func New(name string, cat naming.Catalog) (*Console, error) {
 // URN returns the console's process URN.
 func (c *Console) URN() string { return c.urn }
 
-// Close stops the console.
-func (c *Console) Close() { c.ep.Close() }
+// Close stops the console and withdraws its advertised addresses, so
+// peers do not accumulate dead routes for the URN.
+func (c *Console) Close() {
+	naming.Unregister(c.cat, c.urn)
+	c.ep.Close()
+}
 
 // ServeHTTP implements http.Handler.
 func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +120,7 @@ func (c *Console) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `<li>/resolve?uri=&lt;URI&gt; — resolve any RCDS-registered resource</li>`)
 	fmt.Fprintln(w, `<li>/tasks?host=&lt;host URL&gt; — tasks started by a host daemon</li>`)
 	fmt.Fprintln(w, `<li>/group?urn=&lt;group URN&gt; — process-group state</li>`)
+	fmt.Fprintln(w, `<li>/stats?host=&lt;host URL&gt; — live daemon metrics snapshot (JSON)</li>`)
 	fmt.Fprintln(w, "</ul></body></html>")
 }
 
@@ -250,6 +257,67 @@ func (c *Console) handleGroup(w http.ResponseWriter, r *http.Request) {
 			html.EscapeString(m.URN), html.EscapeString(string(m.State)))
 	}
 	fmt.Fprintln(w, "</table></body></html>")
+}
+
+// Stats fetches the composed metrics snapshot (daemon, comm, RC
+// catalog) of a host's daemon over the message protocol.
+func (c *Console) Stats(host string) (stats.Snapshot, error) {
+	durn, ok, err := c.cat.FirstValue(host, rcds.AttrHostDaemonURL)
+	if err != nil {
+		return stats.Snapshot{}, err
+	}
+	if !ok {
+		return stats.Snapshot{}, fmt.Errorf("console: %s has no daemon", host)
+	}
+	return daemon.StatsRemote(c.ep, durn, reqIDs.Add(1), 5*time.Second)
+}
+
+// RenderStats produces the terminal metrics view for one host — the
+// console's `stats` command. With host "", every registered host is
+// queried.
+func (c *Console) RenderStats(host string) (string, error) {
+	hosts := []string{host}
+	if host == "" {
+		var err error
+		hosts, err = c.cat.URIs(naming.HostPrefix)
+		if err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	for _, h := range hosts {
+		s, err := c.Stats(h)
+		if err != nil {
+			if host == "" {
+				fmt.Fprintf(&b, "%s: unreachable (%v)\n", h, err)
+				continue
+			}
+			return "", err
+		}
+		fmt.Fprintf(&b, "stats for %s\n%s", h, s.Render())
+	}
+	return b.String(), nil
+}
+
+// handleStats serves a host daemon's metrics snapshot as JSON.
+func (c *Console) handleStats(w http.ResponseWriter, r *http.Request) {
+	host := r.URL.Query().Get("host")
+	if host == "" {
+		http.Error(w, "missing host parameter", http.StatusBadRequest)
+		return
+	}
+	s, err := c.Stats(host)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	b, err := s.JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
 }
 
 // GroupMember is one process-group member's recorded state.

@@ -175,3 +175,54 @@ func TestRenderText(t *testing.T) {
 		t.Fatalf("text console: %q", text)
 	}
 }
+
+func TestStatsEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	reg := task.NewRegistry()
+	reg.Register("quick", func(ctx *task.Context) error { return nil })
+	d := daemon.New(daemon.Config{HostName: "h1", Catalog: w.cat, Registry: reg})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	urn, _ := d.Spawn(task.Spec{Program: "quick"})
+	d.WaitTask(urn, 5*time.Second)
+
+	// The console's stats command round-trips over the daemon protocol.
+	snap, err := w.con.Stats("snipe://hosts/h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["daemon.spawns"]; got < 1 {
+		t.Fatalf("daemon.spawns = %d, want ≥ 1", got)
+	}
+	if _, ok := snap.Counters["comm.sent"]; !ok {
+		t.Fatalf("snapshot missing comm metrics: %v", snap.Counters)
+	}
+	if _, ok := snap.Counters["rcds.local_ops"]; !ok {
+		t.Fatalf("snapshot missing rcds metrics: %v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["daemon.spawn_latency_us"]; !ok || h.Count < 1 {
+		t.Fatalf("spawn latency histogram missing or empty: %+v", h)
+	}
+
+	text, err := w.con.RenderStats("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "stats for snipe://hosts/h1") ||
+		!strings.Contains(text, "daemon.spawns") {
+		t.Fatalf("rendered stats: %q", text)
+	}
+
+	code, body := w.get("/stats?host=snipe://hosts/h1")
+	if code != 200 || !strings.Contains(body, "daemon.spawns") {
+		t.Fatalf("stats page: %d %q", code, body)
+	}
+	if code, _ := w.get("/stats"); code != 400 {
+		t.Fatalf("missing host: %d", code)
+	}
+	if code, _ := w.get("/stats?host=snipe://hosts/none"); code != 502 {
+		t.Fatalf("unknown host: %d", code)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"snipe/internal/comm"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
+	"snipe/internal/stats"
 	"snipe/internal/task"
 	"snipe/internal/xdr"
 )
@@ -79,6 +80,15 @@ type Daemon struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	started bool
+
+	// Telemetry (see internal/stats); pointers captured at construction.
+	metrics     *stats.Registry
+	mHeartbeats *stats.Counter // load publications to RC metadata
+	mSpawns     *stats.Counter
+	mSpawnErrs  *stats.Counter
+	mSignals    *stats.Counter
+	mNotifies   *stats.Counter
+	hSpawnUs    *stats.Histogram // spawn request → task running
 }
 
 // New creates a daemon; call Start to bring it up.
@@ -95,13 +105,21 @@ func New(cfg Config) *Daemon {
 	if cfg.Arch == "" {
 		cfg.Arch = "go-sim"
 	}
-	return &Daemon{
+	d := &Daemon{
 		cfg:     cfg,
 		hostURL: naming.HostURL(cfg.HostName),
 		urn:     naming.ProcessURN(cfg.HostName, "daemon"),
 		tasks:   make(map[string]*runningTask),
 		done:    make(chan struct{}),
+		metrics: stats.NewRegistry(),
 	}
+	d.mHeartbeats = d.metrics.Counter("heartbeats")
+	d.mSpawns = d.metrics.Counter("spawns")
+	d.mSpawnErrs = d.metrics.Counter("spawn_errors")
+	d.mSignals = d.metrics.Counter("signals")
+	d.mNotifies = d.metrics.Counter("notifies")
+	d.hSpawnUs = d.metrics.Histogram("spawn_latency_us", stats.LatencyBucketsUs)
+	return d
 }
 
 // HostURL returns the host's distinguished URL.
@@ -136,7 +154,8 @@ func (d *Daemon) Start() error {
 		comm.WithResolver(d.resolver),
 		comm.WithHandler(d.handleMessage,
 			task.TagSpawnReq, task.TagSignal, task.TagStatusReq,
-			task.TagMigrateReq, task.TagCheckpointReq, task.TagReleaseReq))
+			task.TagMigrateReq, task.TagCheckpointReq, task.TagReleaseReq,
+			task.TagStatsReq))
 	var routes []comm.Route
 	for _, ls := range d.cfg.Listens {
 		route, err := d.ep.Listen(ls.Transport, ls.Addr, ls.NetName, ls.RateBps, ls.LatencyUs)
@@ -208,6 +227,7 @@ func (d *Daemon) loadLoop() {
 			return
 		case <-ticker.C:
 			d.cfg.Catalog.Set(d.hostURL, rcds.AttrLoad, fmt.Sprintf("%.2f", d.Load()))
+			d.mHeartbeats.Inc()
 		}
 	}
 }
@@ -224,6 +244,41 @@ func (d *Daemon) Load() float64 {
 	}
 	return float64(running) / float64(d.cfg.CPUs)
 }
+
+// Metrics returns the daemon's own metric registry.
+func (d *Daemon) Metrics() *stats.Registry { return d.metrics }
+
+// MetricsSnapshot captures the host's full observability picture: the
+// daemon's counters plus its endpoint's comm metrics and — when the
+// catalog is backed by a local store — RC catalog metrics, composed
+// under "daemon.", "comm." and "rcds." name prefixes.
+func (d *Daemon) MetricsSnapshot() stats.Snapshot {
+	d.mu.Lock()
+	total := len(d.tasks)
+	running := 0
+	for _, rt := range d.tasks {
+		if rt.state == task.StateRunning || rt.state == task.StateSuspended {
+			running++
+		}
+	}
+	d.mu.Unlock()
+	d.metrics.Gauge("tasks").Set(float64(total))
+	d.metrics.Gauge("tasks_running").Set(float64(running))
+	d.metrics.Gauge("load").Set(d.Load())
+	snaps := []stats.Snapshot{d.metrics.Snapshot().Prefixed("daemon")}
+	if d.ep != nil {
+		snaps = append(snaps, d.ep.MetricsSnapshot().Prefixed("comm"))
+	}
+	if ms, ok := d.cfg.Catalog.(interface{ MetricsSnapshot() stats.Snapshot }); ok {
+		snaps = append(snaps, ms.MetricsSnapshot().Prefixed("rcds"))
+	}
+	return stats.Merge(snaps...)
+}
+
+// StatsJSON renders the composed snapshot as JSON — the daemon's
+// machine-readable observability surface, also served over the message
+// protocol via TagStatsReq.
+func (d *Daemon) StatsJSON() ([]byte, error) { return d.MetricsSnapshot().JSON() }
 
 // checkRequirements verifies this host can run the spec.
 func (d *Daemon) checkRequirements(spec *task.Spec) error {
@@ -256,7 +311,16 @@ func (d *Daemon) Adopt(urn string, spec task.Spec) error {
 	return d.spawnAs(urn, spec)
 }
 
-func (d *Daemon) spawnAs(urn string, spec task.Spec) error {
+func (d *Daemon) spawnAs(urn string, spec task.Spec) (err error) {
+	start := time.Now()
+	defer func() {
+		if err != nil {
+			d.mSpawnErrs.Inc()
+		} else {
+			d.mSpawns.Inc()
+			d.hSpawnUs.Observe(float64(time.Since(start).Microseconds()))
+		}
+	}()
 	if err := d.checkRequirements(&spec); err != nil {
 		return err
 	}
@@ -389,6 +453,7 @@ func (d *Daemon) notifyStateChange(rt *runningTask, from, to task.State) {
 	payload := task.EncodeStateChange(task.StateChange{URN: rt.urn, From: from, To: to, Host: d.hostURL})
 	for n := range targets {
 		d.ep.Send(n, task.TagNotify, payload)
+		d.mNotifies.Inc()
 	}
 }
 
@@ -401,6 +466,7 @@ func (d *Daemon) Signal(urn string, sig task.Signal) error {
 		return fmt.Errorf("%w: %s", ErrUnknownTask, urn)
 	}
 	rt.ctx.Deliver(sig)
+	d.mSignals.Inc()
 	if sig == task.SigSuspend || sig == task.SigResume {
 		state := task.StateSuspended
 		if sig == task.SigResume {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/stats"
 	"snipe/internal/task"
 	"snipe/internal/xdr"
 )
@@ -29,6 +30,72 @@ func (d *Daemon) handleMessage(m *comm.Message) {
 		if urn, err := xdr.NewDecoder(m.Payload).String(); err == nil {
 			d.Release(urn)
 		}
+	case task.TagStatsReq:
+		d.handleStatsReq(m)
+	}
+}
+
+func (d *Daemon) handleStatsReq(m *comm.Message) {
+	dec := xdr.NewDecoder(m.Payload)
+	reqID, err := dec.Uint64()
+	if err != nil {
+		return
+	}
+	b, err := d.StatsJSON()
+	e := xdr.NewEncoder(len(b) + 32)
+	e.PutUint64(reqID)
+	e.PutBool(err == nil)
+	if err != nil {
+		e.PutString(err.Error())
+	} else {
+		e.PutString("")
+		e.PutBytes(b)
+	}
+	d.ep.Send(m.Src, task.TagStatsResp, e.Bytes())
+}
+
+// StatsRemote fetches a daemon's composed metrics snapshot over the
+// message protocol — what the console's stats command runs on.
+func StatsRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout time.Duration) (stats.Snapshot, error) {
+	e := xdr.NewEncoder(16)
+	e.PutUint64(reqID)
+	if err := ep.Send(daemonURN, task.TagStatsReq, e.Bytes()); err != nil {
+		return stats.Snapshot{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return stats.Snapshot{}, comm.ErrTimeout
+		}
+		m, err := ep.RecvMatch(daemonURN, task.TagStatsResp, remaining)
+		if err != nil {
+			return stats.Snapshot{}, err
+		}
+		dec := xdr.NewDecoder(m.Payload)
+		gotID, err := dec.Uint64()
+		if err != nil {
+			return stats.Snapshot{}, err
+		}
+		if gotID != reqID {
+			continue
+		}
+		ok, err := dec.Bool()
+		if err != nil {
+			return stats.Snapshot{}, err
+		}
+		msg, err := dec.String()
+		if err != nil {
+			return stats.Snapshot{}, err
+		}
+		if !ok {
+			return stats.Snapshot{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+		}
+		b, err := dec.BytesCopy()
+		if err != nil {
+			return stats.Snapshot{}, err
+		}
+		return stats.ParseSnapshot(b)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"snipe/internal/comm"
 	"snipe/internal/rcds"
+	"snipe/internal/stats"
 )
 
 // URN and URL constructors for the SNIPE namespace. Hosts get
@@ -78,6 +79,10 @@ func (c storeCatalog) Remove(uri, name, value string) error {
 	return nil
 }
 func (c storeCatalog) RemoveAll(uri, name string) error { c.s.RemoveAll(uri, name); return nil }
+
+// MetricsSnapshot exposes the wrapped store's metrics; callers holding
+// a Catalog discover it by interface assertion.
+func (c storeCatalog) MetricsSnapshot() stats.Snapshot { return c.s.MetricsSnapshot() }
 func (c storeCatalog) Set(uri, name, value string) error {
 	c.s.Set(uri, name, value)
 	return nil

@@ -24,7 +24,22 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"snipe/internal/stats"
 )
+
+// Package-level telemetry: every shaped link direction feeds the same
+// registry, giving experiments a media-level picture of traffic shaped
+// and losses injected across all simulated links in the process.
+var (
+	metrics       = stats.NewRegistry()
+	mShapedBytes  = metrics.Counter("shaped_bytes")
+	mShapedFrames = metrics.Counter("shaped_frames")
+	mInjectedLoss = metrics.Counter("injected_losses")
+)
+
+// Metrics returns the simulator's shared metric registry.
+func Metrics() *stats.Registry { return metrics }
 
 // Profile describes a communication medium.
 type Profile struct {
@@ -181,6 +196,7 @@ func (q *shapedQueue) send(data []byte, deadline time.Time) error {
 	}
 	if q.packet && q.profile.Loss > 0 && q.rng.Float64() < q.profile.Loss {
 		q.dropped++
+		mInjectedLoss.Inc()
 		return nil // frame silently lost, as UDP would
 	}
 	now := time.Now()
@@ -200,6 +216,8 @@ func (q *shapedQueue) send(data []byte, deadline time.Time) error {
 	copy(cp, data)
 	q.chunks = append(q.chunks, chunk{data: cp, deliverAt: q.txClock.Add(q.profile.Latency)})
 	q.queued += n
+	mShapedBytes.Add(uint64(n))
+	mShapedFrames.Add(uint64(frames))
 	q.cond.Broadcast()
 	return nil
 }

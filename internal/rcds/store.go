@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"snipe/internal/stats"
 )
 
 // Event reports a catalog change to a subscriber.
@@ -32,6 +34,15 @@ type Store struct {
 	nextID int
 
 	nowFn func() int64 // injectable wall clock for tests
+
+	// Telemetry (see internal/stats); pointers captured at construction.
+	metrics        *stats.Registry
+	mLocalOps      *stats.Counter
+	mRemoteOps     *stats.Counter
+	mRemoteApplied *stats.Counter
+	mLookups       *stats.Counter
+	hLookupUs      *stats.Histogram // catalog read latency
+	hReplLagUs     *stats.Histogram // origin mint → local apply, master-master lag
 }
 
 type subscription struct {
@@ -48,8 +59,15 @@ func NewStore(origin string) *Store {
 		vv:       make(VersionVector),
 		subs:     make(map[int]*subscription),
 		nowFn:    func() int64 { return time.Now().UnixNano() },
+		metrics:  stats.NewRegistry(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.mLocalOps = s.metrics.Counter("local_ops")
+	s.mRemoteOps = s.metrics.Counter("remote_ops")
+	s.mRemoteApplied = s.metrics.Counter("remote_ops_applied")
+	s.mLookups = s.metrics.Counter("lookups")
+	s.hLookupUs = s.metrics.Histogram("lookup_latency_us", stats.LatencyBucketsUs)
+	s.hReplLagUs = s.metrics.Histogram("replication_lag_us", stats.LatencyBucketsUs)
 	return s
 }
 
@@ -59,6 +77,7 @@ func (s *Store) Origin() string { return s.origin }
 // newLocalOp mints a local assertion with fresh clock and sequence.
 // Caller holds s.mu.
 func (s *Store) newLocalOp(uri, name, value string, deleted bool) Assertion {
+	s.mLocalOps.Inc()
 	s.lamport++
 	s.seq++
 	return Assertion{
@@ -218,16 +237,33 @@ func (s *Store) ApplyRemote(ops []Assertion) int {
 		if op.Origin == s.origin {
 			continue // our own ops echoed back
 		}
+		s.mRemoteOps.Inc()
 		s.recordLocked(op)
 		if s.applyLocked(op) {
 			changed++
+			s.mRemoteApplied.Inc()
+			// Replication lag: origin's mint time to our apply time. The
+			// clocks are different hosts', so skew can swallow small lags;
+			// only positive samples are meaningful.
+			if op.ServerTime > 0 {
+				if lag := s.nowFn() - op.ServerTime; lag > 0 {
+					s.hReplLagUs.Observe(float64(lag) / 1e3)
+				}
+			}
 		}
 	}
 	return changed
 }
 
+// observeLookup records one catalog read for the lookup metrics.
+func (s *Store) observeLookup(start time.Time) {
+	s.mLookups.Inc()
+	s.hLookupUs.Observe(float64(time.Since(start).Microseconds()))
+}
+
 // Get returns the live assertions for uri, sorted by (name, value).
 func (s *Store) Get(uri string) []Assertion {
+	defer s.observeLookup(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Assertion
@@ -242,6 +278,7 @@ func (s *Store) Get(uri string) []Assertion {
 
 // Values returns the live values of (uri, name), sorted.
 func (s *Store) Values(uri, name string) []string {
+	defer s.observeLookup(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []string
@@ -257,6 +294,7 @@ func (s *Store) Values(uri, name string) []string {
 // FirstValue returns the most recently written live value of
 // (uri, name), if any.
 func (s *Store) FirstValue(uri, name string) (string, bool) {
+	defer s.observeLookup(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var best *Assertion
@@ -393,6 +431,19 @@ func (s *Store) Stats() (uris, elements, tombstones int) {
 		}
 	}
 	return
+}
+
+// Metrics returns the store's live metric registry.
+func (s *Store) Metrics() *stats.Registry { return s.metrics }
+
+// MetricsSnapshot captures the store's metrics with the catalog-size
+// gauges refreshed.
+func (s *Store) MetricsSnapshot() stats.Snapshot {
+	uris, elements, tombstones := s.Stats()
+	s.metrics.Gauge("uris").Set(float64(uris))
+	s.metrics.Gauge("elements").Set(float64(elements))
+	s.metrics.Gauge("tombstones").Set(float64(tombstones))
+	return s.metrics.Snapshot()
 }
 
 // SetNowFunc overrides the wall clock used for server timestamps; for

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sent")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("sent").Value(); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+	g := r.Gauge("load")
+	g.Set(0.75)
+	if got := r.Gauge("load").Value(); got != 0.75 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i)) // uniform 1..100
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// 10 values ≤ 10, 90 in (10,100], none beyond.
+	if s.Counts[0] != 10 || s.Counts[1] != 90 || s.Counts[2] != 0 || s.Counts[3] != 0 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if mean := s.Mean(); math.Abs(mean-50.5) > 0.01 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// p50 of uniform 1..100 interpolates inside the (10,100] bucket.
+	p50 := s.Quantile(0.5)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if q := s.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	s := h.snapshot()
+	if s.Counts[2] != 1 {
+		t.Fatalf("overflow counts = %v", s.Counts)
+	}
+	if q := s.Quantile(0.99); q != 50 {
+		t.Fatalf("overflow quantile = %v", q)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c", LatencyBucketsUs).Observe(123)
+	b, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 7 || s.Gauges["b"] != 2.5 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("round trip: %+v", s)
+	}
+}
+
+func TestPrefixedAndMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("sent").Add(3)
+	b := NewRegistry()
+	b.Counter("sent").Add(4)
+	b.Histogram("lat", SizeBuckets).Observe(64)
+	m := Merge(a.Snapshot().Prefixed("comm"), b.Snapshot().Prefixed("daemon"))
+	if m.Counters["comm.sent"] != 3 || m.Counters["daemon.sent"] != 4 {
+		t.Fatalf("merge: %+v", m.Counters)
+	}
+	if m.Histograms["daemon.lat"].Count != 1 {
+		t.Fatalf("merge hist: %+v", m.Histograms)
+	}
+	if m.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestConcurrentObservers(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", LatencyBucketsUs)
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.Observe(float64(seed*1000 + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	// Snapshot concurrently with writers.
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 16000 || s.Histograms["lat"].Count != 16000 {
+		t.Fatalf("lost updates: %+v", s.Counters)
+	}
+}

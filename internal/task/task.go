@@ -79,6 +79,10 @@ const (
 	// TagReleaseReq ends a checkpointed task's tenure on its old host
 	// (the close of the §5.6 relay window).
 	TagReleaseReq = TagSystemBase + 15
+	// TagStatsReq and TagStatsResp fetch a daemon's metrics snapshot —
+	// the console's window into a running host (§3.7).
+	TagStatsReq  = TagSystemBase + 16
+	TagStatsResp = TagSystemBase + 17
 )
 
 // Errors of the task layer.
