@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"snipe/internal/console"
 	"snipe/internal/rcds"
@@ -44,7 +46,9 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec)
 	defer client.Close()
-	if _, err := client.Ping(); err != nil {
+	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPing()
+	if _, err := client.PingContext(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 	con, err := console.New(*name, client)

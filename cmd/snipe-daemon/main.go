@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -37,9 +38,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "task/daemon listen address pattern")
 	flag.Parse()
 
-	client := rcds.NewClient(strings.Split(*rc, ","), secretBytes(*secret))
+	client := rcds.NewClient(strings.Split(*rc, ","), secretBytes(*secret), rcds.WithReadCache())
 	defer client.Close()
-	if _, err := client.Ping(); err != nil {
+	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPing()
+	if _, err := client.PingContext(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
@@ -37,9 +38,11 @@ func main() {
 	if *secret != "" {
 		sec = []byte(*secret)
 	}
-	client := rcds.NewClient(strings.Split(*rc, ","), sec)
+	client := rcds.NewClient(strings.Split(*rc, ","), sec, rcds.WithReadCache())
 	defer client.Close()
-	if _, err := client.Ping(); err != nil {
+	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPing()
+	if _, err := client.PingContext(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 	fs, err := fileserv.NewServer(*name, client, nil)
@@ -63,7 +66,7 @@ func main() {
 	if *replicas > 0 {
 		ep := comm.NewEndpoint(naming.ProcessURN(*name, "replicator"),
 			comm.WithResolver(naming.NewResolver(client)))
-		route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"snipe/internal/rcds"
 	"snipe/internal/rm"
@@ -30,9 +32,11 @@ func main() {
 	if *secret != "" {
 		sec = []byte(*secret)
 	}
-	client := rcds.NewClient(strings.Split(*rc, ","), sec)
+	client := rcds.NewClient(strings.Split(*rc, ","), sec, rcds.WithReadCache())
 	defer client.Close()
-	if _, err := client.Ping(); err != nil {
+	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPing()
+	if _, err := client.PingContext(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 	m, err := rm.NewManager(*name, client, nil)

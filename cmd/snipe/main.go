@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,7 +60,9 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec)
 	defer client.Close()
-	if _, err := client.Ping(); err != nil {
+	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPing()
+	if _, err := client.PingContext(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 
@@ -67,7 +70,7 @@ func main() {
 	urn := naming.ProcessURN("cli", fmt.Sprintf("snipe-%d", os.Getpid()))
 	ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(client)))
 	defer ep.Close()
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		log.Fatal(err)
 	}

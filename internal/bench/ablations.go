@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func buildPath(path string) (*pathEndpoints, error) {
 			comm.WithResolver(res),
 			comm.WithRetryInterval(5 * time.Second),
 		}, opts...), extra...)...)
-		route, err := ep.Listen(transport, "127.0.0.1:0", "", 0, 0)
+		route, err := ep.Listen(comm.ListenSpec{Transport: transport, Addr: "127.0.0.1:0"})
 		if err != nil {
 			ep.Close()
 			pe.close()
@@ -113,7 +114,9 @@ func MeasurePath(path string, msgSize, iters int) (PathPoint, error) {
 	errCh := make(chan error, 1)
 	go func() {
 		for i := 0; i < warmup+iters; i++ {
-			m, err := pe.b.RecvMatch("", 1, 60*time.Second)
+			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			m, err := pe.b.RecvMatchContext(rctx, "", 1)
+			cancel()
 			if err != nil {
 				errCh <- err
 				return
@@ -129,7 +132,9 @@ func MeasurePath(path string, msgSize, iters int) (PathPoint, error) {
 		if err := pe.a.Send("urn:pb", 1, payload); err != nil {
 			return err
 		}
-		_, err := pe.a.RecvMatch("", 2, 60*time.Second)
+		rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_, err := pe.a.RecvMatchContext(rctx, "", 2)
 		return err
 	}
 	for i := 0; i < warmup; i++ {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -156,7 +157,7 @@ func MeasureAvailabilitySNIPE(replicas, queries int, downFraction float64) (E3Re
 	client := rcds.NewClient(addrs, nil)
 	defer client.Close()
 	client.SetTimeout(300 * time.Millisecond)
-	if err := client.Set("urn:av", "k", "v"); err != nil {
+	if err := client.SetContext(context.Background(), "urn:av", "k", "v"); err != nil {
 		return res, err
 	}
 
@@ -177,7 +178,7 @@ func MeasureAvailabilitySNIPE(replicas, queries int, downFraction float64) (E3Re
 			}
 		}
 		res.Queries++
-		if _, _, err := client.FirstValue("urn:av", "k"); err != nil {
+		if _, _, err := client.FirstValueContext(context.Background(), "urn:av", "k"); err != nil {
 			res.Failures++
 		}
 	}
@@ -263,7 +264,7 @@ func MeasureMulticast(routers, failed, members, msgs int) (E4Result, error) {
 		ep := comm.NewEndpoint(urn,
 			comm.WithResolver(naming.NewResolver(cat)),
 			comm.WithRetryInterval(100*time.Millisecond))
-		route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		if err != nil {
 			return nil, err
 		}
@@ -380,7 +381,7 @@ func MeasureMigration(buffering bool, msgs int) (E5Result, error) {
 	}
 	controller := comm.NewEndpoint("urn:e5:controller", opts...)
 	defer controller.Close()
-	route, err := controller.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := controller.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		return res, err
 	}
@@ -413,7 +414,9 @@ func MeasureMigration(buffering bool, msgs int) (E5Result, error) {
 	}
 	// Collect acknowledgements until quiet.
 	for {
-		_, err := controller.RecvMatch("", 2, 2*time.Second)
+		rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err := controller.RecvMatchContext(rctx, "", 2)
+		cancel()
 		if err != nil {
 			break
 		}
@@ -536,7 +539,7 @@ func MeasureSpawnRedundantRMs(rms, hosts, spawns int, killOne bool) (E6SpawnResu
 	}
 	ep := comm.NewEndpoint("urn:e6:client", comm.WithResolver(naming.NewResolver(cat)))
 	defer ep.Close()
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		return res, err
 	}
@@ -583,11 +586,11 @@ func MeasureFailover(buffering bool, msgs int) (E7Result, error) {
 	defer sender.Close()
 	receiver := comm.NewEndpoint("urn:e7:recv", comm.WithResolver(resolver))
 	defer receiver.Close()
-	r1, err := receiver.Listen("tcp", "127.0.0.1:0", "", 2e9, 0) // preferred
+	r1, err := receiver.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0", RateBps: 2e9}) // preferred
 	if err != nil {
 		return res, err
 	}
-	r2, err := receiver.Listen("tcp", "127.0.0.1:0", "", 1e9, 0)
+	r2, err := receiver.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0", RateBps: 1e9})
 	if err != nil {
 		return res, err
 	}
@@ -600,7 +603,10 @@ func MeasureFailover(buffering bool, msgs int) (E7Result, error) {
 		defer close(done)
 		last := time.Now()
 		for i := 0; i < msgs; i++ {
-			if _, err := receiver.Recv(5 * time.Second); err != nil {
+			rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err := receiver.RecvContext(rctx)
+			cancel()
+			if err != nil {
 				return
 			}
 			if gap := time.Since(last); gap > maxGap {
@@ -613,7 +619,7 @@ func MeasureFailover(buffering bool, msgs int) (E7Result, error) {
 	for i := 0; i < msgs; i++ {
 		sender.Send("urn:e7:recv", 1, []byte{byte(i)})
 		if i == killAt {
-			receiver.CloseListener(0)
+			receiver.CloseListener(r1) // kill the preferred interface mid-stream
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -666,7 +672,10 @@ func MeasureRUDPLoss(loss float64, msgSize, msgs int, seed uint64) (LossPoint, e
 	received := make(chan struct{})
 	go func() {
 		for i := 0; i < msgs; i++ {
-			if _, err := b.Recv(120 * time.Second); err != nil {
+			rctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			_, err := b.RecvContext(rctx)
+			cancel()
+			if err != nil {
 				return
 			}
 		}

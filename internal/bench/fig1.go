@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -116,7 +117,10 @@ func MeasureFig1(medium netsim.Profile, transport string, msgSize int, seed uint
 	received := make(chan struct{})
 	go func() {
 		for i := 0; i < n; i++ {
-			if _, err := b.Recv(60 * time.Second); err != nil {
+			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			_, err := b.RecvContext(rctx)
+			cancel()
+			if err != nil {
 				return
 			}
 		}

@@ -129,11 +129,11 @@ func TestEncryptedTransportEndToEnd(t *testing.T) {
 	defer a.Close()
 	b := NewEndpoint("urn:eb", WithResolver(resolver), WithTransports(transports))
 	defer b.Close()
-	ra, err := a.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	ra, err := a.Listen(ListenSpec{Transport: "tcp+tls", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	rb, err := b.Listen(ListenSpec{Transport: "tcp+tls", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestEncryptedTransportKeyMismatchFailsClosed(t *testing.T) {
 	defer a.Close()
 	b := NewEndpoint("urn:eb", WithResolver(resolver), WithTransports(tb))
 	defer b.Close()
-	rb, err := b.Listen("tcp+tls", "127.0.0.1:0", "", 0, 0)
+	rb, err := b.Listen(ListenSpec{Transport: "tcp+tls", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}

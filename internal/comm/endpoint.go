@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -87,11 +89,18 @@ type outKey struct {
 
 type outMsg struct {
 	msg         Message
-	enqueued    time.Time     // when the message entered the system buffer
+	enqueued    time.Time // when the message entered the system buffer
 	lastAttempt time.Time
 	backoff     time.Duration // wait after lastAttempt before the next retry
 	attempts    int
 	acked       chan struct{} // closed on acknowledgement
+}
+
+// listenerEntry pairs a live listener with the route it advertises, so
+// listeners can be closed by route.
+type listenerEntry struct {
+	ln    Listener
+	route Route
 }
 
 // routeCacheEntry caches one destination's resolved routes.
@@ -129,7 +138,7 @@ type Endpoint struct {
 
 	mu           sync.Mutex
 	cond         *sync.Cond
-	listeners    []Listener
+	listeners    []listenerEntry
 	localRoutes  []Route
 	conns        map[string]FrameConn       // route key → conn
 	routeCache   map[string]routeCacheEntry // dst URN → resolved routes
@@ -246,27 +255,28 @@ func (e *Endpoint) SetResolver(r Resolver) {
 	e.mu.Unlock()
 }
 
-// Listen starts accepting connections on the named transport at addr.
-// The route metadata (netName, rateBps, latencyUs) is advertised to
-// peers via Routes — in the full system, published as AttrCommAddr
-// assertions in RC metadata.
-func (e *Endpoint) Listen(transport, addr, netName string, rateBps, latencyUs float64) (Route, error) {
-	tr, ok := e.transports.Get(transport)
+// Listen starts accepting connections per spec: the named transport is
+// bound at spec.Addr, and the spec's media profile is advertised to
+// peers via the returned Route — in the full system, published as
+// AttrCommAddr assertions in RC metadata.
+func (e *Endpoint) Listen(spec ListenSpec) (Route, error) {
+	tr, ok := e.transports.Get(spec.Transport)
 	if !ok {
-		return Route{}, fmt.Errorf("comm: unknown transport %q", transport)
+		return Route{}, fmt.Errorf("comm: unknown transport %q", spec.Transport)
 	}
-	ln, err := tr.Listen(addr)
+	ln, err := tr.Listen(spec.Addr)
 	if err != nil {
 		return Route{}, err
 	}
-	route := Route{Transport: transport, Addr: ln.Addr(), NetName: netName, RateBps: rateBps, LatencyUs: latencyUs}
+	route := Route{Transport: spec.Transport, Addr: ln.Addr(), NetName: spec.NetName,
+		RateBps: spec.RateBps, LatencyUs: spec.LatencyUs}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		ln.Close()
 		return Route{}, ErrClosed
 	}
-	e.listeners = append(e.listeners, ln)
+	e.listeners = append(e.listeners, listenerEntry{ln: ln, route: route})
 	e.localRoutes = append(e.localRoutes, route)
 	e.mu.Unlock()
 	e.wg.Add(1)
@@ -281,16 +291,32 @@ func (e *Endpoint) Routes() []Route {
 	return append([]Route(nil), e.localRoutes...)
 }
 
-// CloseListener shuts the i-th listener (in Listen order) — the
-// link-failure injection used by the failover experiments.
-func (e *Endpoint) CloseListener(i int) error {
+// CloseListener shuts the listener that advertised route (as returned
+// by Listen) and withdraws it from the endpoint's advertised routes —
+// the link-failure injection used by the failover experiments. Unlike
+// an index, the route stays a valid handle as listeners come and go.
+func (e *Endpoint) CloseListener(route Route) error {
 	e.mu.Lock()
-	if i < 0 || i >= len(e.listeners) {
-		e.mu.Unlock()
-		return fmt.Errorf("comm: no listener %d", i)
+	var ln Listener
+	for i, ent := range e.listeners {
+		if ent.route == route {
+			ln = ent.ln
+			e.listeners = append(e.listeners[:i], e.listeners[i+1:]...)
+			break
+		}
 	}
-	ln := e.listeners[i]
+	if ln != nil {
+		for i, r := range e.localRoutes {
+			if r == route {
+				e.localRoutes = append(e.localRoutes[:i], e.localRoutes[i+1:]...)
+				break
+			}
+		}
+	}
 	e.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("comm: no listener for route %s", route)
+	}
 	return ln.Close()
 }
 
@@ -316,10 +342,10 @@ func (e *Endpoint) Send(dst string, tag uint32, payload []byte) error {
 	return err
 }
 
-// SendWait sends and then blocks until the destination acknowledges
-// the message or the timeout expires. The message remains buffered and
-// retried even if SendWait times out.
-func (e *Endpoint) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
+// SendWaitContext sends and then blocks until the destination
+// acknowledges the message or ctx ends. The message remains buffered
+// and retried even if the wait is abandoned.
+func (e *Endpoint) SendWaitContext(ctx context.Context, dst string, tag uint32, payload []byte) error {
 	om, err := e.send(dst, tag, payload)
 	if err != nil {
 		return err
@@ -327,11 +353,31 @@ func (e *Endpoint) SendWait(dst string, tag uint32, payload []byte, timeout time
 	select {
 	case <-om.acked:
 		return nil
-	case <-time.After(timeout):
-		return ErrTimeout
+	case <-ctx.Done():
+		return ctxErr(ctx)
 	case <-e.done:
 		return ErrClosed
 	}
+}
+
+// SendWait sends and then blocks until the destination acknowledges
+// the message or the timeout expires.
+//
+// Deprecated: use SendWaitContext.
+func (e *Endpoint) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return e.SendWaitContext(ctx, dst, tag, payload)
+}
+
+// ctxErr maps a finished context to the endpoint error vocabulary:
+// deadline expiry is the familiar ErrTimeout, cancellation passes
+// through.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+		return ErrTimeout
+	}
+	return ctx.Err()
 }
 
 func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error) {
@@ -725,16 +771,22 @@ func (e *Endpoint) deliverLocked(m *Message) {
 	e.cond.Broadcast()
 }
 
-// Recv returns the next message of any tag from any source.
-func (e *Endpoint) Recv(timeout time.Duration) (*Message, error) {
-	return e.RecvMatch("", AnyTag, timeout)
+// RecvContext returns the next message of any tag from any source,
+// waiting until ctx ends.
+func (e *Endpoint) RecvContext(ctx context.Context) (*Message, error) {
+	return e.RecvMatchContext(ctx, "", AnyTag)
 }
 
-// RecvMatch returns the next message matching src (""=any) and tag
-// (AnyTag=any), waiting up to timeout. Non-matching messages stay
+// RecvMatchContext returns the next message matching src (""=any) and
+// tag (AnyTag=any), waiting until ctx ends. Non-matching messages stay
 // queued for other receivers.
-func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Message, error) {
-	deadline := time.Now().Add(timeout)
+func (e *Endpoint) RecvMatchContext(ctx context.Context, src string, tag uint32) (*Message, error) {
+	stop := context.AfterFunc(ctx, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer stop()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for {
@@ -747,18 +799,28 @@ func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Me
 		if e.closed {
 			return nil, ErrClosed
 		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, ErrTimeout
+		if ctx.Err() != nil {
+			return nil, ctxErr(ctx)
 		}
-		t := time.AfterFunc(remaining, func() {
-			e.mu.Lock()
-			e.cond.Broadcast()
-			e.mu.Unlock()
-		})
 		e.cond.Wait()
-		t.Stop()
 	}
+}
+
+// Recv returns the next message of any tag from any source.
+//
+// Deprecated: use RecvContext.
+func (e *Endpoint) Recv(timeout time.Duration) (*Message, error) {
+	return e.RecvMatch("", AnyTag, timeout)
+}
+
+// RecvMatch returns the next message matching src (""=any) and tag
+// (AnyTag=any), waiting up to timeout.
+//
+// Deprecated: use RecvMatchContext.
+func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return e.RecvMatchContext(ctx, src, tag)
 }
 
 // retryLoop re-transmits buffered unacknowledged messages, re-resolving
@@ -805,6 +867,10 @@ func (e *Endpoint) Pending() int {
 
 // Stats reports endpoint counters: messages sent, received, retry
 // transmissions, and duplicates suppressed.
+//
+// Deprecated: use MetricsSnapshot, which carries these counters (keys
+// "sent", "received", "retried", "duplicates") along with the rest of
+// the endpoint's telemetry.
 func (e *Endpoint) Stats() (sent, received, retried, duplicates uint64) {
 	return e.mSent.Value(), e.mReceived.Value(), e.mRetried.Value(), e.mDuplicates.Value()
 }
@@ -864,8 +930,8 @@ func (e *Endpoint) Close() {
 	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
-	for _, ln := range lns {
-		ln.Close()
+	for _, ent := range lns {
+		ent.ln.Close()
 	}
 	for _, c := range conns {
 		c.Close()

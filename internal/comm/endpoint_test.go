@@ -40,7 +40,7 @@ func newTestEndpoint(t testing.TB, urn string, res *testResolver, opts ...Endpoi
 		WithRetryInterval(50 * time.Millisecond),
 	}, opts...)
 	e := NewEndpoint(urn, opts...)
-	route, err := e.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := e.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestEndpointRouteFailover(t *testing.T) {
 	a := newTestEndpoint(t, "urn:a", res)
 	b := NewEndpoint("urn:b", WithResolver(res))
 	defer b.Close()
-	good, err := b.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	good, err := b.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,11 +227,11 @@ func TestEndpointMidStreamFailover(t *testing.T) {
 	a := newTestEndpoint(t, "urn:a", res)
 	b := NewEndpoint("urn:b", WithResolver(res))
 	defer b.Close()
-	r1, err := b.Listen("tcp", "127.0.0.1:0", "", 2e9, 0) // preferred
+	r1, err := b.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0", RateBps: 2e9}) // preferred
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := b.Listen("tcp", "127.0.0.1:0", "", 1e9, 0)
+	r2, err := b.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0", RateBps: 1e9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestEndpointMidStreamFailover(t *testing.T) {
 			if i == 20 {
 				// Kill the preferred listener mid-stream.
 				b.mu.Lock()
-				ln := b.listeners[0]
+				ln := b.listeners[0].ln
 				b.mu.Unlock()
 				ln.Close()
 			}
@@ -285,8 +285,7 @@ func TestEndpointDuplicateSuppression(t *testing.T) {
 	if _, err := b.Recv(200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("duplicate delivered: %v", err)
 	}
-	_, _, _, dups := b.Stats()
-	if dups == 0 {
+	if dups := b.MetricsSnapshot().Counters["duplicates"]; dups == 0 {
 		t.Fatal("duplicate not counted")
 	}
 }
@@ -352,11 +351,11 @@ func TestEndpointOverRUDPTransport(t *testing.T) {
 	defer a.Close()
 	b := NewEndpoint("urn:b", WithResolver(res))
 	defer b.Close()
-	ra, err := a.Listen("rudp", "127.0.0.1:0", "", 0, 0)
+	ra, err := a.Listen(ListenSpec{Transport: "rudp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Listen("rudp", "127.0.0.1:0", "", 0, 0)
+	rb, err := b.Listen(ListenSpec{Transport: "rudp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +398,7 @@ func TestEndpointSequenceSnapshotRestore(t *testing.T) {
 	b2 := NewEndpoint("urn:b", WithResolver(res))
 	defer b2.Close()
 	b2.RestoreSequences(snap)
-	route, err := b2.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := b2.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,8 +420,8 @@ func TestEndpointStats(t *testing.T) {
 	b := newTestEndpoint(t, "urn:b", res)
 	a.SendWait("urn:b", 0, []byte("x"), 5*time.Second)
 	b.Recv(time.Second)
-	sent, _, _, _ := a.Stats()
-	_, recv, _, _ := b.Stats()
+	sent := a.MetricsSnapshot().Counters["sent"]
+	recv := b.MetricsSnapshot().Counters["received"]
 	if sent != 1 || recv != 1 {
 		t.Fatalf("stats: sent=%d recv=%d", sent, recv)
 	}
@@ -434,8 +433,8 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 	defer a.Close()
 	bb := NewEndpoint("urn:b", WithResolver(res))
 	defer bb.Close()
-	ra, _ := a.Listen("tcp", "127.0.0.1:0", "", 0, 0)
-	rb, _ := bb.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	ra, _ := a.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
+	rb, _ := bb.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	res.set("urn:a", ra)
 	res.set("urn:b", rb)
 	go func() {

@@ -14,7 +14,7 @@ func gatewayWorld(t *testing.T) (sender, gateway, receiver *Endpoint, res *testR
 
 	gateway = NewEndpoint("urn:gw", WithResolver(res), WithGatewayRelay())
 	t.Cleanup(gateway.Close)
-	gwRoute, err := gateway.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	gwRoute, err := gateway.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func gatewayWorld(t *testing.T) (sender, gateway, receiver *Endpoint, res *testR
 
 	receiver = NewEndpoint("urn:behind", WithResolver(res))
 	t.Cleanup(receiver.Close)
-	rRoute, err := receiver.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	rRoute, err := receiver.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func gatewayWorld(t *testing.T) (sender, gateway, receiver *Endpoint, res *testR
 
 	sender = NewEndpoint("urn:outside", WithResolver(res), WithRetryInterval(50*time.Millisecond))
 	t.Cleanup(sender.Close)
-	sRoute, err := sender.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	sRoute, err := sender.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
 	mkGW := func(urn string) *Endpoint {
 		gw := NewEndpoint(urn, WithResolver(gwView), WithGatewayRelay())
 		t.Cleanup(gw.Close)
-		route, err := gw.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		route, err := gw.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
 
 	receiver := NewEndpoint("urn:behind", WithResolver(res))
 	t.Cleanup(receiver.Close)
-	rRoute, err := receiver.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	rRoute, err := receiver.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
 
 	sender := NewEndpoint("urn:outside", WithResolver(res), WithRetryInterval(50*time.Millisecond))
 	t.Cleanup(sender.Close)
-	sRoute, err := sender.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	sRoute, err := sender.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,7 +145,7 @@ func TestRetryBackoffReducesRetries(t *testing.T) {
 	}
 	const window = time.Second
 	time.Sleep(window)
-	_, _, retried, _ := e.Stats()
+	retried := e.MetricsSnapshot().Counters["retried"]
 
 	// Fixed-interval behavior retries every tick: ~window/interval (25).
 	// Exponential backoff fits only attempts at cumulative 40+80+160+
@@ -253,7 +253,6 @@ func TestMetricsRaceWithTraffic(t *testing.T) {
 				return
 			default:
 			}
-			a.Stats()
 			a.MetricsSnapshot()
 			b.MetricsSnapshot().Render()
 		}
@@ -268,12 +267,12 @@ func TestMetricsRaceWithTraffic(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("traffic stalled")
 	}
-	sent, received, _, _ := a.Stats()
+	sent := a.MetricsSnapshot().Counters["sent"]
 	if sent != n {
 		t.Fatalf("sent = %d, want %d", sent, n)
 	}
-	if _, rcvd, _, _ := b.Stats(); rcvd != n {
-		t.Fatalf("b received = %d, want %d", rcvd, received)
+	if rcvd := b.MetricsSnapshot().Counters["received"]; rcvd != n {
+		t.Fatalf("b received = %d, want %d", rcvd, n)
 	}
 }
 

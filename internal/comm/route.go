@@ -22,6 +22,26 @@ type Route struct {
 	LatencyUs float64 // advertised per-message latency, µs (0 = unknown)
 }
 
+// ListenSpec describes one interface an endpoint should listen on: the
+// transport to bind, the bind address, and the media profile (net name,
+// bandwidth, latency) advertised to peers via the resulting Route — in
+// the full system, published as AttrCommAddr assertions in RC metadata.
+type ListenSpec struct {
+	Transport string  // "tcp", "rudp", ...
+	Addr      string  // transport-specific bind address
+	NetName   string  // shared network identifier ("" = public internet)
+	RateBps   float64 // advertised bandwidth, bits/sec (0 = unknown)
+	LatencyUs float64 // advertised per-message latency, µs (0 = unknown)
+}
+
+// Spec converts a route back into the listen spec that would advertise
+// it — used when one component's advertised routes seed another's
+// listen configuration.
+func (r Route) Spec() ListenSpec {
+	return ListenSpec{Transport: r.Transport, Addr: r.Addr, NetName: r.NetName,
+		RateBps: r.RateBps, LatencyUs: r.LatencyUs}
+}
+
 // String renders the route in its RC metadata form:
 //
 //	transport://addr;net=NAME;rate=BPS;lat=US

@@ -56,7 +56,7 @@ func New(name string, cat naming.Catalog) (*Console, error) {
 		cat:  cat,
 	}
 	c.ep = comm.NewEndpoint(c.urn, comm.WithResolver(naming.NewResolver(cat)))
-	route, err := c.ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := c.ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		return nil, fmt.Errorf("console: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -41,7 +42,7 @@ func (u *Universe) NewClient(name string) (*Client, error) {
 	c := &Client{u: u, urn: naming.ProcessURN("client", name)}
 	resolver := naming.NewResolver(u.catalog)
 	c.ep = comm.NewEndpoint(c.urn, comm.WithResolver(resolver))
-	route, err := c.ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := c.ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		c.ep.Close()
 		return nil, fmt.Errorf("core: client %s: %w", name, err)
@@ -79,17 +80,23 @@ func (c *Client) Send(dst string, tag uint32, payload []byte) error {
 
 // SendWait sends and waits for the end-to-end acknowledgement.
 func (c *Client) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
-	return c.ep.SendWait(dst, tag, payload, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.ep.SendWaitContext(ctx, dst, tag, payload)
 }
 
 // Recv returns the next message.
 func (c *Client) Recv(timeout time.Duration) (*comm.Message, error) {
-	return c.ep.Recv(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.ep.RecvContext(ctx)
 }
 
 // RecvMatch receives selectively by source and tag.
 func (c *Client) RecvMatch(src string, tag uint32, timeout time.Duration) (*comm.Message, error) {
-	return c.ep.RecvMatch(src, tag, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.ep.RecvMatchContext(ctx, src, tag)
 }
 
 // --- resource location ------------------------------------------------
@@ -178,7 +185,9 @@ func (c *Client) Watch(taskURN string) error {
 
 // NextNotify returns the next state-change notification.
 func (c *Client) NextNotify(timeout time.Duration) (task.StateChange, error) {
-	m, err := c.ep.RecvMatch("", task.TagNotify, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	m, err := c.ep.RecvMatchContext(ctx, "", task.TagNotify)
 	if err != nil {
 		return task.StateChange{}, err
 	}

@@ -130,7 +130,10 @@ func New(cfg Config) (*Universe, error) {
 			}
 			s.SetPeers(peers...)
 		}
-		client := rcds.NewClient(addrs, cfg.Secret)
+		// The universe's shared catalog client caches reads, invalidated
+		// by the RC servers' Wait sequence numbers: every resolver in
+		// the universe rides one coherent cache instead of polling.
+		client := rcds.NewClient(addrs, cfg.Secret, rcds.WithReadCache())
 		u.catalog = client
 	}
 
@@ -196,7 +199,7 @@ func New(cfg Config) (*Universe, error) {
 	if cfg.ReplicationPolicy.MinReplicas > 0 && cfg.FileServers >= 2 {
 		u.repEP = comm.NewEndpoint(naming.ProcessURN("core", "replicator"),
 			comm.WithResolver(naming.NewResolver(u.catalog)))
-		route, err := u.repEP.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		route, err := u.repEP.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		if err != nil {
 			u.Close()
 			return nil, err

@@ -127,6 +127,17 @@ func TestUniverseWithReplicatedRCServers(t *testing.T) {
 	if err := c.WaitState(urn, task.StateExited, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
+	// The shared catalog client's cache counters surface in every
+	// daemon's composed /stats snapshot under the "rcds." prefix.
+	for _, d := range u.Daemons() {
+		snap := d.MetricsSnapshot()
+		for _, key := range []string{"rcds.cache_hits", "rcds.cache_misses", "rcds.failovers"} {
+			if _, ok := snap.Counters[key]; !ok {
+				t.Fatalf("daemon stats missing %q: %v", key, snap.Counters)
+			}
+		}
+		break
+	}
 	// Kill one RC replica: the system keeps working (availability
 	// through replication, §6).
 	u.RCServers()[0].Close()

@@ -35,13 +35,9 @@ var (
 
 // ListenSpec describes one interface the daemon (and its tasks) listen
 // on: the transport, the bind address, and the RC interface metadata.
-type ListenSpec struct {
-	Transport string
-	Addr      string
-	NetName   string
-	RateBps   float64
-	LatencyUs float64
-}
+// It is the comm layer's listen specification, re-exported so daemon
+// configuration does not require importing comm.
+type ListenSpec = comm.ListenSpec
 
 // Config configures a host daemon.
 type Config struct {
@@ -158,7 +154,7 @@ func (d *Daemon) Start() error {
 			task.TagStatsReq))
 	var routes []comm.Route
 	for _, ls := range d.cfg.Listens {
-		route, err := d.ep.Listen(ls.Transport, ls.Addr, ls.NetName, ls.RateBps, ls.LatencyUs)
+		route, err := d.ep.Listen(ls)
 		if err != nil {
 			d.ep.Close()
 			return fmt.Errorf("daemon %s: %w", d.cfg.HostName, err)
@@ -333,7 +329,9 @@ func (d *Daemon) spawnAs(urn string, spec task.Spec) (err error) {
 	var routes []comm.Route
 	for _, ls := range d.cfg.Listens {
 		// Tasks listen on the same interfaces as the daemon, any port.
-		route, err := ep.Listen(ls.Transport, rebind(ls.Addr), ls.NetName, ls.RateBps, ls.LatencyUs)
+		spec := ls
+		spec.Addr = rebind(ls.Addr)
+		route, err := ep.Listen(spec)
 		if err != nil {
 			ep.Close()
 			return fmt.Errorf("daemon: task endpoint: %w", err)

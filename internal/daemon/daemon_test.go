@@ -47,7 +47,7 @@ func (w *testWorld) newDaemon(host string, reg *task.Registry) *Daemon {
 func (w *testWorld) client(urn string) *comm.Endpoint {
 	w.t.Helper()
 	ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(w.cat)))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		w.t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -62,13 +63,10 @@ func StatsRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout time
 	if err := ep.Send(daemonURN, task.TagStatsReq, e.Bytes()); err != nil {
 		return stats.Snapshot{}, err
 	}
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return stats.Snapshot{}, comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(daemonURN, task.TagStatsResp, remaining)
+		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagStatsResp)
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
@@ -144,13 +142,10 @@ func CheckpointRemote(ep *comm.Endpoint, daemonURN, taskURN string, reqID uint64
 	if err := ep.Send(daemonURN, task.TagCheckpointReq, e.Bytes()); err != nil {
 		return task.Spec{}, err
 	}
-	deadline := time.Now().Add(timeout + 2*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+2*time.Second)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return task.Spec{}, comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(daemonURN, task.TagCheckpointResp, remaining)
+		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagCheckpointResp)
 		if err != nil {
 			return task.Spec{}, err
 		}
@@ -273,13 +268,10 @@ func SpawnRemote(ep *comm.Endpoint, daemonURN string, spec task.Spec, reqID uint
 	if err := ep.Send(daemonURN, task.TagSpawnReq, e.Bytes()); err != nil {
 		return "", err
 	}
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return "", comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(daemonURN, task.TagSpawnResp, remaining)
+		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagSpawnResp)
 		if err != nil {
 			return "", err
 		}
@@ -321,13 +313,10 @@ func StatusRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout tim
 	if err := ep.Send(daemonURN, task.TagStatusReq, e.Bytes()); err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(daemonURN, task.TagStatusResp, remaining)
+		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagStatusResp)
 		if err != nil {
 			return nil, err
 		}
@@ -369,13 +358,10 @@ func MigrateRemote(ep *comm.Endpoint, daemonURN, taskURN string, spec task.Spec,
 	if err := ep.Send(daemonURN, task.TagMigrateReq, e.Bytes()); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(daemonURN, task.TagMigrateResp, remaining)
+		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagMigrateResp)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package fileserv
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -55,13 +56,10 @@ func (c *Client) Fetch(serverURN, name string) ([]byte, error) {
 		return nil, err
 	}
 	var out []byte
-	deadline := time.Now().Add(c.timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, comm.ErrTimeout
-		}
-		m, err := c.ep.RecvMatch(serverURN, task.TagFile, remaining)
+		m, err := c.ep.RecvMatchContext(ctx, serverURN, task.TagFile)
 		if err != nil {
 			return nil, err
 		}
@@ -116,14 +114,11 @@ func (c *Client) StreamTo(serverURN, name, dstURN string) error {
 // returning its name and contents. It accepts the first stream that
 // arrives from srcServer ("" = any server).
 func ReceiveStream(ep *comm.Endpoint, srcServer string, timeout time.Duration) (name string, data []byte, err error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	var cur *fileMsg
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return "", nil, comm.ErrTimeout
-		}
-		m, err := ep.RecvMatch(srcServer, task.TagFile, remaining)
+		m, err := ep.RecvMatchContext(ctx, srcServer, task.TagFile)
 		if err != nil {
 			return "", nil, err
 		}
@@ -178,13 +173,10 @@ func (c *Client) Pull(serverURN, name, fromServerURN string) error {
 }
 
 func (c *Client) awaitOp(src string, op uint8, reqID uint64, timeout time.Duration) (*fileMsg, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, comm.ErrTimeout
-		}
-		m, err := c.ep.RecvMatch(src, task.TagFile, remaining)
+		m, err := c.ep.RecvMatchContext(ctx, src, task.TagFile)
 		if err != nil {
 			return nil, err
 		}

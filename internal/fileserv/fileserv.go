@@ -156,7 +156,7 @@ func NewServer(name string, cat naming.Catalog, listens []comm.Route) (*Server, 
 	}
 	var routes []comm.Route
 	for _, l := range listens {
-		route, err := s.ep.Listen(l.Transport, l.Addr, l.NetName, l.RateBps, l.LatencyUs)
+		route, err := s.ep.Listen(l.Spec())
 		if err != nil {
 			s.ep.Close()
 			return nil, fmt.Errorf("fileserv: listen: %w", err)

@@ -23,6 +23,7 @@
 package mcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -152,7 +153,7 @@ func NewRouter(hostName string, cat naming.Catalog, listens []comm.Route) (*Rout
 	}
 	var routes []comm.Route
 	for _, l := range listens {
-		route, err := r.ep.Listen(l.Transport, l.Addr, l.NetName, l.RateBps, l.LatencyUs)
+		route, err := r.ep.Listen(l.Spec())
 		if err != nil {
 			r.ep.Close()
 			return nil, fmt.Errorf("mcast: router listen: %w", err)
@@ -415,13 +416,10 @@ func (m *Member) Send(appTag uint32, data []byte) error {
 // Recv returns the next group message (origin URN, app tag, payload),
 // suppressing duplicate deliveries from redundant router paths.
 func (m *Member) Recv(timeout time.Duration) (origin string, appTag uint32, data []byte, err error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return "", 0, nil, comm.ErrTimeout
-		}
-		msg, err := m.ep.RecvMatch("", m.tag, remaining)
+		msg, err := m.ep.RecvMatchContext(ctx, "", m.tag)
 		if err != nil {
 			return "", 0, nil, err
 		}

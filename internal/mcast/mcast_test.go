@@ -37,7 +37,7 @@ func (w *world) endpoint(urn string) *comm.Endpoint {
 	ep := comm.NewEndpoint(urn,
 		comm.WithResolver(naming.NewResolver(w.cat)),
 		comm.WithRetryInterval(50*time.Millisecond))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		w.t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func BenchmarkMulticastFanout8(b *testing.B) {
 	r.Serve(group)
 	newEP := func(urn string) *comm.Endpoint {
 		ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(cat)))
-		route, _ := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+		route, _ := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		naming.Register(cat, urn, []comm.Route{route})
 		return ep
 	}

@@ -79,7 +79,7 @@ func (w *world) endpoint(urn string) *comm.Endpoint {
 	ep := comm.NewEndpoint(urn,
 		comm.WithResolver(res),
 		comm.WithRetryInterval(50*time.Millisecond))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		w.t.Fatal(err)
 	}

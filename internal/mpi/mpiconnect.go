@@ -47,7 +47,7 @@ func (b *MPIConnectBridge) Register(world string, rank int, deliver func(string,
 				deliver(srcWorld, srcRank, tag, data)
 			}
 		}, mpiConnectTag))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		ep.Close()
 		return fmt.Errorf("mpi: mpiconnect register %s: %w", urn, err)

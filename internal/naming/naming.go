@@ -107,9 +107,17 @@ type cacheEntry struct {
 	expires time.Time
 }
 
-// NewResolver builds a resolver over cat.
+// NewResolver builds a resolver over cat. When the catalog itself
+// caches reads coherently (an rcds.Client with its watch-invalidated
+// read cache), the resolver's TTL cache is disabled and resolution
+// rides the client cache instead — invalidation is then push-based
+// (Wait sequence numbers) rather than timer-based.
 func NewResolver(cat Catalog) *Resolver {
-	return &Resolver{cat: cat, ttl: 150 * time.Millisecond, cache: make(map[string]cacheEntry)}
+	r := &Resolver{cat: cat, ttl: 150 * time.Millisecond, cache: make(map[string]cacheEntry)}
+	if cc, ok := cat.(interface{ ReadCacheActive() bool }); ok && cc.ReadCacheActive() {
+		r.ttl = 0
+	}
+	return r
 }
 
 // SetTTL adjusts the cache lifetime.
@@ -123,12 +131,12 @@ func (r *Resolver) SetTTL(d time.Duration) {
 // AttrCommAddr assertions and parses them into routes.
 func (r *Resolver) Resolve(urn string) ([]comm.Route, error) {
 	r.mu.Lock()
-	if e, ok := r.cache[urn]; ok && time.Now().Before(e.expires) {
+	ttl := r.ttl
+	if e, ok := r.cache[urn]; ok && ttl > 0 && time.Now().Before(e.expires) {
 		routes := e.routes
 		r.mu.Unlock()
 		return routes, nil
 	}
-	ttl := r.ttl
 	r.mu.Unlock()
 
 	vals, err := r.cat.Values(urn, rcds.AttrCommAddr)
@@ -143,9 +151,11 @@ func (r *Resolver) Resolve(urn string) ([]comm.Route, error) {
 		}
 		routes = append(routes, route)
 	}
-	r.mu.Lock()
-	r.cache[urn] = cacheEntry{routes: routes, expires: time.Now().Add(ttl)}
-	r.mu.Unlock()
+	if ttl > 0 {
+		r.mu.Lock()
+		r.cache[urn] = cacheEntry{routes: routes, expires: time.Now().Add(ttl)}
+		r.mu.Unlock()
+	}
 	return routes, nil
 }
 

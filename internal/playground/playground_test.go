@@ -48,7 +48,7 @@ func newPGWorld(t *testing.T) *pgWorld {
 	t.Cleanup(fs.Close)
 
 	ep := comm.NewEndpoint("urn:publisher", comm.WithResolver(naming.NewResolver(cat)))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ halt`
 
 	// A collector endpoint to receive the result.
 	ep := comm.NewEndpoint("urn:collector", comm.WithResolver(naming.NewResolver(w.cat)))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,38 +1,201 @@
 package rcds
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"snipe/internal/stats"
 	"snipe/internal/xdr"
 )
+
+// errConnBroken marks a request whose connection died before the
+// response arrived; roundTrip re-issues such requests against the next
+// replica.
+var errConnBroken = errors.New("rcds: connection broken")
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("rcds: client closed")
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithReadCache enables the client-side read cache: Get, Values and
+// FirstValue results are served locally and invalidated by a watch
+// goroutine riding the server's Wait long-poll sequence numbers, so
+// repeated resolves of stable URNs cost zero round trips. See DESIGN.md
+// for the coherence rule.
+func WithReadCache() ClientOption {
+	return func(c *Client) { c.cache = newReadCache() }
+}
+
+// WithTimeout sets the initial per-request dial/IO timeout.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// call is one in-flight request awaiting its response frame.
+type call struct {
+	ch chan callResult
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// clientConn is one multiplexed connection to a replica: a writer lock
+// serialises frame writes, a reader goroutine demultiplexes responses
+// to pending calls by request ID.
+type clientConn struct {
+	c      net.Conn
+	secret []byte
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	broken  bool
+	err     error
+}
+
+// register records a pending call for id.
+func (cc *clientConn) register(id uint64) (*call, error) {
+	cl := &call{ch: make(chan callResult, 1)}
+	cc.mu.Lock()
+	if cc.broken {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", errConnBroken, err)
+	}
+	cc.pending[id] = cl
+	cc.mu.Unlock()
+	return cl, nil
+}
+
+// unregister abandons a pending call (context expiry); a late response
+// for the id is discarded by the read loop.
+func (cc *clientConn) unregister(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// fail marks the connection dead and completes every pending call with
+// errConnBroken so waiters can fail over.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.broken {
+		cc.mu.Unlock()
+		return
+	}
+	cc.broken = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = make(map[uint64]*call)
+	cc.mu.Unlock()
+	cc.c.Close()
+	for _, cl := range pending {
+		cl.ch <- callResult{err: fmt.Errorf("%w: %v", errConnBroken, err)}
+	}
+}
+
+// readLoop demultiplexes response frames to their pending calls.
+func (cc *clientConn) readLoop() {
+	for {
+		frame, err := readFrame(cc.c, cc.secret)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		id, body, err := splitMux(frame)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		cl, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if ok {
+			cl.ch <- callResult{body: body}
+		}
+	}
+}
+
+// writeRequest frames and writes one request under the writer lock.
+func (cc *clientConn) writeRequest(id uint64, req []byte, deadline time.Time) error {
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	cc.c.SetWriteDeadline(deadline)
+	return writeFrame(cc.c, muxBody(id, req), cc.secret)
+}
 
 // Client talks to a set of RC server replicas. Because the registry is
 // master–master, any replica can serve any request; the client fails
 // over to the next replica when one is unreachable, which is how SNIPE
 // clients ride out RC server crashes (the availability property of §6).
-// Client is safe for concurrent use; requests are serialised over one
-// connection at a time.
+//
+// Client is safe for concurrent use, and requests are multiplexed: any
+// number of goroutines share one persistent connection per replica,
+// each request carrying a wire-level ID so responses are matched out of
+// order. A slow request (a Wait long-poll, a large OpsSince) never
+// blocks concurrent lookups. When a connection dies, unanswered
+// requests are re-issued against the next replica.
 type Client struct {
 	addrs  []string
 	secret []byte
 
 	mu      sync.Mutex
-	conn    net.Conn
-	current int // index into addrs of the connected server
+	conn    *clientConn
+	current int // index into addrs of the (next) server
 	timeout time.Duration
+	closed  bool
+
+	nextID   atomic.Uint64
+	inflight atomic.Int64
+
+	cache       *readCache // nil = caching disabled
+	watchCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	// Telemetry (see internal/stats); pointers captured at construction.
+	metrics    *stats.Registry
+	mRequests  *stats.Counter
+	mFailovers *stats.Counter
+	mCacheHits *stats.Counter
+	mCacheMiss *stats.Counter
+	gInflight  *stats.Gauge
 }
 
 // NewClient returns a client over the given replica addresses. secret
 // enables HMAC authentication and must match the servers'.
-func NewClient(addrs []string, secret []byte) *Client {
-	return &Client{
+func NewClient(addrs []string, secret []byte, opts ...ClientOption) *Client {
+	c := &Client{
 		addrs:   append([]string(nil), addrs...),
 		secret:  secret,
 		timeout: 5 * time.Second,
+		metrics: stats.NewRegistry(),
 	}
+	c.mRequests = c.metrics.Counter("requests")
+	c.mFailovers = c.metrics.Counter("failovers")
+	c.mCacheHits = c.metrics.Counter("cache_hits")
+	c.mCacheMiss = c.metrics.Counter("cache_misses")
+	c.gInflight = c.metrics.Gauge("inflight")
+	for _, o := range opts {
+		o(c)
+	}
+	if c.cache != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		c.watchCancel = cancel
+		c.wg.Add(1)
+		go c.watchLoop(ctx)
+	}
+	return c
 }
 
 // SetTimeout sets the per-request dial/IO timeout.
@@ -49,144 +212,329 @@ func (c *Client) Servers() []string {
 	return append([]string(nil), c.addrs...)
 }
 
-// Close drops the current connection.
+// ReadCacheActive reports whether the client caches reads locally.
+// naming.Resolver uses this to skip its own TTL cache and ride the
+// client's watch-invalidated one instead.
+func (c *Client) ReadCacheActive() bool { return c.cache != nil }
+
+// Metrics returns the client's live metric registry.
+func (c *Client) Metrics() *stats.Registry { return c.metrics }
+
+// MetricsSnapshot captures the client's metrics — request, failover and
+// cache counters plus the in-flight depth gauge. A daemon whose catalog
+// is a remote Client composes this into its /stats output under the
+// "rcds." prefix.
+func (c *Client) MetricsSnapshot() stats.Snapshot {
+	c.gInflight.Set(float64(c.inflight.Load()))
+	return c.metrics.Snapshot()
+}
+
+// Close stops the watch goroutine and drops the current connection.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if c.watchCancel != nil {
+		c.watchCancel()
+	}
+	if conn != nil {
+		conn.fail(ErrClientClosed)
+	}
+	c.wg.Wait()
+}
+
+// getConn returns the live multiplexed connection, dialing the current
+// replica if none is up. A dial failure advances to the next replica.
+func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
 	if c.conn != nil {
-		c.conn.Close()
+		c.conn.mu.Lock()
+		broken := c.conn.broken
+		c.conn.mu.Unlock()
+		if !broken {
+			cc := c.conn
+			c.mu.Unlock()
+			return cc, nil
+		}
 		c.conn = nil
+	}
+	addr := c.addrs[c.current%len(c.addrs)]
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.current++ // the next dial tries the next replica
+		return nil, err
+	}
+	if c.closed {
+		conn.Close()
+		return nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		// A concurrent caller connected first; keep theirs.
+		conn.Close()
+		return c.conn, nil
+	}
+	cc := &clientConn{c: conn, secret: c.secret, pending: make(map[uint64]*call)}
+	c.conn = cc
+	go cc.readLoop()
+	return cc, nil
+}
+
+// connFailed retires a dead connection and advances to the next
+// replica. Only the first caller to notice the failure advances the
+// cursor; cached reads are flushed because the next replica's Wait
+// sequence numbering is not comparable to the old one's.
+func (c *Client) connFailed(cc *clientConn) {
+	c.mu.Lock()
+	if c.conn == cc {
+		c.conn = nil
+		c.current++
+		c.mFailovers.Inc()
+	}
+	c.mu.Unlock()
+	if c.cache != nil {
+		c.cache.invalidateAll()
 	}
 }
 
-// roundTrip sends req and returns the response payload decoder, failing
-// over across replicas. extraTimeout widens the IO deadline for
-// long-poll requests.
-func (c *Client) roundTrip(req []byte, extraTimeout time.Duration) (*xdr.Decoder, error) {
+// roundTrip sends req and returns the response payload decoder. The
+// request is issued over the shared multiplexed connection; if that
+// connection dies before the response arrives, the request is re-issued
+// against the next replica (as many times as there are replicas).
+func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.addrs) == 0 {
+	n := len(c.addrs)
+	timeout := c.timeout
+	c.mu.Unlock()
+	if n == 0 {
 		return nil, ErrNoServers
 	}
+	c.mRequests.Inc()
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+
 	var lastErr error
-	for attempt := 0; attempt < len(c.addrs)+1; attempt++ {
-		if c.conn == nil {
-			idx := (c.current + attempt) % len(c.addrs)
-			conn, err := net.DialTimeout("tcp", c.addrs[idx], c.timeout)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			c.conn = conn
-			c.current = idx
+	for attempt := 0; attempt < n+1; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		c.conn.SetDeadline(time.Now().Add(c.timeout + extraTimeout))
-		if err := writeFrame(c.conn, req, c.secret); err != nil {
+		cc, err := c.getConn(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, err
+			}
 			lastErr = err
-			c.conn.Close()
-			c.conn = nil
 			continue
 		}
-		body, err := readFrame(c.conn, c.secret)
+		id := c.nextID.Add(1)
+		cl, err := cc.register(id)
 		if err != nil {
 			lastErr = err
-			c.conn.Close()
-			c.conn = nil
+			c.connFailed(cc)
 			continue
 		}
-		return parseResponse(body)
+		if err := cc.writeRequest(id, req, time.Now().Add(timeout)); err != nil {
+			cc.unregister(id)
+			cc.fail(err)
+			lastErr = err
+			c.connFailed(cc)
+			continue
+		}
+		select {
+		case res := <-cl.ch:
+			if res.err != nil {
+				lastErr = res.err
+				c.connFailed(cc)
+				continue
+			}
+			return parseResponse(res.body)
+		case <-ctx.Done():
+			cc.unregister(id)
+			return nil, ctx.Err()
+		}
 	}
 	return nil, fmt.Errorf("%w (last: %v)", ErrNoServers, lastErr)
 }
 
-// Ping checks connectivity, returning the responding server's origin ID.
-func (c *Client) Ping() (string, error) {
-	d, err := c.roundTrip(request(cmdPing, nil), 0)
+// opCtx builds the context legacy (timeout-signature) wrappers use:
+// the configured per-request timeout plus any long-poll allowance.
+func (c *Client) opCtx(extra time.Duration) (context.Context, context.CancelFunc) {
+	c.mu.Lock()
+	timeout := c.timeout
+	c.mu.Unlock()
+	return context.WithTimeout(context.Background(), timeout+extra)
+}
+
+// PingContext checks connectivity, returning the responding server's
+// origin ID.
+func (c *Client) PingContext(ctx context.Context) (string, error) {
+	d, err := c.roundTrip(ctx, request(cmdPing, nil))
 	if err != nil {
 		return "", err
 	}
 	return d.String()
 }
 
-// Set makes value the sole live value of (uri, name).
-func (c *Client) Set(uri, name, value string) error {
-	_, err := c.roundTrip(request(cmdSet, func(e *xdr.Encoder) {
+// SetContext makes value the sole live value of (uri, name).
+func (c *Client) SetContext(ctx context.Context, uri, name, value string) error {
+	_, err := c.roundTrip(ctx, request(cmdSet, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
-	}), 0)
+	}))
+	c.invalidateWrite(uri, err)
 	return err
 }
 
-// Add inserts value as an additional live value of (uri, name).
-func (c *Client) Add(uri, name, value string) error {
-	_, err := c.roundTrip(request(cmdAdd, func(e *xdr.Encoder) {
+// AddContext inserts value as an additional live value of (uri, name).
+func (c *Client) AddContext(ctx context.Context, uri, name, value string) error {
+	_, err := c.roundTrip(ctx, request(cmdAdd, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
-	}), 0)
+	}))
+	c.invalidateWrite(uri, err)
 	return err
 }
 
-// AddSigned inserts a value with a detached signature by signer.
-func (c *Client) AddSigned(uri, name, value, signer string, sig []byte) error {
-	_, err := c.roundTrip(request(cmdAddSigned, func(e *xdr.Encoder) {
+// AddSignedContext inserts a value with a detached signature by signer.
+func (c *Client) AddSignedContext(ctx context.Context, uri, name, value, signer string, sig []byte) error {
+	_, err := c.roundTrip(ctx, request(cmdAddSigned, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
 		e.PutString(signer)
 		e.PutBytes(sig)
-	}), 0)
+	}))
+	c.invalidateWrite(uri, err)
 	return err
 }
 
-// Remove tombstones the (uri, name, value) element.
-func (c *Client) Remove(uri, name, value string) error {
-	_, err := c.roundTrip(request(cmdRemove, func(e *xdr.Encoder) {
+// RemoveContext tombstones the (uri, name, value) element.
+func (c *Client) RemoveContext(ctx context.Context, uri, name, value string) error {
+	_, err := c.roundTrip(ctx, request(cmdRemove, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
-	}), 0)
+	}))
+	c.invalidateWrite(uri, err)
 	return err
 }
 
-// RemoveAll tombstones every live value of (uri, name).
-func (c *Client) RemoveAll(uri, name string) error {
-	_, err := c.roundTrip(request(cmdRemoveAll, func(e *xdr.Encoder) {
+// RemoveAllContext tombstones every live value of (uri, name).
+func (c *Client) RemoveAllContext(ctx context.Context, uri, name string) error {
+	_, err := c.roundTrip(ctx, request(cmdRemoveAll, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
-	}), 0)
+	}))
+	c.invalidateWrite(uri, err)
 	return err
 }
 
-// Get returns the live assertions for uri.
-func (c *Client) Get(uri string) ([]Assertion, error) {
-	d, err := c.roundTrip(request(cmdGet, func(e *xdr.Encoder) { e.PutString(uri) }), 0)
+// invalidateWrite drops cached reads for a URI this client just wrote,
+// preserving read-your-writes before the watch notices the version
+// advance.
+func (c *Client) invalidateWrite(uri string, err error) {
+	if c.cache != nil && err == nil {
+		c.cache.invalidateURI(uri)
+	}
+}
+
+// GetContext returns the live assertions for uri.
+func (c *Client) GetContext(ctx context.Context, uri string) ([]Assertion, error) {
+	if c.cache != nil {
+		if as, ok := c.cache.lookupGet(uri); ok {
+			c.mCacheHits.Inc()
+			return as, nil
+		}
+		c.mCacheMiss.Inc()
+		epoch := c.cache.epochNow()
+		as, err := c.getRemote(ctx, uri)
+		if err == nil {
+			c.cache.storeGet(uri, as, epoch)
+		}
+		return as, err
+	}
+	return c.getRemote(ctx, uri)
+}
+
+func (c *Client) getRemote(ctx context.Context, uri string) ([]Assertion, error) {
+	d, err := c.roundTrip(ctx, request(cmdGet, func(e *xdr.Encoder) { e.PutString(uri) }))
 	if err != nil {
 		return nil, err
 	}
 	return DecodeAssertions(d)
 }
 
-// Values returns the live values of (uri, name).
-func (c *Client) Values(uri, name string) ([]string, error) {
-	d, err := c.roundTrip(request(cmdValues, func(e *xdr.Encoder) {
+// ValuesContext returns the live values of (uri, name).
+func (c *Client) ValuesContext(ctx context.Context, uri, name string) ([]string, error) {
+	if c.cache != nil {
+		if vals, ok := c.cache.lookupValues(uri, name); ok {
+			c.mCacheHits.Inc()
+			return vals, nil
+		}
+		c.mCacheMiss.Inc()
+		epoch := c.cache.epochNow()
+		vals, err := c.valuesRemote(ctx, uri, name)
+		if err == nil {
+			c.cache.storeValues(uri, name, vals, epoch)
+		}
+		return vals, err
+	}
+	return c.valuesRemote(ctx, uri, name)
+}
+
+func (c *Client) valuesRemote(ctx context.Context, uri, name string) ([]string, error) {
+	d, err := c.roundTrip(ctx, request(cmdValues, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
-	}), 0)
+	}))
 	if err != nil {
 		return nil, err
 	}
 	return d.StringSlice()
 }
 
-// FirstValue returns the most recently written live value of
+// FirstValueContext returns the most recently written live value of
 // (uri, name).
-func (c *Client) FirstValue(uri, name string) (string, bool, error) {
-	d, err := c.roundTrip(request(cmdFirst, func(e *xdr.Encoder) {
+func (c *Client) FirstValueContext(ctx context.Context, uri, name string) (string, bool, error) {
+	if c.cache != nil {
+		if v, ok, hit := c.cache.lookupFirst(uri, name); hit {
+			c.mCacheHits.Inc()
+			return v, ok, nil
+		}
+		c.mCacheMiss.Inc()
+		epoch := c.cache.epochNow()
+		v, ok, err := c.firstRemote(ctx, uri, name)
+		if err == nil {
+			c.cache.storeFirst(uri, name, v, ok, epoch)
+		}
+		return v, ok, err
+	}
+	return c.firstRemote(ctx, uri, name)
+}
+
+func (c *Client) firstRemote(ctx context.Context, uri, name string) (string, bool, error) {
+	d, err := c.roundTrip(ctx, request(cmdFirst, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
-	}), 0)
+	}))
 	if err != nil {
 		return "", false, err
 	}
@@ -198,41 +546,42 @@ func (c *Client) FirstValue(uri, name string) (string, bool, error) {
 	return v, ok, err
 }
 
-// URIs returns all catalogued URIs under prefix.
-func (c *Client) URIs(prefix string) ([]string, error) {
-	d, err := c.roundTrip(request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }), 0)
+// URIsContext returns all catalogued URIs under prefix.
+func (c *Client) URIsContext(ctx context.Context, prefix string) ([]string, error) {
+	d, err := c.roundTrip(ctx, request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }))
 	if err != nil {
 		return nil, err
 	}
 	return d.StringSlice()
 }
 
-// Vector returns the server's version vector.
-func (c *Client) Vector() (VersionVector, error) {
-	d, err := c.roundTrip(request(cmdVector, nil), 0)
+// VectorContext returns the server's version vector.
+func (c *Client) VectorContext(ctx context.Context) (VersionVector, error) {
+	d, err := c.roundTrip(ctx, request(cmdVector, nil))
 	if err != nil {
 		return nil, err
 	}
 	return DecodeVersionVector(d)
 }
 
-// OpsSince returns ops the holder of vector theirs has not seen.
-func (c *Client) OpsSince(theirs VersionVector, max int) ([]Assertion, error) {
-	d, err := c.roundTrip(request(cmdOpsSince, func(e *xdr.Encoder) {
+// OpsSinceContext returns ops the holder of vector theirs has not seen.
+func (c *Client) OpsSinceContext(ctx context.Context, theirs VersionVector, max int) ([]Assertion, error) {
+	d, err := c.roundTrip(ctx, request(cmdOpsSince, func(e *xdr.Encoder) {
 		theirs.Encode(e)
 		e.PutUint32(uint32(max))
-	}), 0)
+	}))
 	if err != nil {
 		return nil, err
 	}
 	return DecodeAssertions(d)
 }
 
-// Apply pushes replication ops to the server (peer-to-peer path).
-func (c *Client) Apply(ops []Assertion) (int, error) {
-	d, err := c.roundTrip(request(cmdApply, func(e *xdr.Encoder) {
+// ApplyContext pushes replication ops to the server (peer-to-peer
+// path).
+func (c *Client) ApplyContext(ctx context.Context, ops []Assertion) (int, error) {
+	d, err := c.roundTrip(ctx, request(cmdApply, func(e *xdr.Encoder) {
 		EncodeAssertions(e, ops)
-	}), 0)
+	}))
 	if err != nil {
 		return 0, err
 	}
@@ -240,22 +589,24 @@ func (c *Client) Apply(ops []Assertion) (int, error) {
 	return int(n), err
 }
 
-// Wait long-polls until the server's catalog version exceeds since or
-// the timeout elapses, returning the current version.
-func (c *Client) Wait(since uint64, timeout time.Duration) (uint64, error) {
-	d, err := c.roundTrip(request(cmdWait, func(e *xdr.Encoder) {
+// WaitContext long-polls until the server's catalog version exceeds
+// since or the server-side timeout elapses, returning the current
+// version. ctx must outlive the server-side timeout for the poll to
+// complete normally.
+func (c *Client) WaitContext(ctx context.Context, since uint64, timeout time.Duration) (uint64, error) {
+	d, err := c.roundTrip(ctx, request(cmdWait, func(e *xdr.Encoder) {
 		e.PutUint64(since)
 		e.PutUint32(uint32(timeout / time.Millisecond))
-	}), timeout)
+	}))
 	if err != nil {
 		return 0, err
 	}
 	return d.Uint64()
 }
 
-// Stats returns (uris, live elements, tombstones) on the server.
-func (c *Client) Stats() (uris, elems, tombs int, err error) {
-	d, err := c.roundTrip(request(cmdStats, nil), 0)
+// StatsContext returns (uris, live elements, tombstones) on the server.
+func (c *Client) StatsContext(ctx context.Context) (uris, elems, tombs int, err error) {
+	d, err := c.roundTrip(ctx, request(cmdStats, nil))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -274,34 +625,190 @@ func (c *Client) Stats() (uris, elems, tombs int, err error) {
 	return int(u), int(el), int(tb), nil
 }
 
-// WaitFor polls until (uri, name) has a live value or the timeout
-// elapses — the client-side rendezvous primitive SNIPE components use
-// to wait for each other's metadata to appear.
-func (c *Client) WaitFor(uri, name string, timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
+// WaitForContext polls until (uri, name) has a live value or ctx ends —
+// the client-side rendezvous primitive SNIPE components use to wait for
+// each other's metadata to appear.
+func (c *Client) WaitForContext(ctx context.Context, uri, name string) (string, error) {
 	var version uint64
 	for {
-		v, ok, err := c.FirstValue(uri, name)
+		v, ok, err := c.FirstValueContext(ctx, uri, name)
 		if err == nil && ok {
 			return v, nil
 		}
-		if time.Now().After(deadline) {
+		if ctxErr := ctx.Err(); ctxErr != nil {
 			if err != nil {
 				return "", fmt.Errorf("rcds: waiting for %s %s: %w", uri, name, err)
 			}
 			return "", fmt.Errorf("rcds: timeout waiting for %s %s", uri, name)
 		}
-		remaining := time.Until(deadline)
 		pollWait := 200 * time.Millisecond
-		if remaining < pollWait {
-			pollWait = remaining
+		if deadline, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(deadline); remaining < pollWait {
+				pollWait = remaining
+			}
+		}
+		if pollWait <= 0 {
+			continue
 		}
 		// Use the long-poll to avoid busy-waiting; ignore errors, the
 		// next FirstValue will fail over.
-		if nv, err := c.Wait(version, pollWait); err == nil {
+		if nv, err := c.WaitContext(ctx, version, pollWait); err == nil {
 			version = nv
-		} else {
+		} else if ctx.Err() == nil {
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
+}
+
+// ---- Deprecated timeout-signature wrappers -------------------------
+//
+// Each wraps its context-first counterpart with the configured
+// per-request timeout, so existing callers keep working while new code
+// passes a context.
+
+// Ping checks connectivity.
+//
+// Deprecated: use PingContext.
+func (c *Client) Ping() (string, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.PingContext(ctx)
+}
+
+// Set makes value the sole live value of (uri, name).
+//
+// Deprecated: use SetContext.
+func (c *Client) Set(uri, name, value string) error {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.SetContext(ctx, uri, name, value)
+}
+
+// Add inserts value as an additional live value of (uri, name).
+//
+// Deprecated: use AddContext.
+func (c *Client) Add(uri, name, value string) error {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.AddContext(ctx, uri, name, value)
+}
+
+// AddSigned inserts a value with a detached signature by signer.
+//
+// Deprecated: use AddSignedContext.
+func (c *Client) AddSigned(uri, name, value, signer string, sig []byte) error {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.AddSignedContext(ctx, uri, name, value, signer, sig)
+}
+
+// Remove tombstones the (uri, name, value) element.
+//
+// Deprecated: use RemoveContext.
+func (c *Client) Remove(uri, name, value string) error {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.RemoveContext(ctx, uri, name, value)
+}
+
+// RemoveAll tombstones every live value of (uri, name).
+//
+// Deprecated: use RemoveAllContext.
+func (c *Client) RemoveAll(uri, name string) error {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.RemoveAllContext(ctx, uri, name)
+}
+
+// Get returns the live assertions for uri.
+//
+// Deprecated: use GetContext.
+func (c *Client) Get(uri string) ([]Assertion, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.GetContext(ctx, uri)
+}
+
+// Values returns the live values of (uri, name).
+//
+// Deprecated: use ValuesContext.
+func (c *Client) Values(uri, name string) ([]string, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.ValuesContext(ctx, uri, name)
+}
+
+// FirstValue returns the most recently written live value of
+// (uri, name).
+//
+// Deprecated: use FirstValueContext.
+func (c *Client) FirstValue(uri, name string) (string, bool, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.FirstValueContext(ctx, uri, name)
+}
+
+// URIs returns all catalogued URIs under prefix.
+//
+// Deprecated: use URIsContext.
+func (c *Client) URIs(prefix string) ([]string, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.URIsContext(ctx, prefix)
+}
+
+// Vector returns the server's version vector.
+//
+// Deprecated: use VectorContext.
+func (c *Client) Vector() (VersionVector, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.VectorContext(ctx)
+}
+
+// OpsSince returns ops the holder of vector theirs has not seen.
+//
+// Deprecated: use OpsSinceContext.
+func (c *Client) OpsSince(theirs VersionVector, max int) ([]Assertion, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.OpsSinceContext(ctx, theirs, max)
+}
+
+// Apply pushes replication ops to the server (peer-to-peer path).
+//
+// Deprecated: use ApplyContext.
+func (c *Client) Apply(ops []Assertion) (int, error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.ApplyContext(ctx, ops)
+}
+
+// Wait long-polls until the server's catalog version exceeds since or
+// the timeout elapses, returning the current version.
+//
+// Deprecated: use WaitContext.
+func (c *Client) Wait(since uint64, timeout time.Duration) (uint64, error) {
+	ctx, cancel := c.opCtx(timeout)
+	defer cancel()
+	return c.WaitContext(ctx, since, timeout)
+}
+
+// Stats returns (uris, live elements, tombstones) on the server.
+//
+// Deprecated: use StatsContext.
+func (c *Client) Stats() (uris, elems, tombs int, err error) {
+	ctx, cancel := c.opCtx(0)
+	defer cancel()
+	return c.StatsContext(ctx)
+}
+
+// WaitFor polls until (uri, name) has a live value or the timeout
+// elapses.
+//
+// Deprecated: use WaitForContext.
+func (c *Client) WaitFor(uri, name string, timeout time.Duration) (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitForContext(ctx, uri, name)
 }

@@ -1,0 +1,388 @@
+package rcds
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"snipe/internal/xdr"
+)
+
+// startTestServer starts a server over a fresh store with the given
+// per-dispatch delay (0 = none) and registers cleanup.
+func startTestServer(t testing.TB, origin string, delay time.Duration) *Server {
+	t.Helper()
+	s := NewServer(NewStore(origin))
+	s.testDelay = delay
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRequestOverlap proves out-of-order responses on one connection:
+// a Wait long-poll (the delayed response) is outstanding while a Get
+// issued after it on the same connection completes first.
+func TestRequestOverlap(t *testing.T) {
+	s := startTestServer(t, "overlap", 0)
+	c := NewClient([]string{s.Addr()}, nil)
+	defer c.Close()
+
+	if err := c.Set("urn:x", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := c.Wait(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitDone := make(chan error, 1)
+	go func() {
+		// Long-poll that cannot complete until its server-side timeout:
+		// nothing writes while it is pending.
+		_, err := c.WaitContext(context.Background(), ver, 1500*time.Millisecond)
+		waitDone <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the long-poll reach the server
+
+	start := time.Now()
+	if _, err := c.GetContext(context.Background(), "urn:x"); err != nil {
+		t.Fatalf("get during long-poll: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	select {
+	case err := <-waitDone:
+		t.Fatalf("long-poll finished before the later Get (err=%v)", err)
+	default:
+	}
+	if elapsed > 700*time.Millisecond {
+		t.Fatalf("get took %v; it was blocked behind the long-poll", elapsed)
+	}
+	if err := <-waitDone; err != nil {
+		t.Fatalf("long-poll: %v", err)
+	}
+	// Single replica, no failovers: everything rode one connection.
+	snap := c.MetricsSnapshot()
+	if snap.Counters["failovers"] != 0 {
+		t.Fatalf("failovers = %d, want 0", snap.Counters["failovers"])
+	}
+}
+
+// TestConcurrentLookupsOneConnection overlaps Get and Values from many
+// goroutines over the single shared connection.
+func TestConcurrentLookupsOneConnection(t *testing.T) {
+	s := startTestServer(t, "mux", 2*time.Millisecond)
+	c := NewClient([]string{s.Addr()}, nil)
+	defer c.Close()
+
+	for i := 0; i < 4; i++ {
+		if err := c.Set(fmt.Sprintf("urn:m%d", i), "k", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 16
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			uri := fmt.Sprintf("urn:m%d", g%4)
+			want := fmt.Sprintf("v%d", g%4)
+			for i := 0; i < iters; i++ {
+				if g%2 == 0 {
+					as, err := c.GetContext(context.Background(), uri)
+					if err != nil || len(as) != 1 || as[0].Value != want {
+						errs <- fmt.Errorf("get %s: %v %v", uri, as, err)
+						return
+					}
+				} else {
+					vals, err := c.ValuesContext(context.Background(), uri, "k")
+					if err != nil || len(vals) != 1 || vals[0] != want {
+						errs <- fmt.Errorf("values %s: %v %v", uri, vals, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if f := c.MetricsSnapshot().Counters["failovers"]; f != 0 {
+		t.Fatalf("failovers = %d, want 0 (single healthy replica)", f)
+	}
+}
+
+// TestFailoverMidStream kills the replica serving a batch of in-flight
+// requests; the unanswered requests are re-issued against the next
+// replica and every caller still gets its answer.
+func TestFailoverMidStream(t *testing.T) {
+	s0 := NewServer(NewStore("f0"))
+	s0.testDelay = 150 * time.Millisecond // holds requests in flight
+	if err := s0.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	s1 := startTestServer(t, "f1", 0)
+
+	// Both replicas hold the value (as after anti-entropy).
+	s0.Store().Set("urn:f", "k", "v")
+	s1.Store().Set("urn:f", "k", "v")
+
+	c := NewClient([]string{s0.Addr(), s1.Addr()}, nil)
+	defer c.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			v, ok, err := c.FirstValueContext(ctx, "urn:f", "k")
+			if err != nil || !ok || v != "v" {
+				errs <- fmt.Errorf("first value: %q %v %v", v, ok, err)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // requests are now parked in s0's delay
+	s0.Close()                        // kill the replica mid-stream
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if f := c.MetricsSnapshot().Counters["failovers"]; f == 0 {
+		t.Fatal("no failover recorded despite a killed replica")
+	}
+}
+
+// TestReadCacheCoherence checks the coherence rule: after a remote
+// write is observed via the Wait sequence, the next FirstValue returns
+// the new value; between writes, reads are served from cache.
+func TestReadCacheCoherence(t *testing.T) {
+	s := startTestServer(t, "coh", 0)
+	writer := NewClient([]string{s.Addr()}, nil)
+	defer writer.Close()
+	reader := NewClient([]string{s.Addr()}, nil, WithReadCache())
+	defer reader.Close()
+
+	if err := writer.Set("urn:c", "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cache serves only after the watch loop has established its
+	// baseline sequence; poll until a repeated read registers a hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, ok, err := reader.FirstValueContext(context.Background(), "urn:c", "k")
+		if err != nil || !ok || v != "v1" {
+			t.Fatalf("read v1: %q %v %v", v, ok, err)
+		}
+		if reader.MetricsSnapshot().Counters["cache_hits"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cache never started serving hits")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Remote write by a different client: invisible to the reader's
+	// local invalidation, only the watch can deliver it.
+	if err := writer.Set("urn:c", "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		v, _, err := reader.FirstValueContext(context.Background(), "urn:c", "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cached value never converged: still %q", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Local writes invalidate immediately (read-your-writes).
+	if err := reader.SetContext(context.Background(), "urn:c", "k", "v3"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := reader.FirstValueContext(context.Background(), "urn:c", "k"); err != nil || v != "v3" {
+		t.Fatalf("read-your-writes: %q %v", v, err)
+	}
+
+	snap := reader.MetricsSnapshot()
+	for _, key := range []string{"cache_hits", "cache_misses", "requests", "failovers"} {
+		if _, ok := snap.Counters[key]; !ok {
+			t.Fatalf("metrics snapshot missing %q: %v", key, snap.Counters)
+		}
+	}
+	if snap.Counters["cache_hits"] == 0 || snap.Counters["cache_misses"] == 0 {
+		t.Fatalf("cache counters not moving: %v", snap.Counters)
+	}
+}
+
+// serialClient mimics the seed client's wire behaviour: one request at
+// a time per connection, the next request waiting for the previous
+// response. It speaks the current mux framing so both sides of the
+// throughput comparison share transport and server costs.
+type serialClient struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+func dialSerial(t testing.TB, addr string) *serialClient {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &serialClient{conn: conn}
+}
+
+func (sc *serialClient) firstValue(uri, name string) (string, bool, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.nextID++
+	req := request(cmdFirst, func(e *xdr.Encoder) {
+		e.PutString(uri)
+		e.PutString(name)
+	})
+	if err := writeFrame(sc.conn, muxBody(sc.nextID, req), nil); err != nil {
+		return "", false, err
+	}
+	frame, err := readFrame(sc.conn, nil)
+	if err != nil {
+		return "", false, err
+	}
+	_, body, err := splitMux(frame)
+	if err != nil {
+		return "", false, err
+	}
+	d, err := parseResponse(body)
+	if err != nil {
+		return "", false, err
+	}
+	ok, err := d.Bool()
+	if err != nil {
+		return "", false, err
+	}
+	v, err := d.String()
+	return v, ok, err
+}
+
+// runLookups fans out callers goroutines, each performing iters lookups
+// through fn, and returns the wall-clock time for all to finish.
+func runLookups(t testing.TB, callers, iters int, fn func() error) time.Duration {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	start := time.Now()
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				if err := fn(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+// TestMuxThroughputSpeedup is the acceptance benchmark in test form:
+// with 8 concurrent callers against a server with a fixed per-request
+// service time, the multiplexed client must deliver at least 4x the
+// lookup throughput of the seed-style serial client.
+func TestMuxThroughputSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based comparison")
+	}
+	const delay = 5 * time.Millisecond
+	const callers = 8
+	const iters = 20
+
+	s := startTestServer(t, "thr", delay)
+	s.Store().Set("urn:t", "k", "v")
+
+	serial := dialSerial(t, s.Addr())
+	serialTime := runLookups(t, callers, iters, func() error {
+		_, _, err := serial.firstValue("urn:t", "k")
+		return err
+	})
+
+	mux := NewClient([]string{s.Addr()}, nil)
+	defer mux.Close()
+	muxTime := runLookups(t, callers, iters, func() error {
+		_, _, err := mux.FirstValueContext(context.Background(), "urn:t", "k")
+		return err
+	})
+
+	speedup := float64(serialTime) / float64(muxTime)
+	t.Logf("serial=%v mux=%v speedup=%.1fx", serialTime, muxTime, speedup)
+	if speedup < 4 {
+		t.Fatalf("mux speedup %.1fx < 4x (serial=%v mux=%v)", speedup, serialTime, muxTime)
+	}
+}
+
+// BenchmarkCatalogLookup8 measures 8-way concurrent FirstValue
+// throughput through the multiplexed client.
+func BenchmarkCatalogLookup8(b *testing.B) {
+	s := startTestServer(b, "bench-mux", 0)
+	s.Store().Set("urn:b", "k", "v")
+	c := NewClient([]string{s.Addr()}, nil)
+	defer c.Close()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := c.FirstValueContext(context.Background(), "urn:b", "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCatalogLookupSerial8 is the seed-style baseline: 8 callers
+// serialised over one connection.
+func BenchmarkCatalogLookupSerial8(b *testing.B) {
+	s := startTestServer(b, "bench-serial", 0)
+	s.Store().Set("urn:b", "k", "v")
+	sc := dialSerial(b, s.Addr())
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := sc.firstValue("urn:b", "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

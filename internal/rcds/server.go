@@ -1,6 +1,7 @@
 package rcds
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,10 @@ import (
 
 	"snipe/internal/xdr"
 )
+
+// pushTimeout bounds one replication RPC (push or anti-entropy pull) to
+// a peer.
+const pushTimeout = 5 * time.Second
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -47,6 +52,11 @@ type Server struct {
 	wg       sync.WaitGroup
 	stopped  bool
 	pushFail int // push attempts that failed (peer down); healed by anti-entropy
+
+	// testDelay, when set before Start, stalls every request dispatch —
+	// the package tests' knob for proving request overlap and measuring
+	// serialized vs. multiplexed throughput under a fixed service time.
+	testDelay time.Duration
 }
 
 // NewServer creates a server over store. Call Start to begin serving.
@@ -154,23 +164,41 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// serveConn multiplexes one client connection: every request frame
+// carries an ID and is dispatched in its own goroutine, and responses
+// are written (under a per-connection writer lock) as they complete —
+// possibly out of order, so a long-poll never blocks a lookup.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
 	defer func() {
+		reqWG.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	for {
-		body, err := readFrame(conn, s.secret)
+		frame, err := readFrame(conn, s.secret)
 		if err != nil {
 			return
 		}
-		resp := s.dispatch(body)
-		if err := writeFrame(conn, resp, s.secret); err != nil {
+		id, body, err := splitMux(frame)
+		if err != nil {
 			return
 		}
+		reqWG.Add(1)
+		go func(id uint64, body []byte) {
+			defer reqWG.Done()
+			if s.testDelay > 0 {
+				time.Sleep(s.testDelay)
+			}
+			resp := s.dispatch(body)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			writeFrame(conn, muxBody(id, resp), s.secret)
+		}(id, body)
 	}
 }
 
@@ -308,7 +336,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
-		v := s.store.WaitVersion(since, time.Duration(timeoutMs)*time.Millisecond)
+		// Long-polls run in per-request goroutines and must not outlive
+		// the server: s.done cuts them short at shutdown.
+		v := s.store.WaitVersionCancel(since, time.Duration(timeoutMs)*time.Millisecond, s.done)
 		return okResponse(func(e *xdr.Encoder) { e.PutUint64(v) })
 
 	case cmdStats:
@@ -371,7 +401,10 @@ func (s *Server) pushLoop() {
 					c = NewClient([]string{peer}, s.secret)
 					clients[peer] = c
 				}
-				if _, err := c.Apply(ops); err != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+				_, err := c.ApplyContext(ctx, ops)
+				cancel()
+				if err != nil {
 					s.mu.Lock()
 					s.pushFail++
 					s.mu.Unlock()
@@ -406,7 +439,9 @@ func (s *Server) antiEntropyLoop() {
 					c = NewClient([]string{peer}, s.secret)
 					clients[peer] = c
 				}
-				ops, err := c.OpsSince(s.store.Vector(), 0)
+				ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
+				ops, err := c.OpsSinceContext(ctx, s.store.Vector(), 0)
+				cancel()
 				if err != nil {
 					continue // peer down; try again next tick
 				}

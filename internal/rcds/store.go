@@ -377,10 +377,38 @@ func (s *Store) Version() uint64 {
 // timeout elapses, returning the current version. It is the long-poll
 // primitive behind metadata change notification.
 func (s *Store) WaitVersion(since uint64, timeout time.Duration) uint64 {
+	return s.WaitVersionCancel(since, timeout, nil)
+}
+
+// WaitVersionCancel is WaitVersion with a cancellation channel
+// (typically a server's shutdown signal): when cancel closes, the wait
+// returns early with the current version. A nil cancel never fires.
+func (s *Store) WaitVersionCancel(since uint64, timeout time.Duration, cancel <-chan struct{}) uint64 {
 	deadline := time.Now().Add(timeout)
+	canceled := func() bool {
+		select {
+		case <-cancel:
+			return true
+		default:
+			return false
+		}
+	}
+	if cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cancel:
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.version <= since {
+	for s.version <= since && !canceled() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			break

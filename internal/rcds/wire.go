@@ -16,6 +16,12 @@ import (
 // length-prefixed binary protocol with optional HMAC-SHA256 message
 // authentication — the same shared-secret mechanism with a current hash
 // (see DESIGN.md substitutions).
+//
+// Framing is multiplexed: every request and response body begins with a
+// uint64 request ID chosen by the client. One connection carries many
+// in-flight requests; the server answers each in its own goroutine and
+// may write responses out of order, so a long-poll Wait never blocks a
+// concurrent Get on the same connection.
 const (
 	cmdPing uint8 = iota + 1
 	cmdSet
@@ -103,6 +109,23 @@ func readFrame(r io.Reader, secret []byte) ([]byte, error) {
 		return body, nil
 	}
 	return buf, nil
+}
+
+// muxBody prepends the request ID to a request or response body,
+// forming the frame body that goes on the wire (and under the MAC).
+func muxBody(id uint64, body []byte) []byte {
+	out := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint64(out, id)
+	copy(out[8:], body)
+	return out
+}
+
+// splitMux separates a frame body into its request ID and payload.
+func splitMux(frame []byte) (uint64, []byte, error) {
+	if len(frame) < 8 {
+		return 0, nil, errors.New("rcds: short mux frame")
+	}
+	return binary.BigEndian.Uint64(frame), frame[8:], nil
 }
 
 // request assembles cmd+payload into a frame body.

@@ -19,6 +19,7 @@
 package rm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -96,7 +97,7 @@ func NewManager(name string, cat naming.Catalog, listens []comm.Route) (*Manager
 	}
 	var routes []comm.Route
 	for _, l := range listens {
-		route, err := m.ep.Listen(l.Transport, l.Addr, l.NetName, l.RateBps, l.LatencyUs)
+		route, err := m.ep.Listen(l.Spec())
 		if err != nil {
 			m.ep.Close()
 			return nil, fmt.Errorf("rm: listen: %w", err)
@@ -377,13 +378,10 @@ func (c *Client) request(op uint8, body func(*xdr.Encoder)) (string, error) {
 }
 
 func (c *Client) awaitResp(rmURN string, reqID uint64, timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return "", comm.ErrTimeout
-		}
-		m, err := c.ep.RecvMatch(rmURN, task.TagRMResp, remaining)
+		m, err := c.ep.RecvMatchContext(ctx, rmURN, task.TagRMResp)
 		if err != nil {
 			return "", err
 		}

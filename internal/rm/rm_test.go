@@ -57,7 +57,7 @@ func (w *world) manager(name string) *Manager {
 func (w *world) client(urn string) *Client {
 	w.t.Helper()
 	ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(w.cat)))
-	route, err := ep.Listen("tcp", "127.0.0.1:0", "", 0, 0)
+	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		w.t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package task
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -322,13 +323,17 @@ func (c *Context) Send(dst string, tag uint32, payload []byte) error {
 // Recv receives the next message for this task, honouring suspension.
 func (c *Context) Recv(timeout time.Duration) (*comm.Message, error) {
 	c.pausePoint()
-	return c.endpoint.Recv(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.endpoint.RecvContext(ctx)
 }
 
 // RecvMatch receives selectively, honouring suspension.
 func (c *Context) RecvMatch(src string, tag uint32, timeout time.Duration) (*comm.Message, error) {
 	c.pausePoint()
-	return c.endpoint.RecvMatch(src, tag, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.endpoint.RecvMatchContext(ctx, src, tag)
 }
 
 // pausePoint blocks while the task is suspended — the cooperative
