@@ -1,0 +1,62 @@
+// Command snipe-lint runs the SNIPE-specific static-analysis suite
+// (ctxfirst, lockedio, xdrbound, statskey) over the packages matching
+// its arguments (default ./...).
+//
+// Exit status: 0 with no findings, 1 with findings, 2 on load or
+// internal errors. Suppress a finding with a mandatory-reason comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"snipe/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snipe-lint [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, *dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snipe-lint:", err)
+		os.Exit(2)
+	}
+	suite := lint.NewSuite(fset, lint.Analyzers())
+	for _, p := range pkgs {
+		if err := suite.RunPackage(p.Files, p.Pkg, p.Info); err != nil {
+			fmt.Fprintln(os.Stderr, "snipe-lint:", err)
+			os.Exit(2)
+		}
+	}
+	if err := suite.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "snipe-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range suite.Diags {
+		fmt.Println(d)
+	}
+	if len(suite.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "snipe-lint: %d finding(s)\n", len(suite.Diags))
+		os.Exit(1)
+	}
+}

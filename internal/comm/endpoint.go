@@ -1028,12 +1028,18 @@ func DecodeSequenceState(d *xdr.Decoder) (SequenceState, error) {
 	if err != nil {
 		return s, err
 	}
+	// Each mailbox entry costs at least 24 encoded bytes (two string
+	// lengths, tag, seq, payload length); a count beyond that is hostile.
+	if int64(n)*24 > int64(d.Remaining()) {
+		return s, fmt.Errorf("%w: mailbox count %d exceeds remaining %d bytes",
+			xdr.ErrStringTooLong, n, d.Remaining())
+	}
 	for i := uint32(0); i < n; i++ {
 		var m Message
-		if m.Src, err = d.String(); err != nil {
+		if m.Src, err = d.StringMax(maxWireURN); err != nil {
 			return s, err
 		}
-		if m.Dst, err = d.String(); err != nil {
+		if m.Dst, err = d.StringMax(maxWireURN); err != nil {
 			return s, err
 		}
 		if m.Tag, err = d.Uint32(); err != nil {
@@ -1042,7 +1048,7 @@ func DecodeSequenceState(d *xdr.Decoder) (SequenceState, error) {
 		if m.Seq, err = d.Uint64(); err != nil {
 			return s, err
 		}
-		if m.Payload, err = d.BytesCopy(); err != nil {
+		if m.Payload, err = d.BytesCopyMax(MaxMessageSize); err != nil {
 			return s, err
 		}
 		s.Mailbox = append(s.Mailbox, m)
@@ -1063,9 +1069,15 @@ func decodeU64Map(d *xdr.Decoder) (map[string]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := make(map[string]uint64, n)
+	// Each entry costs at least 12 encoded bytes (string length + u64);
+	// fail fast on hostile counts before the map preallocation below.
+	if int64(n)*12 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: map count %d exceeds remaining %d bytes",
+			xdr.ErrStringTooLong, n, d.Remaining())
+	}
+	m := make(map[string]uint64, min(int(n), 1024))
 	for i := uint32(0); i < n; i++ {
-		k, err := d.String()
+		k, err := d.StringMax(maxWireURN)
 		if err != nil {
 			return nil, err
 		}

@@ -56,6 +56,15 @@ var (
 // MaxMessageSize bounds a single application message.
 const MaxMessageSize = 64 << 20
 
+// Per-field wire-decode caps handed to the xdr *Max decoders, so a
+// corrupt or hostile length prefix fails fast instead of sizing an
+// allocation. Whole frames are already bounded by maxWireFrame; these
+// bound individual fields within one.
+const (
+	maxWireURN     = 4096         // URNs: src/dst names in hello/msg/ack frames
+	maxWirePayload = maxWireFrame // one fragment's payload
+)
+
 // Message is a received application message.
 type Message struct {
 	Src     string // sender URN
@@ -87,7 +96,7 @@ func encodeHello(urn string) []byte {
 }
 
 func decodeHello(d *xdr.Decoder) (string, error) {
-	return d.String()
+	return d.StringMax(maxWireURN)
 }
 
 func encodeMsgFrame(f *msgFrame) []byte {
@@ -106,10 +115,10 @@ func encodeMsgFrame(f *msgFrame) []byte {
 func decodeMsgFrame(d *xdr.Decoder) (*msgFrame, error) {
 	f := &msgFrame{}
 	var err error
-	if f.Src, err = d.String(); err != nil {
+	if f.Src, err = d.StringMax(maxWireURN); err != nil {
 		return nil, err
 	}
-	if f.Dst, err = d.String(); err != nil {
+	if f.Dst, err = d.StringMax(maxWireURN); err != nil {
 		return nil, err
 	}
 	if f.Tag, err = d.Uint32(); err != nil {
@@ -124,7 +133,7 @@ func decodeMsgFrame(d *xdr.Decoder) (*msgFrame, error) {
 	if f.FragCount, err = d.Uint32(); err != nil {
 		return nil, err
 	}
-	if f.Payload, err = d.BytesCopy(); err != nil {
+	if f.Payload, err = d.BytesCopyMax(maxWirePayload); err != nil {
 		return nil, err
 	}
 	if f.FragCount == 0 || f.FragIdx >= f.FragCount {
@@ -143,10 +152,10 @@ func encodeAck(src, dst string, seq uint64) []byte {
 }
 
 func decodeAck(d *xdr.Decoder) (src, dst string, seq uint64, err error) {
-	if src, err = d.String(); err != nil {
+	if src, err = d.StringMax(maxWireURN); err != nil {
 		return
 	}
-	if dst, err = d.String(); err != nil {
+	if dst, err = d.StringMax(maxWireURN); err != nil {
 		return
 	}
 	seq, err = d.Uint64()

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -34,6 +35,41 @@ func TestParseRouteErrors(t *testing.T) {
 	// Unknown options are tolerated.
 	if _, err := ParseRoute("tcp://a;future=1"); err != nil {
 		t.Errorf("unknown option rejected: %v", err)
+	}
+}
+
+// TestParseRouteNegative is the table of hostile route strings: every
+// rejection names what was wrong, and values that would poison the
+// route-scoring arithmetic (negative, NaN, infinite rate/latency) are
+// refused rather than silently carried.
+func TestParseRouteNegative(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty", "", "missing transport://"},
+		{"no scheme", "hostport", "missing transport://"},
+		{"empty transport", "://addr", "empty transport or address"},
+		{"empty address", "tcp://", "empty transport or address"},
+		{"option without value", "tcp://a;net", "route option"},
+		{"unparseable rate", "tcp://a;rate=fast", "route rate"},
+		{"negative rate", "tcp://a;rate=-5", "out of range"},
+		{"NaN rate", "tcp://a;rate=NaN", "out of range"},
+		{"infinite rate", "tcp://a;rate=+Inf", "out of range"},
+		{"unparseable latency", "tcp://a;lat=low", "route latency"},
+		{"negative latency", "tcp://a;lat=-1", "out of range"},
+		{"NaN latency", "tcp://a;lat=nan", "out of range"},
+		{"infinite latency", "tcp://a;lat=Inf", "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRoute(tc.in)
+			if err == nil {
+				t.Fatalf("ParseRoute(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,118 @@
+//go:build go1.18
+
+package comm
+
+import (
+	"bytes"
+	"testing"
+
+	"snipe/internal/xdr"
+)
+
+// The comm decoders face bytes straight off a transport; none of them
+// may panic or allocate proportionally to a hostile length prefix.
+
+func FuzzDecodeMsgFrame(f *testing.F) {
+	for _, fr := range []*msgFrame{
+		{Src: "urn:snipe:a", Dst: "urn:snipe:b", Tag: 7, Seq: 1, FragIdx: 0, FragCount: 1, Payload: []byte("hi")},
+		{Src: "", Dst: "", Tag: 0, Seq: 0, FragIdx: 2, FragCount: 5, Payload: nil},
+		{Src: "urn:snipe:x", Dst: "urn:snipe:y", Tag: AnyTag, Seq: 1 << 40, FragIdx: 9, FragCount: 10, Payload: bytes.Repeat([]byte{0xab}, 100)},
+	} {
+		f.Add(encodeMsgFrame(fr)[1:]) // strip the frame-type byte, as the dispatcher does
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := decodeMsgFrame(xdr.NewDecoder(b))
+		if err != nil {
+			return
+		}
+		if fr.FragCount == 0 || fr.FragIdx >= fr.FragCount {
+			t.Fatalf("decodeMsgFrame accepted inconsistent fragment %d/%d", fr.FragIdx, fr.FragCount)
+		}
+		// A successful decode must round-trip.
+		again, err := decodeMsgFrame(xdr.NewDecoder(encodeMsgFrame(fr)[1:]))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Src != fr.Src || again.Dst != fr.Dst || again.Tag != fr.Tag ||
+			again.Seq != fr.Seq || !bytes.Equal(again.Payload, fr.Payload) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", fr, again)
+		}
+	})
+}
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(encodeHello("urn:snipe:node:1")[1:])
+	f.Add(encodeHello("")[1:])
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		urn, err := decodeHello(xdr.NewDecoder(b))
+		if err == nil && len(urn) > maxWireURN {
+			t.Fatalf("decodeHello returned %d-byte URN beyond cap", len(urn))
+		}
+	})
+}
+
+func FuzzDecodeAck(f *testing.F) {
+	f.Add(encodeAck("urn:snipe:a", "urn:snipe:b", 42)[1:])
+	f.Add(encodeAck("", "", 0)[1:])
+	f.Add([]byte{0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src, dst, seq, err := decodeAck(xdr.NewDecoder(b))
+		if err != nil {
+			return
+		}
+		b2 := encodeAck(src, dst, seq)[1:]
+		s2, d2, q2, err := decodeAck(xdr.NewDecoder(b2))
+		if err != nil || s2 != src || d2 != dst || q2 != seq {
+			t.Fatalf("ack round-trip mismatch: %q %q %d err=%v", s2, d2, q2, err)
+		}
+	})
+}
+
+func FuzzParseRoute(f *testing.F) {
+	for _, s := range []string{
+		"tcp://127.0.0.1:7000",
+		"rudp://10.0.0.1:7001;net=lab;rate=1000000",
+		"tcp://host:1;net=;rate=0.5",
+		"://",
+		"tcp://",
+		"tcp://h;bogus",
+		"tcp://h;rate=notanumber",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRoute(s)
+		if err != nil {
+			return
+		}
+		if r.Transport == "" || r.Addr == "" {
+			t.Fatalf("ParseRoute(%q) accepted empty transport or addr: %+v", s, r)
+		}
+		// Accepted routes must re-parse to the same route.
+		again, err := ParseRoute(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", r.String(), s, err)
+		}
+		if again != r {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", r, again)
+		}
+	})
+}
+
+func FuzzDecodeSequenceState(f *testing.F) {
+	var st SequenceState
+	st.NextSeq = map[string]uint64{"urn:a": 3}
+	st.Expected = map[string]uint64{"urn:b": 9}
+	st.Mailbox = []Message{{Src: "urn:a", Dst: "urn:b", Tag: 5, Seq: 2, Payload: []byte("m")}}
+	e := xdr.NewEncoder(128)
+	st.Encode(e)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		DecodeSequenceState(xdr.NewDecoder(b))
+	})
+}

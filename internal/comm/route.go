@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -86,11 +87,19 @@ func ParseRoute(s string) (Route, error) {
 			if err != nil {
 				return r, fmt.Errorf("comm: route rate in %q: %w", s, err)
 			}
+			// A negative, NaN or infinite rate would poison the route
+			// scoring arithmetic and does not survive String().
+			if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return r, fmt.Errorf("comm: route rate %q in %q out of range", kv[1], s)
+			}
 			r.RateBps = f
 		case "lat":
 			f, err := strconv.ParseFloat(kv[1], 64)
 			if err != nil {
 				return r, fmt.Errorf("comm: route latency in %q: %w", s, err)
+			}
+			if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return r, fmt.Errorf("comm: route latency %q in %q out of range", kv[1], s)
 			}
 			r.LatencyUs = f
 		default:

@@ -12,6 +12,15 @@ import (
 	"snipe/internal/xdr"
 )
 
+// Per-field wire-decode caps handed to the xdr *Max decoders: URNs,
+// task states and error messages are short strings; a metrics snapshot
+// is JSON of modest size. A corrupt length prefix must fail fast
+// instead of sizing an allocation.
+const (
+	maxWireString   = 4096    // URNs, task states, error messages
+	maxWireSnapshot = 1 << 20 // JSON-encoded metrics snapshot
+)
+
 // handleMessage dispatches the daemon's message protocol: remote spawn,
 // signal delivery, status queries, and migration adoption. Requests
 // carry a caller-chosen request ID echoed in the response.
@@ -28,7 +37,7 @@ func (d *Daemon) handleMessage(m *comm.Message) {
 	case task.TagCheckpointReq:
 		d.handleCheckpointReq(m)
 	case task.TagReleaseReq:
-		if urn, err := xdr.NewDecoder(m.Payload).String(); err == nil {
+		if urn, err := xdr.NewDecoder(m.Payload).StringMax(maxWireString); err == nil {
 			d.Release(urn)
 		}
 	case task.TagStatsReq:
@@ -82,14 +91,14 @@ func StatsRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout time
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
-		msg, err := dec.String()
+		msg, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
 		if !ok {
 			return stats.Snapshot{}, fmt.Errorf("%w: %s", ErrRemote, msg)
 		}
-		b, err := dec.BytesCopy()
+		b, err := dec.BytesCopyMax(maxWireSnapshot)
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
@@ -110,7 +119,7 @@ func (d *Daemon) handleCheckpointReq(m *comm.Message) {
 	if err != nil {
 		return
 	}
-	urn, err := dec.String()
+	urn, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
@@ -161,7 +170,7 @@ func CheckpointRemote(ep *comm.Endpoint, daemonURN, taskURN string, reqID uint64
 		if err != nil {
 			return task.Spec{}, err
 		}
-		msg, err := dec.String()
+		msg, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return task.Spec{}, err
 		}
@@ -196,7 +205,7 @@ func (d *Daemon) handleSpawnReq(m *comm.Message) {
 
 func (d *Daemon) handleSignal(m *comm.Message) {
 	dec := xdr.NewDecoder(m.Payload)
-	urn, err := dec.String()
+	urn, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
@@ -230,7 +239,7 @@ func (d *Daemon) handleMigrateReq(m *comm.Message) {
 	if err != nil {
 		return
 	}
-	urn, err := dec.String()
+	urn, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
@@ -287,7 +296,7 @@ func SpawnRemote(ep *comm.Endpoint, daemonURN string, spec task.Spec, reqID uint
 		if err != nil {
 			return "", err
 		}
-		s, err := dec.String()
+		s, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return "", err
 		}
@@ -332,13 +341,19 @@ func StatusRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout tim
 		if err != nil {
 			return nil, err
 		}
-		out := make(map[string]task.State, n)
+		// Each entry costs at least 8 encoded bytes (two string lengths);
+		// fail fast on hostile counts before the map preallocation below.
+		if int64(n)*8 > int64(dec.Remaining()) {
+			return nil, fmt.Errorf("%w: task count %d exceeds remaining %d bytes",
+				ErrRemote, n, dec.Remaining())
+		}
+		out := make(map[string]task.State, min(int(n), 1024))
 		for i := uint32(0); i < n; i++ {
-			urn, err := dec.String()
+			urn, err := dec.StringMax(maxWireString)
 			if err != nil {
 				return nil, err
 			}
-			st, err := dec.String()
+			st, err := dec.StringMax(maxWireString)
 			if err != nil {
 				return nil, err
 			}
@@ -377,7 +392,7 @@ func MigrateRemote(ep *comm.Endpoint, daemonURN, taskURN string, spec task.Spec,
 		if err != nil {
 			return err
 		}
-		msg, err := dec.String()
+		msg, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return err
 		}

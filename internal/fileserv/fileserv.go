@@ -77,6 +77,14 @@ func (f *fileMsg) encode() []byte {
 	return e.Bytes()
 }
 
+// Per-field wire-decode caps handed to the xdr *Max decoders, so a
+// corrupt length prefix fails fast instead of sizing an allocation.
+const (
+	maxWireName  = 4096     // file names, URNs, error strings
+	maxWireChunk = 4 << 20  // one transfer chunk
+	maxWireNames = 64 << 10 // listing entries, each capped at maxWireName
+)
+
 func decodeFileMsg(b []byte) (*fileMsg, error) {
 	d := xdr.NewDecoder(b)
 	f := &fileMsg{}
@@ -87,13 +95,13 @@ func decodeFileMsg(b []byte) (*fileMsg, error) {
 	if f.ReqID, err = d.Uint64(); err != nil {
 		return nil, err
 	}
-	if f.Name, err = d.String(); err != nil {
+	if f.Name, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
-	if f.Dst, err = d.String(); err != nil {
+	if f.Dst, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
-	if f.Data, err = d.BytesCopy(); err != nil {
+	if f.Data, err = d.BytesCopyMax(maxWireChunk); err != nil {
 		return nil, err
 	}
 	if f.EOF, err = d.Bool(); err != nil {
@@ -102,10 +110,10 @@ func decodeFileMsg(b []byte) (*fileMsg, error) {
 	if f.OK, err = d.Bool(); err != nil {
 		return nil, err
 	}
-	if f.Err, err = d.String(); err != nil {
+	if f.Err, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
-	if f.Names, err = d.StringSlice(); err != nil {
+	if f.Names, err = d.StringSliceMax(maxWireNames, maxWireName); err != nil {
 		return nil, err
 	}
 	return f, nil

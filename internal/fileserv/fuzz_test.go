@@ -1,0 +1,36 @@
+//go:build go1.18
+
+package fileserv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeFileMsg(f *testing.F) {
+	for _, m := range []*fileMsg{
+		{Op: opRead, ReqID: 1, Name: "data.txt", Dst: "urn:reader"},
+		{Op: opData, ReqID: 2, Data: []byte("chunk"), EOF: true, OK: true},
+		{Op: opListResp, ReqID: 3, OK: true, Names: []string{"a", "b"}},
+		{Op: opAppend, ReqID: 4, Name: "out", Data: bytes.Repeat([]byte{7}, 64), Err: "disk full"},
+	} {
+		f.Add(m.encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodeFileMsg(b)
+		if err != nil {
+			return
+		}
+		again, err := decodeFileMsg(m.encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Op != m.Op || again.ReqID != m.ReqID || again.Name != m.Name ||
+			!bytes.Equal(again.Data, m.Data) || again.EOF != m.EOF || again.OK != m.OK ||
+			again.Err != m.Err || len(again.Names) != len(m.Names) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", m, again)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxfirstDeprecated maps the deprecated timeout-signature wrappers to
+// their context-first replacements. Keys are pkgpath.Type.Method.
+var ctxfirstDeprecated = map[string]string{
+	"snipe/internal/comm.Endpoint.SendWait":  "SendWaitContext",
+	"snipe/internal/comm.Endpoint.Recv":      "RecvContext",
+	"snipe/internal/comm.Endpoint.RecvMatch": "RecvMatchContext",
+	"snipe/internal/comm.Endpoint.Stats":     "MetricsSnapshot",
+
+	"snipe/internal/rcds.Client.Ping":       "PingContext",
+	"snipe/internal/rcds.Client.Set":        "SetContext",
+	"snipe/internal/rcds.Client.Add":        "AddContext",
+	"snipe/internal/rcds.Client.AddSigned":  "AddSignedContext",
+	"snipe/internal/rcds.Client.Remove":     "RemoveContext",
+	"snipe/internal/rcds.Client.RemoveAll":  "RemoveAllContext",
+	"snipe/internal/rcds.Client.Get":        "GetContext",
+	"snipe/internal/rcds.Client.Values":     "ValuesContext",
+	"snipe/internal/rcds.Client.FirstValue": "FirstValueContext",
+	"snipe/internal/rcds.Client.URIs":       "URIsContext",
+	"snipe/internal/rcds.Client.Vector":     "VectorContext",
+	"snipe/internal/rcds.Client.OpsSince":   "OpsSinceContext",
+	"snipe/internal/rcds.Client.Apply":      "ApplyContext",
+	"snipe/internal/rcds.Client.Wait":       "WaitContext",
+	"snipe/internal/rcds.Client.Stats":      "StatsContext",
+	"snipe/internal/rcds.Client.WaitFor":    "WaitForContext",
+}
+
+// NewCtxfirst returns the ctxfirst analyzer: production code must use
+// the context-first APIs; the deprecated timeout-signature wrappers are
+// reserved for _test.go files and for the wrappers themselves.
+func NewCtxfirst() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "forbids calls to deprecated timeout-signature comm/rcds APIs outside tests",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Info, call)
+				if f == nil {
+					return true
+				}
+				repl, ok := ctxfirstDeprecated[methodKey(f)]
+				if !ok {
+					return true
+				}
+				// Deprecated wrappers may call their siblings.
+				if enclosingFuncDeprecated(pass.Files, call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "call to deprecated %s.%s; use %s",
+					recvName(f), f.Name(), repl)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// recvName renders a method's receiver type name for diagnostics.
+func recvName(f *types.Func) string {
+	_, typ := recvNamed(f)
+	if typ == "" {
+		return "?"
+	}
+	return typ
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"snipe/internal/lint"
+	"snipe/internal/lint/linttest"
+)
+
+func TestCtxfirst(t *testing.T) { linttest.Run(t, "testdata/ctxfirst", lint.NewCtxfirst()) }
+
+func TestLockedio(t *testing.T) { linttest.Run(t, "testdata/lockedio", lint.NewLockedio()) }
+
+func TestXdrbound(t *testing.T) { linttest.Run(t, "testdata/xdrbound", lint.NewXdrbound()) }
+
+func TestStatskey(t *testing.T) { linttest.Run(t, "testdata/statskey", lint.NewStatskey()) }
+
+// TestLintAllow runs xdrbound over a fixture whose every violation is
+// suppressed; the fixture therefore wants zero diagnostics, and any
+// leak-through fails as an unexpected diagnostic.
+func TestLintAllow(t *testing.T) { linttest.Run(t, "testdata/lintallow", lint.NewXdrbound()) }

@@ -1,0 +1,177 @@
+// Package linttest runs snipe-lint analyzers over fixture packages and
+// checks their diagnostics against "// want" comment expectations — the
+// same contract as x/tools' analysistest, reimplemented on the standard
+// library because this tree builds offline.
+//
+// A fixture file marks each line that must produce a diagnostic with a
+// trailing comment:
+//
+//	ep.SendWait("x", 1, nil, time.Second) // want `deprecated`
+//
+// The backquoted (or double-quoted) string is a regular expression that
+// must match the diagnostic's message. Lines without a want comment
+// must produce no diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"snipe/internal/lint"
+)
+
+// wantRe extracts the expectation patterns from a // want comment.
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+var (
+	exportOnce   sync.Once
+	exportLookup func(path string) (io.ReadCloser, error)
+	exportErr    error
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// lookup returns (once per process) an export-data resolver covering
+// the whole snipe module and its dependency closure, so fixtures may
+// import any snipe or standard-library package.
+func lookup(t *testing.T) func(path string) (io.ReadCloser, error) {
+	exportOnce.Do(func() {
+		root, err := repoRoot()
+		if err != nil {
+			exportErr = err
+			return
+		}
+		exportLookup, exportErr = lint.ExportLookupFor(root, []string{"./..."})
+	})
+	if exportErr != nil {
+		t.Fatalf("linttest: building export lookup: %v", exportErr)
+	}
+	return exportLookup
+}
+
+// Run type-checks the fixture package in dir and verifies that the
+// analyzers produce exactly the diagnostics its want comments describe.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", lookup(t))
+	info := lint.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkgPath := "snipe/lintfixture/" + filepath.Base(dir)
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking fixture %s: %v", dir, err)
+	}
+
+	suite := lint.NewSuite(fset, analyzers)
+	if err := suite.RunPackage(files, pkg, info); err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	if err := suite.Finish(); err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	checkExpectations(t, fset, files, suite.Diags)
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					raw := m[1]
+					var pat string
+					if raw[0] == '`' {
+						pat = raw[1 : len(raw)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("linttest: bad want pattern %s: %v", raw, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

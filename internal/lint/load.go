@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+const listFields = "Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,Module,Error"
+
+// goList invokes `go list -export -deps -json` in dir for patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=" + listFields}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the export-data resolver the gc importer uses for
+// every import of a package under analysis.
+func exportLookup(pkgs []listPkg) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// ExportLookupFor builds an export-data resolver for the module at dir
+// covering the dependency closure of patterns. It exists for callers
+// that type-check sources go list cannot see — the linttest fixture
+// runner, whose fixtures live under testdata.
+func ExportLookupFor(dir string, patterns []string) (func(path string) (io.ReadCloser, error), error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return exportLookup(pkgs), nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load type-checks the packages matching patterns (resolved relative to
+// dir, which must lie in a module). Dependencies are resolved from
+// compiler export data produced by `go list -export`, so loading does
+// not re-type-check the transitive closure. Only non-test Go files are
+// loaded; the suite's checks exempt _test.go files by construction.
+func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(pkgs))
+
+	var out []*Package
+	for _, p := range pkgs {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Files: files, Pkg: tpkg, Info: info})
+	}
+	return out, nil
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockedioIO lists known network-I/O entry points by pkgpath.Type.Method
+// (methods) or pkgpath.Func (package functions). A call to any of these
+// while a sync mutex is held risks the deadlock/latency class the
+// per-connection writer locks of the comm and rcds layers flirt with:
+// a blocked write parks every goroutine queued on the mutex.
+var lockedioMethods = map[string]bool{
+	"snipe/internal/comm.Endpoint.Send":             true,
+	"snipe/internal/comm.Endpoint.SendWait":         true,
+	"snipe/internal/comm.Endpoint.SendWaitContext":  true,
+	"snipe/internal/comm.Endpoint.Recv":             true,
+	"snipe/internal/comm.Endpoint.RecvContext":      true,
+	"snipe/internal/comm.Endpoint.RecvMatch":        true,
+	"snipe/internal/comm.Endpoint.RecvMatchContext": true,
+	"snipe/internal/comm.FrameConn.Send":            true,
+	"snipe/internal/comm.FrameConn.Recv":            true,
+
+	"snipe/internal/rcds.Client.PingContext":       true,
+	"snipe/internal/rcds.Client.SetContext":        true,
+	"snipe/internal/rcds.Client.AddContext":        true,
+	"snipe/internal/rcds.Client.AddSignedContext":  true,
+	"snipe/internal/rcds.Client.RemoveContext":     true,
+	"snipe/internal/rcds.Client.RemoveAllContext":  true,
+	"snipe/internal/rcds.Client.GetContext":        true,
+	"snipe/internal/rcds.Client.ValuesContext":     true,
+	"snipe/internal/rcds.Client.FirstValueContext": true,
+	"snipe/internal/rcds.Client.URIsContext":       true,
+	"snipe/internal/rcds.Client.VectorContext":     true,
+	"snipe/internal/rcds.Client.OpsSinceContext":   true,
+	"snipe/internal/rcds.Client.ApplyContext":      true,
+	"snipe/internal/rcds.Client.WaitContext":       true,
+	"snipe/internal/rcds.Client.StatsContext":      true,
+	"snipe/internal/rcds.Client.WaitForContext":    true,
+	"snipe/internal/rcds.Client.roundTrip":         true,
+}
+
+var lockedioFuncs = map[string]bool{
+	"snipe/internal/rcds.writeFrame": true,
+	"snipe/internal/rcds.readFrame":  true,
+}
+
+// NewLockedio returns the lockedio analyzer. The analysis is
+// intentionally conservative and intra-procedural: it walks each
+// function body in statement order, tracking mutexes locked via
+// x.Lock()/x.RLock() and released via x.Unlock()/x.RUnlock() (a defer
+// keeps the mutex held to the end of the function), and flags any known
+// network-I/O call made while a mutex is held. Function literals are
+// analyzed as separate functions with no locks held, so goroutines
+// spawned under a lock are not false positives.
+func NewLockedio() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedio",
+		Doc:  "flags network I/O performed while a sync.Mutex or RWMutex is held",
+	}
+	a.Run = runLockedio
+	return a
+}
+
+// lockSite records where a mutex was locked.
+type lockSite struct {
+	pos token.Pos
+}
+
+type lockedioPass struct {
+	pass    *Pass
+	netConn *types.Interface // nil when the package graph lacks net
+}
+
+func runLockedio(pass *Pass) error {
+	lp := &lockedioPass{pass: pass, netConn: findNetConn(pass.Pkg)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lp.walkStmts(fd.Body.List, map[string]lockSite{})
+			}
+		}
+		// Function literals anywhere in the file, each a fresh frame.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				lp.walkStmts(fl.Body.List, map[string]lockSite{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findNetConn locates the net.Conn interface in the package's import
+// closure, so implementations (e.g. *net.TCPConn) are recognized too.
+func findNetConn(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var queue []*types.Package
+	queue = append(queue, pkg.Imports()...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			obj := p.Scope().Lookup("Conn")
+			if obj == nil {
+				return nil
+			}
+			iface, _ := obj.Type().Underlying().(*types.Interface)
+			return iface
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+// walkStmts interprets stmts in order, mutating held; branch bodies get
+// copies so branch-local locks do not leak into the fallthrough path.
+func (lp *lockedioPass) walkStmts(stmts []ast.Stmt, held map[string]lockSite) {
+	for _, s := range stmts {
+		lp.walkStmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]lockSite) map[string]lockSite {
+	out := make(map[string]lockSite, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (lp *lockedioPass) walkStmt(s ast.Stmt, held map[string]lockSite) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lp.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// function, which is exactly the state we are tracking; other
+		// deferred calls run at return, outside this frame's order.
+		if kind, _ := lp.lockOp(s.Call); kind == opNone {
+			for _, arg := range s.Call.Args {
+				lp.scanExpr(arg, held)
+			}
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			lp.scanExpr(arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lp.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lp.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lp.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lp.scanExpr(e, held)
+		}
+	case *ast.SendStmt:
+		lp.scanExpr(s.Chan, held)
+		lp.scanExpr(s.Value, held)
+	case *ast.IncDecStmt:
+		lp.scanExpr(s.X, held)
+	case *ast.LabeledStmt:
+		lp.walkStmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		lp.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held)
+		}
+		lp.scanExpr(s.Cond, held)
+		lp.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lp.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lp.scanExpr(s.Cond, held)
+		}
+		lp.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		lp.scanExpr(s.X, held)
+		lp.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lp.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lp.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lp.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lp.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lp.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockOp classifies a call as a mutex operation, returning the held-map
+// key for the receiver expression.
+func (lp *lockedioPass) lockOp(call *ast.CallExpr) (lockOpKind, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	f := calleeFunc(lp.pass.Info, call)
+	if f == nil {
+		return opNone, ""
+	}
+	pkg, typ := recvNamed(f)
+	if pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return opNone, ""
+	}
+	key := types.ExprString(sel.X)
+	switch f.Name() {
+	case "Lock":
+		return opLock, key
+	case "RLock":
+		return opRLock, key + ":r"
+	case "Unlock":
+		return opUnlock, key
+	case "RUnlock":
+		return opRUnlock, key + ":r"
+	case "TryLock":
+		return opLock, key
+	case "TryRLock":
+		return opRLock, key + ":r"
+	}
+	return opNone, ""
+}
+
+// scanExpr looks for mutex operations and I/O calls inside one
+// expression, in source order.
+func (lp *lockedioPass) scanExpr(e ast.Expr, held map[string]lockSite) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed separately with a fresh frame
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch kind, key := lp.lockOp(call); kind {
+		case opLock, opRLock:
+			held[key] = lockSite{pos: call.Pos()}
+			return true
+		case opUnlock, opRUnlock:
+			delete(held, key)
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if name, ok := lp.ioCall(call); ok {
+			for key, site := range held {
+				lp.pass.Reportf(call.Pos(),
+					"network I/O (%s) while holding %s (locked at %s)",
+					name, trimRKey(key), lp.pass.Fset.Position(site.pos))
+				break
+			}
+		}
+		return true
+	})
+}
+
+func trimRKey(key string) string {
+	if len(key) > 2 && key[len(key)-2:] == ":r" {
+		return key[:len(key)-2] + " (read lock)"
+	}
+	return key
+}
+
+// ioCall reports whether call is a known network-I/O operation.
+func (lp *lockedioPass) ioCall(call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(lp.pass.Info, call)
+	if f == nil {
+		return "", false
+	}
+	if key := methodKey(f); key != "" && lockedioMethods[key] {
+		return f.Name(), true
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() == nil && f.Pkg() != nil {
+		if lockedioFuncs[f.Pkg().Path()+"."+f.Name()] {
+			return f.Name(), true
+		}
+	}
+	// Read/Write on anything satisfying net.Conn.
+	if lp.netConn != nil && (f.Name() == "Read" || f.Name() == "Write") {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if types.Implements(rt, lp.netConn) ||
+				types.Implements(types.NewPointer(rt), lp.netConn) {
+				return "net.Conn." + f.Name(), true
+			}
+			if named, ok := rt.(*types.Named); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "net" && named.Obj().Name() == "Conn" {
+				return "net.Conn." + f.Name(), true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// statskeyPattern is the metric naming convention: lower_snake_case,
+// starting with a letter.
+var statskeyPattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// statskeyConstructors are the Registry entry points whose first
+// argument is a metric name.
+var statskeyConstructors = map[string]bool{
+	"snipe/internal/stats.Registry.Counter":   true,
+	"snipe/internal/stats.Registry.Gauge":     true,
+	"snipe/internal/stats.Registry.Histogram": true,
+}
+
+// statskeyMinLevLen is the minimum name length for the edit-distance
+// check; very short names ("load", "uris") are too close to each other
+// by nature.
+const statskeyMinLevLen = 5
+
+// NewStatskey returns the statskey analyzer. Per package it checks that
+// metric names passed to stats.Registry constructors are literal and
+// conform to the naming convention; across the whole run it flags
+// near-duplicate names (edit distance 1, or equal after normalizing
+// case and separators) — the typo class that silently splits one
+// logical metric into two series.
+func NewStatskey() *Analyzer {
+	a := &Analyzer{
+		Name: "statskey",
+		Doc:  "checks stats metric-name literals for convention and typo'd near-duplicates",
+	}
+	type occurrence struct {
+		pos   token.Pos
+		where string // pre-formatted position, for cross-package messages
+	}
+	seen := map[string][]occurrence{} // name -> occurrences, whole run
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path() == "snipe/internal/stats" {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Info, call)
+				if f == nil || !statskeyConstructors[methodKey(f)] || len(call.Args) == 0 {
+					return true
+				}
+				arg := call.Args[0]
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Value == nil {
+					pass.Reportf(arg.Pos(),
+						"metric name is not a constant string; statskey cannot cross-check dynamic names")
+					return true
+				}
+				name, err := strconv.Unquote(tv.Value.ExactString())
+				if err != nil {
+					return true
+				}
+				if !statskeyPattern.MatchString(name) {
+					pass.Reportf(arg.Pos(),
+						"metric name %q does not match convention %s", name, statskeyPattern)
+				}
+				seen[name] = append(seen[name], occurrence{
+					pos:   arg.Pos(),
+					where: pass.Fset.Position(arg.Pos()).String(),
+				})
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(report func(pos token.Pos, format string, args ...any)) error {
+		names := make([]string, 0, len(seen))
+		for n := range seen {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for i, n1 := range names {
+			for _, n2 := range names[i+1:] {
+				if !statskeyNearDup(n1, n2) {
+					continue
+				}
+				// Report at the later-sorted name's first use, naming both.
+				report(seen[n2][0].pos,
+					"metric name %q is a near-duplicate of %q (declared at %s); one of them is likely a typo",
+					n2, n1, seen[n1][0].where)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// statskeyNormalize strips separators and case so that "cacheHits",
+// "cache_hits" and "CACHE_HITS" collide.
+func statskeyNormalize(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, "_", ""))
+}
+
+// statskeyNearDup reports whether two distinct metric names are
+// suspiciously close.
+func statskeyNearDup(a, b string) bool {
+	if a == b {
+		return false
+	}
+	if statskeyNormalize(a) == statskeyNormalize(b) {
+		return true
+	}
+	if len(a) < statskeyMinLevLen || len(b) < statskeyMinLevLen {
+		return false
+	}
+	return levenshtein(a, b) <= 1
+}
+
+// levenshtein is the standard edit distance, early-exited for the
+// short strings metric names are.
+func levenshtein(a, b string) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := range prev {
+		prev[i] = i
+	}
+	for j := 1; j <= len(b); j++ {
+		cur[0] = j
+		for i := 1; i <= len(a); i++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[i] = min(prev[i]+1, min(cur[i-1]+1, prev[i-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func f() {
+	_ = 1 //lint:allow demo
+	_ = 2
+	_ = 3 //lint:allow otherdemo this allowance never fires
+	_ = 4 //lint:allow demo suppressed with a reason
+}
+`
+
+// TestSuppressionLifecycle checks the three lint:allow states in one
+// pass: a well-formed allowance suppresses, a reason-less one is
+// malformed (and suppresses nothing), and one that suppresses nothing
+// is reported as stale.
+func TestSuppressionLifecycle(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	demo := &Analyzer{Name: "demo", Doc: "reports every assignment"}
+	demo.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					pass.Reportf(as.Pos(), "assignment")
+				}
+				return true
+			})
+		}
+		return nil
+	}
+
+	s := NewSuite(fset, []*Analyzer{demo})
+	if err := s.RunPackage([]*ast.File{f}, pkg, info); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		analyzer string
+		line     int
+		contains string
+	}
+	wants := []want{
+		{"demo", 4, "assignment"},     // malformed (reason-less) allow does not suppress
+		{"lintallow", 4, "malformed"}, // ... and is itself a finding
+		{"demo", 5, "assignment"},     // a malformed allow does not cover the next line either
+		{"demo", 6, "assignment"},     // allow naming a different analyzer does not suppress
+		{"lintallow", 6, "unused suppression"},
+	}
+	if len(s.Diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(s.Diags), len(wants), s.Diags)
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range s.Diags {
+			if d.Analyzer == w.analyzer && d.Pos.Line == w.line && strings.Contains(d.Message, w.contains) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic %s line %d containing %q; got:\n%v", w.analyzer, w.line, w.contains, s.Diags)
+		}
+	}
+	// Line 7's diagnostic must have been suppressed by the well-formed
+	// same-line allowance.
+	for _, d := range s.Diags {
+		if d.Pos.Line == 7 {
+			t.Errorf("suppressed diagnostic leaked: %v", d)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "ab", 1},
+		{"kitten", "sitting", 3},
+		{"send_total", "send_totol", 1},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.d {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.d)
+		}
+	}
+}

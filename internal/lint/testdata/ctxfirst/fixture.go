@@ -1,0 +1,38 @@
+// Package fixture exercises the ctxfirst analyzer. It lives under
+// testdata so the go tool never builds it; only linttest does.
+package fixture
+
+import (
+	"context"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/rcds"
+)
+
+func useEndpoint(ep *comm.Endpoint) {
+	_ = ep.SendWait("peer", 1, nil, time.Second) // want `deprecated Endpoint.SendWait; use SendWaitContext`
+	_, _ = ep.Recv(time.Second)                  // want `deprecated Endpoint.Recv; use RecvContext`
+	_, _ = ep.RecvMatch("peer", 1, time.Second)  // want `deprecated Endpoint.RecvMatch; use RecvMatchContext`
+	sent, _, _, _ := ep.Stats()                  // want `deprecated Endpoint.Stats; use MetricsSnapshot`
+	_ = sent
+
+	// Context-first replacements are clean.
+	_ = ep.SendWaitContext(context.Background(), "peer", 1, nil)
+	_, _ = ep.RecvContext(context.Background())
+	_ = ep.MetricsSnapshot()
+}
+
+func useClient(c *rcds.Client) {
+	_, _ = c.Ping()           // want `deprecated Client.Ping; use PingContext`
+	_, _ = c.Get("snipe://x") // want `deprecated Client.Get; use GetContext`
+
+	_, _ = c.PingContext(context.Background())
+	_, _ = c.GetContext(context.Background(), "snipe://x")
+}
+
+// Deprecated: legacyHelper is itself a deprecated shim, so its calls to
+// sibling deprecated APIs are exempt.
+func legacyHelper(ep *comm.Endpoint) (*comm.Message, error) {
+	return ep.Recv(time.Second)
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises the //lint:allow suppression convention:
+// a well-formed allowance on the flagged line or the line above
+// silences exactly the named analyzer. No diagnostics are expected
+// from this package at all.
+package fixture
+
+import "snipe/internal/xdr"
+
+func allowed(d *xdr.Decoder) {
+	_, _ = d.String() //lint:allow xdrbound trusted local pipe, length capped by the kernel
+
+	//lint:allow xdrbound the line-above form also counts
+	_, _ = d.Bytes()
+}

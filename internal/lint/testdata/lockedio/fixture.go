@@ -1,0 +1,58 @@
+// Package fixture exercises the lockedio analyzer.
+package fixture
+
+import (
+	"net"
+	"sync"
+
+	"snipe/internal/comm"
+)
+
+type peer struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ep   *comm.Endpoint
+	conn net.Conn
+}
+
+func (p *peer) sendUnderLock() {
+	p.mu.Lock()
+	_ = p.ep.Send("peer", 1, nil) // want `network I/O \(Send\) while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *peer) writeUnderDeferredUnlock(buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, _ = p.conn.Write(buf) // want `network I/O \(net.Conn.Write\) while holding p.mu`
+}
+
+func (p *peer) readUnderReadLock(buf []byte) {
+	p.rw.RLock()
+	_, _ = p.conn.Read(buf) // want `network I/O \(net.Conn.Read\) while holding p.rw \(read lock\)`
+	p.rw.RUnlock()
+}
+
+func (p *peer) branchLocal(buf []byte) {
+	if len(buf) > 0 {
+		p.mu.Lock()
+		_, _ = p.conn.Write(buf) // want `network I/O`
+		p.mu.Unlock()
+	}
+	_, _ = p.conn.Write(buf) // clean: branch-local lock does not leak here
+}
+
+func (p *peer) releasedBeforeIO(buf []byte) {
+	p.mu.Lock()
+	n := len(buf)
+	p.mu.Unlock()
+	_ = p.ep.Send("peer", uint32(n), buf) // clean: lock released
+}
+
+func (p *peer) goroutineIsFreshFrame() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_ = p.ep.Send("peer", 1, nil) // clean: separate goroutine, lock not held there
+	}()
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises the statskey analyzer.
+package fixture
+
+import "snipe/internal/stats"
+
+func register(r *stats.Registry, dynamic string) {
+	r.Counter("fixture_send_total")
+	r.Counter("fixture_send_totol") // want `near-duplicate of "fixture_send_total"`
+	r.Gauge("Fixture-Bad-Name")     // want `does not match convention`
+	r.Counter(dynamic)              // want `not a constant string`
+	r.Histogram("fixture_rtt_ms", nil)
+}

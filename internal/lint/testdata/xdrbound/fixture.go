@@ -1,0 +1,20 @@
+// Package fixture exercises the xdrbound analyzer.
+package fixture
+
+import "snipe/internal/xdr"
+
+const maxName = 256
+
+func decode(d *xdr.Decoder) {
+	_, _ = d.String()      // want `uncapped xdr.Decoder.String .*; use StringMax`
+	_, _ = d.Bytes()       // want `uncapped xdr.Decoder.Bytes .*; use BytesMax`
+	_, _ = d.BytesCopy()   // want `uncapped xdr.Decoder.BytesCopy .*; use BytesCopyMax`
+	_, _ = d.StringSlice() // want `uncapped xdr.Decoder.StringSlice .*; use StringSliceMax`
+
+	// Capped variants and fixed-width reads are clean.
+	_, _ = d.StringMax(maxName)
+	_, _ = d.BytesMax(1 << 16)
+	_, _ = d.BytesCopyMax(1 << 16)
+	_, _ = d.StringSliceMax(64, maxName)
+	_, _ = d.Uint32()
+}

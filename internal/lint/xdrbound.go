@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// xdrboundUncapped maps uncapped length-prefixed Decoder reads to their
+// capped replacements. A hostile length prefix reaching one of these
+// is only bounded by the global xdr.MaxDecodeLen (256 MiB) — per-field
+// caps keep a single bogus frame from staging a quarter-gigabyte
+// allocation, so every wire decoder must state one.
+var xdrboundUncapped = map[string]string{
+	"snipe/internal/xdr.Decoder.String":      "StringMax",
+	"snipe/internal/xdr.Decoder.Bytes":       "BytesMax",
+	"snipe/internal/xdr.Decoder.BytesCopy":   "BytesCopyMax",
+	"snipe/internal/xdr.Decoder.StringSlice": "StringSliceMax",
+}
+
+// NewXdrbound returns the xdrbound analyzer: outside internal/xdr
+// itself, length-prefixed decodes must use the *Max variants with a
+// field-appropriate cap.
+func NewXdrbound() *Analyzer {
+	a := &Analyzer{
+		Name: "xdrbound",
+		Doc:  "requires caller-side caps on xdr length-prefixed decodes",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path() == "snipe/internal/xdr" {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.Info, call)
+				if f == nil {
+					return true
+				}
+				repl, ok := xdrboundUncapped[methodKey(f)]
+				if !ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"uncapped xdr.Decoder.%s sizes an allocation from wire data; use %s with a field cap",
+					f.Name(), repl)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,34 @@
+//go:build go1.18
+
+package mcast
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeEnvelope(f *testing.F) {
+	for _, ev := range []*envelope{
+		{Kind: 1, Group: "g", Origin: "urn:a", MsgID: 1, AppTag: 9, Member: "urn:b", Data: []byte("x")},
+		{Kind: 0, Group: "", Origin: "", MsgID: 0, AppTag: 0, Member: "", Data: nil},
+	} {
+		f.Add(ev.encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ev, err := decodeEnvelope(b)
+		if err != nil {
+			return
+		}
+		again, err := decodeEnvelope(ev.encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != ev.Kind || again.Group != ev.Group || again.Origin != ev.Origin ||
+			again.MsgID != ev.MsgID || again.AppTag != ev.AppTag || again.Member != ev.Member ||
+			!bytes.Equal(again.Data, ev.Data) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", ev, again)
+		}
+	})
+}

@@ -86,6 +86,13 @@ func (ev *envelope) encode() []byte {
 	return e.Bytes()
 }
 
+// Per-field wire-decode caps handed to the xdr *Max decoders, so a
+// corrupt length prefix fails fast instead of sizing an allocation.
+const (
+	maxWireName = 4096                // group names and member URNs
+	maxWireData = comm.MaxMessageSize // one multicast payload
+)
+
 func decodeEnvelope(b []byte) (*envelope, error) {
 	d := xdr.NewDecoder(b)
 	ev := &envelope{}
@@ -93,10 +100,10 @@ func decodeEnvelope(b []byte) (*envelope, error) {
 	if ev.Kind, err = d.Uint8(); err != nil {
 		return nil, err
 	}
-	if ev.Group, err = d.String(); err != nil {
+	if ev.Group, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
-	if ev.Origin, err = d.String(); err != nil {
+	if ev.Origin, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
 	if ev.MsgID, err = d.Uint64(); err != nil {
@@ -105,10 +112,10 @@ func decodeEnvelope(b []byte) (*envelope, error) {
 	if ev.AppTag, err = d.Uint32(); err != nil {
 		return nil, err
 	}
-	if ev.Member, err = d.String(); err != nil {
+	if ev.Member, err = d.StringMax(maxWireName); err != nil {
 		return nil, err
 	}
-	if ev.Data, err = d.BytesCopy(); err != nil {
+	if ev.Data, err = d.BytesCopyMax(maxWireData); err != nil {
 		return nil, err
 	}
 	return ev, nil

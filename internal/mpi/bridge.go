@@ -37,10 +37,17 @@ func encodeInter(srcWorld string, srcRank, tag int, data []byte) []byte {
 	return e.Bytes()
 }
 
+// Per-field wire-decode caps: world names are short, payloads are
+// bounded by the comm layer's message limit.
+const (
+	maxWireWorld = 4096
+	maxWireData  = 64 << 20 // comm.MaxMessageSize, without importing comm here
+)
+
 // decodeInter unpacks the bridge payload envelope.
 func decodeInter(b []byte) (srcWorld string, srcRank, tag int, data []byte, err error) {
 	d := xdr.NewDecoder(b)
-	if srcWorld, err = d.String(); err != nil {
+	if srcWorld, err = d.StringMax(maxWireWorld); err != nil {
 		return
 	}
 	var r, t int32
@@ -50,7 +57,7 @@ func decodeInter(b []byte) (srcWorld string, srcRank, tag int, data []byte, err 
 	if t, err = d.Int32(); err != nil {
 		return
 	}
-	data, err = d.BytesCopy()
+	data, err = d.BytesCopyMax(maxWireData)
 	return srcWorld, int(r), int(t), data, err
 }
 

@@ -1,0 +1,32 @@
+//go:build go1.18
+
+package playground
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeProgram(f *testing.F) {
+	for _, p := range []*Program{
+		{Consts: []string{"hello"}, Code: []byte{opPush, 0, 0, 0, 0, 0, 0, 0, 42, opHalt}, MemSize: 16},
+		{Consts: nil, Code: nil, MemSize: 0},
+	} {
+		f.Add(p.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile const-pool count
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := ParseProgram(b)
+		if err != nil {
+			return
+		}
+		again, err := ParseProgram(p.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again.Consts) != len(p.Consts) || !bytes.Equal(again.Code, p.Code) || again.MemSize != p.MemSize {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", p, again)
+		}
+	})
+}

@@ -58,15 +58,23 @@ func (img *CodeImage) Encode() []byte {
 	return e.Bytes()
 }
 
+// Per-field wire-decode caps: names and signer IDs are short, a
+// program is at most maxWireProgram, an ed25519 signature is 64 bytes.
+const (
+	maxWireImgName = 4096
+	maxWireProgram = 4 << 20
+	maxWireSig     = 256
+)
+
 // DecodeImage reads an image written by Encode.
 func DecodeImage(b []byte) (*CodeImage, error) {
 	d := xdr.NewDecoder(b)
 	img := &CodeImage{}
 	var err error
-	if img.Name, err = d.String(); err != nil {
+	if img.Name, err = d.StringMax(maxWireImgName); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
-	if img.Program, err = d.BytesCopy(); err != nil {
+	if img.Program, err = d.BytesCopyMax(maxWireProgram); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	perms, err := d.Uint32()
@@ -74,10 +82,10 @@ func DecodeImage(b []byte) (*CodeImage, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	img.Perms = Permissions(perms)
-	if img.Signer, err = d.String(); err != nil {
+	if img.Signer, err = d.StringMax(maxWireImgName); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
-	if img.Signature, err = d.BytesCopy(); err != nil {
+	if img.Signature, err = d.BytesCopyMax(maxWireSig); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	if err := d.Finish(); err != nil {

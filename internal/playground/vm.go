@@ -155,14 +155,19 @@ func (p *Program) Encode(e *xdr.Encoder) {
 	e.PutUint32(uint32(p.MemSize))
 }
 
+// Wire-decode caps for programs: a constant pool of at most
+// maxWireConsts strings and bytecode of at most maxWireProgram (the
+// same bound DecodeImage places on a stored program).
+const maxWireConsts = 64 << 10
+
 // DecodeProgram reads a program written by Encode.
 func DecodeProgram(d *xdr.Decoder) (*Program, error) {
 	p := &Program{}
 	var err error
-	if p.Consts, err = d.StringSlice(); err != nil {
+	if p.Consts, err = d.StringSliceMax(maxWireConsts, maxWireProgram); err != nil {
 		return nil, err
 	}
-	if p.Code, err = d.BytesCopy(); err != nil {
+	if p.Code, err = d.BytesCopyMax(maxWireProgram); err != nil {
 		return nil, err
 	}
 	memSize, err := d.Uint32()

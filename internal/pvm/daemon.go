@@ -47,17 +47,25 @@ type connWriter interface {
 	Write(p []byte) (int, error)
 }
 
+// Per-field wire-decode caps handed to the xdr *Max decoders, so a
+// corrupt length prefix fails fast instead of sizing an allocation.
+const (
+	maxWireString  = 4096     // host names, addresses, program names, errors
+	maxWireArgs    = 1024     // spawn argv entries, each capped at maxWireString
+	maxWirePayload = 16 << 20 // one routed task message
+)
+
 // handleJoin (master only) admits a new host and pushes the updated
 // host table to every member — PVM's fragile sequential update.
 func (d *Daemon) handleJoin(conn connWriter, dec *xdr.Decoder) {
 	if !d.master {
 		return
 	}
-	name, err := dec.String()
+	name, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
-	addr, err := dec.String()
+	addr, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
@@ -117,17 +125,20 @@ func (d *Daemon) handleHostTable(dec *xdr.Decoder) {
 	if err != nil {
 		return
 	}
-	table := make([]hostEntry, 0, n)
+	if int64(n)*12 > int64(dec.Remaining()) {
+		return // hostile host count: each entry is at least 12 encoded bytes
+	}
+	table := make([]hostEntry, 0, min(int(n), 1024))
 	for i := uint32(0); i < n; i++ {
 		idx, err := dec.Uint32()
 		if err != nil {
 			return
 		}
-		name, err := dec.String()
+		name, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return
 		}
-		addr, err := dec.String()
+		addr, err := dec.StringMax(maxWireString)
 		if err != nil {
 			return
 		}
@@ -152,7 +163,7 @@ func (d *Daemon) handleData(dec *xdr.Decoder) {
 	if err != nil {
 		return
 	}
-	payload, err := dec.BytesCopy()
+	payload, err := dec.BytesCopyMax(maxWirePayload)
 	if err != nil {
 		return
 	}
@@ -357,11 +368,11 @@ func (d *Daemon) handleSpawnReq(dec *xdr.Decoder) {
 	if err != nil {
 		return
 	}
-	program, err := dec.String()
+	program, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
-	args, err := dec.StringSlice()
+	args, err := dec.StringSliceMax(maxWireArgs, maxWireString)
 	if err != nil {
 		return
 	}
@@ -393,7 +404,7 @@ func (d *Daemon) handleSpawnResp(dec *xdr.Decoder) {
 	if err != nil {
 		return
 	}
-	msg, err := dec.String()
+	msg, err := dec.StringMax(maxWireString)
 	if err != nil {
 		return
 	}
@@ -466,7 +477,7 @@ func (c *TaskCtx) readLoop(conn net.Conn) {
 		if err != nil {
 			continue
 		}
-		payload, err := dec.BytesCopy()
+		payload, err := dec.BytesCopyMax(maxWirePayload)
 		if err != nil {
 			continue
 		}

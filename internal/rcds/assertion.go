@@ -143,23 +143,33 @@ func (a *Assertion) Encode(e *xdr.Encoder) {
 	e.PutString(a.Signer)
 }
 
+// Per-field wire-decode caps handed to the xdr *Max decoders: URIs,
+// names and origins are short; values are bounded well below the frame
+// limit; a signature is an ed25519 signature plus slack.
+const (
+	maxWireURI   = 4096
+	maxWireValue = 1 << 20
+	maxWireSig   = 256
+	maxWireItems = 64 << 10 // list responses: values, URIs, names
+)
+
 // DecodeAssertion reads an assertion written by Encode.
 func DecodeAssertion(d *xdr.Decoder) (Assertion, error) {
 	var a Assertion
 	var err error
-	if a.URI, err = d.String(); err != nil {
+	if a.URI, err = d.StringMax(maxWireURI); err != nil {
 		return a, err
 	}
-	if a.Name, err = d.String(); err != nil {
+	if a.Name, err = d.StringMax(maxWireURI); err != nil {
 		return a, err
 	}
-	if a.Value, err = d.String(); err != nil {
+	if a.Value, err = d.StringMax(maxWireValue); err != nil {
 		return a, err
 	}
 	if a.Clock, err = d.Uint64(); err != nil {
 		return a, err
 	}
-	if a.Origin, err = d.String(); err != nil {
+	if a.Origin, err = d.StringMax(maxWireURI); err != nil {
 		return a, err
 	}
 	if a.Seq, err = d.Uint64(); err != nil {
@@ -171,13 +181,13 @@ func DecodeAssertion(d *xdr.Decoder) (Assertion, error) {
 	if a.ServerTime, err = d.Int64(); err != nil {
 		return a, err
 	}
-	if a.Signature, err = d.BytesCopy(); err != nil {
+	if a.Signature, err = d.BytesCopyMax(maxWireSig); err != nil {
 		return a, err
 	}
 	if len(a.Signature) == 0 {
 		a.Signature = nil
 	}
-	if a.Signer, err = d.String(); err != nil {
+	if a.Signer, err = d.StringMax(maxWireURI); err != nil {
 		return a, err
 	}
 	return a, nil
@@ -253,9 +263,15 @@ func DecodeVersionVector(d *xdr.Decoder) (VersionVector, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := make(VersionVector, n)
+	// Each entry costs at least 12 encoded bytes (string length + u64);
+	// fail fast on hostile counts before the map preallocation below.
+	if int64(n)*12 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: vector count %d exceeds remaining %d bytes",
+			xdr.ErrStringTooLong, n, d.Remaining())
+	}
+	v := make(VersionVector, minInt(int(n), 1024))
 	for i := uint32(0); i < n; i++ {
-		origin, err := d.String()
+		origin, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package rcds
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 )
@@ -191,6 +192,10 @@ func (c *Client) watchLoop(ctx context.Context) {
 			// Cannot confirm coherence; stop serving cached reads until
 			// the watch re-establishes.
 			c.cache.invalidateAll()
+			if errors.Is(err, ErrClientClosed) {
+				// Close() has begun; don't redial while it waits on wg.
+				return
+			}
 			select {
 			case <-ctx.Done():
 				return

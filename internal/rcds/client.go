@@ -132,7 +132,11 @@ func (cc *clientConn) writeRequest(id uint64, req []byte, deadline time.Time) er
 	cc.writeMu.Lock()
 	defer cc.writeMu.Unlock()
 	cc.c.SetWriteDeadline(deadline)
-	return writeFrame(cc.c, muxBody(id, req), cc.secret)
+	// The writer lock is per-connection and guards nothing but this
+	// write; a stalled peer stalls only requests multiplexed onto this
+	// same connection, bounded by the write deadline above.
+	return writeFrame(cc.c, muxBody(id, req), cc.secret) //lint:allow lockedio intentional per-connection writer lock, bounded by the write deadline
+
 }
 
 // Client talks to a set of RC server replicas. Because the registry is
@@ -388,7 +392,7 @@ func (c *Client) PingContext(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return d.String()
+	return d.StringMax(maxWireURI)
 }
 
 // SetContext makes value the sole live value of (uri, name).
@@ -508,7 +512,7 @@ func (c *Client) valuesRemote(ctx context.Context, uri, name string) ([]string, 
 	if err != nil {
 		return nil, err
 	}
-	return d.StringSlice()
+	return d.StringSliceMax(maxWireItems, maxWireValue)
 }
 
 // FirstValueContext returns the most recently written live value of
@@ -542,7 +546,7 @@ func (c *Client) firstRemote(ctx context.Context, uri, name string) (string, boo
 	if err != nil {
 		return "", false, err
 	}
-	v, err := d.String()
+	v, err := d.StringMax(maxWireValue)
 	return v, ok, err
 }
 
@@ -552,7 +556,7 @@ func (c *Client) URIsContext(ctx context.Context, prefix string) ([]string, erro
 	if err != nil {
 		return nil, err
 	}
-	return d.StringSlice()
+	return d.StringSliceMax(maxWireItems, maxWireValue)
 }
 
 // VectorContext returns the server's version vector.

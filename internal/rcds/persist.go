@@ -49,11 +49,11 @@ func LoadStore(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("rcds: reading snapshot: %w", err)
 	}
 	d := xdr.NewDecoder(data)
-	magic, err := d.String()
+	magic, err := d.StringMax(64)
 	if err != nil || magic != snapshotMagic {
 		return nil, fmt.Errorf("rcds: not an RC snapshot (magic %q, err %v)", magic, err)
 	}
-	origin, err := d.String()
+	origin, err := d.StringMax(maxWireURI)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func LoadStore(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	for i := uint32(0); i < nOrigins; i++ {
-		if _, err := d.String(); err != nil { // origin name; ops carry it too
+		if _, err := d.StringMax(maxWireURI); err != nil { // origin name; ops carry it too
 			return nil, err
 		}
 		nOps, err := d.Uint32()
@@ -91,8 +91,8 @@ func LoadStore(r io.Reader) (*Store, error) {
 	// inferred (replay can only raise lamport, never above the saved
 	// value plus op clocks; restore the exact counters).
 	d2 := xdr.NewDecoder(data)
-	d2.String() // magic
-	d2.String() // origin
+	d2.StringMax(64)         // magic
+	d2.StringMax(maxWireURI) // origin
 	lamport, _ := d2.Uint64()
 	seq, _ := d2.Uint64()
 	s.mu.Lock()

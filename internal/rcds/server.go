@@ -195,9 +195,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				time.Sleep(s.testDelay)
 			}
 			resp := s.dispatch(body)
+			// The writer lock only serialises responses multiplexed onto
+			// this one client connection; a stalled client stalls its own
+			// responses, nothing else.
 			writeMu.Lock()
 			defer writeMu.Unlock()
-			writeFrame(conn, muxBody(id, resp), s.secret)
+			writeFrame(conn, muxBody(id, resp), s.secret) //lint:allow lockedio intentional per-connection response writer lock
 		}(id, body)
 	}
 }
@@ -235,11 +238,11 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
-		signer, err := d.String()
+		signer, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
-		sig, err := d.BytesCopy()
+		sig, err := d.BytesCopyMax(maxWireSig)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -248,11 +251,11 @@ func (s *Server) dispatch(body []byte) []byte {
 		return okResponse(nil)
 
 	case cmdRemoveAll:
-		uri, err := d.String()
+		uri, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
-		name, err := d.String()
+		name, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -261,7 +264,7 @@ func (s *Server) dispatch(body []byte) []byte {
 		return okResponse(nil)
 
 	case cmdGet:
-		uri, err := d.String()
+		uri, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -269,22 +272,22 @@ func (s *Server) dispatch(body []byte) []byte {
 		return okResponse(func(e *xdr.Encoder) { EncodeAssertions(e, as) })
 
 	case cmdValues:
-		uri, err := d.String()
+		uri, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
-		name, err := d.String()
+		name, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
 		return okResponse(func(e *xdr.Encoder) { e.PutStringSlice(s.store.Values(uri, name)) })
 
 	case cmdFirst:
-		uri, err := d.String()
+		uri, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
-		name, err := d.String()
+		name, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -292,7 +295,7 @@ func (s *Server) dispatch(body []byte) []byte {
 		return okResponse(func(e *xdr.Encoder) { e.PutBool(ok); e.PutString(v) })
 
 	case cmdURIs:
-		prefix, err := d.String()
+		prefix, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -353,13 +356,13 @@ func (s *Server) dispatch(body []byte) []byte {
 }
 
 func decodeTriple(d *xdr.Decoder) (uri, name, value string, err error) {
-	if uri, err = d.String(); err != nil {
+	if uri, err = d.StringMax(maxWireURI); err != nil {
 		return
 	}
-	if name, err = d.String(); err != nil {
+	if name, err = d.StringMax(maxWireURI); err != nil {
 		return
 	}
-	value, err = d.String()
+	value, err = d.StringMax(maxWireValue)
 	return
 }
 

@@ -1,6 +1,7 @@
 package rcds
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -28,21 +29,21 @@ func TestSignedAssertionEndToEnd(t *testing.T) {
 	}
 	mallory, _ := seckey.NewPrincipal("urn:snipe:user:mallory", &detRand{state: 2})
 
-	if err := c.PublishKey(alice); err != nil {
+	if err := c.PublishKey(context.Background(), alice); err != nil {
 		t.Fatal(err)
 	}
-	c.PublishKey(mallory)
+	c.PublishKey(context.Background(), mallory)
 
 	// Alice publishes a signed location; Mallory forges one claiming to
 	// be Alice; an unsigned value is also present.
-	if err := c.AddSignedBy(alice, "urn:snipe:file:data", AttrLocation, "https://good/data"); err != nil {
+	if err := c.AddSignedBy(context.Background(), alice, "urn:snipe:file:data", AttrLocation, "https://good/data"); err != nil {
 		t.Fatal(err)
 	}
 	forged := SignAssertionValue(mallory, "urn:snipe:file:data", AttrLocation, "https://evil/data")
 	c.AddSigned("urn:snipe:file:data", AttrLocation, "https://evil/data", alice.Name, forged)
 	c.Add("urn:snipe:file:data", AttrLocation, "https://unsigned/data")
 
-	values, signers, err := c.VerifiedValues("urn:snipe:file:data", AttrLocation)
+	values, signers, err := c.VerifiedValues(context.Background(), "urn:snipe:file:data", AttrLocation)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,8 +77,8 @@ func TestSignedAssertionSurvivesReplication(t *testing.T) {
 	c0 := NewClient([]string{servers[0].Addr()}, nil)
 	defer c0.Close()
 	alice, _ := seckey.NewPrincipal("urn:a", &detRand{state: 4})
-	c0.PublishKey(alice)
-	if err := c0.AddSignedBy(alice, "urn:doc", "hash", "abc123"); err != nil {
+	c0.PublishKey(context.Background(), alice)
+	if err := c0.AddSignedBy(context.Background(), alice, "urn:doc", "hash", "abc123"); err != nil {
 		t.Fatal(err)
 	}
 	// Read through the other replica: the signature replicated intact.
@@ -86,7 +87,7 @@ func TestSignedAssertionSurvivesReplication(t *testing.T) {
 	if _, err := c1.WaitFor("urn:doc", "hash", 5e9); err != nil {
 		t.Fatal(err)
 	}
-	values, _, err := c1.VerifiedValues("urn:doc", "hash")
+	values, _, err := c1.VerifiedValues(context.Background(), "urn:doc", "hash")
 	if err != nil || len(values) != 1 || values[0] != "abc123" {
 		t.Fatalf("replicated signed value: %v %v", values, err)
 	}

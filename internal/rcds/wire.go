@@ -164,12 +164,16 @@ func parseResponse(body []byte) (*xdr.Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	if status == statusErr {
-		msg, err := d.String()
+	switch status {
+	case statusOK:
+		return d, nil
+	case statusErr:
+		msg, err := d.StringMax(maxWireValue)
 		if err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+	default:
+		return nil, fmt.Errorf("%w: unknown response status %d", ErrServer, status)
 	}
-	return d, nil
 }

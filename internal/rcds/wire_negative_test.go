@@ -1,0 +1,64 @@
+package rcds
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"snipe/internal/xdr"
+)
+
+// TestParseResponseNegative exercises the hostile shapes a response
+// body can take: truncated frames, an error string whose declared
+// length exceeds both the cap and the bytes present, and status tags
+// the protocol does not define.
+func TestParseResponseNegative(t *testing.T) {
+	// statusErr followed by a 2 GB claimed string length and no body.
+	oversized := []byte{statusErr}
+	oversized = binary.BigEndian.AppendUint32(oversized, 2<<30)
+
+	// statusErr with a declared length just over the per-value cap,
+	// and enough real bytes to back it: the cap must fire, not the
+	// truncation check.
+	overCap := []byte{statusErr}
+	overCap = binary.BigEndian.AppendUint32(overCap, maxWireValue+1)
+	overCap = append(overCap, make([]byte, maxWireValue+3)...)
+
+	cases := []struct {
+		name    string
+		body    []byte
+		wantErr error  // errors.Is target, nil = any error
+		wantSub string // substring of the message, "" = skip
+	}{
+		{name: "empty body", body: nil},
+		{name: "truncated error string", body: []byte{statusErr, 0, 0, 0, 10, 'h', 'i'}},
+		{name: "oversized error length", body: oversized, wantErr: xdr.ErrStringTooLong},
+		{name: "error length over value cap", body: overCap, wantErr: xdr.ErrStringTooLong},
+		{name: "unknown status tag", body: []byte{0x7f, 0, 0, 0, 0}, wantErr: ErrServer, wantSub: "unknown response status"},
+		{name: "high status tag", body: []byte{0xff}, wantErr: ErrServer, wantSub: "unknown response status"},
+		{name: "server error passes through", body: errResponse(errors.New("boom")), wantErr: ErrServer, wantSub: "boom"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := parseResponse(tc.body)
+			if err == nil {
+				t.Fatalf("parseResponse(%x) accepted (decoder %v)", tc.body, d)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v, want errors.Is(%v)", err, tc.wantErr)
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The well-formed shapes still parse.
+	if _, err := parseResponse(okResponse(nil)); err != nil {
+		t.Fatalf("empty OK response rejected: %v", err)
+	}
+	if _, err := parseResponse(okResponse(func(e *xdr.Encoder) { e.PutString("x") })); err != nil {
+		t.Fatalf("OK response rejected: %v", err)
+	}
+}

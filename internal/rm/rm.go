@@ -36,6 +36,10 @@ import (
 	"snipe/internal/xdr"
 )
 
+// maxWireHost caps host names, URLs and error strings decoded off the
+// wire, so a corrupt length prefix fails fast.
+const maxWireHost = 4096
+
 // ServiceName is the well-known replicated-service name for resource
 // managers; RMs register their process URNs as AttrLocation values of
 // naming.ServiceURN(ServiceName).
@@ -281,13 +285,13 @@ func (m *Manager) handle(msg *comm.Message) {
 		}
 		putResult(e, urn, err)
 	case opReserve:
-		host, err := d.String()
+		host, err := d.StringMax(maxWireHost)
 		if err == nil {
 			m.Reserve(host)
 		}
 		putResult(e, host, err)
 	case opRelease:
-		host, err := d.String()
+		host, err := d.StringMax(maxWireHost)
 		if err == nil {
 			m.Release(host)
 		}
@@ -397,7 +401,7 @@ func (c *Client) awaitResp(rmURN string, reqID uint64, timeout time.Duration) (s
 		if err != nil {
 			return "", err
 		}
-		s, err := d.String()
+		s, err := d.StringMax(maxWireHost)
 		if err != nil {
 			return "", err
 		}

@@ -206,18 +206,25 @@ func (s *Statement) Encode(e *xdr.Encoder) {
 	e.PutBytes(s.Signature)
 }
 
+// Per-field wire-decode caps: names, purposes and field entries are
+// short strings; an ed25519 signature is 64 bytes plus slack.
+const (
+	maxWireField = 4096
+	maxWireSig   = 256
+)
+
 // DecodeStatement reads a statement previously written by Encode.
 func DecodeStatement(d *xdr.Decoder) (*Statement, error) {
 	s := &Statement{}
 	var err error
-	if s.Subject, err = d.String(); err != nil {
+	if s.Subject, err = d.StringMax(maxWireField); err != nil {
 		return nil, err
 	}
-	if s.Signer, err = d.String(); err != nil {
+	if s.Signer, err = d.StringMax(maxWireField); err != nil {
 		return nil, err
 	}
 	var purpose string
-	if purpose, err = d.String(); err != nil {
+	if purpose, err = d.StringMax(maxWireField); err != nil {
 		return nil, err
 	}
 	s.Purpose = Purpose(purpose)
@@ -225,15 +232,20 @@ func DecodeStatement(d *xdr.Decoder) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each field costs at least 8 encoded bytes (two string lengths);
+	// fail fast on hostile counts before the map preallocation below.
+	if int64(n)*8 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("seckey: field count %d exceeds remaining %d bytes", n, d.Remaining())
+	}
 	if n > 0 {
-		s.Fields = make(map[string]string, n)
+		s.Fields = make(map[string]string, min(int(n), 1024))
 	}
 	for i := uint32(0); i < n; i++ {
-		k, err := d.String()
+		k, err := d.StringMax(maxWireField)
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.String()
+		v, err := d.StringMax(maxWireField)
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +257,7 @@ func DecodeStatement(d *xdr.Decoder) (*Statement, error) {
 	if s.NotAfter, err = d.Uint64(); err != nil {
 		return nil, err
 	}
-	if s.Signature, err = d.BytesCopy(); err != nil {
+	if s.Signature, err = d.BytesCopyMax(maxWireSig); err != nil {
 		return nil, err
 	}
 	return s, nil

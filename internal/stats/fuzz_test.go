@@ -1,0 +1,31 @@
+//go:build go1.18
+
+package stats
+
+import "testing"
+
+func FuzzParseSnapshot(f *testing.F) {
+	r := NewRegistry()
+	r.Counter("send_total").Inc()
+	r.Gauge("queue_depth").Set(3)
+	r.Histogram("rtt_ms", []float64{1, 10, 100}).Observe(4)
+	b, _ := r.Snapshot().JSON()
+	f.Add(b)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"counters":{"x":18446744073709551615}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := ParseSnapshot(b)
+		if err != nil {
+			return
+		}
+		// A parsed snapshot must survive re-marshalling.
+		b2, err := s.JSON()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if _, err := ParseSnapshot(b2); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

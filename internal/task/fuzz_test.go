@@ -1,0 +1,60 @@
+//go:build go1.18
+
+package task
+
+import (
+	"bytes"
+	"testing"
+
+	"snipe/internal/xdr"
+)
+
+func fuzzSpecBytes(s Spec) []byte {
+	e := xdr.NewEncoder(128)
+	s.Encode(e)
+	return e.Bytes()
+}
+
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add(fuzzSpecBytes(Spec{Program: "worker", Args: []string{"-n", "4"}}))
+	f.Add(fuzzSpecBytes(Spec{
+		Program: "mobile", CodeURL: "snipe://files/prog.img",
+		Req:        Requirements{Arch: "sparc", MinMemoryMB: 64, Host: "tcp://h:1", Playground: true},
+		NotifyList: []string{"urn:parent"},
+		Checkpoint: []byte{1, 2, 3}, SeqState: []byte{4, 5},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 'h', 'i', 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSpec(xdr.NewDecoder(b))
+		if err != nil {
+			return
+		}
+		again, err := DecodeSpec(xdr.NewDecoder(fuzzSpecBytes(s)))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Program != s.Program || len(again.Args) != len(s.Args) ||
+			again.Req != s.Req || again.CodeURL != s.CodeURL ||
+			!bytes.Equal(again.Checkpoint, s.Checkpoint) || !bytes.Equal(again.SeqState, s.SeqState) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", s, again)
+		}
+	})
+}
+
+func FuzzDecodeStateChange(f *testing.F) {
+	sc := StateChange{URN: "urn:t", From: StateRunning, To: StateExited, Host: "tcp://h:1"}
+	f.Add(EncodeStateChange(sc))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := DecodeStateChange(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeStateChange(EncodeStateChange(got))
+		if err != nil || again != got {
+			t.Fatalf("round-trip mismatch: %+v vs %+v (err %v)", got, again, err)
+		}
+	})
+}

@@ -135,17 +135,27 @@ func (s *Spec) Encode(e *xdr.Encoder) {
 	e.PutBytes(s.SeqState)
 }
 
+// Per-field wire-decode caps handed to the xdr *Max decoders: names,
+// URLs and argv entries are short strings; checkpoint and sequence
+// state can be large (a migrating task's full state) but must stay
+// bounded.
+const (
+	maxWireString = 4096
+	maxWireList   = 4096     // argv / notify-list entries
+	maxWireState  = 64 << 20 // checkpoint and comm sequence state
+)
+
 // DecodeSpec reads a spec written by Encode.
 func DecodeSpec(d *xdr.Decoder) (Spec, error) {
 	var s Spec
 	var err error
-	if s.Program, err = d.String(); err != nil {
+	if s.Program, err = d.StringMax(maxWireString); err != nil {
 		return s, err
 	}
-	if s.Args, err = d.StringSlice(); err != nil {
+	if s.Args, err = d.StringSliceMax(maxWireList, maxWireString); err != nil {
 		return s, err
 	}
-	if s.Req.Arch, err = d.String(); err != nil {
+	if s.Req.Arch, err = d.StringMax(maxWireString); err != nil {
 		return s, err
 	}
 	var mem uint32
@@ -153,25 +163,25 @@ func DecodeSpec(d *xdr.Decoder) (Spec, error) {
 		return s, err
 	}
 	s.Req.MinMemoryMB = int(mem)
-	if s.Req.Host, err = d.String(); err != nil {
+	if s.Req.Host, err = d.StringMax(maxWireString); err != nil {
 		return s, err
 	}
 	if s.Req.Playground, err = d.Bool(); err != nil {
 		return s, err
 	}
-	if s.NotifyList, err = d.StringSlice(); err != nil {
+	if s.NotifyList, err = d.StringSliceMax(maxWireList, maxWireString); err != nil {
 		return s, err
 	}
-	if s.CodeURL, err = d.String(); err != nil {
+	if s.CodeURL, err = d.StringMax(maxWireString); err != nil {
 		return s, err
 	}
-	if s.Checkpoint, err = d.BytesCopy(); err != nil {
+	if s.Checkpoint, err = d.BytesCopyMax(maxWireState); err != nil {
 		return s, err
 	}
 	if len(s.Checkpoint) == 0 {
 		s.Checkpoint = nil
 	}
-	if s.SeqState, err = d.BytesCopy(); err != nil {
+	if s.SeqState, err = d.BytesCopyMax(maxWireState); err != nil {
 		return s, err
 	}
 	if len(s.SeqState) == 0 {
@@ -421,18 +431,18 @@ func DecodeStateChange(b []byte) (StateChange, error) {
 	d := xdr.NewDecoder(b)
 	var sc StateChange
 	var err error
-	if sc.URN, err = d.String(); err != nil {
+	if sc.URN, err = d.StringMax(maxWireString); err != nil {
 		return sc, err
 	}
 	var from, to string
-	if from, err = d.String(); err != nil {
+	if from, err = d.StringMax(maxWireString); err != nil {
 		return sc, err
 	}
-	if to, err = d.String(); err != nil {
+	if to, err = d.StringMax(maxWireString); err != nil {
 		return sc, err
 	}
 	sc.From, sc.To = State(from), State(to)
-	if sc.Host, err = d.String(); err != nil {
+	if sc.Host, err = d.StringMax(maxWireString); err != nil {
 		return sc, err
 	}
 	return sc, nil

@@ -1,0 +1,174 @@
+package xdr
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// hostileLen returns a buffer whose length prefix claims n bytes but
+// which carries almost no payload.
+func hostileLen(n uint32) []byte {
+	e := NewEncoder(8)
+	e.PutUint32(n)
+	e.PutRaw([]byte{1, 2, 3})
+	return e.Bytes()
+}
+
+// TestHostileLengthFailsFastWithoutAllocating proves the MaxDecodeLen
+// guard: a frame claiming a 2 GB string/slice errors out before any
+// allocation is sized from the declared length.
+func TestHostileLengthFailsFastWithoutAllocating(t *testing.T) {
+	const claimed = 2 << 30 // 2 GiB, above MaxDecodeLen
+	buf := hostileLen(claimed)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+
+	decodes := []struct {
+		name string
+		fn   func(d *Decoder) error
+	}{
+		{"String", func(d *Decoder) error { _, err := d.String(); return err }},
+		{"Bytes", func(d *Decoder) error { _, err := d.Bytes(); return err }},
+		{"BytesCopy", func(d *Decoder) error { _, err := d.BytesCopy(); return err }},
+		{"StringSlice", func(d *Decoder) error { _, err := d.StringSlice(); return err }},
+		{"StringMax", func(d *Decoder) error { _, err := d.StringMax(16); return err }},
+		{"BytesCopyMax", func(d *Decoder) error { _, err := d.BytesCopyMax(16); return err }},
+	}
+	for _, tc := range decodes {
+		err := tc.fn(NewDecoder(buf))
+		if err == nil {
+			t.Fatalf("%s: hostile 2 GB length accepted", tc.name)
+		}
+		if !errors.Is(err, ErrStringTooLong) {
+			t.Errorf("%s: err = %v, want ErrStringTooLong", tc.name, err)
+		}
+	}
+
+	runtime.ReadMemStats(&ms1)
+	if grew := ms1.TotalAlloc - ms0.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("decoding hostile lengths allocated %d bytes; want < 1 MiB", grew)
+	}
+}
+
+func TestStringSliceHostileCountFailsFast(t *testing.T) {
+	// Claim 500M items in an 8-byte buffer: must fail on the count
+	// alone, before looping.
+	d := NewDecoder(hostileLen(500 << 20))
+	if _, err := d.StringSlice(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("err = %v, want ErrStringTooLong", err)
+	}
+	// And a count above an explicit item cap.
+	e := NewEncoder(16)
+	e.PutStringSlice([]string{"a", "b", "c"})
+	d = NewDecoder(e.Bytes())
+	if _, err := d.StringSliceMax(2, 16); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("err = %v, want ErrStringTooLong for item-cap overflow", err)
+	}
+}
+
+func TestCappedVariants(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutString("hello")
+	e.PutBytes([]byte{9, 9, 9})
+	e.PutStringSlice([]string{"xx", "yy"})
+
+	d := NewDecoder(e.Bytes())
+	s, err := d.StringMax(5)
+	if err != nil || s != "hello" {
+		t.Fatalf("StringMax = %q, %v", s, err)
+	}
+	b, err := d.BytesCopyMax(3)
+	if err != nil || len(b) != 3 {
+		t.Fatalf("BytesCopyMax = %v, %v", b, err)
+	}
+	ss, err := d.StringSliceMax(2, 2)
+	if err != nil || len(ss) != 2 {
+		t.Fatalf("StringSliceMax = %v, %v", ss, err)
+	}
+
+	// Same data, caps one too small.
+	d = NewDecoder(e.Bytes())
+	if _, err := d.StringMax(4); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("StringMax(4) err = %v", err)
+	}
+	d = NewDecoder(e.Bytes())
+	d.StringMax(5)
+	if _, err := d.BytesMax(2); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("BytesMax(2) err = %v", err)
+	}
+	d = NewDecoder(e.Bytes())
+	d.StringMax(5)
+	d.BytesMax(3)
+	if _, err := d.StringSliceMax(2, 1); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("StringSliceMax(2,1) err = %v", err)
+	}
+}
+
+// TestDecodeErrorsCarryKindAndOffset covers the diagnosability fix:
+// every decode error names what was being read and where.
+func TestDecodeErrorsCarryKindAndOffset(t *testing.T) {
+	// Short scalar: three bytes where a uint32 is needed at offset 0.
+	d := NewDecoder([]byte{1, 2, 3})
+	_, err := d.Uint32()
+	if !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	for _, want := range []string{"uint32", "offset 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// Scalar mid-buffer: the offset must reflect the cursor.
+	d = NewDecoder([]byte{1, 2, 3})
+	d.Uint16()
+	_, err = d.Uint64()
+	if !strings.Contains(err.Error(), "uint64 at offset 2") {
+		t.Errorf("error %q missing kind+offset", err)
+	}
+
+	// Over-cap length prefix names the kind, offset, and both sizes.
+	e := NewEncoder(16)
+	e.PutUint8(7)
+	e.PutString("too long for cap")
+	d = NewDecoder(e.Bytes())
+	d.Uint8()
+	_, err = d.StringMax(4)
+	for _, want := range []string{"string", "offset 1", "exceeds cap 4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// Unpacker type mismatch names both kinds and the tag offset.
+	p := NewPacker(16)
+	p.PackInt8(1)
+	p.PackString("x")
+	u := NewUnpacker(p.Bytes())
+	u.Int8()
+	_, err = u.Int64()
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+	for _, want := range []string{"offset 2", "want int64", "got string"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestUnpackerSliceCountGuard(t *testing.T) {
+	// A []int64 claiming 1<<31 items must fail fast (the old int
+	// multiplication guard could be bypassed on 32-bit hosts).
+	e := NewEncoder(16)
+	e.PutUint8(uint8(KindInt64Slice))
+	e.PutUint32(1 << 31)
+	u := NewUnpacker(e.Bytes())
+	if _, err := u.Int64Slice(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("err = %v, want ErrStringTooLong", err)
+	}
+}

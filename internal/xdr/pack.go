@@ -167,12 +167,13 @@ func (u *Unpacker) NextKind() (Kind, error) {
 }
 
 func (u *Unpacker) expect(k Kind) error {
+	off := u.dec.Offset()
 	got, err := u.dec.Uint8()
 	if err != nil {
 		return err
 	}
 	if Kind(got) != k {
-		return fmt.Errorf("%w: want %v, got %v", ErrTypeMismatch, k, Kind(got))
+		return fmt.Errorf("%w: at offset %d: want %v, got %v", ErrTypeMismatch, off, k, Kind(got))
 	}
 	return nil
 }
@@ -290,8 +291,9 @@ func (u *Unpacker) Int64Slice() ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(n)*8 > u.dec.Remaining() {
-		return nil, ErrStringTooLong
+	if int64(n)*8 > int64(u.dec.Remaining()) {
+		return nil, fmt.Errorf("%w: []int64 at offset %d: declared %d items, remaining %d bytes",
+			ErrStringTooLong, u.dec.Offset()-4, n, u.dec.Remaining())
 	}
 	out := make([]int64, n)
 	for i := range out {
@@ -311,8 +313,9 @@ func (u *Unpacker) Float64Slice() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if int(n)*8 > u.dec.Remaining() {
-		return nil, ErrStringTooLong
+	if int64(n)*8 > int64(u.dec.Remaining()) {
+		return nil, fmt.Errorf("%w: []float64 at offset %d: declared %d items, remaining %d bytes",
+			ErrStringTooLong, u.dec.Offset()-4, n, u.dec.Remaining())
 	}
 	out := make([]float64, n)
 	for i := range out {

@@ -32,9 +32,16 @@ var (
 	ErrTrailingData = errors.New("xdr: trailing data")
 )
 
-// MaxLen bounds any single declared string/byte-slice length, as a
-// defence against corrupt or hostile length prefixes.
-const MaxLen = 1 << 28 // 256 MiB
+// MaxDecodeLen bounds any single declared string/byte-slice length, as
+// a defence against corrupt or hostile length prefixes: no decode path
+// ever sizes an allocation from a declared length above this, so a
+// frame claiming a 2 GB string fails fast without allocating.
+//
+// Wire decoders should normally pass a much tighter, field-appropriate
+// cap to the *Max variants (StringMax, BytesMax, BytesCopyMax,
+// StringSliceMax); the snipe-lint xdrbound analyzer enforces that the
+// uncapped forms are not used outside this package.
+const MaxDecodeLen = 1 << 28 // 256 MiB
 
 // Encoder accumulates a big-endian binary encoding. The zero value is
 // ready to use.
@@ -153,6 +160,14 @@ func (d *Decoder) Finish() error {
 	return nil
 }
 
+// errShort builds an ErrShortBuffer that names the kind being decoded
+// and the offset where the buffer ran out, so a corrupted frame (or a
+// fuzzer crash) is diagnosable from the error alone.
+func (d *Decoder) errShort(kind string, need int) error {
+	return fmt.Errorf("%w: %s at offset %d: need %d bytes, have %d",
+		ErrShortBuffer, kind, d.off, need, d.Remaining())
+}
+
 func (d *Decoder) need(n int) error {
 	if d.Remaining() < n {
 		return ErrShortBuffer
@@ -162,8 +177,8 @@ func (d *Decoder) need(n int) error {
 
 // Uint8 reads a single byte.
 func (d *Decoder) Uint8() (uint8, error) {
-	if err := d.need(1); err != nil {
-		return 0, err
+	if d.Remaining() < 1 {
+		return 0, d.errShort("uint8", 1)
 	}
 	v := d.buf[d.off]
 	d.off++
@@ -172,8 +187,8 @@ func (d *Decoder) Uint8() (uint8, error) {
 
 // Uint16 reads a big-endian 16-bit value.
 func (d *Decoder) Uint16() (uint16, error) {
-	if err := d.need(2); err != nil {
-		return 0, err
+	if d.Remaining() < 2 {
+		return 0, d.errShort("uint16", 2)
 	}
 	v := uint16(d.buf[d.off])<<8 | uint16(d.buf[d.off+1])
 	d.off += 2
@@ -182,8 +197,8 @@ func (d *Decoder) Uint16() (uint16, error) {
 
 // Uint32 reads a big-endian 32-bit value.
 func (d *Decoder) Uint32() (uint32, error) {
-	if err := d.need(4); err != nil {
-		return 0, err
+	if d.Remaining() < 4 {
+		return 0, d.errShort("uint32", 4)
 	}
 	b := d.buf[d.off:]
 	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
@@ -193,8 +208,8 @@ func (d *Decoder) Uint32() (uint32, error) {
 
 // Uint64 reads a big-endian 64-bit value.
 func (d *Decoder) Uint64() (uint64, error) {
-	if err := d.need(8); err != nil {
-		return 0, err
+	if d.Remaining() < 8 {
+		return 0, d.errShort("uint64", 8)
 	}
 	b := d.buf[d.off:]
 	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
@@ -245,33 +260,73 @@ func (d *Decoder) Bool() (bool, error) {
 	return v != 0, err
 }
 
-// String reads a length-prefixed string.
-func (d *Decoder) String() (string, error) {
-	b, err := d.Bytes()
-	return string(b), err
-}
-
-// Bytes reads a length-prefixed byte slice. The returned slice aliases
-// the decoder's underlying buffer.
-func (d *Decoder) Bytes() ([]byte, error) {
+// lengthPrefixed reads one length-prefixed field of the given kind,
+// rejecting declared lengths above max (and always above MaxDecodeLen)
+// before anything is allocated or consumed past the prefix.
+func (d *Decoder) lengthPrefixed(kind string, max int) ([]byte, error) {
+	if max < 0 || max > MaxDecodeLen {
+		max = MaxDecodeLen
+	}
+	off := d.off
 	n, err := d.Uint32()
 	if err != nil {
 		return nil, err
 	}
-	if n > MaxLen {
-		return nil, ErrStringTooLong
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("%w: %s at offset %d: declared %d exceeds cap %d",
+			ErrStringTooLong, kind, off, n, max)
 	}
-	if err := d.need(int(n)); err != nil {
-		return nil, fmt.Errorf("%w: declared %d, remaining %d", ErrStringTooLong, n, d.Remaining())
+	if d.Remaining() < int(n) {
+		return nil, fmt.Errorf("%w: %s at offset %d: declared %d, remaining %d",
+			ErrStringTooLong, kind, off, n, d.Remaining())
 	}
 	b := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
 	return b, nil
 }
 
+// String reads a length-prefixed string.
+//
+// Wire decoders should prefer StringMax with a field-appropriate cap.
+func (d *Decoder) String() (string, error) {
+	b, err := d.lengthPrefixed("string", MaxDecodeLen)
+	return string(b), err
+}
+
+// StringMax reads a length-prefixed string, rejecting declared lengths
+// above max.
+func (d *Decoder) StringMax(max int) (string, error) {
+	b, err := d.lengthPrefixed("string", max)
+	return string(b), err
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases
+// the decoder's underlying buffer.
+//
+// Wire decoders should prefer BytesMax with a field-appropriate cap.
+func (d *Decoder) Bytes() ([]byte, error) {
+	return d.lengthPrefixed("bytes", MaxDecodeLen)
+}
+
+// BytesMax reads a length-prefixed byte slice, rejecting declared
+// lengths above max. The returned slice aliases the decoder's
+// underlying buffer.
+func (d *Decoder) BytesMax(max int) ([]byte, error) {
+	return d.lengthPrefixed("bytes", max)
+}
+
 // BytesCopy reads a length-prefixed byte slice into fresh storage.
+//
+// Wire decoders should prefer BytesCopyMax with a field-appropriate
+// cap.
 func (d *Decoder) BytesCopy() ([]byte, error) {
-	b, err := d.Bytes()
+	return d.BytesCopyMax(MaxDecodeLen)
+}
+
+// BytesCopyMax reads a length-prefixed byte slice into fresh storage,
+// rejecting declared lengths above max.
+func (d *Decoder) BytesCopyMax(max int) ([]byte, error) {
+	b, err := d.lengthPrefixed("bytes", max)
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +342,7 @@ func (d *Decoder) Raw(n int) ([]byte, error) {
 		return nil, ErrShortBuffer
 	}
 	if err := d.need(n); err != nil {
-		return nil, err
+		return nil, d.errShort("raw", n)
 	}
 	b := d.buf[d.off : d.off+n]
 	d.off += n
@@ -295,17 +350,38 @@ func (d *Decoder) Raw(n int) ([]byte, error) {
 }
 
 // StringSlice reads a count-prefixed sequence of strings.
+//
+// Wire decoders should prefer StringSliceMax with field-appropriate
+// caps.
 func (d *Decoder) StringSlice() ([]string, error) {
+	return d.StringSliceMax(MaxDecodeLen, MaxDecodeLen)
+}
+
+// StringSliceMax reads a count-prefixed sequence of strings, rejecting
+// counts above maxItems and individual strings longer than maxEach. A
+// declared count that could not fit in the remaining bytes (each
+// element costs at least its 4-byte length prefix) fails fast before
+// any element is decoded.
+func (d *Decoder) StringSliceMax(maxItems, maxEach int) ([]string, error) {
+	if maxItems < 0 || maxItems > MaxDecodeLen {
+		maxItems = MaxDecodeLen
+	}
+	off := d.off
 	n, err := d.Uint32()
 	if err != nil {
 		return nil, err
 	}
-	if n > MaxLen {
-		return nil, ErrStringTooLong
+	if int64(n) > int64(maxItems) {
+		return nil, fmt.Errorf("%w: string slice at offset %d: declared %d items exceeds cap %d",
+			ErrStringTooLong, off, n, maxItems)
+	}
+	if int64(n)*4 > int64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: string slice at offset %d: declared %d items, remaining %d bytes",
+			ErrStringTooLong, off, n, d.Remaining())
 	}
 	out := make([]string, 0, min(int(n), 1024))
 	for i := uint32(0); i < n; i++ {
-		s, err := d.String()
+		s, err := d.StringMax(maxEach)
 		if err != nil {
 			return nil, err
 		}
