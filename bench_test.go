@@ -3,6 +3,7 @@
 // EXPERIMENTS.md for paper-vs-measured numbers):
 //
 //	BenchmarkFig1/*          — Fig. 1 bandwidth curves per medium/transport
+//	BenchmarkMultipath/*     — §5.3 striped aggregate vs best single medium
 //	BenchmarkMPIConnect,
 //	BenchmarkPVMPI           — §6.1 inter-MPP point-to-point comparison (E2)
 //	BenchmarkAvailability/*  — metadata availability under failures (E3)
@@ -48,6 +49,24 @@ func BenchmarkFig1(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+func BenchmarkMultipath(b *testing.B) {
+	var seed uint64 = 9000
+	for _, size := range []int{1048576, 4194304} {
+		size := size
+		b.Run(fmt.Sprintf("%s+%s/%dB", bench.MultipathMedia[0].Name, bench.MultipathMedia[1].Name, size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed += 20
+				pt, _, err := bench.MeasureMultipath(bench.MultipathMedia, size, seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.MBps, "MB/s")
+				b.ReportMetric(pt.Speedup, "x-vs-best-single")
+			}
+		})
 	}
 }
 

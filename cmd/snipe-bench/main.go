@@ -1,10 +1,10 @@
 // Command snipe-bench regenerates the paper's evaluation artifacts
-// (DESIGN.md experiment index E1–E7) and prints them as the
+// (DESIGN.md experiment index E1–E8) and prints them as the
 // rows/series the paper reports.
 //
 // Usage:
 //
-//	snipe-bench -experiment fig1|mpiconnect|availability|multicast|migration|scalability|failover|rudploss|all
+//	snipe-bench -experiment fig1|multipath|mpiconnect|availability|multicast|migration|scalability|failover|rudploss|all
 //	snipe-bench -experiment fig1 -quick
 package main
 
@@ -23,6 +23,7 @@ var (
 	experiment = flag.String("experiment", "all", "which experiment to run")
 	quick      = flag.Bool("quick", false, "reduced sweeps for a fast run")
 	fig1Out    = flag.String("fig1-out", "BENCH_fig1.json", "path for the fig1 JSON artifact (empty to skip)")
+	mpOut      = flag.String("multipath-out", "BENCH_multipath.json", "path for the multipath JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -38,8 +39,9 @@ func main() {
 		"failover":     runFailover,
 		"rudploss":     runRUDPLoss,
 		"paths":        runPaths,
+		"multipath":    runMultipath,
 	}
-	order := []string{"fig1", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "rudploss", "paths"}
+	order := []string{"fig1", "multipath", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "rudploss", "paths"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -121,6 +123,52 @@ func runFig1() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d points)\n", *fig1Out, len(points))
+	}
+	return nil
+}
+
+func runMultipath() error {
+	fmt.Println("== multipath / §5.3: striped transmission over two media vs either medium alone ==")
+	sizes := bench.MultipathSizes
+	if *quick {
+		sizes = []int{1048576}
+	}
+	points, scores, err := bench.MultipathSweep(sizes)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "media\tmsg size\tstriped MB/s\tbest single MB/s\tspeedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s+%s\t%d\t%.2f\t%.2f\t%.2fx\n",
+			p.Media[0], p.Media[1], p.MsgSize, p.MBps, p.BestSingle, p.Speedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The claim under test: at large sizes the striped aggregate must
+	// strictly beat the best single medium.
+	for _, p := range points {
+		if p.MsgSize >= 1<<20 && p.MBps <= p.BestSingle {
+			return fmt.Errorf("multipath: striped %.2f MB/s did not beat best single %.2f MB/s at %d bytes",
+				p.MBps, p.BestSingle, p.MsgSize)
+		}
+	}
+	fmt.Println("-- sender route scores after the final striped run --")
+	w = tab()
+	fmt.Fprintln(w, "route\tscore\trtt µs\tgoodput MB/s\terr rate\tsamples")
+	for _, s := range scores {
+		fmt.Fprintf(w, "%s\t%.3g\t%.0f\t%.2f\t%.3f\t%d\n",
+			s.Route, s.Score, s.RTTUs, s.GoodputBps/1e6, s.ErrRate, s.Samples)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if *mpOut != "" {
+		if err := bench.WriteMultipathArtifact(*mpOut, points, scores, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points)\n", *mpOut, len(points))
 	}
 	return nil
 }

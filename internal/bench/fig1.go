@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness that regenerates the
-// paper's evaluation (DESIGN.md experiment index E1–E7). Each
+// paper's evaluation (DESIGN.md experiment index E1–E8). Each
 // experiment is a pure function returning structured results; the
 // root-level testing.B benchmarks and the snipe-bench CLI both call
 // into it.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snipe/internal/stats"
@@ -65,6 +66,45 @@ func WithoutBuffering() EndpointOption {
 	return func(e *Endpoint) { e.buffering = false }
 }
 
+// WithStripeThreshold sets the payload size at or above which messages
+// to multi-homed peers are striped across all healthy routes in
+// parallel. Zero or negative disables striping (the ablation knob for
+// the multipath experiment); smaller messages always use the
+// single-route failover path.
+func WithStripeThreshold(n int) EndpointOption {
+	return func(e *Endpoint) { e.stripeThreshold = n }
+}
+
+// WithStripeWindow bounds how many fragments each route keeps in
+// flight (sent but not yet fragment-acknowledged) during a striped
+// transmission.
+func WithStripeWindow(n int) EndpointOption {
+	return func(e *Endpoint) {
+		if n > 0 {
+			e.stripeWindow = n
+		}
+	}
+}
+
+// WithStripeStall sets how long a striped transmission tolerates zero
+// acknowledgement progress before declaring the routes holding
+// in-flight fragments dead and requeueing their fragments. Defaults to
+// 4× the retry interval, floored at one second.
+func WithStripeStall(d time.Duration) EndpointOption {
+	return func(e *Endpoint) { e.stripeStall = d }
+}
+
+// WithScoreAlpha sets the EWMA smoothing factor (0 < α ≤ 1) of the
+// adaptive route scorer; larger values weight recent observations more
+// heavily.
+func WithScoreAlpha(a float64) EndpointOption {
+	return func(e *Endpoint) {
+		if a > 0 && a <= 1 {
+			e.scoreAlpha = a
+		}
+	}
+}
+
 // WithHandler delivers incoming messages to fn instead of the mailbox.
 // If tags are given, only messages with those tags go to the handler;
 // everything else stays in the mailbox for Recv — letting a component
@@ -89,11 +129,52 @@ type outKey struct {
 
 type outMsg struct {
 	msg         Message
+	route       string    // route key of the last successful single-route send (guarded by Endpoint.mu)
 	enqueued    time.Time // when the message entered the system buffer
 	lastAttempt time.Time
 	backoff     time.Duration // wait after lastAttempt before the next retry
 	attempts    int
 	acked       chan struct{} // closed on acknowledgement
+
+	// Pooled-payload bookkeeping: msg.Payload came from the payload
+	// pool and is recycled when the last reference drops. The system
+	// buffer holds the initial reference (released on ack, or on send
+	// failure with buffering off); each in-progress transmission holds
+	// one more, so a retry racing the ack never reads a recycled
+	// buffer.
+	pooled bool
+	refs   atomic.Int32
+}
+
+// acquirePayload takes a reference on the message payload for the
+// duration of a transmission attempt. It fails if the payload has
+// already been recycled (the message was acknowledged).
+func (om *outMsg) acquirePayload() bool {
+	if !om.pooled {
+		return true
+	}
+	for {
+		n := om.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if om.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// releasePayload drops one payload reference, recycling the buffer
+// when the last reference goes.
+func (om *outMsg) releasePayload() {
+	if !om.pooled {
+		return
+	}
+	if om.refs.Add(-1) == 0 {
+		p := om.msg.Payload
+		om.msg.Payload = nil
+		putPayloadBuf(p)
+	}
 }
 
 // listenerEntry pairs a live listener with the route it advertises, so
@@ -133,6 +214,10 @@ type Endpoint struct {
 	maxRetryBackoff time.Duration
 	routeCacheTTL   time.Duration
 	buffering       bool
+	stripeThreshold int           // stripe payloads at or above this size (≤0 disables)
+	stripeWindow    int           // per-route in-flight fragment window
+	stripeStall     time.Duration // zero-progress window before a stripe fails stuck routes
+	scoreAlpha      float64       // EWMA smoothing factor of the route scorer
 	handler         func(*Message)
 	handlerTags     map[uint32]bool // nil = handler takes all tags
 
@@ -147,6 +232,8 @@ type Endpoint struct {
 	expected     map[string]uint64              // src URN → next delivery seq
 	reorder      map[string]map[uint64]*Message // src URN → seq → message
 	reasm        map[reasmKey]*reassembly
+	stripes      map[reasmKey]*stripeState // in-flight striped transmissions (we are src)
+	scores       map[string]*routeEWMA     // route key → adaptive scoring state
 	mailbox      []*Message
 	handlerQueue []*Message
 	quiesced     bool // migration: stop accepting (and acking) new messages
@@ -168,11 +255,14 @@ type Endpoint struct {
 	mRetried    *stats.Counter
 	mDuplicates *stats.Counter
 	mFragments  *stats.Counter
-	mResolves   *stats.Counter
-	mCacheHits  *stats.Counter
-	mSendErrors *stats.Counter
-	hAckLatency *stats.Histogram // µs, send → end-to-end ack
-	hMsgSize    *stats.Histogram // bytes per application message
+	mResolves     *stats.Counter
+	mCacheHits    *stats.Counter
+	mSendErrors   *stats.Counter
+	mStriped      *stats.Counter   // messages sent via the multi-path stripe path
+	mFragAcks     *stats.Counter   // per-fragment acknowledgements received
+	mFragRequeues *stats.Counter   // fragments requeued off a failed route mid-stripe
+	hAckLatency   *stats.Histogram // µs, send → end-to-end ack
+	hMsgSize      *stats.Histogram // bytes per application message
 }
 
 // NewEndpoint creates an endpoint for urn. Call Listen to accept
@@ -187,6 +277,9 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 		maxRetryBackoff: 5 * time.Second,
 		routeCacheTTL:   250 * time.Millisecond,
 		buffering:       true,
+		stripeThreshold: 256 << 10,
+		stripeWindow:    32,
+		scoreAlpha:      0.2,
 		conns:           make(map[string]FrameConn),
 		routeCache:      make(map[string]routeCacheEntry),
 		nextSeq:         make(map[string]uint64),
@@ -194,6 +287,8 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 		expected:        make(map[string]uint64),
 		reorder:         make(map[string]map[uint64]*Message),
 		reasm:           make(map[reasmKey]*reassembly),
+		stripes:         make(map[reasmKey]*stripeState),
+		scores:          make(map[string]*routeEWMA),
 		done:            make(chan struct{}),
 		metrics:         stats.NewRegistry(),
 	}
@@ -206,10 +301,19 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 	e.mResolves = e.metrics.Counter("resolves")
 	e.mCacheHits = e.metrics.Counter("route_cache_hits")
 	e.mSendErrors = e.metrics.Counter("send_errors")
+	e.mStriped = e.metrics.Counter("striped")
+	e.mFragAcks = e.metrics.Counter("frag_acks")
+	e.mFragRequeues = e.metrics.Counter("frag_requeues")
 	e.hAckLatency = e.metrics.Histogram("ack_latency_us", stats.LatencyBucketsUs)
 	e.hMsgSize = e.metrics.Histogram("msg_size_bytes", stats.SizeBuckets)
 	for _, o := range opts {
 		o(e)
+	}
+	if e.stripeStall <= 0 {
+		e.stripeStall = 4 * e.retryInterval
+		if e.stripeStall < time.Second {
+			e.stripeStall = time.Second
+		}
 	}
 	e.wg.Add(1)
 	go e.retryLoop()
@@ -360,16 +464,6 @@ func (e *Endpoint) SendWaitContext(ctx context.Context, dst string, tag uint32, 
 	}
 }
 
-// SendWait sends and then blocks until the destination acknowledges
-// the message or the timeout expires.
-//
-// Deprecated: use SendWaitContext.
-func (e *Endpoint) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return e.SendWaitContext(ctx, dst, tag, payload)
-}
-
 // ctxErr maps a finished context to the endpoint error vocabulary:
 // deadline expiry is the familiar ErrTimeout, cancellation passes
 // through.
@@ -395,13 +489,15 @@ func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error)
 	}
 	e.nextSeq[dst]++
 	seq := e.nextSeq[dst]
-	cp := make([]byte, len(payload))
+	cp := getPayloadBuf(len(payload))
 	copy(cp, payload)
 	om := &outMsg{
 		msg:      Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp},
 		enqueued: time.Now(),
 		acked:    make(chan struct{}),
+		pooled:   true,
 	}
+	om.refs.Store(1) // the system buffer's reference
 	e.outstanding[outKey{dst, seq}] = om
 	e.mu.Unlock()
 	e.mSent.Inc()
@@ -412,14 +508,22 @@ func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error)
 		e.mu.Lock()
 		delete(e.outstanding, outKey{dst, seq})
 		e.mu.Unlock()
+		om.releasePayload()
 		return nil, err
 	}
 	return om, nil
 }
 
-// transmit attempts to push one buffered message over the best
-// available route, failing over across routes.
+// transmit attempts to push one buffered message toward its
+// destination: large messages to multi-homed peers are striped across
+// every healthy route in parallel (see stripe.go); everything else
+// walks the adaptively scored routes one at a time, failing over on
+// error.
 func (e *Endpoint) transmit(om *outMsg) error {
+	if !om.acquirePayload() {
+		return nil // acknowledged (and recycled) before this attempt began
+	}
+	defer om.releasePayload()
 	e.mu.Lock()
 	om.lastAttempt = time.Now()
 	om.attempts++
@@ -434,8 +538,15 @@ func (e *Endpoint) transmit(om *outMsg) error {
 	if len(routes) == 0 {
 		return fmt.Errorf("%w: %s has no advertised routes", ErrNoRoute, om.msg.Dst)
 	}
+	if e.stripeThreshold > 0 && len(om.msg.Payload) >= e.stripeThreshold {
+		if handled, err := e.transmitStriped(om, local, routes); handled {
+			return err
+		}
+		// Striping didn't apply (single-homed peer, or too few
+		// fragments to split): fall through to single-route failover.
+	}
 	var lastErr error
-	for _, route := range OrderRoutes(local, routes) {
+	for _, route := range e.orderRoutesAdaptive(local, routes) {
 		// Gateway routes (§5.1) expand to the gateway's own addresses;
 		// the frames still name the final destination, and the gateway
 		// relays them.
@@ -446,22 +557,25 @@ func (e *Endpoint) transmit(om *outMsg) error {
 				continue
 			}
 			sent := false
-			for _, gr := range OrderRoutes(local, gwRoutes) {
+			for _, gr := range e.orderRoutesAdaptive(local, gwRoutes) {
 				if gr.Transport == GatewayTransport {
 					continue // no gateway chains: avoids relay cycles
 				}
 				conn, err := e.getConn(gr)
 				if err != nil {
 					lastErr = err
+					e.observeRouteError(gr.String())
 					continue
 				}
 				if err := e.sendOn(conn, om); err != nil {
 					lastErr = err
 					e.mSendErrors.Inc()
+					e.observeRouteError(gr.String())
 					e.dropConn(gr.String(), conn)
 					e.invalidateRoutes(route.Addr)
 					continue
 				}
+				e.noteSentRoute(om, gr.String())
 				sent = true
 				break
 			}
@@ -473,21 +587,33 @@ func (e *Endpoint) transmit(om *outMsg) error {
 		conn, err := e.getConn(route)
 		if err != nil {
 			lastErr = err
+			e.observeRouteError(route.String())
 			continue
 		}
 		if err := e.sendOn(conn, om); err != nil {
 			lastErr = err
 			e.mSendErrors.Inc()
+			e.observeRouteError(route.String())
 			e.dropConn(route.String(), conn)
 			e.invalidateRoutes(om.msg.Dst)
 			continue
 		}
+		e.noteSentRoute(om, route.String())
 		return nil
 	}
 	if lastErr == nil {
 		lastErr = ErrNoRoute
 	}
 	return lastErr
+}
+
+// noteSentRoute records which route carried a single-route
+// transmission, so the end-to-end acknowledgement can credit its
+// RTT/goodput to the right scorer entry.
+func (e *Endpoint) noteSentRoute(om *outMsg, routeKey string) {
+	e.mu.Lock()
+	om.route = routeKey
+	e.mu.Unlock()
 }
 
 // resolveRoutes returns dst's advertised routes, consulting the
@@ -551,14 +677,16 @@ func (e *Endpoint) retryBackoff(attempts int) time.Duration {
 func (e *Endpoint) sendOn(conn FrameConn, om *outMsg) error {
 	m := &om.msg
 	// Per-fragment header: frame type, length-prefixed src and dst,
-	// tag, seq, fragment index/count, payload length prefix.
-	hdr := 33 + len(m.Src) + len(m.Dst)
+	// tag, seq, fragment index/count, flags, payload length prefix.
+	hdr := 34 + len(m.Src) + len(m.Dst)
 	mtu := conn.MTU() - hdr
 	if mtu < 16 {
 		return fmt.Errorf("%w: URNs too long for transport MTU", ErrTooLarge)
 	}
-	for _, f := range fragment(m.Src, m.Dst, m.Tag, m.Seq, m.Payload, mtu) {
-		if err := conn.Send(encodeMsgFrame(f)); err != nil {
+	enc := getFrameEncoder()
+	defer putFrameEncoder(enc)
+	for _, f := range fragment(m.Src, m.Dst, m.Tag, m.Seq, m.Payload, mtu, 0) {
+		if err := conn.Send(encodeMsgFrameInto(enc, f)); err != nil {
 			return err
 		}
 		e.mFragments.Inc()
@@ -673,13 +801,41 @@ func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
 		}
 		e.mu.Lock()
 		om, ok := e.outstanding[outKey{dst, seq}]
+		var route string
+		var attemptAge time.Duration
 		if ok {
 			delete(e.outstanding, outKey{dst, seq})
 			close(om.acked)
+			route = om.route
+			attemptAge = time.Since(om.lastAttempt)
 		}
+		stripe := e.stripes[reasmKey{src, dst, seq}]
 		e.mu.Unlock()
+		if stripe != nil {
+			stripe.cancel() // message-level ack moots any in-flight stripe
+		}
 		if ok {
 			e.hAckLatency.Observe(float64(time.Since(om.enqueued).Microseconds()))
+			if route != "" {
+				e.observeRouteAck(route, len(om.msg.Payload), attemptAge)
+			}
+			om.releasePayload() // the system buffer's reference
+		}
+
+	case frameFragAck:
+		src, dst, seq, fragIdx, err := decodeFragAck(d)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		stripe := e.stripes[reasmKey{src, dst, seq}]
+		e.mu.Unlock()
+		if stripe == nil {
+			return
+		}
+		e.mFragAcks.Inc()
+		if route, bytes, elapsed, ok := stripe.ackFrag(int(fragIdx)); ok {
+			e.observeRouteAck(route, bytes, elapsed)
 		}
 	}
 }
@@ -712,6 +868,14 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 		return
 	}
 	r, ok := e.reasm[key]
+	if ok && r.total != int(f.FragCount) {
+		// A whole-message retry may re-fragment with a different
+		// geometry: the surviving route set (and so the governing MTU)
+		// changed between attempts. Restart reassembly with the new
+		// geometry instead of poisoning it.
+		delete(e.reasm, key)
+		ok = false
+	}
 	if !ok {
 		r = newReassembly(f.FragCount, f.Tag, f.Dst)
 		e.reasm[key] = r
@@ -724,6 +888,12 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	}
 	if payload == nil {
 		e.mu.Unlock()
+		// Striped fragments are acknowledged individually so the
+		// sender's per-route windows advance and dead routes are
+		// detected mid-stripe.
+		if f.Flags&flagStriped != 0 {
+			conn.Send(encodeFragAck(f.Src, f.Dst, f.Seq, f.FragIdx))
+		}
 		return // awaiting more fragments
 	}
 	delete(e.reasm, key)
@@ -754,6 +924,12 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	}
 	e.mu.Unlock()
 
+	// The final fragment of a stripe still gets its per-fragment ack
+	// (the sender's scorer wants the sample); the message-level ack
+	// below then retires the whole transmission.
+	if f.Flags&flagStriped != 0 {
+		conn.Send(encodeFragAck(f.Src, f.Dst, f.Seq, f.FragIdx))
+	}
 	// End-to-end acknowledgement: the message is safely accepted.
 	conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
 }
@@ -806,23 +982,6 @@ func (e *Endpoint) RecvMatchContext(ctx context.Context, src string, tag uint32)
 	}
 }
 
-// Recv returns the next message of any tag from any source.
-//
-// Deprecated: use RecvContext.
-func (e *Endpoint) Recv(timeout time.Duration) (*Message, error) {
-	return e.RecvMatch("", AnyTag, timeout)
-}
-
-// RecvMatch returns the next message matching src (""=any) and tag
-// (AnyTag=any), waiting up to timeout.
-//
-// Deprecated: use RecvMatchContext.
-func (e *Endpoint) RecvMatch(src string, tag uint32, timeout time.Duration) (*Message, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return e.RecvMatchContext(ctx, src, tag)
-}
-
 // retryLoop re-transmits buffered unacknowledged messages, re-resolving
 // the destination each time — which is how traffic finds a process
 // again after it migrates or a link fails. Each message waits out its
@@ -865,16 +1024,6 @@ func (e *Endpoint) Pending() int {
 	return len(e.outstanding)
 }
 
-// Stats reports endpoint counters: messages sent, received, retry
-// transmissions, and duplicates suppressed.
-//
-// Deprecated: use MetricsSnapshot, which carries these counters (keys
-// "sent", "received", "retried", "duplicates") along with the rest of
-// the endpoint's telemetry.
-func (e *Endpoint) Stats() (sent, received, retried, duplicates uint64) {
-	return e.mSent.Value(), e.mReceived.Value(), e.mRetried.Value(), e.mDuplicates.Value()
-}
-
 // Metrics returns the endpoint's live metric registry; counters update
 // as traffic flows. Gauges are refreshed by MetricsSnapshot.
 func (e *Endpoint) Metrics() *stats.Registry { return e.metrics }
@@ -886,6 +1035,8 @@ func (e *Endpoint) Metrics() *stats.Registry { return e.metrics }
 func (e *Endpoint) MetricsSnapshot() stats.Snapshot {
 	e.mu.Lock()
 	pending := len(e.outstanding)
+	stripes := len(e.stripes)
+	scored := len(e.scores)
 	conns := make([]FrameConn, 0, len(e.conns))
 	for _, c := range e.conns {
 		conns = append(conns, c)
@@ -907,6 +1058,8 @@ func (e *Endpoint) MetricsSnapshot() stats.Snapshot {
 	}
 	e.metrics.Gauge("pending").Set(float64(pending))
 	e.metrics.Gauge("conns").Set(float64(len(conns)))
+	e.metrics.Gauge("stripes_active").Set(float64(stripes))
+	e.metrics.Gauge("routes_scored").Set(float64(scored))
 	e.metrics.Gauge("rudp_retransmissions").Set(float64(retrans))
 	if srttN > 0 {
 		e.metrics.Gauge("rudp_srtt_us").Set(srttSum / float64(srttN))

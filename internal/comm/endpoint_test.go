@@ -57,7 +57,7 @@ func TestEndpointSendRecv(t *testing.T) {
 	if err := a.Send("urn:snipe:b", 5, []byte("hello b")); err != nil {
 		t.Fatal(err)
 	}
-	m, err := b.Recv(3 * time.Second)
+	m, err := recvT(b, 3 * time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestEndpointSendRecv(t *testing.T) {
 	if err := b.Send("urn:snipe:a", 6, []byte("hello a")); err != nil {
 		t.Fatal(err)
 	}
-	m, err = a.Recv(3 * time.Second)
+	m, err = recvT(a, 3 * time.Second)
 	if err != nil || string(m.Payload) != "hello a" {
 		t.Fatalf("reply: %v %v", m, err)
 	}
@@ -85,7 +85,7 @@ func TestEndpointOrderedDelivery(t *testing.T) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		m, err := b.Recv(3 * time.Second)
+		m, err := recvT(b, 3 * time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,17 +108,17 @@ func TestEndpointRecvMatch(t *testing.T) {
 	b.Send("urn:c", 2, []byte("from-b"))
 
 	// Selective receive by tag.
-	m, err := c.RecvMatch("", 2, 3*time.Second)
+	m, err := recvMatchT(c, "", 2, 3*time.Second)
 	if err != nil || string(m.Payload) != "from-b" {
 		t.Fatalf("tag match: %v %v", m, err)
 	}
 	// Selective receive by source.
-	m, err = c.RecvMatch("urn:a", AnyTag, 3*time.Second)
+	m, err = recvMatchT(c, "urn:a", AnyTag, 3*time.Second)
 	if err != nil || string(m.Payload) != "from-a" {
 		t.Fatalf("src match: %v %v", m, err)
 	}
 	// Nothing left.
-	if _, err := c.Recv(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := recvT(c, 50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want timeout, got %v", err)
 	}
 }
@@ -131,10 +131,10 @@ func TestEndpointLargeMessageFragmentation(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
-	if err := a.SendWait("urn:b", 9, payload, 10*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 9, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := b.Recv(5 * time.Second)
+	m, err := recvT(b, 5 * time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestEndpointSendWaitAck(t *testing.T) {
 	res := newTestResolver()
 	a := newTestEndpoint(t, "urn:a", res)
 	newTestEndpoint(t, "urn:b", res)
-	if err := a.SendWait("urn:b", 0, []byte("x"), 5*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 0, []byte("x"), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if n := a.Pending(); n != 0 {
@@ -169,7 +169,7 @@ func TestEndpointBuffersForUnknownPeer(t *testing.T) {
 	}
 	time.Sleep(100 * time.Millisecond)
 	late := newTestEndpoint(t, "urn:late", res)
-	m, err := late.Recv(5 * time.Second)
+	m, err := recvT(late, 5 * time.Second)
 	if err != nil || string(m.Payload) != "early bird" {
 		t.Fatalf("buffered delivery: %v %v", m, err)
 	}
@@ -210,10 +210,10 @@ func TestEndpointRouteFailover(t *testing.T) {
 	dead := Route{Transport: "tcp", Addr: "127.0.0.1:1", RateBps: 1e9} // preferred but dead
 	res.set("urn:b", dead, good)
 
-	if err := a.SendWait("urn:b", 0, []byte("via backup"), 10*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 0, []byte("via backup"), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := b.Recv(3 * time.Second)
+	m, err := recvT(b, 3 * time.Second)
 	if err != nil || string(m.Payload) != "via backup" {
 		t.Fatalf("failover: %v %v", m, err)
 	}
@@ -254,7 +254,7 @@ func TestEndpointMidStreamFailover(t *testing.T) {
 	}()
 	got := make([]bool, n)
 	for i := 0; i < n; i++ {
-		m, err := b.Recv(10 * time.Second)
+		m, err := recvT(b, 10 * time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}
@@ -269,7 +269,7 @@ func TestEndpointDuplicateSuppression(t *testing.T) {
 	res := newTestResolver()
 	a := newTestEndpoint(t, "urn:a", res, WithRetryInterval(30*time.Millisecond))
 	b := newTestEndpoint(t, "urn:b", res)
-	if err := a.SendWait("urn:b", 0, []byte("once"), 5*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 0, []byte("once"), 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Force a manual re-transmit of an already-acked message by
@@ -279,10 +279,10 @@ func TestEndpointDuplicateSuppression(t *testing.T) {
 	if err := a.transmit(om); err != nil {
 		t.Fatal(err)
 	}
-	if m, err := b.Recv(3 * time.Second); err != nil || string(m.Payload) != "once" {
+	if m, err := recvT(b, 3 * time.Second); err != nil || string(m.Payload) != "once" {
 		t.Fatalf("first delivery: %v %v", m, err)
 	}
-	if _, err := b.Recv(200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := recvT(b, 200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("duplicate delivered: %v", err)
 	}
 	if dups := b.MetricsSnapshot().Counters["duplicates"]; dups == 0 {
@@ -326,7 +326,7 @@ func TestEndpointCloseSemantics(t *testing.T) {
 	a := newTestEndpoint(t, "urn:a", res)
 	done := make(chan error, 1)
 	go func() {
-		_, err := a.Recv(10 * time.Second)
+		_, err := recvT(a, 10 * time.Second)
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -366,10 +366,10 @@ func TestEndpointOverRUDPTransport(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	if err := a.SendWait("urn:b", 1, payload, 10*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 1, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := b.Recv(5 * time.Second)
+	m, err := recvT(b, 5 * time.Second)
 	if err != nil || !bytes.Equal(m.Payload, payload) {
 		t.Fatalf("rudp transport: len=%d err=%v", len(m.Payload), err)
 	}
@@ -380,12 +380,12 @@ func TestEndpointSequenceSnapshotRestore(t *testing.T) {
 	a := newTestEndpoint(t, "urn:a", res)
 	b1 := newTestEndpoint(t, "urn:b", res)
 	for i := 0; i < 5; i++ {
-		if err := a.SendWait("urn:b", 0, []byte{byte(i)}, 5*time.Second); err != nil {
+		if err := sendWaitT(a, "urn:b", 0, []byte{byte(i)}, 5*time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := b1.Recv(3 * time.Second); err != nil {
+		if _, err := recvT(b1, 3 * time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -405,10 +405,10 @@ func TestEndpointSequenceSnapshotRestore(t *testing.T) {
 	res.set("urn:b", route)
 
 	// Continue the stream: next message is seq 6 and must deliver.
-	if err := a.SendWait("urn:b", 0, []byte{99}, 10*time.Second); err != nil {
+	if err := sendWaitT(a, "urn:b", 0, []byte{99}, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := b2.Recv(5 * time.Second)
+	m, err := recvT(b2, 5 * time.Second)
 	if err != nil || m.Payload[0] != 99 || m.Seq != 6 {
 		t.Fatalf("post-migration: %+v %v", m, err)
 	}
@@ -418,8 +418,8 @@ func TestEndpointStats(t *testing.T) {
 	res := newTestResolver()
 	a := newTestEndpoint(t, "urn:a", res)
 	b := newTestEndpoint(t, "urn:b", res)
-	a.SendWait("urn:b", 0, []byte("x"), 5*time.Second)
-	b.Recv(time.Second)
+	sendWaitT(a, "urn:b", 0, []byte("x"), 5*time.Second)
+	recvT(b, time.Second)
 	sent := a.MetricsSnapshot().Counters["sent"]
 	recv := b.MetricsSnapshot().Counters["received"]
 	if sent != 1 || recv != 1 {
@@ -439,7 +439,7 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 	res.set("urn:b", rb)
 	go func() {
 		for {
-			m, err := bb.Recv(10 * time.Second)
+			m, err := recvT(bb, 10 * time.Second)
 			if err != nil {
 				return
 			}
@@ -452,7 +452,7 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 		if err := a.Send("urn:b", 0, payload); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := a.Recv(10 * time.Second); err != nil {
+		if _, err := recvT(a, 10 * time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -472,7 +472,7 @@ func TestEndpointConcurrentSenders(t *testing.T) {
 	}
 	perSender := make(map[uint32]int)
 	for i := 0; i < nSenders*nMsgs; i++ {
-		m, err := sink.Recv(10 * time.Second)
+		m, err := recvT(sink, 10 * time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}

@@ -17,6 +17,15 @@
 //     end-to-end, retries over alternate routes, and buffers traffic
 //     for peers that are temporarily unreachable — which is what makes
 //     "no loss of data while migration is in progress" (§5.6) hold.
+//
+// Route selection is adaptive: each route carries per-route EWMAs of
+// observed ack RTT, goodput and error rate (see score.go), blended
+// with the advertised media profile, and large messages to multi-homed
+// peers are striped — fragmented across every healthy route in
+// parallel with a bounded in-flight window per route and per-fragment
+// acknowledgements (see stripe.go), aggregating the bandwidth of all
+// media between two hosts as the paper's Fig. 1 testbed (10/100 Mbit
+// Ethernet plus 155 Mbit ATM between the same pair) invites.
 package comm
 
 import (
@@ -28,9 +37,19 @@ import (
 
 // Frame types exchanged between endpoints, inside transport frames.
 const (
-	frameHello uint8 = iota + 1 // sender identifies itself: URN
-	frameMsg                    // one fragment of an application message
-	frameAck                    // end-to-end acknowledgement of a message
+	frameHello   uint8 = iota + 1 // sender identifies itself: URN
+	frameMsg                      // one fragment of an application message
+	frameAck                      // end-to-end acknowledgement of a message
+	frameFragAck                  // per-fragment acknowledgement of a striped fragment
+)
+
+// Fragment flag bits carried in msgFrame.Flags.
+const (
+	// flagStriped marks a fragment of a message striped across several
+	// routes in parallel; the receiver acknowledges each such fragment
+	// individually (frameFragAck) so the sender can run a bounded
+	// in-flight window per route and detect dead routes mid-stripe.
+	flagStriped uint8 = 1 << 0
 )
 
 // AnyTag matches any message tag in receive operations.
@@ -76,8 +95,8 @@ type Message struct {
 
 // msgFrame is one fragment of a message on the wire. Every fragment
 // carries the full header so that fragments are self-contained and can
-// arrive in any order (and, after a route failover, over different
-// connections).
+// arrive in any order (and, mid-stripe or after a route failover, over
+// different connections).
 type msgFrame struct {
 	Src       string
 	Dst       string
@@ -85,6 +104,7 @@ type msgFrame struct {
 	Seq       uint64
 	FragIdx   uint32
 	FragCount uint32
+	Flags     uint8 // fragment-of-stripe header: flagStriped, ...
 	Payload   []byte
 }
 
@@ -100,7 +120,17 @@ func decodeHello(d *xdr.Decoder) (string, error) {
 }
 
 func encodeMsgFrame(f *msgFrame) []byte {
-	e := xdr.NewEncoder(len(f.Payload) + len(f.Src) + len(f.Dst) + 40)
+	e := xdr.NewEncoder(len(f.Payload) + len(f.Src) + len(f.Dst) + 41)
+	return encodeMsgFrameInto(e, f)
+}
+
+// encodeMsgFrameInto encodes into a caller-owned (typically pooled)
+// encoder after resetting it. The returned slice aliases the encoder's
+// buffer: it is valid until the next use of the encoder, which is fine
+// for every FrameConn.Send implementation (all of them either write the
+// frame synchronously or copy it before queueing).
+func encodeMsgFrameInto(e *xdr.Encoder, f *msgFrame) []byte {
+	e.Reset()
 	e.PutUint8(frameMsg)
 	e.PutString(f.Src)
 	e.PutString(f.Dst)
@@ -108,6 +138,7 @@ func encodeMsgFrame(f *msgFrame) []byte {
 	e.PutUint64(f.Seq)
 	e.PutUint32(f.FragIdx)
 	e.PutUint32(f.FragCount)
+	e.PutUint8(f.Flags)
 	e.PutBytes(f.Payload)
 	return e.Bytes()
 }
@@ -131,6 +162,9 @@ func decodeMsgFrame(d *xdr.Decoder) (*msgFrame, error) {
 		return nil, err
 	}
 	if f.FragCount, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if f.Flags, err = d.Uint8(); err != nil {
 		return nil, err
 	}
 	if f.Payload, err = d.BytesCopyMax(maxWirePayload); err != nil {
@@ -162,9 +196,38 @@ func decodeAck(d *xdr.Decoder) (src, dst string, seq uint64, err error) {
 	return
 }
 
+// encodeFragAck builds a per-fragment acknowledgement for one striped
+// fragment: the original message's sender, destination (the acker),
+// sequence number, and the fragment index being acknowledged.
+func encodeFragAck(src, dst string, seq uint64, fragIdx uint32) []byte {
+	e := xdr.NewEncoder(len(src) + len(dst) + 24)
+	e.PutUint8(frameFragAck)
+	e.PutString(src) // original message's sender
+	e.PutString(dst) // original message's destination (the acker)
+	e.PutUint64(seq)
+	e.PutUint32(fragIdx)
+	return e.Bytes()
+}
+
+func decodeFragAck(d *xdr.Decoder) (src, dst string, seq uint64, fragIdx uint32, err error) {
+	if src, err = d.StringMax(maxWireURN); err != nil {
+		return
+	}
+	if dst, err = d.StringMax(maxWireURN); err != nil {
+		return
+	}
+	if seq, err = d.Uint64(); err != nil {
+		return
+	}
+	fragIdx, err = d.Uint32()
+	return
+}
+
 // fragment splits payload into n MTU-sized fragments sharing one
-// header. mtu is the maximum fragment payload size.
-func fragment(src, dst string, tag uint32, seq uint64, payload []byte, mtu int) []*msgFrame {
+// header. mtu is the maximum fragment payload size; flags is stamped
+// on every fragment (flagStriped for striped transmissions, 0 for the
+// single-route path).
+func fragment(src, dst string, tag uint32, seq uint64, payload []byte, mtu int, flags uint8) []*msgFrame {
 	if mtu <= 0 {
 		mtu = 1 << 16
 	}
@@ -181,7 +244,7 @@ func fragment(src, dst string, tag uint32, seq uint64, payload []byte, mtu int) 
 		}
 		frames[i] = &msgFrame{
 			Src: src, Dst: dst, Tag: tag, Seq: seq,
-			FragIdx: uint32(i), FragCount: uint32(count),
+			FragIdx: uint32(i), FragCount: uint32(count), Flags: flags,
 			Payload: payload[lo:hi],
 		}
 	}

@@ -114,7 +114,7 @@ func TestFragmentReassemble(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	frames := fragment("urn:a", "urn:b", 7, 42, payload, 1024)
+	frames := fragment("urn:a", "urn:b", 7, 42, payload, 1024, 0)
 	if len(frames) != 10 {
 		t.Fatalf("fragment count = %d", len(frames))
 	}
@@ -137,7 +137,7 @@ func TestFragmentReassemble(t *testing.T) {
 }
 
 func TestFragmentEmptyPayload(t *testing.T) {
-	frames := fragment("a", "b", 0, 1, nil, 1024)
+	frames := fragment("a", "b", 0, 1, nil, 1024, 0)
 	if len(frames) != 1 || frames[0].FragCount != 1 {
 		t.Fatalf("empty payload frames = %v", frames)
 	}
@@ -149,7 +149,7 @@ func TestFragmentEmptyPayload(t *testing.T) {
 }
 
 func TestReassemblyDuplicateFragment(t *testing.T) {
-	frames := fragment("a", "b", 0, 1, []byte("hello world"), 4)
+	frames := fragment("a", "b", 0, 1, []byte("hello world"), 4, 0)
 	r := newReassembly(frames[0].FragCount, 0, "b")
 	if _, err := r.add(frames[0]); err != nil {
 		t.Fatal(err)
@@ -230,7 +230,7 @@ func TestAckEncodeDecode(t *testing.T) {
 func TestQuickFragmentRoundTrip(t *testing.T) {
 	f := func(payload []byte, mtuSeed uint16, perm []uint16) bool {
 		mtu := int(mtuSeed)%4096 + 1
-		frames := fragment("s", "d", 1, 1, payload, mtu)
+		frames := fragment("s", "d", 1, 1, payload, mtu, 0)
 		idx := make([]int, len(frames))
 		for i := range idx {
 			idx[i] = i

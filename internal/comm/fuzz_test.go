@@ -17,6 +17,7 @@ func FuzzDecodeMsgFrame(f *testing.F) {
 		{Src: "urn:snipe:a", Dst: "urn:snipe:b", Tag: 7, Seq: 1, FragIdx: 0, FragCount: 1, Payload: []byte("hi")},
 		{Src: "", Dst: "", Tag: 0, Seq: 0, FragIdx: 2, FragCount: 5, Payload: nil},
 		{Src: "urn:snipe:x", Dst: "urn:snipe:y", Tag: AnyTag, Seq: 1 << 40, FragIdx: 9, FragCount: 10, Payload: bytes.Repeat([]byte{0xab}, 100)},
+		{Src: "urn:snipe:s", Dst: "urn:snipe:d", Tag: 3, Seq: 8, FragIdx: 1, FragCount: 4, Flags: flagStriped, Payload: []byte("striped")},
 	} {
 		f.Add(encodeMsgFrame(fr)[1:]) // strip the frame-type byte, as the dispatcher does
 	}
@@ -36,8 +37,25 @@ func FuzzDecodeMsgFrame(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if again.Src != fr.Src || again.Dst != fr.Dst || again.Tag != fr.Tag ||
-			again.Seq != fr.Seq || !bytes.Equal(again.Payload, fr.Payload) {
+			again.Seq != fr.Seq || again.Flags != fr.Flags || !bytes.Equal(again.Payload, fr.Payload) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", fr, again)
+		}
+	})
+}
+
+func FuzzDecodeFragAck(f *testing.F) {
+	f.Add(encodeFragAck("urn:snipe:a", "urn:snipe:b", 42, 7)[1:])
+	f.Add(encodeFragAck("", "", 0, 0)[1:])
+	f.Add([]byte{0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		src, dst, seq, idx, err := decodeFragAck(xdr.NewDecoder(b))
+		if err != nil {
+			return
+		}
+		b2 := encodeFragAck(src, dst, seq, idx)[1:]
+		s2, d2, q2, i2, err := decodeFragAck(xdr.NewDecoder(b2))
+		if err != nil || s2 != src || d2 != dst || q2 != seq || i2 != idx {
+			t.Fatalf("frag-ack round-trip mismatch: %q %q %d %d err=%v", s2, d2, q2, i2, err)
 		}
 	})
 }

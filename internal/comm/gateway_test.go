@@ -50,10 +50,10 @@ func gatewayWorld(t *testing.T) (sender, gateway, receiver *Endpoint, res *testR
 
 func TestGatewayRelayDelivery(t *testing.T) {
 	sender, _, receiver, _ := gatewayWorld(t)
-	if err := sender.SendWait("urn:behind", 7, []byte("through the wall"), 10*time.Second); err != nil {
+	if err := sendWaitT(sender, "urn:behind", 7, []byte("through the wall"), 10*time.Second); err != nil {
 		t.Fatalf("SendWait via gateway: %v", err)
 	}
-	m, err := receiver.Recv(5 * time.Second)
+	m, err := recvT(receiver, 5 * time.Second)
 	if err != nil || string(m.Payload) != "through the wall" {
 		t.Fatalf("recv: %v %v", m, err)
 	}
@@ -74,7 +74,7 @@ func TestGatewayRelayLargeAndOrdered(t *testing.T) {
 		}
 	}
 	for i := 0; i < 5; i++ {
-		m, err := receiver.Recv(10 * time.Second)
+		m, err := recvT(receiver, 10 * time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}
@@ -97,7 +97,7 @@ func TestGatewayReplyPath(t *testing.T) {
 	if err := sender.Send("urn:behind", 1, []byte("ping")); err != nil {
 		t.Fatal(err)
 	}
-	m, err := receiver.Recv(5 * time.Second)
+	m, err := recvT(receiver, 5 * time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,10 +105,10 @@ func TestGatewayReplyPath(t *testing.T) {
 	// urn:outside to the gateway route only? In this world the receiver
 	// shares the sender-side resolver, which lists the gateway first and
 	// the direct route second — either path must work).
-	if err := receiver.SendWait(m.Src, 2, []byte("pong"), 10*time.Second); err != nil {
+	if err := sendWaitT(receiver, m.Src, 2, []byte("pong"), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	r, err := sender.RecvMatch("urn:behind", 2, 5*time.Second)
+	r, err := recvMatchT(sender, "urn:behind", 2, 5*time.Second)
 	if err != nil || string(r.Payload) != "pong" {
 		t.Fatalf("reply: %v %v", r, err)
 	}
@@ -152,10 +152,10 @@ func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
 	// The preferred gateway is dead; the send must reach the receiver
 	// via the second.
 	gw1.Close()
-	if err := sender.SendWait("urn:behind", 3, []byte("survives"), 10*time.Second); err != nil {
+	if err := sendWaitT(sender, "urn:behind", 3, []byte("survives"), 10*time.Second); err != nil {
 		t.Fatalf("send after gateway crash: %v", err)
 	}
-	m, err := receiver.Recv(5 * time.Second)
+	m, err := recvT(receiver, 5 * time.Second)
 	if err != nil || string(m.Payload) != "survives" {
 		t.Fatalf("recv: %v %v", m, err)
 	}

@@ -1,0 +1,27 @@
+package comm
+
+import (
+	"context"
+	"time"
+)
+
+// Timeout-flavoured conveniences over the context-first Endpoint API,
+// so tests can say "within d" without building a context at every call
+// site. (The production timeout-signature wrappers were removed once
+// snipe-lint's ctxfirst barred new callers.)
+
+func recvT(e *Endpoint, d time.Duration) (*Message, error) {
+	return recvMatchT(e, "", AnyTag, d)
+}
+
+func recvMatchT(e *Endpoint, src string, tag uint32, d time.Duration) (*Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return e.RecvMatchContext(ctx, src, tag)
+}
+
+func sendWaitT(e *Endpoint, dst string, tag uint32, payload []byte, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return e.SendWaitContext(ctx, dst, tag, payload)
+}

@@ -1,0 +1,72 @@
+package comm
+
+import (
+	"sync"
+
+	"snipe/internal/xdr"
+)
+
+// Buffer pools for the send hot path. Two allocations dominated a
+// send before pooling: the system-buffer copy of the application
+// payload made by send(), and the per-fragment wire frame built by
+// encodeMsgFrame. Both are recycled here:
+//
+//   - Payload buffers are reference-counted on the outMsg (see
+//     acquirePayload/releasePayload in endpoint.go) because the ack
+//     path and a concurrent retry transmission may race; the buffer
+//     returns to the pool only when the last reader drops its
+//     reference.
+//   - Frame encoders are owned by exactly one sender goroutine at a
+//     time and can be reused immediately after FrameConn.Send
+//     returns: every FrameConn implementation either writes the frame
+//     synchronously (streamFrameConn), copies it into its own packet
+//     buffer (rudpConn), or seals it into a fresh ciphertext buffer
+//     (encryptedConn) before returning.
+
+// maxPooledPayload bounds payload buffers kept for reuse; anything
+// larger is handed to the GC so one huge message doesn't pin memory.
+const maxPooledPayload = 8 << 20
+
+// maxPooledEncoder bounds the capacity of recycled frame encoders.
+const maxPooledEncoder = 2 << 20
+
+var payloadPool = sync.Pool{}
+
+// getPayloadBuf returns a length-n buffer, reusing a pooled one when
+// its capacity suffices.
+func getPayloadBuf(n int) []byte {
+	if v := payloadPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this message; let it age out rather than
+		// cycling undersized buffers through the pool.
+	}
+	return make([]byte, n)
+}
+
+// putPayloadBuf recycles a buffer obtained from getPayloadBuf.
+func putPayloadBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledPayload {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
+
+var frameEncPool = sync.Pool{
+	New: func() any { return xdr.NewEncoder(tcpFragmentSize + 256) },
+}
+
+// getFrameEncoder returns a pooled wire-frame encoder.
+func getFrameEncoder() *xdr.Encoder { return frameEncPool.Get().(*xdr.Encoder) }
+
+// putFrameEncoder recycles an encoder obtained from getFrameEncoder.
+func putFrameEncoder(e *xdr.Encoder) {
+	if cap(e.Bytes()) > maxPooledEncoder {
+		return
+	}
+	e.Reset()
+	frameEncPool.Put(e)
+}

@@ -1,0 +1,189 @@
+package comm
+
+import (
+	"sort"
+	"time"
+)
+
+// Adaptive route scoring. The paper's static policy (§5.3: shared
+// private network first, then the advertised media profile) decides
+// which routes are *eligible* first; within each eligibility class the
+// endpoint now ranks routes by what it has actually observed on them:
+// exponentially weighted moving averages of ack round-trip time,
+// goodput, and error rate, fed by the same events that drive the
+// internal/stats counters. Routes with no history fall back to their
+// advertised RateBps/LatencyUs, so a fresh endpoint behaves exactly
+// like the static OrderRoutes policy until evidence accumulates.
+
+// scoreMinSamples is how many observations a route needs before its
+// measured RTT/goodput displace the advertised media profile.
+const scoreMinSamples = 3
+
+// routeEWMA is the per-route moving state behind RouteScores. All
+// fields are guarded by Endpoint.mu.
+type routeEWMA struct {
+	rttUs      float64 // EWMA of observed ack RTT, µs
+	goodputBps float64 // EWMA of observed goodput, bytes/sec
+	errRate    float64 // EWMA of attempt failure rate, 0..1
+	samples    uint64  // successful observations folded in
+	errors     uint64  // cumulative send failures on this route
+}
+
+// observeRouteAck folds one successful acknowledgement into the
+// route's EWMAs: bytes acknowledged and the elapsed send→ack time.
+func (e *Endpoint) observeRouteAck(routeKey string, bytes int, elapsed time.Duration) {
+	if routeKey == "" || elapsed <= 0 {
+		return
+	}
+	rttUs := float64(elapsed.Microseconds())
+	if rttUs <= 0 {
+		rttUs = 1
+	}
+	bps := float64(bytes) / elapsed.Seconds()
+	e.mu.Lock()
+	s := e.scoreFor(routeKey)
+	a := e.scoreAlpha
+	if s.samples == 0 {
+		s.rttUs, s.goodputBps = rttUs, bps
+	} else {
+		s.rttUs += a * (rttUs - s.rttUs)
+		s.goodputBps += a * (bps - s.goodputBps)
+	}
+	s.errRate *= 1 - a // success decays the failure estimate
+	s.samples++
+	e.mu.Unlock()
+}
+
+// observeRouteError folds one send failure into the route's error-rate
+// EWMA; a failing route's score collapses quadratically (see
+// routeScoreLocked) so retries drain to healthier paths.
+func (e *Endpoint) observeRouteError(routeKey string) {
+	if routeKey == "" {
+		return
+	}
+	e.mu.Lock()
+	s := e.scoreFor(routeKey)
+	s.errRate += e.scoreAlpha * (1 - s.errRate)
+	s.errors++
+	e.mu.Unlock()
+}
+
+// scoreFor returns (creating if needed) the EWMA state for a route
+// key. Caller holds e.mu.
+func (e *Endpoint) scoreFor(routeKey string) *routeEWMA {
+	s, ok := e.scores[routeKey]
+	if !ok {
+		s = &routeEWMA{}
+		e.scores[routeKey] = s
+	}
+	return s
+}
+
+// routeScoreLocked computes a route's scalar preference:
+//
+//	score = capacity × (1 − errRate)² / (1 + latency_µs / 10 000)
+//
+// where capacity (bytes/sec) and latency come from the route's EWMAs
+// once scoreMinSamples observations exist, and from the advertised
+// RateBps/LatencyUs before that. Higher is better. Caller holds e.mu.
+func (e *Endpoint) routeScoreLocked(r Route) float64 {
+	s := e.scores[r.String()]
+	capacity := r.RateBps / 8 // advertised bits/sec → bytes/sec prior
+	latUs := r.LatencyUs
+	errRate := 0.0
+	if s != nil {
+		errRate = s.errRate
+		if s.samples >= scoreMinSamples {
+			capacity = s.goodputBps
+			latUs = s.rttUs
+		}
+	}
+	if capacity <= 0 {
+		capacity = 1e6 // unknown media: assume ~8 Mbit/s
+	}
+	if latUs < 0 {
+		latUs = 0
+	}
+	healthy := 1 - errRate
+	return capacity * healthy * healthy / (1 + latUs/1e4)
+}
+
+// orderRoutesAdaptive ranks candidate routes best-first: the §5.3
+// shared-private-network preference partitions them exactly as the
+// static OrderRoutes does, then each partition is ordered by the
+// adaptive score. With no observed history the score reduces to the
+// advertised profile, preserving the static ordering.
+func (e *Endpoint) orderRoutesAdaptive(local, remote []Route) []Route {
+	ordered := OrderRoutes(local, remote)
+	localNets := make(map[string]bool, len(local))
+	for _, r := range local {
+		if r.NetName != "" {
+			localNets[r.NetName] = true
+		}
+	}
+	type scored struct {
+		route  Route
+		shared bool
+		score  float64
+	}
+	ranked := make([]scored, len(ordered))
+	e.mu.Lock()
+	for i, r := range ordered {
+		ranked[i] = scored{
+			route:  r,
+			shared: r.NetName != "" && localNets[r.NetName],
+			score:  e.routeScoreLocked(r),
+		}
+	}
+	e.mu.Unlock()
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].shared != ranked[j].shared {
+			return ranked[i].shared
+		}
+		return ranked[i].score > ranked[j].score
+	})
+	out := make([]Route, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.route
+	}
+	return out
+}
+
+// RouteScore is one route's adaptive-scoring state, as exported by
+// RouteScores and surfaced by the multipath benchmark artifact.
+type RouteScore struct {
+	Route      string  `json:"route"`       // route key (Route.String form)
+	Score      float64 `json:"score"`       // scalar preference, higher is better
+	RTTUs      float64 `json:"rtt_us"`      // EWMA ack round-trip time, µs
+	GoodputBps float64 `json:"goodput_bps"` // EWMA observed goodput, bytes/sec
+	ErrRate    float64 `json:"err_rate"`    // EWMA failure rate, 0..1
+	Samples    uint64  `json:"samples"`     // acks folded into the EWMAs
+	Errors     uint64  `json:"errors"`      // cumulative send failures
+}
+
+// RouteScores reports the endpoint's per-route adaptive-scoring state,
+// sorted by route key. The scalar Score column is computed with no
+// advertised-profile prior (routes the endpoint has never used score
+// from defaults), so it is primarily useful for routes with Samples>0.
+func (e *Endpoint) RouteScores() []RouteScore {
+	e.mu.Lock()
+	out := make([]RouteScore, 0, len(e.scores))
+	for key, s := range e.scores {
+		r, err := ParseRoute(key)
+		if err != nil {
+			r = Route{}
+		}
+		out = append(out, RouteScore{
+			Route:      key,
+			Score:      e.routeScoreLocked(r),
+			RTTUs:      s.rttUs,
+			GoodputBps: s.goodputBps,
+			ErrRate:    s.errRate,
+			Samples:    s.samples,
+			Errors:     s.errors,
+		})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}

@@ -1,0 +1,363 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Multi-path striped transmission. A large message to a multi-homed
+// peer is fragmented once (at the smallest MTU among the participating
+// routes, so every transmission of the message shares one fragment
+// geometry) and the fragments are pulled by one worker goroutine per
+// route: each worker keeps up to stripeWindow fragments in flight and
+// pulls the next queued fragment as its per-fragment acknowledgements
+// come back, so faster media naturally carry more of the message. A
+// route that fails mid-stripe — a send error, or no acknowledgement
+// progress for the stall window — has its in-flight fragments requeued
+// onto the surviving routes. Exactly-once delivery never depends on
+// any of this: the receiver reassembles by (src, dst, seq, fragment)
+// and deduplicates by sequence number, and the whole-message retry
+// path remains the loss backstop, so striping can only add bandwidth,
+// not failure modes.
+
+// Fragment lifecycle inside one stripe.
+const (
+	fragQueued   uint8 = iota // awaiting a route
+	fragReserved              // claimed by a worker, send in progress
+	fragSent                  // pushed into a conn, awaiting frag-ack
+	fragAcked                 // acknowledged by the receiver
+)
+
+// stripeState tracks one striped message in flight.
+type stripeState struct {
+	mu     sync.Mutex
+	frags  []*msgFrame
+	state  []uint8  // per-fragment lifecycle
+	route  []string // per-fragment owning route while reserved/sent
+	sentAt []time.Time
+
+	queue    []int          // fragment indices awaiting a route (LIFO)
+	perRoute map[string]int // route key → fragments reserved or sent
+	failed   map[string]bool
+	unsent   int // fragments in fragQueued or fragReserved
+	acked    int
+	requeues int
+	canceled bool
+
+	// gen/waitCh implement a timed condition wait (sync.Cond cannot):
+	// every state change bumps gen and closes waitCh.
+	gen    uint64
+	waitCh chan struct{}
+}
+
+func newStripe(frags []*msgFrame) *stripeState {
+	s := &stripeState{
+		frags:    frags,
+		state:    make([]uint8, len(frags)),
+		route:    make([]string, len(frags)),
+		sentAt:   make([]time.Time, len(frags)),
+		queue:    make([]int, len(frags)),
+		perRoute: make(map[string]int),
+		failed:   make(map[string]bool),
+		unsent:   len(frags),
+		waitCh:   make(chan struct{}),
+	}
+	for i := range frags {
+		s.queue[i] = i
+	}
+	return s
+}
+
+// broadcastLocked wakes every timed waiter. Caller holds s.mu.
+func (s *stripeState) broadcastLocked() {
+	s.gen++
+	close(s.waitCh)
+	s.waitCh = make(chan struct{})
+}
+
+// next claims the next queued fragment for the worker on routeKey,
+// honouring its in-flight window. It blocks while the worker has
+// nothing to do but the stripe is still in progress. Returns ok=false
+// when the worker should exit: the stripe is complete or canceled,
+// the route has been declared failed, or nothing has progressed for a
+// full stall window (in which case every route with fragments in
+// flight — possibly including this one — is failed and requeued, and
+// surviving callers re-enter to pick the fragments up).
+func (s *stripeState) next(routeKey string, window int, stall time.Duration) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.canceled || s.unsent == 0 || s.failed[routeKey] {
+			return 0, false
+		}
+		if len(s.queue) > 0 && s.perRoute[routeKey] < window {
+			idx := s.queue[len(s.queue)-1]
+			s.queue = s.queue[:len(s.queue)-1]
+			s.state[idx] = fragReserved
+			s.route[idx] = routeKey
+			s.sentAt[idx] = time.Now()
+			s.perRoute[routeKey]++
+			return idx, true
+		}
+		if !s.waitProgressLocked(stall) {
+			// Nothing moved for a full stall window: acknowledgements
+			// have dried up. Fail every route still holding fragments;
+			// the whole-message retry path recovers if none survive.
+			for key, n := range s.perRoute {
+				if n > 0 && !s.failed[key] {
+					s.failRouteLocked(key)
+				}
+			}
+			if s.failed[routeKey] {
+				return 0, false
+			}
+		}
+	}
+}
+
+// waitProgressLocked releases s.mu until the stripe's state changes or
+// the stall window elapses, then reacquires it. It reports whether any
+// progress happened while waiting.
+func (s *stripeState) waitProgressLocked(stall time.Duration) bool {
+	gen := s.waitCh
+	s.mu.Unlock()
+	t := time.NewTimer(stall)
+	select {
+	case <-gen:
+	case <-t.C:
+	}
+	t.Stop()
+	s.mu.Lock()
+	// Closed waitCh means at least one broadcast fired; comparing the
+	// channel pointer detects it even after the timer also expired.
+	return gen != s.waitCh
+}
+
+// sent marks a reserved fragment as pushed into its conn. If the
+// fragment was re-assigned (its first route was declared stalled and
+// stole back the reservation) or already acknowledged, this is a no-op.
+func (s *stripeState) sent(routeKey string, idx int) {
+	s.mu.Lock()
+	if s.state[idx] == fragReserved && s.route[idx] == routeKey {
+		s.state[idx] = fragSent
+		s.unsent--
+		s.broadcastLocked()
+	}
+	s.mu.Unlock()
+}
+
+// ackFrag records the receiver's per-fragment acknowledgement,
+// returning the observation to feed the route scorer.
+func (s *stripeState) ackFrag(idx int) (routeKey string, bytes int, elapsed time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx < 0 || idx >= len(s.frags) || s.state[idx] == fragAcked {
+		return "", 0, 0, false
+	}
+	prev := s.state[idx]
+	routeKey = s.route[idx]
+	if prev == fragQueued {
+		// Acked before any worker claimed it (a duplicate transmission
+		// from an earlier whole-message attempt landed): pull it out of
+		// the queue so no worker sends it again.
+		for i, q := range s.queue {
+			if q == idx {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.unsent--
+	}
+	if prev == fragReserved {
+		s.unsent--
+	}
+	if prev == fragReserved || prev == fragSent {
+		s.perRoute[routeKey]--
+	}
+	s.state[idx] = fragAcked
+	s.acked++
+	s.broadcastLocked()
+	return routeKey, len(s.frags[idx].Payload), time.Since(s.sentAt[idx]), routeKey != ""
+}
+
+// failRoute declares a route dead mid-stripe and requeues its
+// fragments on the survivors. Returns how many fragments were
+// requeued.
+func (s *stripeState) failRoute(routeKey string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failRouteLocked(routeKey)
+}
+
+func (s *stripeState) failRouteLocked(routeKey string) int {
+	if s.failed[routeKey] {
+		return 0
+	}
+	s.failed[routeKey] = true
+	n := 0
+	for idx := range s.frags {
+		if s.route[idx] != routeKey {
+			continue
+		}
+		switch s.state[idx] {
+		case fragSent:
+			s.unsent++
+			fallthrough
+		case fragReserved:
+			s.state[idx] = fragQueued
+			s.route[idx] = ""
+			s.queue = append(s.queue, idx)
+			n++
+		}
+	}
+	s.perRoute[routeKey] = 0
+	s.requeues += n
+	s.broadcastLocked()
+	return n
+}
+
+// cancel ends the stripe early (whole-message ack arrived, or the
+// endpoint is closing); workers drain out on their next pull.
+func (s *stripeState) cancel() {
+	s.mu.Lock()
+	s.canceled = true
+	s.broadcastLocked()
+	s.mu.Unlock()
+}
+
+// complete reports whether every fragment was pushed into a live conn
+// (or the stripe was made moot by a whole-message ack).
+func (s *stripeState) complete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.canceled || s.unsent == 0
+}
+
+// remainingUnsent reports fragments never successfully handed to any
+// conn.
+func (s *stripeState) remainingUnsent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unsent
+}
+
+// transmitStriped attempts to send om by striping it across every
+// healthy direct route. It reports handled=false when striping does
+// not apply (fewer than two live direct routes, or the message
+// fragments too coarsely to split) — the caller then runs the
+// single-route failover path. When handled, the returned error is nil
+// once every fragment has been accepted by a live conn; per-fragment
+// acknowledgements, requeues and the whole-message retry complete the
+// reliability story asynchronously.
+func (e *Endpoint) transmitStriped(om *outMsg, local, routes []Route) (handled bool, err error) {
+	type routeConn struct {
+		key  string
+		conn FrameConn
+	}
+	var rcs []routeConn
+	minMTU := 0
+	m := &om.msg
+	// Per-fragment header: frame type, length-prefixed src and dst,
+	// tag, seq, fragment index/count, flags, payload length prefix.
+	hdr := 34 + len(m.Src) + len(m.Dst)
+	for _, route := range e.orderRoutesAdaptive(local, routes) {
+		if route.Transport == GatewayTransport {
+			continue // relayed paths don't participate in stripes
+		}
+		conn, err := e.getConn(route)
+		if err != nil {
+			e.observeRouteError(route.String())
+			continue
+		}
+		mtu := conn.MTU() - hdr
+		if mtu < 16 {
+			continue
+		}
+		rcs = append(rcs, routeConn{route.String(), conn})
+		if minMTU == 0 || mtu < minMTU {
+			minMTU = mtu
+		}
+	}
+	if len(rcs) < 2 {
+		return false, nil
+	}
+	frags := fragment(m.Src, m.Dst, m.Tag, m.Seq, m.Payload, minMTU, flagStriped)
+	if len(frags) < 2 {
+		return false, nil
+	}
+	s := newStripe(frags)
+	skey := reasmKey{m.Src, m.Dst, m.Seq}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return true, ErrClosed
+	}
+	e.stripes[skey] = s
+	e.mu.Unlock()
+	e.mStriped.Inc()
+	defer func() {
+		e.mu.Lock()
+		if e.stripes[skey] == s {
+			delete(e.stripes, skey)
+		}
+		e.mu.Unlock()
+	}()
+
+	// A whole-message ack (e.g. the receiver had already accepted this
+	// sequence from an earlier attempt) or endpoint shutdown moots the
+	// stripe.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-om.acked:
+			s.cancel()
+		case <-e.done:
+			s.cancel()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, rc := range rcs {
+		wg.Add(1)
+		go func(rc routeConn) {
+			defer wg.Done()
+			e.stripeWorker(s, rc.key, rc.conn)
+		}(rc)
+	}
+	wg.Wait()
+	close(stop)
+
+	if requeued := s.requeues; requeued > 0 {
+		e.mFragRequeues.Add(uint64(requeued))
+	}
+	if !s.complete() {
+		e.invalidateRoutes(m.Dst)
+		return true, fmt.Errorf("comm: stripe to %s: %d of %d fragments unsent after route failures",
+			m.Dst, s.remainingUnsent(), len(frags))
+	}
+	return true, nil
+}
+
+// stripeWorker pulls fragments for one route until the stripe
+// completes or the route dies.
+func (e *Endpoint) stripeWorker(s *stripeState, routeKey string, conn FrameConn) {
+	enc := getFrameEncoder()
+	defer putFrameEncoder(enc)
+	for {
+		idx, ok := s.next(routeKey, e.stripeWindow, e.stripeStall)
+		if !ok {
+			return
+		}
+		if err := conn.Send(encodeMsgFrameInto(enc, s.frags[idx])); err != nil {
+			e.mSendErrors.Inc()
+			e.observeRouteError(routeKey)
+			e.dropConn(routeKey, conn)
+			s.failRoute(routeKey)
+			return
+		}
+		e.mFragments.Inc()
+		s.sent(routeKey, idx)
+	}
+}

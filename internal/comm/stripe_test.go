@@ -1,0 +1,316 @@
+package comm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"snipe/internal/netsim"
+)
+
+// stripePair joins two endpoints over two independent netsim links
+// (Ethernet100 stream + ATM155 stream by default) so that urnB is
+// dual-homed from urnA's point of view, and vice versa. It returns the
+// links for failure injection and the mutable resolver for route
+// withdrawal.
+func stripePair(t *testing.T, opts ...EndpointOption) (a, b *Endpoint, links [2]*netsim.Link, res *testResolver) {
+	t.Helper()
+	const urnA, urnB = "urn:stripe:a", "urn:stripe:b"
+	routes := [2][2]Route{
+		{{Transport: "attached", Addr: "a-eth", NetName: "eth", RateBps: 100e6, LatencyUs: 120},
+			{Transport: "attached", Addr: "b-eth", NetName: "eth", RateBps: 100e6, LatencyUs: 120}},
+		{{Transport: "attached", Addr: "a-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90},
+			{Transport: "attached", Addr: "b-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90}},
+	}
+	res = newTestResolver()
+	res.set(urnA, routes[0][0], routes[1][0])
+	res.set(urnB, routes[0][1], routes[1][1])
+	base := []EndpointOption{WithResolver(res), WithBufferLimit(1 << 14),
+		WithRetryInterval(150 * time.Millisecond), WithStripeStall(700 * time.Millisecond)}
+	a = NewEndpoint(urnA, append(base, opts...)...)
+	b = NewEndpoint(urnB, append(base, opts...)...)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+
+	media := [2]netsim.Profile{netsim.Ethernet100, netsim.ATM155}
+	for i := range media {
+		ca, cb, link := netsim.StreamPipe(media[i], uint64(17+i))
+		links[i] = link
+		t.Cleanup(link.Close)
+		a.AttachConn(routes[i][1].String(), NewStreamFrameConn(ca))
+		b.AttachConn(routes[i][0].String(), NewStreamFrameConn(cb))
+	}
+	return a, b, links, res
+}
+
+// patternPayload builds a payload whose content encodes its identity,
+// so reassembly errors (lost, duplicated or misordered fragments)
+// corrupt a checkable pattern.
+func patternPayload(id byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = id ^ byte(i*7+i>>8)
+	}
+	return p
+}
+
+func TestStripeAcrossTwoRoutes(t *testing.T) {
+	a, b, _, _ := stripePair(t)
+	payload := patternPayload(3, 2<<20)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.SendWaitContext(ctx, "urn:stripe:b", 9, payload); err != nil {
+		t.Fatalf("striped send: %v", err)
+	}
+	m, err := recvT(b, 10*time.Second)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("payload corrupted across stripe: got %d bytes", len(m.Payload))
+	}
+	snap := a.MetricsSnapshot()
+	if snap.Counters["striped"] == 0 {
+		t.Fatalf("message above threshold was not striped: %+v", snap.Counters)
+	}
+	if snap.Counters["frag_acks"] == 0 {
+		t.Fatalf("no per-fragment acknowledgements observed")
+	}
+	// Both routes must have carried acknowledged fragments: the scorer
+	// saw samples on each.
+	carried := 0
+	for _, rs := range a.RouteScores() {
+		if rs.Samples > 0 {
+			carried++
+		}
+	}
+	if carried < 2 {
+		t.Fatalf("expected fragments acknowledged on both routes, scorer saw %d: %+v",
+			carried, a.RouteScores())
+	}
+}
+
+func TestStripeDisabledFallsBackToSingleRoute(t *testing.T) {
+	a, b, _, _ := stripePair(t, WithStripeThreshold(0))
+	payload := patternPayload(5, 1<<20)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.SendWaitContext(ctx, "urn:stripe:b", 2, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := recvT(b, 10*time.Second)
+	if err != nil || !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("recv: %v", err)
+	}
+	if got := a.MetricsSnapshot().Counters["striped"]; got != 0 {
+		t.Fatalf("striping disabled but %d messages striped", got)
+	}
+}
+
+func TestStripeSmallMessageNotStriped(t *testing.T) {
+	a, b, _, _ := stripePair(t)
+	payload := patternPayload(6, 4<<10) // well below the threshold
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.SendWaitContext(ctx, "urn:stripe:b", 2, payload); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if m, err := recvT(b, 10*time.Second); err != nil || !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("recv: %v", err)
+	}
+	if got := a.MetricsSnapshot().Counters["striped"]; got != 0 {
+		t.Fatalf("small message was striped (%d)", got)
+	}
+}
+
+// TestStripeRouteChurnExactlyOnce is the route-churn failover test: a
+// route is taken down and withdrawn mid-stripe, and every message must
+// still arrive exactly once, intact, with the sender's buffers fully
+// drained afterwards.
+func TestStripeRouteChurnExactlyOnce(t *testing.T) {
+	a, b, links, res := stripePair(t)
+	const n = 6
+	const size = 4 << 20
+	done := make(chan error, 1)
+	go func() {
+		seen := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			m, err := recvT(b, 60*time.Second)
+			if err != nil {
+				done <- fmt.Errorf("recv %d: %w", i, err)
+				return
+			}
+			if seen[m.Seq] {
+				done <- fmt.Errorf("duplicate delivery of seq %d", m.Seq)
+				return
+			}
+			seen[m.Seq] = true
+			want := patternPayload(byte(m.Seq), size)
+			if !bytes.Equal(m.Payload, want) {
+				done <- fmt.Errorf("seq %d corrupted (%d bytes)", m.Seq, len(m.Payload))
+				return
+			}
+		}
+		// Exactly once: nothing further may arrive.
+		if m, err := recvT(b, 300*time.Millisecond); err == nil {
+			done <- fmt.Errorf("extra message seq %d after all %d delivered", m.Seq, n)
+			return
+		}
+		done <- nil
+	}()
+
+	// Cut the Ethernet link (and withdraw its routes) while the
+	// stripes are in flight.
+	cut := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		links[0].SetDown(true)
+		res.set("urn:stripe:a", Route{Transport: "attached", Addr: "a-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90})
+		res.set("urn:stripe:b", Route{Transport: "attached", Addr: "b-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90})
+		close(cut)
+	}()
+
+	for i := 1; i <= n; i++ {
+		if err := a.Send("urn:stripe:b", 4, patternPayload(byte(i), size)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	<-cut
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Drained: every message acknowledged, no stripe still open.
+	deadline := time.Now().Add(30 * time.Second)
+	for a.Pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sender buffers not drained: %d pending", a.Pending())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	snap := a.MetricsSnapshot()
+	if got := snap.Gauges["stripes_active"]; got != 0 {
+		t.Fatalf("stripes still open after drain: %v", got)
+	}
+}
+
+// TestStripeRouteChurnUnderLoss repeats the churn scenario with the
+// surviving route running RUDP over a lossy packet link, so fragment
+// requeue rides on top of ARQ loss recovery.
+func TestStripeRouteChurnUnderLoss(t *testing.T) {
+	const urnA, urnB = "urn:stripe:a", "urn:stripe:b"
+	routeAEth := Route{Transport: "attached", Addr: "a-eth", NetName: "eth", RateBps: 100e6, LatencyUs: 120}
+	routeBEth := Route{Transport: "attached", Addr: "b-eth", NetName: "eth", RateBps: 100e6, LatencyUs: 120}
+	routeAAtm := Route{Transport: "attached", Addr: "a-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90}
+	routeBAtm := Route{Transport: "attached", Addr: "b-atm", NetName: "atm", RateBps: 140e6, LatencyUs: 90}
+	res := newTestResolver()
+	res.set(urnA, routeAEth, routeAAtm)
+	res.set(urnB, routeBEth, routeBAtm)
+	opts := []EndpointOption{WithResolver(res), WithBufferLimit(1 << 14),
+		WithRetryInterval(150 * time.Millisecond), WithStripeStall(700 * time.Millisecond)}
+	a := NewEndpoint(urnA, opts...)
+	b := NewEndpoint(urnB, opts...)
+	defer a.Close()
+	defer b.Close()
+
+	ca, cb, ethLink := netsim.StreamPipe(netsim.Ethernet100, 23)
+	defer ethLink.Close()
+	a.AttachConn(routeBEth.String(), NewStreamFrameConn(ca))
+	b.AttachConn(routeAEth.String(), NewStreamFrameConn(cb))
+	pa, pb, atmLink := netsim.PacketPipe(netsim.ATM155.WithLoss(0.02), 29)
+	defer atmLink.Close()
+	a.AttachConn(routeBAtm.String(), NewRUDPConn(pa))
+	b.AttachConn(routeAAtm.String(), NewRUDPConn(pb))
+
+	payload := patternPayload(11, 4<<20)
+	errc := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		errc <- a.SendWaitContext(ctx, urnB, 8, payload)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	ethLink.SetDown(true) // mid-stripe: fragments must requeue onto lossy ATM
+
+	m, err := recvT(b, 60*time.Second)
+	if err != nil {
+		t.Fatalf("recv after churn under loss: %v", err)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("payload corrupted after churn under loss")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if m, err := recvT(b, 300*time.Millisecond); err == nil {
+		t.Fatalf("duplicate delivery seq %d", m.Seq)
+	}
+}
+
+func TestOrderRoutesAdaptive(t *testing.T) {
+	e := NewEndpoint("urn:scored")
+	defer e.Close()
+	fast := Route{Transport: "tcp", Addr: "fast:1", RateBps: 10e6}
+	slow := Route{Transport: "tcp", Addr: "slow:1", RateBps: 100e6}
+	// Advertised profiles say "slow:1" is the 100 Mbit route; observed
+	// behaviour says otherwise.
+	for i := 0; i < 8; i++ {
+		e.observeRouteAck(fast.String(), 1<<20, 10*time.Millisecond)  // ~100 MB/s
+		e.observeRouteAck(slow.String(), 1<<20, 500*time.Millisecond) // ~2 MB/s
+	}
+	got := e.orderRoutesAdaptive(nil, []Route{slow, fast})
+	if got[0] != fast {
+		t.Fatalf("adaptive order ignored observed goodput: %+v", got)
+	}
+	// A burst of errors must demote a route below a clean one.
+	for i := 0; i < 20; i++ {
+		e.observeRouteError(fast.String())
+	}
+	got = e.orderRoutesAdaptive(nil, []Route{fast, slow})
+	if got[0] != slow {
+		t.Fatalf("adaptive order ignored error rate: %+v", got)
+	}
+	// With no observations the advertised profile decides, exactly as
+	// the static policy would.
+	e2 := NewEndpoint("urn:unscored")
+	defer e2.Close()
+	got = e2.orderRoutesAdaptive(nil, []Route{fast, slow})
+	if got[0] != slow {
+		t.Fatalf("prior should follow advertised rate: %+v", got)
+	}
+	scores := e.RouteScores()
+	if len(scores) != 2 {
+		t.Fatalf("RouteScores: want 2 entries, got %+v", scores)
+	}
+	for _, rs := range scores {
+		if rs.Samples == 0 {
+			t.Fatalf("route %s has no samples folded in", rs.Route)
+		}
+	}
+}
+
+// TestStripePayloadPoolSurvivesRetryRace hammers send/ack/retry with
+// pooled payloads to let the race detector catch any recycle-too-early
+// defect.
+func TestStripePayloadPoolSurvivesRetryRace(t *testing.T) {
+	a, b, _, _ := stripePair(t, WithRetryInterval(10*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 40; i++ {
+		payload := patternPayload(byte(i), 300<<10)
+		if err := a.Send("urn:stripe:b", 1, payload); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		m, err := b.RecvContext(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		want := patternPayload(byte(m.Seq-1), 300<<10)
+		if !bytes.Equal(m.Payload, want) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package daemon
+
+import (
+	"context"
+	"time"
+
+	"snipe/internal/comm"
+)
+
+// recvMatchT adapts the context-first comm.Endpoint receive API to the
+// timeout style these tests read most naturally in.
+func recvMatchT(e *comm.Endpoint, src string, tag uint32, d time.Duration) (*comm.Message, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return e.RecvMatchContext(ctx, src, tag)
+}

@@ -183,6 +183,38 @@ func (d *Daemon) Start() error {
 	return nil
 }
 
+// Routes returns the daemon's currently advertised interfaces.
+func (d *Daemon) Routes() []comm.Route {
+	if d.ep == nil {
+		return nil
+	}
+	return d.ep.Routes()
+}
+
+// WithdrawRoute takes one of the daemon's interfaces out of service:
+// the listener closes, and the route is withdrawn from the daemon's
+// communication addresses and from the host's interface inventory, so
+// peers re-resolving the daemon see only the survivors. Multi-homed
+// hosts use this for planned interface maintenance; unplanned failures
+// reach the same state through the comm layer's route invalidation.
+func (d *Daemon) WithdrawRoute(route comm.Route) error {
+	if d.ep == nil {
+		return errors.New("daemon: not started")
+	}
+	if err := d.ep.CloseListener(route); err != nil {
+		return err
+	}
+	cat := d.cfg.Catalog
+	if err := naming.WithdrawRoute(cat, d.urn, route); err != nil {
+		return err
+	}
+	if err := cat.Remove(d.hostURL, rcds.AttrInterface, route.String()); err != nil {
+		return err
+	}
+	d.resolver.Invalidate(d.urn)
+	return nil
+}
+
 // Close stops the daemon and kills its tasks.
 func (d *Daemon) Close() {
 	d.mu.Lock()

@@ -124,7 +124,7 @@ func TestNotifyViaLaterAddedAttr(t *testing.T) {
 	// Subscribe after the spawn, via metadata only.
 	w.cat.Add(urn, "notify", "urn:late-watcher")
 	close(release)
-	m, err := watcher.RecvMatch("", task.TagNotify, 10*time.Second)
+	m, err := recvMatchT(watcher, "", task.TagNotify, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

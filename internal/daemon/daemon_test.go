@@ -74,6 +74,51 @@ func TestDaemonStartPublishesHostMetadata(t *testing.T) {
 	}
 }
 
+func TestWithdrawRoute(t *testing.T) {
+	w := newWorld(t)
+	d := New(Config{
+		HostName: "h-multi",
+		Catalog:  w.cat,
+		Listens: []ListenSpec{
+			{Transport: "tcp", Addr: "127.0.0.1:0", NetName: "eth"},
+			{Transport: "tcp", Addr: "127.0.0.1:0", NetName: "atm"},
+		},
+	})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	routes := d.Routes()
+	if len(routes) != 2 {
+		t.Fatalf("expected 2 advertised routes, got %v", routes)
+	}
+	if addrs := w.store.Values(d.URN(), rcds.AttrCommAddr); len(addrs) != 2 {
+		t.Fatalf("expected 2 registered comm addresses, got %v", addrs)
+	}
+
+	victim, survivor := routes[0], routes[1]
+	if err := d.WithdrawRoute(victim); err != nil {
+		t.Fatalf("WithdrawRoute: %v", err)
+	}
+	addrs := w.store.Values(d.URN(), rcds.AttrCommAddr)
+	if len(addrs) != 1 || addrs[0] != survivor.String() {
+		t.Fatalf("expected only %s to remain, got %v", survivor, addrs)
+	}
+	ifs := w.store.Values(d.HostURL(), rcds.AttrInterface)
+	if len(ifs) != 1 || ifs[0] != survivor.String() {
+		t.Fatalf("expected host inventory to keep only %s, got %v", survivor, ifs)
+	}
+	if got := d.Routes(); len(got) != 1 || got[0] != survivor {
+		t.Fatalf("endpoint still listening on withdrawn route: %v", got)
+	}
+	// The daemon remains reachable over the survivor.
+	client := w.client("urn:snipe:process:h-multi:probe")
+	if _, err := StatusRemote(client, d.URN(), 71, 5*time.Second); err != nil {
+		t.Fatalf("status query over surviving route: %v", err)
+	}
+}
+
 func TestSpawnRunExit(t *testing.T) {
 	w := newWorld(t)
 	reg := task.NewRegistry()
@@ -270,7 +315,7 @@ func TestNotifyListOnExit(t *testing.T) {
 	// Expect running and exited notifications.
 	seen := map[task.State]bool{}
 	for i := 0; i < 2; i++ {
-		m, err := watcher.RecvMatch("", task.TagNotify, 5*time.Second)
+		m, err := recvMatchT(watcher, "", task.TagNotify, 5*time.Second)
 		if err != nil {
 			t.Fatalf("notify %d: %v", i, err)
 		}

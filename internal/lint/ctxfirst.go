@@ -7,12 +7,10 @@ import (
 
 // ctxfirstDeprecated maps the deprecated timeout-signature wrappers to
 // their context-first replacements. Keys are pkgpath.Type.Method.
+// (comm.Endpoint's wrappers — SendWait, Recv, RecvMatch, Stats — were
+// deleted outright once this analyzer had barred new callers; only the
+// rcds.Client shims remain.)
 var ctxfirstDeprecated = map[string]string{
-	"snipe/internal/comm.Endpoint.SendWait":  "SendWaitContext",
-	"snipe/internal/comm.Endpoint.Recv":      "RecvContext",
-	"snipe/internal/comm.Endpoint.RecvMatch": "RecvMatchContext",
-	"snipe/internal/comm.Endpoint.Stats":     "MetricsSnapshot",
-
 	"snipe/internal/rcds.Client.Ping":       "PingContext",
 	"snipe/internal/rcds.Client.Set":        "SetContext",
 	"snipe/internal/rcds.Client.Add":        "AddContext",

@@ -6,7 +6,7 @@
 // A fixture file marks each line that must produce a diagnostic with a
 // trailing comment:
 //
-//	ep.SendWait("x", 1, nil, time.Second) // want `deprecated`
+//	c.Ping() // want `deprecated`
 //
 // The backquoted (or double-quoted) string is a regular expression that
 // must match the diagnostic's message. Lines without a want comment

@@ -4,22 +4,17 @@ package fixture
 
 import (
 	"context"
-	"time"
 
 	"snipe/internal/comm"
 	"snipe/internal/rcds"
 )
 
 func useEndpoint(ep *comm.Endpoint) {
-	_ = ep.SendWait("peer", 1, nil, time.Second) // want `deprecated Endpoint.SendWait; use SendWaitContext`
-	_, _ = ep.Recv(time.Second)                  // want `deprecated Endpoint.Recv; use RecvContext`
-	_, _ = ep.RecvMatch("peer", 1, time.Second)  // want `deprecated Endpoint.RecvMatch; use RecvMatchContext`
-	sent, _, _, _ := ep.Stats()                  // want `deprecated Endpoint.Stats; use MetricsSnapshot`
-	_ = sent
-
-	// Context-first replacements are clean.
+	// comm.Endpoint's timeout wrappers are gone; the context-first API
+	// is the only one, and it is clean.
 	_ = ep.SendWaitContext(context.Background(), "peer", 1, nil)
 	_, _ = ep.RecvContext(context.Background())
+	_, _ = ep.RecvMatchContext(context.Background(), "peer", 1)
 	_ = ep.MetricsSnapshot()
 }
 
@@ -33,6 +28,6 @@ func useClient(c *rcds.Client) {
 
 // Deprecated: legacyHelper is itself a deprecated shim, so its calls to
 // sibling deprecated APIs are exempt.
-func legacyHelper(ep *comm.Endpoint) (*comm.Message, error) {
-	return ep.Recv(time.Second)
+func legacyHelper(c *rcds.Client) (string, error) {
+	return c.Ping()
 }

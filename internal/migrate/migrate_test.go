@@ -124,7 +124,7 @@ func streamAndMigrateLocal(t *testing.T, w *world, doMigrate func(src, dst *daem
 		}
 	}()
 	for i := 0; i < total; i++ {
-		m, err := controller.RecvMatch("", 2, 20*time.Second)
+		m, err := recvMatchT(controller, "", 2, 20*time.Second)
 		if err != nil {
 			t.Fatalf("ack %d: %v", i, err)
 		}
@@ -161,7 +161,7 @@ func TestRemoteMigration(t *testing.T) {
 	}
 	// Prime the counter.
 	controller.Send(taskURN, 1, []byte{0})
-	if _, err := controller.RecvMatch("", 2, 10*time.Second); err != nil {
+	if _, err := recvMatchT(controller, "", 2, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
@@ -177,7 +177,7 @@ func TestRemoteMigration(t *testing.T) {
 	}
 	// The restored count continues from 1.
 	controller.Send(taskURN, 1, []byte{1})
-	m, err := controller.RecvMatch("", 2, 10*time.Second)
+	m, err := recvMatchT(controller, "", 2, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestSequentialMigrations(t *testing.T) {
 	poke := func() {
 		t.Helper()
 		controller.Send(taskURN, 1, []byte{0})
-		m, err := controller.RecvMatch("", 2, 20*time.Second)
+		m, err := recvMatchT(controller, "", 2, 20*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}

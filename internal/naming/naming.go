@@ -177,6 +177,18 @@ func Register(cat Catalog, urn string, routes []comm.Route) error {
 	return nil
 }
 
+// WithdrawRoute removes a single communication address — the metadata
+// half of taking one interface out of service while the others keep
+// carrying traffic. Peers re-resolving the URN stop seeing the route;
+// sends already striped across it requeue their outstanding fragments
+// onto the surviving routes (see internal/comm's stripe layer).
+func WithdrawRoute(cat Catalog, urn string, route comm.Route) error {
+	if err := cat.Remove(urn, rcds.AttrCommAddr, route.String()); err != nil {
+		return fmt.Errorf("naming: withdrawing %s from %s: %w", route, urn, err)
+	}
+	return nil
+}
+
 // Unregister withdraws all of a URN's communication addresses — done
 // at the start of a migration so new traffic buffers until the new
 // location is published.

@@ -53,6 +53,28 @@ func TestRegisterResolveUnregister(t *testing.T) {
 	}
 }
 
+func TestWithdrawRoute(t *testing.T) {
+	store := rcds.NewStore("s1")
+	cat := StoreCatalog(store)
+	r := NewResolver(cat)
+	r.SetTTL(0)
+
+	routes := []comm.Route{
+		{Transport: "tcp", Addr: "127.0.0.1:1000", NetName: "eth"},
+		{Transport: "tcp", Addr: "127.0.0.1:1001", NetName: "atm"},
+	}
+	if err := Register(cat, "urn:p1", routes); err != nil {
+		t.Fatal(err)
+	}
+	if err := WithdrawRoute(cat, "urn:p1", routes[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Resolve("urn:p1")
+	if err != nil || len(got) != 1 || got[0] != routes[1] {
+		t.Fatalf("after withdrawal: %v, %v", got, err)
+	}
+}
+
 func TestResolverCache(t *testing.T) {
 	store := rcds.NewStore("s1")
 	cat := StoreCatalog(store)

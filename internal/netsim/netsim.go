@@ -73,6 +73,10 @@ var (
 	Ethernet100 = Profile{Name: "100Mb-ethernet", BitsPerSec: 100e6, Latency: 120 * time.Microsecond, MTU: 1500, FrameOverhead: 26}
 	// ATM155 is 155 Mbit ATM with AAL5 framing (cell tax ≈ 5/53).
 	ATM155 = Profile{Name: "155Mb-ATM", BitsPerSec: 155e6 * 48 / 53, Latency: 90 * time.Microsecond, MTU: 9180, FrameOverhead: 48}
+	// Myrinet is the paper testbed's system-area network: 1.28 Gbit
+	// links with single-digit-microsecond switch latency and large
+	// frames (no inter-frame gap tax worth modelling).
+	Myrinet = Profile{Name: "1.28Gb-myrinet", BitsPerSec: 1.28e9, Latency: 9 * time.Microsecond, MTU: 16384, FrameOverhead: 8}
 	// WAN is a lossy wide-area path, for robustness experiments.
 	WAN = Profile{Name: "WAN", BitsPerSec: 8e6, Latency: 20 * time.Millisecond, Loss: 0.01, MTU: 1500, FrameOverhead: 40}
 	// Loopback is an effectively unconstrained local link, the baseline.

@@ -238,7 +238,7 @@ halt`
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ep.RecvMatch("", 9, 10*time.Second)
+	m, err := recvMatchT(ep, "", 9, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
