@@ -11,6 +11,7 @@
 //	BenchmarkMigration/*     — zero-loss migration and its ablation (E5)
 //	BenchmarkScalability/*   — host join cost, RM redundancy (E6)
 //	BenchmarkFailover        — route failover completeness (E7)
+//	BenchmarkLiveness/*      — failure-detection latency (kill/partition/clean)
 //	BenchmarkRUDPLoss/*      — selective-resend goodput vs loss
 //
 // Domain results are attached with b.ReportMetric; run with
@@ -21,6 +22,7 @@ package snipe
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"snipe/internal/bench"
 	"snipe/internal/netsim"
@@ -217,6 +219,32 @@ func BenchmarkFailover(b *testing.B) {
 			b.Fatalf("failover lost %d messages", r.Sent-r.Delivered)
 		}
 		b.ReportMetric(float64(r.MaxGap.Microseconds()), "switchover-µs")
+	}
+}
+
+func BenchmarkLiveness(b *testing.B) {
+	for _, mode := range []string{"crash", "partition", "clean"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, _, err := bench.MeasureDetection(mode, 25*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode != "clean" && pt.DeadMs < 0 {
+					b.Fatal("victim never declared dead")
+				}
+				if pt.FalseSuspects > 0 {
+					b.Fatalf("%d false suspicion(s)", pt.FalseSuspects)
+				}
+				if pt.DeadMs >= 0 {
+					b.ReportMetric(pt.DeadMs, "detect-ms")
+				}
+				if pt.PlacementMs >= 0 {
+					b.ReportMetric(pt.PlacementMs, "placement-ms")
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	snipe-bench -experiment fig1|multipath|mpiconnect|availability|multicast|migration|scalability|failover|rudploss|all
+//	snipe-bench -experiment fig1|multipath|mpiconnect|availability|multicast|migration|scalability|failover|liveness|rudploss|all
 //	snipe-bench -experiment fig1 -quick
 package main
 
@@ -24,6 +24,7 @@ var (
 	quick      = flag.Bool("quick", false, "reduced sweeps for a fast run")
 	fig1Out    = flag.String("fig1-out", "BENCH_fig1.json", "path for the fig1 JSON artifact (empty to skip)")
 	mpOut      = flag.String("multipath-out", "BENCH_multipath.json", "path for the multipath JSON artifact (empty to skip)")
+	floOut     = flag.String("failover-out", "BENCH_failover.json", "path for the liveness/detection JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -37,11 +38,12 @@ func main() {
 		"migration":    runMigration,
 		"scalability":  runScalability,
 		"failover":     runFailover,
+		"liveness":     runLiveness,
 		"rudploss":     runRUDPLoss,
 		"paths":        runPaths,
 		"multipath":    runMultipath,
 	}
-	order := []string{"fig1", "multipath", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "rudploss", "paths"}
+	order := []string{"fig1", "multipath", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "rudploss", "paths"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -311,6 +313,46 @@ func runFailover() error {
 		fmt.Fprintf(w, "%v\t%d\t%d\t%v\n", r.Buffering, r.Sent, r.Delivered, r.MaxGap)
 	}
 	return w.Flush()
+}
+
+func runLiveness() error {
+	fmt.Println("== liveness: failure-detection latency (kill / partition / clean shutdown of one of three daemons) ==")
+	points, monitor, err := bench.RunFailoverSuite(*quick)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "mode\theartbeat ms\tsuspect ms\tdead ms\tfirst correct placement ms\tfalse suspects")
+	fmtMs := func(v float64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%.0f\t%s\t%s\t%s\t%d\n",
+			p.Mode, p.HeartbeatMs, fmtMs(p.SuspectMs), fmtMs(p.DeadMs), fmtMs(p.PlacementMs), p.FalseSuspects)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The claims under test: failures are detected, clean exits are not
+	// mistaken for them.
+	for _, p := range points {
+		if p.Mode != "clean" && p.DeadMs < 0 {
+			return fmt.Errorf("liveness: %s victim never declared dead", p.Mode)
+		}
+		if p.FalseSuspects > 0 {
+			return fmt.Errorf("liveness: %s run produced %d false suspicion(s)", p.Mode, p.FalseSuspects)
+		}
+	}
+	if *floOut != "" {
+		if err := bench.WriteFailoverArtifact(*floOut, points, monitor, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points)\n", *floOut, len(points))
+	}
+	return nil
 }
 
 func runPaths() error {

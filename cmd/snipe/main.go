@@ -29,6 +29,7 @@ import (
 	"snipe/internal/comm"
 	"snipe/internal/daemon"
 	"snipe/internal/fileserv"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/rm"
@@ -195,8 +196,11 @@ func (c *cli) run(args []string, timeout time.Duration) error {
 		}
 		for _, h := range hosts {
 			arch, _, _ := c.cat.FirstValue(h, rcds.AttrArch)
-			load, _, _ := c.cat.FirstValue(h, rcds.AttrLoad)
-			fmt.Printf("%-40s arch=%-12s load=%s\n", h, arch, load)
+			loadStr := "?"
+			if load, ok := liveness.HostLoad(c.cat, h); ok {
+				loadStr = fmt.Sprintf("%.2f", load)
+			}
+			fmt.Printf("%-40s arch=%-12s load=%s\n", h, arch, loadStr)
 		}
 		return nil
 	}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"snipe/internal/daemon"
+	"snipe/internal/liveness"
+	"snipe/internal/naming"
+	"snipe/internal/netsim"
+	"snipe/internal/rcds"
+	"snipe/internal/rm"
+	"snipe/internal/stats"
+	"snipe/internal/task"
+)
+
+// --- Detection latency: the liveness experiment --------------------------
+//
+// Three daemons heartbeat into one catalog; a liveness.Monitor and a
+// resource manager watch. Reservations weight the placement so the
+// victim is the preferred host, then the victim is killed (heartbeats
+// just stop), partitioned from the catalog (netsim.Fabric gate), or
+// cleanly shut down (tombstone). Measured: injection → suspect,
+// injection → dead, and injection → first placement that avoids the
+// victim — the time the system keeps placing work on a dead host.
+
+// FailoverPoint is one failure-detection measurement.
+type FailoverPoint struct {
+	Mode        string  `json:"mode"` // crash | partition | clean
+	HeartbeatMs float64 `json:"heartbeat_ms"`
+	SuspectMs   float64 `json:"suspect_ms"` // injection → suspect (-1: never)
+	DeadMs      float64 `json:"dead_ms"`    // injection → dead/left (-1: never)
+	// PlacementMs is injection → first SelectHost answer not on the
+	// victim: the window in which new work was still sent to a dead
+	// host.
+	PlacementMs   float64 `json:"first_correct_placement_ms"`
+	FalseSuspects int     `json:"false_suspects"` // suspect events that indict a healthy host
+}
+
+// MeasureDetection runs one failure injection and measures detection
+// and placement-correction latency. mode is "crash" (daemon killed, no
+// catalog writes), "partition" (daemon's catalog access severed via a
+// netsim fabric gate), or "clean" (Daemon.Close tombstone — expected
+// to produce zero suspects).
+func MeasureDetection(mode string, hbInterval time.Duration) (FailoverPoint, stats.Snapshot, error) {
+	pt := FailoverPoint{Mode: mode, HeartbeatMs: float64(hbInterval) / 1e6, SuspectMs: -1, DeadMs: -1, PlacementMs: -1}
+	store := rcds.NewStore("bench-liveness-" + mode)
+	cat := naming.StoreCatalog(store)
+	reg := task.NewRegistry()
+
+	fabric := netsim.NewFabric()
+	victimCat := cat
+	if mode == "partition" {
+		// The victim reaches the catalog only through the fabric: a
+		// partition stops its heartbeats (and all its reads) while the
+		// daemon itself keeps running — a true split, not a crash.
+		victimCat = naming.GatedCatalog(cat, fabric.Gate("victim", "rc"))
+	}
+
+	mk := func(h string, c naming.Catalog) (*daemon.Daemon, error) {
+		d := daemon.New(daemon.Config{HostName: h, Catalog: c, Registry: reg, HeartbeatInterval: hbInterval})
+		return d, d.Start()
+	}
+	victim, err := mk("flv1", victimCat)
+	if err != nil {
+		return pt, stats.Snapshot{}, err
+	}
+	defer victim.Close()
+	d2, err := mk("flv2", cat)
+	if err != nil {
+		return pt, stats.Snapshot{}, err
+	}
+	defer d2.Close()
+	d3, err := mk("flv3", cat)
+	if err != nil {
+		return pt, stats.Snapshot{}, err
+	}
+	defer d3.Close()
+
+	mon := liveness.NewMonitor(cat, liveness.Options{
+		CheckInterval: 5 * time.Millisecond,
+		MinSuspect:    2 * hbInterval,
+		MaxSuspect:    2 * time.Second,
+	})
+	defer mon.Close()
+	mgr, err := rm.NewManager("flv-rm", cat, nil)
+	if err != nil {
+		return pt, stats.Snapshot{}, err
+	}
+	defer mgr.Close()
+	mgr.UseLiveness(mon)
+	// Reservations make the victim the least-loaded candidate, so until
+	// detection engages every placement lands on it.
+	mgr.Reserve(d2.HostURL())
+	mgr.Reserve(d3.HostURL())
+
+	// Let the monitor build inter-arrival history on all three hosts.
+	time.Sleep(15 * hbInterval)
+	if host, _, err := mgr.SelectHost(task.Requirements{}); err != nil {
+		return pt, stats.Snapshot{}, err
+	} else if host != victim.HostURL() {
+		return pt, stats.Snapshot{}, fmt.Errorf("bench: expected victim preferred, placement went to %s", host)
+	}
+
+	events := mon.Events()
+	inject := time.Now()
+	switch mode {
+	case "crash":
+		victim.Kill()
+	case "partition":
+		fabric.Partition("victim", "rc")
+	case "clean":
+		victim.Close()
+	default:
+		return pt, stats.Snapshot{}, fmt.Errorf("bench: unknown detection mode %q", mode)
+	}
+
+	// Poll placement until it stops answering with the victim.
+	placed := make(chan time.Duration, 1)
+	go func() {
+		for {
+			host, _, err := mgr.SelectHost(task.Requirements{})
+			if err == nil && host != victim.HostURL() {
+				placed <- time.Since(inject)
+				return
+			}
+			if time.Since(inject) > 10*time.Second {
+				placed <- -1
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Watch transitions until the victim settles (dead or left), then
+	// linger briefly to catch stray false suspicions. Clean shutdowns
+	// settle on the Left event.
+	deadline := time.After(10 * time.Second)
+	settled := false
+	linger := 20 * hbInterval
+	for !settled {
+		select {
+		case ev := <-events:
+			if ev.Host != victim.HostURL() {
+				if ev.To == liveness.Suspect {
+					pt.FalseSuspects++
+				}
+				continue
+			}
+			switch ev.To {
+			case liveness.Suspect:
+				if mode == "clean" {
+					pt.FalseSuspects++ // a tombstoned host must never look suspect
+				} else if pt.SuspectMs < 0 {
+					pt.SuspectMs = float64(time.Since(inject)) / 1e6
+				}
+			case liveness.Dead, liveness.Left:
+				pt.DeadMs = float64(time.Since(inject)) / 1e6
+				settled = true
+			}
+		case <-deadline:
+			settled = true
+		}
+	}
+	quiet := time.After(linger)
+	for done := false; !done; {
+		select {
+		case ev := <-events:
+			if ev.To == liveness.Suspect && (ev.Host != victim.HostURL() || mode == "clean") {
+				pt.FalseSuspects++
+			}
+		case <-quiet:
+			done = true
+		}
+	}
+	if d := <-placed; d >= 0 {
+		pt.PlacementMs = float64(d) / 1e6
+	}
+	return pt, mon.MetricsSnapshot(), nil
+}
+
+// RunFailoverSuite measures all injection modes. Quick mode runs one
+// heartbeat cadence; the full suite sweeps cadences for the crash
+// case to show detection latency tracking the adaptive bound.
+func RunFailoverSuite(quick bool) ([]FailoverPoint, stats.Snapshot, error) {
+	type run struct {
+		mode string
+		hb   time.Duration
+	}
+	runs := []run{
+		{"crash", 25 * time.Millisecond},
+		{"partition", 25 * time.Millisecond},
+		{"clean", 25 * time.Millisecond},
+	}
+	if !quick {
+		runs = append(runs,
+			run{"crash", 50 * time.Millisecond},
+			run{"crash", 100 * time.Millisecond},
+			run{"partition", 100 * time.Millisecond},
+			run{"clean", 100 * time.Millisecond},
+		)
+	}
+	var out []FailoverPoint
+	var mstats stats.Snapshot
+	for _, r := range runs {
+		pt, ms, err := MeasureDetection(r.mode, r.hb)
+		if err != nil {
+			return out, mstats, err
+		}
+		out = append(out, pt)
+		mstats = ms
+	}
+	return out, mstats, nil
+}
+
+// FailoverArtifact is the machine-readable form of a detection run,
+// written to BENCH_failover.json.
+type FailoverArtifact struct {
+	Experiment  string          `json:"experiment"`
+	GeneratedAt string          `json:"generated_at"`
+	Quick       bool            `json:"quick"`
+	Points      []FailoverPoint `json:"points"`
+	Monitor     stats.Snapshot  `json:"monitor"` // last run's monitor metrics
+}
+
+// WriteFailoverArtifact writes the run's artifact as indented JSON.
+func WriteFailoverArtifact(path string, points []FailoverPoint, monitor stats.Snapshot, quick bool) error {
+	art := FailoverArtifact{
+		Experiment:  "liveness",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		Points:      points,
+		Monitor:     monitor,
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -218,6 +218,8 @@ type Endpoint struct {
 	stripeWindow    int           // per-route in-flight fragment window
 	stripeStall     time.Duration // zero-progress window before a stripe fails stuck routes
 	scoreAlpha      float64       // EWMA smoothing factor of the route scorer
+	liveness        PeerLiveness  // optional failure detector fed by send/ack evidence
+	failFastDead    bool          // refuse + stop retrying sends to dead peers
 	handler         func(*Message)
 	handlerTags     map[uint32]bool // nil = handler takes all tags
 
@@ -261,6 +263,8 @@ type Endpoint struct {
 	mStriped      *stats.Counter   // messages sent via the multi-path stripe path
 	mFragAcks     *stats.Counter   // per-fragment acknowledgements received
 	mFragRequeues *stats.Counter   // fragments requeued off a failed route mid-stripe
+	mDeadRefused  *stats.Counter   // sends refused up front: peer host dead
+	mDeadSkips    *stats.Counter   // buffered retries skipped: peer host dead
 	hAckLatency   *stats.Histogram // µs, send → end-to-end ack
 	hMsgSize      *stats.Histogram // bytes per application message
 }
@@ -304,6 +308,8 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 	e.mStriped = e.metrics.Counter("striped")
 	e.mFragAcks = e.metrics.Counter("frag_acks")
 	e.mFragRequeues = e.metrics.Counter("frag_requeues")
+	e.mDeadRefused = e.metrics.Counter("dead_peer_refused")
+	e.mDeadSkips = e.metrics.Counter("dead_peer_skips")
 	e.hAckLatency = e.metrics.Histogram("ack_latency_us", stats.LatencyBucketsUs)
 	e.hMsgSize = e.metrics.Histogram("msg_size_bytes", stats.SizeBuckets)
 	for _, o := range opts {
@@ -478,6 +484,10 @@ func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error)
 	if len(payload) > MaxMessageSize {
 		return nil, ErrTooLarge
 	}
+	if e.peerDead(dst) {
+		e.mDeadRefused.Inc()
+		return nil, fmt.Errorf("%w: %s", ErrPeerDead, dst)
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -604,6 +614,12 @@ func (e *Endpoint) transmit(om *outMsg) error {
 	if lastErr == nil {
 		lastErr = ErrNoRoute
 	}
+	// Every advertised route failed: that is suspicion evidence about
+	// the peer itself, not any one path — feed the failure detector.
+	// (Resolver errors and empty advertisements above are not reported:
+	// a catalog outage or a mid-migration window says nothing about the
+	// peer's host.)
+	e.reportSendFailure(om.msg.Dst)
 	return lastErr
 }
 
@@ -819,7 +835,8 @@ func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
 			if route != "" {
 				e.observeRouteAck(route, len(om.msg.Payload), attemptAge)
 			}
-			om.releasePayload() // the system buffer's reference
+			e.reportSendSuccess(dst) // end-to-end ack: direct proof of life
+			om.releasePayload()      // the system buffer's reference
 		}
 
 	case frameFragAck:
@@ -1011,6 +1028,14 @@ func (e *Endpoint) retryLoop() {
 		}
 		e.mu.Unlock()
 		for _, om := range due {
+			// With fail-fast on, retries to a confirmed-dead peer are
+			// suppressed while it stays dead; the message remains
+			// buffered, so a revived peer (healed partition, restart)
+			// still collects its traffic.
+			if e.peerDead(om.msg.Dst) {
+				e.mDeadSkips.Inc()
+				continue
+			}
 			e.mRetried.Inc()
 			e.transmit(om) // failure leaves it buffered for a later tick
 		}

@@ -1,0 +1,70 @@
+package comm
+
+import "errors"
+
+// PeerLiveness is the comm layer's view of a failure detector. The
+// endpoint feeds it SWIM-style evidence piggybacked on normal traffic
+// — every exhausted transmission attempt is a failure report, every
+// end-to-end acknowledgement a success report — and, when fail-fast is
+// enabled, consults PeerDead before buffering sends so traffic to a
+// confirmed-dead peer errors immediately instead of aging out of the
+// system buffer retry by retry.
+//
+// The interface is defined here (not in internal/liveness) so that
+// comm stays at the bottom of the import graph; liveness.Monitor
+// provides the canonical implementation via its CommLiveness adapter.
+type PeerLiveness interface {
+	// PeerDead reports whether dst's host is known dead (or cleanly
+	// departed). Unknown peers must return false.
+	PeerDead(dst string) bool
+	// ReportFailure records that a transmission to dst failed on every
+	// route.
+	ReportFailure(dst string)
+	// ReportSuccess records an end-to-end acknowledgement from dst.
+	ReportSuccess(dst string)
+}
+
+// ErrPeerDead indicates a send was refused because the liveness
+// monitor has declared the destination's host dead.
+var ErrPeerDead = errors.New("comm: peer host is dead")
+
+// WithLiveness connects the endpoint to a failure detector: send
+// failures and acknowledgements are reported as liveness evidence.
+// Detection evidence alone never changes send semantics; pair with
+// WithFailFastDead to also refuse traffic to dead peers.
+func WithLiveness(l PeerLiveness) EndpointOption {
+	return func(e *Endpoint) { e.liveness = l }
+}
+
+// WithFailFastDead makes Send/SendWaitContext fail immediately with
+// ErrPeerDead when the liveness monitor (set via WithLiveness) has
+// declared the destination's host dead, and stops retrying buffered
+// messages to such peers while they remain dead. Flag-guarded so the
+// buffering ablation (experiment E5/E7) keeps its pure
+// buffer-and-retry behaviour: without this option, even a monitored
+// endpoint buffers to dead peers exactly as before.
+func WithFailFastDead() EndpointOption {
+	return func(e *Endpoint) { e.failFastDead = true }
+}
+
+// peerDead reports whether dst is known dead, under the fail-fast
+// flag.
+func (e *Endpoint) peerDead(dst string) bool {
+	return e.failFastDead && e.liveness != nil && e.liveness.PeerDead(dst)
+}
+
+// reportSendFailure feeds one fully-failed transmission into the
+// detector.
+func (e *Endpoint) reportSendFailure(dst string) {
+	if e.liveness != nil {
+		e.liveness.ReportFailure(dst)
+	}
+}
+
+// reportSendSuccess feeds one end-to-end acknowledgement into the
+// detector.
+func (e *Endpoint) reportSendSuccess(dst string) {
+	if e.liveness != nil {
+		e.liveness.ReportSuccess(dst)
+	}
+}

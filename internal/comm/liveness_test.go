@@ -1,0 +1,160 @@
+package comm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeLiveness is a scripted PeerLiveness recording the evidence the
+// endpoint feeds it.
+type fakeLiveness struct {
+	mu        sync.Mutex
+	dead      map[string]bool
+	failures  map[string]int
+	successes map[string]int
+}
+
+func newFakeLiveness() *fakeLiveness {
+	return &fakeLiveness{
+		dead:      make(map[string]bool),
+		failures:  make(map[string]int),
+		successes: make(map[string]int),
+	}
+}
+
+func (f *fakeLiveness) PeerDead(dst string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead[dst]
+}
+
+func (f *fakeLiveness) ReportFailure(dst string) {
+	f.mu.Lock()
+	f.failures[dst]++
+	f.mu.Unlock()
+}
+
+func (f *fakeLiveness) ReportSuccess(dst string) {
+	f.mu.Lock()
+	f.successes[dst]++
+	f.mu.Unlock()
+}
+
+func (f *fakeLiveness) setDead(dst string, dead bool) {
+	f.mu.Lock()
+	f.dead[dst] = dead
+	f.mu.Unlock()
+}
+
+func (f *fakeLiveness) counts(dst string) (failures, successes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures[dst], f.successes[dst]
+}
+
+func TestFailFastDeadRefusesSends(t *testing.T) {
+	res := newTestResolver()
+	fl := newFakeLiveness()
+	a := newTestEndpoint(t, "urn:a", res, WithLiveness(fl), WithFailFastDead())
+	newTestEndpoint(t, "urn:b", res)
+
+	fl.setDead("urn:b", true)
+	if err := a.Send("urn:b", 1, []byte("x")); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("want ErrPeerDead, got %v", err)
+	}
+	// Revival restores normal semantics.
+	fl.setDead("urn:b", false)
+	if err := a.Send("urn:b", 1, []byte("x")); err != nil {
+		t.Fatalf("after revival: %v", err)
+	}
+}
+
+func TestLivenessWithoutFailFastKeepsBuffering(t *testing.T) {
+	// Evidence-only wiring (no WithFailFastDead): the E5 ablation
+	// posture. Sends to a "dead" peer must buffer exactly as before the
+	// subsystem existed.
+	res := newTestResolver()
+	fl := newFakeLiveness()
+	a := newTestEndpoint(t, "urn:a", res, WithLiveness(fl))
+	b := newTestEndpoint(t, "urn:b", res)
+
+	fl.setDead("urn:b", true)
+	if err := a.Send("urn:b", 1, []byte("still flows")); err != nil {
+		t.Fatalf("ablation send refused: %v", err)
+	}
+	if m, err := recvT(b, 3*time.Second); err != nil || string(m.Payload) != "still flows" {
+		t.Fatalf("delivery: %v %v", m, err)
+	}
+}
+
+func TestAckReportsSuccess(t *testing.T) {
+	res := newTestResolver()
+	fl := newFakeLiveness()
+	a := newTestEndpoint(t, "urn:a", res, WithLiveness(fl))
+	newTestEndpoint(t, "urn:b", res)
+
+	if err := sendWaitT(a, "urn:b", 1, []byte("x"), 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, succ := fl.counts("urn:b"); succ > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("acknowledgement never reported as liveness success")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fails, _ := fl.counts("urn:b"); fails != 0 {
+		t.Fatalf("healthy exchange reported %d failures", fails)
+	}
+}
+
+func TestExhaustedRoutesReportFailure(t *testing.T) {
+	res := newTestResolver()
+	fl := newFakeLiveness()
+	a := newTestEndpoint(t, "urn:a", res, WithLiveness(fl))
+	// A peer advertising only an unreachable route: every transmission
+	// attempt fails on all routes, which is the evidence signal.
+	res.set("urn:gone", Route{Transport: "tcp", Addr: "127.0.0.1:1"})
+
+	a.Send("urn:gone", 1, []byte("x")) // buffered; background retries fail
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if fails, _ := fl.counts("urn:gone"); fails > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("exhausted transmission never reported as failure evidence")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRetrySkipsDeadPeers(t *testing.T) {
+	res := newTestResolver()
+	fl := newFakeLiveness()
+	a := newTestEndpoint(t, "urn:a", res, WithLiveness(fl), WithFailFastDead())
+	res.set("urn:limbo", Route{Transport: "tcp", Addr: "127.0.0.1:1"})
+
+	// Buffer a message while the peer is merely unreachable, then
+	// declare it dead: the retry loop must stop hammering the route.
+	if err := a.Send("urn:limbo", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fl.setDead("urn:limbo", true)
+	time.Sleep(300 * time.Millisecond) // several 50ms retry intervals
+	skipsBefore := a.Metrics().Snapshot().Counters["dead_peer_skips"]
+	if skipsBefore == 0 {
+		t.Fatal("retry loop never skipped the dead peer")
+	}
+	failsBefore, _ := fl.counts("urn:limbo")
+	time.Sleep(200 * time.Millisecond)
+	failsAfter, _ := fl.counts("urn:limbo")
+	if failsAfter > failsBefore+1 {
+		t.Fatalf("dead peer still being dialled: %d -> %d failures", failsBefore, failsAfter)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"snipe/internal/comm"
 	"snipe/internal/daemon"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/stats"
@@ -152,6 +153,16 @@ func (c *Console) handleResolve(w http.ResponseWriter, r *http.Request) {
 
 type attrPair struct{ name, value string }
 
+// loadString renders a host's load figure for display, reading the
+// heartbeat-carried value (with legacy AttrLoad fallback); "?" when
+// the host publishes neither.
+func loadString(cat naming.Catalog, hostURL string) string {
+	if load, ok := liveness.HostLoad(cat, hostURL); ok {
+		return fmt.Sprintf("%.2f", load)
+	}
+	return "?"
+}
+
 // assertions collects all live (name, value) pairs of a URI. The
 // Catalog interface is value-oriented, so we enumerate the well-known
 // attribute names plus whatever a Get on the raw client would return;
@@ -159,6 +170,7 @@ type attrPair struct{ name, value string }
 func (c *Console) assertions(uri string) ([]attrPair, error) {
 	names := []string{
 		rcds.AttrArch, rcds.AttrCPUs, rcds.AttrMemory, rcds.AttrLoad,
+		rcds.AttrHeartbeat,
 		rcds.AttrHostDaemonURL, rcds.AttrInterface, rcds.AttrBroker,
 		rcds.AttrCommAddr, rcds.AttrState, rcds.AttrNotify,
 		rcds.AttrLocation, rcds.AttrMcastRouter, rcds.AttrPublicKey,
@@ -194,11 +206,10 @@ func (c *Console) handleHosts(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "<tr><th>host</th><th>arch</th><th>load</th><th>daemon</th></tr>")
 	for _, h := range hosts {
 		arch, _, _ := c.cat.FirstValue(h, rcds.AttrArch)
-		load, _, _ := c.cat.FirstValue(h, rcds.AttrLoad)
 		durn, _, _ := c.cat.FirstValue(h, rcds.AttrHostDaemonURL)
 		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
 			html.EscapeString(h), html.EscapeString(arch),
-			html.EscapeString(load), html.EscapeString(durn))
+			html.EscapeString(loadString(c.cat, h)), html.EscapeString(durn))
 	}
 	fmt.Fprintln(w, "</table></body></html>")
 }
@@ -361,8 +372,7 @@ func (c *Console) RenderText() (string, error) {
 	fmt.Fprintf(&b, "SNIPE console %s — %d host(s)\n", c.name, len(hosts))
 	for _, h := range hosts {
 		arch, _, _ := c.cat.FirstValue(h, rcds.AttrArch)
-		load, _, _ := c.cat.FirstValue(h, rcds.AttrLoad)
-		fmt.Fprintf(&b, "  %s arch=%s load=%s\n", h, arch, load)
+		fmt.Fprintf(&b, "  %s arch=%s load=%s\n", h, arch, loadString(c.cat, h))
 		tasks, err := c.cat.Values(h, "task")
 		if err != nil {
 			continue

@@ -10,10 +10,12 @@ package daemon
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/stats"
@@ -48,6 +50,12 @@ type Config struct {
 	Catalog  naming.Catalog // RC metadata access
 	Registry *task.Registry // available programs
 	Listens  []ListenSpec   // interfaces; default loopback TCP
+
+	// HeartbeatInterval is the cadence of the daemon's combined
+	// heartbeat/load publication to RC metadata (default 100ms). Each
+	// beat is jittered ±10% so many virtual hosts sharing a replica do
+	// not thundering-herd it in lockstep.
+	HeartbeatInterval time.Duration
 }
 
 // runningTask tracks one hosted task.
@@ -73,9 +81,11 @@ type Daemon struct {
 	tasks   map[string]*runningTask
 	nextID  int
 	closed  bool
+	crashed bool // Kill(): die without catalog writes, simulating a crash
 	done    chan struct{}
 	wg      sync.WaitGroup
 	started bool
+	hbSeq   uint64 // heartbeat sequence number (guarded by mu)
 
 	// Telemetry (see internal/stats); pointers captured at construction.
 	metrics     *stats.Registry
@@ -100,6 +110,9 @@ func New(cfg Config) *Daemon {
 	}
 	if cfg.Arch == "" {
 		cfg.Arch = "go-sim"
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
 	}
 	d := &Daemon{
 		cfg:     cfg,
@@ -170,7 +183,7 @@ func (d *Daemon) Start() error {
 	cat.Set(d.hostURL, rcds.AttrCPUs, fmt.Sprintf("%d", d.cfg.CPUs))
 	cat.Set(d.hostURL, rcds.AttrMemory, fmt.Sprintf("%d", d.cfg.MemoryMB))
 	cat.Set(d.hostURL, rcds.AttrHostDaemonURL, d.urn)
-	cat.Set(d.hostURL, rcds.AttrLoad, "0.00")
+	d.publishHeartbeat(false) // liveness + load, one write (see internal/liveness)
 	for _, r := range routes {
 		cat.Add(d.hostURL, rcds.AttrInterface, r.String())
 	}
@@ -215,14 +228,27 @@ func (d *Daemon) WithdrawRoute(route comm.Route) error {
 	return nil
 }
 
-// Close stops the daemon and kills its tasks.
-func (d *Daemon) Close() {
+// Close stops the daemon and kills its tasks. This is the clean
+// shutdown path: after the heartbeat loop stops, the daemon publishes
+// a tombstone heartbeat and withdraws its records from RC metadata, so
+// liveness monitors see a planned departure ("left"), never a crash.
+func (d *Daemon) Close() { d.shutdown(false) }
+
+// Kill simulates a host crash for failure-injection tests and benches:
+// the daemon dies with NO catalog writes — no tombstone, no state
+// updates, no notify messages — leaving its host record behind exactly
+// as a power failure would. Liveness monitors must discover the death
+// from heartbeat silence alone.
+func (d *Daemon) Kill() { d.shutdown(true) }
+
+func (d *Daemon) shutdown(crash bool) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return
 	}
 	d.closed = true
+	d.crashed = crash
 	close(d.done)
 	tasks := make([]*runningTask, 0, len(d.tasks))
 	for _, rt := range d.tasks {
@@ -233,6 +259,14 @@ func (d *Daemon) Close() {
 		rt.ctx.Deliver(task.SigKill)
 	}
 	d.wg.Wait()
+	if !crash {
+		// The heartbeat loop is down (wg.Wait above), so no racing beat
+		// can resurrect the record after the tombstone lands.
+		d.publishHeartbeat(true)
+		cat := d.cfg.Catalog
+		cat.Remove(d.hostURL, rcds.AttrHostDaemonURL, d.urn)
+		naming.Unregister(cat, d.urn)
+	}
 	if d.ep != nil {
 		d.ep.Close()
 	}
@@ -243,21 +277,44 @@ func (d *Daemon) Close() {
 	d.mu.Unlock()
 }
 
-// loadLoop periodically publishes the host's load (running task count
-// per CPU) to RC metadata, the input to resource-manager placement.
+// publishHeartbeat folds liveness and load into one replicated RC
+// write: a monotonically increasing sequence number, the wall clock,
+// and the load figure placement reads (down marks the clean-shutdown
+// tombstone).
+func (d *Daemon) publishHeartbeat(down bool) {
+	d.mu.Lock()
+	d.hbSeq++
+	hb := liveness.Heartbeat{Seq: d.hbSeq, Time: time.Now().UnixNano(), Down: down}
+	d.mu.Unlock()
+	hb.Load = d.Load()
+	d.cfg.Catalog.Set(d.hostURL, rcds.AttrHeartbeat, hb.String())
+	d.mHeartbeats.Inc()
+}
+
+// loadLoop periodically publishes the host's heartbeat — carrying the
+// load figure (running task count per CPU) that resource-manager
+// placement consumes, and the sequence number liveness monitors watch.
+// Each interval is jittered ±10% so heartbeats from many hosts decay
+// out of phase instead of thundering-herding the RC replica.
 func (d *Daemon) loadLoop() {
 	defer d.wg.Done()
-	ticker := time.NewTicker(100 * time.Millisecond)
-	defer ticker.Stop()
+	timer := time.NewTimer(d.jitteredInterval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-d.done:
 			return
-		case <-ticker.C:
-			d.cfg.Catalog.Set(d.hostURL, rcds.AttrLoad, fmt.Sprintf("%.2f", d.Load()))
-			d.mHeartbeats.Inc()
+		case <-timer.C:
+			d.publishHeartbeat(false)
+			timer.Reset(d.jitteredInterval())
 		}
 	}
+}
+
+// jitteredInterval returns the configured heartbeat interval ±10%.
+func (d *Daemon) jitteredInterval() time.Duration {
+	base := d.cfg.HeartbeatInterval
+	return base + time.Duration((rand.Float64()*0.2-0.1)*float64(base))
 }
 
 // Load returns the current load figure: running tasks per CPU.
@@ -441,14 +498,18 @@ func (d *Daemon) runTask(rt *runningTask, fn task.Func) {
 	d.mu.Lock()
 	rt.state = to
 	rt.err = err
+	crashed := d.crashed
 	close(rt.done)
 	d.mu.Unlock()
 
 	// Withdraw the task's addresses; keep its state metadata (the
-	// paper's daemons record exits for later queries).
-	naming.Unregister(d.cfg.Catalog, rt.urn)
-	d.cfg.Catalog.Set(rt.urn, rcds.AttrState, string(to))
-	d.notifyStateChange(rt, from, to)
+	// paper's daemons record exits for later queries). A crashing
+	// daemon (Kill) writes nothing: a real crash would not get to.
+	if !crashed {
+		naming.Unregister(d.cfg.Catalog, rt.urn)
+		d.cfg.Catalog.Set(rt.urn, rcds.AttrState, string(to))
+		d.notifyStateChange(rt, from, to)
+	}
 	if to != task.StateCheckpointed {
 		rt.ep.Close()
 	}

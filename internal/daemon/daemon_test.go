@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/task"
@@ -471,15 +472,15 @@ func TestLoadPublishing(t *testing.T) {
 	if got := d.Load(); got != 2.0 { // 4 tasks / 2 CPUs
 		t.Fatalf("load = %v", got)
 	}
-	// The load loop publishes to the catalog.
+	// The heartbeat loop publishes the load figure to the catalog.
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		if v, ok := w.store.FirstValue(d.HostURL(), rcds.AttrLoad); ok && v == "2.00" {
+		if load, ok := liveness.HostLoad(w.cat, d.HostURL()); ok && load == 2.0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			v, _ := w.store.FirstValue(d.HostURL(), rcds.AttrLoad)
-			t.Fatalf("load never published: %q", v)
+			v, _ := w.store.FirstValue(d.HostURL(), rcds.AttrHeartbeat)
+			t.Fatalf("load never published: heartbeat %q", v)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -549,4 +550,101 @@ func BenchmarkSpawnExit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestHeartbeatIntervalConfigurable(t *testing.T) {
+	w := newWorld(t)
+	d := New(Config{
+		HostName: "hb-fast", Catalog: w.cat,
+		HeartbeatInterval: 10 * time.Millisecond,
+	})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+
+	readSeq := func() uint64 {
+		v, ok := w.store.FirstValue(d.HostURL(), rcds.AttrHeartbeat)
+		if !ok {
+			return 0
+		}
+		hb, err := liveness.ParseHeartbeat(v)
+		if err != nil {
+			t.Fatalf("malformed heartbeat %q: %v", v, err)
+		}
+		return hb.Seq
+	}
+	start := readSeq()
+	time.Sleep(200 * time.Millisecond)
+	// 200ms at a 10ms cadence (±10% jitter) publishes ~20 beats; the
+	// default 100ms cadence could manage at most 3. Requiring 6 proves
+	// the configured interval took effect with wide scheduling slack.
+	if got := readSeq(); got < start+6 {
+		t.Fatalf("seq advanced %d->%d in 200ms; configured interval ignored", start, got)
+	}
+}
+
+func TestCloseWritesTombstone(t *testing.T) {
+	w := newWorld(t)
+	d := New(Config{HostName: "hb-clean", Catalog: w.cat, HeartbeatInterval: 10 * time.Millisecond})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	host, urn := d.HostURL(), d.URN()
+	d.Close()
+
+	v, ok := w.store.FirstValue(host, rcds.AttrHeartbeat)
+	if !ok {
+		t.Fatal("no heartbeat record after close")
+	}
+	hb, err := liveness.ParseHeartbeat(v)
+	if err != nil || !hb.Down {
+		t.Fatalf("final heartbeat %q not a tombstone (%v)", v, err)
+	}
+	// The daemon record and its endpoint registration are withdrawn.
+	if v, ok := w.store.FirstValue(host, rcds.AttrHostDaemonURL); ok {
+		t.Fatalf("daemon url survived close: %q", v)
+	}
+	if addrs := w.store.Values(urn, rcds.AttrCommAddr); len(addrs) != 0 {
+		t.Fatalf("endpoint registration survived close: %v", addrs)
+	}
+}
+
+func TestKillWritesNothing(t *testing.T) {
+	// Kill simulates a crash: the daemon dies without touching the
+	// catalog, leaving its last ordinary heartbeat and all metadata in
+	// place for the liveness monitor to age out.
+	w := newWorld(t)
+	reg := task.NewRegistry()
+	reg.Register("idle", func(ctx *task.Context) error {
+		<-ctx.Done()
+		return task.ErrKilled
+	})
+	d := New(Config{HostName: "hb-crash", Catalog: w.cat, Registry: reg, HeartbeatInterval: 10 * time.Millisecond})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	urn, err := d.Spawn(task.Spec{Program: "idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := d.HostURL()
+	d.Kill()
+
+	v, ok := w.store.FirstValue(host, rcds.AttrHeartbeat)
+	if !ok {
+		t.Fatal("heartbeat record vanished on crash")
+	}
+	if hb, err := liveness.ParseHeartbeat(v); err != nil || hb.Down {
+		t.Fatalf("crash wrote a tombstone: %q (%v)", v, err)
+	}
+	if _, ok := w.store.FirstValue(host, rcds.AttrHostDaemonURL); !ok {
+		t.Fatal("crash cleaned up the daemon record")
+	}
+	// The killed task's metadata is frozen mid-flight, not settled by
+	// the dying daemon — settling is the surviving RM's job.
+	if st, _ := w.store.FirstValue(urn, rcds.AttrState); st != string(task.StateRunning) {
+		t.Fatalf("crash settled task state to %q", st)
+	}
+	d.Kill() // idempotent
 }

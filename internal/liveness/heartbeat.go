@@ -1,0 +1,111 @@
+// Package liveness is SNIPE's failure-detection subsystem: the paper's
+// "failure notification" made a system property instead of a private
+// habit of each layer.
+//
+// Host daemons publish heartbeats — a monotonically increasing sequence
+// number, a wall-clock timestamp and the host's load, folded into ONE
+// replicated RC metadata write per beat (riding the daemon's existing
+// load publication, so liveness costs no new wire protocol). A Monitor
+// watches the catalog and tracks every host through the state machine
+//
+//	alive → suspect → dead
+//
+// using an adaptive timeout derived from the observed inter-arrival
+// history (in the spirit of the φ accrual detector, Hayashibara et al.,
+// SRDS 2004) rather than a fixed deadline, plus SWIM-style external
+// suspicion evidence piggybacked on existing traffic: the comm layer
+// reports send failures and acknowledgements, accelerating detection
+// without extra probes (Das et al., DSN 2002).
+//
+// Consumers: resource managers filter suspect/dead hosts out of
+// placement and re-report tasks stranded on dead hosts; the comm layer
+// fail-fasts buffered sends to dead peers (flag-guarded); the migration
+// layer evacuates checkpointable tasks off hosts entering suspicion.
+// A clean daemon shutdown writes a tombstone heartbeat, so planned
+// exits transition to "left" without ever looking like crashes.
+package liveness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+)
+
+// Heartbeat is one liveness publication by a host daemon. The catalog
+// value format is "<seq> <unixnano> <load>" with a trailing " down" on
+// the clean-shutdown tombstone.
+type Heartbeat struct {
+	Seq  uint64  // monotonically increasing per daemon incarnation
+	Time int64   // sender's wall clock, ns since epoch (informational)
+	Load float64 // running tasks per CPU, the placement input
+	Down bool    // clean-shutdown tombstone
+}
+
+// String renders the heartbeat in its catalog value format.
+func (h Heartbeat) String() string {
+	if h.Down {
+		return fmt.Sprintf("%d %d %.2f down", h.Seq, h.Time, h.Load)
+	}
+	return fmt.Sprintf("%d %d %.2f", h.Seq, h.Time, h.Load)
+}
+
+// ParseHeartbeat reads a catalog heartbeat value.
+func ParseHeartbeat(s string) (Heartbeat, error) {
+	var h Heartbeat
+	fields := strings.Fields(s)
+	if len(fields) < 3 || len(fields) > 4 {
+		return h, fmt.Errorf("liveness: malformed heartbeat %q", s)
+	}
+	var err error
+	if h.Seq, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return h, fmt.Errorf("liveness: heartbeat seq: %w", err)
+	}
+	if h.Time, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return h, fmt.Errorf("liveness: heartbeat time: %w", err)
+	}
+	if h.Load, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return h, fmt.Errorf("liveness: heartbeat load: %w", err)
+	}
+	if len(fields) == 4 {
+		if fields[3] != "down" {
+			return h, fmt.Errorf("liveness: heartbeat trailer %q", fields[3])
+		}
+		h.Down = true
+	}
+	return h, nil
+}
+
+// HostOfURN maps a process URN to its host's distinguished URL, the key
+// the Monitor tracks. Returns "" for names outside the process
+// namespace (liveness is a host property, not a task property).
+func HostOfURN(urn string) string {
+	rest, ok := strings.CutPrefix(urn, naming.ProcessPrefix)
+	if !ok {
+		return ""
+	}
+	host, _, ok := strings.Cut(rest, ":")
+	if !ok || host == "" {
+		return ""
+	}
+	return naming.HostURL(host)
+}
+
+// HostLoad reads a host's load figure from its heartbeat, falling back
+// to the legacy standalone load attribute for records published by
+// older daemons (or by hand).
+func HostLoad(cat naming.Catalog, hostURL string) (float64, bool) {
+	if v, ok, err := cat.FirstValue(hostURL, rcds.AttrHeartbeat); err == nil && ok {
+		if hb, err := ParseHeartbeat(v); err == nil {
+			return hb.Load, true
+		}
+	}
+	if v, ok, err := cat.FirstValue(hostURL, rcds.AttrLoad); err == nil && ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,661 @@
+package liveness
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"snipe/internal/comm"
+	"snipe/internal/naming"
+	"snipe/internal/rcds"
+	"snipe/internal/stats"
+)
+
+// State is the Monitor's judgement of one host.
+type State uint8
+
+// Host liveness states. The failure path is Alive → Suspect → Dead;
+// a clean shutdown tombstone goes straight to Left; a fresh heartbeat
+// returns any state to Alive (a healed partition or a restarted host).
+const (
+	Unknown State = iota // no heartbeat ever observed
+	Alive
+	Suspect
+	Dead
+	Left // clean shutdown (tombstone published)
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Left:
+		return "left"
+	default:
+		return "unknown"
+	}
+}
+
+// Placeable reports whether a resource manager may place new work on a
+// host in this state. Unknown passes: records without heartbeats (e.g.
+// hand-registered hosts) keep working as before the subsystem existed.
+func (s State) Placeable() bool { return s != Suspect && s != Dead && s != Left }
+
+// Event is one state transition — the paper's failure notification.
+type Event struct {
+	Host   string // host URL
+	From   State
+	To     State
+	Reason string
+	At     time.Time
+}
+
+// Info is a point-in-time view of one tracked host.
+type Info struct {
+	Host         string
+	State        State
+	Seq          uint64        // last heartbeat sequence number seen
+	Load         float64       // load carried by the last heartbeat
+	Age          time.Duration // since the last new heartbeat arrived
+	SuspectAfter time.Duration // current adaptive suspicion bound
+	Failures     int           // consecutive comm-reported send failures
+}
+
+// Options tunes a Monitor. Zero values take the defaults noted.
+type Options struct {
+	// CheckInterval is the evaluation tick (default 25ms).
+	CheckInterval time.Duration
+	// MinSuspect floors the adaptive suspicion bound (default 50ms), so
+	// a burst of quick heartbeats cannot tighten the detector below
+	// scheduling noise.
+	MinSuspect time.Duration
+	// MaxSuspect caps the bound and is also the bound used before any
+	// inter-arrival history exists (default 10s).
+	MaxSuspect time.Duration
+	// DeadFactor scales the suspicion bound into the death bound
+	// (default 2): a host is dead after DeadFactor × suspect-bound of
+	// silence.
+	DeadFactor float64
+	// FixedSuspect, when positive, replaces the adaptive bound with a
+	// fixed deadline — the ablation knob for the detection-latency
+	// experiment (DESIGN.md key decision #10).
+	FixedSuspect time.Duration
+	// FailureThreshold is how many consecutive comm send failures force
+	// suspicion ahead of the heartbeat timeout (default 3, SWIM-style
+	// piggybacked evidence). Zero keeps the default; negative disables
+	// the evidence path.
+	FailureThreshold int
+	// ScanInterval is the catalog poll period when the catalog offers
+	// neither push subscriptions nor version long-poll (default 100ms).
+	ScanInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = 25 * time.Millisecond
+	}
+	if o.MinSuspect <= 0 {
+		o.MinSuspect = 50 * time.Millisecond
+	}
+	if o.MaxSuspect <= 0 {
+		o.MaxSuspect = 10 * time.Second
+	}
+	if o.DeadFactor <= 1 {
+		o.DeadFactor = 2
+	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 3
+	}
+	if o.ScanInterval <= 0 {
+		o.ScanInterval = 100 * time.Millisecond
+	}
+}
+
+// historySize is the inter-arrival window behind the adaptive bound.
+const historySize = 32
+
+// hostRecord is the Monitor's per-host tracking state.
+type hostRecord struct {
+	state     State
+	seq       uint64
+	load      float64
+	lastBeat  time.Time // local arrival time of the last NEW heartbeat
+	intervals []time.Duration
+	next      int // ring cursor into intervals
+	failures  int // consecutive comm-reported failures
+}
+
+// subscriber is the push face of a catalog (satisfied by
+// naming.StoreCatalog via rcds.Store.Subscribe).
+type subscriber interface {
+	Subscribe(prefix string, ch chan rcds.Event) int
+	Unsubscribe(id int)
+}
+
+// waiter is the long-poll face of a catalog (satisfied by
+// *rcds.Client): WaitContext blocks until the replica's catalog version
+// advances past since.
+type waiter interface {
+	WaitContext(ctx context.Context, since uint64, timeout time.Duration) (uint64, error)
+}
+
+// Monitor tracks host liveness from heartbeat metadata. It rides the
+// catalog's own change-notification channel: push subscriptions for
+// in-process stores, the Wait long-poll for remote RC clients, a plain
+// scan ticker otherwise.
+type Monitor struct {
+	cat  naming.Catalog
+	opts Options
+
+	mu    sync.Mutex
+	hosts map[string]*hostRecord
+	subs  []chan Event
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	metrics      *stats.Registry
+	mHeartbeats  *stats.Counter
+	mSuspects    *stats.Counter
+	mDeads       *stats.Counter
+	mRevives     *stats.Counter
+	mLefts       *stats.Counter
+	mEvidence    *stats.Counter
+	mScans       *stats.Counter
+	hDetectDelay *stats.Histogram // µs from last heartbeat to dead verdict
+}
+
+// NewMonitor builds and starts a monitor over cat.
+func NewMonitor(cat naming.Catalog, opts Options) *Monitor {
+	opts.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Monitor{
+		cat:     cat,
+		opts:    opts,
+		hosts:   make(map[string]*hostRecord),
+		ctx:     ctx,
+		cancel:  cancel,
+		metrics: stats.NewRegistry(),
+	}
+	m.mHeartbeats = m.metrics.Counter("heartbeats_observed")
+	m.mSuspects = m.metrics.Counter("transitions_suspect")
+	m.mDeads = m.metrics.Counter("transitions_dead")
+	m.mRevives = m.metrics.Counter("transitions_alive")
+	m.mLefts = m.metrics.Counter("transitions_left")
+	m.mEvidence = m.metrics.Counter("evidence_reports")
+	m.mScans = m.metrics.Counter("catalog_scans")
+	m.hDetectDelay = m.metrics.Histogram("detect_delay_us", stats.LatencyBucketsUs)
+	m.startWatch()
+	m.wg.Add(1)
+	go m.evalLoop()
+	return m
+}
+
+// Close stops the monitor's goroutines and closes event channels.
+func (m *Monitor) Close() {
+	m.cancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	subs := m.subs
+	m.subs = nil
+	m.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// State answers the synchronous query API: the current judgement of
+// hostURL.
+func (m *Monitor) State(hostURL string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.hosts[hostURL]
+	if !ok {
+		return Unknown
+	}
+	return rec.state
+}
+
+// Events returns a new subscription to state-transition events. Each
+// call gets its own channel, closed by Close. Slow consumers drop
+// events rather than stalling detection; resync with Snapshot.
+func (m *Monitor) Events() <-chan Event {
+	ch := make(chan Event, 128)
+	m.mu.Lock()
+	m.subs = append(m.subs, ch)
+	m.mu.Unlock()
+	return ch
+}
+
+// Snapshot reports every tracked host.
+func (m *Monitor) Snapshot() []Info {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.hosts))
+	for url, rec := range m.hosts {
+		out = append(out, Info{
+			Host:         url,
+			State:        rec.state,
+			Seq:          rec.seq,
+			Load:         rec.load,
+			Age:          now.Sub(rec.lastBeat),
+			SuspectAfter: m.suspectBoundLocked(rec),
+			Failures:     rec.failures,
+		})
+	}
+	return out
+}
+
+// Metrics returns the monitor's live metric registry.
+func (m *Monitor) Metrics() *stats.Registry { return m.metrics }
+
+// MetricsSnapshot captures the metrics with per-state host gauges
+// refreshed.
+func (m *Monitor) MetricsSnapshot() stats.Snapshot {
+	counts := map[State]int{}
+	m.mu.Lock()
+	for _, rec := range m.hosts {
+		counts[rec.state]++
+	}
+	m.mu.Unlock()
+	m.metrics.Gauge("hosts_alive").Set(float64(counts[Alive]))
+	m.metrics.Gauge("hosts_suspect").Set(float64(counts[Suspect]))
+	m.metrics.Gauge("hosts_dead").Set(float64(counts[Dead]))
+	m.metrics.Gauge("hosts_left").Set(float64(counts[Left]))
+	return m.metrics.Snapshot()
+}
+
+// MarkSuspect forces a host into Suspect — the entry point for
+// out-of-band evidence (an operator, a failed health probe, an
+// evacuation drill). A later heartbeat revives the host as usual.
+func (m *Monitor) MarkSuspect(hostURL, reason string) {
+	m.mu.Lock()
+	rec := m.recordLocked(hostURL)
+	var ev *Event
+	if rec.state == Alive || rec.state == Unknown {
+		ev = m.transitionLocked(hostURL, rec, Suspect, reason)
+	}
+	m.mu.Unlock()
+	m.emit(ev)
+}
+
+// ReportFailure feeds one comm-layer send failure as suspicion
+// evidence. Enough consecutive failures against a host we have not
+// heard from recently force Suspect ahead of the heartbeat timeout.
+func (m *Monitor) ReportFailure(hostURL string) {
+	if m.opts.FailureThreshold < 0 {
+		return
+	}
+	m.mEvidence.Inc()
+	now := time.Now()
+	m.mu.Lock()
+	rec, ok := m.hosts[hostURL]
+	if !ok {
+		// No heartbeat record: nothing to corroborate against.
+		m.mu.Unlock()
+		return
+	}
+	rec.failures++
+	var ev *Event
+	if rec.failures >= m.opts.FailureThreshold && rec.state == Alive {
+		// Corroborate: only indict when the heartbeat is also late by at
+		// least one expected interval, so a dead task endpoint on a
+		// healthy host cannot condemn the host.
+		if mean, _, n := rec.intervalStats(); n > 0 && now.Sub(rec.lastBeat) > mean {
+			ev = m.transitionLocked(hostURL, rec, Suspect, "comm send failures")
+		}
+	}
+	m.mu.Unlock()
+	m.emit(ev)
+}
+
+// ReportSuccess feeds one successful end-to-end acknowledgement:
+// direct proof of life that clears accumulated failure evidence and
+// refutes suspicion.
+func (m *Monitor) ReportSuccess(hostURL string) {
+	m.mu.Lock()
+	rec, ok := m.hosts[hostURL]
+	var ev *Event
+	if ok {
+		rec.failures = 0
+		if rec.state == Suspect {
+			ev = m.transitionLocked(hostURL, rec, Alive, "acknowledged traffic")
+		}
+	}
+	m.mu.Unlock()
+	m.emit(ev)
+}
+
+// CommLiveness adapts the monitor to the comm layer's PeerLiveness
+// surface, mapping process URNs to their host records.
+func (m *Monitor) CommLiveness() comm.PeerLiveness { return commAdapter{m} }
+
+type commAdapter struct{ m *Monitor }
+
+func (a commAdapter) PeerDead(dst string) bool {
+	host := HostOfURN(dst)
+	if host == "" {
+		return false
+	}
+	s := a.m.State(host)
+	return s == Dead || s == Left
+}
+
+func (a commAdapter) ReportFailure(dst string) {
+	if host := HostOfURN(dst); host != "" {
+		a.m.ReportFailure(host)
+	}
+}
+
+func (a commAdapter) ReportSuccess(dst string) {
+	if host := HostOfURN(dst); host != "" {
+		a.m.ReportSuccess(host)
+	}
+}
+
+// --- heartbeat intake ----------------------------------------------------
+
+// recordLocked returns (creating if needed) the record for hostURL.
+func (m *Monitor) recordLocked(hostURL string) *hostRecord {
+	rec, ok := m.hosts[hostURL]
+	if !ok {
+		rec = &hostRecord{state: Unknown}
+		m.hosts[hostURL] = rec
+	}
+	return rec
+}
+
+// observe ingests one heartbeat value for a host. now is the local
+// arrival time (the adaptive bound is built from local inter-arrival
+// gaps, never from sender clocks).
+func (m *Monitor) observe(hostURL, value string, now time.Time) {
+	hb, err := ParseHeartbeat(value)
+	if err != nil {
+		return // tolerate foreign records in open metadata
+	}
+	var ev *Event
+	m.mu.Lock()
+	rec := m.recordLocked(hostURL)
+	switch {
+	case hb.Down:
+		if rec.state != Left {
+			ev = m.transitionLocked(hostURL, rec, Left, "clean shutdown")
+		}
+		rec.seq = hb.Seq
+	case hb.Seq > rec.seq || rec.state == Left:
+		// A restarted daemon begins a new incarnation at seq 1; any
+		// heartbeat after a tombstone is such a rebirth.
+		m.mHeartbeats.Inc()
+		if !rec.lastBeat.IsZero() && hb.Seq > rec.seq && rec.state != Left {
+			// The catalog may batch several beats between scans: spread
+			// the elapsed time over the sequence distance so the history
+			// reflects the sender's cadence, not our scan cadence.
+			gap := now.Sub(rec.lastBeat) / time.Duration(hb.Seq-rec.seq)
+			if gap > 0 {
+				rec.pushInterval(gap)
+			}
+		}
+		rec.seq = hb.Seq
+		rec.load = hb.Load
+		rec.lastBeat = now
+		rec.failures = 0
+		if rec.state != Alive {
+			ev = m.transitionLocked(hostURL, rec, Alive, "heartbeat")
+		}
+	default:
+		// Old news (same or earlier seq): no new liveness information.
+	}
+	m.mu.Unlock()
+	m.emit(ev)
+}
+
+func (r *hostRecord) pushInterval(d time.Duration) {
+	if len(r.intervals) < historySize {
+		r.intervals = append(r.intervals, d)
+		return
+	}
+	r.intervals[r.next] = d
+	r.next = (r.next + 1) % historySize
+}
+
+// intervalStats returns mean and standard deviation of the observed
+// inter-arrival history.
+func (r *hostRecord) intervalStats() (mean, std time.Duration, n int) {
+	n = len(r.intervals)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, d := range r.intervals {
+		sum += float64(d)
+	}
+	mf := sum / float64(n)
+	var varsum float64
+	for _, d := range r.intervals {
+		diff := float64(d) - mf
+		varsum += diff * diff
+	}
+	return time.Duration(mf), time.Duration(math.Sqrt(varsum / float64(n))), n
+}
+
+// suspectBoundLocked computes the current suspicion bound for a host:
+// adaptive (mean + 4σ, floored at 2.5× the mean so steady cadences get
+// slack for scheduling noise) unless the fixed-deadline ablation is
+// active. With no history yet, the cap applies. Caller holds m.mu.
+func (m *Monitor) suspectBoundLocked(rec *hostRecord) time.Duration {
+	if m.opts.FixedSuspect > 0 {
+		return m.opts.FixedSuspect
+	}
+	mean, std, n := rec.intervalStats()
+	if n == 0 {
+		return m.opts.MaxSuspect
+	}
+	bound := mean + 4*std
+	if floor := mean * 5 / 2; bound < floor {
+		bound = floor
+	}
+	if bound < m.opts.MinSuspect {
+		bound = m.opts.MinSuspect
+	}
+	if bound > m.opts.MaxSuspect {
+		bound = m.opts.MaxSuspect
+	}
+	return bound
+}
+
+// transitionLocked moves a host to a new state and prepares the event.
+// Caller holds m.mu and must call emit after unlocking.
+func (m *Monitor) transitionLocked(hostURL string, rec *hostRecord, to State, reason string) *Event {
+	from := rec.state
+	rec.state = to
+	switch to {
+	case Suspect:
+		m.mSuspects.Inc()
+	case Dead:
+		m.mDeads.Inc()
+	case Alive:
+		m.mRevives.Inc()
+	case Left:
+		m.mLefts.Inc()
+	}
+	return &Event{Host: hostURL, From: from, To: to, Reason: reason, At: time.Now()}
+}
+
+// emit broadcasts an event (nil is a no-op) to all subscribers,
+// dropping for any whose buffer is full.
+func (m *Monitor) emit(ev *Event) {
+	if ev == nil {
+		return
+	}
+	m.mu.Lock()
+	subs := append([]chan Event(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- *ev:
+		default:
+		}
+	}
+}
+
+// --- watch plumbing ------------------------------------------------------
+
+// startWatch wires heartbeat intake to the cheapest channel the
+// catalog offers: push events, version long-poll, or periodic scan.
+// For push catalogs the subscription is registered here, synchronously,
+// so no heartbeat written after NewMonitor returns can fall between
+// the seed scan and the subscription becoming active.
+func (m *Monitor) startWatch() {
+	m.wg.Add(1)
+	switch c := m.cat.(type) {
+	case subscriber:
+		ch := make(chan rcds.Event, 256)
+		id := c.Subscribe(naming.HostPrefix, ch)
+		m.scan() // seed from hosts already registered
+		go m.watchSubscribe(c, id, ch)
+	case waiter:
+		m.scan()
+		go m.watchWait(c)
+	default:
+		m.scan()
+		go m.watchScan()
+	}
+}
+
+// watchSubscribe rides a store's push subscription: every heartbeat
+// assertion lands here as it is applied.
+func (m *Monitor) watchSubscribe(sub subscriber, id int, ch chan rcds.Event) {
+	defer m.wg.Done()
+	defer sub.Unsubscribe(id)
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case ev := <-ch:
+			a := ev.Assertion
+			if a.Name == rcds.AttrHeartbeat && !a.Deleted {
+				m.observe(a.URI, a.Value, time.Now())
+			}
+		}
+	}
+}
+
+// watchWait rides a remote RC client's Wait long-poll: when the
+// replica's version advances, rescan the host records. Subscription
+// events are not available across the wire, so the scan granularity is
+// the notification latency — still push-shaped, not timer-shaped.
+func (m *Monitor) watchWait(w waiter) {
+	defer m.wg.Done()
+	const poll = 2 * time.Second
+	var since uint64
+	for {
+		if m.ctx.Err() != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(m.ctx, poll+5*time.Second)
+		v, err := w.WaitContext(ctx, since, poll)
+		cancel()
+		if err != nil {
+			select {
+			case <-m.ctx.Done():
+				return
+			case <-time.After(m.opts.ScanInterval):
+			}
+			continue
+		}
+		if v != since {
+			since = v
+			m.scan()
+		}
+	}
+}
+
+// watchScan is the fallback: poll the catalog on a fixed cadence.
+func (m *Monitor) watchScan() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opts.ScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-ticker.C:
+			m.scan()
+		}
+	}
+}
+
+// scan reads every host record's heartbeat from the catalog. Catalog
+// errors are tolerated: an unreachable catalog stalls intake, and the
+// silence is indistinguishable from host failure — exactly the
+// partition semantics the detector is specified to report.
+func (m *Monitor) scan() {
+	m.mScans.Inc()
+	urls, err := m.cat.URIs(naming.HostPrefix)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, url := range urls {
+		v, ok, err := m.cat.FirstValue(url, rcds.AttrHeartbeat)
+		if err != nil || !ok {
+			continue
+		}
+		m.observe(url, v, now)
+	}
+}
+
+// evalLoop ages hosts toward suspicion and death on the check tick.
+func (m *Monitor) evalLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opts.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-ticker.C:
+			m.evaluate(time.Now())
+		}
+	}
+}
+
+// evaluate applies the timeout state machine to every tracked host.
+func (m *Monitor) evaluate(now time.Time) {
+	var evs []*Event
+	m.mu.Lock()
+	for url, rec := range m.hosts {
+		if rec.lastBeat.IsZero() || rec.state == Dead || rec.state == Left {
+			continue
+		}
+		age := now.Sub(rec.lastBeat)
+		bound := m.suspectBoundLocked(rec)
+		deadBound := time.Duration(float64(bound) * m.opts.DeadFactor)
+		switch rec.state {
+		case Unknown, Alive:
+			if age > deadBound {
+				evs = append(evs, m.transitionLocked(url, rec, Dead, "heartbeat timeout"))
+				m.hDetectDelay.Observe(float64(age.Microseconds()))
+			} else if age > bound {
+				evs = append(evs, m.transitionLocked(url, rec, Suspect, "heartbeat overdue"))
+			}
+		case Suspect:
+			if age > deadBound {
+				evs = append(evs, m.transitionLocked(url, rec, Dead, "heartbeat timeout"))
+				m.hDetectDelay.Observe(float64(age.Microseconds()))
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, ev := range evs {
+		m.emit(ev)
+	}
+}

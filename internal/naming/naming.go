@@ -88,6 +88,82 @@ func (c storeCatalog) Set(uri, name, value string) error {
 	return nil
 }
 
+// Subscribe exposes the wrapped store's push subscriptions so that
+// watchers holding a Catalog (the liveness monitor) can discover the
+// cheap event channel by interface assertion instead of polling.
+func (c storeCatalog) Subscribe(prefix string, ch chan rcds.Event) int {
+	return c.s.Subscribe(prefix, ch)
+}
+
+// Unsubscribe cancels a Subscribe registration.
+func (c storeCatalog) Unsubscribe(id int) { c.s.Unsubscribe(id) }
+
+// gatedCatalog wraps a Catalog behind a reachability gate: every
+// operation first consults gate and fails with its error while the
+// gate is down. Combined with netsim's Fabric.Gate this models a
+// network partition between a node and its RC replica — reads and
+// heartbeat writes both stop, which is exactly how a partition looks
+// from either side of it.
+type gatedCatalog struct {
+	cat  Catalog
+	gate func() error
+}
+
+// GatedCatalog wraps cat so that every operation fails with gate's
+// error whenever gate returns non-nil.
+func GatedCatalog(cat Catalog, gate func() error) Catalog {
+	return gatedCatalog{cat: cat, gate: gate}
+}
+
+func (g gatedCatalog) Values(uri, name string) ([]string, error) {
+	if err := g.gate(); err != nil {
+		return nil, err
+	}
+	return g.cat.Values(uri, name)
+}
+
+func (g gatedCatalog) FirstValue(uri, name string) (string, bool, error) {
+	if err := g.gate(); err != nil {
+		return "", false, err
+	}
+	return g.cat.FirstValue(uri, name)
+}
+
+func (g gatedCatalog) URIs(prefix string) ([]string, error) {
+	if err := g.gate(); err != nil {
+		return nil, err
+	}
+	return g.cat.URIs(prefix)
+}
+
+func (g gatedCatalog) Add(uri, name, value string) error {
+	if err := g.gate(); err != nil {
+		return err
+	}
+	return g.cat.Add(uri, name, value)
+}
+
+func (g gatedCatalog) Remove(uri, name, value string) error {
+	if err := g.gate(); err != nil {
+		return err
+	}
+	return g.cat.Remove(uri, name, value)
+}
+
+func (g gatedCatalog) RemoveAll(uri, name string) error {
+	if err := g.gate(); err != nil {
+		return err
+	}
+	return g.cat.RemoveAll(uri, name)
+}
+
+func (g gatedCatalog) Set(uri, name, value string) error {
+	if err := g.gate(); err != nil {
+		return err
+	}
+	return g.cat.Set(uri, name, value)
+}
+
 // Resolver resolves URNs to routes via RC metadata, with a small
 // negative-and-positive cache so that message sends do not hammer the
 // RC servers. Cache entries are invalidated quickly (default 150ms)

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Fabric metrics ride the package registry like the link shapers do.
+var mPartitions = metrics.Counter("partitions_injected")
+
+// Fabric is a registry of named endpoints and the links between them,
+// adding network partition injection on top of the per-link loss/delay
+// shaping: Partition(a, b) severs every link between two named nodes
+// (both directions, in-flight data lost) and keeps severing links
+// created while the partition holds; Heal restores them. Isolate cuts
+// one node off from everyone.
+//
+// The fabric does not create links itself — callers build pipes as
+// usual and register them under node names — so existing topologies
+// opt in link by link.
+type Fabric struct {
+	mu         sync.Mutex
+	links      map[pairKey][]*Link
+	partitions map[pairKey]bool
+	isolated   map[string]bool
+}
+
+// pairKey names an unordered node pair.
+type pairKey struct{ a, b string }
+
+func orderedPair(a, b string) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		links:      make(map[pairKey][]*Link),
+		partitions: make(map[pairKey]bool),
+		isolated:   make(map[string]bool),
+	}
+}
+
+// AddLink registers an existing link as connecting nodes a and b. If
+// the pair is already partitioned (or either node isolated), the link
+// comes up down.
+func (f *Fabric) AddLink(a, b string, l *Link) {
+	key := orderedPair(a, b)
+	f.mu.Lock()
+	f.links[key] = append(f.links[key], l)
+	down := f.severedLocked(key)
+	f.mu.Unlock()
+	if down {
+		l.SetDown(true)
+	}
+}
+
+// severedLocked reports whether the pair is cut by a partition or an
+// isolation. Caller holds f.mu.
+func (f *Fabric) severedLocked(key pairKey) bool {
+	return f.partitions[key] || f.isolated[key.a] || f.isolated[key.b]
+}
+
+// Partition severs all links between a and b: sends fail with
+// ErrLinkDown and in-flight data is lost, exactly as a cut cable or a
+// misconfigured router would. Links registered later between the pair
+// start down until Heal.
+func (f *Fabric) Partition(a, b string) {
+	key := orderedPair(a, b)
+	f.mu.Lock()
+	already := f.partitions[key]
+	f.partitions[key] = true
+	links := append([]*Link(nil), f.links[key]...)
+	f.mu.Unlock()
+	if !already {
+		mPartitions.Inc()
+	}
+	for _, l := range links {
+		l.SetDown(true)
+	}
+}
+
+// Heal removes the a–b partition, restoring any links not also cut by
+// an isolation.
+func (f *Fabric) Heal(a, b string) {
+	key := orderedPair(a, b)
+	f.mu.Lock()
+	delete(f.partitions, key)
+	var restore []*Link
+	if !f.severedLocked(key) {
+		restore = append(restore, f.links[key]...)
+	}
+	f.mu.Unlock()
+	for _, l := range restore {
+		l.SetDown(false)
+	}
+}
+
+// Isolate cuts node a off from every peer, current and future — the
+// whole-host partition used for failure-detection experiments.
+func (f *Fabric) Isolate(a string) {
+	f.mu.Lock()
+	already := f.isolated[a]
+	f.isolated[a] = true
+	var cut []*Link
+	for key, links := range f.links {
+		if key.a == a || key.b == a {
+			cut = append(cut, links...)
+		}
+	}
+	f.mu.Unlock()
+	if !already {
+		mPartitions.Inc()
+	}
+	for _, l := range cut {
+		l.SetDown(true)
+	}
+}
+
+// Rejoin reverses Isolate, restoring links whose pairs are not
+// otherwise severed.
+func (f *Fabric) Rejoin(a string) {
+	f.mu.Lock()
+	delete(f.isolated, a)
+	var restore []*Link
+	for key, links := range f.links {
+		if (key.a == a || key.b == a) && !f.severedLocked(key) {
+			restore = append(restore, links...)
+		}
+	}
+	f.mu.Unlock()
+	for _, l := range restore {
+		l.SetDown(false)
+	}
+}
+
+// Partitioned reports whether traffic between a and b is currently
+// severed (by Partition or Isolate).
+func (f *Fabric) Partitioned(a, b string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.severedLocked(orderedPair(a, b))
+}
+
+// Gate returns a reachability gate for the a–b pair: nil while
+// connected, ErrLinkDown while severed. It is the hook for modelling
+// partitions on paths that are not netsim pipes — naming.GatedCatalog
+// wraps RC metadata access behind one, so a "partitioned" node's
+// heartbeats stop reaching the catalog without any real link in
+// between.
+func (f *Fabric) Gate(a, b string) func() error {
+	return func() error {
+		if f.Partitioned(a, b) {
+			return fmt.Errorf("%w: %s–%s partitioned", ErrLinkDown, a, b)
+		}
+		return nil
+	}
+}
+
+// StreamPipe builds a shaped stream link between named nodes and
+// registers it, returning the two conn ends (a's side first).
+func (f *Fabric) StreamPipe(a, b string, p Profile, seed uint64) (net.Conn, net.Conn, *Link) {
+	ca, cb, link := StreamPipe(p, seed)
+	f.AddLink(a, b, link)
+	return ca, cb, link
+}
+
+// PacketPipe builds a shaped packet link between named nodes and
+// registers it, returning the two packet ends (a's side first).
+func (f *Fabric) PacketPipe(a, b string, p Profile, seed uint64) (*PacketEnd, *PacketEnd, *Link) {
+	ea, eb, link := PacketPipe(p, seed)
+	f.AddLink(a, b, link)
+	return ea, eb, link
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestFabricPartitionHeal(t *testing.T) {
+	f := NewFabric()
+	a, b, link := f.StreamPipe("n1", "n2", Loopback, 11)
+	defer link.Close()
+
+	// Connected: bytes flow.
+	go func() { io.ReadFull(b, make([]byte, 1)) }()
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatalf("before partition: %v", err)
+	}
+
+	f.Partition("n1", "n2")
+	if !f.Partitioned("n1", "n2") || !f.Partitioned("n2", "n1") {
+		t.Fatal("partition not symmetric")
+	}
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("during partition: %v", err)
+	}
+	// Links registered while the pair is severed come up down.
+	c, _, late := f.StreamPipe("n2", "n1", Loopback, 12)
+	defer late.Close()
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("late link not severed: %v", err)
+	}
+
+	f.Heal("n1", "n2")
+	if f.Partitioned("n1", "n2") {
+		t.Fatal("still partitioned after heal")
+	}
+	go func() { io.ReadFull(b, make([]byte, 1)) }()
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFabricIsolate(t *testing.T) {
+	f := NewFabric()
+	a12, _, l12 := f.StreamPipe("n1", "n2", Loopback, 21)
+	defer l12.Close()
+	a13, _, l13 := f.StreamPipe("n1", "n3", Loopback, 22)
+	defer l13.Close()
+	a23, b23, l23 := f.StreamPipe("n2", "n3", Loopback, 23)
+	defer l23.Close()
+
+	f.Isolate("n1")
+	if _, err := a12.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("n1-n2 survived isolation: %v", err)
+	}
+	if _, err := a13.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("n1-n3 survived isolation: %v", err)
+	}
+	// The unrelated pair is untouched.
+	go func() { io.ReadFull(b23, make([]byte, 1)) }()
+	if _, err := a23.Write([]byte("x")); err != nil {
+		t.Fatalf("n2-n3 collateral damage: %v", err)
+	}
+
+	f.Rejoin("n1")
+	if f.Partitioned("n1", "n2") || f.Partitioned("n1", "n3") {
+		t.Fatal("still severed after rejoin")
+	}
+}
+
+func TestFabricIsolationOutlivesHeal(t *testing.T) {
+	// A pair cut by both a partition and an isolation stays down until
+	// BOTH are lifted.
+	f := NewFabric()
+	a, _, link := f.StreamPipe("n1", "n2", Loopback, 31)
+	defer link.Close()
+	f.Partition("n1", "n2")
+	f.Isolate("n1")
+	f.Heal("n1", "n2")
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("heal pierced the isolation: %v", err)
+	}
+	f.Rejoin("n1")
+	if f.Partitioned("n1", "n2") {
+		t.Fatal("severed after both lifted")
+	}
+}
+
+func TestFabricGate(t *testing.T) {
+	f := NewFabric()
+	gate := f.Gate("host", "rc")
+	if err := gate(); err != nil {
+		t.Fatalf("gate closed while connected: %v", err)
+	}
+	f.Partition("host", "rc")
+	if err := gate(); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("gate open during partition: %v", err)
+	}
+	f.Heal("host", "rc")
+	if err := gate(); err != nil {
+		t.Fatalf("gate stuck after heal: %v", err)
+	}
+	// Isolation closes every gate touching the node.
+	f.Isolate("host")
+	if err := gate(); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("gate open during isolation: %v", err)
+	}
+}
+
+func TestFabricPacketPipe(t *testing.T) {
+	f := NewFabric()
+	ea, eb, link := f.PacketPipe("n1", "n2", Loopback, 41)
+	defer link.Close()
+	if err := ea.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	eb.SetReadDeadline(time.Now().Add(time.Second))
+	if pkt, err := eb.Recv(); err != nil || string(pkt) != "ping" {
+		t.Fatalf("recv: %q %v", pkt, err)
+	}
+	f.Partition("n1", "n2")
+	if err := ea.Send([]byte("ping")); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("packet send during partition: %v", err)
+	}
+}

@@ -53,6 +53,12 @@ const (
 	AttrMcastRouter = "mcast-router"
 	// AttrLoad is a host's load average, published by its daemon.
 	AttrLoad = "load"
+	// AttrHeartbeat is a host daemon's liveness heartbeat: a
+	// monotonically increasing sequence number, a wall-clock timestamp
+	// and the current load in one value (see internal/liveness), so one
+	// replicated write per beat carries both liveness and placement
+	// input. A trailing "down" marks a clean shutdown tombstone.
+	AttrHeartbeat = "heartbeat"
 	// AttrMemory is a host's available memory in MB.
 	AttrMemory = "memory-mb"
 	// AttrSupervisorLIFN is a process's supervisor LIFN (§5.2.3).

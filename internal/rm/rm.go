@@ -29,6 +29,7 @@ import (
 
 	"snipe/internal/comm"
 	"snipe/internal/daemon"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/seckey"
@@ -82,6 +83,10 @@ type Manager struct {
 	nextReqID    uint64
 	authorizer   *seckey.Authorizer // nil: secure allocation disabled
 	closed       bool
+
+	mon       *liveness.Monitor // optional failure detector (UseLiveness)
+	watchDone chan struct{}
+	watchWG   sync.WaitGroup
 }
 
 // NewManager creates and registers a resource manager. listens
@@ -122,6 +127,72 @@ func NewManager(name string, cat naming.Catalog, listens []comm.Route) (*Manager
 // URN returns the manager's process URN.
 func (m *Manager) URN() string { return m.urn }
 
+// UseLiveness connects the manager to a failure detector: SelectHost
+// stops placing work on suspect/dead/departed hosts, and a watcher
+// re-reports tasks stranded on hosts declared dead — publishing their
+// failure and notifying their notify lists, the paper's "failure
+// notification" applied to orphaned work. The monitor is not owned:
+// the caller closes it.
+func (m *Manager) UseLiveness(mon *liveness.Monitor) {
+	m.mu.Lock()
+	if m.mon != nil || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mon = mon
+	m.watchDone = make(chan struct{})
+	m.mu.Unlock()
+	events := mon.Events()
+	m.watchWG.Add(1)
+	go func() {
+		defer m.watchWG.Done()
+		for {
+			select {
+			case <-m.watchDone:
+				return
+			case ev, ok := <-events:
+				if !ok {
+					return
+				}
+				if ev.To == liveness.Dead {
+					m.reportDeadHost(ev.Host)
+				}
+			}
+		}
+	}()
+}
+
+// reportDeadHost settles the metadata of every task stranded on a dead
+// host: running/suspended tasks are marked failed, their addresses
+// withdrawn (no one can reach them), and their notify lists told — the
+// work a crashed daemon could not do for itself.
+func (m *Manager) reportDeadHost(hostURL string) {
+	tasks, err := m.cat.Values(hostURL, "task")
+	if err != nil {
+		return // catalog unreachable: retried when the next event fires
+	}
+	for _, urn := range tasks {
+		st, ok, err := m.cat.FirstValue(urn, rcds.AttrState)
+		if err != nil || !ok {
+			continue
+		}
+		from := task.State(st)
+		if from != task.StateRunning && from != task.StateSuspended {
+			continue // already settled (exited, failed, checkpointed)
+		}
+		m.cat.Set(urn, rcds.AttrState, string(task.StateFailed))
+		naming.Unregister(m.cat, urn)
+		if notify, err := m.cat.Values(urn, rcds.AttrNotify); err == nil && len(notify) > 0 {
+			payload := task.EncodeStateChange(task.StateChange{
+				URN: urn, From: from, To: task.StateFailed, Host: hostURL,
+			})
+			for _, n := range notify {
+				m.ep.Send(n, task.TagNotify, payload)
+			}
+		}
+	}
+}
+
 // Close deregisters and stops the manager.
 func (m *Manager) Close() {
 	m.mu.Lock()
@@ -130,32 +201,48 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	watchDone := m.watchDone
 	m.mu.Unlock()
+	if watchDone != nil {
+		close(watchDone)
+		m.watchWG.Wait()
+	}
 	m.cat.Remove(naming.ServiceURN(ServiceName), rcds.AttrLocation, m.urn)
 	m.ep.Close()
 }
 
-// hosts gathers the current host inventory from RC metadata.
+// hosts gathers the current host inventory from RC metadata. Catalog
+// errors propagate — "this record is not a host" and "the catalog is
+// unreachable" are different facts, and conflating them would have a
+// partitioned RM serve placements from a silently shrinking inventory
+// instead of failing so clients rotate to a reachable replica's RM.
 func (m *Manager) hosts() ([]hostInfo, error) {
 	urls, err := m.cat.URIs(naming.HostPrefix)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rm: host inventory: %w", err)
 	}
 	infos := make([]hostInfo, 0, len(urls))
 	for _, url := range urls {
 		durn, ok, err := m.cat.FirstValue(url, rcds.AttrHostDaemonURL)
-		if err != nil || !ok {
-			continue // not a live SNIPE host record
+		if err != nil {
+			return nil, fmt.Errorf("rm: reading %s: %w", url, err)
+		}
+		if !ok {
+			continue // not a SNIPE host record (withdrawn or foreign)
 		}
 		info := hostInfo{url: url, daemonURN: durn}
-		if v, ok, _ := m.cat.FirstValue(url, rcds.AttrArch); ok {
+		if v, ok, err := m.cat.FirstValue(url, rcds.AttrArch); err != nil {
+			return nil, fmt.Errorf("rm: reading %s: %w", url, err)
+		} else if ok {
 			info.arch = v
 		}
-		if v, ok, _ := m.cat.FirstValue(url, rcds.AttrMemory); ok {
+		if v, ok, err := m.cat.FirstValue(url, rcds.AttrMemory); err != nil {
+			return nil, fmt.Errorf("rm: reading %s: %w", url, err)
+		} else if ok {
 			info.memoryMB, _ = strconv.Atoi(v)
 		}
-		if v, ok, _ := m.cat.FirstValue(url, rcds.AttrLoad); ok {
-			info.load, _ = strconv.ParseFloat(v, 64)
+		if load, ok := liveness.HostLoad(m.cat, url); ok {
+			info.load = load
 		}
 		infos = append(infos, info)
 	}
@@ -171,8 +258,18 @@ func (m *Manager) SelectHost(req task.Requirements) (hostURL, daemonURN string, 
 	if err != nil {
 		return "", "", err
 	}
+	m.mu.Lock()
+	mon := m.mon
+	m.mu.Unlock()
 	candidates := infos[:0]
 	for _, h := range infos {
+		// Liveness filter: never place on a host the detector calls
+		// suspect, dead, or cleanly departed. Unknown passes — a record
+		// with no heartbeat history predates the monitor, not the host's
+		// death.
+		if mon != nil && !mon.State(h.url).Placeable() {
+			continue
+		}
 		if req.Host != "" && req.Host != h.url {
 			continue
 		}

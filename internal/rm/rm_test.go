@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/liveness"
 	"snipe/internal/daemon"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
@@ -108,7 +109,7 @@ func TestSelectHostLoadBalancing(t *testing.T) {
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		if v, ok := w.store.FirstValue(naming.HostURL("h1"), rcds.AttrLoad); ok && v == "3.00" {
+		if load, ok := liveness.HostLoad(w.cat, naming.HostURL("h1")); ok && load == 3.0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -259,4 +260,77 @@ func TestManagerCloseDeregisters(t *testing.T) {
 		t.Fatalf("after close: %v", locs)
 	}
 	m.Close() // idempotent
+}
+
+// flakyCatalog wraps a Catalog and fails reads on command — the
+// "catalog unreachable" case that hosts() used to swallow silently,
+// conflating it with "not a host record" and answering placement
+// queries from a truncated inventory.
+type flakyCatalog struct {
+	naming.Catalog
+	failing bool
+}
+
+func (f *flakyCatalog) FirstValue(uri, name string) (string, bool, error) {
+	if f.failing {
+		return "", false, errors.New("replica unreachable")
+	}
+	return f.Catalog.FirstValue(uri, name)
+}
+
+func TestSelectHostPropagatesCatalogErrors(t *testing.T) {
+	w := newWorld(t)
+	w.daemon("h1", "go-sim", 512, 1)
+	fc := &flakyCatalog{Catalog: w.cat}
+	m, err := NewManager("rm-flaky", fc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	if _, _, err := m.SelectHost(task.Requirements{}); err != nil {
+		t.Fatalf("healthy catalog: %v", err)
+	}
+	fc.failing = true
+	_, _, err = m.SelectHost(task.Requirements{})
+	if err == nil {
+		t.Fatal("catalog failure swallowed: SelectHost answered from a truncated inventory")
+	}
+	if errors.Is(err, ErrNoHosts) {
+		t.Fatalf("catalog failure misreported as ErrNoHosts: %v", err)
+	}
+	if !strings.Contains(err.Error(), "replica unreachable") {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestSelectHostFiltersUnplaceableHosts(t *testing.T) {
+	w := newWorld(t)
+	w.daemon("h1", "go-sim", 512, 1)
+	w.daemon("h2", "go-sim", 512, 1)
+	m := w.manager("rm1")
+
+	mon := liveness.NewMonitor(w.cat, liveness.Options{
+		CheckInterval: time.Hour, // manual transitions only
+		MinSuspect:    time.Hour,
+		MaxSuspect:    2 * time.Hour,
+	})
+	t.Cleanup(mon.Close)
+	m.UseLiveness(mon)
+
+	// By name order h1 wins ties; suspecting it must flip placement.
+	mon.MarkSuspect(naming.HostURL("h1"), "test")
+	host, _, err := m.SelectHost(task.Requirements{})
+	if err != nil || host != naming.HostURL("h2") {
+		t.Fatalf("suspect host not filtered: %q %v", host, err)
+	}
+	// Even an explicit pin refuses a suspect host.
+	if _, _, err := m.SelectHost(task.Requirements{Host: naming.HostURL("h1")}); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("pinned suspect host: %v", err)
+	}
+	// With both hosts unplaceable placement fails outright.
+	mon.MarkSuspect(naming.HostURL("h2"), "test")
+	if _, _, err := m.SelectHost(task.Requirements{}); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("want ErrNoHosts with all hosts suspect, got %v", err)
+	}
 }
