@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	snipe-bench -experiment fig1|multipath|mpiconnect|availability|multicast|migration|scalability|failover|liveness|rudploss|all
+//	snipe-bench -experiment fig1|multipath|commtail|mpiconnect|availability|multicast|migration|scalability|failover|liveness|rudploss|all
 //	snipe-bench -experiment fig1 -quick
 package main
 
@@ -25,6 +25,7 @@ var (
 	fig1Out    = flag.String("fig1-out", "BENCH_fig1.json", "path for the fig1 JSON artifact (empty to skip)")
 	mpOut      = flag.String("multipath-out", "BENCH_multipath.json", "path for the multipath JSON artifact (empty to skip)")
 	floOut     = flag.String("failover-out", "BENCH_failover.json", "path for the liveness/detection JSON artifact (empty to skip)")
+	ctOut      = flag.String("commtail-out", "BENCH_commtail.json", "path for the comm tail-latency JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -42,8 +43,9 @@ func main() {
 		"rudploss":     runRUDPLoss,
 		"paths":        runPaths,
 		"multipath":    runMultipath,
+		"commtail":     runCommTail,
 	}
-	order := []string{"fig1", "multipath", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "rudploss", "paths"}
+	order := []string{"fig1", "multipath", "commtail", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "rudploss", "paths"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -171,6 +173,68 @@ func runMultipath() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d points)\n", *mpOut, len(points))
+	}
+	return nil
+}
+
+func runCommTail() error {
+	fmt.Println("== commtail: end-to-end ack latency tail under endpoint fan-in, and local-transport goodput ==")
+	// The tail claim needs scale: ≥1k concurrent endpoints even in
+	// quick mode; quick only trims the per-endpoint message count.
+	fan := []struct{ endpoints, msgs int }{{256, 20}, {1024, 20}}
+	streamMsgs := 64
+	if *quick {
+		fan = []struct{ endpoints, msgs int }{{1024, 5}}
+		streamMsgs = 16
+	}
+	const msgSize = 4096
+	var points []bench.CommTailPoint
+	w := tab()
+	fmt.Fprintln(w, "endpoints\tmsgs/ep\tp50 µs\tp99 µs\tp999 µs\tmax µs\tgoodput MB/s\tack batches")
+	for _, f := range fan {
+		pt, err := bench.MeasureCommTail(f.endpoints, f.msgs, msgSize)
+		if err != nil {
+			return err
+		}
+		points = append(points, pt)
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.2f\t%d\n",
+			pt.Endpoints, pt.MsgsPerEP, pt.P50Us, pt.P99Us, pt.P999Us, pt.MaxUs,
+			pt.GoodputMBps, pt.AckBatches)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("-- single-stream goodput: tcp loopback vs the local transports --")
+	var streams []bench.CommTailStream
+	w = tab()
+	fmt.Fprintln(w, "transport\tmsg size\tMB/s")
+	byTransport := map[string]float64{}
+	for _, tr := range []string{"tcp", "unix", "inproc"} {
+		st, err := bench.MeasureCommStream(tr, 1<<20, streamMsgs)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, st)
+		byTransport[tr] = st.MBps
+		fmt.Fprintf(w, "%s\t%d\t%.2f\n", st.Transport, st.MsgSize, st.MBps)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The claims under test: the local transports must beat looping
+	// back through kernel TCP on the identical endpoint stack.
+	for _, tr := range []string{"unix", "inproc"} {
+		if byTransport[tr] <= byTransport["tcp"] {
+			return fmt.Errorf("commtail: %s goodput %.2f MB/s did not beat tcp loopback %.2f MB/s",
+				tr, byTransport[tr], byTransport["tcp"])
+		}
+	}
+	if *ctOut != "" {
+		if err := bench.WriteCommTailArtifact(*ctOut, points, streams, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d points, %d streams)\n", *ctOut, len(points), len(streams))
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// Acknowledgement coalescing. A striped transfer generates one
+// per-fragment ack per received fragment; at 64 KiB fragments a
+// 64 MiB message produces a thousand reverse-path frames, each paying
+// full framing and syscall cost. The coalescer batches a connection's
+// outgoing acks into frameAckBatch/frameFragAckBatch frames:
+//
+//   - per-fragment acks accumulate until the batch fills (ackBatchMax)
+//     or the flush timer fires (Endpoint.ackFlush);
+//   - end-to-end acks flush the connection's pending acks immediately,
+//     so single-message traffic sees no added ack latency — the
+//     coalescer only defers the high-rate per-fragment stream;
+//   - a batch of one encodes as the legacy single-ack frame, so a pair
+//     of endpoints exchanging sparse acks produces pre-batching wire
+//     traffic (and stays readable to older decoders).
+//
+// Each readLoop owns one coalescer for its connection; stop() flushes
+// any stragglers when the connection dies.
+
+// defaultAckFlush is the default coalescing window for per-fragment
+// acks: long enough to batch a burst of fragments from one window,
+// short enough to never stall the sender's in-flight window (fragment
+// RTTs are hundreds of microseconds on local media at minimum).
+const defaultAckFlush = 200 * time.Microsecond
+
+// ackBatchMax caps the entries in one batched ack frame; a full batch
+// flushes immediately rather than waiting out the timer.
+const ackBatchMax = 64
+
+type ackCoalescer struct {
+	e     *Endpoint
+	conn  FrameConn
+	flush time.Duration
+
+	mu         sync.Mutex
+	acks       []ackRef // pending end-to-end acks (normally flushed same-call)
+	frags      []ackRef // pending per-fragment acks
+	timer      *time.Timer
+	timerArmed bool
+	stopped    bool
+}
+
+func newAckCoalescer(e *Endpoint, conn FrameConn) *ackCoalescer {
+	a := &ackCoalescer{e: e, conn: conn, flush: e.ackFlush}
+	a.timer = time.AfterFunc(time.Hour, a.timerFlush)
+	a.timer.Stop()
+	return a
+}
+
+// ack queues one end-to-end acknowledgement and flushes the
+// connection's pending acks (fragment acks for the same message
+// included, ordered before it).
+func (a *ackCoalescer) ack(src, dst string, seq uint64) {
+	a.mu.Lock()
+	a.acks = append(a.acks, ackRef{src: src, dst: dst, seq: seq})
+	frames := a.takeLocked()
+	a.mu.Unlock()
+	a.send(frames)
+}
+
+// fragAck queues one per-fragment acknowledgement, flushing when the
+// batch fills; otherwise the flush timer (armed on the first pending
+// entry) bounds how long it waits.
+func (a *ackCoalescer) fragAck(src, dst string, seq uint64, fragIdx uint32) {
+	a.mu.Lock()
+	a.frags = append(a.frags, ackRef{src: src, dst: dst, seq: seq, fragIdx: fragIdx})
+	if len(a.frags) >= ackBatchMax || a.flush <= 0 || a.stopped {
+		frames := a.takeLocked()
+		a.mu.Unlock()
+		a.send(frames)
+		return
+	}
+	if !a.timerArmed {
+		a.timerArmed = true
+		a.timer.Reset(a.flush)
+	}
+	a.mu.Unlock()
+}
+
+// timerFlush is the AfterFunc body.
+func (a *ackCoalescer) timerFlush() {
+	a.mu.Lock()
+	frames := a.takeLocked()
+	a.mu.Unlock()
+	a.send(frames)
+}
+
+// stop flushes anything pending and disarms the timer; the readLoop
+// calls it as the connection dies (late sends fail harmlessly — acks
+// are retransmission-driven, the peer simply retries).
+func (a *ackCoalescer) stop() {
+	a.mu.Lock()
+	a.stopped = true
+	frames := a.takeLocked()
+	a.mu.Unlock()
+	a.timer.Stop()
+	a.send(frames)
+}
+
+// takeLocked drains the pending acks into encoded frames. Caller holds
+// a.mu; encoding under the lock keeps batch composition atomic, while
+// conn.Send happens outside it (see send).
+func (a *ackCoalescer) takeLocked() [][]byte {
+	if a.timerArmed {
+		a.timerArmed = false
+		a.timer.Stop()
+	}
+	var frames [][]byte
+	// Fragment acks go out before end-to-end acks: a message's final
+	// fragment ack precedes its completion ack, matching the
+	// pre-batching wire order.
+	if n := len(a.frags); n > 0 {
+		if n == 1 {
+			f := a.frags[0]
+			frames = append(frames, encodeFragAck(f.src, f.dst, f.seq, f.fragIdx))
+		} else {
+			enc := getFrameEncoder()
+			frames = append(frames, append([]byte(nil), encodeAckBatchInto(enc, frameFragAckBatch, a.frags)...))
+			putFrameEncoder(enc)
+			a.e.mAckBatches.Inc()
+			a.e.mAcksBatched.Add(uint64(n))
+		}
+		a.frags = a.frags[:0]
+	}
+	if n := len(a.acks); n > 0 {
+		if n == 1 {
+			f := a.acks[0]
+			frames = append(frames, encodeAck(f.src, f.dst, f.seq))
+		} else {
+			enc := getFrameEncoder()
+			frames = append(frames, append([]byte(nil), encodeAckBatchInto(enc, frameAckBatch, a.acks)...))
+			putFrameEncoder(enc)
+			a.e.mAckBatches.Inc()
+			a.e.mAcksBatched.Add(uint64(n))
+		}
+		a.acks = a.acks[:0]
+	}
+	return frames
+}
+
+// send writes drained frames outside the coalescer lock. Errors are
+// ignored: a dead connection loses acks the same way a dead wire
+// would, and the sender's retransmission recovers.
+func (a *ackCoalescer) send(frames [][]byte) {
+	for _, f := range frames {
+		a.conn.Send(f)
+	}
+}

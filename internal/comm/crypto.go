@@ -63,9 +63,14 @@ func (c *encryptedConn) Recv() ([]byte, error) {
 	}
 	ns := c.aead.NonceSize()
 	if len(sealed) < ns {
+		putPayloadBuf(sealed)
 		return nil, ErrDecrypt
 	}
 	plain, err := c.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+	// The ciphertext buffer came from the inner conn's receive pool and
+	// is fully consumed by Open (which writes into a fresh plaintext
+	// buffer), so it recycles here regardless of the outcome.
+	putPayloadBuf(sealed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
 	}

@@ -86,10 +86,13 @@ func WithStripeWindow(n int) EndpointOption {
 	}
 }
 
-// WithStripeStall sets how long a striped transmission tolerates zero
+// WithStripeStall caps how long a striped transmission tolerates zero
 // acknowledgement progress before declaring the routes holding
 // in-flight fragments dead and requeueing their fragments. Defaults to
-// 4× the retry interval, floored at one second.
+// 4× the retry interval, floored at one second. Once a stripe's routes
+// have observed RTT history, the effective stall window adapts to the
+// slowest route's EWMA latency (see stripeStallFor) and this value
+// only bounds it from above.
 func WithStripeStall(d time.Duration) EndpointOption {
 	return func(e *Endpoint) { e.stripeStall = d }
 }
@@ -103,6 +106,16 @@ func WithScoreAlpha(a float64) EndpointOption {
 			e.scoreAlpha = a
 		}
 	}
+}
+
+// WithAckFlush sets the flush interval of the per-connection
+// acknowledgement coalescer: per-fragment acks accumulate for up to
+// this long (or until a batch fills, or an end-to-end ack flushes the
+// connection's pending acks) before going out as one batched ack
+// frame. Zero disables coalescing — every ack is its own frame, the
+// pre-batching wire behaviour.
+func WithAckFlush(d time.Duration) EndpointOption {
+	return func(e *Endpoint) { e.ackFlush = d }
 }
 
 // WithHandler delivers incoming messages to fn instead of the mailbox.
@@ -129,7 +142,7 @@ type outKey struct {
 
 type outMsg struct {
 	msg         Message
-	route       string    // route key of the last successful single-route send (guarded by Endpoint.mu)
+	route       string    // route key of the last successful single-route send (guarded by the owning shard's mu)
 	enqueued    time.Time // when the message entered the system buffer
 	lastAttempt time.Time
 	backoff     time.Duration // wait after lastAttempt before the next retry
@@ -199,15 +212,53 @@ type reasmKey struct {
 	seq uint64
 }
 
+// sendShardCount is the number of outbound-state shards; a power of
+// two so the destination hash folds with a mask.
+const sendShardCount = 16
+
+// sendShard holds the outbound send state for the destinations that
+// hash into it: per-peer sequence counters and the unacknowledged
+// message buffer. Sharding lets concurrent senders to different peers
+// proceed in parallel instead of serialising on one endpoint-wide
+// mutex; buffer-limit accounting moves to an endpoint-wide atomic
+// (Endpoint.buffered) so the limit still applies exactly across
+// shards.
+type sendShard struct {
+	mu          sync.Mutex
+	nextSeq     map[string]uint64 // dst URN → next send seq
+	outstanding map[outKey]*outMsg
+}
+
+// shardIndex hashes a destination URN to its shard (FNV-1a, masked).
+func shardIndex(dst string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(dst); i++ {
+		h ^= uint32(dst[i])
+		h *= 16777619
+	}
+	return h & (sendShardCount - 1)
+}
+
+func (e *Endpoint) shardFor(dst string) *sendShard {
+	return &e.shards[shardIndex(dst)]
+}
+
 // Endpoint is a process's communications identity: it owns the
 // process's URN, listens on one or more transport addresses, and
 // provides reliable, ordered, exactly-once message delivery to and
 // from other endpoints, with the system-buffering and route-failover
 // semantics of §6.
+//
+// Locking: the endpoint's state is partitioned so hot paths contend
+// only with themselves — outbound send state is hash-sharded by
+// destination (shards[i].mu), connections under connMu, the route
+// cache under cacheMu, route scores under scoreMu, in-flight stripes
+// under stripeMu, and the receive/delivery state (sequencing,
+// reassembly, mailbox) under mu. Lock ordering: never hold two of
+// these at once except mu→(none); each section acquires exactly one.
 type Endpoint struct {
 	urn        string
 	transports *Transports
-	resolver   Resolver
 
 	bufferLimit     int
 	retryInterval   time.Duration
@@ -216,26 +267,43 @@ type Endpoint struct {
 	buffering       bool
 	stripeThreshold int           // stripe payloads at or above this size (≤0 disables)
 	stripeWindow    int           // per-route in-flight fragment window
-	stripeStall     time.Duration // zero-progress window before a stripe fails stuck routes
+	stripeStall     time.Duration // max zero-progress window before a stripe fails stuck routes
 	scoreAlpha      float64       // EWMA smoothing factor of the route scorer
+	ackFlush        time.Duration // ack coalescing flush interval (0 = one frame per ack)
 	liveness        PeerLiveness  // optional failure detector fed by send/ack evidence
 	failFastDead    bool          // refuse + stop retrying sends to dead peers
 	handler         func(*Message)
 	handlerTags     map[uint32]bool // nil = handler takes all tags
 
+	// Outbound state, sharded by destination URN.
+	shards   [sendShardCount]sendShard
+	buffered atomic.Int64 // unacked messages across all shards (exact buffer-limit accounting)
+
+	// Connection and listener state.
+	connMu      sync.Mutex
+	listeners   []listenerEntry
+	localRoutes []Route
+	conns       map[string]FrameConn // route key → conn
+
+	// Route resolution.
+	cacheMu    sync.Mutex
+	resolver   Resolver
+	routeCache map[string]routeCacheEntry // dst URN → resolved routes
+
+	// Adaptive route scoring (see score.go).
+	scoreMu sync.Mutex
+	scores  map[string]*routeEWMA // route key → adaptive scoring state
+
+	// In-flight striped transmissions (we are src; see stripe.go).
+	stripeMu sync.Mutex
+	stripes  map[reasmKey]*stripeState
+
+	// Receive state: sequencing, reassembly, delivery.
 	mu           sync.Mutex
 	cond         *sync.Cond
-	listeners    []listenerEntry
-	localRoutes  []Route
-	conns        map[string]FrameConn       // route key → conn
-	routeCache   map[string]routeCacheEntry // dst URN → resolved routes
-	nextSeq      map[string]uint64          // dst URN → next send seq
-	outstanding  map[outKey]*outMsg
 	expected     map[string]uint64              // src URN → next delivery seq
 	reorder      map[string]map[uint64]*Message // src URN → seq → message
 	reasm        map[reasmKey]*reassembly
-	stripes      map[reasmKey]*stripeState // in-flight striped transmissions (we are src)
-	scores       map[string]*routeEWMA     // route key → adaptive scoring state
 	mailbox      []*Message
 	handlerQueue []*Message
 	quiesced     bool // migration: stop accepting (and acking) new messages
@@ -245,24 +313,27 @@ type Endpoint struct {
 	gateway    bool
 	relayConns map[relayKey]FrameConn
 	relayReasm map[reasmKey]*reassembly
-	closed     bool
-	done       chan struct{}
-	wg         sync.WaitGroup
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
 
 	// Telemetry. Hot-path counters are captured once at construction;
 	// all mutation is atomic (see internal/stats).
-	metrics     *stats.Registry
-	mSent       *stats.Counter
-	mReceived   *stats.Counter
-	mRetried    *stats.Counter
-	mDuplicates *stats.Counter
-	mFragments  *stats.Counter
+	metrics       *stats.Registry
+	mSent         *stats.Counter
+	mReceived     *stats.Counter
+	mRetried      *stats.Counter
+	mDuplicates   *stats.Counter
+	mFragments    *stats.Counter
 	mResolves     *stats.Counter
 	mCacheHits    *stats.Counter
 	mSendErrors   *stats.Counter
 	mStriped      *stats.Counter   // messages sent via the multi-path stripe path
 	mFragAcks     *stats.Counter   // per-fragment acknowledgements received
 	mFragRequeues *stats.Counter   // fragments requeued off a failed route mid-stripe
+	mAckBatches   *stats.Counter   // batched ack frames sent
+	mAcksBatched  *stats.Counter   // individual acks carried inside batch frames
 	mDeadRefused  *stats.Counter   // sends refused up front: peer host dead
 	mDeadSkips    *stats.Counter   // buffered retries skipped: peer host dead
 	hAckLatency   *stats.Histogram // µs, send → end-to-end ack
@@ -284,10 +355,9 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 		stripeThreshold: 256 << 10,
 		stripeWindow:    32,
 		scoreAlpha:      0.2,
+		ackFlush:        defaultAckFlush,
 		conns:           make(map[string]FrameConn),
 		routeCache:      make(map[string]routeCacheEntry),
-		nextSeq:         make(map[string]uint64),
-		outstanding:     make(map[outKey]*outMsg),
 		expected:        make(map[string]uint64),
 		reorder:         make(map[string]map[uint64]*Message),
 		reasm:           make(map[reasmKey]*reassembly),
@@ -295,6 +365,10 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 		scores:          make(map[string]*routeEWMA),
 		done:            make(chan struct{}),
 		metrics:         stats.NewRegistry(),
+	}
+	for i := range e.shards {
+		e.shards[i].nextSeq = make(map[string]uint64)
+		e.shards[i].outstanding = make(map[outKey]*outMsg)
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.mSent = e.metrics.Counter("sent")
@@ -308,6 +382,8 @@ func NewEndpoint(urn string, opts ...EndpointOption) *Endpoint {
 	e.mStriped = e.metrics.Counter("striped")
 	e.mFragAcks = e.metrics.Counter("frag_acks")
 	e.mFragRequeues = e.metrics.Counter("frag_requeues")
+	e.mAckBatches = e.metrics.Counter("ack_batches")
+	e.mAcksBatched = e.metrics.Counter("acks_batched")
 	e.mDeadRefused = e.metrics.Counter("dead_peer_refused")
 	e.mDeadSkips = e.metrics.Counter("dead_peer_skips")
 	e.hAckLatency = e.metrics.Histogram("ack_latency_us", stats.LatencyBucketsUs)
@@ -337,10 +413,10 @@ func (e *Endpoint) dispatchLoop() {
 	defer e.wg.Done()
 	for {
 		e.mu.Lock()
-		for len(e.handlerQueue) == 0 && !e.closed {
+		for len(e.handlerQueue) == 0 && !e.closed.Load() {
 			e.cond.Wait()
 		}
-		if len(e.handlerQueue) == 0 && e.closed {
+		if len(e.handlerQueue) == 0 && e.closed.Load() {
 			e.mu.Unlock()
 			return
 		}
@@ -359,10 +435,10 @@ func (e *Endpoint) URN() string { return e.urn }
 // universe after construction). Cached routes from the old resolver
 // are dropped.
 func (e *Endpoint) SetResolver(r Resolver) {
-	e.mu.Lock()
+	e.cacheMu.Lock()
 	e.resolver = r
 	e.routeCache = make(map[string]routeCacheEntry)
-	e.mu.Unlock()
+	e.cacheMu.Unlock()
 }
 
 // Listen starts accepting connections per spec: the named transport is
@@ -380,15 +456,14 @@ func (e *Endpoint) Listen(spec ListenSpec) (Route, error) {
 	}
 	route := Route{Transport: spec.Transport, Addr: ln.Addr(), NetName: spec.NetName,
 		RateBps: spec.RateBps, LatencyUs: spec.LatencyUs}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		ln.Close()
 		return Route{}, ErrClosed
 	}
+	e.connMu.Lock()
 	e.listeners = append(e.listeners, listenerEntry{ln: ln, route: route})
 	e.localRoutes = append(e.localRoutes, route)
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	e.wg.Add(1)
 	go e.acceptLoop(ln)
 	return route, nil
@@ -396,8 +471,8 @@ func (e *Endpoint) Listen(spec ListenSpec) (Route, error) {
 
 // Routes returns the endpoint's advertised routes.
 func (e *Endpoint) Routes() []Route {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
 	return append([]Route(nil), e.localRoutes...)
 }
 
@@ -406,7 +481,7 @@ func (e *Endpoint) Routes() []Route {
 // the link-failure injection used by the failover experiments. Unlike
 // an index, the route stays a valid handle as listeners come and go.
 func (e *Endpoint) CloseListener(route Route) error {
-	e.mu.Lock()
+	e.connMu.Lock()
 	var ln Listener
 	for i, ent := range e.listeners {
 		if ent.route == route {
@@ -423,7 +498,7 @@ func (e *Endpoint) CloseListener(route Route) error {
 			}
 		}
 	}
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	if ln == nil {
 		return fmt.Errorf("comm: no listener for route %s", route)
 	}
@@ -434,9 +509,9 @@ func (e *Endpoint) CloseListener(route Route) error {
 // over a netsim pipe in benchmarks) for traffic to and from the peer.
 // routeKey must be unique per conn.
 func (e *Endpoint) AttachConn(routeKey string, conn FrameConn) {
-	e.mu.Lock()
+	e.connMu.Lock()
 	e.conns[routeKey] = conn
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	conn.Send(encodeHello(e.urn))
 	e.wg.Add(1)
 	go e.readLoop(conn, routeKey)
@@ -484,40 +559,44 @@ func (e *Endpoint) send(dst string, tag uint32, payload []byte) (*outMsg, error)
 	if len(payload) > MaxMessageSize {
 		return nil, ErrTooLarge
 	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if e.peerDead(dst) {
 		e.mDeadRefused.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrPeerDead, dst)
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if len(e.outstanding) >= e.bufferLimit {
-		e.mu.Unlock()
+	// Buffer-limit accounting is endpoint-wide and exact: reserve a
+	// slot first, back the reservation out if over the limit. Shards
+	// never consult each other.
+	if e.buffered.Add(1) > int64(e.bufferLimit) {
+		e.buffered.Add(-1)
 		return nil, ErrBufferFull
 	}
-	e.nextSeq[dst]++
-	seq := e.nextSeq[dst]
 	cp := getPayloadBuf(len(payload))
 	copy(cp, payload)
 	om := &outMsg{
-		msg:      Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp},
 		enqueued: time.Now(),
 		acked:    make(chan struct{}),
 		pooled:   true,
 	}
 	om.refs.Store(1) // the system buffer's reference
-	e.outstanding[outKey{dst, seq}] = om
-	e.mu.Unlock()
+	sh := e.shardFor(dst)
+	sh.mu.Lock()
+	sh.nextSeq[dst]++
+	seq := sh.nextSeq[dst]
+	om.msg = Message{Src: e.urn, Dst: dst, Tag: tag, Seq: seq, Payload: cp}
+	sh.outstanding[outKey{dst, seq}] = om
+	sh.mu.Unlock()
 	e.mSent.Inc()
 	e.hMsgSize.Observe(float64(len(payload)))
 
 	err := e.transmit(om)
 	if err != nil && !e.buffering {
-		e.mu.Lock()
-		delete(e.outstanding, outKey{dst, seq})
-		e.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.outstanding, outKey{dst, seq})
+		sh.mu.Unlock()
+		e.buffered.Add(-1)
 		om.releasePayload()
 		return nil, err
 	}
@@ -534,12 +613,13 @@ func (e *Endpoint) transmit(om *outMsg) error {
 		return nil // acknowledged (and recycled) before this attempt began
 	}
 	defer om.releasePayload()
-	e.mu.Lock()
+	sh := e.shardFor(om.msg.Dst)
+	sh.mu.Lock()
 	om.lastAttempt = time.Now()
 	om.attempts++
 	om.backoff = e.retryBackoff(om.attempts)
-	local := append([]Route(nil), e.localRoutes...)
-	e.mu.Unlock()
+	sh.mu.Unlock()
+	local := e.Routes()
 
 	routes, err := e.resolveRoutes(om.msg.Dst)
 	if err != nil {
@@ -627,9 +707,10 @@ func (e *Endpoint) transmit(om *outMsg) error {
 // transmission, so the end-to-end acknowledgement can credit its
 // RTT/goodput to the right scorer entry.
 func (e *Endpoint) noteSentRoute(om *outMsg, routeKey string) {
-	e.mu.Lock()
+	sh := e.shardFor(om.msg.Dst)
+	sh.mu.Lock()
 	om.route = routeKey
-	e.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // resolveRoutes returns dst's advertised routes, consulting the
@@ -638,25 +719,25 @@ func (e *Endpoint) noteSentRoute(om *outMsg, routeKey string) {
 // call per TTL instead of one per buffered message per tick.
 func (e *Endpoint) resolveRoutes(dst string) ([]Route, error) {
 	now := time.Now()
-	e.mu.Lock()
+	e.cacheMu.Lock()
 	if ent, ok := e.routeCache[dst]; ok && now.Before(ent.expires) {
 		routes := ent.routes
-		e.mu.Unlock()
+		e.cacheMu.Unlock()
 		e.mCacheHits.Inc()
 		return routes, nil
 	}
 	resolver := e.resolver
 	ttl := e.routeCacheTTL
-	e.mu.Unlock()
+	e.cacheMu.Unlock()
 	e.mResolves.Inc()
 	routes, err := resolver.Resolve(dst)
 	if err != nil {
 		return nil, err
 	}
 	if ttl > 0 {
-		e.mu.Lock()
+		e.cacheMu.Lock()
 		e.routeCache[dst] = routeCacheEntry{routes: routes, expires: now.Add(ttl)}
-		e.mu.Unlock()
+		e.cacheMu.Unlock()
 	}
 	return routes, nil
 }
@@ -665,9 +746,9 @@ func (e *Endpoint) resolveRoutes(dst string) ([]Route, error) {
 // the next attempt re-resolves immediately — failover must not wait
 // out the TTL.
 func (e *Endpoint) invalidateRoutes(dst string) {
-	e.mu.Lock()
+	e.cacheMu.Lock()
 	delete(e.routeCache, dst)
-	e.mu.Unlock()
+	e.cacheMu.Unlock()
 }
 
 // retryBackoff computes how long a message that has been attempted n
@@ -675,7 +756,8 @@ func (e *Endpoint) invalidateRoutes(dst string) {
 // attempt, capped at maxRetryBackoff, plus positive-only jitter (up to
 // a quarter of the backoff) so co-buffered messages don't retry in
 // lockstep. The jitter never shortens the window, which keeps the
-// lower bound exact for schedule assertions. Caller holds e.mu.
+// lower bound exact for schedule assertions. Reads only immutable
+// configuration, so it needs no lock.
 func (e *Endpoint) retryBackoff(attempts int) time.Duration {
 	d := e.retryInterval
 	for i := 1; i < attempts && d < e.maxRetryBackoff; i++ {
@@ -713,13 +795,13 @@ func (e *Endpoint) sendOn(conn FrameConn, om *outMsg) error {
 // getConn returns a live connection for the route, dialing if needed.
 func (e *Endpoint) getConn(route Route) (FrameConn, error) {
 	key := route.String()
-	e.mu.Lock()
+	e.connMu.Lock()
 	if conn, ok := e.conns[key]; ok {
-		e.mu.Unlock()
+		e.connMu.Unlock()
 		return conn, nil
 	}
+	e.connMu.Unlock()
 	tr, ok := e.transports.Get(route.Transport)
-	e.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("comm: unknown transport %q", route.Transport)
 	}
@@ -727,19 +809,19 @@ func (e *Endpoint) getConn(route Route) (FrameConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
+	e.connMu.Lock()
 	if existing, ok := e.conns[key]; ok {
-		e.mu.Unlock()
+		e.connMu.Unlock()
 		conn.Close()
 		return existing, nil
 	}
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
+		e.connMu.Unlock()
 		conn.Close()
 		return nil, ErrClosed
 	}
 	e.conns[key] = conn
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	conn.Send(encodeHello(e.urn))
 	e.wg.Add(1)
 	go e.readLoop(conn, key)
@@ -747,11 +829,11 @@ func (e *Endpoint) getConn(route Route) (FrameConn, error) {
 }
 
 func (e *Endpoint) dropConn(key string, conn FrameConn) {
-	e.mu.Lock()
+	e.connMu.Lock()
 	if e.conns[key] == conn {
 		delete(e.conns, key)
 	}
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	conn.Close()
 }
 
@@ -763,36 +845,45 @@ func (e *Endpoint) acceptLoop(ln Listener) {
 			return
 		}
 		key := fmt.Sprintf("in:%p", conn)
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
+		if e.closed.Load() {
 			conn.Close()
 			return
 		}
+		e.connMu.Lock()
 		e.conns[key] = conn
-		e.mu.Unlock()
+		e.connMu.Unlock()
 		e.wg.Add(1)
 		go e.readLoop(conn, key)
 	}
 }
 
+// readLoop drains one connection, recycling each frame buffer unless
+// handling retained it (a fragment parked in a reassembly keeps its
+// backing buffer until the message completes).
 func (e *Endpoint) readLoop(conn FrameConn, key string) {
 	defer e.wg.Done()
 	defer e.dropConn(key, conn)
+	ac := newAckCoalescer(e, conn)
+	defer ac.stop()
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		e.handleFrame(conn, frame)
+		if !e.handleFrame(conn, ac, frame) {
+			putPayloadBuf(frame)
+		}
 	}
 }
 
-func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
+// handleFrame dispatches one inbound frame. It reports whether
+// ownership of the frame buffer was retained (parked in a reassembly);
+// when false the caller recycles the buffer.
+func (e *Endpoint) handleFrame(conn FrameConn, ac *ackCoalescer, frame []byte) (retained bool) {
 	d := xdr.NewDecoder(frame)
 	ftype, err := d.Uint8()
 	if err != nil {
-		return
+		return false
 	}
 	switch ftype {
 	case frameHello:
@@ -801,69 +892,106 @@ func (e *Endpoint) handleFrame(conn FrameConn, frame []byte) {
 	case frameMsg:
 		f, err := decodeMsgFrame(d)
 		if err != nil {
-			return
+			return false
 		}
-		e.handleMsgFrame(conn, f)
+		return e.handleMsgFrame(conn, ac, f, frame)
 
 	case frameAck:
 		src, dst, seq, err := decodeAck(d)
 		if err != nil {
-			return
+			return false
 		}
-		// A gateway first checks whether this ack belongs to a relayed
-		// message and routes it back to the origin.
-		if e.relayAck(src, dst, seq) {
-			return
-		}
-		e.mu.Lock()
-		om, ok := e.outstanding[outKey{dst, seq}]
-		var route string
-		var attemptAge time.Duration
-		if ok {
-			delete(e.outstanding, outKey{dst, seq})
-			close(om.acked)
-			route = om.route
-			attemptAge = time.Since(om.lastAttempt)
-		}
-		stripe := e.stripes[reasmKey{src, dst, seq}]
-		e.mu.Unlock()
-		if stripe != nil {
-			stripe.cancel() // message-level ack moots any in-flight stripe
-		}
-		if ok {
-			e.hAckLatency.Observe(float64(time.Since(om.enqueued).Microseconds()))
-			if route != "" {
-				e.observeRouteAck(route, len(om.msg.Payload), attemptAge)
-			}
-			e.reportSendSuccess(dst) // end-to-end ack: direct proof of life
-			om.releasePayload()      // the system buffer's reference
-		}
+		e.handleAck(src, dst, seq)
 
 	case frameFragAck:
 		src, dst, seq, fragIdx, err := decodeFragAck(d)
 		if err != nil {
-			return
+			return false
 		}
-		e.mu.Lock()
-		stripe := e.stripes[reasmKey{src, dst, seq}]
-		e.mu.Unlock()
-		if stripe == nil {
-			return
+		e.handleFragAck(src, dst, seq, fragIdx)
+
+	case frameAckBatch:
+		refs, err := decodeAckBatch(d, false)
+		if err != nil {
+			return false
 		}
-		e.mFragAcks.Inc()
-		if route, bytes, elapsed, ok := stripe.ackFrag(int(fragIdx)); ok {
-			e.observeRouteAck(route, bytes, elapsed)
+		for i := range refs {
+			e.handleAck(refs[i].src, refs[i].dst, refs[i].seq)
 		}
+
+	case frameFragAckBatch:
+		refs, err := decodeAckBatch(d, true)
+		if err != nil {
+			return false
+		}
+		for i := range refs {
+			e.handleFragAck(refs[i].src, refs[i].dst, refs[i].seq, refs[i].fragIdx)
+		}
+	}
+	return false
+}
+
+// handleAck retires one end-to-end acknowledged message: the sender
+// side of exactly-once delivery.
+func (e *Endpoint) handleAck(src, dst string, seq uint64) {
+	// A gateway first checks whether this ack belongs to a relayed
+	// message and routes it back to the origin.
+	if e.relayAck(src, dst, seq) {
+		return
+	}
+	sh := e.shardFor(dst)
+	sh.mu.Lock()
+	om, ok := sh.outstanding[outKey{dst, seq}]
+	var route string
+	var attemptAge time.Duration
+	if ok {
+		delete(sh.outstanding, outKey{dst, seq})
+		close(om.acked)
+		route = om.route
+		attemptAge = time.Since(om.lastAttempt)
+	}
+	sh.mu.Unlock()
+	e.stripeMu.Lock()
+	stripe := e.stripes[reasmKey{src, dst, seq}]
+	e.stripeMu.Unlock()
+	if stripe != nil {
+		stripe.cancel() // message-level ack moots any in-flight stripe
+	}
+	if ok {
+		e.buffered.Add(-1)
+		e.hAckLatency.Observe(float64(time.Since(om.enqueued).Microseconds()))
+		if route != "" {
+			e.observeRouteAck(route, len(om.msg.Payload), attemptAge)
+		}
+		e.reportSendSuccess(dst) // end-to-end ack: direct proof of life
+		om.releasePayload()      // the system buffer's reference
 	}
 }
 
-func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
-	if e.gateway && f.Dst != e.urn {
-		e.relayMsgFrame(conn, f)
+// handleFragAck feeds one per-fragment acknowledgement into its
+// stripe's window accounting and the route scorer.
+func (e *Endpoint) handleFragAck(src, dst string, seq uint64, fragIdx uint32) {
+	e.stripeMu.Lock()
+	stripe := e.stripes[reasmKey{src, dst, seq}]
+	e.stripeMu.Unlock()
+	if stripe == nil {
 		return
 	}
+	e.mFragAcks.Inc()
+	if route, bytes, elapsed, ok := stripe.ackFrag(int(fragIdx)); ok {
+		e.observeRouteAck(route, bytes, elapsed)
+	}
+}
+
+// handleMsgFrame accepts one message fragment. buf is the pooled
+// receive buffer backing f.Payload; the return value reports whether
+// its ownership was consumed (parked in a reassembly, or already
+// recycled on message completion) — when false the caller recycles it.
+func (e *Endpoint) handleMsgFrame(conn FrameConn, ac *ackCoalescer, f *msgFrame, buf []byte) (retained bool) {
+	if e.gateway && f.Dst != e.urn {
+		return e.relayMsgFrame(conn, f, buf)
+	}
 	key := reasmKey{f.Src, f.Dst, f.Seq}
-	var complete []byte
 
 	e.mu.Lock()
 	// A quiesced endpoint (a task that has checkpointed for migration)
@@ -872,7 +1000,7 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	// paper's redirect-by-re-resolution (§5.6).
 	if e.quiesced {
 		e.mu.Unlock()
-		return
+		return false
 	}
 	// Duplicate detection: anything below the expected sequence (or
 	// waiting in the reorder buffer) has already been accepted; re-ack
@@ -881,8 +1009,8 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	if (e.expected[f.Src] > 0 && f.Seq < e.expected[f.Src]) || inReorder {
 		e.mDuplicates.Inc()
 		e.mu.Unlock()
-		conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
-		return
+		ac.ack(f.Src, f.Dst, f.Seq)
+		return false
 	}
 	r, ok := e.reasm[key]
 	if ok && r.total != int(f.FragCount) {
@@ -890,6 +1018,7 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 		// geometry: the surviving route set (and so the governing MTU)
 		// changed between attempts. Restart reassembly with the new
 		// geometry instead of poisoning it.
+		r.release()
 		delete(e.reasm, key)
 		ok = false
 	}
@@ -897,11 +1026,14 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 		r = newReassembly(f.FragCount, f.Tag, f.Dst)
 		e.reasm[key] = r
 	}
-	payload, err := r.add(f)
+	payload, retained, err := r.add(f, buf)
 	if err != nil {
+		// add released nothing on its own; drop the whole reassembly
+		// (including buf if it was just parked there).
+		r.release()
 		delete(e.reasm, key)
 		e.mu.Unlock()
-		return
+		return retained
 	}
 	if payload == nil {
 		e.mu.Unlock()
@@ -909,14 +1041,16 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 		// sender's per-route windows advance and dead routes are
 		// detected mid-stripe.
 		if f.Flags&flagStriped != 0 {
-			conn.Send(encodeFragAck(f.Src, f.Dst, f.Seq, f.FragIdx))
+			ac.fragAck(f.Src, f.Dst, f.Seq, f.FragIdx)
 		}
-		return // awaiting more fragments
+		return retained // awaiting more fragments
 	}
 	delete(e.reasm, key)
-	complete = payload
 
-	msg := &Message{Src: f.Src, Dst: f.Dst, Tag: f.Tag, Seq: f.Seq, Payload: complete}
+	// The assembled payload is a fresh buffer (add copies fragments out
+	// and recycles their pooled backings), so the application can hold
+	// the Message forever without pinning or racing the receive pool.
+	msg := &Message{Src: f.Src, Dst: f.Dst, Tag: f.Tag, Seq: f.Seq, Payload: payload}
 	if e.expected[f.Src] == 0 {
 		e.expected[f.Src] = 1
 	}
@@ -945,10 +1079,11 @@ func (e *Endpoint) handleMsgFrame(conn FrameConn, f *msgFrame) {
 	// (the sender's scorer wants the sample); the message-level ack
 	// below then retires the whole transmission.
 	if f.Flags&flagStriped != 0 {
-		conn.Send(encodeFragAck(f.Src, f.Dst, f.Seq, f.FragIdx))
+		ac.fragAck(f.Src, f.Dst, f.Seq, f.FragIdx)
 	}
 	// End-to-end acknowledgement: the message is safely accepted.
-	conn.Send(encodeAck(f.Src, f.Dst, f.Seq))
+	ac.ack(f.Src, f.Dst, f.Seq)
+	return retained
 }
 
 // deliverLocked appends to the mailbox or dispatches to the handler.
@@ -989,7 +1124,7 @@ func (e *Endpoint) RecvMatchContext(ctx context.Context, src string, tag uint32)
 				return m, nil
 			}
 		}
-		if e.closed {
+		if e.closed.Load() {
 			return nil, ErrClosed
 		}
 		if ctx.Err() != nil {
@@ -1004,7 +1139,10 @@ func (e *Endpoint) RecvMatchContext(ctx context.Context, src string, tag uint32)
 // again after it migrates or a link fails. Each message waits out its
 // own capped-exponential backoff window between attempts, so a dead
 // peer is probed ever more gently instead of being hammered every
-// tick.
+// tick. One loop serves all shards: scanning is cheap (the per-shard
+// lock is held only to collect due messages), and a single goroutine
+// keeps thousand-endpoint swarms from running thousands of extra
+// tickers.
 func (e *Endpoint) retryLoop() {
 	defer e.wg.Done()
 	ticker := time.NewTicker(e.retryInterval)
@@ -1020,13 +1158,16 @@ func (e *Endpoint) retryLoop() {
 		}
 		now := time.Now()
 		var due []*outMsg
-		e.mu.Lock()
-		for _, om := range e.outstanding {
-			if now.Sub(om.lastAttempt) >= om.backoff {
-				due = append(due, om)
+		for i := range e.shards {
+			sh := &e.shards[i]
+			sh.mu.Lock()
+			for _, om := range sh.outstanding {
+				if now.Sub(om.lastAttempt) >= om.backoff {
+					due = append(due, om)
+				}
 			}
+			sh.mu.Unlock()
 		}
-		e.mu.Unlock()
 		for _, om := range due {
 			// With fail-fast on, retries to a confirmed-dead peer are
 			// suppressed while it stays dead; the message remains
@@ -1044,9 +1185,7 @@ func (e *Endpoint) retryLoop() {
 
 // Pending reports the number of buffered unacknowledged messages.
 func (e *Endpoint) Pending() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.outstanding)
+	return int(e.buffered.Load())
 }
 
 // Metrics returns the endpoint's live metric registry; counters update
@@ -1058,15 +1197,19 @@ func (e *Endpoint) Metrics() *stats.Registry { return e.metrics }
 // connections, and — for transports that expose them — cumulative RUDP
 // retransmissions and mean smoothed RTT across connections.
 func (e *Endpoint) MetricsSnapshot() stats.Snapshot {
-	e.mu.Lock()
-	pending := len(e.outstanding)
+	pending := e.buffered.Load()
+	e.stripeMu.Lock()
 	stripes := len(e.stripes)
+	e.stripeMu.Unlock()
+	e.scoreMu.Lock()
 	scored := len(e.scores)
+	e.scoreMu.Unlock()
+	e.connMu.Lock()
 	conns := make([]FrameConn, 0, len(e.conns))
 	for _, c := range e.conns {
 		conns = append(conns, c)
 	}
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	var retrans int
 	var srttSum float64
 	var srttN int
@@ -1094,20 +1237,28 @@ func (e *Endpoint) MetricsSnapshot() stats.Snapshot {
 
 // Close shuts down the endpoint. Buffered messages are discarded.
 func (e *Endpoint) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.closed = true
 	close(e.done)
-	lns := e.listeners
+	// Shard barrier: any sender that passed the closed check before the
+	// swap has finished inserting by the time each shard lock cycles,
+	// so nothing slips into a shard after this point.
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		//lint:ignore SA2001 empty critical section is the barrier
+		e.shards[i].mu.Unlock()
+	}
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.connMu.Lock()
+	lns := append([]listenerEntry(nil), e.listeners...)
 	conns := make([]FrameConn, 0, len(e.conns))
 	for _, c := range e.conns {
 		conns = append(conns, c)
 	}
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.connMu.Unlock()
 	for _, ent := range lns {
 		ent.ln.Close()
 	}
@@ -1142,32 +1293,39 @@ type SequenceState struct {
 // endpoint should be quiesced first so the snapshot cannot miss a
 // message acknowledged after the capture.
 func (e *Endpoint) SnapshotSequences() SequenceState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := SequenceState{
-		NextSeq:  make(map[string]uint64, len(e.nextSeq)),
-		Expected: make(map[string]uint64, len(e.expected)),
+		NextSeq:  make(map[string]uint64),
+		Expected: make(map[string]uint64),
 	}
-	for k, v := range e.nextSeq {
-		s.NextSeq[k] = v
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.nextSeq {
+			s.NextSeq[k] = v
+		}
+		sh.mu.Unlock()
 	}
+	e.mu.Lock()
 	for k, v := range e.expected {
 		s.Expected[k] = v
 	}
 	for _, m := range e.mailbox {
 		s.Mailbox = append(s.Mailbox, *m)
 	}
+	e.mu.Unlock()
 	return s
 }
 
 // RestoreSequences installs state captured by SnapshotSequences into a
 // fresh endpoint (at the migration target).
 func (e *Endpoint) RestoreSequences(s SequenceState) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	for k, v := range s.NextSeq {
-		e.nextSeq[k] = v
+		sh := e.shardFor(k)
+		sh.mu.Lock()
+		sh.nextSeq[k] = v
+		sh.mu.Unlock()
 	}
+	e.mu.Lock()
 	for k, v := range s.Expected {
 		e.expected[k] = v
 	}
@@ -1176,6 +1334,7 @@ func (e *Endpoint) RestoreSequences(s SequenceState) {
 		e.mailbox = append(e.mailbox, &m)
 	}
 	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
 // Encode serialises sequence state for transport in a checkpoint.

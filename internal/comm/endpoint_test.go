@@ -174,13 +174,7 @@ func TestEndpointBuffersForUnknownPeer(t *testing.T) {
 		t.Fatalf("buffered delivery: %v %v", m, err)
 	}
 	// The buffer drains after the ack.
-	deadline := time.Now().Add(3 * time.Second)
-	for a.Pending() != 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("buffer not drained: %d", a.Pending())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitFor(t, 3*time.Second, func() bool { return a.Pending() == 0 }, "buffer not drained")
 }
 
 func TestEndpointWithoutBufferingFailsFast(t *testing.T) {
@@ -245,9 +239,9 @@ func TestEndpointMidStreamFailover(t *testing.T) {
 			}
 			if i == 20 {
 				// Kill the preferred listener mid-stream.
-				b.mu.Lock()
+				b.connMu.Lock()
 				ln := b.listeners[0].ln
-				b.mu.Unlock()
+				b.connMu.Unlock()
 				ln.Close()
 			}
 		}

@@ -36,11 +36,18 @@ import (
 )
 
 // Frame types exchanged between endpoints, inside transport frames.
+// Batched acknowledgement frames (frameAckBatch, frameFragAckBatch)
+// carry N single-ack entries in one transport frame; receivers that
+// coalesce acks emit them, while single-ack frames remain valid on the
+// wire — an endpoint decodes both, so mixed-version pairs interoperate
+// (an old receiver simply never batches).
 const (
-	frameHello   uint8 = iota + 1 // sender identifies itself: URN
-	frameMsg                      // one fragment of an application message
-	frameAck                      // end-to-end acknowledgement of a message
-	frameFragAck                  // per-fragment acknowledgement of a striped fragment
+	frameHello        uint8 = iota + 1 // sender identifies itself: URN
+	frameMsg                           // one fragment of an application message
+	frameAck                           // end-to-end acknowledgement of a message
+	frameFragAck                       // per-fragment acknowledgement of a striped fragment
+	frameAckBatch                      // batched end-to-end acknowledgements
+	frameFragAckBatch                  // batched per-fragment acknowledgements
 )
 
 // Fragment flag bits carried in msgFrame.Flags.
@@ -167,7 +174,10 @@ func decodeMsgFrame(d *xdr.Decoder) (*msgFrame, error) {
 	if f.Flags, err = d.Uint8(); err != nil {
 		return nil, err
 	}
-	if f.Payload, err = d.BytesCopyMax(maxWirePayload); err != nil {
+	// The payload aliases the decoder's buffer — no per-fragment copy.
+	// The receive path owns the frame buffer (see handleMsgFrame) and
+	// parks it alongside the reassembly until the message completes.
+	if f.Payload, err = d.BytesMax(maxWirePayload); err != nil {
 		return nil, err
 	}
 	if f.FragCount == 0 || f.FragIdx >= f.FragCount {
@@ -223,6 +233,77 @@ func decodeFragAck(d *xdr.Decoder) (src, dst string, seq uint64, fragIdx uint32,
 	return
 }
 
+// ackRef identifies one acknowledged message — or, inside a
+// frag-ack batch, one acknowledged fragment — within a batched
+// acknowledgement frame.
+type ackRef struct {
+	src     string // original message's sender
+	dst     string // original message's destination (the acker)
+	seq     uint64
+	fragIdx uint32 // meaningful only in frameFragAckBatch entries
+}
+
+// encodeAckBatchInto encodes a batched acknowledgement frame into a
+// caller-owned (typically pooled) encoder. ftype selects whole-message
+// (frameAckBatch) or per-fragment (frameFragAckBatch) entries. The
+// returned slice aliases the encoder's buffer, like encodeMsgFrameInto.
+func encodeAckBatchInto(e *xdr.Encoder, ftype uint8, refs []ackRef) []byte {
+	e.Reset()
+	e.PutUint8(ftype)
+	e.PutUint32(uint32(len(refs)))
+	for i := range refs {
+		r := &refs[i]
+		e.PutString(r.src)
+		e.PutString(r.dst)
+		e.PutUint64(r.seq)
+		if ftype == frameFragAckBatch {
+			e.PutUint32(r.fragIdx)
+		}
+	}
+	return e.Bytes()
+}
+
+// decodeAckBatch reads the entries of a batched acknowledgement frame;
+// withFrag selects the frameFragAckBatch layout (an extra fragment
+// index per entry).
+func decodeAckBatch(d *xdr.Decoder, withFrag bool) ([]ackRef, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry costs at least 16 encoded bytes (two string length
+	// prefixes + u64), 20 with the fragment index; a count beyond the
+	// remaining bytes is hostile — fail before preallocating.
+	entryMin := 16
+	if withFrag {
+		entryMin = 20
+	}
+	if int64(n)*int64(entryMin) > int64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: ack batch count %d exceeds remaining %d bytes",
+			ErrBadFrame, n, d.Remaining())
+	}
+	refs := make([]ackRef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var r ackRef
+		if r.src, err = d.StringMax(maxWireURN); err != nil {
+			return nil, err
+		}
+		if r.dst, err = d.StringMax(maxWireURN); err != nil {
+			return nil, err
+		}
+		if r.seq, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if withFrag {
+			if r.fragIdx, err = d.Uint32(); err != nil {
+				return nil, err
+			}
+		}
+		refs = append(refs, r)
+	}
+	return refs, nil
+}
+
 // fragment splits payload into n MTU-sized fragments sharing one
 // header. mtu is the maximum fragment payload size; flags is stamped
 // on every fragment (flagStriped for striped transmissions, 0 for the
@@ -252,8 +333,16 @@ func fragment(src, dst string, tag uint32, seq uint64, payload []byte, mtu int, 
 }
 
 // reassembly accumulates the fragments of one in-flight message.
+// Fragment payloads alias the pooled receive buffers they arrived in
+// (decodeMsgFrame no longer copies); the reassembly therefore owns
+// those backing buffers, releasing them back to the pool when the
+// message completes or the reassembly is abandoned. The assembled
+// payload handed to the application is always a fresh buffer, so a
+// recycled receive buffer is structurally never reachable from a
+// delivered Message.
 type reassembly struct {
 	frags    [][]byte
+	backing  [][]byte // pooled receive buffers backing frags, released on completion
 	received int
 	total    int
 	size     int
@@ -262,30 +351,52 @@ type reassembly struct {
 }
 
 func newReassembly(count uint32, tag uint32, dst string) *reassembly {
-	return &reassembly{frags: make([][]byte, count), total: int(count), tag: tag, dst: dst}
+	return &reassembly{frags: make([][]byte, count), backing: make([][]byte, count),
+		total: int(count), tag: tag, dst: dst}
 }
 
-// add records a fragment; it returns the complete message payload when
-// the last fragment arrives, or nil.
-func (r *reassembly) add(f *msgFrame) ([]byte, error) {
+// add records a fragment and takes ownership of buf, the receive
+// buffer backing f.Payload (nil when the caller did not pool it). It
+// returns the complete message payload when the last fragment arrives.
+// retained reports whether ownership of buf transferred: when false
+// (duplicate fragment, or a fatal error) the caller still owns buf and
+// may recycle it. After a non-nil error the caller must discard the
+// reassembly via release.
+func (r *reassembly) add(f *msgFrame, buf []byte) (payload []byte, retained bool, err error) {
 	if int(f.FragCount) != r.total {
-		return nil, fmt.Errorf("%w: fragment count changed mid-message", ErrBadFrame)
+		return nil, false, fmt.Errorf("%w: fragment count changed mid-message", ErrBadFrame)
 	}
 	if r.frags[f.FragIdx] != nil {
-		return nil, nil // duplicate fragment (retransmission)
+		return nil, false, nil // duplicate fragment (retransmission)
 	}
 	r.frags[f.FragIdx] = f.Payload
+	r.backing[f.FragIdx] = buf
 	r.received++
 	r.size += len(f.Payload)
 	if r.size > MaxMessageSize {
-		return nil, ErrTooLarge
+		return nil, true, ErrTooLarge
 	}
 	if r.received < r.total {
-		return nil, nil
+		return nil, true, nil
 	}
 	out := make([]byte, 0, r.size)
 	for _, frag := range r.frags {
 		out = append(out, frag...)
 	}
-	return out, nil
+	r.release()
+	return out, true, nil
+}
+
+// release returns every backing receive buffer to the pool and drops
+// the fragment references. Call when the message completed (add did
+// this already), or when abandoning an in-progress reassembly
+// (geometry restart, decode error, shutdown).
+func (r *reassembly) release() {
+	for i, b := range r.backing {
+		r.frags[i] = nil
+		r.backing[i] = nil
+		if b != nil {
+			putPayloadBuf(b)
+		}
+	}
 }

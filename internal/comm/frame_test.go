@@ -123,7 +123,7 @@ func TestFragmentReassemble(t *testing.T) {
 	order := []int{3, 0, 9, 1, 2, 5, 4, 7, 8, 6}
 	var got []byte
 	for _, i := range order {
-		out, err := r.add(frames[i])
+		out, _, err := r.add(frames[i], nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func TestFragmentEmptyPayload(t *testing.T) {
 		t.Fatalf("empty payload frames = %v", frames)
 	}
 	r := newReassembly(1, 0, "b")
-	out, err := r.add(frames[0])
+	out, _, err := r.add(frames[0], nil)
 	if err != nil || out == nil || len(out) != 0 {
 		t.Fatalf("reassemble empty: %v %v", out, err)
 	}
@@ -151,15 +151,15 @@ func TestFragmentEmptyPayload(t *testing.T) {
 func TestReassemblyDuplicateFragment(t *testing.T) {
 	frames := fragment("a", "b", 0, 1, []byte("hello world"), 4, 0)
 	r := newReassembly(frames[0].FragCount, 0, "b")
-	if _, err := r.add(frames[0]); err != nil {
+	if _, _, err := r.add(frames[0], nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := r.add(frames[0]) // duplicate
-	if err != nil || out != nil {
-		t.Fatalf("duplicate: %v %v", out, err)
+	out, retained, err := r.add(frames[0], nil) // duplicate
+	if err != nil || out != nil || retained {
+		t.Fatalf("duplicate: %v %v retained=%v", out, err, retained)
 	}
 	for _, f := range frames[1:] {
-		if out, err = r.add(f); err != nil {
+		if out, _, err = r.add(f, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -171,7 +171,7 @@ func TestReassemblyDuplicateFragment(t *testing.T) {
 func TestReassemblyCountMismatch(t *testing.T) {
 	r := newReassembly(3, 0, "b")
 	bad := &msgFrame{Src: "a", Dst: "b", Seq: 1, FragIdx: 0, FragCount: 5, Payload: []byte("x")}
-	if _, err := r.add(bad); err == nil {
+	if _, _, err := r.add(bad, nil); err == nil {
 		t.Fatal("count mismatch accepted")
 	}
 }
@@ -244,7 +244,7 @@ func TestQuickFragmentRoundTrip(t *testing.T) {
 		r := newReassembly(frames[0].FragCount, 1, "d")
 		var got []byte
 		for _, i := range idx {
-			out, err := r.add(frames[i])
+			out, _, err := r.add(frames[i], nil)
 			if err != nil {
 				return false
 			}

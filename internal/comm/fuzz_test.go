@@ -89,6 +89,64 @@ func FuzzDecodeAck(f *testing.F) {
 	})
 }
 
+// encodeAckBatchSeed builds a batch frame body (frame-type byte
+// stripped) for fuzz seeding.
+func encodeAckBatchSeed(ftype uint8, refs []ackRef) []byte {
+	e := xdr.NewEncoder(64)
+	return append([]byte(nil), encodeAckBatchInto(e, ftype, refs)[1:]...)
+}
+
+func FuzzDecodeAckBatch(f *testing.F) {
+	f.Add(encodeAckBatchSeed(frameAckBatch, []ackRef{
+		{src: "urn:snipe:a", dst: "urn:snipe:b", seq: 1},
+		{src: "urn:snipe:a", dst: "urn:snipe:b", seq: 2},
+	}))
+	f.Add(encodeAckBatchSeed(frameAckBatch, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile count, no entries
+	f.Fuzz(func(t *testing.T, b []byte) {
+		refs, err := decodeAckBatch(xdr.NewDecoder(b), false)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip entry for entry.
+		b2 := encodeAckBatchSeed(frameAckBatch, refs)
+		again, err := decodeAckBatch(xdr.NewDecoder(b2), false)
+		if err != nil || len(again) != len(refs) {
+			t.Fatalf("re-decode: %d entries, err=%v (want %d)", len(again), err, len(refs))
+		}
+		for i := range refs {
+			if again[i].src != refs[i].src || again[i].dst != refs[i].dst || again[i].seq != refs[i].seq {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, refs[i], again[i])
+			}
+		}
+	})
+}
+
+func FuzzDecodeFragAckBatch(f *testing.F) {
+	f.Add(encodeAckBatchSeed(frameFragAckBatch, []ackRef{
+		{src: "urn:snipe:a", dst: "urn:snipe:b", seq: 9, fragIdx: 0},
+		{src: "urn:snipe:a", dst: "urn:snipe:b", seq: 9, fragIdx: 3},
+	}))
+	f.Add(encodeAckBatchSeed(frameFragAckBatch, nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		refs, err := decodeAckBatch(xdr.NewDecoder(b), true)
+		if err != nil {
+			return
+		}
+		b2 := encodeAckBatchSeed(frameFragAckBatch, refs)
+		again, err := decodeAckBatch(xdr.NewDecoder(b2), true)
+		if err != nil || len(again) != len(refs) {
+			t.Fatalf("re-decode: %d entries, err=%v (want %d)", len(again), err, len(refs))
+		}
+		for i := range refs {
+			if again[i] != refs[i] {
+				t.Fatalf("entry %d mismatch: %+v vs %+v", i, refs[i], again[i])
+			}
+		}
+	})
+}
+
 func FuzzParseRoute(f *testing.F) {
 	for _, s := range []string{
 		"tcp://127.0.0.1:7000",

@@ -55,24 +55,33 @@ var relayMu sync.Mutex
 
 // relayMsgFrame forwards one frame's message toward its destination.
 // Whole messages are reassembled and re-fragmented so the outbound MTU
-// may differ from the inbound one.
-func (e *Endpoint) relayMsgFrame(conn FrameConn, f *msgFrame) {
+// may differ from the inbound one. buf is the pooled receive buffer
+// backing f.Payload; the return value reports whether its ownership
+// was consumed, mirroring handleMsgFrame.
+func (e *Endpoint) relayMsgFrame(conn FrameConn, f *msgFrame, buf []byte) (retained bool) {
 	key := reasmKey{f.Src, f.Dst, f.Seq}
 	relayMu.Lock()
 	r, ok := e.relayReasm[key]
+	if ok && r.total != int(f.FragCount) {
+		// Re-fragmented retry with a new geometry (see handleMsgFrame).
+		r.release()
+		delete(e.relayReasm, key)
+		ok = false
+	}
 	if !ok {
 		r = newReassembly(f.FragCount, f.Tag, f.Dst)
 		e.relayReasm[key] = r
 	}
-	payload, err := r.add(f)
+	payload, retained, err := r.add(f, buf)
 	if err != nil {
+		r.release()
 		delete(e.relayReasm, key)
 		relayMu.Unlock()
-		return
+		return retained
 	}
 	if payload == nil {
 		relayMu.Unlock()
-		return
+		return retained
 	}
 	delete(e.relayReasm, key)
 	if len(e.relayConns) >= relayTableMax {
@@ -88,6 +97,7 @@ func (e *Endpoint) relayMsgFrame(conn FrameConn, f *msgFrame) {
 	// Best-effort single transmission: the origin's retries drive
 	// recovery, so the gateway holds no send buffer.
 	go e.transmit(om)
+	return retained
 }
 
 // relayAck routes a destination's acknowledgement back to the origin

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"context"
+	"testing"
 	"time"
 )
 
@@ -24,4 +25,20 @@ func sendWaitT(e *Endpoint, dst string, tag uint32, payload []byte, d time.Durat
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	return e.SendWaitContext(ctx, dst, tag, payload)
+}
+
+// waitFor polls cond until it holds or d elapses, failing the test
+// with msg on expiry. Bounded condition polling replaces the fixed
+// sleeps that made timing-sensitive tests flake on loaded machines: a
+// fast machine passes in microseconds, a slow one gets the whole
+// budget.
+func waitFor(t testing.TB, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: %s", d, msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

@@ -6,22 +6,28 @@ import (
 	"snipe/internal/xdr"
 )
 
-// Buffer pools for the send hot path. Two allocations dominated a
-// send before pooling: the system-buffer copy of the application
-// payload made by send(), and the per-fragment wire frame built by
-// encodeMsgFrame. Both are recycled here:
+// Buffer pools for the comm hot paths. Allocations that dominated a
+// send/receive before pooling: the system-buffer copy of the
+// application payload made by send(), the per-fragment wire frame
+// built by encodeMsgFrame, and (receive side) the per-frame buffer
+// filled by streamFrameConn.Recv and the RUDP data path. All are
+// recycled here:
 //
 //   - Payload buffers are reference-counted on the outMsg (see
 //     acquirePayload/releasePayload in endpoint.go) because the ack
 //     path and a concurrent retry transmission may race; the buffer
 //     returns to the pool only when the last reader drops its
 //     reference.
+//   - Receive-side frame buffers are owned by the FrameConn caller:
+//     every Recv hands the buffer over, and the endpoint read loop
+//     recycles it unless frame handling retained it (a message
+//     fragment parked in a reassembly).
 //   - Frame encoders are owned by exactly one sender goroutine at a
 //     time and can be reused immediately after FrameConn.Send
 //     returns: every FrameConn implementation either writes the frame
 //     synchronously (streamFrameConn), copies it into its own packet
-//     buffer (rudpConn), or seals it into a fresh ciphertext buffer
-//     (encryptedConn) before returning.
+//     buffer (rudpConn, inprocConn), or seals it into a fresh
+//     ciphertext buffer (encryptedConn) before returning.
 
 // maxPooledPayload bounds payload buffers kept for reuse; anything
 // larger is handed to the GC so one huge message doesn't pin memory.
@@ -30,29 +36,58 @@ const maxPooledPayload = 8 << 20
 // maxPooledEncoder bounds the capacity of recycled frame encoders.
 const maxPooledEncoder = 2 << 20
 
-var payloadPool = sync.Pool{}
+// payloadClasses are the pooled buffer size classes. A single pool
+// mixed 1 KiB receive frames with 8 MiB payload copies, so a getter
+// could draw a buffer 8000× its need (pinning memory) or, worse, a
+// small buffer forced a fresh allocation anyway. Classes keep each
+// pool right-sized: RUDP datagrams in the smallest, stream frames
+// (≤ tcpFragmentSize, and anything up to maxWireFrame) in the middle
+// two, whole-message payload copies in the largest.
+var payloadClasses = [...]int{4 << 10, tcpFragmentSize + 1024, unixFragmentSize + 1024, maxWireFrame, maxPooledPayload}
 
-// getPayloadBuf returns a length-n buffer, reusing a pooled one when
-// its capacity suffices.
-func getPayloadBuf(n int) []byte {
-	if v := payloadPool.Get(); v != nil {
-		b := *(v.(*[]byte))
-		if cap(b) >= n {
-			return b[:n]
+var payloadPools [len(payloadClasses)]sync.Pool
+
+// payloadClassFor returns the index of the smallest class that fits n,
+// or -1 when n exceeds every class.
+func payloadClassFor(n int) int {
+	for i, c := range payloadClasses {
+		if n <= c {
+			return i
 		}
-		// Too small for this message; let it age out rather than
-		// cycling undersized buffers through the pool.
 	}
-	return make([]byte, n)
+	return -1
 }
 
-// putPayloadBuf recycles a buffer obtained from getPayloadBuf.
+// getPayloadBuf returns a length-n buffer, reusing a pooled one from
+// n's size class when available.
+func getPayloadBuf(n int) []byte {
+	ci := payloadClassFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	if v := payloadPools[ci].Get(); v != nil {
+		b := *(v.(*[]byte))
+		return b[:n]
+	}
+	return make([]byte, n, payloadClasses[ci])
+}
+
+// putPayloadBuf recycles a buffer obtained from getPayloadBuf (or any
+// other buffer the caller is done with) into the largest size class
+// its capacity can serve. Buffers below the smallest class or above
+// the pooling bound go to the GC.
 func putPayloadBuf(b []byte) {
-	if cap(b) == 0 || cap(b) > maxPooledPayload {
+	c := cap(b)
+	if c == 0 || c > maxPooledPayload {
 		return
 	}
-	b = b[:0]
-	payloadPool.Put(&b)
+	for i := len(payloadClasses) - 1; i >= 0; i-- {
+		if c >= payloadClasses[i] {
+			b = b[:0]
+			payloadPools[i].Put(&b)
+			return
+		}
+	}
 }
 
 var frameEncPool = sync.Pool{

@@ -278,7 +278,9 @@ func (c *rudpConn) handleData(seq uint32, payload []byte) {
 	c.mu.Lock()
 	if seq > c.cumAck {
 		if _, dup := c.outOfOrd[seq]; !dup {
-			cp := make([]byte, len(payload))
+			// Pooled: ownership passes to whoever drains this frame from
+			// Recv (the endpoint read loop recycles it after handling).
+			cp := getPayloadBuf(len(payload))
 			copy(cp, payload)
 			c.outOfOrd[seq] = cp
 			// Drain the contiguous prefix into the delivery queue.

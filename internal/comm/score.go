@@ -20,7 +20,7 @@ import (
 const scoreMinSamples = 3
 
 // routeEWMA is the per-route moving state behind RouteScores. All
-// fields are guarded by Endpoint.mu.
+// fields are guarded by Endpoint.scoreMu.
 type routeEWMA struct {
 	rttUs      float64 // EWMA of observed ack RTT, µs
 	goodputBps float64 // EWMA of observed goodput, bytes/sec
@@ -40,7 +40,7 @@ func (e *Endpoint) observeRouteAck(routeKey string, bytes int, elapsed time.Dura
 		rttUs = 1
 	}
 	bps := float64(bytes) / elapsed.Seconds()
-	e.mu.Lock()
+	e.scoreMu.Lock()
 	s := e.scoreFor(routeKey)
 	a := e.scoreAlpha
 	if s.samples == 0 {
@@ -51,7 +51,7 @@ func (e *Endpoint) observeRouteAck(routeKey string, bytes int, elapsed time.Dura
 	}
 	s.errRate *= 1 - a // success decays the failure estimate
 	s.samples++
-	e.mu.Unlock()
+	e.scoreMu.Unlock()
 }
 
 // observeRouteError folds one send failure into the route's error-rate
@@ -61,15 +61,15 @@ func (e *Endpoint) observeRouteError(routeKey string) {
 	if routeKey == "" {
 		return
 	}
-	e.mu.Lock()
+	e.scoreMu.Lock()
 	s := e.scoreFor(routeKey)
 	s.errRate += e.scoreAlpha * (1 - s.errRate)
 	s.errors++
-	e.mu.Unlock()
+	e.scoreMu.Unlock()
 }
 
 // scoreFor returns (creating if needed) the EWMA state for a route
-// key. Caller holds e.mu.
+// key. Caller holds e.scoreMu.
 func (e *Endpoint) scoreFor(routeKey string) *routeEWMA {
 	s, ok := e.scores[routeKey]
 	if !ok {
@@ -85,7 +85,8 @@ func (e *Endpoint) scoreFor(routeKey string) *routeEWMA {
 //
 // where capacity (bytes/sec) and latency come from the route's EWMAs
 // once scoreMinSamples observations exist, and from the advertised
-// RateBps/LatencyUs before that. Higher is better. Caller holds e.mu.
+// RateBps/LatencyUs before that. Higher is better. Caller holds
+// e.scoreMu.
 func (e *Endpoint) routeScoreLocked(r Route) float64 {
 	s := e.scores[r.String()]
 	capacity := r.RateBps / 8 // advertised bits/sec → bytes/sec prior
@@ -127,7 +128,7 @@ func (e *Endpoint) orderRoutesAdaptive(local, remote []Route) []Route {
 		score  float64
 	}
 	ranked := make([]scored, len(ordered))
-	e.mu.Lock()
+	e.scoreMu.Lock()
 	for i, r := range ordered {
 		ranked[i] = scored{
 			route:  r,
@@ -135,7 +136,7 @@ func (e *Endpoint) orderRoutesAdaptive(local, remote []Route) []Route {
 			score:  e.routeScoreLocked(r),
 		}
 	}
-	e.mu.Unlock()
+	e.scoreMu.Unlock()
 	sort.SliceStable(ranked, func(i, j int) bool {
 		if ranked[i].shared != ranked[j].shared {
 			return ranked[i].shared
@@ -166,7 +167,7 @@ type RouteScore struct {
 // advertised-profile prior (routes the endpoint has never used score
 // from defaults), so it is primarily useful for routes with Samples>0.
 func (e *Endpoint) RouteScores() []RouteScore {
-	e.mu.Lock()
+	e.scoreMu.Lock()
 	out := make([]RouteScore, 0, len(e.scores))
 	for key, s := range e.scores {
 		r, err := ParseRoute(key)
@@ -183,7 +184,7 @@ func (e *Endpoint) RouteScores() []RouteScore {
 			Errors:     s.errors,
 		})
 	}
-	e.mu.Unlock()
+	e.scoreMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
 	return out
 }

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardIndexStableAndBounded pins the shard-hash contract: a
+// destination always maps to the same shard, and every shard index is
+// in range. (Distribution quality is a benchmark concern; correctness
+// only needs stability.)
+func TestShardIndexStableAndBounded(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		dst := fmt.Sprintf("urn:shard:%d", i)
+		idx := shardIndex(dst)
+		if idx >= sendShardCount {
+			t.Fatalf("shardIndex(%q) = %d out of range", dst, idx)
+		}
+		if again := shardIndex(dst); again != idx {
+			t.Fatalf("shardIndex(%q) unstable: %d then %d", dst, idx, again)
+		}
+	}
+}
+
+// TestShardedSendersPerDestinationOrdering hammers ONE endpoint from
+// many goroutines fanning out to several destinations, and checks the
+// invariant the sharding must preserve: per-(src,dst) sequence numbers
+// are dense and deliveries arrive in sequence order at every
+// destination. Run under -race this is also the shard-locking test.
+func TestShardedSendersPerDestinationOrdering(t *testing.T) {
+	res := newTestResolver()
+	a := newTestEndpoint(t, "urn:shard-src", res, WithBufferLimit(1<<14))
+
+	const nDsts, nSenders, perSender = 4, 8, 25
+	total := nSenders * perSender // per destination
+	type sink struct {
+		mu   sync.Mutex
+		seqs []uint64
+	}
+	sinks := make([]*sink, nDsts)
+	for d := 0; d < nDsts; d++ {
+		s := &sink{}
+		sinks[d] = s
+		newTestEndpoint(t, fmt.Sprintf("urn:shard-dst%d", d), res, WithHandler(func(m *Message) {
+			s.mu.Lock()
+			s.seqs = append(s.seqs, m.Seq)
+			s.mu.Unlock()
+		}))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < nSenders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				for d := 0; d < nDsts; d++ {
+					if err := a.Send(fmt.Sprintf("urn:shard-dst%d", d), 1, []byte("x")); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 15*time.Second, func() bool {
+		for _, s := range sinks {
+			s.mu.Lock()
+			n := len(s.seqs)
+			s.mu.Unlock()
+			if n < total {
+				return false
+			}
+		}
+		return true
+	}, "not all messages delivered")
+
+	for d, s := range sinks {
+		s.mu.Lock()
+		seqs := append([]uint64(nil), s.seqs...)
+		s.mu.Unlock()
+		if len(seqs) != total {
+			t.Fatalf("dst %d: %d deliveries, want %d", d, len(seqs), total)
+		}
+		for i, seq := range seqs {
+			if seq != uint64(i+1) {
+				t.Fatalf("dst %d: delivery %d has seq %d — order broken or seq not dense", d, i, seq)
+			}
+		}
+	}
+	// Everything acked: the endpoint-wide buffer accounting returns to
+	// zero despite all the cross-shard traffic.
+	waitFor(t, 10*time.Second, func() bool { return a.Pending() == 0 }, "buffers not drained")
+}
+
+// TestShardedBufferLimitExactAccounting races many senders into a
+// fixed buffer limit against an unknown peer: exactly limit sends may
+// succeed, every other send must fail with ErrBufferFull (the atomic
+// reserve-then-back-out accounting can neither leak nor over-admit).
+// Registering the peer then drains the buffer back to exactly zero.
+func TestShardedBufferLimitExactAccounting(t *testing.T) {
+	const limit = 64
+	res := newTestResolver()
+	a := newTestEndpoint(t, "urn:acct-src", res, WithBufferLimit(limit))
+
+	var ok, full, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2 * limit / 8; i++ {
+				switch err := a.Send("urn:acct-late", 1, []byte("x")); {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrBufferFull):
+					full.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("%d sends failed with unexpected errors", other.Load())
+	}
+	if ok.Load() != limit || full.Load() != limit {
+		t.Fatalf("admitted %d, refused %d; want exactly %d each", ok.Load(), full.Load(), limit)
+	}
+	if got := a.Pending(); got != limit {
+		t.Fatalf("Pending() = %d, want %d", got, limit)
+	}
+
+	// The destination comes up late: the buffered messages drain to
+	// exactly zero and the limit frees up again.
+	var delivered atomic.Int64
+	newTestEndpoint(t, "urn:acct-late", res, WithHandler(func(m *Message) { delivered.Add(1) }))
+	waitFor(t, 15*time.Second, func() bool { return a.Pending() == 0 }, "buffers not drained")
+	if got := delivered.Load(); got != limit {
+		t.Fatalf("delivered %d messages, want %d", got, limit)
+	}
+	if err := a.Send("urn:acct-late", 1, []byte("freed")); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+}
+
+// BenchmarkEndpointConcurrentSend measures the sharded send path under
+// parallel producers on a single endpoint — the contention profile the
+// send-queue sharding exists to fix. Destinations are spread across
+// shards so the benchmark exercises shard parallelism, not one queue.
+func BenchmarkEndpointConcurrentSend(b *testing.B) {
+	res := newTestResolver()
+	const nDsts = 8
+	src := newLocalTestEndpoint(b, "urn:bench-src", "inproc", "", res,
+		WithBufferLimit(1<<17))
+	for d := 0; d < nDsts; d++ {
+		newLocalTestEndpoint(b, fmt.Sprintf("urn:bench-dst%d", d), "inproc", "", res,
+			WithHandler(func(m *Message) {}))
+	}
+	payload := []byte("benchmark-payload-64-bytes-0123456789abcdef0123456789abcdef!!")
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			dst := fmt.Sprintf("urn:bench-dst%d", i%nDsts)
+			i++
+			if err := src.SendWaitContext(ctx, dst, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -45,6 +45,13 @@ type stripeState struct {
 	requeues int
 	canceled bool
 
+	// lastAck is the stall clock: the last time acknowledgement
+	// progress was made (or stalled routes were failed, which restarts
+	// the clock for the survivors). Only acks — not sends — count as
+	// progress, so a sender that keeps pushing fragments into a black
+	// hole still trips the stall window.
+	lastAck time.Time
+
 	// gen/waitCh implement a timed condition wait (sync.Cond cannot):
 	// every state change bumps gen and closes waitCh.
 	gen    uint64
@@ -61,6 +68,7 @@ func newStripe(frags []*msgFrame) *stripeState {
 		perRoute: make(map[string]int),
 		failed:   make(map[string]bool),
 		unsent:   len(frags),
+		lastAck:  time.Now(),
 		waitCh:   make(chan struct{}),
 	}
 	for i := range frags {
@@ -80,10 +88,10 @@ func (s *stripeState) broadcastLocked() {
 // honouring its in-flight window. It blocks while the worker has
 // nothing to do but the stripe is still in progress. Returns ok=false
 // when the worker should exit: the stripe is complete or canceled,
-// the route has been declared failed, or nothing has progressed for a
-// full stall window (in which case every route with fragments in
-// flight — possibly including this one — is failed and requeued, and
-// surviving callers re-enter to pick the fragments up).
+// the route has been declared failed, or no acknowledgement has
+// arrived for a full stall window (in which case every route with
+// fragments in flight — possibly including this one — is failed and
+// requeued, and surviving callers re-enter to pick the fragments up).
 func (s *stripeState) next(routeKey string, window int, stall time.Duration) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -100,38 +108,52 @@ func (s *stripeState) next(routeKey string, window int, stall time.Duration) (in
 			s.perRoute[routeKey]++
 			return idx, true
 		}
-		if !s.waitProgressLocked(stall) {
-			// Nothing moved for a full stall window: acknowledgements
-			// have dried up. Fail every route still holding fragments;
-			// the whole-message retry path recovers if none survive.
+		// The stall deadline is measured from the last *acknowledgement*
+		// (sends into a dead conn must not feed the clock), and every
+		// worker waits on the same absolute deadline, so no worker
+		// sleeping through a broadcast can push it back.
+		now := time.Now()
+		deadline := s.lastAck.Add(stall)
+		if !now.Before(deadline) {
+			// Acknowledgements have dried up for a full stall window.
+			// Fail every route still holding fragments and restart the
+			// stall clock for the survivors; the whole-message retry
+			// path recovers if none survive.
 			for key, n := range s.perRoute {
 				if n > 0 && !s.failed[key] {
 					s.failRouteLocked(key)
 				}
 			}
+			s.lastAck = now
 			if s.failed[routeKey] {
 				return 0, false
 			}
+			continue
 		}
+		s.waitLocked(deadline.Sub(now))
+		// Re-check everything from the top: a cancel, completion or
+		// requeue may have arrived while waiting, and the stall clock
+		// may have been fed. (The old code treated *any* wakeup —
+		// including mere sends — as progress, so a stripe pushing
+		// fragments without ever being acked never tripped the stall,
+		// and a cancel racing the timer could strand the decision a
+		// full extra window.)
 	}
 }
 
-// waitProgressLocked releases s.mu until the stripe's state changes or
-// the stall window elapses, then reacquires it. It reports whether any
-// progress happened while waiting.
-func (s *stripeState) waitProgressLocked(stall time.Duration) bool {
-	gen := s.waitCh
+// waitLocked releases s.mu until the stripe's state changes or d
+// elapses, then reacquires it. Callers re-derive what happened from
+// state; the wakeup itself carries no verdict.
+func (s *stripeState) waitLocked(d time.Duration) {
+	ch := s.waitCh
 	s.mu.Unlock()
-	t := time.NewTimer(stall)
+	t := time.NewTimer(d)
 	select {
-	case <-gen:
+	case <-ch:
 	case <-t.C:
 	}
 	t.Stop()
 	s.mu.Lock()
-	// Closed waitCh means at least one broadcast fired; comparing the
-	// channel pointer detects it even after the timer also expired.
-	return gen != s.waitCh
 }
 
 // sent marks a reserved fragment as pushed into its conn. If the
@@ -177,6 +199,7 @@ func (s *stripeState) ackFrag(idx int) (routeKey string, bytes int, elapsed time
 	}
 	s.state[idx] = fragAcked
 	s.acked++
+	s.lastAck = time.Now()
 	s.broadcastLocked()
 	return routeKey, len(s.frags[idx].Payload), time.Since(s.sentAt[idx]), routeKey != ""
 }
@@ -288,21 +311,30 @@ func (e *Endpoint) transmitStriped(om *outMsg, local, routes []Route) (handled b
 	}
 	s := newStripe(frags)
 	skey := reasmKey{m.Src, m.Dst, m.Seq}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return true, ErrClosed
 	}
+	e.stripeMu.Lock()
 	e.stripes[skey] = s
-	e.mu.Unlock()
+	e.stripeMu.Unlock()
 	e.mStriped.Inc()
 	defer func() {
-		e.mu.Lock()
+		e.stripeMu.Lock()
 		if e.stripes[skey] == s {
 			delete(e.stripes, skey)
 		}
-		e.mu.Unlock()
+		e.stripeMu.Unlock()
 	}()
+
+	// The stall window adapts to the participating routes: once they
+	// have RTT history, waiting a fixed multi-second window to declare
+	// a microsecond-RTT route dead wastes the whole transfer's latency
+	// budget.
+	keys := make([]string, len(rcs))
+	for i, rc := range rcs {
+		keys[i] = rc.key
+	}
+	stall := e.stripeStallFor(keys)
 
 	// A whole-message ack (e.g. the receiver had already accepted this
 	// sequence from an earlier attempt) or endpoint shutdown moots the
@@ -323,7 +355,7 @@ func (e *Endpoint) transmitStriped(om *outMsg, local, routes []Route) (handled b
 		wg.Add(1)
 		go func(rc routeConn) {
 			defer wg.Done()
-			e.stripeWorker(s, rc.key, rc.conn)
+			e.stripeWorker(s, rc.key, rc.conn, stall)
 		}(rc)
 	}
 	wg.Wait()
@@ -340,13 +372,45 @@ func (e *Endpoint) transmitStriped(om *outMsg, local, routes []Route) (handled b
 	return true, nil
 }
 
+// stripeStallMin floors the adaptive stall window: below this, benign
+// scheduling hiccups would fail healthy routes.
+const stripeStallMin = 50 * time.Millisecond
+
+// stripeStallFor derives the stall window for a stripe across the
+// given routes: 8× the slowest participating route's EWMA ack RTT —
+// several losses deep, but proportionate to the media — clamped to
+// [stripeStallMin, e.stripeStall]. Routes without enough history
+// contribute nothing; with no history at all, the configured ceiling
+// applies unchanged.
+func (e *Endpoint) stripeStallFor(routeKeys []string) time.Duration {
+	var maxRTTUs float64
+	e.scoreMu.Lock()
+	for _, key := range routeKeys {
+		if s := e.scores[key]; s != nil && s.samples >= scoreMinSamples && s.rttUs > maxRTTUs {
+			maxRTTUs = s.rttUs
+		}
+	}
+	e.scoreMu.Unlock()
+	if maxRTTUs <= 0 {
+		return e.stripeStall
+	}
+	stall := time.Duration(maxRTTUs*8) * time.Microsecond
+	if stall < stripeStallMin {
+		stall = stripeStallMin
+	}
+	if stall > e.stripeStall {
+		stall = e.stripeStall
+	}
+	return stall
+}
+
 // stripeWorker pulls fragments for one route until the stripe
 // completes or the route dies.
-func (e *Endpoint) stripeWorker(s *stripeState, routeKey string, conn FrameConn) {
+func (e *Endpoint) stripeWorker(s *stripeState, routeKey string, conn FrameConn, stall time.Duration) {
 	enc := getFrameEncoder()
 	defer putFrameEncoder(enc)
 	for {
-		idx, ok := s.next(routeKey, e.stripeWindow, e.stripeStall)
+		idx, ok := s.next(routeKey, e.stripeWindow, stall)
 		if !ok {
 			return
 		}

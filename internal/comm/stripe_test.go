@@ -314,3 +314,114 @@ func TestStripePayloadPoolSurvivesRetryRace(t *testing.T) {
 		}
 	}
 }
+
+// TestStripeCancelReleasesWorkers is the lost-wakeup regression test:
+// workers blocked in next() with nothing to pull (queue drained by
+// another route, stall window far away) must be released promptly when
+// cancel() races in — not strand until the stall deadline.
+func TestStripeCancelReleasesWorkers(t *testing.T) {
+	frags := fragment("s", "d", 1, 1, patternPayload(1, 400), 100, flagStriped)
+	s := newStripe(frags)
+	// One route claims every fragment so the others find the queue
+	// empty and wait.
+	for range frags {
+		if _, ok := s.next("r1", len(frags), time.Hour); !ok {
+			t.Fatal("initial claim failed")
+		}
+	}
+	const nWaiters = 4
+	done := make(chan time.Duration, nWaiters)
+	for i := 0; i < nWaiters; i++ {
+		go func() {
+			start := time.Now()
+			if _, ok := s.next("r2", 4, time.Hour); ok {
+				t.Error("blocked worker got a fragment after cancel")
+			}
+			done <- time.Since(start)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the waiters reach the timed wait
+	s.cancel()
+	for i := 0; i < nWaiters; i++ {
+		select {
+		case d := <-done:
+			if d > 2*time.Second {
+				t.Fatalf("worker released only after %v; cancel wakeup lost", d)
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("worker never released after cancel: lost wakeup")
+		}
+	}
+}
+
+// TestStripeStallFailsSilentRoute: a route with fragments sent but no
+// acknowledgements for a full stall window is failed and its fragments
+// requeued; the stalled worker is released rather than spinning.
+func TestStripeStallFailsSilentRoute(t *testing.T) {
+	frags := fragment("s", "d", 1, 1, patternPayload(2, 400), 100, flagStriped)
+	s := newStripe(frags)
+	idx, ok := s.next("r1", 1, 60*time.Millisecond)
+	if !ok {
+		t.Fatal("no fragment claimed")
+	}
+	s.sent("r1", idx)
+	// Window full, no acks arriving: the next pull must wait out the
+	// stall window, fail "r1" and exit.
+	start := time.Now()
+	if _, ok := s.next("r1", 1, 60*time.Millisecond); ok {
+		t.Fatal("stalled route still pulling fragments")
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("stall verdict took %v; want ~the 60ms window", e)
+	}
+	s.mu.Lock()
+	requeues, failed := s.requeues, s.failed["r1"]
+	s.mu.Unlock()
+	if !failed || requeues == 0 {
+		t.Fatalf("stall did not fail the silent route: failed=%v requeues=%d", failed, requeues)
+	}
+}
+
+// TestStripeStallAdaptive exercises stripeStallFor: no history keeps
+// the configured ceiling; measured RTTs scale it to 8× the slowest
+// route, clamped to [stripeStallMin, ceiling].
+func TestStripeStallAdaptive(t *testing.T) {
+	e := NewEndpoint("urn:stall", WithStripeStall(5*time.Second))
+	defer e.Close()
+	keys := []string{"k-eth", "k-atm"}
+	if got := e.stripeStallFor(keys); got != 5*time.Second {
+		t.Fatalf("no history: stall = %v, want the 5s ceiling", got)
+	}
+	// One sample short of the threshold still keeps the ceiling.
+	for i := 0; i < scoreMinSamples-1; i++ {
+		e.observeRouteAck(keys[0], 1<<10, 10*time.Millisecond)
+	}
+	if got := e.stripeStallFor(keys); got != 5*time.Second {
+		t.Fatalf("below sample threshold: stall = %v, want the 5s ceiling", got)
+	}
+	// Enough history: 8× the slowest participating route's RTT.
+	e.observeRouteAck(keys[0], 1<<10, 10*time.Millisecond)
+	for i := 0; i < scoreMinSamples; i++ {
+		e.observeRouteAck(keys[1], 1<<10, 2*time.Millisecond)
+	}
+	got := e.stripeStallFor(keys)
+	if got < 75*time.Millisecond || got > 85*time.Millisecond {
+		t.Fatalf("adaptive stall = %v, want ~80ms (8 × 10ms)", got)
+	}
+	// Microsecond-RTT media clamp to the floor, not below it.
+	for i := 0; i < scoreMinSamples; i++ {
+		e.observeRouteAck("k-inproc", 1<<10, 100*time.Microsecond)
+	}
+	if got := e.stripeStallFor([]string{"k-inproc"}); got != stripeStallMin {
+		t.Fatalf("floor clamp: stall = %v, want %v", got, stripeStallMin)
+	}
+	// Very slow media clamp to the configured ceiling.
+	e2 := NewEndpoint("urn:stall-slow", WithStripeStall(200*time.Millisecond))
+	defer e2.Close()
+	for i := 0; i < scoreMinSamples; i++ {
+		e2.observeRouteAck("k-slow", 1<<10, time.Second)
+	}
+	if got := e2.stripeStallFor([]string{"k-slow"}); got != 200*time.Millisecond {
+		t.Fatalf("ceiling clamp: stall = %v, want 200ms", got)
+	}
+}

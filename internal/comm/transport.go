@@ -10,14 +10,19 @@ import (
 )
 
 // FrameConn is a reliable, ordered, message-boundary-preserving
-// connection between two endpoints. Both the TCP transport and the
-// selective-resend UDP transport present this interface, so the
-// endpoint layer is transport-agnostic — the paper's "multiple
+// connection between two endpoints. The TCP, Unix-socket, in-process
+// and selective-resend UDP transports all present this interface, so
+// the endpoint layer is transport-agnostic — the paper's "multiple
 // communication paths, media and routing methods".
 type FrameConn interface {
-	// Send transmits one frame.
+	// Send transmits one frame. The frame buffer is the caller's: every
+	// implementation either writes it out synchronously or copies it
+	// before returning, so the caller may reuse it immediately.
 	Send(frame []byte) error
-	// Recv returns the next frame.
+	// Recv returns the next frame. Ownership of the returned buffer
+	// transfers to the caller, which may recycle it via the payload
+	// pool once done (the endpoint read loop does); implementations
+	// never touch a returned buffer again.
 	Recv() ([]byte, error)
 	// Close releases the connection.
 	Close() error
@@ -49,11 +54,14 @@ type Transports struct {
 }
 
 // NewTransports returns a registry preloaded with the standard
-// transports: "tcp" and "rudp".
+// transports: "tcp", "rudp", and the co-located fast paths "unix" and
+// "inproc".
 func NewTransports() *Transports {
 	t := &Transports{m: make(map[string]Transport)}
 	t.Register(TCPTransport{})
 	t.Register(RUDPTransport{})
+	t.Register(UnixTransport{})
+	t.Register(InprocTransport{})
 	return t
 }
 
@@ -122,10 +130,12 @@ func (l *tcpListener) Accept() (FrameConn, error) {
 func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
 func (l *tcpListener) Close() error { return l.ln.Close() }
 
-// streamFrameConn adapts any net.Conn (a real TCP connection, or a
-// netsim shaped pipe) into a FrameConn with 4-byte length prefixes.
+// streamFrameConn adapts any net.Conn (a real TCP or Unix-socket
+// connection, or a netsim shaped pipe) into a FrameConn with 4-byte
+// length prefixes.
 type streamFrameConn struct {
 	conn net.Conn
+	mtu  int
 
 	rmu sync.Mutex // serialises Recv
 	wmu sync.Mutex // serialises Send
@@ -134,7 +144,17 @@ type streamFrameConn struct {
 // NewStreamFrameConn frames a byte-stream connection. It is exported
 // so benchmarks can run the endpoint stack over netsim media pipes.
 func NewStreamFrameConn(conn net.Conn) FrameConn {
-	return &streamFrameConn{conn: conn}
+	return newStreamFrameConnMTU(conn, tcpFragmentSize)
+}
+
+// newStreamFrameConnMTU frames a byte-stream connection with a custom
+// preferred frame size: local transports (unix) skip a real network
+// stack and amortise better with larger fragments.
+func newStreamFrameConnMTU(conn net.Conn, mtu int) FrameConn {
+	if mtu <= 0 || mtu > maxWireFrame {
+		mtu = tcpFragmentSize
+	}
+	return &streamFrameConn{conn: conn, mtu: mtu}
 }
 
 func (c *streamFrameConn) Send(frame []byte) error {
@@ -161,15 +181,19 @@ func (c *streamFrameConn) Recv() ([]byte, error) {
 	if n > maxWireFrame {
 		return nil, ErrBadFrame
 	}
-	buf := make([]byte, n)
+	// Pooled receive buffer: the caller owns it (see FrameConn.Recv)
+	// and recycles it once the frame is handled. Frames are bounded by
+	// maxWireFrame, so the buffer always lands in a right-sized class.
+	buf := getPayloadBuf(int(n))
 	if _, err := io.ReadFull(c.conn, buf); err != nil {
+		putPayloadBuf(buf)
 		return nil, err
 	}
 	return buf, nil
 }
 
 func (c *streamFrameConn) Close() error { return c.conn.Close() }
-func (c *streamFrameConn) MTU() int     { return tcpFragmentSize }
+func (c *streamFrameConn) MTU() int     { return c.mtu }
 func (c *streamFrameConn) RemoteAddr() string {
 	if a := c.conn.RemoteAddr(); a != nil {
 		return a.String()

@@ -1,0 +1,268 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Co-located fast paths. Tasks that share a host (daemon ↔ task) or a
+// process (netsim swarms, benchmarks) pay the full TCP loopback stack
+// for every frame under the default transport set. Two additional
+// transports close that gap behind the same Route abstraction:
+//
+//   - "unix": stream framing over a Unix domain socket — same
+//     streamFrameConn as TCP but without the IP stack, and with a
+//     larger preferred frame size since there is no wire MTU to
+//     respect.
+//   - "inproc": an in-process transport that moves pooled frame
+//     buffers over channels — no sockets, no syscalls. Addresses live
+//     in a process-global registry, so any two endpoints in one
+//     process can rendezvous by name.
+//
+// Both register in NewTransports, so a route of transport "unix" or
+// "inproc" resolves exactly like "tcp" does.
+
+// unixFragmentSize is the preferred frame size on Unix-socket
+// connections: larger than TCP's because fragmentation only buys
+// pipelining here, not wire fairness.
+const unixFragmentSize = 256 << 10
+
+// UnixTransport is the Unix domain socket transport: stream framing
+// identical to TCP's, minus the IP stack. Addresses are filesystem
+// socket paths.
+type UnixTransport struct{}
+
+// Name implements Transport.
+func (UnixTransport) Name() string { return "unix" }
+
+// Listen implements Transport. A leftover socket file from a crashed
+// process is removed and the bind retried, provided nothing answers on
+// it.
+func (UnixTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("unix", addr)
+	if err != nil && isUnixAddrInUse(err) && unixSocketStale(addr) {
+		os.Remove(addr)
+		ln, err = net.Listen("unix", addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("comm: unix listen %s: %w", addr, err)
+	}
+	return &unixListener{ln: ln}, nil
+}
+
+// Dial implements Transport.
+func (UnixTransport) Dial(addr string) (FrameConn, error) {
+	conn, err := net.DialTimeout("unix", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("comm: unix dial %s: %w", addr, err)
+	}
+	return newStreamFrameConnMTU(conn, unixFragmentSize), nil
+}
+
+// isUnixAddrInUse reports whether a unix listen failed because the
+// socket path already exists.
+func isUnixAddrInUse(err error) bool {
+	return errors.Is(err, syscall.EADDRINUSE)
+}
+
+// unixSocketStale reports whether nothing is accepting on the socket
+// path (a previous owner died without unlinking it).
+func unixSocketStale(addr string) bool {
+	conn, err := net.DialTimeout("unix", addr, 250*time.Millisecond)
+	if err != nil {
+		return true
+	}
+	conn.Close()
+	return false
+}
+
+type unixListener struct{ ln net.Listener }
+
+func (l *unixListener) Accept() (FrameConn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newStreamFrameConnMTU(conn, unixFragmentSize), nil
+}
+
+func (l *unixListener) Addr() string { return l.ln.Addr().String() }
+func (l *unixListener) Close() error { return l.ln.Close() }
+
+// --- In-process transport ------------------------------------------
+
+// inprocMTU is the preferred frame size for in-process connections;
+// frames never touch a wire, so the only ceiling is the wire-frame
+// decode bound (minus slack for frame headers and XDR padding). Larger
+// frames mean fewer channel hand-offs and, for messages that fit in
+// one frame, no reassembly copy at all.
+const inprocMTU = maxWireFrame - 256
+
+// inprocChanDepth is the per-direction frame queue depth; a full queue
+// applies backpressure to Send rather than dropping.
+const inprocChanDepth = 256
+
+var (
+	inprocMu        sync.Mutex
+	inprocListeners = make(map[string]*inprocListener)
+	inprocAutoAddr  atomic.Uint64
+)
+
+// InprocTransport connects endpoints living in the same process
+// through channel-backed FrameConns. Addresses are arbitrary unique
+// names in a process-global namespace; an empty listen address
+// auto-assigns one.
+type InprocTransport struct{}
+
+// Name implements Transport.
+func (InprocTransport) Name() string { return "inproc" }
+
+// Listen implements Transport.
+func (InprocTransport) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = fmt.Sprintf("inproc-%d", inprocAutoAddr.Add(1))
+	}
+	l := &inprocListener{addr: addr, accept: make(chan *inprocConn, 16), done: make(chan struct{})}
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if _, taken := inprocListeners[addr]; taken {
+		return nil, fmt.Errorf("comm: inproc address %q already in use", addr)
+	}
+	inprocListeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (InprocTransport) Dial(addr string) (FrameConn, error) {
+	inprocMu.Lock()
+	l := inprocListeners[addr]
+	inprocMu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("comm: inproc dial %s: no listener", addr)
+	}
+	dialer, acceptee := newInprocPair(addr)
+	select {
+	case l.accept <- acceptee:
+		return dialer, nil
+	case <-l.done:
+		return nil, fmt.Errorf("comm: inproc dial %s: listener closed", addr)
+	}
+}
+
+type inprocListener struct {
+	addr      string
+	accept    chan *inprocConn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *inprocListener) Accept() (FrameConn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		inprocMu.Lock()
+		if inprocListeners[l.addr] == l {
+			delete(inprocListeners, l.addr)
+		}
+		inprocMu.Unlock()
+	})
+	return nil
+}
+
+// inprocConn is one direction-pair endpoint of an in-process
+// connection: it receives from its own queue and sends into the
+// peer's. Send copies the frame into a pooled buffer, preserving the
+// FrameConn contract that the caller's buffer is reusable immediately
+// and the receiver owns what Recv returns.
+type inprocConn struct {
+	addr     string
+	recv     chan []byte
+	send     chan []byte
+	ownDone  chan struct{}
+	peerDone chan struct{}
+	once     sync.Once
+}
+
+// newInprocPair builds the two connected halves.
+func newInprocPair(addr string) (dialer, acceptee *inprocConn) {
+	aToB := make(chan []byte, inprocChanDepth)
+	bToA := make(chan []byte, inprocChanDepth)
+	doneA := make(chan struct{})
+	doneB := make(chan struct{})
+	dialer = &inprocConn{addr: addr, recv: bToA, send: aToB, ownDone: doneA, peerDone: doneB}
+	acceptee = &inprocConn{addr: addr, recv: aToB, send: bToA, ownDone: doneB, peerDone: doneA}
+	return dialer, acceptee
+}
+
+func (c *inprocConn) Send(frame []byte) error {
+	if len(frame) > maxWireFrame {
+		return ErrTooLarge
+	}
+	select {
+	case <-c.ownDone:
+		return ErrClosed
+	case <-c.peerDone:
+		return ErrClosed
+	default:
+	}
+	cp := getPayloadBuf(len(frame))
+	copy(cp, frame)
+	select {
+	case c.send <- cp:
+		return nil
+	case <-c.ownDone:
+		putPayloadBuf(cp)
+		return ErrClosed
+	case <-c.peerDone:
+		putPayloadBuf(cp)
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	// Drain queued frames even after a close, so nothing already sent
+	// is lost to teardown ordering.
+	select {
+	case f := <-c.recv:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.ownDone:
+		return nil, ErrClosed
+	case <-c.peerDone:
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.ownDone) })
+	return nil
+}
+
+func (c *inprocConn) MTU() int { return inprocMTU }
+
+func (c *inprocConn) RemoteAddr() string { return "inproc:" + c.addr }
