@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	snipe-bench -experiment fig1|multipath|commtail|mpiconnect|availability|multicast|migration|scalability|failover|liveness|rudploss|all
+//	snipe-bench -experiment fig1|multipath|commtail|mpiconnect|availability|multicast|migration|scalability|failover|liveness|service|rudploss|all
 //	snipe-bench -experiment fig1 -quick
 package main
 
@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"snipe/internal/bench"
 	"snipe/internal/netsim"
@@ -26,6 +27,7 @@ var (
 	mpOut      = flag.String("multipath-out", "BENCH_multipath.json", "path for the multipath JSON artifact (empty to skip)")
 	floOut     = flag.String("failover-out", "BENCH_failover.json", "path for the liveness/detection JSON artifact (empty to skip)")
 	ctOut      = flag.String("commtail-out", "BENCH_commtail.json", "path for the comm tail-latency JSON artifact (empty to skip)")
+	svcOut     = flag.String("service-out", "BENCH_service.json", "path for the service-group kill JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -40,12 +42,13 @@ func main() {
 		"scalability":  runScalability,
 		"failover":     runFailover,
 		"liveness":     runLiveness,
+		"service":      runService,
 		"rudploss":     runRUDPLoss,
 		"paths":        runPaths,
 		"multipath":    runMultipath,
 		"commtail":     runCommTail,
 	}
-	order := []string{"fig1", "multipath", "commtail", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "rudploss", "paths"}
+	order := []string{"fig1", "multipath", "commtail", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "service", "rudploss", "paths"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -415,6 +418,47 @@ func runLiveness() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d points)\n", *floOut, len(points))
+	}
+	return nil
+}
+
+func runService() error {
+	fmt.Println("== service: replicated service group under a mid-run host kill (zero failed calls) ==")
+	warm, post := 1500*time.Millisecond, 1200*time.Millisecond
+	if *quick {
+		warm, post = 500*time.Millisecond, 500*time.Millisecond
+	}
+	res, err := bench.MeasureServiceKill(3, 4, 32<<10, warm, post)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "phase\tsecs\tcalls\tfailures\tcalls/s\tp50 ms\tp99 ms")
+	for _, p := range res.Phases {
+		fmt.Fprintf(w, "%s\t%.2f\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			p.Phase, p.Secs, p.Calls, p.Failures, p.CallsPerSec, p.P50Ms, p.P99Ms)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("killed %s: suspected after %.1f ms, out of rotation after %.1f ms\n",
+		res.KilledHost, res.SuspectMs, res.RebalanceMs)
+	// The claims under test: the kill is detected, the balancer reacts,
+	// and no client call fails at any point of the run.
+	if res.SuspectMs < 0 {
+		return fmt.Errorf("service: killed host never suspected")
+	}
+	if res.RebalanceMs < 0 {
+		return fmt.Errorf("service: killed replica never left the rotation")
+	}
+	if res.Failures != 0 {
+		return fmt.Errorf("service: %d of %d calls failed; want zero", res.Failures, res.Calls)
+	}
+	if *svcOut != "" {
+		if err := bench.WriteServiceArtifact(*svcOut, res, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d calls)\n", *svcOut, res.Calls)
 	}
 	return nil
 }

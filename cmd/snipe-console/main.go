@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"snipe/internal/console"
+	"snipe/internal/naming"
 	"snipe/internal/rcds"
 )
 
@@ -46,12 +47,13 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec)
 	defer client.Close()
+	cat := naming.ClientCatalog(client)
 	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelPing()
-	if _, err := client.PingContext(pingCtx); err != nil {
+	if _, err := client.Ping(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
-	con, err := console.New(*name, client)
+	con, err := console.New(*name, cat)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"snipe/internal/daemon"
+	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/task"
 )
@@ -40,9 +41,10 @@ func main() {
 
 	client := rcds.NewClient(strings.Split(*rc, ","), secretBytes(*secret), rcds.WithReadCache())
 	defer client.Close()
+	cat := naming.ClientCatalog(client)
 	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelPing()
-	if _, err := client.PingContext(pingCtx); err != nil {
+	if _, err := client.Ping(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 
@@ -54,7 +56,7 @@ func main() {
 		Arch:     *arch,
 		CPUs:     *cpus,
 		MemoryMB: *memMB,
-		Catalog:  client,
+		Catalog:  cat,
 		Registry: reg,
 		Listens:  []daemon.ListenSpec{{Transport: "tcp", Addr: *listen}},
 	})

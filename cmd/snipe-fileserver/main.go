@@ -40,12 +40,13 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec, rcds.WithReadCache())
 	defer client.Close()
+	cat := naming.ClientCatalog(client)
 	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelPing()
-	if _, err := client.PingContext(pingCtx); err != nil {
+	if _, err := client.Ping(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
-	fs, err := fileserv.NewServer(*name, client, nil)
+	fs, err := fileserv.NewServer(*name, cat, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,13 +66,13 @@ func main() {
 	var rep *fileserv.Replicator
 	if *replicas > 0 {
 		ep := comm.NewEndpoint(naming.ProcessURN(*name, "replicator"),
-			comm.WithResolver(naming.NewResolver(client)))
+			comm.WithResolver(naming.NewResolver(cat)))
 		route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		naming.Register(client, ep.URN(), []comm.Route{route})
-		rep = fileserv.NewReplicator(fileserv.NewClient(client, ep),
+		naming.Register(cat, ep.URN(), []comm.Route{route})
+		rep = fileserv.NewReplicator(fileserv.NewClient(cat, ep),
 			fileserv.ReplicationPolicy{MinReplicas: *replicas, Interval: 2 * time.Second})
 		rep.Start()
 		defer ep.Close()

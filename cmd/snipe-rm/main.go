@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/rm"
 )
@@ -34,12 +35,13 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec, rcds.WithReadCache())
 	defer client.Close()
+	cat := naming.ClientCatalog(client)
 	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelPing()
-	if _, err := client.PingContext(pingCtx); err != nil {
+	if _, err := client.Ping(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
-	m, err := rm.NewManager(*name, client, nil)
+	m, err := rm.NewManager(*name, cat, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

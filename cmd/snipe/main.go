@@ -61,24 +61,25 @@ func main() {
 	}
 	client := rcds.NewClient(strings.Split(*rc, ","), sec)
 	defer client.Close()
+	cat := naming.ClientCatalog(client)
 	pingCtx, cancelPing := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelPing()
-	if _, err := client.PingContext(pingCtx); err != nil {
+	if _, err := client.Ping(pingCtx); err != nil {
 		log.Fatalf("RC servers unreachable: %v", err)
 	}
 
 	// A transient client process with its own URN.
 	urn := naming.ProcessURN("cli", fmt.Sprintf("snipe-%d", os.Getpid()))
-	ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(client)))
+	ep := comm.NewEndpoint(urn, comm.WithResolver(naming.NewResolver(cat)))
 	defer ep.Close()
 	route, err := ep.Listen(comm.ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	naming.Register(client, urn, []comm.Route{route})
-	defer naming.Unregister(client, urn)
+	naming.Register(cat, urn, []comm.Route{route})
+	defer naming.Unregister(cat, urn)
 
-	c := &cli{cat: client, ep: ep}
+	c := &cli{cat: cat, ep: ep}
 	if err := c.run(args, *timeout); err != nil {
 		log.Fatal(err)
 	}

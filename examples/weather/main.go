@@ -2,15 +2,25 @@
 // and prediction of catastrophic conditions" — distributed data
 // collection over reliable multicast, a forecaster aggregating the
 // feed, and continued operation while a multicast router fails.
+//
+// Act two exercises the service layer: the forecast is published as a
+// replicated service group ("forecast", three replicas), a swarm of
+// consumers queries it over streaming RPC, and one replica is killed
+// mid-swarm — every query still answers, because the group's client
+// retries on the surviving replicas.
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"time"
 
+	"snipe/internal/comm"
 	"snipe/internal/core"
 	"snipe/internal/mcast"
+	"snipe/internal/service"
 	"snipe/internal/task"
 	"snipe/internal/xdr"
 )
@@ -140,6 +150,84 @@ func main() {
 		fmt.Println("forecast: severe storm — issuing warning")
 	}
 	_ = tagForecast
+
+	// --- act two: the forecast as a replicated service group ---------
+	forecast := fmt.Sprintf("storm warning: mean pressure %.1f, minimum %d at %s",
+		float64(sum)/float64(count), minReading, minStation)
+
+	var replicas []*service.Server
+	for i := 1; i <= 3; i++ {
+		rep, err := u.NewClient(fmt.Sprintf("forecast-r%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rep.Close()
+		srv, err := service.NewServer(service.ServerConfig{
+			Name:     "forecast",
+			Catalog:  u.Catalog(),
+			Endpoint: rep.Endpoint(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		srv.Handle("current", func(ctx context.Context, st *comm.Stream) error {
+			for { // drain the (empty) request side
+				if _, err := st.Read(ctx); err == io.EOF {
+					break
+				} else if err != nil {
+					return err
+				}
+			}
+			return st.Write(ctx, []byte(forecast))
+		})
+		replicas = append(replicas, srv)
+	}
+
+	consumer, err := u.NewClient("consumer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer consumer.Close()
+	cli, err := service.NewClient(service.ClientConfig{
+		Service:        "forecast",
+		Catalog:        u.Catalog(),
+		Endpoint:       consumer.Endpoint(),
+		AttemptTimeout: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	const queries = 30
+	failures := 0
+	for q := 0; q < queries; q++ {
+		if q == queries/3 {
+			// Mid-swarm, one replica drains out gracefully...
+			if err := replicas[0].Drain(context.Background()); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("!! forecast replica 1 drained; queries continue")
+		}
+		if q == 2*queries/3 {
+			// ...and a second one is killed cold.
+			replicas[1].Mux().Endpoint().Close()
+			fmt.Println("!! forecast replica 2 crashed; queries continue")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := cli.Call(ctx, "current", nil)
+		cancel()
+		if err != nil || string(resp) != forecast {
+			failures++
+			log.Printf("query %d failed: %v (%q)", q, err, resp)
+		}
+	}
+	fmt.Printf("forecast service answered %d/%d queries across a drain and a crash\n",
+		queries-failures, queries)
+	if failures > 0 {
+		log.Fatalf("%d forecast queries failed; the group should have absorbed both losses", failures)
+	}
 }
 
 // joinGroupFromTask joins a multicast group using the task's own

@@ -115,7 +115,7 @@ func MeasurePath(path string, msgSize, iters int) (PathPoint, error) {
 	go func() {
 		for i := 0; i < warmup+iters; i++ {
 			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-			m, err := pe.b.RecvMatchContext(rctx, "", 1)
+			m, err := pe.b.RecvMatch(rctx, "", 1)
 			cancel()
 			if err != nil {
 				errCh <- err
@@ -134,7 +134,7 @@ func MeasurePath(path string, msgSize, iters int) (PathPoint, error) {
 		}
 		rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		_, err := pe.a.RecvMatchContext(rctx, "", 2)
+		_, err := pe.a.RecvMatch(rctx, "", 2)
 		return err
 	}
 	for i := 0; i < warmup; i++ {

@@ -19,7 +19,7 @@ import (
 // latency distribution — the quantity the send-queue sharding, ack
 // coalescing and pooled receive path exist to protect. A fleet of
 // sender endpoints converges on one sink over the in-process
-// transport; every SendWaitContext round-trip is an exact latency
+// transport; every SendWait round-trip is an exact latency
 // sample (no histogram buckets), so p50/p99/p999 are order statistics
 // of the real distribution. A single-stream goodput comparison across
 // tcp-loopback, unix and inproc pins down what the local transports
@@ -134,7 +134,7 @@ func MeasureCommTail(endpoints, msgs, msgSize int) (CommTailPoint, error) {
 		warm.Add(1)
 		go func(i int, e *comm.Endpoint) {
 			defer warm.Done()
-			if err := e.SendWaitContext(ctx, sinkURN, 1, payload); err != nil {
+			if err := e.SendWait(ctx, sinkURN, 1, payload); err != nil {
 				errs <- fmt.Errorf("bench: commtail warmup %d: %w", i, err)
 			}
 		}(i, e)
@@ -155,7 +155,7 @@ func MeasureCommTail(endpoints, msgs, msgSize int) (CommTailPoint, error) {
 			lat := make([]time.Duration, 0, msgs)
 			for j := 0; j < msgs; j++ {
 				t0 := time.Now()
-				if err := e.SendWaitContext(ctx, sinkURN, 1, payload); err != nil {
+				if err := e.SendWait(ctx, sinkURN, 1, payload); err != nil {
 					errs <- fmt.Errorf("bench: commtail sender %d msg %d: %w", i, j, err)
 					return
 				}

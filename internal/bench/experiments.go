@@ -157,7 +157,7 @@ func MeasureAvailabilitySNIPE(replicas, queries int, downFraction float64) (E3Re
 	client := rcds.NewClient(addrs, nil)
 	defer client.Close()
 	client.SetTimeout(300 * time.Millisecond)
-	if err := client.SetContext(context.Background(), "urn:av", "k", "v"); err != nil {
+	if err := client.Set(context.Background(), "urn:av", "k", "v"); err != nil {
 		return res, err
 	}
 
@@ -178,7 +178,7 @@ func MeasureAvailabilitySNIPE(replicas, queries int, downFraction float64) (E3Re
 			}
 		}
 		res.Queries++
-		if _, _, err := client.FirstValueContext(context.Background(), "urn:av", "k"); err != nil {
+		if _, _, err := client.FirstValue(context.Background(), "urn:av", "k"); err != nil {
 			res.Failures++
 		}
 	}
@@ -415,7 +415,7 @@ func MeasureMigration(buffering bool, msgs int) (E5Result, error) {
 	// Collect acknowledgements until quiet.
 	for {
 		rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		_, err := controller.RecvMatchContext(rctx, "", 2)
+		_, err := controller.RecvMatch(rctx, "", 2)
 		cancel()
 		if err != nil {
 			break
@@ -604,7 +604,7 @@ func MeasureFailover(buffering bool, msgs int) (E7Result, error) {
 		last := time.Now()
 		for i := 0; i < msgs; i++ {
 			rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			_, err := receiver.RecvContext(rctx)
+			_, err := receiver.Recv(rctx)
 			cancel()
 			if err != nil {
 				return
@@ -673,7 +673,7 @@ func MeasureRUDPLoss(loss float64, msgSize, msgs int, seed uint64) (LossPoint, e
 	go func() {
 		for i := 0; i < msgs; i++ {
 			rctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-			_, err := b.RecvContext(rctx)
+			_, err := b.Recv(rctx)
 			cancel()
 			if err != nil {
 				return

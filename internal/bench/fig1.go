@@ -118,7 +118,7 @@ func MeasureFig1(medium netsim.Profile, transport string, msgSize int, seed uint
 	go func() {
 		for i := 0; i < n; i++ {
 			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-			_, err := b.RecvContext(rctx)
+			_, err := b.Recv(rctx)
 			cancel()
 			if err != nil {
 				return

@@ -94,7 +94,7 @@ func measureStriped(media [2]netsim.Profile, msgSize, n int, seed uint64) (float
 	go func() {
 		for i := 0; i < n; i++ {
 			rctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-			_, err := b.RecvContext(rctx)
+			_, err := b.Recv(rctx)
 			cancel()
 			if err != nil {
 				received <- err

@@ -147,7 +147,7 @@ func TestEncryptedTransportEndToEnd(t *testing.T) {
 	if err := sendWaitT(a, "urn:eb", 5, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b, 5 * time.Second)
+	m, err := recvT(b, 5*time.Second)
 	if err != nil || !bytes.Equal(m.Payload, payload) {
 		t.Fatalf("encrypted transport: len=%d err=%v", len(m.Payload), err)
 	}
@@ -174,7 +174,7 @@ func TestEncryptedTransportKeyMismatchFailsClosed(t *testing.T) {
 	resolver.set("urn:eb", rb)
 
 	a.Send("urn:eb", 1, []byte("should not arrive"))
-	if m, err := recvT(b, 300 * time.Millisecond); err == nil {
+	if m, err := recvT(b, 300*time.Millisecond); err == nil {
 		t.Fatalf("mismatched keys delivered %q", m.Payload)
 	}
 }

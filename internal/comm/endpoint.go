@@ -527,10 +527,10 @@ func (e *Endpoint) Send(dst string, tag uint32, payload []byte) error {
 	return err
 }
 
-// SendWaitContext sends and then blocks until the destination
+// SendWait sends and then blocks until the destination
 // acknowledges the message or ctx ends. The message remains buffered
 // and retried even if the wait is abandoned.
-func (e *Endpoint) SendWaitContext(ctx context.Context, dst string, tag uint32, payload []byte) error {
+func (e *Endpoint) SendWait(ctx context.Context, dst string, tag uint32, payload []byte) error {
 	om, err := e.send(dst, tag, payload)
 	if err != nil {
 		return err
@@ -1099,16 +1099,16 @@ func (e *Endpoint) deliverLocked(m *Message) {
 	e.cond.Broadcast()
 }
 
-// RecvContext returns the next message of any tag from any source,
+// Recv returns the next message of any tag from any source,
 // waiting until ctx ends.
-func (e *Endpoint) RecvContext(ctx context.Context) (*Message, error) {
-	return e.RecvMatchContext(ctx, "", AnyTag)
+func (e *Endpoint) Recv(ctx context.Context) (*Message, error) {
+	return e.RecvMatch(ctx, "", AnyTag)
 }
 
-// RecvMatchContext returns the next message matching src (""=any) and
+// RecvMatch returns the next message matching src (""=any) and
 // tag (AnyTag=any), waiting until ctx ends. Non-matching messages stay
 // queued for other receivers.
-func (e *Endpoint) RecvMatchContext(ctx context.Context, src string, tag uint32) (*Message, error) {
+func (e *Endpoint) RecvMatch(ctx context.Context, src string, tag uint32) (*Message, error) {
 	stop := context.AfterFunc(ctx, func() {
 		e.mu.Lock()
 		e.cond.Broadcast()

@@ -57,7 +57,7 @@ func TestEndpointSendRecv(t *testing.T) {
 	if err := a.Send("urn:snipe:b", 5, []byte("hello b")); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b, 3 * time.Second)
+	m, err := recvT(b, 3*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestEndpointSendRecv(t *testing.T) {
 	if err := b.Send("urn:snipe:a", 6, []byte("hello a")); err != nil {
 		t.Fatal(err)
 	}
-	m, err = recvT(a, 3 * time.Second)
+	m, err = recvT(a, 3*time.Second)
 	if err != nil || string(m.Payload) != "hello a" {
 		t.Fatalf("reply: %v %v", m, err)
 	}
@@ -85,7 +85,7 @@ func TestEndpointOrderedDelivery(t *testing.T) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		m, err := recvT(b, 3 * time.Second)
+		m, err := recvT(b, 3*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +118,7 @@ func TestEndpointRecvMatch(t *testing.T) {
 		t.Fatalf("src match: %v %v", m, err)
 	}
 	// Nothing left.
-	if _, err := recvT(c, 50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := recvT(c, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want timeout, got %v", err)
 	}
 }
@@ -134,7 +134,7 @@ func TestEndpointLargeMessageFragmentation(t *testing.T) {
 	if err := sendWaitT(a, "urn:b", 9, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b, 5 * time.Second)
+	m, err := recvT(b, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestEndpointBuffersForUnknownPeer(t *testing.T) {
 	}
 	time.Sleep(100 * time.Millisecond)
 	late := newTestEndpoint(t, "urn:late", res)
-	m, err := recvT(late, 5 * time.Second)
+	m, err := recvT(late, 5*time.Second)
 	if err != nil || string(m.Payload) != "early bird" {
 		t.Fatalf("buffered delivery: %v %v", m, err)
 	}
@@ -207,7 +207,7 @@ func TestEndpointRouteFailover(t *testing.T) {
 	if err := sendWaitT(a, "urn:b", 0, []byte("via backup"), 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b, 3 * time.Second)
+	m, err := recvT(b, 3*time.Second)
 	if err != nil || string(m.Payload) != "via backup" {
 		t.Fatalf("failover: %v %v", m, err)
 	}
@@ -248,7 +248,7 @@ func TestEndpointMidStreamFailover(t *testing.T) {
 	}()
 	got := make([]bool, n)
 	for i := 0; i < n; i++ {
-		m, err := recvT(b, 10 * time.Second)
+		m, err := recvT(b, 10*time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}
@@ -273,10 +273,10 @@ func TestEndpointDuplicateSuppression(t *testing.T) {
 	if err := a.transmit(om); err != nil {
 		t.Fatal(err)
 	}
-	if m, err := recvT(b, 3 * time.Second); err != nil || string(m.Payload) != "once" {
+	if m, err := recvT(b, 3*time.Second); err != nil || string(m.Payload) != "once" {
 		t.Fatalf("first delivery: %v %v", m, err)
 	}
-	if _, err := recvT(b, 200 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+	if _, err := recvT(b, 200*time.Millisecond); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("duplicate delivered: %v", err)
 	}
 	if dups := b.MetricsSnapshot().Counters["duplicates"]; dups == 0 {
@@ -320,7 +320,7 @@ func TestEndpointCloseSemantics(t *testing.T) {
 	a := newTestEndpoint(t, "urn:a", res)
 	done := make(chan error, 1)
 	go func() {
-		_, err := recvT(a, 10 * time.Second)
+		_, err := recvT(a, 10*time.Second)
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -363,7 +363,7 @@ func TestEndpointOverRUDPTransport(t *testing.T) {
 	if err := sendWaitT(a, "urn:b", 1, payload, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b, 5 * time.Second)
+	m, err := recvT(b, 5*time.Second)
 	if err != nil || !bytes.Equal(m.Payload, payload) {
 		t.Fatalf("rudp transport: len=%d err=%v", len(m.Payload), err)
 	}
@@ -379,7 +379,7 @@ func TestEndpointSequenceSnapshotRestore(t *testing.T) {
 		}
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := recvT(b1, 3 * time.Second); err != nil {
+		if _, err := recvT(b1, 3*time.Second); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -402,7 +402,7 @@ func TestEndpointSequenceSnapshotRestore(t *testing.T) {
 	if err := sendWaitT(a, "urn:b", 0, []byte{99}, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(b2, 5 * time.Second)
+	m, err := recvT(b2, 5*time.Second)
 	if err != nil || m.Payload[0] != 99 || m.Seq != 6 {
 		t.Fatalf("post-migration: %+v %v", m, err)
 	}
@@ -433,7 +433,7 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 	res.set("urn:b", rb)
 	go func() {
 		for {
-			m, err := recvT(bb, 10 * time.Second)
+			m, err := recvT(bb, 10*time.Second)
 			if err != nil {
 				return
 			}
@@ -446,7 +446,7 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 		if err := a.Send("urn:b", 0, payload); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := recvT(a, 10 * time.Second); err != nil {
+		if _, err := recvT(a, 10*time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -466,7 +466,7 @@ func TestEndpointConcurrentSenders(t *testing.T) {
 	}
 	perSender := make(map[uint32]int)
 	for i := 0; i < nSenders*nMsgs; i++ {
-		m, err := recvT(sink, 10 * time.Second)
+		m, err := recvT(sink, 10*time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}

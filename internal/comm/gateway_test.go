@@ -53,7 +53,7 @@ func TestGatewayRelayDelivery(t *testing.T) {
 	if err := sendWaitT(sender, "urn:behind", 7, []byte("through the wall"), 10*time.Second); err != nil {
 		t.Fatalf("SendWait via gateway: %v", err)
 	}
-	m, err := recvT(receiver, 5 * time.Second)
+	m, err := recvT(receiver, 5*time.Second)
 	if err != nil || string(m.Payload) != "through the wall" {
 		t.Fatalf("recv: %v %v", m, err)
 	}
@@ -74,7 +74,7 @@ func TestGatewayRelayLargeAndOrdered(t *testing.T) {
 		}
 	}
 	for i := 0; i < 5; i++ {
-		m, err := recvT(receiver, 10 * time.Second)
+		m, err := recvT(receiver, 10*time.Second)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}
@@ -97,7 +97,7 @@ func TestGatewayReplyPath(t *testing.T) {
 	if err := sender.Send("urn:behind", 1, []byte("ping")); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recvT(receiver, 5 * time.Second)
+	m, err := recvT(receiver, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestGatewayCrashFailsOverToSecondGateway(t *testing.T) {
 	if err := sendWaitT(sender, "urn:behind", 3, []byte("survives"), 10*time.Second); err != nil {
 		t.Fatalf("send after gateway crash: %v", err)
 	}
-	m, err := recvT(receiver, 5 * time.Second)
+	m, err := recvT(receiver, 5*time.Second)
 	if err != nil || string(m.Payload) != "survives" {
 		t.Fatalf("recv: %v %v", m, err)
 	}

@@ -18,13 +18,13 @@ func recvT(e *Endpoint, d time.Duration) (*Message, error) {
 func recvMatchT(e *Endpoint, src string, tag uint32, d time.Duration) (*Message, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
-	return e.RecvMatchContext(ctx, src, tag)
+	return e.RecvMatch(ctx, src, tag)
 }
 
 func sendWaitT(e *Endpoint, dst string, tag uint32, payload []byte, d time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
-	return e.SendWaitContext(ctx, dst, tag, payload)
+	return e.SendWait(ctx, dst, tag, payload)
 }
 
 // waitFor polls cond until it holds or d elapses, failing the test

@@ -36,7 +36,7 @@ func WithLiveness(l PeerLiveness) EndpointOption {
 	return func(e *Endpoint) { e.liveness = l }
 }
 
-// WithFailFastDead makes Send/SendWaitContext fail immediately with
+// WithFailFastDead makes Send/SendWait fail immediately with
 // ErrPeerDead when the liveness monitor (set via WithLiveness) has
 // declared the destination's host dead, and stops retrying buffered
 // messages to such peers while they remain dead. Flag-guarded so the

@@ -245,7 +245,7 @@ func TestMetricsRaceWithTraffic(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			if _, err := recvT(b, 5 * time.Second); err != nil {
+			if _, err := recvT(b, 5*time.Second); err != nil {
 				return
 			}
 		}

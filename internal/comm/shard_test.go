@@ -115,7 +115,7 @@ func TestShardedBufferLimitExactAccounting(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := 0; i < 2 * limit / 8; i++ {
+			for i := 0; i < 2*limit/8; i++ {
 				switch err := a.Send("urn:acct-late", 1, []byte("x")); {
 				case err == nil:
 					ok.Add(1)
@@ -172,7 +172,7 @@ func BenchmarkEndpointConcurrentSend(b *testing.B) {
 		for pb.Next() {
 			dst := fmt.Sprintf("urn:bench-dst%d", i%nDsts)
 			i++
-			if err := src.SendWaitContext(ctx, dst, 1, payload); err != nil {
+			if err := src.SendWait(ctx, dst, 1, payload); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,646 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"snipe/internal/xdr"
+)
+
+// Streaming request/response channels multiplexed over an Endpoint.
+//
+// A stream is a bidirectional, flow-controlled byte channel between two
+// endpoints. Stream frames ride ordinary endpoint messages under one
+// reserved tag (StreamTag), so they inherit everything the messaging
+// substrate already provides — exactly-once delivery, per-source
+// ordering, system buffering across peer migration, and striping of
+// large data chunks across every healthy route. What the stream layer
+// adds is conversation state: stream identity, byte-credit flow control
+// per direction, graceful half-close, and abortive reset.
+//
+// Wire format (the payload of a StreamTag message), XDR-encoded:
+//
+//	kind   uint8  — streamOpen..streamWindow
+//	id     uint64 — stream id, allocated by the opener
+//	orig   uint8  — 1 when the frame's sender opened the stream
+//	... kind-specific fields (see encode/decode below)
+//
+// The (peer, id, orig) triple names a stream uniquely: ids are scoped
+// to their opener, and the orig bit keeps two endpoints that happen to
+// pick the same id apart.
+//
+// Flow control is credit-based per direction. Each side grants its
+// receive window up front (the opener's window rides in OPEN; the
+// acceptor's initial grant is assumed symmetric — both muxes of a
+// deployment run the same configuration) and replenishes credit with
+// WINDOW frames as the application consumes received chunks. A writer
+// that exhausts its credit blocks until the reader catches up, so a
+// slow consumer backpressures the producer instead of ballooning the
+// consumer's memory.
+
+// StreamTag is the reserved message tag carrying stream frames.
+// Applications must not send their own messages under it, and an
+// endpoint hosting a StreamMux must leave StreamTag messages to the
+// mailbox (a WithHandler endpoint needs explicit handler tags).
+const StreamTag uint32 = ^uint32(0) - 1
+
+// Stream frame kinds.
+const (
+	streamOpen   uint8 = iota + 1 // open a stream: method, initial window
+	streamData                    // one chunk of stream data
+	streamClose                   // half-close: no more data from this side
+	streamReset                   // abort both directions: reason
+	streamWindow                  // credit grant: delta bytes
+)
+
+// Stream layer errors.
+var (
+	// ErrStreamReset indicates the peer (or the local mux) aborted the
+	// stream; the wrapped message carries the reset reason.
+	ErrStreamReset = errors.New("comm: stream reset")
+	// ErrDraining is the reset reason a draining mux gives new streams.
+	ErrDraining = errors.New("comm: endpoint draining")
+)
+
+// drainReason is the on-wire reset reason for drain rejections; openers
+// map it back to ErrDraining.
+const drainReason = "draining"
+
+const (
+	// defaultStreamWindow is the per-stream, per-direction receive
+	// window: how many bytes a peer may have in flight toward us before
+	// it must wait for WINDOW grants.
+	defaultStreamWindow = 1 << 20
+	// defaultStreamChunk caps one DATA message's payload. At the default
+	// it matches the endpoint's stripe threshold, so a saturated stream
+	// produces exactly stripe-eligible messages and large responses ride
+	// the multi-path substrate.
+	defaultStreamChunk = 256 << 10
+	// maxWireReason bounds a decoded reset reason.
+	maxWireReason = 1024
+)
+
+// StreamMuxOption configures a StreamMux.
+type StreamMuxOption func(*StreamMux)
+
+// WithStreamWindow sets the per-stream receive window in bytes.
+func WithStreamWindow(n int) StreamMuxOption {
+	return func(m *StreamMux) {
+		if n > 0 {
+			m.window = n
+		}
+	}
+}
+
+// WithStreamChunk caps the payload of one stream DATA message.
+func WithStreamChunk(n int) StreamMuxOption {
+	return func(m *StreamMux) {
+		if n > 0 {
+			m.chunk = n
+		}
+	}
+}
+
+// WithAcceptBacklog bounds how many fully-arrived but not yet accepted
+// streams queue before further opens are reset.
+func WithAcceptBacklog(n int) StreamMuxOption {
+	return func(m *StreamMux) {
+		if n > 0 {
+			m.backlog = n
+		}
+	}
+}
+
+// streamKey names a stream from the local endpoint's perspective.
+type streamKey struct {
+	peer   string
+	id     uint64
+	opened bool // we opened it
+}
+
+// StreamMux multiplexes streams over one Endpoint. One mux owns the
+// endpoint's StreamTag traffic; the endpoint's other tags are untouched.
+type StreamMux struct {
+	ep      *Endpoint
+	window  int
+	chunk   int
+	backlog int
+
+	nextID   atomic.Uint64
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	streams map[streamKey]*Stream
+	closed  bool
+
+	accepts chan *Stream
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewStreamMux attaches a stream multiplexer to ep and starts its
+// receive loop. Close the mux before (or instead of) closing the
+// endpoint; closing the endpoint also unblocks the mux.
+func NewStreamMux(ep *Endpoint, opts ...StreamMuxOption) *StreamMux {
+	m := &StreamMux{
+		ep:      ep,
+		window:  defaultStreamWindow,
+		chunk:   defaultStreamChunk,
+		backlog: 64,
+		streams: make(map[streamKey]*Stream),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.accepts = make(chan *Stream, m.backlog)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.cancel = cancel
+	m.wg.Add(1)
+	go m.run(ctx)
+	return m
+}
+
+// Endpoint returns the endpoint the mux rides on.
+func (m *StreamMux) Endpoint() *Endpoint { return m.ep }
+
+// Drain makes the mux refuse new incoming streams (they are reset with
+// ErrDraining) while established streams keep flowing — the first step
+// of a graceful replica shutdown.
+func (m *StreamMux) Drain() { m.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (m *StreamMux) Draining() bool { return m.draining.Load() }
+
+// ActiveStreams counts streams that are not yet fully closed.
+func (m *StreamMux) ActiveStreams() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.streams)
+}
+
+// Close resets every open stream and stops the mux. The underlying
+// endpoint stays open.
+func (m *StreamMux) Close() {
+	m.cancel()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.streams = map[streamKey]*Stream{}
+	m.mu.Unlock()
+	for _, s := range streams {
+		s.abortLocal(ErrClosed)
+	}
+	close(m.accepts)
+	m.wg.Wait()
+}
+
+// Open starts a stream to dst for the named method. It returns as soon
+// as the OPEN frame is accepted into the send buffer; a peer that
+// refuses the stream (draining, overloaded, closed) surfaces as
+// ErrStreamReset from the first Read/Write.
+func (m *StreamMux) Open(ctx context.Context, dst, method string) (*Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(ctx)
+	}
+	id := m.nextID.Add(1)
+	s := m.newStream(dst, id, true, method)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m.streams[streamKey{dst, id, true}] = s
+	m.mu.Unlock()
+	if err := m.ep.Send(dst, StreamTag, encodeStreamOpen(id, true, method, uint32(m.window))); err != nil {
+		m.remove(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Accept returns the next incoming stream, waiting until ctx ends.
+func (m *StreamMux) Accept(ctx context.Context) (*Stream, error) {
+	select {
+	case s, ok := <-m.accepts:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return s, nil
+	case <-ctx.Done():
+		return nil, ctxErr(ctx)
+	}
+}
+
+// newStream builds the shared stream state.
+func (m *StreamMux) newStream(peer string, id uint64, opened bool, method string) *Stream {
+	s := &Stream{
+		mux:        m,
+		peer:       peer,
+		id:         id,
+		opened:     opened,
+		method:     method,
+		sendCredit: m.window,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// remove drops a stream from the routing table (frames for it are no
+// longer expected).
+func (m *StreamMux) remove(s *Stream) {
+	m.mu.Lock()
+	delete(m.streams, streamKey{s.peer, s.id, s.opened})
+	m.mu.Unlock()
+}
+
+// run pulls StreamTag messages off the endpoint mailbox and dispatches
+// them to stream state. Per-source ordering is inherited from the
+// endpoint's sequencing, so OPEN precedes its DATA, and CLOSE follows.
+func (m *StreamMux) run(ctx context.Context) {
+	defer m.wg.Done()
+	for {
+		msg, err := m.ep.RecvMatch(ctx, "", StreamTag)
+		if err != nil {
+			return
+		}
+		m.handle(msg)
+	}
+}
+
+// handle dispatches one decoded stream frame.
+func (m *StreamMux) handle(msg *Message) {
+	f, err := decodeStreamFrame(msg.Payload)
+	if err != nil {
+		return // tolerate malformed frames from foreign senders
+	}
+	// A frame whose sender opened the stream refers, locally, to a
+	// stream we accepted; and vice versa.
+	key := streamKey{msg.Src, f.id, !f.orig}
+	m.mu.Lock()
+	s, known := m.streams[key]
+	m.mu.Unlock()
+
+	switch f.kind {
+	case streamOpen:
+		m.handleOpen(msg.Src, f, known)
+	case streamData:
+		if !known {
+			// The stream died locally (reset) while this chunk was in
+			// flight; tell the peer to stop.
+			m.reset(msg.Src, f.id, !key.opened, "unknown stream")
+			return
+		}
+		s.deliver(f.data)
+	case streamClose:
+		if known {
+			s.closeRecv()
+			m.reapIfDone(s)
+		}
+	case streamReset:
+		if known {
+			m.remove(s)
+			reason := f.reason
+			if reason == drainReason {
+				s.abortLocal(fmt.Errorf("%w: %w", ErrStreamReset, ErrDraining))
+			} else {
+				s.abortLocal(fmt.Errorf("%w: %s", ErrStreamReset, reason))
+			}
+		}
+	case streamWindow:
+		if known {
+			s.grant(int(f.delta))
+		}
+	}
+}
+
+// handleOpen admits (or refuses) one incoming stream.
+func (m *StreamMux) handleOpen(src string, f *streamFrame, known bool) {
+	if known {
+		return // duplicate OPEN cannot happen over exactly-once delivery; ignore
+	}
+	if m.draining.Load() {
+		m.reset(src, f.id, false, drainReason)
+		return
+	}
+	s := m.newStream(src, f.id, false, f.method)
+	// The opener granted us its receive window explicitly.
+	s.mu.Lock()
+	s.sendCredit = int(f.delta)
+	s.mu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.reset(src, f.id, false, "closed")
+		return
+	}
+	m.streams[streamKey{src, f.id, false}] = s
+	m.mu.Unlock()
+	select {
+	case m.accepts <- s:
+	default:
+		m.remove(s)
+		m.reset(src, f.id, false, "accept backlog full")
+	}
+}
+
+// reset sends an abortive RESET for a stream (best-effort).
+func (m *StreamMux) reset(peer string, id uint64, orig bool, reason string) {
+	_ = m.ep.Send(peer, StreamTag, encodeStreamReset(id, orig, reason))
+}
+
+// reapIfDone removes a stream whose both directions have closed.
+func (m *StreamMux) reapIfDone(s *Stream) {
+	s.mu.Lock()
+	done := s.sendClosed && s.recvEOF
+	s.mu.Unlock()
+	if done {
+		m.remove(s)
+	}
+}
+
+// Stream is one bidirectional flow-controlled channel. Reads and
+// writes from multiple goroutines are safe; chunks are delivered in
+// order within each direction.
+type Stream struct {
+	mux    *StreamMux
+	peer   string
+	id     uint64
+	opened bool
+	method string
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	sendCredit int
+	sendClosed bool
+	recvQ      [][]byte
+	recvEOF    bool
+	failure    error
+}
+
+// Method returns the method name the stream was opened with.
+func (s *Stream) Method() string { return s.method }
+
+// Peer returns the remote endpoint's URN.
+func (s *Stream) Peer() string { return s.peer }
+
+// deliver queues one received chunk.
+func (s *Stream) deliver(data []byte) {
+	s.mu.Lock()
+	if s.failure == nil && !s.recvEOF {
+		s.recvQ = append(s.recvQ, data)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// closeRecv marks the peer's half-close.
+func (s *Stream) closeRecv() {
+	s.mu.Lock()
+	s.recvEOF = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// grant adds send credit.
+func (s *Stream) grant(n int) {
+	s.mu.Lock()
+	s.sendCredit += n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// abortLocal fails the stream locally (peer reset, mux close).
+func (s *Stream) abortLocal(err error) {
+	s.mu.Lock()
+	if s.failure == nil {
+		s.failure = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// wake arranges for the stream's cond to broadcast when ctx ends; the
+// returned stop function releases the watcher.
+func (s *Stream) wake(ctx context.Context) func() bool {
+	return context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+}
+
+// Read returns the next received chunk, waiting until data arrives,
+// the peer half-closes (io.EOF after the queue drains), the stream
+// fails, or ctx ends. The returned slice is owned by the caller.
+func (s *Stream) Read(ctx context.Context) ([]byte, error) {
+	stop := s.wake(ctx)
+	defer stop()
+	s.mu.Lock()
+	for {
+		if len(s.recvQ) > 0 {
+			chunk := s.recvQ[0]
+			s.recvQ = s.recvQ[1:]
+			s.mu.Unlock()
+			// Replenish the peer's credit for what we consumed.
+			if len(chunk) > 0 {
+				_ = s.mux.ep.Send(s.peer, StreamTag,
+					encodeStreamWindow(s.id, s.opened, uint32(len(chunk))))
+			}
+			return chunk, nil
+		}
+		if s.failure != nil {
+			err := s.failure
+			s.mu.Unlock()
+			return nil, err
+		}
+		if s.recvEOF {
+			s.mu.Unlock()
+			return nil, io.EOF
+		}
+		if ctx.Err() != nil {
+			s.mu.Unlock()
+			return nil, ctxErr(ctx)
+		}
+		s.cond.Wait()
+	}
+}
+
+// Write sends p, chunking to the mux's chunk size and blocking for
+// flow-control credit as needed. It returns once every chunk is
+// accepted into the endpoint's reliable send buffer.
+func (s *Stream) Write(ctx context.Context, p []byte) error {
+	stop := s.wake(ctx)
+	defer stop()
+	for first := true; first || len(p) > 0; first = false {
+		n := len(p)
+		if n > s.mux.chunk {
+			n = s.mux.chunk
+		}
+		s.mu.Lock()
+		for s.failure == nil && !s.sendClosed && s.sendCredit < n && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		if err := s.failure; err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if s.sendClosed {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: write after CloseWrite", ErrStreamReset)
+		}
+		if ctx.Err() != nil {
+			s.mu.Unlock()
+			return ctxErr(ctx)
+		}
+		s.sendCredit -= n
+		s.mu.Unlock()
+		if n == 0 {
+			return nil // zero-length write: just the state check above
+		}
+		if err := s.mux.ep.Send(s.peer, StreamTag, encodeStreamData(s.id, s.opened, p[:n])); err != nil {
+			s.grant(n) // credit was not used
+			return err
+		}
+		p = p[n:]
+	}
+	return nil
+}
+
+// CloseWrite half-closes the stream: the peer's reads drain and then
+// return io.EOF; reads on this side continue until the peer closes.
+func (s *Stream) CloseWrite() error {
+	s.mu.Lock()
+	if s.failure != nil {
+		err := s.failure
+		s.mu.Unlock()
+		return err
+	}
+	if s.sendClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sendClosed = true
+	s.mu.Unlock()
+	err := s.mux.ep.Send(s.peer, StreamTag, encodeStreamClose(s.id, s.opened))
+	s.mux.reapIfDone(s)
+	return err
+}
+
+// Reset aborts the stream in both directions with the given reason.
+func (s *Stream) Reset(reason string) {
+	s.mux.remove(s)
+	s.abortLocal(fmt.Errorf("%w: %s (local)", ErrStreamReset, reason))
+	s.mux.reset(s.peer, s.id, s.opened, reason)
+}
+
+// --- wire encoding -------------------------------------------------------
+
+// streamFrame is a decoded stream frame.
+type streamFrame struct {
+	kind   uint8
+	id     uint64
+	orig   bool
+	method string // streamOpen
+	delta  uint32 // streamOpen (initial window), streamWindow (grant)
+	data   []byte // streamData (copied out of the message payload)
+	reason string // streamReset
+}
+
+func putStreamHeader(e *xdr.Encoder, kind uint8, id uint64, orig bool) {
+	e.PutUint8(kind)
+	e.PutUint64(id)
+	if orig {
+		e.PutUint8(1)
+	} else {
+		e.PutUint8(0)
+	}
+}
+
+func encodeStreamOpen(id uint64, orig bool, method string, window uint32) []byte {
+	e := xdr.NewEncoder(len(method) + 20)
+	putStreamHeader(e, streamOpen, id, orig)
+	e.PutString(method)
+	e.PutUint32(window)
+	return e.Bytes()
+}
+
+func encodeStreamData(id uint64, orig bool, data []byte) []byte {
+	e := xdr.NewEncoder(len(data) + 20)
+	putStreamHeader(e, streamData, id, orig)
+	e.PutBytes(data)
+	return e.Bytes()
+}
+
+func encodeStreamClose(id uint64, orig bool) []byte {
+	e := xdr.NewEncoder(16)
+	putStreamHeader(e, streamClose, id, orig)
+	return e.Bytes()
+}
+
+func encodeStreamReset(id uint64, orig bool, reason string) []byte {
+	e := xdr.NewEncoder(len(reason) + 20)
+	putStreamHeader(e, streamReset, id, orig)
+	e.PutString(reason)
+	return e.Bytes()
+}
+
+func encodeStreamWindow(id uint64, orig bool, delta uint32) []byte {
+	e := xdr.NewEncoder(20)
+	putStreamHeader(e, streamWindow, id, orig)
+	e.PutUint32(delta)
+	return e.Bytes()
+}
+
+func decodeStreamFrame(payload []byte) (*streamFrame, error) {
+	d := xdr.NewDecoder(payload)
+	f := &streamFrame{}
+	var err error
+	if f.kind, err = d.Uint8(); err != nil {
+		return nil, err
+	}
+	if f.id, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	origB, err := d.Uint8()
+	if err != nil {
+		return nil, err
+	}
+	f.orig = origB != 0
+	switch f.kind {
+	case streamOpen:
+		if f.method, err = d.StringMax(maxWireURN); err != nil {
+			return nil, err
+		}
+		if f.delta, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	case streamData:
+		if f.data, err = d.BytesMax(MaxMessageSize); err != nil {
+			return nil, err
+		}
+	case streamClose:
+	case streamReset:
+		if f.reason, err = d.StringMax(maxWireReason); err != nil {
+			return nil, err
+		}
+	case streamWindow:
+		if f.delta, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: stream frame kind %d", ErrBadFrame, f.kind)
+	}
+	return f, nil
+}

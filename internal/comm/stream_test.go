@@ -1,0 +1,344 @@
+package comm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// streamPair wires two endpoints with muxes over loopback TCP.
+func streamPair(t *testing.T, opts ...StreamMuxOption) (*StreamMux, *StreamMux) {
+	t.Helper()
+	res := newTestResolver()
+	a := newTestEndpoint(t, "urn:stream:a", res)
+	b := newTestEndpoint(t, "urn:stream:b", res)
+	ma := NewStreamMux(a, opts...)
+	mb := NewStreamMux(b, opts...)
+	t.Cleanup(ma.Close)
+	t.Cleanup(mb.Close)
+	return ma, mb
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	ma, mb := streamPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	s, err := ma.Open(ctx, "urn:stream:b", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Method() != "echo" {
+		t.Fatalf("method = %q", srv.Method())
+	}
+	if srv.Peer() != "urn:stream:a" {
+		t.Fatalf("peer = %q", srv.Peer())
+	}
+	var req []byte
+	for {
+		chunk, err := srv.Read(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		req = append(req, chunk...)
+	}
+	if string(req) != "ping" {
+		t.Fatalf("request = %q", req)
+	}
+	if err := srv.Write(ctx, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong" {
+		t.Fatalf("response = %q", resp)
+	}
+	if _, err := s.Read(ctx); err != io.EOF {
+		t.Fatalf("after close: %v", err)
+	}
+	// Both directions closed on both sides: the muxes reap the streams.
+	waitFor(t, 3*time.Second, func() bool {
+		return ma.ActiveStreams() == 0 && mb.ActiveStreams() == 0
+	}, "streams not reaped after close")
+}
+
+func TestStreamLargePayloadChunks(t *testing.T) {
+	// A payload much larger than the chunk size arrives intact and in
+	// order, as multiple DATA messages.
+	ma, mb := streamPair(t, WithStreamChunk(8<<10), WithStreamWindow(64<<10))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	payload := make([]byte, 100<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	s, err := ma.Open(ctx, "urn:stream:b", "bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeDone := make(chan error, 1)
+	go func() {
+		if err := s.Write(ctx, payload); err != nil {
+			writeDone <- err
+			return
+		}
+		writeDone <- s.CloseWrite()
+	}()
+
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for {
+		chunk, err := srv.Read(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk...)
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestStreamWindowExhaustion(t *testing.T) {
+	// With a window of one chunk, the writer cannot run ahead of the
+	// reader: the second chunk blocks until the first is consumed.
+	ma, mb := streamPair(t, WithStreamChunk(1<<10), WithStreamWindow(1<<10))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	s, err := ma.Open(ctx, "urn:stream:b", "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 1<<10)
+	if err := s.Write(ctx, chunk); err != nil {
+		t.Fatal(err)
+	}
+
+	// The window is now exhausted; a bounded write must time out.
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	err = s.Write(shortCtx, chunk)
+	shortCancel()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("write beyond window: %v, want ErrTimeout", err)
+	}
+
+	// Consuming on the reader side grants credit and unblocks.
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, chunk); err != nil {
+		t.Fatalf("write after credit grant: %v", err)
+	}
+}
+
+func TestStreamHalfClose(t *testing.T) {
+	// After CloseWrite the closer can still read: the classic
+	// request/response shape with a streamed response.
+	ma, mb := streamPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	s, err := ma.Open(ctx, "urn:stream:b", "half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("more")); !errors.Is(err, ErrStreamReset) {
+		t.Fatalf("write after CloseWrite: %v", err)
+	}
+
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(ctx); err != io.EOF {
+		t.Fatalf("read after peer half-close: %v", err)
+	}
+	// The server side still writes freely.
+	for i := 0; i < 3; i++ {
+		if err := srv.Write(ctx, []byte("part")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		chunk, err := s.Read(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(chunk)
+	}
+	if n != 12 {
+		t.Fatalf("streamed response bytes = %d, want 12", n)
+	}
+}
+
+func TestStreamCancelMidStream(t *testing.T) {
+	// A canceled reader context aborts the pending Read without killing
+	// the stream; an explicit Reset then kills it for both sides.
+	ma, mb := streamPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	s, err := ma.Open(ctx, "urn:stream:b", "cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	readCtx, readCancel := context.WithCancel(context.Background())
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Read(readCtx)
+		readErr <- err
+	}()
+	readCancel()
+	if err := <-readErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled read: %v", err)
+	}
+
+	// The stream survives the canceled call...
+	if err := s.Write(ctx, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Read(ctx); err != nil {
+		t.Fatalf("stream dead after canceled read: %v", err)
+	}
+
+	// ...until the client resets it; the server's next read fails.
+	s.Reset("client gave up")
+	if _, err := srv.Read(ctx); !errors.Is(err, ErrStreamReset) {
+		t.Fatalf("read after reset: %v", err)
+	}
+	if _, err := s.Read(ctx); !errors.Is(err, ErrStreamReset) {
+		t.Fatalf("local read after reset: %v", err)
+	}
+}
+
+func TestStreamDrainRejectsNewStreams(t *testing.T) {
+	ma, mb := streamPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// An established stream keeps flowing through a drain.
+	s, err := ma.Open(ctx, "urn:stream:b", "old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mb.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb.Drain()
+	if !mb.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+
+	// New opens are reset with the drain marker.
+	s2, err := ma.Open(ctx, "urn:stream:b", "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Read(ctx); !errors.Is(err, ErrDraining) {
+		t.Fatalf("open against draining mux: %v", err)
+	}
+
+	// The pre-drain stream still works both ways.
+	if _, err := srv.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Write(ctx, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMuxCloseFailsStreams(t *testing.T) {
+	ma, mb := streamPair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	s, err := ma.Open(ctx, "urn:stream:b", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Accept(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ma.Close()
+	if _, err := s.Read(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after mux close: %v", err)
+	}
+	if err := s.Write(ctx, []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after mux close: %v", err)
+	}
+}

@@ -61,7 +61,7 @@ func TestStripeAcrossTwoRoutes(t *testing.T) {
 	payload := patternPayload(3, 2<<20)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := a.SendWaitContext(ctx, "urn:stripe:b", 9, payload); err != nil {
+	if err := a.SendWait(ctx, "urn:stripe:b", 9, payload); err != nil {
 		t.Fatalf("striped send: %v", err)
 	}
 	m, err := recvT(b, 10*time.Second)
@@ -97,7 +97,7 @@ func TestStripeDisabledFallsBackToSingleRoute(t *testing.T) {
 	payload := patternPayload(5, 1<<20)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := a.SendWaitContext(ctx, "urn:stripe:b", 2, payload); err != nil {
+	if err := a.SendWait(ctx, "urn:stripe:b", 2, payload); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	m, err := recvT(b, 10*time.Second)
@@ -114,7 +114,7 @@ func TestStripeSmallMessageNotStriped(t *testing.T) {
 	payload := patternPayload(6, 4<<10) // well below the threshold
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := a.SendWaitContext(ctx, "urn:stripe:b", 2, payload); err != nil {
+	if err := a.SendWait(ctx, "urn:stripe:b", 2, payload); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	if m, err := recvT(b, 10*time.Second); err != nil || !bytes.Equal(m.Payload, payload) {
@@ -228,7 +228,7 @@ func TestStripeRouteChurnUnderLoss(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 		defer cancel()
-		errc <- a.SendWaitContext(ctx, urnB, 8, payload)
+		errc <- a.SendWait(ctx, urnB, 8, payload)
 	}()
 	time.Sleep(30 * time.Millisecond)
 	ethLink.SetDown(true) // mid-stripe: fragments must requeue onto lossy ATM
@@ -304,7 +304,7 @@ func TestStripePayloadPoolSurvivesRetryRace(t *testing.T) {
 		}
 	}
 	for i := 0; i < 40; i++ {
-		m, err := b.RecvContext(ctx)
+		m, err := b.Recv(ctx)
 		if err != nil {
 			t.Fatalf("recv %d: %v", i, err)
 		}

@@ -82,21 +82,21 @@ func (c *Client) Send(dst string, tag uint32, payload []byte) error {
 func (c *Client) SendWait(dst string, tag uint32, payload []byte, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return c.ep.SendWaitContext(ctx, dst, tag, payload)
+	return c.ep.SendWait(ctx, dst, tag, payload)
 }
 
 // Recv returns the next message.
 func (c *Client) Recv(timeout time.Duration) (*comm.Message, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return c.ep.RecvContext(ctx)
+	return c.ep.Recv(ctx)
 }
 
 // RecvMatch receives selectively by source and tag.
 func (c *Client) RecvMatch(src string, tag uint32, timeout time.Duration) (*comm.Message, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return c.ep.RecvMatchContext(ctx, src, tag)
+	return c.ep.RecvMatch(ctx, src, tag)
 }
 
 // --- resource location ------------------------------------------------
@@ -187,7 +187,7 @@ func (c *Client) Watch(taskURN string) error {
 func (c *Client) NextNotify(timeout time.Duration) (task.StateChange, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	m, err := c.ep.RecvMatchContext(ctx, "", task.TagNotify)
+	m, err := c.ep.RecvMatch(ctx, "", task.TagNotify)
 	if err != nil {
 		return task.StateChange{}, err
 	}

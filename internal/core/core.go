@@ -134,7 +134,7 @@ func New(cfg Config) (*Universe, error) {
 		// by the RC servers' Wait sequence numbers: every resolver in
 		// the universe rides one coherent cache instead of polling.
 		client := rcds.NewClient(addrs, cfg.Secret, rcds.WithReadCache())
-		u.catalog = client
+		u.catalog = naming.ClientCatalog(client)
 	}
 
 	// Playground.
@@ -309,8 +309,8 @@ func (u *Universe) Close() {
 	for _, fs := range u.fileServers {
 		fs.Close()
 	}
-	if c, ok := u.catalog.(*rcds.Client); ok {
-		c.Close()
+	if cc, ok := u.catalog.(interface{ Client() *rcds.Client }); ok {
+		cc.Client().Close()
 	}
 	for _, s := range u.servers {
 		s.Close()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func TestServerTimestampingVisibleToClients(t *testing.T) {
 	u.Catalog().Set("urn:ts", "k", "v")
 	client := rcds.NewClient(u.RCServerAddrs(), nil)
 	defer client.Close()
-	as, err := client.Get("urn:ts")
+	as, err := client.Get(context.Background(), "urn:ts")
 	if err != nil || len(as) != 1 {
 		t.Fatalf("Get: %v %v", as, err)
 	}

@@ -75,7 +75,7 @@ func StatsRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout time
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagStatsResp)
+		m, err := ep.RecvMatch(ctx, daemonURN, task.TagStatsResp)
 		if err != nil {
 			return stats.Snapshot{}, err
 		}
@@ -154,7 +154,7 @@ func CheckpointRemote(ep *comm.Endpoint, daemonURN, taskURN string, reqID uint64
 	ctx, cancel := context.WithTimeout(context.Background(), timeout+2*time.Second)
 	defer cancel()
 	for {
-		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagCheckpointResp)
+		m, err := ep.RecvMatch(ctx, daemonURN, task.TagCheckpointResp)
 		if err != nil {
 			return task.Spec{}, err
 		}
@@ -280,7 +280,7 @@ func SpawnRemote(ep *comm.Endpoint, daemonURN string, spec task.Spec, reqID uint
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagSpawnResp)
+		m, err := ep.RecvMatch(ctx, daemonURN, task.TagSpawnResp)
 		if err != nil {
 			return "", err
 		}
@@ -325,7 +325,7 @@ func StatusRemote(ep *comm.Endpoint, daemonURN string, reqID uint64, timeout tim
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagStatusResp)
+		m, err := ep.RecvMatch(ctx, daemonURN, task.TagStatusResp)
 		if err != nil {
 			return nil, err
 		}
@@ -376,7 +376,7 @@ func MigrateRemote(ep *comm.Endpoint, daemonURN, taskURN string, spec task.Spec,
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := ep.RecvMatchContext(ctx, daemonURN, task.TagMigrateResp)
+		m, err := ep.RecvMatch(ctx, daemonURN, task.TagMigrateResp)
 		if err != nil {
 			return err
 		}

@@ -59,7 +59,7 @@ func (c *Client) Fetch(serverURN, name string) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
 	defer cancel()
 	for {
-		m, err := c.ep.RecvMatchContext(ctx, serverURN, task.TagFile)
+		m, err := c.ep.RecvMatch(ctx, serverURN, task.TagFile)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func ReceiveStream(ep *comm.Endpoint, srcServer string, timeout time.Duration) (
 	defer cancel()
 	var cur *fileMsg
 	for {
-		m, err := ep.RecvMatchContext(ctx, srcServer, task.TagFile)
+		m, err := ep.RecvMatch(ctx, srcServer, task.TagFile)
 		if err != nil {
 			return "", nil, err
 		}
@@ -176,7 +176,7 @@ func (c *Client) awaitOp(src string, op uint8, reqID uint64, timeout time.Durati
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := c.ep.RecvMatchContext(ctx, src, task.TagFile)
+		m, err := c.ep.RecvMatch(ctx, src, task.TagFile)
 		if err != nil {
 			return nil, err
 		}

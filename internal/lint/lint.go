@@ -258,22 +258,3 @@ func methodKey(f *types.Func) string {
 	}
 	return pkg + "." + typ + "." + f.Name()
 }
-
-// enclosingFuncDeprecated reports whether the innermost enclosing
-// function declaration of pos is itself marked "Deprecated:" — the
-// deprecated wrappers are allowed to call each other.
-func enclosingFuncDeprecated(files []*ast.File, pos token.Pos) bool {
-	for _, f := range files {
-		if pos < f.Pos() || pos > f.End() {
-			continue
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || pos < fd.Pos() || pos > fd.End() {
-				continue
-			}
-			return fd.Doc != nil && strings.Contains(fd.Doc.Text(), "Deprecated:")
-		}
-	}
-	return false
-}

@@ -12,33 +12,30 @@ import (
 // per-connection writer locks of the comm and rcds layers flirt with:
 // a blocked write parks every goroutine queued on the mutex.
 var lockedioMethods = map[string]bool{
-	"snipe/internal/comm.Endpoint.Send":             true,
-	"snipe/internal/comm.Endpoint.SendWait":         true,
-	"snipe/internal/comm.Endpoint.SendWaitContext":  true,
-	"snipe/internal/comm.Endpoint.Recv":             true,
-	"snipe/internal/comm.Endpoint.RecvContext":      true,
-	"snipe/internal/comm.Endpoint.RecvMatch":        true,
-	"snipe/internal/comm.Endpoint.RecvMatchContext": true,
-	"snipe/internal/comm.FrameConn.Send":            true,
-	"snipe/internal/comm.FrameConn.Recv":            true,
+	"snipe/internal/comm.Endpoint.Send":      true,
+	"snipe/internal/comm.Endpoint.SendWait":  true,
+	"snipe/internal/comm.Endpoint.Recv":      true,
+	"snipe/internal/comm.Endpoint.RecvMatch": true,
+	"snipe/internal/comm.FrameConn.Send":     true,
+	"snipe/internal/comm.FrameConn.Recv":     true,
 
-	"snipe/internal/rcds.Client.PingContext":       true,
-	"snipe/internal/rcds.Client.SetContext":        true,
-	"snipe/internal/rcds.Client.AddContext":        true,
-	"snipe/internal/rcds.Client.AddSignedContext":  true,
-	"snipe/internal/rcds.Client.RemoveContext":     true,
-	"snipe/internal/rcds.Client.RemoveAllContext":  true,
-	"snipe/internal/rcds.Client.GetContext":        true,
-	"snipe/internal/rcds.Client.ValuesContext":     true,
-	"snipe/internal/rcds.Client.FirstValueContext": true,
-	"snipe/internal/rcds.Client.URIsContext":       true,
-	"snipe/internal/rcds.Client.VectorContext":     true,
-	"snipe/internal/rcds.Client.OpsSinceContext":   true,
-	"snipe/internal/rcds.Client.ApplyContext":      true,
-	"snipe/internal/rcds.Client.WaitContext":       true,
-	"snipe/internal/rcds.Client.StatsContext":      true,
-	"snipe/internal/rcds.Client.WaitForContext":    true,
-	"snipe/internal/rcds.Client.roundTrip":         true,
+	"snipe/internal/rcds.Client.Ping":       true,
+	"snipe/internal/rcds.Client.Set":        true,
+	"snipe/internal/rcds.Client.Add":        true,
+	"snipe/internal/rcds.Client.AddSigned":  true,
+	"snipe/internal/rcds.Client.Remove":     true,
+	"snipe/internal/rcds.Client.RemoveAll":  true,
+	"snipe/internal/rcds.Client.Get":        true,
+	"snipe/internal/rcds.Client.Values":     true,
+	"snipe/internal/rcds.Client.FirstValue": true,
+	"snipe/internal/rcds.Client.URIs":       true,
+	"snipe/internal/rcds.Client.Vector":     true,
+	"snipe/internal/rcds.Client.OpsSince":   true,
+	"snipe/internal/rcds.Client.Apply":      true,
+	"snipe/internal/rcds.Client.Wait":       true,
+	"snipe/internal/rcds.Client.Stats":      true,
+	"snipe/internal/rcds.Client.WaitFor":    true,
+	"snipe/internal/rcds.Client.roundTrip":  true,
 }
 
 var lockedioFuncs = map[string]bool{

@@ -139,10 +139,10 @@ type subscriber interface {
 }
 
 // waiter is the long-poll face of a catalog (satisfied by
-// *rcds.Client): WaitContext blocks until the replica's catalog version
+// *rcds.Client): Wait blocks until the replica's catalog version
 // advances past since.
 type waiter interface {
-	WaitContext(ctx context.Context, since uint64, timeout time.Duration) (uint64, error)
+	Wait(ctx context.Context, since uint64, timeout time.Duration) (uint64, error)
 }
 
 // Monitor tracks host liveness from heartbeat metadata. It rides the
@@ -155,7 +155,11 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	hosts map[string]*hostRecord
-	subs  []chan Event
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+	closed  bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -180,6 +184,7 @@ func NewMonitor(cat naming.Catalog, opts Options) *Monitor {
 		cat:     cat,
 		opts:    opts,
 		hosts:   make(map[string]*hostRecord),
+		subs:    make(map[int]chan Event),
 		ctx:     ctx,
 		cancel:  cancel,
 		metrics: stats.NewRegistry(),
@@ -202,10 +207,11 @@ func NewMonitor(cat naming.Catalog, opts Options) *Monitor {
 func (m *Monitor) Close() {
 	m.cancel()
 	m.wg.Wait()
-	m.mu.Lock()
+	m.subMu.Lock()
 	subs := m.subs
 	m.subs = nil
-	m.mu.Unlock()
+	m.closed = true
+	m.subMu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
@@ -223,14 +229,46 @@ func (m *Monitor) State(hostURL string) State {
 	return rec.state
 }
 
-// Events returns a new subscription to state-transition events. Each
-// call gets its own channel, closed by Close. Slow consumers drop
-// events rather than stalling detection; resync with Snapshot.
+// Subscribe registers a state-change subscription: every host
+// transition is delivered on the returned channel (buffer buf, default
+// 128 when buf <= 0). Slow consumers drop events rather than stalling
+// detection; resync with Snapshot. The cancel function removes the
+// subscription and closes the channel; it is idempotent and safe to
+// call after Close (which closes every remaining channel itself).
+func (m *Monitor) Subscribe(buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 128
+	}
+	ch := make(chan Event, buf)
+	m.subMu.Lock()
+	if m.closed {
+		m.subMu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := m.nextSub
+	m.nextSub++
+	m.subs[id] = ch
+	m.subMu.Unlock()
+	cancel := func() {
+		m.subMu.Lock()
+		sub, ok := m.subs[id]
+		if ok {
+			delete(m.subs, id)
+		}
+		m.subMu.Unlock()
+		if ok {
+			close(sub)
+		}
+	}
+	return ch, cancel
+}
+
+// Events returns a new subscription to state-transition events that
+// lives until Close — Subscribe with no way to cancel early, kept for
+// consumers whose lifetime matches the monitor's.
 func (m *Monitor) Events() <-chan Event {
-	ch := make(chan Event, 128)
-	m.mu.Lock()
-	m.subs = append(m.subs, ch)
-	m.mu.Unlock()
+	ch, _ := m.Subscribe(0)
 	return ch
 }
 
@@ -490,20 +528,21 @@ func (m *Monitor) transitionLocked(hostURL string, rec *hostRecord, to State, re
 }
 
 // emit broadcasts an event (nil is a no-op) to all subscribers,
-// dropping for any whose buffer is full.
+// dropping for any whose buffer is full. Sends happen under subMu so a
+// concurrent cancel cannot close a channel mid-send; the sends are
+// non-blocking, so the lock is never held for long.
 func (m *Monitor) emit(ev *Event) {
 	if ev == nil {
 		return
 	}
-	m.mu.Lock()
-	subs := append([]chan Event(nil), m.subs...)
-	m.mu.Unlock()
-	for _, ch := range subs {
+	m.subMu.Lock()
+	for _, ch := range m.subs {
 		select {
 		case ch <- *ev:
 		default:
 		}
 	}
+	m.subMu.Unlock()
 }
 
 // --- watch plumbing ------------------------------------------------------
@@ -561,7 +600,7 @@ func (m *Monitor) watchWait(w waiter) {
 			return
 		}
 		ctx, cancel := context.WithTimeout(m.ctx, poll+5*time.Second)
-		v, err := w.WaitContext(ctx, since, poll)
+		v, err := w.Wait(ctx, since, poll)
 		cancel()
 		if err != nil {
 			select {

@@ -426,7 +426,7 @@ func (m *Member) Recv(timeout time.Duration) (origin string, appTag uint32, data
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		msg, err := m.ep.RecvMatchContext(ctx, "", m.tag)
+		msg, err := m.ep.RecvMatch(ctx, "", m.tag)
 		if err != nil {
 			return "", 0, nil, err
 		}

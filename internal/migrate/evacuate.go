@@ -34,6 +34,12 @@ type EvacuatorConfig struct {
 	Options Options
 	// OnResult, if non-nil, observes every attempted evacuation.
 	OnResult func(EvacuationResult)
+	// DrainHook, if non-nil, runs before task evacuation whenever a host
+	// enters Suspect — typically a service replica's Drain, so the
+	// replica stops accepting new streams and withdraws its catalog
+	// registration while its in-flight work (and then its tasks) are
+	// moved off the host.
+	DrainHook func(hostURL string)
 }
 
 // Evacuator watches a liveness monitor and migrates tasks off any host
@@ -43,10 +49,11 @@ type EvacuatorConfig struct {
 // by its failure notification: suspicion is the early warning,
 // evacuation the response.
 type Evacuator struct {
-	cfg    EvacuatorConfig
-	done   chan struct{}
-	wg     sync.WaitGroup
-	closed sync.Once
+	cfg       EvacuatorConfig
+	done      chan struct{}
+	cancelSub func()
+	wg        sync.WaitGroup
+	closed    sync.Once
 }
 
 // NewEvacuator starts an evacuator; Close stops it. The monitor is not
@@ -56,7 +63,8 @@ func NewEvacuator(cfg EvacuatorConfig) (*Evacuator, error) {
 		return nil, errors.New("migrate: evacuator needs Catalog, Monitor, Endpoint and Dest")
 	}
 	ev := &Evacuator{cfg: cfg, done: make(chan struct{})}
-	events := cfg.Monitor.Events()
+	events, cancel := cfg.Monitor.Subscribe(0)
+	ev.cancelSub = cancel
 	ev.wg.Add(1)
 	go func() {
 		defer ev.wg.Done()
@@ -69,6 +77,9 @@ func NewEvacuator(cfg EvacuatorConfig) (*Evacuator, error) {
 					return
 				}
 				if e.To == liveness.Suspect {
+					if cfg.DrainHook != nil {
+						cfg.DrainHook(e.Host)
+					}
 					ev.evacuate(e.Host)
 				}
 			}
@@ -77,9 +88,13 @@ func NewEvacuator(cfg EvacuatorConfig) (*Evacuator, error) {
 	return ev, nil
 }
 
-// Close stops the evacuator. In-progress migrations finish.
+// Close stops the evacuator and drops its monitor subscription.
+// In-progress migrations finish.
 func (ev *Evacuator) Close() {
-	ev.closed.Do(func() { close(ev.done) })
+	ev.closed.Do(func() {
+		close(ev.done)
+		ev.cancelSub()
+	})
 	ev.wg.Wait()
 }
 

@@ -6,6 +6,7 @@
 package naming
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -97,6 +98,83 @@ func (c storeCatalog) Subscribe(prefix string, ch chan rcds.Event) int {
 
 // Unsubscribe cancels a Subscribe registration.
 func (c storeCatalog) Unsubscribe(id int) { c.s.Unsubscribe(id) }
+
+// clientCatalog adapts a context-first *rcds.Client to the context-less
+// Catalog interface: each call runs under a deadline derived from the
+// client's configured per-request timeout. Components that want
+// cancellation use the client directly; Catalog holders get the same
+// bounded-time behavior the old timeout-signature wrappers provided.
+type clientCatalog struct{ c *rcds.Client }
+
+// ClientCatalog wraps a remote RCDS client as a Catalog. The wrapper
+// also forwards the discovery faces callers probe for by interface
+// assertion: ReadCacheActive (Resolver), MetricsSnapshot (daemon
+// status), and the liveness monitor's long-poll Wait.
+func ClientCatalog(c *rcds.Client) Catalog { return clientCatalog{c} }
+
+// Client returns the wrapped RCDS client, for callers that own its
+// lifecycle (core.Universe.Close) or need the context-first API.
+func (cc clientCatalog) Client() *rcds.Client { return cc.c }
+
+func (cc clientCatalog) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), cc.c.Timeout())
+}
+
+func (cc clientCatalog) Values(uri, name string) ([]string, error) {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.Values(ctx, uri, name)
+}
+
+func (cc clientCatalog) FirstValue(uri, name string) (string, bool, error) {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.FirstValue(ctx, uri, name)
+}
+
+func (cc clientCatalog) URIs(prefix string) ([]string, error) {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.URIs(ctx, prefix)
+}
+
+func (cc clientCatalog) Add(uri, name, value string) error {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.Add(ctx, uri, name, value)
+}
+
+func (cc clientCatalog) Remove(uri, name, value string) error {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.Remove(ctx, uri, name, value)
+}
+
+func (cc clientCatalog) RemoveAll(uri, name string) error {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.RemoveAll(ctx, uri, name)
+}
+
+func (cc clientCatalog) Set(uri, name, value string) error {
+	ctx, cancel := cc.opCtx()
+	defer cancel()
+	return cc.c.Set(ctx, uri, name, value)
+}
+
+// ReadCacheActive reports whether the wrapped client caches reads
+// coherently; the Resolver disables its own TTL cache when so.
+func (cc clientCatalog) ReadCacheActive() bool { return cc.c.ReadCacheActive() }
+
+// MetricsSnapshot forwards the client's metrics registry.
+func (cc clientCatalog) MetricsSnapshot() stats.Snapshot { return cc.c.MetricsSnapshot() }
+
+// Wait forwards the client's long-poll, satisfying the liveness
+// monitor's waiter face. The caller supplies the context: long polls
+// outlive the per-request timeout by design.
+func (cc clientCatalog) Wait(ctx context.Context, since uint64, timeout time.Duration) (uint64, error) {
+	return cc.c.Wait(ctx, since, timeout)
+}
 
 // gatedCatalog wraps a Catalog behind a reachability gate: every
 // operation first consults gate and fails with its error while the

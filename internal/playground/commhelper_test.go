@@ -12,5 +12,5 @@ import (
 func recvMatchT(e *comm.Endpoint, src string, tag uint32, d time.Duration) (*comm.Message, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
-	return e.RecvMatchContext(ctx, src, tag)
+	return e.RecvMatch(ctx, src, tag)
 }

@@ -71,6 +71,11 @@ const (
 	AttrPlayground = "playground"
 	// AttrProtocol lists a file server's supported access protocols.
 	AttrProtocol = "protocol"
+	// AttrServiceReplica is one replica's endpoint URN, published under
+	// a service-group URN (repeatable; see internal/service). Load and
+	// liveness for the replica ride its host's heartbeat, so joining a
+	// group costs exactly one extra assertion.
+	AttrServiceReplica = "service-replica"
 )
 
 // Assertion is one replicated metadata element: for resource URI, the

@@ -186,7 +186,7 @@ func (c *Client) watchLoop(ctx context.Context) {
 			return
 		}
 		pollCtx, cancel := context.WithTimeout(ctx, watchPoll+c.pollTimeout())
-		v, err := c.WaitContext(pollCtx, since, watchPoll)
+		v, err := c.Wait(pollCtx, since, watchPoll)
 		cancel()
 		if err != nil {
 			// Cannot confirm coherence; stop serving cached reads until

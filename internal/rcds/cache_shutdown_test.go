@@ -24,11 +24,11 @@ func TestWatchGoroutineShutdown(t *testing.T) {
 		c := NewClient([]string{s.Addr()}, nil, WithReadCache())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		// Force a real connection + watch establishment before closing.
-		if err := c.SetContext(ctx, "urn:leak", "k", "v"); err != nil {
+		if err := c.Set(ctx, "urn:leak", "k", "v"); err != nil {
 			cancel()
 			t.Fatal(err)
 		}
-		if _, _, err := c.FirstValueContext(ctx, "urn:leak", "k"); err != nil {
+		if _, _, err := c.FirstValue(ctx, "urn:leak", "k"); err != nil {
 			cancel()
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestWatchLoopExitsOnClientClosed(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		c := NewClient([]string{s.Addr()}, nil, WithReadCache())
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		if _, err := c.PingContext(ctx); err != nil {
+		if _, err := c.Ping(ctx); err != nil {
 			cancel()
 			t.Fatal(err)
 		}

@@ -376,18 +376,18 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error
 	return nil, fmt.Errorf("%w (last: %v)", ErrNoServers, lastErr)
 }
 
-// opCtx builds the context legacy (timeout-signature) wrappers use:
-// the configured per-request timeout plus any long-poll allowance.
-func (c *Client) opCtx(extra time.Duration) (context.Context, context.CancelFunc) {
+// Timeout reports the client's configured per-request timeout. Callers
+// that hold a context-less interface (naming.Catalog adapters) use it
+// to derive per-call deadlines.
+func (c *Client) Timeout() time.Duration {
 	c.mu.Lock()
-	timeout := c.timeout
-	c.mu.Unlock()
-	return context.WithTimeout(context.Background(), timeout+extra)
+	defer c.mu.Unlock()
+	return c.timeout
 }
 
-// PingContext checks connectivity, returning the responding server's
+// Ping checks connectivity, returning the responding server's
 // origin ID.
-func (c *Client) PingContext(ctx context.Context) (string, error) {
+func (c *Client) Ping(ctx context.Context) (string, error) {
 	d, err := c.roundTrip(ctx, request(cmdPing, nil))
 	if err != nil {
 		return "", err
@@ -395,8 +395,8 @@ func (c *Client) PingContext(ctx context.Context) (string, error) {
 	return d.StringMax(maxWireURI)
 }
 
-// SetContext makes value the sole live value of (uri, name).
-func (c *Client) SetContext(ctx context.Context, uri, name, value string) error {
+// Set makes value the sole live value of (uri, name).
+func (c *Client) Set(ctx context.Context, uri, name, value string) error {
 	_, err := c.roundTrip(ctx, request(cmdSet, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
@@ -406,8 +406,8 @@ func (c *Client) SetContext(ctx context.Context, uri, name, value string) error 
 	return err
 }
 
-// AddContext inserts value as an additional live value of (uri, name).
-func (c *Client) AddContext(ctx context.Context, uri, name, value string) error {
+// Add inserts value as an additional live value of (uri, name).
+func (c *Client) Add(ctx context.Context, uri, name, value string) error {
 	_, err := c.roundTrip(ctx, request(cmdAdd, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
@@ -417,8 +417,8 @@ func (c *Client) AddContext(ctx context.Context, uri, name, value string) error 
 	return err
 }
 
-// AddSignedContext inserts a value with a detached signature by signer.
-func (c *Client) AddSignedContext(ctx context.Context, uri, name, value, signer string, sig []byte) error {
+// AddSigned inserts a value with a detached signature by signer.
+func (c *Client) AddSigned(ctx context.Context, uri, name, value, signer string, sig []byte) error {
 	_, err := c.roundTrip(ctx, request(cmdAddSigned, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
@@ -430,8 +430,8 @@ func (c *Client) AddSignedContext(ctx context.Context, uri, name, value, signer 
 	return err
 }
 
-// RemoveContext tombstones the (uri, name, value) element.
-func (c *Client) RemoveContext(ctx context.Context, uri, name, value string) error {
+// Remove tombstones the (uri, name, value) element.
+func (c *Client) Remove(ctx context.Context, uri, name, value string) error {
 	_, err := c.roundTrip(ctx, request(cmdRemove, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
@@ -441,8 +441,8 @@ func (c *Client) RemoveContext(ctx context.Context, uri, name, value string) err
 	return err
 }
 
-// RemoveAllContext tombstones every live value of (uri, name).
-func (c *Client) RemoveAllContext(ctx context.Context, uri, name string) error {
+// RemoveAll tombstones every live value of (uri, name).
+func (c *Client) RemoveAll(ctx context.Context, uri, name string) error {
 	_, err := c.roundTrip(ctx, request(cmdRemoveAll, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
@@ -460,8 +460,8 @@ func (c *Client) invalidateWrite(uri string, err error) {
 	}
 }
 
-// GetContext returns the live assertions for uri.
-func (c *Client) GetContext(ctx context.Context, uri string) ([]Assertion, error) {
+// Get returns the live assertions for uri.
+func (c *Client) Get(ctx context.Context, uri string) ([]Assertion, error) {
 	if c.cache != nil {
 		if as, ok := c.cache.lookupGet(uri); ok {
 			c.mCacheHits.Inc()
@@ -486,8 +486,8 @@ func (c *Client) getRemote(ctx context.Context, uri string) ([]Assertion, error)
 	return DecodeAssertions(d)
 }
 
-// ValuesContext returns the live values of (uri, name).
-func (c *Client) ValuesContext(ctx context.Context, uri, name string) ([]string, error) {
+// Values returns the live values of (uri, name).
+func (c *Client) Values(ctx context.Context, uri, name string) ([]string, error) {
 	if c.cache != nil {
 		if vals, ok := c.cache.lookupValues(uri, name); ok {
 			c.mCacheHits.Inc()
@@ -515,9 +515,9 @@ func (c *Client) valuesRemote(ctx context.Context, uri, name string) ([]string, 
 	return d.StringSliceMax(maxWireItems, maxWireValue)
 }
 
-// FirstValueContext returns the most recently written live value of
+// FirstValue returns the most recently written live value of
 // (uri, name).
-func (c *Client) FirstValueContext(ctx context.Context, uri, name string) (string, bool, error) {
+func (c *Client) FirstValue(ctx context.Context, uri, name string) (string, bool, error) {
 	if c.cache != nil {
 		if v, ok, hit := c.cache.lookupFirst(uri, name); hit {
 			c.mCacheHits.Inc()
@@ -550,8 +550,8 @@ func (c *Client) firstRemote(ctx context.Context, uri, name string) (string, boo
 	return v, ok, err
 }
 
-// URIsContext returns all catalogued URIs under prefix.
-func (c *Client) URIsContext(ctx context.Context, prefix string) ([]string, error) {
+// URIs returns all catalogued URIs under prefix.
+func (c *Client) URIs(ctx context.Context, prefix string) ([]string, error) {
 	d, err := c.roundTrip(ctx, request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }))
 	if err != nil {
 		return nil, err
@@ -559,8 +559,8 @@ func (c *Client) URIsContext(ctx context.Context, prefix string) ([]string, erro
 	return d.StringSliceMax(maxWireItems, maxWireValue)
 }
 
-// VectorContext returns the server's version vector.
-func (c *Client) VectorContext(ctx context.Context) (VersionVector, error) {
+// Vector returns the server's version vector.
+func (c *Client) Vector(ctx context.Context) (VersionVector, error) {
 	d, err := c.roundTrip(ctx, request(cmdVector, nil))
 	if err != nil {
 		return nil, err
@@ -568,8 +568,8 @@ func (c *Client) VectorContext(ctx context.Context) (VersionVector, error) {
 	return DecodeVersionVector(d)
 }
 
-// OpsSinceContext returns ops the holder of vector theirs has not seen.
-func (c *Client) OpsSinceContext(ctx context.Context, theirs VersionVector, max int) ([]Assertion, error) {
+// OpsSince returns ops the holder of vector theirs has not seen.
+func (c *Client) OpsSince(ctx context.Context, theirs VersionVector, max int) ([]Assertion, error) {
 	d, err := c.roundTrip(ctx, request(cmdOpsSince, func(e *xdr.Encoder) {
 		theirs.Encode(e)
 		e.PutUint32(uint32(max))
@@ -580,9 +580,9 @@ func (c *Client) OpsSinceContext(ctx context.Context, theirs VersionVector, max 
 	return DecodeAssertions(d)
 }
 
-// ApplyContext pushes replication ops to the server (peer-to-peer
+// Apply pushes replication ops to the server (peer-to-peer
 // path).
-func (c *Client) ApplyContext(ctx context.Context, ops []Assertion) (int, error) {
+func (c *Client) Apply(ctx context.Context, ops []Assertion) (int, error) {
 	d, err := c.roundTrip(ctx, request(cmdApply, func(e *xdr.Encoder) {
 		EncodeAssertions(e, ops)
 	}))
@@ -593,11 +593,11 @@ func (c *Client) ApplyContext(ctx context.Context, ops []Assertion) (int, error)
 	return int(n), err
 }
 
-// WaitContext long-polls until the server's catalog version exceeds
+// Wait long-polls until the server's catalog version exceeds
 // since or the server-side timeout elapses, returning the current
 // version. ctx must outlive the server-side timeout for the poll to
 // complete normally.
-func (c *Client) WaitContext(ctx context.Context, since uint64, timeout time.Duration) (uint64, error) {
+func (c *Client) Wait(ctx context.Context, since uint64, timeout time.Duration) (uint64, error) {
 	d, err := c.roundTrip(ctx, request(cmdWait, func(e *xdr.Encoder) {
 		e.PutUint64(since)
 		e.PutUint32(uint32(timeout / time.Millisecond))
@@ -608,8 +608,8 @@ func (c *Client) WaitContext(ctx context.Context, since uint64, timeout time.Dur
 	return d.Uint64()
 }
 
-// StatsContext returns (uris, live elements, tombstones) on the server.
-func (c *Client) StatsContext(ctx context.Context) (uris, elems, tombs int, err error) {
+// Stats returns (uris, live elements, tombstones) on the server.
+func (c *Client) Stats(ctx context.Context) (uris, elems, tombs int, err error) {
 	d, err := c.roundTrip(ctx, request(cmdStats, nil))
 	if err != nil {
 		return 0, 0, 0, err
@@ -629,13 +629,13 @@ func (c *Client) StatsContext(ctx context.Context) (uris, elems, tombs int, err 
 	return int(u), int(el), int(tb), nil
 }
 
-// WaitForContext polls until (uri, name) has a live value or ctx ends —
+// WaitFor polls until (uri, name) has a live value or ctx ends —
 // the client-side rendezvous primitive SNIPE components use to wait for
 // each other's metadata to appear.
-func (c *Client) WaitForContext(ctx context.Context, uri, name string) (string, error) {
+func (c *Client) WaitFor(ctx context.Context, uri, name string) (string, error) {
 	var version uint64
 	for {
-		v, ok, err := c.FirstValueContext(ctx, uri, name)
+		v, ok, err := c.FirstValue(ctx, uri, name)
 		if err == nil && ok {
 			return v, nil
 		}
@@ -656,163 +656,10 @@ func (c *Client) WaitForContext(ctx context.Context, uri, name string) (string, 
 		}
 		// Use the long-poll to avoid busy-waiting; ignore errors, the
 		// next FirstValue will fail over.
-		if nv, err := c.WaitContext(ctx, version, pollWait); err == nil {
+		if nv, err := c.Wait(ctx, version, pollWait); err == nil {
 			version = nv
 		} else if ctx.Err() == nil {
 			time.Sleep(10 * time.Millisecond)
 		}
 	}
-}
-
-// ---- Deprecated timeout-signature wrappers -------------------------
-//
-// Each wraps its context-first counterpart with the configured
-// per-request timeout, so existing callers keep working while new code
-// passes a context.
-
-// Ping checks connectivity.
-//
-// Deprecated: use PingContext.
-func (c *Client) Ping() (string, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.PingContext(ctx)
-}
-
-// Set makes value the sole live value of (uri, name).
-//
-// Deprecated: use SetContext.
-func (c *Client) Set(uri, name, value string) error {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.SetContext(ctx, uri, name, value)
-}
-
-// Add inserts value as an additional live value of (uri, name).
-//
-// Deprecated: use AddContext.
-func (c *Client) Add(uri, name, value string) error {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.AddContext(ctx, uri, name, value)
-}
-
-// AddSigned inserts a value with a detached signature by signer.
-//
-// Deprecated: use AddSignedContext.
-func (c *Client) AddSigned(uri, name, value, signer string, sig []byte) error {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.AddSignedContext(ctx, uri, name, value, signer, sig)
-}
-
-// Remove tombstones the (uri, name, value) element.
-//
-// Deprecated: use RemoveContext.
-func (c *Client) Remove(uri, name, value string) error {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.RemoveContext(ctx, uri, name, value)
-}
-
-// RemoveAll tombstones every live value of (uri, name).
-//
-// Deprecated: use RemoveAllContext.
-func (c *Client) RemoveAll(uri, name string) error {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.RemoveAllContext(ctx, uri, name)
-}
-
-// Get returns the live assertions for uri.
-//
-// Deprecated: use GetContext.
-func (c *Client) Get(uri string) ([]Assertion, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.GetContext(ctx, uri)
-}
-
-// Values returns the live values of (uri, name).
-//
-// Deprecated: use ValuesContext.
-func (c *Client) Values(uri, name string) ([]string, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.ValuesContext(ctx, uri, name)
-}
-
-// FirstValue returns the most recently written live value of
-// (uri, name).
-//
-// Deprecated: use FirstValueContext.
-func (c *Client) FirstValue(uri, name string) (string, bool, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.FirstValueContext(ctx, uri, name)
-}
-
-// URIs returns all catalogued URIs under prefix.
-//
-// Deprecated: use URIsContext.
-func (c *Client) URIs(prefix string) ([]string, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.URIsContext(ctx, prefix)
-}
-
-// Vector returns the server's version vector.
-//
-// Deprecated: use VectorContext.
-func (c *Client) Vector() (VersionVector, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.VectorContext(ctx)
-}
-
-// OpsSince returns ops the holder of vector theirs has not seen.
-//
-// Deprecated: use OpsSinceContext.
-func (c *Client) OpsSince(theirs VersionVector, max int) ([]Assertion, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.OpsSinceContext(ctx, theirs, max)
-}
-
-// Apply pushes replication ops to the server (peer-to-peer path).
-//
-// Deprecated: use ApplyContext.
-func (c *Client) Apply(ops []Assertion) (int, error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.ApplyContext(ctx, ops)
-}
-
-// Wait long-polls until the server's catalog version exceeds since or
-// the timeout elapses, returning the current version.
-//
-// Deprecated: use WaitContext.
-func (c *Client) Wait(since uint64, timeout time.Duration) (uint64, error) {
-	ctx, cancel := c.opCtx(timeout)
-	defer cancel()
-	return c.WaitContext(ctx, since, timeout)
-}
-
-// Stats returns (uris, live elements, tombstones) on the server.
-//
-// Deprecated: use StatsContext.
-func (c *Client) Stats() (uris, elems, tombs int, err error) {
-	ctx, cancel := c.opCtx(0)
-	defer cancel()
-	return c.StatsContext(ctx)
-}
-
-// WaitFor polls until (uri, name) has a live value or the timeout
-// elapses.
-//
-// Deprecated: use WaitForContext.
-func (c *Client) WaitFor(uri, name string, timeout time.Duration) (string, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return c.WaitForContext(ctx, uri, name)
 }

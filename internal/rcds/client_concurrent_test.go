@@ -24,6 +24,20 @@ func startTestServer(t testing.TB, origin string, delay time.Duration) *Server {
 	return s
 }
 
+// ctxTimeout returns a context bounded by the given duration string,
+// canceled at test cleanup — the idiom for long-poll calls that used to
+// take an explicit timeout argument.
+func ctxTimeout(t testing.TB, d string) context.Context {
+	t.Helper()
+	dur, err := time.ParseDuration(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	t.Cleanup(cancel)
+	return ctx
+}
+
 // TestRequestOverlap proves out-of-order responses on one connection:
 // a Wait long-poll (the delayed response) is outstanding while a Get
 // issued after it on the same connection completes first.
@@ -32,10 +46,10 @@ func TestRequestOverlap(t *testing.T) {
 	c := NewClient([]string{s.Addr()}, nil)
 	defer c.Close()
 
-	if err := c.Set("urn:x", "k", "v"); err != nil {
+	if err := c.Set(context.Background(), "urn:x", "k", "v"); err != nil {
 		t.Fatal(err)
 	}
-	ver, err := c.Wait(0, 0)
+	ver, err := c.Wait(context.Background(), 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,13 +58,13 @@ func TestRequestOverlap(t *testing.T) {
 	go func() {
 		// Long-poll that cannot complete until its server-side timeout:
 		// nothing writes while it is pending.
-		_, err := c.WaitContext(context.Background(), ver, 1500*time.Millisecond)
+		_, err := c.Wait(context.Background(), ver, 1500*time.Millisecond)
 		waitDone <- err
 	}()
 	time.Sleep(100 * time.Millisecond) // let the long-poll reach the server
 
 	start := time.Now()
-	if _, err := c.GetContext(context.Background(), "urn:x"); err != nil {
+	if _, err := c.Get(context.Background(), "urn:x"); err != nil {
 		t.Fatalf("get during long-poll: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -81,7 +95,7 @@ func TestConcurrentLookupsOneConnection(t *testing.T) {
 	defer c.Close()
 
 	for i := 0; i < 4; i++ {
-		if err := c.Set(fmt.Sprintf("urn:m%d", i), "k", fmt.Sprintf("v%d", i)); err != nil {
+		if err := c.Set(context.Background(), fmt.Sprintf("urn:m%d", i), "k", fmt.Sprintf("v%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -98,13 +112,13 @@ func TestConcurrentLookupsOneConnection(t *testing.T) {
 			want := fmt.Sprintf("v%d", g%4)
 			for i := 0; i < iters; i++ {
 				if g%2 == 0 {
-					as, err := c.GetContext(context.Background(), uri)
+					as, err := c.Get(context.Background(), uri)
 					if err != nil || len(as) != 1 || as[0].Value != want {
 						errs <- fmt.Errorf("get %s: %v %v", uri, as, err)
 						return
 					}
 				} else {
-					vals, err := c.ValuesContext(context.Background(), uri, "k")
+					vals, err := c.Values(context.Background(), uri, "k")
 					if err != nil || len(vals) != 1 || vals[0] != want {
 						errs <- fmt.Errorf("values %s: %v %v", uri, vals, err)
 						return
@@ -150,7 +164,7 @@ func TestFailoverMidStream(t *testing.T) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
-			v, ok, err := c.FirstValueContext(ctx, "urn:f", "k")
+			v, ok, err := c.FirstValue(ctx, "urn:f", "k")
 			if err != nil || !ok || v != "v" {
 				errs <- fmt.Errorf("first value: %q %v %v", v, ok, err)
 			}
@@ -178,7 +192,7 @@ func TestReadCacheCoherence(t *testing.T) {
 	reader := NewClient([]string{s.Addr()}, nil, WithReadCache())
 	defer reader.Close()
 
-	if err := writer.Set("urn:c", "k", "v1"); err != nil {
+	if err := writer.Set(context.Background(), "urn:c", "k", "v1"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -186,7 +200,7 @@ func TestReadCacheCoherence(t *testing.T) {
 	// baseline sequence; poll until a repeated read registers a hit.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		v, ok, err := reader.FirstValueContext(context.Background(), "urn:c", "k")
+		v, ok, err := reader.FirstValue(context.Background(), "urn:c", "k")
 		if err != nil || !ok || v != "v1" {
 			t.Fatalf("read v1: %q %v %v", v, ok, err)
 		}
@@ -201,12 +215,12 @@ func TestReadCacheCoherence(t *testing.T) {
 
 	// Remote write by a different client: invisible to the reader's
 	// local invalidation, only the watch can deliver it.
-	if err := writer.Set("urn:c", "k", "v2"); err != nil {
+	if err := writer.Set(context.Background(), "urn:c", "k", "v2"); err != nil {
 		t.Fatal(err)
 	}
 	deadline = time.Now().Add(5 * time.Second)
 	for {
-		v, _, err := reader.FirstValueContext(context.Background(), "urn:c", "k")
+		v, _, err := reader.FirstValue(context.Background(), "urn:c", "k")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,10 +234,10 @@ func TestReadCacheCoherence(t *testing.T) {
 	}
 
 	// Local writes invalidate immediately (read-your-writes).
-	if err := reader.SetContext(context.Background(), "urn:c", "k", "v3"); err != nil {
+	if err := reader.Set(context.Background(), "urn:c", "k", "v3"); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, err := reader.FirstValueContext(context.Background(), "urn:c", "k"); err != nil || v != "v3" {
+	if v, _, err := reader.FirstValue(context.Background(), "urn:c", "k"); err != nil || v != "v3" {
 		t.Fatalf("read-your-writes: %q %v", v, err)
 	}
 
@@ -341,7 +355,7 @@ func TestMuxThroughputSpeedup(t *testing.T) {
 	mux := NewClient([]string{s.Addr()}, nil)
 	defer mux.Close()
 	muxTime := runLookups(t, callers, iters, func() error {
-		_, _, err := mux.FirstValueContext(context.Background(), "urn:t", "k")
+		_, _, err := mux.FirstValue(context.Background(), "urn:t", "k")
 		return err
 	})
 
@@ -363,7 +377,7 @@ func BenchmarkCatalogLookup8(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, _, err := c.FirstValueContext(context.Background(), "urn:b", "k"); err != nil {
+			if _, _, err := c.FirstValue(context.Background(), "urn:b", "k"); err != nil {
 				b.Fatal(err)
 			}
 		}

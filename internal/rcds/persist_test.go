@@ -2,6 +2,7 @@ package rcds
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -113,11 +114,13 @@ func TestRestartedReplicaCatchesUp(t *testing.T) {
 
 	c := NewClient([]string{s0.Addr()}, nil)
 	defer c.Close()
-	c.Set("urn:a", "k", "before")
+	c.Set(context.Background(), "urn:a", "k", "before")
 
 	// Replica 1 receives the write, snapshots, and dies.
 	c1 := NewClient([]string{s1.Addr()}, nil)
-	if _, err := c1.WaitFor("urn:a", "k", 3*time.Second); err != nil {
+	wctx, wcancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer wcancel()
+	if _, err := c1.WaitFor(wctx, "urn:a", "k"); err != nil {
 		t.Fatal(err)
 	}
 	c1.Close()
@@ -128,7 +131,7 @@ func TestRestartedReplicaCatchesUp(t *testing.T) {
 	s1.Close()
 
 	// A write lands while replica 1 is down.
-	c.Set("urn:a", "k2", "while-down")
+	c.Set(context.Background(), "urn:a", "k2", "while-down")
 
 	// Restart from the snapshot; anti-entropy pulls the missed write.
 	restored, err := LoadStore(&snap)
@@ -142,11 +145,13 @@ func TestRestartedReplicaCatchesUp(t *testing.T) {
 	defer s1b.Close()
 	c1b := NewClient([]string{s1b.Addr()}, nil)
 	defer c1b.Close()
-	if v, err := c1b.WaitFor("urn:a", "k2", 5*time.Second); err != nil || v != "while-down" {
+	wctx2, wcancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer wcancel2()
+	if v, err := c1b.WaitFor(wctx2, "urn:a", "k2"); err != nil || v != "while-down" {
 		t.Fatalf("catch-up: %q %v", v, err)
 	}
 	// And it kept the pre-crash state.
-	if v, ok, _ := c1b.FirstValue("urn:a", "k"); !ok || v != "before" {
+	if v, ok, _ := c1b.FirstValue(context.Background(), "urn:a", "k"); !ok || v != "before" {
 		t.Fatalf("pre-crash state: %q %v", v, ok)
 	}
 }

@@ -405,7 +405,7 @@ func (s *Server) pushLoop() {
 					clients[peer] = c
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
-				_, err := c.ApplyContext(ctx, ops)
+				_, err := c.Apply(ctx, ops)
 				cancel()
 				if err != nil {
 					s.mu.Lock()
@@ -443,7 +443,7 @@ func (s *Server) antiEntropyLoop() {
 					clients[peer] = c
 				}
 				ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
-				ops, err := c.OpsSinceContext(ctx, s.store.Vector(), 0)
+				ops, err := c.OpsSince(ctx, s.store.Vector(), 0)
 				cancel()
 				if err != nil {
 					continue // peer down; try again next tick

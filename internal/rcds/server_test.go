@@ -2,6 +2,7 @@ package rcds
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -51,48 +52,48 @@ func TestClientPingAndBasicOps(t *testing.T) {
 	c := NewClient(groupAddrs(servers), nil)
 	defer c.Close()
 
-	origin, err := c.Ping()
+	origin, err := c.Ping(context.Background())
 	if err != nil || origin != "rc0" {
 		t.Fatalf("Ping = %q, %v", origin, err)
 	}
-	if err := c.Set("urn:h1", AttrArch, "linux"); err != nil {
+	if err := c.Set(context.Background(), "urn:h1", AttrArch, "linux"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Add("urn:h1", AttrInterface, "tcp://127.0.0.1:1"); err != nil {
+	if err := c.Add(context.Background(), "urn:h1", AttrInterface, "tcp://127.0.0.1:1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Add("urn:h1", AttrInterface, "tcp://127.0.0.1:2"); err != nil {
+	if err := c.Add(context.Background(), "urn:h1", AttrInterface, "tcp://127.0.0.1:2"); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := c.FirstValue("urn:h1", AttrArch)
+	v, ok, err := c.FirstValue(context.Background(), "urn:h1", AttrArch)
 	if err != nil || !ok || v != "linux" {
 		t.Fatalf("FirstValue = %q %v %v", v, ok, err)
 	}
-	vals, err := c.Values("urn:h1", AttrInterface)
+	vals, err := c.Values(context.Background(), "urn:h1", AttrInterface)
 	if err != nil || len(vals) != 2 {
 		t.Fatalf("Values = %v, %v", vals, err)
 	}
-	as, err := c.Get("urn:h1")
+	as, err := c.Get(context.Background(), "urn:h1")
 	if err != nil || len(as) != 3 {
 		t.Fatalf("Get = %v, %v", as, err)
 	}
-	if err := c.Remove("urn:h1", AttrInterface, "tcp://127.0.0.1:1"); err != nil {
+	if err := c.Remove(context.Background(), "urn:h1", AttrInterface, "tcp://127.0.0.1:1"); err != nil {
 		t.Fatal(err)
 	}
-	if vals, _ := c.Values("urn:h1", AttrInterface); len(vals) != 1 {
+	if vals, _ := c.Values(context.Background(), "urn:h1", AttrInterface); len(vals) != 1 {
 		t.Fatalf("after Remove: %v", vals)
 	}
-	if err := c.RemoveAll("urn:h1", AttrInterface); err != nil {
+	if err := c.RemoveAll(context.Background(), "urn:h1", AttrInterface); err != nil {
 		t.Fatal(err)
 	}
-	if vals, _ := c.Values("urn:h1", AttrInterface); len(vals) != 0 {
+	if vals, _ := c.Values(context.Background(), "urn:h1", AttrInterface); len(vals) != 0 {
 		t.Fatalf("after RemoveAll: %v", vals)
 	}
-	uris, err := c.URIs("urn:")
+	uris, err := c.URIs(context.Background(), "urn:")
 	if err != nil || len(uris) != 1 {
 		t.Fatalf("URIs = %v, %v", uris, err)
 	}
-	if _, _, _, err := c.Stats(); err != nil {
+	if _, _, _, err := c.Stats(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,10 +102,10 @@ func TestClientAddSigned(t *testing.T) {
 	servers := startReplicaGroup(t, 1, nil)
 	c := NewClient(groupAddrs(servers), nil)
 	defer c.Close()
-	if err := c.AddSigned("urn:p1", AttrPublicKey, "aabb", "alice", []byte{9}); err != nil {
+	if err := c.AddSigned(context.Background(), "urn:p1", AttrPublicKey, "aabb", "alice", []byte{9}); err != nil {
 		t.Fatal(err)
 	}
-	as, err := c.Get("urn:p1")
+	as, err := c.Get(context.Background(), "urn:p1")
 	if err != nil || len(as) != 1 {
 		t.Fatalf("Get = %v, %v", as, err)
 	}
@@ -117,13 +118,13 @@ func TestReplicationPushPropagates(t *testing.T) {
 	servers := startReplicaGroup(t, 3, nil)
 	c0 := NewClient([]string{servers[0].Addr()}, nil)
 	defer c0.Close()
-	if err := c0.Set("urn:x", "n", "v"); err != nil {
+	if err := c0.Set(context.Background(), "urn:x", "n", "v"); err != nil {
 		t.Fatal(err)
 	}
 	// The write lands on replica 0 and should propagate to 1 and 2.
 	for i := 1; i < 3; i++ {
 		ci := NewClient([]string{servers[i].Addr()}, nil)
-		if _, err := ci.WaitFor("urn:x", "n", 3*time.Second); err != nil {
+		if _, err := ci.WaitFor(ctxTimeout(t, "3s"), "urn:x", "n"); err != nil {
 			t.Fatalf("replica %d: %v", i, err)
 		}
 		ci.Close()
@@ -136,7 +137,7 @@ func TestAntiEntropyHealsPartition(t *testing.T) {
 	servers[1].Close()
 	c0 := NewClient([]string{servers[0].Addr()}, nil)
 	defer c0.Close()
-	if err := c0.Set("urn:healed", "n", "v"); err != nil {
+	if err := c0.Set(context.Background(), "urn:healed", "n", "v"); err != nil {
 		t.Fatal(err)
 	}
 	// Bring replica 1 back on a fresh listener over the same store.
@@ -149,7 +150,7 @@ func TestAntiEntropyHealsPartition(t *testing.T) {
 	defer revived.Close()
 	c1 := NewClient([]string{revived.Addr()}, nil)
 	defer c1.Close()
-	if _, err := c1.WaitFor("urn:healed", "n", 3*time.Second); err != nil {
+	if _, err := c1.WaitFor(ctxTimeout(t, "3s"), "urn:healed", "n"); err != nil {
 		t.Fatalf("anti-entropy did not heal: %v", err)
 	}
 }
@@ -159,16 +160,16 @@ func TestClientFailover(t *testing.T) {
 	c := NewClient(groupAddrs(servers), nil)
 	defer c.Close()
 	c.SetTimeout(500 * time.Millisecond)
-	if err := c.Set("urn:a", "n", "1"); err != nil {
+	if err := c.Set(context.Background(), "urn:a", "n", "1"); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the replica the client is connected to; the next request
 	// must fail over transparently.
 	servers[0].Close()
-	if err := c.Set("urn:a", "n2", "2"); err != nil {
+	if err := c.Set(context.Background(), "urn:a", "n2", "2"); err != nil {
 		t.Fatalf("failover Set: %v", err)
 	}
-	if _, ok, err := c.FirstValue("urn:a", "n2"); err != nil || !ok {
+	if _, ok, err := c.FirstValue(context.Background(), "urn:a", "n2"); err != nil || !ok {
 		t.Fatalf("failover read: %v %v", ok, err)
 	}
 }
@@ -177,7 +178,7 @@ func TestClientAllServersDown(t *testing.T) {
 	c := NewClient([]string{"127.0.0.1:1"}, nil) // nothing listening
 	defer c.Close()
 	c.SetTimeout(200 * time.Millisecond)
-	if _, err := c.Ping(); !errors.Is(err, ErrNoServers) {
+	if _, err := c.Ping(context.Background()); !errors.Is(err, ErrNoServers) {
 		t.Fatalf("want ErrNoServers, got %v", err)
 	}
 }
@@ -188,7 +189,7 @@ func TestHMACAuthentication(t *testing.T) {
 
 	good := NewClient(groupAddrs(servers), secret)
 	defer good.Close()
-	if err := good.Set("urn:s", "n", "v"); err != nil {
+	if err := good.Set(context.Background(), "urn:s", "n", "v"); err != nil {
 		t.Fatalf("authenticated client: %v", err)
 	}
 
@@ -197,7 +198,7 @@ func TestHMACAuthentication(t *testing.T) {
 	bad := NewClient(groupAddrs(servers), []byte("wrong"))
 	defer bad.Close()
 	bad.SetTimeout(300 * time.Millisecond)
-	if _, err := bad.Ping(); err == nil {
+	if _, err := bad.Ping(context.Background()); err == nil {
 		t.Fatal("wrong secret accepted")
 	}
 
@@ -205,14 +206,14 @@ func TestHMACAuthentication(t *testing.T) {
 	none := NewClient(groupAddrs(servers), nil)
 	defer none.Close()
 	none.SetTimeout(300 * time.Millisecond)
-	if _, err := none.Ping(); err == nil {
+	if _, err := none.Ping(context.Background()); err == nil {
 		t.Fatal("missing MAC accepted")
 	}
 
 	// Replication still works between authenticated peers.
 	c1 := NewClient([]string{servers[1].Addr()}, secret)
 	defer c1.Close()
-	if _, err := c1.WaitFor("urn:s", "n", 3*time.Second); err != nil {
+	if _, err := c1.WaitFor(ctxTimeout(t, "3s"), "urn:s", "n"); err != nil {
 		t.Fatalf("authenticated replication: %v", err)
 	}
 }
@@ -221,13 +222,13 @@ func TestWaitLongPoll(t *testing.T) {
 	servers := startReplicaGroup(t, 1, nil)
 	c := NewClient(groupAddrs(servers), nil)
 	defer c.Close()
-	v0, err := c.Wait(0, 10*time.Millisecond) // immediate: version 0 exceeded? version starts at 0
+	v0, err := c.Wait(context.Background(), 0, 10*time.Millisecond) // immediate: version 0 exceeded? version starts at 0
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan uint64, 1)
 	go func() {
-		v, err := c.Wait(v0, 5*time.Second)
+		v, err := c.Wait(context.Background(), v0, 5*time.Second)
 		if err != nil {
 			t.Errorf("Wait: %v", err)
 		}
@@ -236,7 +237,7 @@ func TestWaitLongPoll(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	c2 := NewClient(groupAddrs(servers), nil)
 	defer c2.Close()
-	if err := c2.Set("urn:w", "n", "v"); err != nil {
+	if err := c2.Set(context.Background(), "urn:w", "n", "v"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -253,16 +254,16 @@ func TestVectorAndOpsSinceRPC(t *testing.T) {
 	servers := startReplicaGroup(t, 1, nil)
 	c := NewClient(groupAddrs(servers), nil)
 	defer c.Close()
-	c.Set("urn:v", "n", "1")
-	c.Set("urn:v", "n", "2")
-	vv, err := c.Vector()
+	c.Set(context.Background(), "urn:v", "n", "1")
+	c.Set(context.Background(), "urn:v", "n", "2")
+	vv, err := c.Vector(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if vv["rc0"] == 0 {
 		t.Fatalf("vector = %v", vv)
 	}
-	ops, err := c.OpsSince(VersionVector{}, 0)
+	ops, err := c.OpsSince(context.Background(), VersionVector{}, 0)
 	if err != nil || len(ops) == 0 {
 		t.Fatalf("OpsSince = %v, %v", ops, err)
 	}
@@ -294,11 +295,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for j := 0; j < 20; j++ {
 				uri := fmt.Sprintf("urn:c%d", id)
-				if err := c.Set(uri, "n", fmt.Sprintf("%d", j)); err != nil {
+				if err := c.Set(context.Background(), uri, "n", fmt.Sprintf("%d", j)); err != nil {
 					errs <- err
 					return
 				}
-				if _, _, err := c.FirstValue(uri, "n"); err != nil {
+				if _, _, err := c.FirstValue(context.Background(), uri, "n"); err != nil {
 					errs <- err
 					return
 				}
@@ -337,7 +338,7 @@ func BenchmarkRPCSet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Set("urn:bench", "n", "v"); err != nil {
+		if err := c.Set(context.Background(), "urn:bench", "n", "v"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -351,11 +352,11 @@ func BenchmarkRPCGet(b *testing.B) {
 	defer s.Close()
 	c := NewClient([]string{s.Addr()}, nil)
 	defer c.Close()
-	c.Set("urn:bench", "n", "v")
+	c.Set(context.Background(), "urn:bench", "n", "v")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Get("urn:bench"); err != nil {
+		if _, err := c.Get(context.Background(), "urn:bench"); err != nil {
 			b.Fatal(err)
 		}
 	}

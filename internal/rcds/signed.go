@@ -41,14 +41,14 @@ func VerifyAssertion(a *Assertion, pub ed25519.PublicKey) error {
 // AddSignedBy signs and publishes one assertion in a single step.
 func (c *Client) AddSignedBy(ctx context.Context, signer *seckey.Principal, uri, name, value string) error {
 	sig := SignAssertionValue(signer, uri, name, value)
-	return c.AddSignedContext(ctx, uri, name, value, signer.Name, sig)
+	return c.AddSigned(ctx, uri, name, value, signer.Name, sig)
 }
 
 // PublishKey publishes a principal's public key as its RC metadata, so
 // verifiers can find it (§4: "each principal's public key is stored as
 // an attribute of that principal's RC metadata").
 func (c *Client) PublishKey(ctx context.Context, p *seckey.Principal) error {
-	return c.SetContext(ctx, p.Name, AttrPublicKey, p.PublicHex())
+	return c.Set(ctx, p.Name, AttrPublicKey, p.PublicHex())
 }
 
 // VerifiedValues returns the values of (uri, name) whose signatures
@@ -56,7 +56,7 @@ func (c *Client) PublishKey(ctx context.Context, p *seckey.Principal) error {
 // unverifiable ones. The trust decision — whether a given signer is
 // acceptable — is the caller's, applied to the returned signer names.
 func (c *Client) VerifiedValues(ctx context.Context, uri, name string) (values []string, signers []string, err error) {
-	as, err := c.GetContext(ctx, uri)
+	as, err := c.Get(ctx, uri)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -65,7 +65,7 @@ func (c *Client) VerifiedValues(ctx context.Context, uri, name string) (values [
 		if a.Name != name || len(a.Signature) == 0 || a.Signer == "" {
 			continue
 		}
-		keyHex, ok, err := c.FirstValueContext(ctx, a.Signer, AttrPublicKey)
+		keyHex, ok, err := c.FirstValue(ctx, a.Signer, AttrPublicKey)
 		if err != nil || !ok {
 			continue
 		}

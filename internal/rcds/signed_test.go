@@ -40,8 +40,8 @@ func TestSignedAssertionEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	forged := SignAssertionValue(mallory, "urn:snipe:file:data", AttrLocation, "https://evil/data")
-	c.AddSigned("urn:snipe:file:data", AttrLocation, "https://evil/data", alice.Name, forged)
-	c.Add("urn:snipe:file:data", AttrLocation, "https://unsigned/data")
+	c.AddSigned(context.Background(), "urn:snipe:file:data", AttrLocation, "https://evil/data", alice.Name, forged)
+	c.Add(context.Background(), "urn:snipe:file:data", AttrLocation, "https://unsigned/data")
 
 	values, signers, err := c.VerifiedValues(context.Background(), "urn:snipe:file:data", AttrLocation)
 	if err != nil {
@@ -84,7 +84,7 @@ func TestSignedAssertionSurvivesReplication(t *testing.T) {
 	// Read through the other replica: the signature replicated intact.
 	c1 := NewClient([]string{servers[1].Addr()}, nil)
 	defer c1.Close()
-	if _, err := c1.WaitFor("urn:doc", "hash", 5e9); err != nil {
+	if _, err := c1.WaitFor(ctxTimeout(t, "5s"), "urn:doc", "hash"); err != nil {
 		t.Fatal(err)
 	}
 	values, _, err := c1.VerifiedValues(context.Background(), "urn:doc", "hash")

@@ -482,7 +482,7 @@ func (c *Client) awaitResp(rmURN string, reqID uint64, timeout time.Duration) (s
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	for {
-		m, err := c.ep.RecvMatchContext(ctx, rmURN, task.TagRMResp)
+		m, err := c.ep.RecvMatch(ctx, rmURN, task.TagRMResp)
 		if err != nil {
 			return "", err
 		}

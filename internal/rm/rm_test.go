@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"snipe/internal/comm"
-	"snipe/internal/liveness"
 	"snipe/internal/daemon"
+	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/task"

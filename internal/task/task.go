@@ -335,7 +335,7 @@ func (c *Context) Recv(timeout time.Duration) (*comm.Message, error) {
 	c.pausePoint()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return c.endpoint.RecvContext(ctx)
+	return c.endpoint.Recv(ctx)
 }
 
 // RecvMatch receives selectively, honouring suspension.
@@ -343,7 +343,7 @@ func (c *Context) RecvMatch(src string, tag uint32, timeout time.Duration) (*com
 	c.pausePoint()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	return c.endpoint.RecvMatchContext(ctx, src, tag)
+	return c.endpoint.RecvMatch(ctx, src, tag)
 }
 
 // pausePoint blocks while the task is suspended — the cooperative
