@@ -1,6 +1,8 @@
 // Command snipe-lint runs the SNIPE-specific static-analysis suite
-// (ctxfirst, lockedio, xdrbound, statskey) over the packages matching
-// its arguments (default ./...).
+// (ctxfirst, lockedio, xdrbound, statskey, lockorder, ctxleak,
+// goroutinelife, taguniq) over the packages matching its arguments
+// (default ./...). With -tests, in-package _test.go files are loaded
+// too, so goroutinelife covers goroutines spawned by test helpers.
 //
 // Exit status: 0 with no findings, 1 with findings, 2 on load or
 // internal errors. Suppress a finding with a mandatory-reason comment:
@@ -21,8 +23,9 @@ import (
 
 func main() {
 	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: snipe-lint [-C dir] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snipe-lint [-C dir] [-tests] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -36,14 +39,18 @@ func main() {
 	}
 
 	fset := token.NewFileSet()
-	pkgs, err := lint.Load(fset, *dir, patterns)
+	load := lint.Load
+	if *tests {
+		load = lint.LoadWithTests
+	}
+	pkgs, err := load(fset, *dir, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snipe-lint:", err)
 		os.Exit(2)
 	}
 	suite := lint.NewSuite(fset, lint.Analyzers())
 	for _, p := range pkgs {
-		if err := suite.RunPackage(p.Files, p.Pkg, p.Info); err != nil {
+		if err := suite.Run(p); err != nil {
 			fmt.Fprintln(os.Stderr, "snipe-lint:", err)
 			os.Exit(2)
 		}

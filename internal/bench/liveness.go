@@ -117,21 +117,19 @@ func MeasureDetection(mode string, hbInterval time.Duration) (FailoverPoint, sta
 		return pt, stats.Snapshot{}, fmt.Errorf("bench: unknown detection mode %q", mode)
 	}
 
-	// Poll placement until it stops answering with the victim.
+	// Poll placement until it stops answering with the victim, bounded
+	// by a 10s deadline in the loop condition.
 	placed := make(chan time.Duration, 1)
 	go func() {
-		for {
+		for time.Since(inject) <= 10*time.Second {
 			host, _, err := mgr.SelectHost(task.Requirements{})
 			if err == nil && host != victim.HostURL() {
 				placed <- time.Since(inject)
 				return
 			}
-			if time.Since(inject) > 10*time.Second {
-				placed <- -1
-				return
-			}
 			time.Sleep(2 * time.Millisecond)
 		}
+		placed <- -1
 	}()
 
 	// Watch transitions until the victim settles (dead or left), then

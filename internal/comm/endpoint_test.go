@@ -431,6 +431,7 @@ func BenchmarkEndpointPingPongTCP(b *testing.B) {
 	rb, _ := bb.Listen(ListenSpec{Transport: "tcp", Addr: "127.0.0.1:0"})
 	res.set("urn:a", ra)
 	res.set("urn:b", rb)
+	//lint:allow goroutinelife echo responder exits when recvT errors after the deferred Close
 	go func() {
 		for {
 			m, err := recvT(bb, 10*time.Second)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"snipe/internal/testutil"
 )
 
 // Timeout-flavoured conveniences over the context-first Endpoint API,
@@ -27,18 +29,9 @@ func sendWaitT(e *Endpoint, dst string, tag uint32, payload []byte, d time.Durat
 	return e.SendWait(ctx, dst, tag, payload)
 }
 
-// waitFor polls cond until it holds or d elapses, failing the test
-// with msg on expiry. Bounded condition polling replaces the fixed
-// sleeps that made timing-sensitive tests flake on loaded machines: a
-// fast machine passes in microseconds, a slow one gets the whole
-// budget.
+// waitFor is testutil.WaitFor under the package-local name the comm
+// tests grew up with.
 func waitFor(t testing.TB, d time.Duration, cond func() bool, msg string) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("condition not reached within %v: %s", d, msg)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.WaitFor(t, d, cond, msg)
 }

@@ -241,6 +241,7 @@ func TestRUDPManyFramesOverRealUDP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	//lint:allow goroutinelife echo loop exits when the conn errors after the deferred ln.Close
 	go func() {
 		c, err := ln.Accept()
 		if err != nil {
@@ -282,6 +283,7 @@ func TestRUDPManyFramesOverRealUDP(t *testing.T) {
 func BenchmarkRUDPThroughputLoopback(b *testing.B) {
 	a, bb, _ := rudpPair(b, netsim.Loopback, 1)
 	payload := make([]byte, 1024)
+	//lint:allow goroutinelife drain loop exits when Recv errors after the pair's cleanup closes bb
 	go func() {
 		for {
 			if _, err := bb.Recv(); err != nil {

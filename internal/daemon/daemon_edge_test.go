@@ -7,6 +7,7 @@ import (
 
 	"snipe/internal/comm"
 	"snipe/internal/task"
+	"snipe/internal/testutil"
 )
 
 func TestAdoptUnknownProgram(t *testing.T) {
@@ -161,16 +162,10 @@ func TestReleaseRemote(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The task disappears from the table.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, err := d.TaskState(urn); errors.Is(err, ErrUnknownTask) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("release never took effect")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		_, err := d.TaskState(urn)
+		return errors.Is(err, ErrUnknownTask)
+	}, "release never took effect")
 }
 
 func TestSpecEncodeViaProtocol(t *testing.T) {

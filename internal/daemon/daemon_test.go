@@ -11,6 +11,7 @@ import (
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/task"
+	"snipe/internal/testutil"
 	"snipe/internal/xdr"
 )
 
@@ -473,17 +474,10 @@ func TestLoadPublishing(t *testing.T) {
 		t.Fatalf("load = %v", got)
 	}
 	// The heartbeat loop publishes the load figure to the catalog.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if load, ok := liveness.HostLoad(w.cat, d.HostURL()); ok && load == 2.0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			v, _ := w.store.FirstValue(d.HostURL(), rcds.AttrHeartbeat)
-			t.Fatalf("load never published: heartbeat %q", v)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 3*time.Second, func() bool {
+		load, ok := liveness.HostLoad(w.cat, d.HostURL())
+		return ok && load == 2.0
+	}, "load never published to the catalog")
 	for _, urn := range urns {
 		d.Signal(urn, task.SigKill)
 	}

@@ -12,6 +12,7 @@ import (
 	"snipe/internal/lifn"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
+	"snipe/internal/testutil"
 )
 
 type world struct {
@@ -255,16 +256,10 @@ func TestReplicatorBackground(t *testing.T) {
 	r.Start()
 	defer r.Stop()
 	s1.Put("late-file", []byte("data"))
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if _, ok := s2.Get("late-file"); ok {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("background replication never happened")
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		_, ok := s2.Get("late-file")
+		return ok
+	}, "background replication never happened")
 	if r.Copied() == 0 {
 		t.Fatal("Copied() = 0")
 	}

@@ -1,0 +1,382 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxleak verifies that every cancel function returned by
+// context.WithCancel/WithTimeout/WithDeadline (and their *Cause
+// variants) is called on all paths out of its scope. A context whose
+// cancel is never called pins its timer and parent-walk bookkeeping
+// until the parent context ends — in SNIPE's long-lived daemons the
+// parent is often context.Background(), so the leak is forever.
+//
+// The analysis is intra-procedural and errs conservative-but-quiet:
+//
+//   - assigning the cancel to the blank identifier is always a finding;
+//   - a cancel that is never referenced again is a finding;
+//   - a cancel that escapes — stored in a struct or variable, passed as
+//     an argument, returned, or captured by a function literal — is
+//     assumed managed by its new owner and accepted;
+//   - a cancel only ever invoked directly is path-checked within the
+//     statement list that declares it: every path to the end of that
+//     list, and every return out of it, must contain a call (a defer
+//     covers all exits after it executes, which is why
+//     `defer cancel()` on the next line is the canonical shape).
+var ctxleakFuncs = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+// NewCtxleak returns the ctxleak analyzer.
+func NewCtxleak() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxleak",
+		Doc:  "requires context cancel functions to be called on every path, typically via defer",
+	}
+	a.Run = runCtxleak
+	return a
+}
+
+func runCtxleak(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				ctxleakFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxleakCancelAssign recognizes `ctx, cancel := context.WithX(...)`
+// (or =) and returns the cancel ident and the context call, or nils.
+func ctxleakCancelAssign(info *types.Info, s ast.Stmt) (*ast.Ident, *ast.CallExpr) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" || !ctxleakFuncs[f.Name()] {
+		return nil, nil
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return id, call
+}
+
+// ctxleakFunc checks every cancel created directly in body (not inside
+// nested function literals, which are visited as their own functions).
+func ctxleakFunc(pass *Pass, body *ast.BlockStmt) {
+	// Statement lists of this function frame, outermost first, without
+	// descending into nested FuncLits.
+	var lists [][]ast.Stmt
+	var collect func(n ast.Node) bool
+	collect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			lists = append(lists, n.List)
+		case *ast.CaseClause:
+			lists = append(lists, n.Body)
+		case *ast.CommClause:
+			lists = append(lists, n.Body)
+		}
+		return true
+	}
+	ast.Inspect(body, collect)
+
+	for _, list := range lists {
+		for i, s := range list {
+			id, call := ctxleakCancelAssign(pass.Info, s)
+			if id == nil {
+				continue
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"cancel function discarded; the context and its timer leak until the parent context ends")
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			uses := ctxleakUses(pass.Info, body, id, obj)
+			if uses.escapes {
+				continue // the new owner is responsible
+			}
+			if len(uses.calls) == 0 && !uses.deferred {
+				pass.Reportf(call.Pos(), "cancel function is never called; the context leaks")
+				continue
+			}
+			st := &ctxleakState{obj: obj, info: pass.Info}
+			st.walkStmts(list[i+1:])
+			if !st.called || st.leaked {
+				pass.Reportf(call.Pos(),
+					"cancel function is not called on every path; call it via defer so early returns release the context")
+			}
+		}
+	}
+}
+
+// ctxleakUseSet classifies how a cancel object is referenced.
+type ctxleakUseSet struct {
+	calls    []*ast.CallExpr
+	deferred bool
+	escapes  bool
+}
+
+// ctxleakUses walks body classifying each reference to obj. A reference
+// that is not the callee of a direct call or defer — an argument, a
+// return value, the RHS of an assignment, a composite-literal element,
+// or any use inside a nested function literal — counts as an escape.
+func ctxleakUses(info *types.Info, body *ast.BlockStmt, def *ast.Ident, obj types.Object) ctxleakUseSet {
+	var out ctxleakUseSet
+	var stack []ast.Node
+	inFuncLit := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok {
+				inFuncLit--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			inFuncLit++
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if info.Uses[id] != obj {
+			return true
+		}
+		if inFuncLit > 0 {
+			out.escapes = true
+			return true
+		}
+		// Direct call? parent is CallExpr with Fun == id, grandparent
+		// ExprStmt or DeferStmt.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == id {
+				switch stack[len(stack)-3].(type) {
+				case *ast.ExprStmt:
+					out.calls = append(out.calls, call)
+					return true
+				case *ast.DeferStmt:
+					out.deferred = true
+					return true
+				}
+			}
+		}
+		out.escapes = true
+		return true
+	})
+	return out
+}
+
+// ctxleakState is the all-paths interpreter over the statement list
+// following a creation site: called means the fallthrough path has
+// definitely called (or deferred) the cancel; leaked means some exit —
+// a return, or a break/continue that leaves the region — was reached
+// before a call. breakDepth/continueDepth count enclosing constructs
+// inside the region a break/continue would target; at depth zero they
+// exit the region itself.
+type ctxleakState struct {
+	obj           types.Object
+	info          *types.Info
+	called        bool
+	leaked        bool
+	breakDepth    int
+	continueDepth int
+}
+
+// stmtCalls reports whether s is a direct `cancel()` or `defer cancel()`.
+func (st *ctxleakState) stmtCalls(s ast.Stmt) bool {
+	var call *ast.CallExpr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && st.info.Uses[id] == st.obj
+}
+
+// stmtTerminates reports whether s abandons the path without a normal
+// return: panic or os.Exit. Such a path owes no cancel (only a defer
+// could run there anyway).
+func stmtTerminates(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok && f.Pkg() != nil &&
+			f.Pkg().Path() == "os" && f.Name() == "Exit" {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *ctxleakState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *ctxleakState) walkStmt(s ast.Stmt) {
+	if !st.called && st.stmtCalls(s) {
+		st.called = true
+		return
+	}
+	if !st.called && stmtTerminates(st.info, s) {
+		st.called = true // path abandoned; nothing more owed on it
+		return
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if !st.called {
+			st.leaked = true
+		}
+	case *ast.BranchStmt:
+		// A break or continue that targets a construct outside the
+		// analyzed region leaves it exactly like a return does.
+		switch s.Tok {
+		case token.BREAK:
+			if st.breakDepth == 0 && !st.called {
+				st.leaked = true
+			}
+		case token.CONTINUE:
+			if st.continueDepth == 0 && !st.called {
+				st.leaked = true
+			}
+		}
+	case *ast.BlockStmt:
+		st.walkStmts(s.List)
+	case *ast.LabeledStmt:
+		st.walkStmt(s.Stmt)
+	case *ast.IfStmt:
+		thenSt := st.fork()
+		thenSt.walkStmts(s.Body.List)
+		elseSt := st.fork()
+		if s.Else != nil {
+			elseSt.walkStmt(s.Else)
+		}
+		st.leaked = st.leaked || thenSt.leaked || elseSt.leaked
+		if s.Else != nil && thenSt.called && elseSt.called {
+			st.called = true
+		}
+	case *ast.ForStmt:
+		// The body may run zero times: calls inside do not count for
+		// the fallthrough path, but exits out of the region are still
+		// checked.
+		bodySt := st.fork()
+		bodySt.breakDepth++
+		bodySt.continueDepth++
+		bodySt.walkStmts(s.Body.List)
+		st.leaked = st.leaked || bodySt.leaked
+	case *ast.RangeStmt:
+		bodySt := st.fork()
+		bodySt.breakDepth++
+		bodySt.continueDepth++
+		bodySt.walkStmts(s.Body.List)
+		st.leaked = st.leaked || bodySt.leaked
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			bodyList = sw.Body.List
+		} else {
+			bodyList = s.(*ast.TypeSwitchStmt).Body.List
+		}
+		all := len(bodyList) > 0
+		hasDefault := false
+		for _, c := range bodyList {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseSt := st.fork()
+			caseSt.breakDepth++
+			caseSt.walkStmts(cc.Body)
+			if !caseSt.called {
+				all = false
+			}
+			st.leaked = st.leaked || caseSt.leaked
+		}
+		if all && hasDefault {
+			st.called = true
+		}
+	case *ast.SelectStmt:
+		// A select executes exactly one clause.
+		all := len(s.Body.List) > 0
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.fork()
+			caseSt.breakDepth++
+			caseSt.walkStmts(cc.Body)
+			if !caseSt.called {
+				all = false
+			}
+			st.leaked = st.leaked || caseSt.leaked
+		}
+		if all {
+			st.called = true
+		}
+	}
+}
+
+func (st *ctxleakState) fork() *ctxleakState {
+	c := *st
+	return &c
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// goroutinelife checks that goroutines spawned in library code have a
+// bounded lifetime: a `go` statement whose body can block forever with
+// no escape hatch outlives its owner, accumulates under churn, and is
+// exactly the leak class the runtime checker in internal/testutil
+// catches only when a test happens to hit it. The static rule:
+//
+//   - a goroutine containing an unbounded loop (`for { ... }` or
+//     `for true { ... }`) must carry a lifetime signal somewhere in its
+//     body: a receive from a ctx.Done()-style channel or a chan
+//     struct{} done-channel (close broadcasts), a range over a channel
+//     (bounded by close), or a receive/select on a channel whose name
+//     says lifecycle (done/quit/stop/close/shutdown);
+//   - a goroutine performing a bare blocking channel operation outside
+//     any select — `ch <- v` or `<-ch` on an unbuffered or unknowable
+//     channel — with no lifetime signal is flagged too: if the peer
+//     goroutine dies first, this one blocks forever. Sends to channels
+//     whose visible creation is a buffered make are exempt — the buffer
+//     is the escape hatch. (In _test.go files only the unbounded-loop
+//     rule applies; test goroutines routinely hand one value to a
+//     receiver the test guarantees.)
+//
+// Intentional forever-goroutines (process-lifetime singletons) carry a
+// `//lint:allow goroutinelife <reason>` on the `go` statement.
+//
+// The analyzer resolves `go f()` to the body of f when f is declared in
+// the same package; cross-package spawn helpers are out of scope.
+
+// NewGoroutinelife returns the goroutinelife analyzer.
+func NewGoroutinelife() *Analyzer {
+	a := &Analyzer{
+		Name:  "goroutinelife",
+		Doc:   "flags library goroutines that can block forever with no ctx/done/close escape",
+		Tests: true,
+	}
+	a.Run = runGoroutinelife
+	return a
+}
+
+func runGoroutinelife(pass *Pass) error {
+	// Goroutines in package main are process-lifetime by definition.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	// Index same-package function declarations for `go f()` resolution.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	buffered := goroutineBuffered(pass.Info, pass.Files)
+	for _, file := range pass.Files {
+		testFile := pass.IsTest(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if fd := decls[pass.Info.Uses[fun]]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body == nil {
+				return true
+			}
+			g := goroutineScan(pass.Info, body, buffered)
+			if g.signal {
+				return true
+			}
+			if g.loopPos.IsValid() {
+				pass.Reportf(gs.Pos(),
+					"goroutine loops forever with no lifetime signal; select on a ctx.Done()/close(done) channel or bound the loop")
+				return true
+			}
+			if !testFile && g.blockPos.IsValid() {
+				pass.Reportf(gs.Pos(),
+					"goroutine blocks on a bare channel %s with no lifetime signal; if the peer goroutine is gone it blocks forever — use a select with a done case or a buffered channel",
+					g.blockKind)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineFacts is what one goroutine body exhibits.
+type goroutineFacts struct {
+	signal    bool // has a lifetime escape: done-receive, channel range, …
+	loopPos   token.Pos
+	blockPos  token.Pos
+	blockKind string // "send" or "receive"
+}
+
+// goroutineScan inspects body (including nested non-go function
+// literals — a helper closure invoked by the goroutine runs on it) for
+// signals and hazards. Nested `go` statements are separate goroutines
+// and are skipped; they are visited by runGoroutinelife on their own.
+func goroutineScan(info *types.Info, body *ast.BlockStmt, buffered map[types.Object]bool) goroutineFacts {
+	var g goroutineFacts
+	var inSelect []ast.Node // enclosing select statements
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			inSelect = append(inSelect, n)
+			for _, c := range n.Body.List {
+				ast.Inspect(c, walk)
+			}
+			inSelect = inSelect[:len(inSelect)-1]
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil || isTrueLiteral(info, n.Cond) {
+				if !g.loopPos.IsValid() {
+					g.loopPos = n.Pos()
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				g.signal = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if recvIsSignal(info, n.X) {
+					g.signal = true
+				} else if len(inSelect) == 0 && !g.blockPos.IsValid() {
+					g.blockPos = n.Pos()
+					g.blockKind = "receive"
+				}
+			}
+		case *ast.SendStmt:
+			if ch, ok := ast.Unparen(n.Chan).(*ast.Ident); ok && buffered[info.Uses[ch]] {
+				break
+			}
+			if len(inSelect) == 0 && !g.blockPos.IsValid() {
+				g.blockPos = n.Pos()
+				g.blockKind = "send"
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return g
+}
+
+// recvIsSignal reports whether receiving from e is a lifetime signal:
+// a ctx.Done()-shaped call, a chan struct{} (close broadcasts to every
+// receiver, so a receive cannot outlive its owner's shutdown), or a
+// channel whose name declares lifecycle intent.
+func recvIsSignal(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	if t := info.TypeOf(e); t != nil {
+		if ch, ok := t.Underlying().(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	}
+	name = strings.ToLower(name)
+	for _, hint := range []string{"done", "quit", "stop", "close", "closing", "shutdown", "exit"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineBuffered indexes channel variables whose visible creation is
+// a buffered make — `ch := make(chan T, n)` with n not constant zero.
+// A send to one cannot block while the buffer has room, which is
+// exactly the escape hatch the bare-send rule asks for (result channels
+// sized to their producer count).
+func goroutineBuffered(info *types.Info, files []*ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" {
+			return
+		}
+		if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if t := info.TypeOf(call); t == nil {
+			return
+		} else if _, ok := t.Underlying().(*types.Chan); !ok {
+			return
+		}
+		if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = true
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						mark(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						mark(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isTrueLiteral reports whether cond is the constant true.
+func isTrueLiteral(info *types.Info, cond ast.Expr) bool {
+	tv, ok := info.Types[cond]
+	return ok && tv.Value != nil && tv.Value.String() == "true"
+}

@@ -41,6 +41,10 @@ type Analyzer struct {
 	// Finish reports findings that need the whole-program view. It
 	// receives a reporter bound to the suite.
 	Finish func(report func(pos token.Pos, format string, args ...any)) error
+	// Tests includes _test.go files in the analyzer's Pass when the
+	// loader was asked for them (goroutinelife checks test goroutines;
+	// the API-shape analyzers exempt tests by construction).
+	Tests bool
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -51,8 +55,13 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	suite *Suite
+	testFiles map[*ast.File]bool
+	suite     *Suite
 }
+
+// IsTest reports whether f was loaded from a _test.go file. Analyzers
+// with Tests set use it to scope test-only relaxations.
+func (p *Pass) IsTest(f *ast.File) bool { return p.testFiles[f] }
 
 // Reportf records a diagnostic at pos unless a lint:allow comment
 // covers it.
@@ -99,18 +108,37 @@ func NewSuite(fset *token.FileSet, analyzers []*Analyzer) *Suite {
 	}
 }
 
-// RunPackage applies every analyzer to one type-checked package.
+// RunPackage applies every analyzer to one type-checked package whose
+// files are all non-test sources. Loads that include _test.go files go
+// through Run, which filters them per analyzer.
 func (s *Suite) RunPackage(files []*ast.File, pkg *types.Package, info *types.Info) error {
-	for _, f := range files {
+	return s.Run(&Package{Files: files, Pkg: pkg, Info: info})
+}
+
+// Run applies every analyzer to one loaded package. Analyzers without
+// Tests see only the non-test files; Tests analyzers see everything and
+// can distinguish via Pass.IsTest.
+func (s *Suite) Run(p *Package) error {
+	for _, f := range p.Files {
 		s.collectAllows(f)
+	}
+	var nonTest []*ast.File
+	for _, f := range p.Files {
+		if !p.TestFiles[f] {
+			nonTest = append(nonTest, f)
+		}
 	}
 	for _, a := range s.Analyzers {
 		if a.Run == nil {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Fset: s.Fset, Files: files, Pkg: pkg, Info: info, suite: s}
+		files := nonTest
+		if a.Tests {
+			files = p.Files
+		}
+		pass := &Pass{Analyzer: a, Fset: s.Fset, Files: files, Pkg: p.Pkg, Info: p.Info, testFiles: p.TestFiles, suite: s}
 		if err := a.Run(pass); err != nil {
-			return fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+			return fmt.Errorf("%s: %s: %w", a.Name, p.Pkg.Path(), err)
 		}
 	}
 	return nil
@@ -204,10 +232,14 @@ func (s *Suite) report(analyzer string, pos token.Pos, format string, args ...an
 }
 
 // Analyzers returns a fresh instance of the full suite. Instances carry
-// per-run state (statskey accumulates names across packages), so a
-// slice must not be shared between suites.
+// per-run state (statskey accumulates names across packages, lockorder
+// and taguniq accumulate graphs and registries), so a slice must not be
+// shared between suites.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NewCtxfirst(), NewLockedio(), NewXdrbound(), NewStatskey()}
+	return []*Analyzer{
+		NewCtxfirst(), NewLockedio(), NewXdrbound(), NewStatskey(),
+		NewLockorder(), NewCtxleak(), NewGoroutinelife(), NewTaguniq(),
+	}
 }
 
 // ---- shared type-inspection helpers --------------------------------

@@ -15,6 +15,19 @@ func TestXdrbound(t *testing.T) { linttest.Run(t, "testdata/xdrbound", lint.NewX
 
 func TestStatskey(t *testing.T) { linttest.Run(t, "testdata/statskey", lint.NewStatskey()) }
 
+func TestLockorder(t *testing.T) { linttest.Run(t, "testdata/lockorder", lint.NewLockorder()) }
+
+func TestCtxleak(t *testing.T) { linttest.Run(t, "testdata/ctxleak", lint.NewCtxleak()) }
+
+// TestGoroutinelife covers both fixture files: the analyzer has Tests
+// set, so fixture_test.go exercises the test-file relaxation of the
+// bare-channel rule.
+func TestGoroutinelife(t *testing.T) {
+	linttest.Run(t, "testdata/goroutinelife", lint.NewGoroutinelife())
+}
+
+func TestTaguniq(t *testing.T) { linttest.Run(t, "testdata/taguniq", lint.NewTaguniq()) }
+
 // TestLintAllow runs xdrbound over a fixture whose every violation is
 // suppressed; the fixture therefore wants zero diagnostics, and any
 // leak-through fails as an unexpected diagnostic.

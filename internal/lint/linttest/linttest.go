@@ -25,14 +25,17 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
 	"snipe/internal/lint"
 )
 
-// wantRe extracts the expectation patterns from a // want comment.
-var wantRe = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+// wantPatRe extracts the expectation patterns following a // want
+// marker; a single marker may carry several space-separated patterns
+// when one line produces several diagnostics.
+var wantPatRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 var (
 	exportOnce   sync.Once
@@ -86,6 +89,7 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 		t.Fatalf("linttest: %v", err)
 	}
 	var files []*ast.File
+	testFiles := make(map[*ast.File]bool)
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
 			continue
@@ -95,6 +99,11 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 			t.Fatalf("linttest: %v", err)
 		}
 		files = append(files, f)
+		// A fixture named *_test.go exercises an analyzer's test-file
+		// relaxations, exactly as LoadWithTests would mark it.
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles[f] = true
+		}
 	}
 	if len(files) == 0 {
 		t.Fatalf("linttest: no fixture files in %s", dir)
@@ -110,7 +119,7 @@ func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	}
 
 	suite := lint.NewSuite(fset, analyzers)
-	if err := suite.RunPackage(files, pkg, info); err != nil {
+	if err := suite.Run(&lint.Package{Files: files, Pkg: pkg, Info: info, TestFiles: testFiles}); err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
 	if err := suite.Finish(); err != nil {
@@ -133,8 +142,11 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-					raw := m[1]
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				for _, raw := range wantPatRe.FindAllString(c.Text[idx+len("// want "):], -1) {
 					var pat string
 					if raw[0] == '`' {
 						pat = raw[1 : len(raw)-1]

@@ -14,35 +14,46 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
-// Package is one loaded, type-checked target package.
+// Package is one loaded, type-checked target package. TestFiles marks
+// the files that came from TestGoFiles when the load included tests.
 type Package struct {
-	Path  string
-	Files []*ast.File
-	Pkg   *types.Package
-	Info  *types.Info
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+	TestFiles map[*ast.File]bool
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	Dir        string
-	ImportPath string
-	Name       string
-	Export     string
-	Standard   bool
-	DepOnly    bool
-	GoFiles    []string
-	Module     *struct{ Path string }
-	Error      *struct{ Err string }
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	ForTest     string
+	Module      *struct{ Path string }
+	Error       *struct{ Err string }
 }
 
-const listFields = "Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,Module,Error"
+const listFields = "Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,TestGoFiles,ForTest,Module,Error"
 
 // goList invokes `go list -export -deps -json` in dir for patterns and
-// decodes the JSON stream.
-func goList(dir string, patterns []string) ([]listPkg, error) {
-	args := append([]string{"list", "-e", "-export", "-deps", "-json=" + listFields}, patterns...)
+// decodes the JSON stream. withTests adds -test so the dependency
+// closure (and export data) covers test-only imports.
+func goList(dir string, patterns []string, withTests bool) ([]listPkg, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if withTests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json="+listFields)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -88,7 +99,7 @@ func exportLookup(pkgs []listPkg) func(path string) (io.ReadCloser, error) {
 // that type-check sources go list cannot see — the linttest fixture
 // runner, whose fixtures live under testdata.
 func ExportLookupFor(dir string, patterns []string) (func(path string) (io.ReadCloser, error), error) {
-	pkgs, err := goList(dir, patterns)
+	pkgs, err := goList(dir, patterns, false)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +123,23 @@ func NewInfo() *types.Info {
 // not re-type-check the transitive closure. Only non-test Go files are
 // loaded; the suite's checks exempt _test.go files by construction.
 func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
-	pkgs, err := goList(dir, patterns)
+	return load(fset, dir, patterns, false)
+}
+
+// LoadWithTests is Load plus each target's in-package _test.go files,
+// type-checked together with the package proper (so test helpers see
+// unexported identifiers exactly as the compiler does). External
+// _test packages (package foo_test) are not loaded: they import the
+// package under test, which would force re-type-checking the target
+// against its own export data — and the suite's test-aware analyzer
+// (goroutinelife) cares about goroutines spawned by helpers, which
+// live in-package in this tree.
+func LoadWithTests(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	return load(fset, dir, patterns, true)
+}
+
+func load(fset *token.FileSet, dir string, patterns []string, withTests bool) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns, withTests)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +150,12 @@ func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error
 		if p.Standard || p.DepOnly {
 			continue
 		}
+		// `go list -test` also emits the synthesized test packages
+		// ("pkg.test", "pkg [pkg.test]", "pkg_test [pkg.test]"); the
+		// base entry already names TestGoFiles, so skip the variants.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
 		}
@@ -130,12 +163,27 @@ func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error
 			continue
 		}
 		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
-			if err != nil {
+		testFiles := make(map[*ast.File]bool)
+		parse := func(names []string, test bool) error {
+			for _, name := range names {
+				f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+				if err != nil {
+					return err
+				}
+				files = append(files, f)
+				if test {
+					testFiles[f] = true
+				}
+			}
+			return nil
+		}
+		if err := parse(p.GoFiles, false); err != nil {
+			return nil, err
+		}
+		if withTests {
+			if err := parse(p.TestGoFiles, true); err != nil {
 				return nil, err
 			}
-			files = append(files, f)
 		}
 		info := NewInfo()
 		conf := types.Config{Importer: imp}
@@ -143,7 +191,7 @@ func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", p.ImportPath, err)
 		}
-		out = append(out, &Package{Path: p.ImportPath, Files: files, Pkg: tpkg, Info: info})
+		out = append(out, &Package{Path: p.ImportPath, Files: files, Pkg: tpkg, Info: info, TestFiles: testFiles})
 	}
 	return out, nil
 }

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -44,13 +43,9 @@ var lockedioFuncs = map[string]bool{
 }
 
 // NewLockedio returns the lockedio analyzer. The analysis is
-// intentionally conservative and intra-procedural: it walks each
-// function body in statement order, tracking mutexes locked via
-// x.Lock()/x.RLock() and released via x.Unlock()/x.RUnlock() (a defer
-// keeps the mutex held to the end of the function), and flags any known
-// network-I/O call made while a mutex is held. Function literals are
-// analyzed as separate functions with no locks held, so goroutines
-// spawned under a lock are not false positives.
+// intentionally conservative and intra-procedural: it rides the shared
+// lockwalk interpreter (see lockwalk.go) and flags any known
+// network-I/O call made while a mutex is held.
 func NewLockedio() *Analyzer {
 	a := &Analyzer{
 		Name: "lockedio",
@@ -60,11 +55,6 @@ func NewLockedio() *Analyzer {
 	return a
 }
 
-// lockSite records where a mutex was locked.
-type lockSite struct {
-	pos token.Pos
-}
-
 type lockedioPass struct {
 	pass    *Pass
 	netConn *types.Interface // nil when the package graph lacks net
@@ -72,19 +62,24 @@ type lockedioPass struct {
 
 func runLockedio(pass *Pass) error {
 	lp := &lockedioPass{pass: pass, netConn: findNetConn(pass.Pkg)}
+	lw := &lockWalker{
+		info: pass.Info,
+		onCall: func(call *ast.CallExpr, held map[string]lockSite) {
+			if len(held) == 0 {
+				return
+			}
+			if name, ok := lp.ioCall(call); ok {
+				for key, site := range held {
+					lp.pass.Reportf(call.Pos(),
+						"network I/O (%s) while holding %s (locked at %s)",
+						name, trimRKey(key), lp.pass.Fset.Position(site.pos))
+					break
+				}
+			}
+		},
+	}
 	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				lp.walkStmts(fd.Body.List, map[string]lockSite{})
-			}
-		}
-		// Function literals anywhere in the file, each a fresh frame.
-		ast.Inspect(file, func(n ast.Node) bool {
-			if fl, ok := n.(*ast.FuncLit); ok {
-				lp.walkStmts(fl.Body.List, map[string]lockSite{})
-			}
-			return true
-		})
+		lw.walkFile(file)
 	}
 	return nil
 }
@@ -113,193 +108,6 @@ func findNetConn(pkg *types.Package) *types.Interface {
 		queue = append(queue, p.Imports()...)
 	}
 	return nil
-}
-
-// walkStmts interprets stmts in order, mutating held; branch bodies get
-// copies so branch-local locks do not leak into the fallthrough path.
-func (lp *lockedioPass) walkStmts(stmts []ast.Stmt, held map[string]lockSite) {
-	for _, s := range stmts {
-		lp.walkStmt(s, held)
-	}
-}
-
-func copyHeld(held map[string]lockSite) map[string]lockSite {
-	out := make(map[string]lockSite, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
-}
-
-func (lp *lockedioPass) walkStmt(s ast.Stmt, held map[string]lockSite) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		lp.scanExpr(s.X, held)
-	case *ast.DeferStmt:
-		// A deferred Unlock keeps the mutex held for the rest of the
-		// function, which is exactly the state we are tracking; other
-		// deferred calls run at return, outside this frame's order.
-		if kind, _ := lp.lockOp(s.Call); kind == opNone {
-			for _, arg := range s.Call.Args {
-				lp.scanExpr(arg, held)
-			}
-		}
-	case *ast.GoStmt:
-		for _, arg := range s.Call.Args {
-			lp.scanExpr(arg, held)
-		}
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			lp.scanExpr(e, held)
-		}
-		for _, e := range s.Lhs {
-			lp.scanExpr(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						lp.scanExpr(v, held)
-					}
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			lp.scanExpr(e, held)
-		}
-	case *ast.SendStmt:
-		lp.scanExpr(s.Chan, held)
-		lp.scanExpr(s.Value, held)
-	case *ast.IncDecStmt:
-		lp.scanExpr(s.X, held)
-	case *ast.LabeledStmt:
-		lp.walkStmt(s.Stmt, held)
-	case *ast.BlockStmt:
-		lp.walkStmts(s.List, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			lp.walkStmt(s.Init, held)
-		}
-		lp.scanExpr(s.Cond, held)
-		lp.walkStmts(s.Body.List, copyHeld(held))
-		if s.Else != nil {
-			lp.walkStmt(s.Else, copyHeld(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			lp.walkStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			lp.scanExpr(s.Cond, held)
-		}
-		lp.walkStmts(s.Body.List, copyHeld(held))
-	case *ast.RangeStmt:
-		lp.scanExpr(s.X, held)
-		lp.walkStmts(s.Body.List, copyHeld(held))
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			lp.walkStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			lp.scanExpr(s.Tag, held)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lp.walkStmts(cc.Body, copyHeld(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lp.walkStmts(cc.Body, copyHeld(held))
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				lp.walkStmts(cc.Body, copyHeld(held))
-			}
-		}
-	}
-}
-
-type lockOpKind int
-
-const (
-	opNone lockOpKind = iota
-	opLock
-	opRLock
-	opUnlock
-	opRUnlock
-)
-
-// lockOp classifies a call as a mutex operation, returning the held-map
-// key for the receiver expression.
-func (lp *lockedioPass) lockOp(call *ast.CallExpr) (lockOpKind, string) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return opNone, ""
-	}
-	f := calleeFunc(lp.pass.Info, call)
-	if f == nil {
-		return opNone, ""
-	}
-	pkg, typ := recvNamed(f)
-	if pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
-		return opNone, ""
-	}
-	key := types.ExprString(sel.X)
-	switch f.Name() {
-	case "Lock":
-		return opLock, key
-	case "RLock":
-		return opRLock, key + ":r"
-	case "Unlock":
-		return opUnlock, key
-	case "RUnlock":
-		return opRUnlock, key + ":r"
-	case "TryLock":
-		return opLock, key
-	case "TryRLock":
-		return opRLock, key + ":r"
-	}
-	return opNone, ""
-}
-
-// scanExpr looks for mutex operations and I/O calls inside one
-// expression, in source order.
-func (lp *lockedioPass) scanExpr(e ast.Expr, held map[string]lockSite) {
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // analyzed separately with a fresh frame
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch kind, key := lp.lockOp(call); kind {
-		case opLock, opRLock:
-			held[key] = lockSite{pos: call.Pos()}
-			return true
-		case opUnlock, opRUnlock:
-			delete(held, key)
-			return true
-		}
-		if len(held) == 0 {
-			return true
-		}
-		if name, ok := lp.ioCall(call); ok {
-			for key, site := range held {
-				lp.pass.Reportf(call.Pos(),
-					"network I/O (%s) while holding %s (locked at %s)",
-					name, trimRKey(key), lp.pass.Fset.Position(site.pos))
-				break
-			}
-		}
-		return true
-	})
 }
 
 func trimRKey(key string) string {

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockorder builds the program-wide lock-acquisition graph over named
+// mutex struct fields: an edge A → B means some function acquires B
+// while holding A (field granularity — "snipe/internal/comm.Endpoint.mu",
+// not a particular instance). Two properties are enforced:
+//
+//  1. The observed graph must be acyclic. A cycle — including the
+//     self-edge of acquiring two instances of the same field — is a
+//     latent deadlock: two goroutines taking the edges in opposite
+//     order wedge forever.
+//  2. Where a partial order is declared (lockorderRanks), every edge
+//     must strictly descend it: a lock may only be acquired while
+//     holding locks of strictly lower rank.
+//
+// The declared order for comm.Endpoint, codified here and in DESIGN.md:
+//
+//	mu → connMu/cacheMu/scoreMu/stripeMu → sendShard.mu
+//
+// i.e. the receive/delivery lock (mu) is the outermost tier, the four
+// peer section locks are one tier in (and unordered among themselves —
+// holding two of them at once is itself a violation), and the sharded
+// send-state locks are innermost. Endpoint sections today acquire at
+// most one of these at a time; the order exists so that if nesting is
+// ever introduced, it can only be introduced one way.
+
+// lockorderRank places a mutex field in its group's partial order.
+type lockorderRank struct {
+	group string // order-declaration name, used in messages
+	tier  int    // lower tiers are acquired first (outermost)
+}
+
+// lockorderRanks is the declared partial order, keyed by mutex field
+// identity. Fields of one group with equal tiers are mutually
+// unordered: holding one while acquiring another is a violation.
+// The lintfixture entries mirror the comm.Endpoint declaration so the
+// fixture corpus can exercise a deliberate inversion.
+var lockorderRanks = map[string]lockorderRank{
+	"snipe/internal/comm.Endpoint.mu":       {"comm.Endpoint", 0},
+	"snipe/internal/comm.Endpoint.connMu":   {"comm.Endpoint", 1},
+	"snipe/internal/comm.Endpoint.cacheMu":  {"comm.Endpoint", 1},
+	"snipe/internal/comm.Endpoint.scoreMu":  {"comm.Endpoint", 1},
+	"snipe/internal/comm.Endpoint.stripeMu": {"comm.Endpoint", 1},
+	"snipe/internal/comm.sendShard.mu":      {"comm.Endpoint", 2},
+
+	"snipe/lintfixture/lockorder.Endpoint.mu":      {"fixture.Endpoint", 0},
+	"snipe/lintfixture/lockorder.Endpoint.connMu":  {"fixture.Endpoint", 1},
+	"snipe/lintfixture/lockorder.Endpoint.cacheMu": {"fixture.Endpoint", 1},
+	"snipe/lintfixture/lockorder.shard.mu":         {"fixture.Endpoint", 2},
+}
+
+// lockorderDoc is the human-readable order statement per group.
+var lockorderDoc = map[string]string{
+	"comm.Endpoint":    "mu → connMu/cacheMu/scoreMu/stripeMu → sendShard.mu",
+	"fixture.Endpoint": "mu → connMu/cacheMu → shard.mu",
+}
+
+// lockorderEdge is one held→acquired pair in the acquisition graph.
+type lockorderEdge struct {
+	from, to string
+}
+
+// NewLockorder returns the lockorder analyzer. Run accumulates
+// acquisition edges per package (reporting declared-order violations
+// immediately); Finish checks the whole-program graph for cycles.
+func NewLockorder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "builds the mutex acquisition graph; reports cycles and violations of the declared lock order",
+	}
+	edges := map[lockorderEdge]token.Pos{} // first acquisition site per edge
+	a.Run = func(pass *Pass) error {
+		lw := &lockWalker{
+			info: pass.Info,
+			onAcquire: func(site lockSite, held map[string]lockSite) {
+				if site.field == "" {
+					return
+				}
+				for _, h := range held {
+					if h.field == "" {
+						continue
+					}
+					e := lockorderEdge{from: h.field, to: site.field}
+					if _, ok := edges[e]; !ok {
+						edges[e] = site.pos
+					}
+					hr, hok := lockorderRanks[h.field]
+					sr, sok := lockorderRanks[site.field]
+					if hok && sok && hr.group == sr.group && hr.tier >= sr.tier {
+						pass.Reportf(site.pos,
+							"acquiring %s while holding %s (locked at %s) violates the declared %s lock order (%s)",
+							lockorderShort(site.field), lockorderShort(h.field),
+							pass.Fset.Position(h.pos), sr.group, lockorderDoc[sr.group])
+					}
+				}
+			},
+		}
+		for _, file := range pass.Files {
+			lw.walkFile(file)
+		}
+		return nil
+	}
+	a.Finish = func(report func(pos token.Pos, format string, args ...any)) error {
+		adj := map[string][]string{}
+		for e := range edges {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+		for from := range adj {
+			sort.Strings(adj[from])
+		}
+		// Report each edge that can reach its own source — every edge on
+		// some cycle — at its first acquisition site, with one witness
+		// path spelled out.
+		keys := make([]lockorderEdge, 0, len(edges))
+		for e := range edges {
+			keys = append(keys, e)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].from != keys[j].from {
+				return keys[i].from < keys[j].from
+			}
+			return keys[i].to < keys[j].to
+		})
+		for _, e := range keys {
+			if path := lockorderPath(adj, e.to, e.from); path != nil {
+				cycle := append([]string{e.from}, path...)
+				short := make([]string, len(cycle))
+				for i, n := range cycle {
+					short[i] = lockorderShort(n)
+				}
+				report(edges[e], "lock-order cycle: %s — %s is acquired while %s is held here, and the reverse path exists",
+					strings.Join(short, " → "), lockorderShort(e.to), lockorderShort(e.from))
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// lockorderPath returns a node path from src to dst along acquisition
+// edges (inclusive of both), or nil if unreachable. src == dst returns
+// the trivial single-node path only if a self-edge exists — handled by
+// the caller passing the edge endpoints, so a self-edge e.from==e.to
+// finds the one-step path.
+func lockorderPath(adj map[string][]string, src, dst string) []string {
+	type qent struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{src: true}
+	queue := []qent{{src, []string{src}}}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if q.node == dst {
+			return q.path
+		}
+		for _, next := range adj[q.node] {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			queue = append(queue, qent{next, append(append([]string{}, q.path...), next)})
+		}
+	}
+	return nil
+}
+
+// lockorderShort trims the module path prefix for readable messages:
+// "snipe/internal/comm.Endpoint.mu" → "comm.Endpoint.mu".
+func lockorderShort(field string) string {
+	if i := strings.LastIndex(field, "/"); i >= 0 {
+		return field[i+1:]
+	}
+	return field
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockwalk is the shared flow-sensitive mutex interpreter behind
+// lockedio and lockorder. It walks each function body in statement
+// order, tracking which sync.Mutex/RWMutex values are held — locked via
+// x.Lock()/x.RLock(), released via x.Unlock()/x.RUnlock(); a deferred
+// Unlock keeps the mutex held to the end of the function — and invokes
+// analyzer callbacks at acquisition sites and at every other call.
+// Branch bodies get copies of the held set so branch-local locks do not
+// leak into the fallthrough path. Function literals are walked as
+// separate functions with no locks held, so goroutines spawned under a
+// lock are not false positives.
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+// lockSite records where and what a held mutex is. key is the source
+// expression of the receiver ("e.mu"), distinguishing instances inside
+// one function; field is the resolved struct-field identity
+// ("pkgpath.Type.field"), or "" when the mutex is not a named struct
+// field — the granularity lock-order edges are built on.
+type lockSite struct {
+	pos   token.Pos
+	key   string
+	field string
+}
+
+type lockWalker struct {
+	info *types.Info
+	// onAcquire, if set, fires when a Lock/RLock is taken while held
+	// (possibly empty) is the set of already-held mutexes.
+	onAcquire func(site lockSite, held map[string]lockSite)
+	// onCall, if set, fires for every non-mutex-op call expression with
+	// the currently held set.
+	onCall func(call *ast.CallExpr, held map[string]lockSite)
+}
+
+// walkFile walks every function declaration and function literal in f,
+// each with a fresh (empty) held set.
+func (lw *lockWalker) walkFile(f *ast.File) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			lw.walkStmts(fd.Body.List, map[string]lockSite{})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lw.walkStmts(fl.Body.List, map[string]lockSite{})
+		}
+		return true
+	})
+}
+
+// walkStmts interprets stmts in order, mutating held; branch bodies get
+// copies so branch-local locks do not leak into the fallthrough path.
+func (lw *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]lockSite) {
+	for _, s := range stmts {
+		lw.walkStmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]lockSite) map[string]lockSite {
+	out := make(map[string]lockSite, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (lw *lockWalker) walkStmt(s ast.Stmt, held map[string]lockSite) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lw.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// function, which is exactly the state we are tracking; other
+		// deferred calls run at return, outside this frame's order.
+		if _, kind := lw.lockOp(s.Call); kind == opNone {
+			for _, arg := range s.Call.Args {
+				lw.scanExpr(arg, held)
+			}
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			lw.scanExpr(arg, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lw.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lw.scanExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lw.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lw.scanExpr(e, held)
+		}
+	case *ast.SendStmt:
+		lw.scanExpr(s.Chan, held)
+		lw.scanExpr(s.Value, held)
+	case *ast.IncDecStmt:
+		lw.scanExpr(s.X, held)
+	case *ast.LabeledStmt:
+		lw.walkStmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		lw.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lw.walkStmt(s.Init, held)
+		}
+		lw.scanExpr(s.Cond, held)
+		lw.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lw.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lw.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.scanExpr(s.Cond, held)
+		}
+		lw.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		lw.scanExpr(s.X, held)
+		lw.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lw.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lw.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lw.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+// lockOp classifies a call as a mutex operation and resolves its
+// receiver into a lockSite.
+func (lw *lockWalker) lockOp(call *ast.CallExpr) (lockSite, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockSite{}, opNone
+	}
+	f := calleeFunc(lw.info, call)
+	if f == nil {
+		return lockSite{}, opNone
+	}
+	pkg, typ := recvNamed(f)
+	if pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return lockSite{}, opNone
+	}
+	site := lockSite{
+		pos:   call.Pos(),
+		key:   types.ExprString(sel.X),
+		field: mutexFieldKey(lw.info, sel.X),
+	}
+	switch f.Name() {
+	case "Lock", "TryLock":
+		return site, opLock
+	case "RLock", "TryRLock":
+		site.key += ":r"
+		return site, opRLock
+	case "Unlock":
+		return site, opUnlock
+	case "RUnlock":
+		site.key += ":r"
+		return site, opRUnlock
+	}
+	return lockSite{}, opNone
+}
+
+// mutexFieldKey resolves the mutex receiver expression to its struct
+// field identity, "pkgpath.Type.field" — e.g. e.mu on *comm.Endpoint
+// is "snipe/internal/comm.Endpoint.mu", and e.shards[i].mu is
+// "snipe/internal/comm.sendShard.mu", because the field belongs to the
+// element type. Locals, parameters and embedded promotions yield "".
+func mutexFieldKey(info *types.Info, recv ast.Expr) string {
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + sel.Sel.Name
+}
+
+// scanExpr looks for mutex operations and other calls inside one
+// expression, in source order, updating held and firing callbacks.
+func (lw *lockWalker) scanExpr(e ast.Expr, held map[string]lockSite) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // walked separately with a fresh frame
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch site, kind := lw.lockOp(call); kind {
+		case opLock, opRLock:
+			if lw.onAcquire != nil {
+				lw.onAcquire(site, held)
+			}
+			held[site.key] = site
+			return true
+		case opUnlock, opRUnlock:
+			delete(held, site.key)
+			return true
+		}
+		if lw.onCall != nil {
+			lw.onCall(call, held)
+		}
+		return true
+	})
+}

@@ -16,6 +16,7 @@ func f() {
 	_ = 2
 	_ = 3 //lint:allow otherdemo this allowance never fires
 	_ = 4 //lint:allow demo suppressed with a reason
+	_ = 5 //lint:allow goroutinelife suppression outliving the code it excused
 }
 `
 
@@ -67,6 +68,11 @@ func TestSuppressionLifecycle(t *testing.T) {
 		{"demo", 5, "assignment"},     // a malformed allow does not cover the next line either
 		{"demo", 6, "assignment"},     // allow naming a different analyzer does not suppress
 		{"lintallow", 6, "unused suppression"},
+		// Stale-allow reporting is analyzer-agnostic: an allowance naming
+		// a suite analyzer (goroutinelife) that suppresses nothing is
+		// stale like any other. (Line 8's demo finding itself is covered
+		// by line 7's well-formed demo allowance reaching the next line.)
+		{"lintallow", 8, "unused suppression for goroutinelife"},
 	}
 	if len(s.Diags) != len(wants) {
 		t.Fatalf("got %d diagnostics, want %d:\n%v", len(s.Diags), len(wants), s.Diags)

@@ -1,0 +1,123 @@
+// Package fixture exercises the ctxleak analyzer.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+type holder struct {
+	cancel context.CancelFunc
+}
+
+func use(ctx context.Context) error { return ctx.Err() }
+
+func discarded() {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second) // want `cancel function discarded`
+	_ = use(ctx)
+}
+
+var globalCancel context.CancelFunc
+
+func neverCalled() {
+	// Assigning to a package-level cancel that nothing reads: the only
+	// compilable never-referenced-again shape (a local would be an
+	// unused-variable compile error).
+	var ctx context.Context
+	ctx, globalCancel = context.WithCancel(context.Background()) // want `cancel function is never called`
+	_ = use(ctx)
+}
+
+func properDefer() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = use(ctx)
+}
+
+func earlyReturnLeaks(fail bool) error {
+	ctx, cancel := context.WithCancel(context.Background()) // want `cancel function is not called on every path`
+	if fail {
+		return use(ctx) // leaves without cancelling
+	}
+	cancel()
+	return nil
+}
+
+func branchOnly(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background()) // want `cancel function is not called on every path`
+	if fail {
+		cancel()
+	}
+	_ = use(ctx)
+}
+
+func bothBranches(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if fail {
+		cancel()
+	} else {
+		_ = use(ctx)
+		cancel()
+	}
+}
+
+func escapesToStruct(h *holder) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	return ctx
+}
+
+func escapesByReturn() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	return ctx, cancel
+}
+
+func escapesToClosure(run func(func())) {
+	ctx, cancel := context.WithCancel(context.Background())
+	run(func() { cancel() })
+	_ = use(ctx)
+}
+
+func insideBlockScope(fail bool) {
+	if fail {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = use(ctx)
+	}
+}
+
+func perIteration(items []int) {
+	for range items {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = use(ctx)
+		cancel()
+	}
+}
+
+func perIterationLeaks(items []int) {
+	for range items {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `cancel function is not called on every path`
+		if use(ctx) != nil {
+			continue // next iteration without cancelling
+		}
+		cancel()
+	}
+}
+
+func selectAllArms(done chan struct{}) {
+	ctx, cancel := context.WithCancel(context.Background())
+	select {
+	case <-done:
+		cancel()
+	case <-ctx.Done():
+		cancel()
+	}
+}
+
+func panicPathOwesNothing(fail bool) {
+	_, cancel := context.WithCancel(context.Background())
+	if fail {
+		panic("unreachable in production")
+	}
+	cancel()
+}

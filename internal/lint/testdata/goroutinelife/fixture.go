@@ -1,0 +1,142 @@
+// Package fixture exercises the goroutinelife analyzer: library
+// goroutines must carry a lifetime signal or be provably bounded.
+package fixture
+
+import "context"
+
+type server struct {
+	done chan struct{}
+	quit chan error
+	work chan int
+}
+
+// spin loops forever with no escape hatch.
+func spin(counter *int) {
+	go func() { // want `goroutine loops forever with no lifetime signal`
+		for {
+			*counter++
+		}
+	}()
+}
+
+// spinForever is the same hazard behind a named same-package function.
+func spinForever(counter *int) {
+	for {
+		*counter++
+	}
+}
+
+func spawnNamed(counter *int) {
+	go spinForever(counter) // want `goroutine loops forever with no lifetime signal`
+}
+
+// selectOnDone carries the canonical escape: a ctx.Done() select arm.
+func selectOnDone(ctx context.Context, s *server) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// doneChannel receives from a chan struct{}: close broadcasts, so the
+// loop cannot outlive its owner's shutdown.
+func doneChannel(s *server) {
+	go func() {
+		for {
+			<-s.done
+		}
+	}()
+}
+
+// rangeOverChannel is bounded by close of the channel.
+func rangeOverChannel(s *server) {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+// namedLifecycle: the channel's name declares intent even though its
+// element type is not struct{}.
+func namedLifecycle(s *server) {
+	go func() {
+		for {
+			if err := <-s.quit; err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// boundedLoop terminates on its own; no signal needed.
+func boundedLoop(counter *int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			*counter++
+		}
+	}()
+}
+
+// bareReceive blocks forever if the producer is gone.
+func bareReceive(s *server) {
+	go func() { // want `goroutine blocks on a bare channel receive`
+		v := <-s.work
+		_ = v
+	}()
+}
+
+// bareSend blocks forever if the consumer is gone.
+func bareSend(s *server) {
+	go func() { // want `goroutine blocks on a bare channel send`
+		s.work <- 1
+	}()
+}
+
+// bufferedSend: the channel is visibly buffered, so the send cannot
+// block while the buffer has room.
+func bufferedSend() error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- nil
+	}()
+	return <-errCh
+}
+
+// nonblockingSend is inside a select with a default arm: fine.
+func nonblockingSend(s *server) {
+	go func() {
+		select {
+		case s.work <- 1:
+		default:
+		}
+	}()
+}
+
+// nested: the outer goroutine is clean (it waits on done and skips the
+// nested go statement), the inner one is its own finding.
+func nested(s *server) {
+	go func() {
+		<-s.done
+		go func() { // want `goroutine loops forever with no lifetime signal`
+			for {
+			}
+		}()
+	}()
+}
+
+// allowedForever documents an intentional process-lifetime goroutine.
+func allowedForever(counter *int) {
+	//lint:allow goroutinelife process-lifetime sampler owned by the fixture
+	go func() {
+		for {
+			*counter++
+		}
+	}()
+}

@@ -1,0 +1,27 @@
+// A _test.go fixture: in test files the bare-channel hazard is relaxed
+// (a test goroutine handing one value to a receiver the test guarantees
+// is idiomatic), but the unbounded-loop rule still applies.
+package fixture
+
+// handOff performs a bare send; fine in a test file.
+func handOff(ch chan int) {
+	go func() {
+		ch <- 42
+	}()
+}
+
+// collect performs a bare receive; fine in a test file.
+func collect(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+// testSpin still loops forever with no signal: flagged even in tests.
+func testSpin(counter *int) {
+	go func() { // want `goroutine loops forever with no lifetime signal`
+		for {
+			*counter++
+		}
+	}()
+}

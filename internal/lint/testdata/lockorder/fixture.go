@@ -1,0 +1,98 @@
+// Package fixture exercises the lockorder analyzer. The Endpoint/shard
+// types mirror comm.Endpoint's declared partial order
+// (mu → connMu/cacheMu → shard.mu, see lockorderRanks), and the
+// undeclared a/b pair exercises pure cycle detection.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Endpoint struct {
+	mu      sync.Mutex
+	connMu  sync.Mutex
+	cacheMu sync.Mutex
+	shards  [4]shard
+}
+
+// descending follows the declared order: mu (tier 0) held while taking
+// connMu (tier 1). Clean.
+func (e *Endpoint) descending() {
+	e.mu.Lock()
+	e.connMu.Lock()
+	e.connMu.Unlock()
+	e.mu.Unlock()
+}
+
+// sameTier holds one tier-1 lock while taking another: the tiers are
+// mutually unordered, so this is a violation.
+func (e *Endpoint) sameTier() {
+	e.cacheMu.Lock()
+	e.connMu.Lock() // want `acquiring lockorder.Endpoint.connMu while holding lockorder.Endpoint.cacheMu .* violates the declared fixture.Endpoint lock order`
+	e.connMu.Unlock()
+	e.cacheMu.Unlock()
+}
+
+// inverted is the deliberate inversion of the acceptance criteria: a
+// shard lock (innermost tier) held while acquiring cacheMu (an outer
+// tier).
+func (e *Endpoint) inverted(i int) {
+	e.shards[i].mu.Lock()
+	e.cacheMu.Lock() // want `acquiring lockorder.Endpoint.cacheMu while holding lockorder.shard.mu .* violates the declared fixture.Endpoint lock order`
+	e.cacheMu.Unlock()
+	e.shards[i].mu.Unlock()
+}
+
+// twoShards locks two instances of the same field: a self-edge, which
+// is both a same-tier violation and a one-node cycle.
+func (e *Endpoint) twoShards() {
+	e.shards[0].mu.Lock()
+	e.shards[1].mu.Lock() // want `violates the declared fixture.Endpoint lock order` `lock-order cycle: lockorder.shard.mu → lockorder.shard.mu`
+	e.shards[1].mu.Unlock()
+	e.shards[0].mu.Unlock()
+}
+
+// a and b are not in any declared order; the pair of functions below
+// creates the cycle a.x → b.y → a.x, caught purely from the graph.
+type a struct{ x sync.Mutex }
+
+type b struct{ y sync.Mutex }
+
+type pair struct {
+	left  a
+	right b
+}
+
+func (p *pair) leftThenRight() {
+	p.left.x.Lock()
+	p.right.y.Lock() // want `lock-order cycle: lockorder.a.x → lockorder.b.y → lockorder.a.x`
+	p.right.y.Unlock()
+	p.left.x.Unlock()
+}
+
+func (p *pair) rightThenLeft() {
+	p.right.y.Lock()
+	p.left.x.Lock() // want `lock-order cycle: lockorder.b.y → lockorder.a.x → lockorder.b.y`
+	p.left.x.Unlock()
+	p.right.y.Unlock()
+}
+
+// releasedBetween takes the locks sequentially, never nested. Clean.
+func (p *pair) releasedBetween() {
+	p.right.y.Lock()
+	p.right.y.Unlock()
+	p.left.x.Lock()
+	p.left.x.Unlock()
+}
+
+// localMutex is not a named struct field; no edges are built on it.
+func (e *Endpoint) localMutex() {
+	var m sync.Mutex
+	m.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	m.Unlock()
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises the taguniq analyzer. The "fixture tag"
+// space is declared in taguniqSpaces with value 9 retired
+// (tagLegacyPing, replaced by tagEcho).
+package fixture
+
+const (
+	tagHello = 1
+	tagData  = 2
+	tagAck   = 3
+	tagEcho  = 10
+	tagBulk  = 2 // want `fixture tag tagBulk = 2 collides with tagData`
+	tagPing  = 9 // want `fixture tag tagPing reuses retired value 9`
+)
+
+// version is not a tag constant; it may share a value freely.
+const version = 2

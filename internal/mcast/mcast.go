@@ -230,6 +230,20 @@ func (r *Router) ensureGroup(group string) *groupState {
 	return gs
 }
 
+// Members reports how many members of group are registered at this
+// router. Joins are asynchronous envelopes, so observers (tests, ops
+// tooling) poll this to watch membership settle instead of sleeping a
+// guessed interval.
+func (r *Router) Members(group string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gs, ok := r.groups[group]
+	if !ok {
+		return 0
+	}
+	return len(gs.members)
+}
+
 // Close withdraws the router from every group it serves and shuts its
 // endpoint (simulating a router crash for the E4 experiments when
 // called without Withdraw).

@@ -9,7 +9,21 @@ import (
 	"snipe/internal/comm"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
+	"snipe/internal/testutil"
 )
+
+// waitJoined polls until every router sees n members of group.
+func waitJoined(t testing.TB, group string, n int, routers ...*Router) {
+	t.Helper()
+	testutil.WaitFor(t, 5*time.Second, func() bool {
+		for _, r := range routers {
+			if r.Members(group) != n {
+				return false
+			}
+		}
+		return true
+	}, fmt.Sprintf("group %s never reached %d members on every router", group, n))
+}
 
 type world struct {
 	t     *testing.T
@@ -73,7 +87,7 @@ func TestSingleRouterBasicMulticast(t *testing.T) {
 		}
 		members[i] = m
 	}
-	time.Sleep(50 * time.Millisecond) // joins settle
+	waitJoined(t, group, len(members), r)
 
 	if err := members[0].Send(7, []byte("to all")); err != nil {
 		t.Fatal(err)
@@ -99,7 +113,7 @@ func TestSenderReceivesOwnMessage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	waitJoined(t, group, 1, r)
 	m.Send(1, []byte("echo"))
 	origin, _, data, err := m.Recv(5 * time.Second)
 	if err != nil || origin != "urn:solo" || string(data) != "echo" {
@@ -112,8 +126,10 @@ func TestMultiRouterDedup(t *testing.T) {
 	// each message exactly once despite redundant delivery paths.
 	w := newWorld(t)
 	group := naming.GroupURN("dedup")
-	for i := 0; i < 3; i++ {
-		w.router(fmt.Sprintf("h%d", i)).Serve(group)
+	routers := make([]*Router, 3)
+	for i := range routers {
+		routers[i] = w.router(fmt.Sprintf("h%d", i))
+		routers[i].Serve(group)
 	}
 	epA := w.endpoint("urn:a")
 	epB := w.endpoint("urn:b")
@@ -125,7 +141,7 @@ func TestMultiRouterDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitJoined(t, group, 2, routers...)
 
 	const n = 10
 	for i := 0; i < n; i++ {
@@ -172,7 +188,7 @@ func TestRouterMinorityFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitJoined(t, group, 2, routers...)
 
 	// Kill one router (a minority of 3).
 	routers[0].Close()
@@ -222,15 +238,16 @@ func TestMaybeServeElection(t *testing.T) {
 func TestLeaveStopsDelivery(t *testing.T) {
 	w := newWorld(t)
 	group := naming.GroupURN("leave")
-	w.router("h1").Serve(group)
+	r := w.router("h1")
+	r.Serve(group)
 	a, _ := Join(w.cat, w.endpoint("urn:la"), group)
 	b, err := Join(w.cat, w.endpoint("urn:lb"), group)
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(30 * time.Millisecond)
+	waitJoined(t, group, 2, r)
 	b.Leave()
-	time.Sleep(30 * time.Millisecond)
+	waitJoined(t, group, 1, r)
 	a.Send(0, []byte("after leave"))
 	// a still receives (it is a member); b must not.
 	if _, _, _, err := a.Recv(5 * time.Second); err != nil {
@@ -267,7 +284,8 @@ func TestTwoGroupsSelectiveReceive(t *testing.T) {
 	sender := w.endpoint("urn:dualsender")
 	s1, _ := Join(w.cat, sender, g1)
 	s2, _ := Join(w.cat, sender, g2)
-	time.Sleep(50 * time.Millisecond)
+	waitJoined(t, g1, 2, r)
+	waitJoined(t, g2, 2, r)
 
 	s1.Send(0, []byte("for-alpha"))
 	s2.Send(0, []byte("for-beta"))
@@ -326,7 +344,7 @@ func BenchmarkMulticastFanout8(b *testing.B) {
 		}
 		members = append(members, m)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitJoined(b, group, len(members)+1, r)
 	payload := make([]byte, 512)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -296,6 +296,7 @@ func TestPVMPIBridgeDiesWithMaster(t *testing.T) {
 func BenchmarkIntraWorldPingPong(b *testing.B) {
 	w := NewWorld("bench", 2)
 	c0, c1 := w.Rank(0), w.Rank(1)
+	//lint:allow goroutinelife echo responder exits when Recv times out after the benchmark finishes
 	go func() {
 		for {
 			_, data, err := c1.Recv(0, 1, time.Minute)

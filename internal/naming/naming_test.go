@@ -6,6 +6,7 @@ import (
 
 	"snipe/internal/comm"
 	"snipe/internal/rcds"
+	"snipe/internal/testutil"
 )
 
 func TestNameConstructors(t *testing.T) {
@@ -46,11 +47,11 @@ func TestRegisterResolveUnregister(t *testing.T) {
 	if err := Unregister(cat, "urn:p1"); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(5 * time.Millisecond) // let the cache expire
-	got, err = r.Resolve("urn:p1")
-	if err != nil || len(got) != 0 {
-		t.Fatalf("after unregister: %v, %v", got, err)
-	}
+	// The resolver cache expires on its TTL; poll until it does.
+	testutil.WaitFor(t, time.Second, func() bool {
+		got, err = r.Resolve("urn:p1")
+		return err == nil && len(got) == 0
+	}, "unregistered name still resolves after the cache TTL")
 }
 
 func TestWithdrawRoute(t *testing.T) {

@@ -1,0 +1,12 @@
+package netsim
+
+import (
+	"testing"
+
+	"snipe/internal/testutil"
+)
+
+// TestMain fails the package if any goroutine is still alive after the
+// tests pass: endpoints, daemons and watchers must wind down when their
+// owners close.
+func TestMain(m *testing.M) { testutil.Main(m) }

@@ -365,6 +365,7 @@ func BenchmarkStreamPipeThroughput64K(b *testing.B) {
 	a, bb, link := StreamPipe(Loopback, 1)
 	defer link.Close()
 	buf := make([]byte, 64<<10)
+	//lint:allow goroutinelife drain loop exits when Read errors after the deferred link.Close
 	go func() {
 		sink := make([]byte, 64<<10)
 		for {

@@ -421,6 +421,7 @@ func (d *Daemon) connTo(idx int) (net.Conn, error) {
 	d.conns[idx] = conn
 	d.mu.Unlock()
 	d.wg.Add(1)
+	//lint:allow goroutinelife reader exits when the conn errors; Close closes every conn and waits on d.wg
 	go func() {
 		defer d.wg.Done()
 		defer func() {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"snipe/internal/testutil"
 )
 
 func newMachine(t *testing.T, nSlaves int, reg *Registry) (*Daemon, []*Daemon) {
@@ -42,14 +44,9 @@ func TestJoinBuildsHostTable(t *testing.T) {
 		t.Fatalf("master table: %v", master.Hosts())
 	}
 	// Slaves eventually hold the full table (the last join's broadcast).
-	deadline := time.Now().Add(3 * time.Second)
 	for _, s := range slaves {
-		for len(s.Hosts()) != 3 {
-			if time.Now().After(deadline) {
-				t.Fatalf("slave %s table: %v", s.Name(), s.Hosts())
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
+		testutil.WaitFor(t, 3*time.Second, func() bool { return len(s.Hosts()) == 3 },
+			fmt.Sprintf("slave %s host table incomplete", s.Name()))
 	}
 	if master.Index() != 0 || slaves[0].Index() != 1 || slaves[1].Index() != 2 {
 		t.Fatal("host indices wrong")
@@ -215,10 +212,8 @@ func TestHostTableUpdateFailsOnDeadSlave(t *testing.T) {
 func TestLookupHost(t *testing.T) {
 	master, slaves := newMachine(t, 1, NewRegistry())
 	// Wait for the table to reach the slave.
-	deadline := time.Now().Add(3 * time.Second)
-	for len(slaves[0].Hosts()) != 2 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 3*time.Second, func() bool { return len(slaves[0].Hosts()) == 2 },
+		"host table never reached the slave")
 	addr, err := slaves[0].LookupHost("m0")
 	if err != nil || addr != master.Addr() {
 		t.Fatalf("lookup: %q %v", addr, err)

@@ -12,6 +12,7 @@ import (
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/task"
+	"snipe/internal/testutil"
 )
 
 type world struct {
@@ -107,16 +108,10 @@ func TestSelectHostLoadBalancing(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if load, ok := liveness.HostLoad(w.cat, naming.HostURL("h1")); ok && load == 3.0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("load not published")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitFor(t, 3*time.Second, func() bool {
+		load, ok := liveness.HostLoad(w.cat, naming.HostURL("h1"))
+		return ok && load == 3.0
+	}, "load not published")
 	host, _, err := m.SelectHost(task.Requirements{})
 	if err != nil || host != naming.HostURL("h2") {
 		t.Fatalf("load balancing: %q %v", host, err)

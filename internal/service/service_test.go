@@ -14,6 +14,7 @@ import (
 	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
+	"snipe/internal/testutil"
 )
 
 // world is an in-process universe: a store-backed catalog, a resolver
@@ -126,14 +127,7 @@ func readAll(ctx context.Context, st *comm.Stream) ([]byte, error) {
 
 func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
 	t.Helper()
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal(msg)
+	testutil.WaitFor(t, d, cond, msg)
 }
 
 // TestServiceGroupKillReplicaZeroFailedRequests is the tentpole e2e:

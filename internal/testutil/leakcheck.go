@@ -1,0 +1,115 @@
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The leak checker snapshots every goroutine stack after a package's
+// tests finish and fails the binary if any non-infrastructure goroutine
+// is still alive. Goroutines wind down asynchronously (deferred Close
+// calls race the snapshot), so the check polls until the set settles or
+// a budget expires — a goroutine that is still there after five seconds
+// of quiescence is leaked, not slow.
+
+// leakSettle is how long VerifyNoLeaks waits for stragglers to exit.
+const leakSettle = 5 * time.Second
+
+// leakIgnores are stack substrings of goroutines that legitimately
+// outlive a test run: the testing harness itself and runtime/os
+// infrastructure the process keeps for its lifetime.
+var leakIgnores = []string{
+	"testing.Main(",
+	"testing.runTests(",
+	"testing.(*M).",
+	"created by testing.",
+	"created by runtime.",
+	"runtime.goexit0",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	"runtime/trace.",
+}
+
+// stacks returns one stanza per live goroutine, the caller's first.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// leaked returns the stacks of goroutines that match neither the
+// built-in infrastructure list nor the caller's extra ignore
+// substrings. The first stanza — the goroutine running the check — is
+// always skipped.
+func leaked(ignores []string) []string {
+	var out []string
+	for i, stanza := range stacks() {
+		if i == 0 {
+			continue
+		}
+		drop := false
+		for _, ign := range leakIgnores {
+			if strings.Contains(stanza, ign) {
+				drop = true
+				break
+			}
+		}
+		for _, ign := range ignores {
+			if !drop && strings.Contains(stanza, ign) {
+				drop = true
+			}
+		}
+		if !drop {
+			out = append(out, stanza)
+		}
+	}
+	return out
+}
+
+// VerifyNoLeaks polls until every non-infrastructure goroutine has
+// exited or the settle budget expires, then returns an error listing
+// the survivors' stacks. Extra ignore substrings exempt goroutines a
+// package intentionally leaves running for the process lifetime.
+func VerifyNoLeaks(ignores ...string) error {
+	deadline := time.Now().Add(leakSettle)
+	var last []string
+	for {
+		last = leaked(ignores)
+		if len(last) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("%d leaked goroutine(s):\n\n%s", len(last), strings.Join(last, "\n\n"))
+}
+
+// Main is a TestMain body with leak verification: it runs the
+// package's tests and, when they pass, fails the binary if any
+// goroutine is still alive afterwards. Wire it as
+//
+//	func TestMain(m *testing.M) { testutil.Main(m) }
+func Main(m *testing.M, ignores ...string) {
+	code := m.Run()
+	if code == 0 {
+		if err := VerifyNoLeaks(ignores...); err != nil {
+			fmt.Fprintf(os.Stderr, "testutil: goroutine leak after tests: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

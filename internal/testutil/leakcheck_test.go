@@ -1,0 +1,38 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+// TestLeakedDetectsStray parks a goroutine on a channel, observes the
+// checker report it, releases it and observes the report clear.
+func TestLeakedDetectsStray(t *testing.T) {
+	release := make(chan struct{})
+	go func() { <-release }()
+	WaitFor(t, 2*time.Second, func() bool { return len(leaked(nil)) >= 1 },
+		"stray goroutine not reported")
+	for _, stanza := range leaked(nil) {
+		t.Logf("reported:\n%s", stanza)
+	}
+	close(release)
+	WaitFor(t, 2*time.Second, func() bool { return len(leaked(nil)) == 0 },
+		"released goroutine still reported")
+}
+
+// TestVerifyNoLeaksIgnores exempts an intentionally parked goroutine by
+// stack substring.
+func TestVerifyNoLeaksIgnores(t *testing.T) {
+	release := make(chan struct{})
+	go parkForIgnoreTest(release)
+	defer close(release)
+	WaitFor(t, 2*time.Second, func() bool { return len(leaked(nil)) >= 1 },
+		"parked goroutine not reported")
+	if err := VerifyNoLeaks("parkForIgnoreTest"); err != nil {
+		t.Fatalf("ignored goroutine still reported: %v", err)
+	}
+}
+
+func parkForIgnoreTest(release chan struct{}) { <-release }

@@ -1,0 +1,25 @@
+// Package testutil holds test-only infrastructure shared across SNIPE
+// packages: bounded condition polling (WaitFor) and a runtime
+// goroutine-leak checker (Main/VerifyNoLeaks) built on runtime.Stack,
+// so the tree stays free of test-framework dependencies.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond until it holds or d elapses, failing the test
+// with msg on expiry. Bounded condition polling replaces fixed sleeps
+// that make timing-sensitive tests flake on loaded machines: a fast
+// machine passes in microseconds, a slow one gets the whole budget.
+func WaitFor(t testing.TB, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: %s", d, msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
