@@ -28,6 +28,7 @@ var (
 	floOut     = flag.String("failover-out", "BENCH_failover.json", "path for the liveness/detection JSON artifact (empty to skip)")
 	ctOut      = flag.String("commtail-out", "BENCH_commtail.json", "path for the comm tail-latency JSON artifact (empty to skip)")
 	svcOut     = flag.String("service-out", "BENCH_service.json", "path for the service-group kill JSON artifact (empty to skip)")
+	catOut     = flag.String("catalog-out", "BENCH_catalog.json", "path for the sharded-catalog JSON artifact (empty to skip)")
 )
 
 func main() {
@@ -47,8 +48,9 @@ func main() {
 		"paths":        runPaths,
 		"multipath":    runMultipath,
 		"commtail":     runCommTail,
+		"catalog":      runCatalog,
 	}
-	order := []string{"fig1", "multipath", "commtail", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "service", "rudploss", "paths"}
+	order := []string{"fig1", "multipath", "commtail", "catalog", "mpiconnect", "availability", "multicast", "migration", "scalability", "failover", "liveness", "service", "rudploss", "paths"}
 	if *experiment == "all" {
 		for _, name := range order {
 			if err := runners[name](); err != nil {
@@ -238,6 +240,69 @@ func runCommTail() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d points, %d streams)\n", *ctOut, len(points), len(streams))
+	}
+	return nil
+}
+
+func runCatalog() error {
+	fmt.Println("== catalog: sharded catalog at scale (load, placement, watch fan-out, snapshot rejoin) ==")
+	cfg := bench.CatalogDefaults(*quick)
+	fmt.Printf("%d URIs across %d shard groups x %d replicas, %d writers, %d watchers\n",
+		cfg.URIs, cfg.Groups, cfg.Replicas, cfg.Writers, cfg.Watchers)
+	res, err := bench.MeasureCatalog(cfg)
+	if err != nil {
+		return err
+	}
+	w := tab()
+	fmt.Fprintln(w, "phase\tmetric\tvalue")
+	fmt.Fprintf(w, "load\twrite ops/s\t%.0f\n", res.WriteOpsPerSec)
+	fmt.Fprintf(w, "load\tsecs\t%.2f\n", res.LoadSecs)
+	fmt.Fprintf(w, "read\tread ops/s\t%.0f\n", res.ReadOpsPerSec)
+	fmt.Fprintf(w, "read\tp50 / p99 ms\t%.2f / %.2f\n", res.ReadP50Ms, res.ReadP99Ms)
+	fmt.Fprintf(w, "watch\twatchers\t%d\n", res.Watchers)
+	fmt.Fprintf(w, "watch\twake p50 / p99 ms\t%.1f / %.1f\n", res.WatchWakeP50Ms, res.WatchWakeP99Ms)
+	fmt.Fprintf(w, "rejoin\tmissed history ops\t%d\n", res.RejoinHistoryOps)
+	fmt.Fprintf(w, "rejoin\tsnapshot ops\t%d\n", res.RejoinSnapshotOps)
+	fmt.Fprintf(w, "rejoin\tsecs\t%.2f\n", res.RejoinSecs)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("per-group URIs %v; sampled %d URIs: %d misplaced; %d cross-group origins; %d shard rejects, %d client redirects\n",
+		res.PerGroupURIs, res.PlacementSample, res.MisplacedURIs, res.CrossGroupOrigins,
+		res.ShardRejects, res.WrongShardRedirects)
+	// The claims under test: every group owns part of the population and
+	// nothing lands off-shard; every watcher wakes; the rejoining replica
+	// converges through the compacted snapshot, transferring less than
+	// the history it missed.
+	for g, n := range res.PerGroupURIs {
+		if n <= 1 { // the shard-map config entry alone
+			return fmt.Errorf("catalog: group %d holds %d URIs; population not spreading", g, n)
+		}
+	}
+	if res.MisplacedURIs != 0 {
+		return fmt.Errorf("catalog: %d of %d sampled URIs present on a non-owning group", res.MisplacedURIs, res.PlacementSample)
+	}
+	if res.CrossGroupOrigins != 0 {
+		return fmt.Errorf("catalog: %d foreign origins in group version vectors; write fan-out escaped its group", res.CrossGroupOrigins)
+	}
+	if res.WatchTimeouts != 0 {
+		return fmt.Errorf("catalog: %d of %d watchers never woke", res.WatchTimeouts, res.Watchers)
+	}
+	if !res.RejoinConverged {
+		return fmt.Errorf("catalog: rejoined replica never converged")
+	}
+	if !res.RejoinUsedSnapshot {
+		return fmt.Errorf("catalog: rejoin did not use the snapshot path")
+	}
+	if res.RejoinSnapshotOps >= res.RejoinHistoryOps {
+		return fmt.Errorf("catalog: snapshot transferred %d ops, not less than the %d missed",
+			res.RejoinSnapshotOps, res.RejoinHistoryOps)
+	}
+	if *catOut != "" {
+		if err := bench.WriteCatalogArtifact(*catOut, res, *quick); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *catOut)
 	}
 	return nil
 }

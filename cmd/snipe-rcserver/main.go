@@ -6,6 +6,14 @@
 //
 //	snipe-rcserver -addr 127.0.0.1:7001 -origin rc1 \
 //	    -peers 127.0.0.1:7002,127.0.0.1:7003 -secret s3cret
+//
+// A sharded catalog deployment passes the shard map and this replica's
+// group, and usually bounds the op log so rejoining replicas catch up
+// via snapshot:
+//
+//	snipe-rcserver -addr h1:7001 -origin rc0-0 -peers h2:7001 \
+//	    -shard-map "v1 epoch=1 groups=h1:7001,h2:7001|h3:7001,h4:7001" \
+//	    -shard-self 0 -compact-keep 65536
 package main
 
 import (
@@ -29,6 +37,9 @@ func main() {
 	antiEntropy := flag.Duration("anti-entropy", 500*time.Millisecond, "anti-entropy pull interval")
 	dataFile := flag.String("data", "", "snapshot file for catalog persistence across restarts")
 	saveEvery := flag.Duration("save-every", 10*time.Second, "snapshot interval when -data is set")
+	shardMap := flag.String("shard-map", "", `shard map this replica enforces, e.g. "v1 epoch=1 groups=a:1,a:2|b:1,b:2"`)
+	shardSelf := flag.Int("shard-self", 0, "this replica's group index in -shard-map")
+	compactKeep := flag.Int("compact-keep", 0, "op-log tail to keep per origin (0 = never compact; rejoiners replay history)")
 	flag.Parse()
 
 	id := *origin
@@ -44,6 +55,21 @@ func main() {
 		peerList = strings.Split(*peers, ",")
 		opts = append(opts, rcds.WithPeers(peerList...))
 	}
+	var shard *rcds.ShardMap
+	if *shardMap != "" {
+		m, err := rcds.ParseShardMap(*shardMap)
+		if err != nil {
+			log.Fatalf("-shard-map: %v", err)
+		}
+		if *shardSelf < 0 || *shardSelf >= m.NumShards() {
+			log.Fatalf("-shard-self %d out of range for %d groups", *shardSelf, m.NumShards())
+		}
+		shard = m
+		opts = append(opts, rcds.WithShard(*shardSelf, m))
+	}
+	if *compactKeep > 0 {
+		opts = append(opts, rcds.WithLogCompaction(*compactKeep))
+	}
 	store := rcds.NewStore(id)
 	if *dataFile != "" {
 		loaded, err := rcds.LoadFile(*dataFile, id)
@@ -53,11 +79,22 @@ func main() {
 		store = loaded
 		log.Printf("catalog restored from %s", *dataFile)
 	}
+	if shard != nil {
+		// Seed the map into this replica's config namespace so routing
+		// clients can bootstrap from it; group peers converge on the
+		// same value via replication.
+		store.Set(rcds.ShardMapURI, rcds.AttrShardMap, shard.Format())
+	}
 	server := rcds.NewServer(store, opts...)
 	if err := server.Start(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("replica %s serving on %s (peers: %v)", id, server.Addr(), peerList)
+	if shard != nil {
+		log.Printf("replica %s serving on %s (shard group %d of %d, peers: %v)",
+			id, server.Addr(), *shardSelf, shard.NumShards(), peerList)
+	} else {
+		log.Printf("replica %s serving on %s (peers: %v)", id, server.Addr(), peerList)
+	}
 
 	stopSave := make(chan struct{})
 	if *dataFile != "" {

@@ -39,10 +39,17 @@ type HostConfig struct {
 
 // Config describes a universe.
 type Config struct {
-	// RCServers is the number of replicated RC/metadata servers.
-	// 0 means in-process catalog (no TCP RC servers): fastest, used by
-	// unit tests; >= 1 starts real master–master replicas.
+	// RCServers is the number of replicated RC/metadata servers per
+	// replica group. 0 means in-process catalog (no TCP RC servers):
+	// fastest, used by unit tests; >= 1 starts real master–master
+	// replicas.
 	RCServers int
+	// RCShardGroups partitions the catalog URI namespace across this
+	// many replica groups of RCServers replicas each, under a
+	// consistent-hash shard map published in the catalog's config
+	// namespace (DESIGN.md "Sharded catalog"). 0 or 1 keeps the single
+	// fully replicated group. Requires RCServers >= 1.
+	RCShardGroups int
 	// Secret enables HMAC authentication on the RC protocol.
 	Secret []byte
 	// Hosts to bring up, each with a SNIPE daemon.
@@ -74,6 +81,8 @@ type Universe struct {
 	cfg      Config
 	store    *rcds.Store // in-process mode
 	servers  []*rcds.Server
+	groups   [][]*rcds.Server // servers by shard group (one group unsharded)
+	shardMap *rcds.ShardMap   // nil when unsharded
 	catalog  naming.Catalog
 	registry *task.Registry
 
@@ -110,30 +119,70 @@ func New(cfg Config) (*Universe, error) {
 		u.store = rcds.NewStore("rc-local")
 		u.catalog = naming.StoreCatalog(u.store)
 	} else {
-		for i := 0; i < cfg.RCServers; i++ {
-			s := rcds.NewServer(rcds.NewStore(fmt.Sprintf("rc%d", i)),
-				rcds.WithSecret(cfg.Secret),
-				rcds.WithAntiEntropyInterval(100*time.Millisecond))
-			if err := s.Start("127.0.0.1:0"); err != nil {
-				u.Close()
-				return nil, err
-			}
-			u.servers = append(u.servers, s)
+		nGroups := cfg.RCShardGroups
+		if nGroups < 1 {
+			nGroups = 1
 		}
-		addrs := u.RCServerAddrs()
-		for i, s := range u.servers {
-			var peers []string
-			for j, a := range addrs {
-				if i != j {
-					peers = append(peers, a)
+		u.groups = make([][]*rcds.Server, nGroups)
+		for g := 0; g < nGroups; g++ {
+			for i := 0; i < cfg.RCServers; i++ {
+				s := rcds.NewServer(rcds.NewStore(fmt.Sprintf("rc%d-%d", g, i)),
+					rcds.WithSecret(cfg.Secret),
+					rcds.WithAntiEntropyInterval(100*time.Millisecond))
+				if err := s.Start("127.0.0.1:0"); err != nil {
+					u.Close()
+					return nil, err
+				}
+				u.groups[g] = append(u.groups[g], s)
+				u.servers = append(u.servers, s)
+			}
+			// Replication is per group: peers mesh within the group only,
+			// so write fan-out stays constant as groups are added.
+			for i, s := range u.groups[g] {
+				var peers []string
+				for j, p := range u.groups[g] {
+					if i != j {
+						peers = append(peers, p.Addr())
+					}
+				}
+				s.SetPeers(peers...)
+			}
+		}
+		if nGroups > 1 {
+			m := &rcds.ShardMap{Epoch: 1}
+			for _, srvs := range u.groups {
+				addrs := make([]string, len(srvs))
+				for i, s := range srvs {
+					addrs[i] = s.Addr()
+				}
+				m.Groups = append(m.Groups, addrs)
+			}
+			// Enforce ownership and seed the map into every replica's
+			// config namespace directly, so the very first client
+			// resolution succeeds against any replica (the concurrent
+			// same-value writes converge under LWW).
+			for g, srvs := range u.groups {
+				for _, s := range srvs {
+					s.SetShard(g, m)
+					s.Store().Set(rcds.ShardMapURI, rcds.AttrShardMap, m.Format())
 				}
 			}
-			s.SetPeers(peers...)
+			u.shardMap = m
 		}
 		// The universe's shared catalog client caches reads, invalidated
 		// by the RC servers' Wait sequence numbers: every resolver in
-		// the universe rides one coherent cache instead of polling.
-		client := rcds.NewClient(addrs, cfg.Secret, rcds.WithReadCache())
+		// the universe rides one coherent cache instead of polling. Under
+		// sharding it routes each URI to its owning group, with a cache
+		// and watch per group.
+		opts := []rcds.ClientOption{rcds.WithReadCache()}
+		if u.shardMap != nil {
+			opts = append(opts, rcds.WithShardRouting())
+		}
+		seed := make([]string, len(u.groups[0]))
+		for i, s := range u.groups[0] {
+			seed[i] = s.Addr()
+		}
+		client := rcds.NewClient(seed, cfg.Secret, opts...)
 		u.catalog = naming.ClientCatalog(client)
 	}
 
@@ -242,8 +291,17 @@ func (u *Universe) Router(host string) (*mcast.Router, bool) {
 // Playground returns the universe's playground, if configured.
 func (u *Universe) Playground() *playground.Playground { return u.pg }
 
-// RCServers returns the RC server replicas (nil in in-process mode).
+// RCServers returns the RC server replicas (nil in in-process mode),
+// group-major when sharded.
 func (u *Universe) RCServers() []*rcds.Server { return u.servers }
+
+// RCGroups returns the RC server replicas by shard group: one inner
+// slice per group, a single group when the catalog is unsharded.
+func (u *Universe) RCGroups() [][]*rcds.Server { return u.groups }
+
+// ShardMap returns the published catalog shard map, nil when the
+// catalog is unsharded.
+func (u *Universe) ShardMap() *rcds.ShardMap { return u.shardMap }
 
 // RCServerAddrs returns the replica addresses.
 func (u *Universe) RCServerAddrs() []string {

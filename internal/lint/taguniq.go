@@ -75,6 +75,16 @@ func taguniqSpaces() []*taguniqSpace {
 			retired: map[int64]string{},
 		},
 		{
+			name:    "rcds command tag",
+			member:  taguniqIn("snipe/internal/rcds", `^cmd[A-Z]`),
+			retired: map[int64]string{},
+		},
+		{
+			name:    "rcds catch-up mode tag",
+			member:  taguniqIn("snipe/internal/rcds", `^catchupMode[A-Z]`),
+			retired: map[int64]string{},
+		},
+		{
 			name:    "fileserv op",
 			member:  taguniqIn("snipe/internal/fileserv", `^op[A-Z]`),
 			retired: map[int64]string{},

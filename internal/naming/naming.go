@@ -3,6 +3,28 @@
 // communication addresses are published as RC assertions (paper §3.1),
 // and "unicast message routing is performed using the RCDS metadata for
 // the destination process" (§5.3).
+//
+// # URN conventions
+//
+// The SNIPE namespace is a set of distinguished prefixes over the RCDS
+// URI space (§5.2): hosts get URLs under "snipe://hosts/", processes
+// URNs under "urn:snipe:process:", and groups, files and replicated
+// services their own URN prefixes (GroupPrefix, FilePrefix,
+// ServicePrefix). The constructors (ProcessURN, HostURL, …) are the
+// only place these spellings are assembled, so the convention lives
+// here and nowhere else. Under a sharded catalog the prefix does not
+// pick the replica group — ownership hashes over the scheme-stripped
+// path (ShardOf), so "snipe://hosts/h1" and an equivalent URN land on
+// the same shard.
+//
+// # Layers
+//
+// The package is a thin adapter: Catalog abstracts "some RCDS" —
+// either an in-process *rcds.Store or a remote *rcds.Client, including
+// a shard-routing one — behind context-less reads and writes;
+// Register/Unregister publish a process's communication addresses;
+// Resolver caches URN→address resolutions with a TTL unless the client
+// already maintains its watch-coherent read cache, which supersedes it.
 package naming
 
 import (
@@ -44,6 +66,16 @@ func GroupURN(name string) string { return GroupPrefix + name }
 
 // FileURN returns the URN for a managed file.
 func FileURN(name string) string { return FilePrefix + name }
+
+// ShardKey returns the portion of a SNIPE name that catalog sharding
+// hashes over — the scheme-stripped path, so equivalent URL and URN
+// spellings agree. Re-exported from rcds for naming-layer callers.
+func ShardKey(uri string) string { return rcds.ShardKey(uri) }
+
+// ShardOf returns the replica group owning uri in an n-group sharded
+// catalog — the placement function for anyone reasoning about where a
+// name's metadata lives. Re-exported from rcds.
+func ShardOf(uri string, n int) int { return rcds.ShardOf(uri, n) }
 
 // ServiceURN returns the URN for a replicated service.
 func ServiceURN(name string) string { return ServicePrefix + name }

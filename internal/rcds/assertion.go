@@ -1,22 +1,3 @@
-// Package rcds implements the Resource Cataloging and Distribution
-// System substrate that SNIPE is built on (paper §2.1, §3.1, §5.2).
-//
-// RCDS maintains, for every resource named by a URI (URL or URN), a set
-// of metadata assertions — "name=value" pairs — in a highly distributed
-// and replicated registry. The registry uses a "true master–master
-// update data model" (§7): every RC server accepts writes and
-// propagates them to its peers, trading strict serializability for
-// availability, exactly the design point the paper argues for in
-// replicated registries (§2.1).
-//
-// The replication model here is a last-writer-wins element set: each
-// (URI, name, value) element carries a Lamport clock and the origin
-// server's identity; concurrent updates are resolved by (clock, origin)
-// ordering, deletions are tombstones, and anti-entropy exchanges use
-// per-origin version vectors over each server's op log. This gives the
-// paper's availability-over-atomicity consistency ("a consistency model
-// which sacrifices strict atomicity and serializability", §2.1) with
-// convergence guaranteed by commutative, idempotent merges.
 package rcds
 
 import (

@@ -174,11 +174,14 @@ func (rc *readCache) storeFirst(uri, name, value string, present bool, epoch uin
 		cacheVal{value: value, ok: present}, epoch)
 }
 
-// watchLoop keeps the read cache coherent: it long-polls the server's
-// catalog version and flushes cached reads whenever the version
-// advances. The poll itself multiplexes over the shared connection, so
-// watching costs no dedicated connection and never blocks lookups.
-func (c *Client) watchLoop(ctx context.Context) {
+// watchLoop keeps one replica group's read cache coherent: it
+// long-polls that group's catalog version and flushes the group's
+// cached reads whenever the version advances. The poll itself
+// multiplexes over the group's shared connection, so watching costs no
+// dedicated connection and never blocks lookups. Under shard routing
+// every group runs its own watchLoop — the coherence rule is per
+// group, matching the per-group version streams.
+func (c *Client) watchLoop(ctx context.Context, g *replicaGroup) {
 	defer c.wg.Done()
 	var since uint64
 	for {
@@ -186,14 +189,15 @@ func (c *Client) watchLoop(ctx context.Context) {
 			return
 		}
 		pollCtx, cancel := context.WithTimeout(ctx, watchPoll+c.pollTimeout())
-		v, err := c.Wait(pollCtx, since, watchPoll)
+		v, err := c.waitOn(pollCtx, g, since, watchPoll)
 		cancel()
 		if err != nil {
 			// Cannot confirm coherence; stop serving cached reads until
 			// the watch re-establishes.
-			c.cache.invalidateAll()
+			g.cache.invalidateAll()
 			if errors.Is(err, ErrClientClosed) {
-				// Close() has begun; don't redial while it waits on wg.
+				// Close() or a map change has begun retiring this group;
+				// don't redial while the client waits on wg.
 				return
 			}
 			select {
@@ -204,10 +208,10 @@ func (c *Client) watchLoop(ctx context.Context) {
 			continue
 		}
 		if v != since {
-			c.cache.flush()
+			g.cache.flush()
 			since = v
 		}
-		c.cache.setValid()
+		g.cache.setValid()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,21 +22,39 @@ var errConnBroken = errors.New("rcds: connection broken")
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("rcds: client closed")
 
+// wrongShardRetries bounds how many times a routed op re-resolves the
+// shard map after a wrong-shard redirect before giving up. Two covers
+// the common case (stale map, one refresh); the third absorbs a map
+// that changes again mid-retry.
+const wrongShardRetries = 3
+
 // ClientOption configures a Client.
 type ClientOption func(*Client)
 
 // WithReadCache enables the client-side read cache: Get, Values and
 // FirstValue results are served locally and invalidated by a watch
 // goroutine riding the server's Wait long-poll sequence numbers, so
-// repeated resolves of stable URNs cost zero round trips. See DESIGN.md
-// for the coherence rule.
+// repeated resolves of stable URNs cost zero round trips. Under shard
+// routing every replica group gets its own cache and watch, so the
+// coherence rule holds per group. See DESIGN.md for the coherence rule.
 func WithReadCache() ClientOption {
-	return func(c *Client) { c.cache = newReadCache() }
+	return func(c *Client) { c.cacheOn = true }
 }
 
 // WithTimeout sets the initial per-request dial/IO timeout.
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
+}
+
+// WithShardRouting makes the client route URI-keyed operations to the
+// owning replica group under the catalog's shard map (DESIGN.md
+// "Sharded catalog"). The map is resolved once from the seed replicas
+// (the addresses NewClient was given), cached, and re-resolved whenever
+// a server answers with a wrong-shard redirect. Without this option —
+// and with it, when no map is published — every operation goes to the
+// seed replicas, exactly as before sharding existed.
+func WithShardRouting() ClientOption {
+	return func(c *Client) { c.routing = true }
 }
 
 // call is one in-flight request awaiting its response frame.
@@ -139,48 +158,73 @@ func (cc *clientConn) writeRequest(id uint64, req []byte, deadline time.Time) er
 
 }
 
+// replicaGroup is the client's connection state for one replica group:
+// the addresses, the live multiplexed connection with its failover
+// cursor, and (when caching is on) the group's own watch-coherent read
+// cache. The unsharded client has exactly one of these — the seed
+// group; shard routing adds one per group in the shard map.
+type replicaGroup struct {
+	addrs []string
+
+	mu      sync.Mutex
+	conn    *clientConn
+	current int  // index into addrs of the (next) server
+	closed  bool // retired (map superseded) or client closed
+
+	cache     *readCache // nil = caching disabled
+	watchStop context.CancelFunc
+}
+
 // Client talks to a set of RC server replicas. Because the registry is
 // master–master, any replica can serve any request; the client fails
 // over to the next replica when one is unreachable, which is how SNIPE
 // clients ride out RC server crashes (the availability property of §6).
 //
 // Client is safe for concurrent use, and requests are multiplexed: any
-// number of goroutines share one persistent connection per replica,
-// each request carrying a wire-level ID so responses are matched out of
-// order. A slow request (a Wait long-poll, a large OpsSince) never
-// blocks concurrent lookups. When a connection dies, unanswered
+// number of goroutines share one persistent connection per replica
+// group, each request carrying a wire-level ID so responses are matched
+// out of order. A slow request (a Wait long-poll, a large OpsSince)
+// never blocks concurrent lookups. When a connection dies, unanswered
 // requests are re-issued against the next replica.
+//
+// With WithShardRouting, URI-keyed operations are routed to the replica
+// group owning the URI under the catalog's shard map; the caller-facing
+// semantics of Get/Set/Wait and the read cache are unchanged.
 type Client struct {
-	addrs  []string
 	secret []byte
 
-	mu      sync.Mutex
-	conn    *clientConn
-	current int // index into addrs of the (next) server
-	timeout time.Duration
-	closed  bool
+	mu       sync.Mutex
+	seed     *replicaGroup
+	groups   []*replicaGroup // index = shard group id; nil until a map installs
+	shard    *ShardMap       // installed shard map; nil = route everything to seed
+	mapTried bool            // first resolution attempted (routing only)
+	timeout  time.Duration
+	closed   bool
+
+	routing bool // WithShardRouting
+	cacheOn bool // WithReadCache
 
 	nextID   atomic.Uint64
 	inflight atomic.Int64
-
-	cache       *readCache // nil = caching disabled
-	watchCancel context.CancelFunc
-	wg          sync.WaitGroup
+	wg       sync.WaitGroup
 
 	// Telemetry (see internal/stats); pointers captured at construction.
-	metrics    *stats.Registry
-	mRequests  *stats.Counter
-	mFailovers *stats.Counter
-	mCacheHits *stats.Counter
-	mCacheMiss *stats.Counter
-	gInflight  *stats.Gauge
+	metrics     *stats.Registry
+	mRequests   *stats.Counter
+	mFailovers  *stats.Counter
+	mCacheHits  *stats.Counter
+	mCacheMiss  *stats.Counter
+	mWrongShard *stats.Counter
+	mMapResolve *stats.Counter
+	gInflight   *stats.Gauge
 }
 
 // NewClient returns a client over the given replica addresses. secret
-// enables HMAC authentication and must match the servers'.
+// enables HMAC authentication and must match the servers'. Under shard
+// routing, addrs are the seed replicas: any group whose config
+// namespace carries the shard map.
 func NewClient(addrs []string, secret []byte, opts ...ClientOption) *Client {
 	c := &Client{
-		addrs:   append([]string(nil), addrs...),
 		secret:  secret,
 		timeout: 5 * time.Second,
 		metrics: stats.NewRegistry(),
@@ -189,17 +233,44 @@ func NewClient(addrs []string, secret []byte, opts ...ClientOption) *Client {
 	c.mFailovers = c.metrics.Counter("failovers")
 	c.mCacheHits = c.metrics.Counter("cache_hits")
 	c.mCacheMiss = c.metrics.Counter("cache_misses")
+	c.mWrongShard = c.metrics.Counter("wrong_shard_redirects")
+	c.mMapResolve = c.metrics.Counter("shard_map_resolves")
 	c.gInflight = c.metrics.Gauge("inflight")
 	for _, o := range opts {
 		o(c)
 	}
-	if c.cache != nil {
-		ctx, cancel := context.WithCancel(context.Background())
-		c.watchCancel = cancel
-		c.wg.Add(1)
-		go c.watchLoop(ctx)
-	}
+	c.seed = c.newGroup(addrs)
 	return c
+}
+
+// newGroup builds a replica group, starting its cache watch when the
+// client caches reads.
+func (c *Client) newGroup(addrs []string) *replicaGroup {
+	g := &replicaGroup{addrs: append([]string(nil), addrs...)}
+	if c.cacheOn {
+		g.cache = newReadCache()
+		ctx, cancel := context.WithCancel(context.Background())
+		g.watchStop = cancel
+		c.wg.Add(1)
+		go c.watchLoop(ctx, g)
+	}
+	return g
+}
+
+// retireGroup stops a group's watch and breaks its connection; in-flight
+// requests fail over and find the group refusing redials.
+func retireGroup(g *replicaGroup) {
+	if g.watchStop != nil {
+		g.watchStop()
+	}
+	g.mu.Lock()
+	g.closed = true
+	conn := g.conn
+	g.conn = nil
+	g.mu.Unlock()
+	if conn != nil {
+		conn.fail(ErrClientClosed)
+	}
 }
 
 // SetTimeout sets the per-request dial/IO timeout.
@@ -209,17 +280,25 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// Servers returns the configured replica addresses.
+// Servers returns the configured seed replica addresses.
 func (c *Client) Servers() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]string(nil), c.addrs...)
+	return append([]string(nil), c.seed.addrs...)
 }
 
 // ReadCacheActive reports whether the client caches reads locally.
 // naming.Resolver uses this to skip its own TTL cache and ride the
 // client's watch-invalidated one instead.
-func (c *Client) ReadCacheActive() bool { return c.cache != nil }
+func (c *Client) ReadCacheActive() bool { return c.cacheOn }
+
+// ShardMap returns the shard map the client is currently routing with,
+// or nil when it routes everything to the seed replicas.
+func (c *Client) ShardMap() *ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shard
+}
 
 // Metrics returns the client's live metric registry.
 func (c *Client) Metrics() *stats.Registry { return c.metrics }
@@ -233,7 +312,7 @@ func (c *Client) MetricsSnapshot() stats.Snapshot {
 	return c.metrics.Snapshot()
 }
 
-// Close stops the watch goroutine and drops the current connection.
+// Close stops the watch goroutines and drops every connection.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -241,89 +320,202 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
-	conn := c.conn
-	c.conn = nil
+	groups := append([]*replicaGroup{c.seed}, c.groups...)
 	c.mu.Unlock()
-	if c.watchCancel != nil {
-		c.watchCancel()
-	}
-	if conn != nil {
-		conn.fail(ErrClientClosed)
+	for _, g := range groups {
+		retireGroup(g)
 	}
 	c.wg.Wait()
 }
 
-// getConn returns the live multiplexed connection, dialing the current
-// replica if none is up. A dial failure advances to the next replica.
-func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
+// seedGroup returns the seed replica group (the NewClient addresses).
+func (c *Client) seedGroup() *replicaGroup {
 	c.mu.Lock()
-	if c.closed {
+	defer c.mu.Unlock()
+	return c.seed
+}
+
+// route returns the replica group that should serve an operation on
+// uri: the owning group under the installed shard map, or the seed
+// group when routing is off, no map is installed, or the URI is in the
+// globally served config namespace.
+func (c *Client) route(uri string) *replicaGroup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.routing || c.shard == nil || IsConfigURI(uri) {
+		return c.seed
+	}
+	gid := c.shard.Owner(uri)
+	if gid < 0 || gid >= len(c.groups) {
+		return c.seed
+	}
+	return c.groups[gid]
+}
+
+// ensureShardMap performs the one-time shard-map bootstrap: the first
+// routed operation resolves the map from the seed replicas. Absence of
+// a published map is not an error — the client stays seed-routed, and a
+// later wrong-shard redirect forces a re-resolve.
+func (c *Client) ensureShardMap(ctx context.Context) error {
+	c.mu.Lock()
+	tried := c.mapTried
+	c.mu.Unlock()
+	if tried {
+		return nil
+	}
+	err := c.resolveShardMap(ctx)
+	c.mu.Lock()
+	c.mapTried = true
+	c.mu.Unlock()
+	return err
+}
+
+// resolveShardMap reads the shard map from the seed group's config
+// namespace and installs it if its epoch is newer than the current one.
+func (c *Client) resolveShardMap(ctx context.Context) error {
+	c.mMapResolve.Inc()
+	d, err := c.roundTrip(ctx, c.seedGroup(), request(cmdFirst, func(e *xdr.Encoder) {
+		e.PutString(ShardMapURI)
+		e.PutString(AttrShardMap)
+	}))
+	if err != nil {
+		return err
+	}
+	ok, err := d.Bool()
+	if err != nil {
+		return err
+	}
+	v, err := d.StringMax(maxWireValue)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // no map published: stay seed-routed
+	}
+	m, err := ParseShardMap(v)
+	if err != nil {
+		return err
+	}
+	c.installShardMap(m)
+	return nil
+}
+
+// installShardMap swaps in m if it is strictly newer than the installed
+// map, building fresh per-group connection state and retiring the old.
+func (c *Client) installShardMap(m *ShardMap) {
+	c.mu.Lock()
+	if c.closed || (c.shard != nil && m.Epoch <= c.shard.Epoch) {
 		c.mu.Unlock()
-		return nil, ErrClientClosed
+		return
 	}
-	if c.conn != nil {
-		c.conn.mu.Lock()
-		broken := c.conn.broken
-		c.conn.mu.Unlock()
-		if !broken {
-			cc := c.conn
-			c.mu.Unlock()
-			return cc, nil
+	old := c.groups
+	c.shard = m
+	c.groups = make([]*replicaGroup, len(m.Groups))
+	for i, addrs := range m.Groups {
+		c.groups[i] = c.newGroup(addrs)
+	}
+	c.mu.Unlock()
+	for _, g := range old {
+		retireGroup(g)
+	}
+}
+
+// PublishShardMap writes m to the config namespace of every group it
+// names, so that any group's replicas can bootstrap a routing client.
+// Config entries replicate within a group but not across groups, hence
+// the fan-out here; resharding publishes a higher epoch the same way.
+func PublishShardMap(ctx context.Context, m *ShardMap, secret []byte) error {
+	for i, addrs := range m.Groups {
+		cl := NewClient(addrs, secret)
+		err := cl.Set(ctx, ShardMapURI, AttrShardMap, m.Format())
+		cl.Close()
+		if err != nil {
+			return fmt.Errorf("rcds: publish shard map to group %d: %w", i, err)
 		}
-		c.conn = nil
 	}
-	addr := c.addrs[c.current%len(c.addrs)]
+	return nil
+}
+
+// getConn returns g's live multiplexed connection, dialing the current
+// replica if none is up. A dial failure advances to the next replica.
+func (c *Client) getConn(ctx context.Context, g *replicaGroup) (*clientConn, error) {
+	c.mu.Lock()
+	closed := c.closed
 	timeout := c.timeout
 	c.mu.Unlock()
+	if closed {
+		return nil, ErrClientClosed
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if g.conn != nil {
+		g.conn.mu.Lock()
+		broken := g.conn.broken
+		g.conn.mu.Unlock()
+		if !broken {
+			cc := g.conn
+			g.mu.Unlock()
+			return cc, nil
+		}
+		g.conn = nil
+	}
+	addr := g.addrs[g.current%len(g.addrs)]
+	g.mu.Unlock()
 
 	d := net.Dialer{Timeout: timeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if err != nil {
-		c.current++ // the next dial tries the next replica
+		g.current++ // the next dial tries the next replica
 		return nil, err
 	}
-	if c.closed {
+	if g.closed {
 		conn.Close()
 		return nil, ErrClientClosed
 	}
-	if c.conn != nil {
+	if g.conn != nil {
 		// A concurrent caller connected first; keep theirs.
 		conn.Close()
-		return c.conn, nil
+		return g.conn, nil
 	}
 	cc := &clientConn{c: conn, secret: c.secret, pending: make(map[uint64]*call)}
-	c.conn = cc
+	g.conn = cc
 	go cc.readLoop()
 	return cc, nil
 }
 
-// connFailed retires a dead connection and advances to the next
+// connFailed retires a dead connection and advances to the group's next
 // replica. Only the first caller to notice the failure advances the
-// cursor; cached reads are flushed because the next replica's Wait
-// sequence numbering is not comparable to the old one's.
-func (c *Client) connFailed(cc *clientConn) {
-	c.mu.Lock()
-	if c.conn == cc {
-		c.conn = nil
-		c.current++
+// cursor; the group's cached reads are flushed because the next
+// replica's Wait sequence numbering is not comparable to the old one's.
+func (c *Client) connFailed(g *replicaGroup, cc *clientConn) {
+	g.mu.Lock()
+	if g.conn == cc {
+		g.conn = nil
+		g.current++
 		c.mFailovers.Inc()
 	}
-	c.mu.Unlock()
-	if c.cache != nil {
-		c.cache.invalidateAll()
+	g.mu.Unlock()
+	if g.cache != nil {
+		g.cache.invalidateAll()
 	}
 }
 
-// roundTrip sends req and returns the response payload decoder. The
-// request is issued over the shared multiplexed connection; if that
-// connection dies before the response arrives, the request is re-issued
-// against the next replica (as many times as there are replicas).
-func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error) {
+// roundTrip sends req to group g and returns the response payload
+// decoder. The request is issued over the group's shared multiplexed
+// connection; if that connection dies before the response arrives, the
+// request is re-issued against the group's next replica (as many times
+// as there are replicas).
+func (c *Client) roundTrip(ctx context.Context, g *replicaGroup, req []byte) (*xdr.Decoder, error) {
+	g.mu.Lock()
+	n := len(g.addrs)
+	g.mu.Unlock()
 	c.mu.Lock()
-	n := len(c.addrs)
 	timeout := c.timeout
 	c.mu.Unlock()
 	if n == 0 {
@@ -338,7 +530,7 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cc, err := c.getConn(ctx)
+		cc, err := c.getConn(ctx, g)
 		if err != nil {
 			if errors.Is(err, ErrClientClosed) {
 				return nil, err
@@ -350,21 +542,21 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error
 		cl, err := cc.register(id)
 		if err != nil {
 			lastErr = err
-			c.connFailed(cc)
+			c.connFailed(g, cc)
 			continue
 		}
 		if err := cc.writeRequest(id, req, time.Now().Add(timeout)); err != nil {
 			cc.unregister(id)
 			cc.fail(err)
 			lastErr = err
-			c.connFailed(cc)
+			c.connFailed(g, cc)
 			continue
 		}
 		select {
 		case res := <-cl.ch:
 			if res.err != nil {
 				lastErr = res.err
-				c.connFailed(cc)
+				c.connFailed(g, cc)
 				continue
 			}
 			return parseResponse(res.body)
@@ -374,6 +566,44 @@ func (c *Client) roundTrip(ctx context.Context, req []byte) (*xdr.Decoder, error
 		}
 	}
 	return nil, fmt.Errorf("%w (last: %v)", ErrNoServers, lastErr)
+}
+
+// routedTrip sends a URI-keyed request to the group owning uri. A
+// wrong-shard redirect (stale map) re-resolves the map and retries
+// against the new owner, a bounded number of times.
+func (c *Client) routedTrip(ctx context.Context, uri string, req []byte) (*xdr.Decoder, error) {
+	if !c.routing {
+		return c.roundTrip(ctx, c.seedGroup(), req)
+	}
+	if err := c.ensureShardMap(ctx); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < wrongShardRetries; attempt++ {
+		d, err := c.roundTrip(ctx, c.route(uri), req)
+		var ws *WrongShardError
+		if !errors.As(err, &ws) {
+			return d, err
+		}
+		c.mWrongShard.Inc()
+		lastErr = err
+		if rerr := c.resolveShardMap(ctx); rerr != nil {
+			return nil, rerr
+		}
+	}
+	return nil, lastErr
+}
+
+// cacheGroup resolves the group whose cache serves reads of uri,
+// bootstrapping the shard map first so the very first cached read does
+// not fill the wrong group's cache.
+func (c *Client) cacheGroup(ctx context.Context, uri string) (*replicaGroup, error) {
+	if c.routing {
+		if err := c.ensureShardMap(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return c.route(uri), nil
 }
 
 // Timeout reports the client's configured per-request timeout. Callers
@@ -388,7 +618,7 @@ func (c *Client) Timeout() time.Duration {
 // Ping checks connectivity, returning the responding server's
 // origin ID.
 func (c *Client) Ping(ctx context.Context) (string, error) {
-	d, err := c.roundTrip(ctx, request(cmdPing, nil))
+	d, err := c.roundTrip(ctx, c.seedGroup(), request(cmdPing, nil))
 	if err != nil {
 		return "", err
 	}
@@ -397,7 +627,7 @@ func (c *Client) Ping(ctx context.Context) (string, error) {
 
 // Set makes value the sole live value of (uri, name).
 func (c *Client) Set(ctx context.Context, uri, name, value string) error {
-	_, err := c.roundTrip(ctx, request(cmdSet, func(e *xdr.Encoder) {
+	_, err := c.routedTrip(ctx, uri, request(cmdSet, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
@@ -408,7 +638,7 @@ func (c *Client) Set(ctx context.Context, uri, name, value string) error {
 
 // Add inserts value as an additional live value of (uri, name).
 func (c *Client) Add(ctx context.Context, uri, name, value string) error {
-	_, err := c.roundTrip(ctx, request(cmdAdd, func(e *xdr.Encoder) {
+	_, err := c.routedTrip(ctx, uri, request(cmdAdd, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
@@ -419,7 +649,7 @@ func (c *Client) Add(ctx context.Context, uri, name, value string) error {
 
 // AddSigned inserts a value with a detached signature by signer.
 func (c *Client) AddSigned(ctx context.Context, uri, name, value, signer string, sig []byte) error {
-	_, err := c.roundTrip(ctx, request(cmdAddSigned, func(e *xdr.Encoder) {
+	_, err := c.routedTrip(ctx, uri, request(cmdAddSigned, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
@@ -432,7 +662,7 @@ func (c *Client) AddSigned(ctx context.Context, uri, name, value, signer string,
 
 // Remove tombstones the (uri, name, value) element.
 func (c *Client) Remove(ctx context.Context, uri, name, value string) error {
-	_, err := c.roundTrip(ctx, request(cmdRemove, func(e *xdr.Encoder) {
+	_, err := c.routedTrip(ctx, uri, request(cmdRemove, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 		e.PutString(value)
@@ -443,7 +673,7 @@ func (c *Client) Remove(ctx context.Context, uri, name, value string) error {
 
 // RemoveAll tombstones every live value of (uri, name).
 func (c *Client) RemoveAll(ctx context.Context, uri, name string) error {
-	_, err := c.roundTrip(ctx, request(cmdRemoveAll, func(e *xdr.Encoder) {
+	_, err := c.routedTrip(ctx, uri, request(cmdRemoveAll, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 	}))
@@ -453,33 +683,44 @@ func (c *Client) RemoveAll(ctx context.Context, uri, name string) error {
 
 // invalidateWrite drops cached reads for a URI this client just wrote,
 // preserving read-your-writes before the watch notices the version
-// advance.
+// advance. Every group's cache is swept: cheap, and correct across a
+// map change that moved the URI between groups mid-write.
 func (c *Client) invalidateWrite(uri string, err error) {
-	if c.cache != nil && err == nil {
-		c.cache.invalidateURI(uri)
+	if !c.cacheOn || err != nil {
+		return
+	}
+	c.mu.Lock()
+	groups := append([]*replicaGroup{c.seed}, c.groups...)
+	c.mu.Unlock()
+	for _, g := range groups {
+		g.cache.invalidateURI(uri)
 	}
 }
 
 // Get returns the live assertions for uri.
 func (c *Client) Get(ctx context.Context, uri string) ([]Assertion, error) {
-	if c.cache != nil {
-		if as, ok := c.cache.lookupGet(uri); ok {
-			c.mCacheHits.Inc()
-			return as, nil
-		}
-		c.mCacheMiss.Inc()
-		epoch := c.cache.epochNow()
-		as, err := c.getRemote(ctx, uri)
-		if err == nil {
-			c.cache.storeGet(uri, as, epoch)
-		}
-		return as, err
+	if !c.cacheOn {
+		return c.getRemote(ctx, uri)
 	}
-	return c.getRemote(ctx, uri)
+	g, err := c.cacheGroup(ctx, uri)
+	if err != nil {
+		return nil, err
+	}
+	if as, ok := g.cache.lookupGet(uri); ok {
+		c.mCacheHits.Inc()
+		return as, nil
+	}
+	c.mCacheMiss.Inc()
+	epoch := g.cache.epochNow()
+	as, err := c.getRemote(ctx, uri)
+	if err == nil {
+		g.cache.storeGet(uri, as, epoch)
+	}
+	return as, err
 }
 
 func (c *Client) getRemote(ctx context.Context, uri string) ([]Assertion, error) {
-	d, err := c.roundTrip(ctx, request(cmdGet, func(e *xdr.Encoder) { e.PutString(uri) }))
+	d, err := c.routedTrip(ctx, uri, request(cmdGet, func(e *xdr.Encoder) { e.PutString(uri) }))
 	if err != nil {
 		return nil, err
 	}
@@ -488,24 +729,28 @@ func (c *Client) getRemote(ctx context.Context, uri string) ([]Assertion, error)
 
 // Values returns the live values of (uri, name).
 func (c *Client) Values(ctx context.Context, uri, name string) ([]string, error) {
-	if c.cache != nil {
-		if vals, ok := c.cache.lookupValues(uri, name); ok {
-			c.mCacheHits.Inc()
-			return vals, nil
-		}
-		c.mCacheMiss.Inc()
-		epoch := c.cache.epochNow()
-		vals, err := c.valuesRemote(ctx, uri, name)
-		if err == nil {
-			c.cache.storeValues(uri, name, vals, epoch)
-		}
-		return vals, err
+	if !c.cacheOn {
+		return c.valuesRemote(ctx, uri, name)
 	}
-	return c.valuesRemote(ctx, uri, name)
+	g, err := c.cacheGroup(ctx, uri)
+	if err != nil {
+		return nil, err
+	}
+	if vals, ok := g.cache.lookupValues(uri, name); ok {
+		c.mCacheHits.Inc()
+		return vals, nil
+	}
+	c.mCacheMiss.Inc()
+	epoch := g.cache.epochNow()
+	vals, err := c.valuesRemote(ctx, uri, name)
+	if err == nil {
+		g.cache.storeValues(uri, name, vals, epoch)
+	}
+	return vals, err
 }
 
 func (c *Client) valuesRemote(ctx context.Context, uri, name string) ([]string, error) {
-	d, err := c.roundTrip(ctx, request(cmdValues, func(e *xdr.Encoder) {
+	d, err := c.routedTrip(ctx, uri, request(cmdValues, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 	}))
@@ -518,24 +763,28 @@ func (c *Client) valuesRemote(ctx context.Context, uri, name string) ([]string, 
 // FirstValue returns the most recently written live value of
 // (uri, name).
 func (c *Client) FirstValue(ctx context.Context, uri, name string) (string, bool, error) {
-	if c.cache != nil {
-		if v, ok, hit := c.cache.lookupFirst(uri, name); hit {
-			c.mCacheHits.Inc()
-			return v, ok, nil
-		}
-		c.mCacheMiss.Inc()
-		epoch := c.cache.epochNow()
-		v, ok, err := c.firstRemote(ctx, uri, name)
-		if err == nil {
-			c.cache.storeFirst(uri, name, v, ok, epoch)
-		}
-		return v, ok, err
+	if !c.cacheOn {
+		return c.firstRemote(ctx, uri, name)
 	}
-	return c.firstRemote(ctx, uri, name)
+	g, err := c.cacheGroup(ctx, uri)
+	if err != nil {
+		return "", false, err
+	}
+	if v, ok, hit := g.cache.lookupFirst(uri, name); hit {
+		c.mCacheHits.Inc()
+		return v, ok, nil
+	}
+	c.mCacheMiss.Inc()
+	epoch := g.cache.epochNow()
+	v, ok, err := c.firstRemote(ctx, uri, name)
+	if err == nil {
+		g.cache.storeFirst(uri, name, v, ok, epoch)
+	}
+	return v, ok, err
 }
 
 func (c *Client) firstRemote(ctx context.Context, uri, name string) (string, bool, error) {
-	d, err := c.roundTrip(ctx, request(cmdFirst, func(e *xdr.Encoder) {
+	d, err := c.routedTrip(ctx, uri, request(cmdFirst, func(e *xdr.Encoder) {
 		e.PutString(uri)
 		e.PutString(name)
 	}))
@@ -550,18 +799,51 @@ func (c *Client) firstRemote(ctx context.Context, uri, name string) (string, boo
 	return v, ok, err
 }
 
-// URIs returns all catalogued URIs under prefix.
+// URIs returns all catalogued URIs under prefix. Under shard routing
+// the listing fans out to every group and merges: the one read that is
+// inherently cross-shard.
 func (c *Client) URIs(ctx context.Context, prefix string) ([]string, error) {
-	d, err := c.roundTrip(ctx, request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }))
+	if c.routing {
+		if err := c.ensureShardMap(ctx); err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	groups := append([]*replicaGroup(nil), c.groups...)
+	c.mu.Unlock()
+	if !c.routing || len(groups) == 0 {
+		return c.urisFrom(ctx, c.seedGroup(), prefix)
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for _, g := range groups {
+		us, err := c.urisFrom(ctx, g, prefix)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range us {
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (c *Client) urisFrom(ctx context.Context, g *replicaGroup, prefix string) ([]string, error) {
+	d, err := c.roundTrip(ctx, g, request(cmdURIs, func(e *xdr.Encoder) { e.PutString(prefix) }))
 	if err != nil {
 		return nil, err
 	}
 	return d.StringSliceMax(maxWireItems, maxWireValue)
 }
 
-// Vector returns the server's version vector.
+// Vector returns the seed server's version vector
+// (replication-internal; peer clients are single-group).
 func (c *Client) Vector(ctx context.Context) (VersionVector, error) {
-	d, err := c.roundTrip(ctx, request(cmdVector, nil))
+	d, err := c.roundTrip(ctx, c.seedGroup(), request(cmdVector, nil))
 	if err != nil {
 		return nil, err
 	}
@@ -570,7 +852,7 @@ func (c *Client) Vector(ctx context.Context) (VersionVector, error) {
 
 // OpsSince returns ops the holder of vector theirs has not seen.
 func (c *Client) OpsSince(ctx context.Context, theirs VersionVector, max int) ([]Assertion, error) {
-	d, err := c.roundTrip(ctx, request(cmdOpsSince, func(e *xdr.Encoder) {
+	d, err := c.roundTrip(ctx, c.seedGroup(), request(cmdOpsSince, func(e *xdr.Encoder) {
 		theirs.Encode(e)
 		e.PutUint32(uint32(max))
 	}))
@@ -583,7 +865,7 @@ func (c *Client) OpsSince(ctx context.Context, theirs VersionVector, max int) ([
 // Apply pushes replication ops to the server (peer-to-peer
 // path).
 func (c *Client) Apply(ctx context.Context, ops []Assertion) (int, error) {
-	d, err := c.roundTrip(ctx, request(cmdApply, func(e *xdr.Encoder) {
+	d, err := c.roundTrip(ctx, c.seedGroup(), request(cmdApply, func(e *xdr.Encoder) {
 		EncodeAssertions(e, ops)
 	}))
 	if err != nil {
@@ -593,12 +875,30 @@ func (c *Client) Apply(ctx context.Context, ops []Assertion) (int, error) {
 	return int(n), err
 }
 
-// Wait long-polls until the server's catalog version exceeds
+// Wait long-polls until the seed group's catalog version exceeds
 // since or the server-side timeout elapses, returning the current
 // version. ctx must outlive the server-side timeout for the poll to
-// complete normally.
+// complete normally. Under shard routing a version stream covers one
+// group only — use WaitURI to watch the group owning a specific URI.
 func (c *Client) Wait(ctx context.Context, since uint64, timeout time.Duration) (uint64, error) {
-	d, err := c.roundTrip(ctx, request(cmdWait, func(e *xdr.Encoder) {
+	return c.waitOn(ctx, c.seedGroup(), since, timeout)
+}
+
+// WaitURI long-polls the catalog version of the replica group owning
+// uri — the shard-aware watch primitive: a write to uri lands in that
+// group, so its version stream is the one that advances.
+func (c *Client) WaitURI(ctx context.Context, uri string, since uint64, timeout time.Duration) (uint64, error) {
+	if !c.routing {
+		return c.Wait(ctx, since, timeout)
+	}
+	if err := c.ensureShardMap(ctx); err != nil {
+		return 0, err
+	}
+	return c.waitOn(ctx, c.route(uri), since, timeout)
+}
+
+func (c *Client) waitOn(ctx context.Context, g *replicaGroup, since uint64, timeout time.Duration) (uint64, error) {
+	d, err := c.roundTrip(ctx, g, request(cmdWait, func(e *xdr.Encoder) {
 		e.PutUint64(since)
 		e.PutUint32(uint32(timeout / time.Millisecond))
 	}))
@@ -608,9 +908,36 @@ func (c *Client) Wait(ctx context.Context, since uint64, timeout time.Duration) 
 	return d.Uint64()
 }
 
-// Stats returns (uris, live elements, tombstones) on the server.
+// Stats returns (uris, live elements, tombstones) — summed across all
+// groups under shard routing, so the total reflects the whole sharded
+// catalog. Config-namespace entries replicate per group and are counted
+// once per group holding them.
 func (c *Client) Stats(ctx context.Context) (uris, elems, tombs int, err error) {
-	d, err := c.roundTrip(ctx, request(cmdStats, nil))
+	if c.routing {
+		if err := c.ensureShardMap(ctx); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	c.mu.Lock()
+	groups := append([]*replicaGroup(nil), c.groups...)
+	c.mu.Unlock()
+	if !c.routing || len(groups) == 0 {
+		return c.statsFrom(ctx, c.seedGroup())
+	}
+	for _, g := range groups {
+		u, el, tb, err := c.statsFrom(ctx, g)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		uris += u
+		elems += el
+		tombs += tb
+	}
+	return uris, elems, tombs, nil
+}
+
+func (c *Client) statsFrom(ctx context.Context, g *replicaGroup) (uris, elems, tombs int, err error) {
+	d, err := c.roundTrip(ctx, g, request(cmdStats, nil))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -631,7 +958,8 @@ func (c *Client) Stats(ctx context.Context) (uris, elems, tombs int, err error) 
 
 // WaitFor polls until (uri, name) has a live value or ctx ends —
 // the client-side rendezvous primitive SNIPE components use to wait for
-// each other's metadata to appear.
+// each other's metadata to appear. The long-poll rides the version
+// stream of the group owning uri, so it works unchanged under sharding.
 func (c *Client) WaitFor(ctx context.Context, uri, name string) (string, error) {
 	var version uint64
 	for {
@@ -656,7 +984,7 @@ func (c *Client) WaitFor(ctx context.Context, uri, name string) (string, error) 
 		}
 		// Use the long-poll to avoid busy-waiting; ignore errors, the
 		// next FirstValue will fail over.
-		if nv, err := c.Wait(ctx, version, pollWait); err == nil {
+		if nv, err := c.WaitURI(ctx, uri, version, pollWait); err == nil {
 			version = nv
 		} else if ctx.Err() == nil {
 			time.Sleep(10 * time.Millisecond)

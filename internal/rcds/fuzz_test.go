@@ -79,12 +79,17 @@ func FuzzDecodeVersionVector(f *testing.F) {
 func FuzzParseResponse(f *testing.F) {
 	f.Add(okResponse(func(e *xdr.Encoder) { e.PutString("pong") }))
 	f.Add(errResponse(ErrServer))
+	f.Add(wrongShardResponse(2, 7))
+	f.Add([]byte{statusWrongShard, 0, 0, 0, 1}) // truncated redirect
 	f.Add([]byte{})
-	f.Add([]byte{2, 0, 0, 0, 4, 'j', 'u', 'n', 'k'})
+	f.Add([]byte{3, 0, 0, 0, 4, 'j', 'u', 'n', 'k'})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		if len(b) > 0 && b[0] != statusOK && b[0] != statusErr {
+		// Every status except OK yields an error: statusErr and
+		// statusWrongShard by design (server error / typed redirect),
+		// everything else as ErrUnknownStatus.
+		if len(b) > 0 && b[0] != statusOK {
 			if _, err := parseResponse(b); err == nil {
-				t.Fatalf("parseResponse accepted unknown status %d", b[0])
+				t.Fatalf("parseResponse accepted non-OK status %d", b[0])
 			}
 			return
 		}

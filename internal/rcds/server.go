@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"snipe/internal/stats"
 	"snipe/internal/xdr"
 )
 
@@ -34,17 +35,51 @@ func WithAntiEntropyInterval(d time.Duration) ServerOption {
 	return func(s *Server) { s.aeInterval = d }
 }
 
+// WithShard makes the server enforce catalog sharding: ops on URIs that
+// map (under m) to a group other than self are answered with a
+// wrong-shard redirect instead of being served. Config-namespace URIs
+// (IsConfigURI) are exempt. The map can be replaced at runtime with
+// SetShard.
+func WithShard(self int, m *ShardMap) ServerOption {
+	return func(s *Server) { s.shard = &shardConfig{self: self, m: m} }
+}
+
+// WithLogCompaction bounds the op log: a background loop periodically
+// drops entries more than keepTail sequence numbers below each origin's
+// contiguous mark. Replicas that fall below the resulting floor catch
+// up via snapshot (SyncFromPeer) instead of history replay.
+func WithLogCompaction(keepTail int) ServerOption {
+	return func(s *Server) { s.compactKeep = keepTail }
+}
+
+// WithPeerGate installs a reachability gate consulted before every
+// push or anti-entropy exchange with a peer: while gate(peer) returns
+// an error the exchange is skipped, modelling a severed replication
+// link. netsim's Fabric.Gate plugs in here for partition experiments.
+func WithPeerGate(gate func(peer string) error) ServerOption {
+	return func(s *Server) { s.peerGate = gate }
+}
+
+// shardConfig is a server's sharding stance: its own group and the map.
+type shardConfig struct {
+	self int
+	m    *ShardMap
+}
+
 // Server is one RC/metadata server replica: it serves the catalog
 // protocol on a TCP listener, pushes local writes to its peers, and
 // runs periodic anti-entropy pulls so that replicas converge even when
 // pushes are lost — the master–master model of §7.
 type Server struct {
-	store      *Store
-	secret     []byte
-	peers      []string
-	aeInterval time.Duration
+	store       *Store
+	secret      []byte
+	peers       []string
+	aeInterval  time.Duration
+	compactKeep int // >0: background log compaction keeps this much tail
+	peerGate    func(peer string) error
 
 	mu       sync.Mutex
+	shard    *shardConfig // nil = unsharded
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	pushCh   chan []Assertion
@@ -57,6 +92,10 @@ type Server struct {
 	// the package tests' knob for proving request overlap and measuring
 	// serialized vs. multiplexed throughput under a fixed service time.
 	testDelay time.Duration
+
+	mShardReject *stats.Counter // ops redirected to their owning group
+	mSnapPages   *stats.Counter // snapshot pages served to rejoiners
+	mTailPulls   *stats.Counter // catch-up tail pulls served
 }
 
 // NewServer creates a server over store. Call Start to begin serving.
@@ -71,7 +110,38 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.mShardReject = store.Metrics().Counter("shard_rejects")
+	s.mSnapPages = store.Metrics().Counter("snapshot_pages_served")
+	s.mTailPulls = store.Metrics().Counter("tail_pulls_served")
 	return s
+}
+
+// SetShard installs (or replaces) the server's shard map at runtime —
+// the resharding hook. A nil map disables enforcement.
+func (s *Server) SetShard(self int, m *ShardMap) {
+	s.mu.Lock()
+	if m == nil {
+		s.shard = nil
+	} else {
+		s.shard = &shardConfig{self: self, m: m}
+	}
+	s.mu.Unlock()
+}
+
+// shardCheck returns a wrong-shard redirect when sharding is enforced
+// and uri belongs to another group; nil means serve it here.
+func (s *Server) shardCheck(uri string) []byte {
+	s.mu.Lock()
+	sc := s.shard
+	s.mu.Unlock()
+	if sc == nil || IsConfigURI(uri) {
+		return nil
+	}
+	if owner := sc.m.Owner(uri); owner != sc.self {
+		s.mShardReject.Inc()
+		return wrongShardResponse(owner, sc.m.Epoch)
+	}
+	return nil
 }
 
 // Store returns the server's underlying replica store.
@@ -91,9 +161,15 @@ func (s *Server) Start(addr string) error {
 	go s.acceptLoop(ln)
 	s.wg.Add(1)
 	go s.pushLoop()
-	if len(s.peers) > 0 && s.aeInterval > 0 {
+	// The loop re-reads the peer set every tick, so it starts even when
+	// peers arrive later via SetPeers (the common bootstrap order).
+	if s.aeInterval > 0 {
 		s.wg.Add(1)
 		go s.antiEntropyLoop()
+	}
+	if s.compactKeep > 0 {
+		s.wg.Add(1)
+		go s.compactLoop()
 	}
 	return nil
 }
@@ -221,6 +297,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
+		}
 		var ops []Assertion
 		switch cmd {
 		case cmdSet:
@@ -246,6 +325,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
+		}
 		ops := s.store.AddSigned(uri, name, value, signer, sig)
 		s.enqueuePush(ops)
 		return okResponse(nil)
@@ -259,6 +341,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
+		}
 		ops := s.store.RemoveAll(uri, name)
 		s.enqueuePush(ops)
 		return okResponse(nil)
@@ -267,6 +352,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		uri, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
+		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
 		}
 		as := s.store.Get(uri)
 		return okResponse(func(e *xdr.Encoder) { EncodeAssertions(e, as) })
@@ -280,6 +368,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		if err != nil {
 			return errResponse(err)
 		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
+		}
 		return okResponse(func(e *xdr.Encoder) { e.PutStringSlice(s.store.Values(uri, name)) })
 
 	case cmdFirst:
@@ -290,6 +381,9 @@ func (s *Server) dispatch(body []byte) []byte {
 		name, err := d.StringMax(maxWireURI)
 		if err != nil {
 			return errResponse(err)
+		}
+		if rej := s.shardCheck(uri); rej != nil {
+			return rej
 		}
 		v, ok := s.store.FirstValue(uri, name)
 		return okResponse(func(e *xdr.Encoder) { e.PutBool(ok); e.PutString(v) })
@@ -351,6 +445,44 @@ func (s *Server) dispatch(body []byte) []byte {
 			e.PutUint32(uint32(elems))
 			e.PutUint32(uint32(tombs))
 		})
+
+	case cmdCatchup:
+		theirs, err := DecodeVersionVector(d)
+		if err != nil {
+			return errResponse(err)
+		}
+		max, err := d.Uint32()
+		if err != nil {
+			return errResponse(err)
+		}
+		if !s.store.CanServeTail(theirs) {
+			// The requester is below our compaction floor: it must page
+			// the snapshot (cmdSnapshotPage) before pulling the tail.
+			return okResponse(func(e *xdr.Encoder) { e.PutUint8(catchupModeSnapshot) })
+		}
+		s.mTailPulls.Inc()
+		ops := s.store.OpsSince(theirs, int(max))
+		return okResponse(func(e *xdr.Encoder) {
+			e.PutUint8(catchupModeTail)
+			EncodeAssertions(e, ops)
+		})
+
+	case cmdSnapshotPage:
+		afterURI, err := d.StringMax(maxWireURI)
+		if err != nil {
+			return errResponse(err)
+		}
+		max, err := d.Uint32()
+		if err != nil {
+			return errResponse(err)
+		}
+		s.mSnapPages.Inc()
+		ops, next, vv := s.store.SnapshotPage(afterURI, int(max))
+		return okResponse(func(e *xdr.Encoder) {
+			vv.Encode(e)
+			e.PutString(next)
+			EncodeAssertions(e, ops)
+		})
 	}
 	return errResponse(fmt.Errorf("unknown command %d", cmd))
 }
@@ -399,6 +531,14 @@ func (s *Server) pushLoop() {
 			peers := append([]string(nil), s.peers...)
 			s.mu.Unlock()
 			for _, peer := range peers {
+				if s.peerGate != nil && s.peerGate(peer) != nil {
+					// Link severed (netsim partition): count it as a lost
+					// push and leave repair to anti-entropy after healing.
+					s.mu.Lock()
+					s.pushFail++
+					s.mu.Unlock()
+					continue
+				}
 				c, ok := clients[peer]
 				if !ok {
 					c = NewClient([]string{peer}, s.secret)
@@ -417,7 +557,10 @@ func (s *Server) pushLoop() {
 	}
 }
 
-// antiEntropyLoop periodically pulls missing ops from each peer.
+// antiEntropyLoop periodically syncs from each peer via SyncFromPeer:
+// paged op tails in the steady state, a compacted snapshot plus tail
+// when this replica has fallen below a peer's compaction floor — so a
+// rejoining replica converges without full history replay.
 func (s *Server) antiEntropyLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.aeInterval)
@@ -437,21 +580,57 @@ func (s *Server) antiEntropyLoop() {
 			peers := append([]string(nil), s.peers...)
 			s.mu.Unlock()
 			for _, peer := range peers {
+				if s.peerGate != nil && s.peerGate(peer) != nil {
+					continue // link severed; try again next tick
+				}
 				c, ok := clients[peer]
 				if !ok {
 					c = NewClient([]string{peer}, s.secret)
 					clients[peer] = c
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), pushTimeout)
-				ops, err := c.OpsSince(ctx, s.store.Vector(), 0)
+				ctx, cancel := s.syncCtx()
+				_, err := SyncFromPeer(ctx, s.store, c, 0)
 				cancel()
-				if err != nil {
-					continue // peer down; try again next tick
-				}
-				if len(ops) > 0 {
-					s.store.ApplyRemote(ops)
-				}
+				_ = err // peer down or mid-shutdown; try again next tick
 			}
+		}
+	}
+}
+
+// syncCtx derives a context for one anti-entropy exchange, cancelled
+// when the server shuts down so a sync cannot outlive Close. The
+// exchange as a whole is NOT deadline-bounded: a rejoin snapshot at
+// catalog scale legitimately takes many page round trips, and cutting
+// it off mid-transfer would discard the round's work before MergeVector
+// could claim it. Stall protection is per RPC — SyncFromPeer bounds
+// every Catchup/SnapshotPage call by pushTimeout, so a dead peer costs
+// one RPC timeout, not a hung loop.
+func (s *Server) syncCtx() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		select {
+		case <-s.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// compactLoop periodically drops op-log entries more than compactKeep
+// below each origin's contiguous mark. Bounding the log is what makes
+// 1M+-URI catalogs viable: without it every write ever made stays
+// resident and every rejoin replays it.
+func (s *Server) compactLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.aeInterval * 8)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.store.Compact(s.compactKeep)
 		}
 	}
 }

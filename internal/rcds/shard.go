@@ -1,0 +1,167 @@
+package rcds
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Catalog sharding (DESIGN.md "Sharded catalog"): the URI namespace is
+// partitioned across replica groups by consistent hashing over the URI
+// path. Each URI is owned by exactly one group; writes and watches fan
+// out only within the owning group, so catalog capacity scales with the
+// number of groups instead of every replica holding everything.
+//
+// The shard map itself lives in the catalog under a well-known URI in
+// the config namespace, which is exempt from shard routing: any replica
+// answers config reads, so a client can bootstrap the map from its seed
+// replicas before it knows any shard exists. Servers enforce ownership
+// and answer an op on a URI they do not own with a statusWrongShard
+// redirect carrying the owning group and the server's map epoch; the
+// client re-resolves the map and retries shard-side.
+
+const (
+	// ConfigPrefix is the URI namespace exempt from shard routing:
+	// config entries are replicated per group and served by any replica.
+	ConfigPrefix = "snipe://config/"
+	// ShardMapURI is the well-known catalog URI the shard map is stored
+	// under (attribute AttrShardMap).
+	ShardMapURI = ConfigPrefix + "rcds/shard-map"
+	// AttrShardMap is the assertion name holding the encoded shard map.
+	AttrShardMap = "shard-map"
+)
+
+// IsConfigURI reports whether uri is in the globally served config
+// namespace, exempt from shard ownership checks.
+func IsConfigURI(uri string) bool { return strings.HasPrefix(uri, ConfigPrefix) }
+
+// ShardKey returns the portion of a URI that shard hashing covers: the
+// path, with the scheme stripped, so that "snipe://hosts/h1" and URN
+// forms hash by what they name rather than how they are spelled.
+func ShardKey(uri string) string {
+	if i := strings.Index(uri, "://"); i >= 0 {
+		return uri[i+3:]
+	}
+	if rest, ok := strings.CutPrefix(uri, "urn:"); ok {
+		return rest
+	}
+	return uri
+}
+
+// ShardOf returns the owning group index for uri among n groups. It is
+// the one hash every router — client, server, bench verifier — must
+// agree on: 64-bit FNV-1a of the shard key fed to jump consistent
+// hashing, so changing the group count moves only ~1/n of the keys.
+func ShardOf(uri string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(ShardKey(uri)))
+	return int(jumpHash(h.Sum64(), n))
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash: maps key to a
+// bucket in [0, buckets) such that growing the bucket count relocates
+// only keys that move to the new buckets.
+func jumpHash(key uint64, buckets int) int32 {
+	var b int64 = -1
+	var j int64
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int32(b)
+}
+
+// ShardMap assigns every catalog URI to one replica group. Epoch orders
+// map revisions: a server rejecting an op includes its epoch, and a
+// client only installs a fetched map with a strictly higher epoch than
+// the one it holds.
+type ShardMap struct {
+	Epoch  uint64
+	Groups [][]string // replica addresses per group, index = group id
+}
+
+// NumShards returns the group count.
+func (m *ShardMap) NumShards() int { return len(m.Groups) }
+
+// Owner returns the group index owning uri.
+func (m *ShardMap) Owner(uri string) int { return ShardOf(uri, len(m.Groups)) }
+
+// ErrBadShardMap reports an unparseable or invalid shard map encoding.
+var ErrBadShardMap = errors.New("rcds: bad shard map")
+
+// Format encodes the map as the catalog value stored under ShardMapURI:
+//
+//	v1 epoch=3 groups=host:1,host:2|host:3,host:4
+//
+// Addresses must not contain spaces, commas or pipes.
+func (m *ShardMap) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1 epoch=%d groups=", m.Epoch)
+	for i, g := range m.Groups {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strings.Join(g, ","))
+	}
+	return b.String()
+}
+
+// ParseShardMap decodes a value written by Format.
+func ParseShardMap(s string) (*ShardMap, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 3 || fields[0] != "v1" {
+		return nil, fmt.Errorf("%w: %q", ErrBadShardMap, s)
+	}
+	epochStr, ok := strings.CutPrefix(fields[1], "epoch=")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing epoch in %q", ErrBadShardMap, s)
+	}
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: epoch %q: %v", ErrBadShardMap, epochStr, err)
+	}
+	groupsStr, ok := strings.CutPrefix(fields[2], "groups=")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing groups in %q", ErrBadShardMap, s)
+	}
+	m := &ShardMap{Epoch: epoch}
+	for _, g := range strings.Split(groupsStr, "|") {
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a == "" {
+				return nil, fmt.Errorf("%w: empty address in %q", ErrBadShardMap, s)
+			}
+			addrs = append(addrs, a)
+		}
+		m.Groups = append(m.Groups, addrs)
+	}
+	if len(m.Groups) == 0 {
+		return nil, fmt.Errorf("%w: no groups in %q", ErrBadShardMap, s)
+	}
+	return m, nil
+}
+
+// ErrWrongShard is the errors.Is target for wrong-shard redirects.
+var ErrWrongShard = errors.New("rcds: wrong shard")
+
+// WrongShardError is the typed error a shard-enforcing server answers
+// with when an op names a URI owned by another group. Group is the
+// owning group under the server's map; Epoch is that map's revision, so
+// a client holding an older map knows to re-resolve before retrying.
+type WrongShardError struct {
+	Group int
+	Epoch uint64
+}
+
+func (e *WrongShardError) Error() string {
+	return fmt.Sprintf("rcds: wrong shard (owner group %d, map epoch %d)", e.Group, e.Epoch)
+}
+
+// Unwrap makes errors.Is(err, ErrWrongShard) hold.
+func (e *WrongShardError) Unwrap() error { return ErrWrongShard }

@@ -1,12 +1,14 @@
 package rcds
 
 import (
+	"crypto/sha256"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"snipe/internal/stats"
+	"snipe/internal/xdr"
 )
 
 // Event reports a catalog change to a subscriber.
@@ -26,6 +28,7 @@ type Store struct {
 	catalogs map[string]map[elemKey]*Assertion
 	log      map[string]map[uint64]Assertion // origin → seq → op (may have holes)
 	vv       VersionVector                   // contiguous high-water marks
+	floor    map[string]uint64               // origin → first log seq still servable (0 = from the start)
 
 	version uint64 // bumped on every visible change
 	cond    *sync.Cond
@@ -41,6 +44,8 @@ type Store struct {
 	mRemoteOps     *stats.Counter
 	mRemoteApplied *stats.Counter
 	mLookups       *stats.Counter
+	mSnapInstall   *stats.Counter // ops installed from a peer snapshot page
+	mCompacted     *stats.Counter // log entries dropped by compaction
 	hLookupUs      *stats.Histogram // catalog read latency
 	hReplLagUs     *stats.Histogram // origin mint → local apply, master-master lag
 }
@@ -57,6 +62,7 @@ func NewStore(origin string) *Store {
 		catalogs: make(map[string]map[elemKey]*Assertion),
 		log:      make(map[string]map[uint64]Assertion),
 		vv:       make(VersionVector),
+		floor:    make(map[string]uint64),
 		subs:     make(map[int]*subscription),
 		nowFn:    func() int64 { return time.Now().UnixNano() },
 		metrics:  stats.NewRegistry(),
@@ -66,6 +72,8 @@ func NewStore(origin string) *Store {
 	s.mRemoteOps = s.metrics.Counter("remote_ops")
 	s.mRemoteApplied = s.metrics.Counter("remote_ops_applied")
 	s.mLookups = s.metrics.Counter("lookups")
+	s.mSnapInstall = s.metrics.Counter("snapshot_ops_installed")
+	s.mCompacted = s.metrics.Counter("log_compacted_ops")
 	s.hLookupUs = s.metrics.Histogram("lookup_latency_us", stats.LatencyBucketsUs)
 	s.hReplLagUs = s.metrics.Histogram("replication_lag_us", stats.LatencyBucketsUs)
 	return s
@@ -480,6 +488,184 @@ func (s *Store) SetNowFunc(f func() int64) {
 	s.mu.Lock()
 	s.nowFn = f
 	s.mu.Unlock()
+}
+
+// Snapshot + incremental catch-up (DESIGN.md "Sharded catalog"): a
+// replica rejoining its group pulls the peer's compacted catalog state
+// — one assertion per element, winners and tombstones, NOT the op
+// history — in deterministic URI-ordered pages, then the op tail since
+// the snapshot's version vector. Log compaction makes this necessary
+// (the history below the floor is gone) and worthwhile (the snapshot is
+// catalog-sized, the history is write-count-sized).
+
+// SnapshotPage returns up to maxOps catalog elements (including
+// tombstones) for URIs strictly after afterURI in lexical order, the
+// cursor for the next page ("" when the dump is complete), and the
+// store's current version vector. Pages never split a URI, so the
+// cursor is simply the last URI included.
+func (s *Store) SnapshotPage(afterURI string, maxOps int) (ops []Assertion, next string, vv VersionVector) {
+	if maxOps <= 0 {
+		maxOps = 8192
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uris := make([]string, 0, len(s.catalogs))
+	for uri := range s.catalogs {
+		if uri > afterURI {
+			uris = append(uris, uri)
+		}
+	}
+	sort.Strings(uris)
+	for _, uri := range uris {
+		if len(ops) >= maxOps {
+			return ops, next, s.vv.Copy()
+		}
+		for _, a := range s.catalogs[uri] {
+			ops = append(ops, *a)
+		}
+		next = uri
+	}
+	return ops, "", s.vv.Copy()
+}
+
+// InstallSnapshotOps merges one snapshot page into the catalog and the
+// log, returning the number of elements that changed the catalog. The
+// caller advances the version vector with MergeVector once every page
+// has been installed; until then the replica does not claim coverage of
+// sequence numbers it has only partially received.
+func (s *Store) InstallSnapshotOps(ops []Assertion) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed := 0
+	for _, op := range ops {
+		if op.Origin == s.origin {
+			continue // our own ops: already in our log
+		}
+		s.mSnapInstall.Inc()
+		s.recordLocked(op)
+		if s.applyLocked(op) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// MergeVector raises the store's contiguous version vector to cover vv
+// (a snapshot's base): intermediate superseded ops below the new marks
+// were compacted away on the peer and will never arrive, so the log may
+// now have holes under the vector. The serving floor moves up to the
+// new marks for every origin that advanced — this replica can serve
+// tails only from the snapshot base onward; peers that are further
+// behind must themselves catch up by snapshot.
+func (s *Store) MergeVector(vv VersionVector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for origin, seq := range vv {
+		if seq > s.vv[origin] {
+			s.vv[origin] = seq
+			if seq+1 > s.floor[origin] {
+				s.floor[origin] = seq + 1
+			}
+		}
+	}
+}
+
+// CanServeTail reports whether the log can serve every op a replica at
+// vector theirs is missing — i.e. theirs is at or above the compaction
+// floor for every origin this store has advanced past it on.
+func (s *Store) CanServeTail(theirs VersionVector) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for origin, seq := range s.vv {
+		have := theirs[origin]
+		if seq > have && have+1 < s.floor[origin] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compact drops log entries more than keepTail sequence numbers below
+// each origin's contiguous mark, raising the serving floor accordingly,
+// and returns the number of entries dropped. The catalog (element sets
+// and tombstones) is untouched: compaction trades the ability to serve
+// deep history tails for bounded log memory; replicas below the floor
+// catch up by snapshot instead.
+func (s *Store) Compact(keepTail int) int {
+	if keepTail < 0 {
+		keepTail = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for origin, l := range s.log {
+		mark := s.vv[origin]
+		if mark <= uint64(keepTail) {
+			continue
+		}
+		horizon := mark - uint64(keepTail) // drop seqs <= horizon
+		if horizon+1 > s.floor[origin] {
+			s.floor[origin] = horizon + 1
+		}
+		for seq := range l {
+			if seq <= horizon {
+				delete(l, seq)
+				dropped++
+			}
+		}
+	}
+	if dropped > 0 {
+		s.mCompacted.Add(uint64(dropped))
+	}
+	return dropped
+}
+
+// LogLen returns the number of retained op-log entries across origins.
+func (s *Store) LogLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, l := range s.log {
+		n += len(l)
+	}
+	return n
+}
+
+// ContentHash returns a digest over the full catalog content — every
+// element and tombstone with all its fields, in deterministic order.
+// Two replicas whose hashes match hold byte-identical catalogs; the
+// convergence proof the catch-up tests and bench assert.
+func (s *Store) ContentHash() [32]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uris := make([]string, 0, len(s.catalogs))
+	for uri := range s.catalogs {
+		uris = append(uris, uri)
+	}
+	sort.Strings(uris)
+	h := sha256.New()
+	e := xdr.NewEncoder(256)
+	for _, uri := range uris {
+		cat := s.catalogs[uri]
+		elems := make([]Assertion, 0, len(cat))
+		for _, a := range cat {
+			elems = append(elems, *a)
+		}
+		sort.Slice(elems, func(i, j int) bool {
+			if elems[i].Name != elems[j].Name {
+				return elems[i].Name < elems[j].Name
+			}
+			return elems[i].Value < elems[j].Value
+		})
+		for i := range elems {
+			e.Reset()
+			elems[i].Encode(e)
+			h.Write(e.Bytes())
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 func sortAssertions(as []Assertion) {

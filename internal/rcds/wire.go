@@ -38,12 +38,30 @@ const (
 	cmdApply
 	cmdWait
 	cmdStats
+	cmdCatchup
+	cmdSnapshotPage
 )
 
 // Response status codes.
 const (
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
+	// statusWrongShard redirects an op on a URI this replica's group
+	// does not own; the payload carries the owning group index (uint32)
+	// and the server's shard-map epoch (uint64).
+	statusWrongShard uint8 = 2
+)
+
+// Catchup response modes (cmdCatchup).
+const (
+	// catchupModeTail: the response carries an assertion tail the
+	// requester applies directly (its vector is above the server's
+	// log-compaction floor).
+	catchupModeTail uint8 = 1
+	// catchupModeSnapshot: the requester is behind the compaction
+	// horizon; it must page the compacted snapshot (cmdSnapshotPage)
+	// and then pull the tail.
+	catchupModeSnapshot uint8 = 2
 )
 
 // Frame size limit: a single RPC may carry at most this many bytes.
@@ -59,6 +77,10 @@ var (
 	ErrServer = errors.New("rcds: server error")
 	// ErrNoServers indicates every configured RC server failed.
 	ErrNoServers = errors.New("rcds: no reachable RC server")
+	// ErrUnknownStatus indicates a response status tag the protocol does
+	// not define — a version skew or corruption signal, distinct from a
+	// server-reported error.
+	ErrUnknownStatus = errors.New("rcds: unknown response status")
 )
 
 const macSize = 32
@@ -156,6 +178,16 @@ func errResponse(err error) []byte {
 	return e.Bytes()
 }
 
+// wrongShardResponse assembles a wrong-shard redirect naming the owning
+// group under the server's shard map of the given epoch.
+func wrongShardResponse(group int, epoch uint64) []byte {
+	e := xdr.NewEncoder(16)
+	e.PutUint8(statusWrongShard)
+	e.PutUint32(uint32(group))
+	e.PutUint64(epoch)
+	return e.Bytes()
+}
+
 // parseResponse splits a response into a decoder positioned at the
 // payload, or the server-side error.
 func parseResponse(body []byte) (*xdr.Decoder, error) {
@@ -173,7 +205,17 @@ func parseResponse(body []byte) (*xdr.Decoder, error) {
 			return nil, err
 		}
 		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+	case statusWrongShard:
+		group, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		epoch, err := d.Uint64()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &WrongShardError{Group: int(group), Epoch: epoch}
 	default:
-		return nil, fmt.Errorf("%w: unknown response status %d", ErrServer, status)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStatus, status)
 	}
 }

@@ -35,9 +35,11 @@ func TestParseResponseNegative(t *testing.T) {
 		{name: "truncated error string", body: []byte{statusErr, 0, 0, 0, 10, 'h', 'i'}},
 		{name: "oversized error length", body: oversized, wantErr: xdr.ErrStringTooLong},
 		{name: "error length over value cap", body: overCap, wantErr: xdr.ErrStringTooLong},
-		{name: "unknown status tag", body: []byte{0x7f, 0, 0, 0, 0}, wantErr: ErrServer, wantSub: "unknown response status"},
-		{name: "high status tag", body: []byte{0xff}, wantErr: ErrServer, wantSub: "unknown response status"},
+		{name: "unknown status tag", body: []byte{0x7f, 0, 0, 0, 0}, wantErr: ErrUnknownStatus, wantSub: "unknown response status"},
+		{name: "high status tag", body: []byte{0xff}, wantErr: ErrUnknownStatus, wantSub: "unknown response status"},
 		{name: "server error passes through", body: errResponse(errors.New("boom")), wantErr: ErrServer, wantSub: "boom"},
+		{name: "wrong shard truncated after group", body: []byte{statusWrongShard, 0, 0, 0, 2}},
+		{name: "wrong shard empty payload", body: []byte{statusWrongShard}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -60,5 +62,17 @@ func TestParseResponseNegative(t *testing.T) {
 	}
 	if _, err := parseResponse(okResponse(func(e *xdr.Encoder) { e.PutString("x") })); err != nil {
 		t.Fatalf("OK response rejected: %v", err)
+	}
+
+	// A well-formed wrong-shard redirect surfaces as the typed error,
+	// not an opaque server error: the router matches on it to re-resolve
+	// the shard map.
+	_, err := parseResponse(wrongShardResponse(3, 9))
+	if !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("wrong-shard response: error %v, want errors.Is(ErrWrongShard)", err)
+	}
+	var ws *WrongShardError
+	if !errors.As(err, &ws) || ws.Group != 3 || ws.Epoch != 9 {
+		t.Fatalf("wrong-shard response decoded %+v, want group 3 epoch 9", ws)
 	}
 }
