@@ -2,6 +2,7 @@ package bench
 
 import (
 	"testing"
+	"time"
 
 	"snipe/internal/netsim"
 )
@@ -200,5 +201,21 @@ func TestRUDPLossSweepPoint(t *testing.T) {
 	}
 	if p10.MBps > p0.MBps {
 		t.Fatalf("loss increased goodput? %.2f vs %.2f", p10.MBps, p0.MBps)
+	}
+}
+
+func TestLivenessScaleSmoke(t *testing.T) {
+	pt, err := MeasureLivenessScale(48, 12, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.FalseSuspects != 0 {
+		t.Fatalf("no-fault window produced %d false suspects", pt.FalseSuspects)
+	}
+	if pt.CrashDeadMs < 0 || pt.PartitionDeadMs < 0 {
+		t.Fatalf("victim never declared dead: %+v", pt)
+	}
+	if pt.WriteReduction < 2 {
+		t.Fatalf("write reduction %.1fx with 4 groups of 12, want well above 1", pt.WriteReduction)
 	}
 }

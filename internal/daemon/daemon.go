@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/gossip"
 	"snipe/internal/liveness"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
@@ -51,11 +52,39 @@ type Config struct {
 	Registry *task.Registry // available programs
 	Listens  []ListenSpec   // interfaces; default loopback TCP
 
-	// HeartbeatInterval is the cadence of the daemon's combined
-	// heartbeat/load publication to RC metadata (default 100ms). Each
-	// beat is jittered ±10% so many virtual hosts sharing a replica do
-	// not thundering-herd it in lockstep.
+	// HeartbeatInterval is the liveness cadence. In the default gossip
+	// mode it is the probe interval of the host's gossip agent; in
+	// legacy mode (Gossip.Legacy) it is the cadence of per-tick catalog
+	// heartbeat writes, each jittered ±10% so many virtual hosts
+	// sharing a replica do not thundering-herd it in lockstep. Default
+	// 100ms.
 	HeartbeatInterval time.Duration
+
+	// Gossip tunes the daemon's participation in the hierarchical
+	// gossip liveness tier (see internal/gossip). The zero value is the
+	// default: gossip enabled, one cluster-wide group.
+	Gossip GossipOptions
+}
+
+// GossipOptions configures a daemon's gossip liveness participation.
+type GossipOptions struct {
+	// Legacy disables gossip and restores the original per-tick catalog
+	// heartbeat — the fallback for mixed clusters and the ablation
+	// baseline for the write-amplification experiment.
+	Legacy bool
+	// Groups is the cluster-wide gossip group count; hosts hash into
+	// groups by name (gossip.GroupOf). Default 1.
+	Groups int
+	// Gate injects partitions into gossip traffic for netsim-style
+	// failure experiments; nil means no injection.
+	Gate func(from, to string) error
+}
+
+// WithLegacyHeartbeat returns a copy of the config running the
+// original per-tick catalog heartbeat instead of gossip liveness.
+func (c Config) WithLegacyHeartbeat() Config {
+	c.Gossip.Legacy = true
+	return c
 }
 
 // runningTask tracks one hosted task.
@@ -85,11 +114,13 @@ type Daemon struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	started bool
-	hbSeq   uint64 // heartbeat sequence number (guarded by mu)
+	hbSeq   uint64        // heartbeat sequence number (guarded by mu)
+	agent   *gossip.Agent // gossip liveness participant (nil in legacy mode)
 
 	// Telemetry (see internal/stats); pointers captured at construction.
 	metrics     *stats.Registry
-	mHeartbeats *stats.Counter // load publications to RC metadata
+	mHeartbeats *stats.Counter // per-host heartbeat publications to RC metadata
+	mDigests    *stats.Counter // group digest publications (reporter duty)
 	mSpawns     *stats.Counter
 	mSpawnErrs  *stats.Counter
 	mSignals    *stats.Counter
@@ -123,6 +154,7 @@ func New(cfg Config) *Daemon {
 		metrics: stats.NewRegistry(),
 	}
 	d.mHeartbeats = d.metrics.Counter("heartbeats")
+	d.mDigests = d.metrics.Counter("digest_writes")
 	d.mSpawns = d.metrics.Counter("spawns")
 	d.mSpawnErrs = d.metrics.Counter("spawn_errors")
 	d.mSignals = d.metrics.Counter("signals")
@@ -164,7 +196,7 @@ func (d *Daemon) Start() error {
 		comm.WithHandler(d.handleMessage,
 			task.TagSpawnReq, task.TagSignal, task.TagStatusReq,
 			task.TagMigrateReq, task.TagCheckpointReq, task.TagReleaseReq,
-			task.TagStatsReq))
+			task.TagStatsReq, task.TagGossip))
 	var routes []comm.Route
 	for _, ls := range d.cfg.Listens {
 		route, err := d.ep.Listen(ls)
@@ -191,9 +223,16 @@ func (d *Daemon) Start() error {
 		return err
 	}
 
-	d.wg.Add(1)
-	go d.loadLoop()
-	return nil
+	if d.cfg.Gossip.Legacy {
+		// Legacy liveness: one replicated heartbeat write per tick.
+		d.wg.Add(1)
+		go d.loadLoop()
+		return nil
+	}
+	// Gossip liveness: the heartbeat published above stays as the host's
+	// startup record; ongoing liveness and load ride the gossip tier and
+	// its group digest.
+	return d.startGossip()
 }
 
 // Routes returns the daemon's currently advertised interfaces.
@@ -259,6 +298,16 @@ func (d *Daemon) shutdown(crash bool) {
 		rt.ctx.Deliver(task.SigKill)
 	}
 	d.wg.Wait()
+	d.mu.Lock()
+	agent := d.agent
+	d.mu.Unlock()
+	if agent != nil {
+		if crash {
+			agent.Stop() // crash simulation: no goodbye gossip
+		} else {
+			agent.Close() // gossip departure + final digest hand-off
+		}
+	}
 	if !crash {
 		// The heartbeat loop is down (wg.Wait above), so no racing beat
 		// can resurrect the record after the tombstone lands.

@@ -548,10 +548,12 @@ func BenchmarkSpawnExit(b *testing.B) {
 
 func TestHeartbeatIntervalConfigurable(t *testing.T) {
 	w := newWorld(t)
+	// Legacy mode: the per-tick heartbeat IS the configurable cadence
+	// under test (gossip mode writes no per-tick heartbeats at all).
 	d := New(Config{
 		HostName: "hb-fast", Catalog: w.cat,
 		HeartbeatInterval: 10 * time.Millisecond,
-	})
+	}.WithLegacyHeartbeat())
 	if err := d.Start(); err != nil {
 		t.Fatal(err)
 	}

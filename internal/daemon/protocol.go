@@ -42,6 +42,8 @@ func (d *Daemon) handleMessage(m *comm.Message) {
 		}
 	case task.TagStatsReq:
 		d.handleStatsReq(m)
+	case task.TagGossip:
+		d.handleGossip(m)
 	}
 }
 

@@ -1,0 +1,74 @@
+//go:build go1.18
+
+package gossip
+
+import (
+	"testing"
+)
+
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range []*Message{
+		{Kind: kindPing, From: "snipe://hosts/a", ProbeID: 1},
+		{Kind: kindAck, From: "snipe://hosts/b", Target: "snipe://hosts/c", ProbeID: 1 << 40},
+		{Kind: kindPingReq, From: "snipe://hosts/a", Target: "snipe://hosts/b", ProbeID: 7},
+		{Kind: kindPush, From: "snipe://hosts/a", Updates: []Update{
+			{Host: "snipe://hosts/a", Inc: 3, Seq: 99, State: StateAlive, Load: 1.25},
+			{Host: "snipe://hosts/b", Inc: 1, Seq: 2, State: StateLeft, NoCat: true},
+		}},
+	} {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMessage(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMessage(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != m.Kind || again.From != m.From || again.Target != m.Target ||
+			again.ProbeID != m.ProbeID || len(again.Updates) != len(m.Updates) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", m, again)
+		}
+		for i := range m.Updates {
+			if again.Updates[i] != m.Updates[i] {
+				t.Fatalf("update %d mismatch: %+v vs %+v", i, m.Updates[i], again.Updates[i])
+			}
+		}
+	})
+}
+
+func FuzzParseDigest(f *testing.F) {
+	for _, d := range []*Digest{
+		{Group: 0, Reporter: "snipe://hosts/a", Seq: 1, Quorum: true, Members: []Update{
+			{Host: "snipe://hosts/a", Inc: 1, Seq: 10, State: StateAlive, Load: 0.5},
+		}},
+		{Group: 3, Reporter: "snipe://hosts/r", Seq: 1 << 40, Members: []Update{
+			{Host: "snipe://hosts/a", Inc: 2, Seq: 1, State: StateDead},
+			{Host: "snipe://hosts/b", Inc: 1, Seq: 7, State: StateSuspect, NoCat: true},
+		}},
+	} {
+		f.Add(d.Format())
+	}
+	f.Add("")
+	f.Add("v1 0 1 1")
+	f.Add("v1 0 1 1 r h,1,1,a,0.5,n extra,garbage")
+	f.Add("v1 -1 18446744073709551616 2 r")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDigest(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseDigest(d.Format())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Group != d.Group || again.Seq != d.Seq || again.Quorum != d.Quorum ||
+			len(again.Members) != len(d.Members) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", d, again)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+// Package gossip is SNIPE's hierarchical failure-detection tier: a
+// SWIM-style gossip protocol (Das et al., DSN 2002) run WITHIN small
+// groups of hosts, whose elected reporter writes a single group digest
+// into the replicated catalog per interval — collapsing the catalog's
+// liveness traffic from O(N) per-host heartbeat writes to O(N/groupSize)
+// digest writes while keeping detection latency flat (§2.2 of the
+// paper's scalability argument).
+//
+// Each host runs an Agent. Agents probe their group peers round-robin
+// over a shuffled ring (ping → ack); a missed ack triggers indirect
+// probes through k helpers (ping-req); a host that answers nobody is
+// suspected, and a suspect that stays silent past the suspicion timeout
+// is declared dead. Every ping and ack piggybacks the sender's full
+// member table — groups are small (tens of members), so full-state
+// anti-entropy converges in one round trip, the hybrid proactive-push/
+// reactive-pull exchange of the fog-metadata model. State changes are
+// additionally pushed to a few random peers immediately, so suspicion
+// and refutation spread faster than the probe cadence.
+//
+// Incarnation numbers arbitrate conflicting claims: a suspected member
+// that hears of its own suspicion bumps its incarnation and gossips an
+// alive refutation, which supersedes any claim at the older incarnation.
+// At equal incarnations the more advanced state wins (left > dead >
+// suspect > alive), and within a state the higher sequence number.
+//
+// The group's reporter — its lowest-named alive member that can reach
+// the catalog — folds the member table into a Digest and writes it as
+// ONE catalog assertion per interval (immediately, rate-limited, when
+// membership changes). A reporter whose catalog writes fail marks
+// itself NoCat and gossips that, so the next-ranked member takes over
+// without waiting for the old reporter to die. A reporter that can see
+// less than half its group flags the digest as minority; consumers
+// (liveness.Monitor) treat a minority digest's death verdicts as mere
+// suspicion, so an isolated ex-reporter cannot declare the majority
+// dead.
+package gossip
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Member states carried in gossip updates and digests. The zero value
+// is invalid so decoders can reject absent fields.
+const (
+	StateAlive   uint8 = 1
+	StateSuspect uint8 = 2
+	StateDead    uint8 = 3
+	StateLeft    uint8 = 4 // clean departure, gossiped by the member itself
+)
+
+// StateName names a member state for logs and digests.
+func StateName(s uint8) string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	case StateLeft:
+		return "left"
+	default:
+		return "invalid"
+	}
+}
+
+// Update is one member's gossiped liveness claim: who, at which
+// incarnation and sequence, in what state, under what load. NoCat marks
+// a member that cannot currently reach the catalog and must not be
+// elected reporter.
+type Update struct {
+	Host  string // host URL (the liveness key monitors track)
+	Inc   uint64 // incarnation: bumped only by the member itself, to refute
+	Seq   uint64 // per-incarnation sequence: bumped every probe round
+	State uint8
+	Load  float64 // running tasks per CPU, the placement input
+	NoCat bool    // member cannot reach the catalog; skip for reporter duty
+}
+
+// stateRank orders states for conflict resolution at equal
+// incarnations: a member's own departure outranks a death verdict,
+// which outranks suspicion, which outranks mere liveness.
+func stateRank(s uint8) int {
+	switch s {
+	case StateLeft:
+		return 4
+	case StateDead:
+		return 3
+	case StateSuspect:
+		return 2
+	case StateAlive:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Supersedes reports whether u is strictly fresher evidence than v for
+// the same host: higher incarnation wins outright; at equal
+// incarnations the higher state rank wins (suspicion is not refuted by
+// an alive claim at the same incarnation — refutation requires an
+// incarnation bump); within a state the higher sequence number wins.
+func (u Update) Supersedes(v Update) bool {
+	if u.Inc != v.Inc {
+		return u.Inc > v.Inc
+	}
+	if ru, rv := stateRank(u.State), stateRank(v.State); ru != rv {
+		return ru > rv
+	}
+	return u.Seq > v.Seq
+}
+
+// GroupOf hashes a host name into one of n gossip groups. Group
+// membership must be a pure function of the host name so every daemon
+// derives the same partition without coordination.
+func GroupOf(host string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return int(h.Sum32() % uint32(n))
+}
+
+// validHostName reports whether a host string can ride the digest's
+// space/comma-delimited catalog format.
+func validHostName(host string) bool {
+	return host != "" && !strings.ContainsAny(host, " ,\n\t")
+}

@@ -1,0 +1,9 @@
+package gossip
+
+import (
+	"testing"
+
+	"snipe/internal/testutil"
+)
+
+func TestMain(m *testing.M) { testutil.Main(m) }

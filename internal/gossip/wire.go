@@ -1,0 +1,129 @@
+package gossip
+
+import (
+	"fmt"
+
+	"snipe/internal/xdr"
+)
+
+// Message kinds — the gossip wire discriminants (taguniq space "gossip
+// message kind"). All gossip traffic rides one comm tag (task.TagGossip)
+// with the kind as the first wire field.
+const (
+	// kindPing is a direct probe; the receiver answers with kindAck.
+	kindPing uint32 = 1
+	// kindAck answers a ping. Target empty: a direct reply to the
+	// prober. Target set: the ack is relayed by a ping-req helper on
+	// behalf of Target, and ProbeID is the ORIGIN's probe id.
+	kindAck uint32 = 2
+	// kindPingReq asks a helper to probe Target on the sender's behalf
+	// (the SWIM indirect probe): the helper pings Target itself and, on
+	// ack, relays a kindAck with Target set back to the origin.
+	kindPingReq uint32 = 3
+	// kindPush carries unsolicited state updates — the fast
+	// dissemination path for new suspicions, refutations and departures.
+	kindPush uint32 = 4
+)
+
+// Wire-decode caps: host names are short URLs; a group has at most a
+// few hundred members, so a hostile update count is rejected well
+// before allocation.
+const (
+	maxWireHost    = 4096
+	maxWireUpdates = 4096
+)
+
+// Message is one gossip datagram. Every message piggybacks the
+// sender's view of the group (Updates), so any exchange is also an
+// anti-entropy round.
+type Message struct {
+	Kind    uint32
+	From    string // sender host URL
+	Target  string // kindPingReq: host to probe; kindAck: host answered for
+	ProbeID uint64 // correlates acks with outstanding probes
+	Updates []Update
+}
+
+// Encode renders the message for the wire.
+func (m *Message) Encode() []byte {
+	e := xdr.NewEncoder(64 + 48*len(m.Updates))
+	e.PutUint32(m.Kind)
+	e.PutString(m.From)
+	e.PutString(m.Target)
+	e.PutUint64(m.ProbeID)
+	e.PutUint32(uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		e.PutString(u.Host)
+		e.PutUint64(u.Inc)
+		e.PutUint64(u.Seq)
+		e.PutUint8(u.State)
+		e.PutFloat64(u.Load)
+		e.PutBool(u.NoCat)
+	}
+	return e.Bytes()
+}
+
+// DecodeMessage reads a message written by Encode, bounding every
+// variable-length field against hostile input.
+func DecodeMessage(b []byte) (Message, error) {
+	d := xdr.NewDecoder(b)
+	var m Message
+	var err error
+	if m.Kind, err = d.Uint32(); err != nil {
+		return m, err
+	}
+	if m.Kind < kindPing || m.Kind > kindPush {
+		return m, fmt.Errorf("gossip: unknown message kind %d", m.Kind)
+	}
+	if m.From, err = d.StringMax(maxWireHost); err != nil {
+		return m, err
+	}
+	if m.Target, err = d.StringMax(maxWireHost); err != nil {
+		return m, err
+	}
+	if m.ProbeID, err = d.Uint64(); err != nil {
+		return m, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return m, err
+	}
+	if n > maxWireUpdates {
+		return m, fmt.Errorf("gossip: update count %d exceeds cap %d", n, maxWireUpdates)
+	}
+	// Each update costs at least 30 encoded bytes; fail fast on counts
+	// the remaining payload cannot hold before preallocating.
+	if int64(n)*30 > int64(d.Remaining()) {
+		return m, fmt.Errorf("gossip: update count %d exceeds remaining %d bytes", n, d.Remaining())
+	}
+	m.Updates = make([]Update, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var u Update
+		if u.Host, err = d.StringMax(maxWireHost); err != nil {
+			return m, err
+		}
+		if u.Inc, err = d.Uint64(); err != nil {
+			return m, err
+		}
+		if u.Seq, err = d.Uint64(); err != nil {
+			return m, err
+		}
+		if u.State, err = d.Uint8(); err != nil {
+			return m, err
+		}
+		if u.State < StateAlive || u.State > StateLeft {
+			return m, fmt.Errorf("gossip: invalid member state %d", u.State)
+		}
+		if u.Load, err = d.Float64(); err != nil {
+			return m, err
+		}
+		if u.NoCat, err = d.Bool(); err != nil {
+			return m, err
+		}
+		m.Updates = append(m.Updates, u)
+	}
+	if err := d.Finish(); err != nil {
+		return m, err
+	}
+	return m, nil
+}

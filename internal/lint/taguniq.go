@@ -95,6 +95,13 @@ func taguniqSpaces() []*taguniqSpace {
 			retired: map[int64]string{},
 		},
 		{
+			// The gossip datagram kinds riding task.TagGossip (the tag
+			// itself lives in the message-tag space above).
+			name:    "gossip message kind",
+			member:  taguniqIn("snipe/internal/gossip", `^kind[A-Z]`),
+			retired: map[int64]string{},
+		},
+		{
 			// Fixture space, so the corpus can exercise a collision and
 			// a retired-value reuse without touching real registries.
 			name:    "fixture tag",

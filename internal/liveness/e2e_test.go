@@ -6,6 +6,7 @@
 package liveness_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -33,9 +34,15 @@ func quickMonitor(t *testing.T, cat naming.Catalog) *liveness.Monitor {
 
 func startDaemon(t *testing.T, host string, cat naming.Catalog, reg *task.Registry) *daemon.Daemon {
 	t.Helper()
+	return startDaemonGossip(t, host, cat, reg, daemon.GossipOptions{})
+}
+
+func startDaemonGossip(t *testing.T, host string, cat naming.Catalog, reg *task.Registry, g daemon.GossipOptions) *daemon.Daemon {
+	t.Helper()
 	d := daemon.New(daemon.Config{
 		HostName: host, Catalog: cat, Registry: reg,
 		HeartbeatInterval: hbInterval,
+		Gossip:            g,
 	})
 	if err := d.Start(); err != nil {
 		t.Fatal(err)
@@ -175,18 +182,34 @@ func TestCleanShutdownIsNotAFailure(t *testing.T) {
 	}
 }
 
-// TestPartitionAndHeal severs a daemon's catalog access through a
-// netsim fabric gate — the daemon keeps running, its heartbeats just
-// stop arriving — then heals the partition and expects revival.
+// fabricGossipGate adapts a fabric's pair gate to the daemon's gossip
+// Gate hook, which is called with full host URLs while the fabric
+// names nodes by bare host name.
+func fabricGossipGate(fabric *netsim.Fabric) func(from, to string) error {
+	gate := fabric.PairGate()
+	return func(from, to string) error {
+		return gate(strings.TrimPrefix(from, naming.HostPrefix),
+			strings.TrimPrefix(to, naming.HostPrefix))
+	}
+}
+
+// TestPartitionAndHeal fully isolates one daemon through a netsim
+// fabric: its catalog access is gated AND its gossip traffic is
+// severed, the two-tier equivalent of pulling the network cable. Only
+// that combination may produce Dead — a host that still gossips is
+// alive by definition, its peers' digests keep vouching for it no
+// matter what the catalog sees. After healing, the victim refutes the
+// group's suspicion and revives.
 func TestPartitionAndHeal(t *testing.T) {
 	store := rcds.NewStore("e2e-part")
 	cat := naming.StoreCatalog(store)
 	reg := idleRegistry()
 	fabric := netsim.NewFabric()
+	gossip := daemon.GossipOptions{Gate: fabricGossipGate(fabric)}
 
 	gated := naming.GatedCatalog(cat, fabric.Gate("p1", "rc"))
-	isolated := startDaemon(t, "p1", gated, reg)
-	startDaemon(t, "p2", cat, reg)
+	isolated := startDaemonGossip(t, "p1", gated, reg, gossip)
+	startDaemonGossip(t, "p2", cat, reg, gossip)
 
 	mon := quickMonitor(t, cat)
 	time.Sleep(10 * hbInterval)
@@ -194,15 +217,18 @@ func TestPartitionAndHeal(t *testing.T) {
 		t.Fatalf("before partition: %v", got)
 	}
 
-	fabric.Partition("p1", "rc")
+	// Isolate severs every pair involving p1: the p1–rc catalog gate
+	// and the p1–p2 gossip path go down together.
+	fabric.Isolate("p1")
 	waitHostState(t, mon, isolated.HostURL(), liveness.Dead, 25*hbInterval)
 	// The unpartitioned host is untouched.
 	if got := mon.State(naming.HostURL("p2")); got != liveness.Alive {
 		t.Fatalf("bystander state: %v", got)
 	}
 
-	fabric.Heal("p1", "rc")
-	// The daemon never stopped beating; once writes flow again the
-	// higher sequence numbers revive the host.
+	fabric.Rejoin("p1")
+	// The daemon never stopped running; once gossip flows again it
+	// refutes the suspicion with a bumped incarnation and the digests
+	// revive the host.
 	waitHostState(t, mon, isolated.HostURL(), liveness.Alive, 2*time.Second)
 }

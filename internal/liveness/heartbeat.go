@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"snipe/internal/gossip"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 )
@@ -93,10 +94,17 @@ func HostOfURN(urn string) string {
 	return naming.HostURL(host)
 }
 
-// HostLoad reads a host's load figure from its heartbeat, falling back
-// to the legacy standalone load attribute for records published by
-// older daemons (or by hand).
+// HostLoad reads a host's load figure. A gossip-mode host (it carries
+// a gossip-group attribute) publishes load through its group's digest,
+// so that is consulted first; the per-host heartbeat covers legacy
+// daemons, and the standalone load attribute covers records published
+// by hand.
 func HostLoad(cat naming.Catalog, hostURL string) (float64, bool) {
+	if v, ok, err := cat.FirstValue(hostURL, rcds.AttrGossipGroup); err == nil && ok {
+		if load, ok := digestLoad(cat, hostURL, v); ok {
+			return load, true
+		}
+	}
 	if v, ok, err := cat.FirstValue(hostURL, rcds.AttrHeartbeat); err == nil && ok {
 		if hb, err := ParseHeartbeat(v); err == nil {
 			return hb.Load, true
@@ -105,6 +113,33 @@ func HostLoad(cat naming.Catalog, hostURL string) (float64, bool) {
 	if v, ok, err := cat.FirstValue(hostURL, rcds.AttrLoad); err == nil && ok {
 		if f, err := strconv.ParseFloat(v, 64); err == nil {
 			return f, true
+		}
+	}
+	return 0, false
+}
+
+// digestLoad resolves a host's load from its gossip group's digest.
+// groupAttr is the host's "<group>/<groups>" membership attribute.
+func digestLoad(cat naming.Catalog, hostURL, groupAttr string) (float64, bool) {
+	idx, _, ok := strings.Cut(groupAttr, "/")
+	if !ok {
+		return 0, false
+	}
+	g, err := strconv.Atoi(idx)
+	if err != nil || g < 0 {
+		return 0, false
+	}
+	v, ok, err := cat.FirstValue(naming.LivenessGroupURI(g), rcds.AttrGroupDigest)
+	if err != nil || !ok {
+		return 0, false
+	}
+	d, err := gossip.ParseDigest(v)
+	if err != nil {
+		return 0, false
+	}
+	for _, u := range d.Members {
+		if u.Host == hostURL {
+			return u.Load, true
 		}
 	}
 	return 0, false

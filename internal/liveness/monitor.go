@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"snipe/internal/comm"
+	"snipe/internal/gossip"
 	"snipe/internal/naming"
 	"snipe/internal/rcds"
 	"snipe/internal/stats"
@@ -60,9 +61,10 @@ type Event struct {
 type Info struct {
 	Host         string
 	State        State
-	Seq          uint64        // last heartbeat sequence number seen
-	Load         float64       // load carried by the last heartbeat
-	Age          time.Duration // since the last new heartbeat arrived
+	Seq          uint64        // last heartbeat/gossip sequence number seen
+	Inc          uint64        // gossip incarnation (zero for legacy heartbeats)
+	Load         float64       // load carried by the last heartbeat or digest
+	Age          time.Duration // since the last new liveness evidence arrived
 	SuspectAfter time.Duration // current adaptive suspicion bound
 	Failures     int           // consecutive comm-reported send failures
 }
@@ -124,8 +126,9 @@ const historySize = 32
 type hostRecord struct {
 	state     State
 	seq       uint64
+	inc       uint64    // gossip incarnation (zero for legacy heartbeats)
 	load      float64
-	lastBeat  time.Time // local arrival time of the last NEW heartbeat
+	lastBeat  time.Time // local arrival time of the last NEW evidence
 	intervals []time.Duration
 	next      int // ring cursor into intervals
 	failures  int // consecutive comm-reported failures
@@ -167,12 +170,14 @@ type Monitor struct {
 
 	metrics      *stats.Registry
 	mHeartbeats  *stats.Counter
+	mDigests     *stats.Counter
 	mSuspects    *stats.Counter
 	mDeads       *stats.Counter
 	mRevives     *stats.Counter
 	mLefts       *stats.Counter
 	mEvidence    *stats.Counter
 	mScans       *stats.Counter
+	mDropped     *stats.Counter   // subscriber events evicted (drop-oldest)
 	hDetectDelay *stats.Histogram // µs from last heartbeat to dead verdict
 }
 
@@ -190,6 +195,8 @@ func NewMonitor(cat naming.Catalog, opts Options) *Monitor {
 		metrics: stats.NewRegistry(),
 	}
 	m.mHeartbeats = m.metrics.Counter("heartbeats_observed")
+	m.mDigests = m.metrics.Counter("digests_observed")
+	m.mDropped = m.metrics.Counter("liveness_events_dropped")
 	m.mSuspects = m.metrics.Counter("transitions_suspect")
 	m.mDeads = m.metrics.Counter("transitions_dead")
 	m.mRevives = m.metrics.Counter("transitions_alive")
@@ -283,6 +290,7 @@ func (m *Monitor) Snapshot() []Info {
 			Host:         url,
 			State:        rec.state,
 			Seq:          rec.seq,
+			Inc:          rec.inc,
 			Load:         rec.load,
 			Age:          now.Sub(rec.lastBeat),
 			SuspectAfter: m.suspectBoundLocked(rec),
@@ -455,6 +463,137 @@ func (m *Monitor) observe(hostURL, value string, now time.Time) {
 	m.emit(ev)
 }
 
+// --- gossip digest intake ------------------------------------------------
+
+// observeDigest ingests one gossip group digest: the second tier of
+// the hierarchical detector. Every member entry is merged as gossip
+// evidence; a minority digest (reporter partitioned from most of its
+// group) has its death verdicts downgraded to suspicion, so an
+// isolated ex-reporter cannot condemn the healthy majority.
+func (m *Monitor) observeDigest(value string, now time.Time) {
+	d, err := gossip.ParseDigest(value)
+	if err != nil {
+		return // tolerate foreign records in open metadata
+	}
+	m.mDigests.Inc()
+	for _, u := range d.Members {
+		m.ObserveGossipQuorum(u, d.Quorum, now)
+	}
+}
+
+// ObserveGossip ingests one first-hand gossip event — the direct feed
+// a colocated gossip.Agent's Observer hook supplies, bypassing the
+// catalog round-trip.
+func (m *Monitor) ObserveGossip(u gossip.Update) {
+	m.ObserveGossipQuorum(u, true, time.Now())
+}
+
+// gossipRank orders a monitor state against gossip claims at equal
+// (incarnation, sequence): the more advanced claim wins, mirroring the
+// agents' own conflict resolution.
+func gossipRank(s State) int {
+	switch s {
+	case Left:
+		return 4
+	case Dead:
+		return 3
+	case Suspect:
+		return 2
+	case Alive:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func gossipStateRank(s uint8) int {
+	switch s {
+	case gossip.StateLeft:
+		return 4
+	case gossip.StateDead:
+		return 3
+	case gossip.StateSuspect:
+		return 2
+	case gossip.StateAlive:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ObserveGossipQuorum merges one gossip liveness claim about a host.
+// Higher incarnation wins outright. At equal incarnations freshness is
+// asymmetric in both directions that matter: a suspicion or death
+// verdict carries the sequence at which the member was LAST HEARD,
+// which lags its final alive dissemination, so a higher state rank
+// wins even at a lower sequence; conversely an alive claim whose
+// sequence strictly advances past a verdict's frozen sequence proves
+// the member made progress after the verdict and resurrects it — the
+// victim of a healed partition never bumps its incarnation when its
+// peers expired it silently, so progress is the only revival signal.
+// At equal ranks an equal-or-advancing sequence refreshes the arrival
+// clock. quorum=false marks evidence from a minority digest, whose
+// death verdicts count only as suspicion.
+func (m *Monitor) ObserveGossipQuorum(u gossip.Update, quorum bool, now time.Time) {
+	if u.Host == "" {
+		return
+	}
+	var ev *Event
+	m.mu.Lock()
+	rec := m.recordLocked(u.Host)
+	ur, rr := gossipStateRank(u.State), gossipRank(rec.state)
+	fresh := u.Inc > rec.inc ||
+		(u.Inc == rec.inc && (ur > rr || u.Seq > rec.seq ||
+			(ur == rr && u.Seq == rec.seq)))
+	if !fresh {
+		m.mu.Unlock()
+		return
+	}
+	switch u.State {
+	case gossip.StateAlive:
+		if !rec.lastBeat.IsZero() && u.Inc == rec.inc && u.Seq > rec.seq {
+			// Digests batch several gossip rounds between catalog writes:
+			// spread the elapsed time over the sequence distance so the
+			// history reflects the member's cadence, not the digest's.
+			gap := now.Sub(rec.lastBeat) / time.Duration(u.Seq-rec.seq)
+			if gap > 0 {
+				rec.pushInterval(gap)
+			}
+		}
+		rec.inc, rec.seq, rec.load = u.Inc, u.Seq, u.Load
+		rec.lastBeat = now
+		rec.failures = 0
+		if rec.state != Alive {
+			ev = m.transitionLocked(u.Host, rec, Alive, "gossip alive")
+		}
+	case gossip.StateSuspect:
+		rec.inc, rec.seq = u.Inc, u.Seq
+		if rec.state == Alive || rec.state == Unknown {
+			ev = m.transitionLocked(u.Host, rec, Suspect, "gossip suspicion")
+		}
+	case gossip.StateDead:
+		rec.inc, rec.seq = u.Inc, u.Seq
+		if quorum {
+			if rec.state != Dead && rec.state != Left {
+				ev = m.transitionLocked(u.Host, rec, Dead, "gossip verdict")
+				if !rec.lastBeat.IsZero() {
+					m.hDetectDelay.Observe(float64(now.Sub(rec.lastBeat).Microseconds()))
+				}
+			}
+		} else if rec.state == Alive || rec.state == Unknown {
+			// Minority digest: the reporter may be the partitioned one.
+			ev = m.transitionLocked(u.Host, rec, Suspect, "minority gossip verdict")
+		}
+	case gossip.StateLeft:
+		rec.inc, rec.seq = u.Inc, u.Seq
+		if rec.state != Left {
+			ev = m.transitionLocked(u.Host, rec, Left, "gossip departure")
+		}
+	}
+	m.mu.Unlock()
+	m.emit(ev)
+}
+
 func (r *hostRecord) pushInterval(d time.Duration) {
 	if len(r.intervals) < historySize {
 		r.intervals = append(r.intervals, d)
@@ -497,7 +636,18 @@ func (m *Monitor) suspectBoundLocked(rec *hostRecord) time.Duration {
 		return m.opts.MaxSuspect
 	}
 	bound := mean + 4*std
-	if floor := mean * 5 / 2; bound < floor {
+	floor := mean * 5 / 2
+	if rec.inc > 0 {
+		// Digest-fed record: every member of a gossip group refreshes on
+		// the group's single write cadence, so a crashed reporter stalls
+		// them all together until another member detects the death and
+		// takes over (~2-3 probe intervals). The floor must span that
+		// failover gap, or the whole group is falsely suspected in
+		// unison; actual failures are still detected faster through the
+		// digests' own suspect/dead verdicts.
+		floor = mean * 5
+	}
+	if bound < floor {
 		bound = floor
 	}
 	if bound < m.opts.MinSuspect {
@@ -527,10 +677,14 @@ func (m *Monitor) transitionLocked(hostURL string, rec *hostRecord, to State, re
 	return &Event{Host: hostURL, From: from, To: to, Reason: reason, At: time.Now()}
 }
 
-// emit broadcasts an event (nil is a no-op) to all subscribers,
-// dropping for any whose buffer is full. Sends happen under subMu so a
-// concurrent cancel cannot close a channel mid-send; the sends are
-// non-blocking, so the lock is never held for long.
+// emit broadcasts an event (nil is a no-op) to all subscribers. A full
+// subscriber buffer evicts its OLDEST event to admit the new one
+// (counted by liveness_events_dropped): a slow consumer that finally
+// drains sees the FRESHEST transitions — the ones that still describe
+// reality — rather than a stale prefix, and never backpressures
+// detection. Sends happen under subMu so a concurrent cancel cannot
+// close a channel mid-send; every send is non-blocking, so the lock is
+// never held for long.
 func (m *Monitor) emit(ev *Event) {
 	if ev == nil {
 		return
@@ -539,7 +693,22 @@ func (m *Monitor) emit(ev *Event) {
 	for _, ch := range m.subs {
 		select {
 		case ch <- *ev:
+			continue
 		default:
+		}
+		// Buffer full: evict the oldest queued event, then retry once. A
+		// consumer racing us may have freed space (eviction finds the
+		// channel empty) or refilled it (the retry fails) — either way we
+		// never block, and every lost event is counted.
+		select {
+		case <-ch:
+			m.mDropped.Inc()
+		default:
+		}
+		select {
+		case ch <- *ev:
+		default:
+			m.mDropped.Inc()
 		}
 	}
 	m.subMu.Unlock()
@@ -558,8 +727,9 @@ func (m *Monitor) startWatch() {
 	case subscriber:
 		ch := make(chan rcds.Event, 256)
 		id := c.Subscribe(naming.HostPrefix, ch)
-		m.scan() // seed from hosts already registered
-		go m.watchSubscribe(c, id, ch)
+		gid := c.Subscribe(naming.LivenessPrefix, ch) // gossip group digests
+		m.scan()                                      // seed from hosts already registered
+		go m.watchSubscribe(c, id, gid, ch)
 	case waiter:
 		m.scan()
 		go m.watchWait(c)
@@ -570,18 +740,25 @@ func (m *Monitor) startWatch() {
 }
 
 // watchSubscribe rides a store's push subscription: every heartbeat
-// assertion lands here as it is applied.
-func (m *Monitor) watchSubscribe(sub subscriber, id int, ch chan rcds.Event) {
+// and group-digest assertion lands here as it is applied.
+func (m *Monitor) watchSubscribe(sub subscriber, id, gid int, ch chan rcds.Event) {
 	defer m.wg.Done()
 	defer sub.Unsubscribe(id)
+	defer sub.Unsubscribe(gid)
 	for {
 		select {
 		case <-m.ctx.Done():
 			return
 		case ev := <-ch:
 			a := ev.Assertion
-			if a.Name == rcds.AttrHeartbeat && !a.Deleted {
+			if a.Deleted {
+				continue
+			}
+			switch a.Name {
+			case rcds.AttrHeartbeat:
 				m.observe(a.URI, a.Value, time.Now())
+			case rcds.AttrGroupDigest:
+				m.observeDigest(a.Value, time.Now())
 			}
 		}
 	}
@@ -632,23 +809,31 @@ func (m *Monitor) watchScan() {
 	}
 }
 
-// scan reads every host record's heartbeat from the catalog. Catalog
-// errors are tolerated: an unreachable catalog stalls intake, and the
-// silence is indistinguishable from host failure — exactly the
-// partition semantics the detector is specified to report.
+// scan reads every host record's heartbeat and every group digest from
+// the catalog. Catalog errors are tolerated: an unreachable catalog
+// stalls intake, and the silence is indistinguishable from host
+// failure — exactly the partition semantics the detector is specified
+// to report.
 func (m *Monitor) scan() {
 	m.mScans.Inc()
-	urls, err := m.cat.URIs(naming.HostPrefix)
-	if err != nil {
-		return
-	}
 	now := time.Now()
-	for _, url := range urls {
-		v, ok, err := m.cat.FirstValue(url, rcds.AttrHeartbeat)
-		if err != nil || !ok {
-			continue
+	if urls, err := m.cat.URIs(naming.HostPrefix); err == nil {
+		for _, url := range urls {
+			v, ok, err := m.cat.FirstValue(url, rcds.AttrHeartbeat)
+			if err != nil || !ok {
+				continue
+			}
+			m.observe(url, v, now)
 		}
-		m.observe(url, v, now)
+	}
+	if uris, err := m.cat.URIs(naming.LivenessPrefix); err == nil {
+		for _, uri := range uris {
+			v, ok, err := m.cat.FirstValue(uri, rcds.AttrGroupDigest)
+			if err != nil || !ok {
+				continue
+			}
+			m.observeDigest(v, now)
+		}
 	}
 }
 

@@ -105,6 +105,17 @@ func TestAdaptiveSuspectBound(t *testing.T) {
 	if got := m.suspectBoundLocked(jittery); got < mean+4*std {
 		t.Fatalf("jittery bound %v < mean+4σ (%v)", got, mean+4*std)
 	}
+	// A digest-fed record (gossip incarnation seen) gets a wider floor:
+	// the whole group refreshes on one reporter's cadence, so the bound
+	// must span a reporter-failover gap.
+	digestFed := &hostRecord{inc: 1}
+	for i := 0; i < historySize; i++ {
+		digestFed.pushInterval(10 * time.Millisecond)
+	}
+	if got := m.suspectBoundLocked(digestFed); got != 50*time.Millisecond {
+		t.Fatalf("digest-fed bound = %v, want 50ms", got)
+	}
+
 	// The fixed-deadline ablation overrides everything.
 	m.opts.FixedSuspect = 123 * time.Millisecond
 	if got := m.suspectBoundLocked(jittery); got != 123*time.Millisecond {

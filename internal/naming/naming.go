@@ -51,6 +51,10 @@ const (
 	FilePrefix = "urn:snipe:file:"
 	// ServicePrefix is the URN prefix for replicated services.
 	ServicePrefix = "urn:snipe:service:"
+	// LivenessPrefix is the distinguished-URL prefix for liveness
+	// metadata that is not per-host: gossip group digests live under
+	// it, one URI per group (see internal/gossip).
+	LivenessPrefix = "snipe://liveness/"
 )
 
 // ProcessURN returns the distinguished URN for a process.
@@ -79,6 +83,11 @@ func ShardOf(uri string, n int) int { return rcds.ShardOf(uri, n) }
 
 // ServiceURN returns the URN for a replicated service.
 func ServiceURN(name string) string { return ServicePrefix + name }
+
+// LivenessGroupURI returns the distinguished URL under which gossip
+// group g's liveness digest is published — ONE catalog record per
+// group, replacing per-host heartbeat records on the catalog hot path.
+func LivenessGroupURI(g int) string { return fmt.Sprintf("%sgroup/%d", LivenessPrefix, g) }
 
 // Catalog is the RC metadata access surface SNIPE components need;
 // satisfied by *rcds.Client (remote replicas) and by in-process stores

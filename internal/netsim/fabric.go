@@ -161,6 +161,20 @@ func (f *Fabric) Gate(a, b string) func() error {
 	}
 }
 
+// PairGate returns a reachability gate over arbitrary node pairs: nil
+// while a pair is connected, ErrLinkDown while severed. It is Gate
+// generalised to callers that pick the pair per call — gossip agents
+// hand it to their Gate hook so one fabric partitions the whole
+// cluster's gossip traffic.
+func (f *Fabric) PairGate() func(a, b string) error {
+	return func(a, b string) error {
+		if f.Partitioned(a, b) {
+			return fmt.Errorf("%w: %s–%s partitioned", ErrLinkDown, a, b)
+		}
+		return nil
+	}
+}
+
 // StreamPipe builds a shaped stream link between named nodes and
 // registers it, returning the two conn ends (a's side first).
 func (f *Fabric) StreamPipe(a, b string, p Profile, seed uint64) (net.Conn, net.Conn, *Link) {

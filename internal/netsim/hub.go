@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hub metrics ride the package registry like the link shapers do.
+var (
+	mHubMessages = metrics.Counter("hub_messages")
+	mHubDrops    = metrics.Counter("hub_drops")
+)
+
+// hubQueueDepth bounds each node's inbound queue. A full queue drops
+// new messages — the finite receive buffer every real NIC has — so a
+// stalled node exerts no backpressure on the rest of the simulation.
+const hubQueueDepth = 1024
+
+// HubMsg is one message in flight on a hub.
+type HubMsg struct {
+	From    string
+	Payload any
+}
+
+// Hub is a lightweight in-memory message bus for simulations too large
+// for per-pair pipes: 5–10k nodes exchanging datagram-shaped payloads
+// (the gossip scale experiments) need O(N) state, not O(N²) links.
+// Each attached node gets a bounded inbound queue drained by one
+// dedicated goroutine; payloads are passed by reference with no
+// serialization, so a 10k-host cluster fits in one process. An
+// optional Fabric supplies partition semantics: sends between severed
+// node pairs fail with ErrLinkDown, exactly like pipe traffic.
+type Hub struct {
+	fabric *Fabric // optional partition source
+
+	mu     sync.RWMutex
+	nodes  map[string]*HubNode
+	closed bool
+}
+
+// HubNode is one attached endpoint.
+type HubNode struct {
+	hub  *Hub
+	name string
+	ch   chan HubMsg
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewHub returns an empty hub. fabric may be nil (no partitions).
+func NewHub(fabric *Fabric) *Hub {
+	return &Hub{fabric: fabric, nodes: make(map[string]*HubNode)}
+}
+
+// Attach registers a named node; every message sent to it is handed to
+// deliver, in order, on the node's own goroutine. Attaching an
+// existing name or attaching to a closed hub returns an error.
+func (h *Hub) Attach(name string, deliver func(from string, payload any)) (*HubNode, error) {
+	n := &HubNode{
+		hub:  h,
+		name: name,
+		ch:   make(chan HubMsg, hubQueueDepth),
+		done: make(chan struct{}),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := h.nodes[name]; ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("netsim: hub node %q already attached", name)
+	}
+	h.nodes[name] = n
+	h.mu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-n.done:
+				return
+			case m := <-n.ch:
+				deliver(m.From, m.Payload)
+			}
+		}
+	}()
+	return n, nil
+}
+
+// Close detaches every node and refuses new attachments.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	nodes := make([]*HubNode, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		nodes = append(nodes, n)
+	}
+	h.nodes = make(map[string]*HubNode)
+	h.mu.Unlock()
+	for _, n := range nodes {
+		n.stop()
+	}
+}
+
+// Send delivers payload to the named peer. It fails with ErrLinkDown
+// while the fabric severs the pair, ErrClosed for unknown or detached
+// peers, and silently drops (counted) when the peer's inbound queue is
+// full — loss, like any network.
+func (n *HubNode) Send(to string, payload any) error {
+	h := n.hub
+	if h.fabric != nil && h.fabric.Partitioned(n.name, to) {
+		return fmt.Errorf("%w: %s–%s partitioned", ErrLinkDown, n.name, to)
+	}
+	h.mu.RLock()
+	peer, ok := h.nodes[to]
+	h.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: hub node %q", ErrClosed, to)
+	}
+	select {
+	case peer.ch <- HubMsg{From: n.name, Payload: payload}:
+		mHubMessages.Inc()
+		return nil
+	default:
+		mHubDrops.Inc()
+		return nil
+	}
+}
+
+// Close detaches the node from the hub and stops its delivery
+// goroutine. Idempotent.
+func (n *HubNode) Close() {
+	n.hub.mu.Lock()
+	if n.hub.nodes[n.name] == n {
+		delete(n.hub.nodes, n.name)
+	}
+	n.hub.mu.Unlock()
+	n.stop()
+}
+
+func (n *HubNode) stop() {
+	n.mu.Lock()
+	if !n.closed {
+		n.closed = true
+		close(n.done)
+	}
+	n.mu.Unlock()
+}

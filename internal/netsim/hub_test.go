@@ -1,0 +1,283 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"snipe/internal/gossip"
+)
+
+// node looks up an attached node for test sends.
+func (h *Hub) node(name string) (*HubNode, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n, ok := h.nodes[name]
+	return n, ok
+}
+
+func TestHubDelivery(t *testing.T) {
+	h := NewHub(nil)
+	defer h.Close()
+	var mu sync.Mutex
+	var got []HubMsg
+	if _, err := h.Attach("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Attach("b", func(from string, payload any) {
+		mu.Lock()
+		got = append(got, HubMsg{From: from, Payload: payload})
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := h.node("a")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/10", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if m.From != "a" || m.Payload.(int) != i {
+			t.Fatalf("message %d: %+v (in-order delivery broken)", i, m)
+		}
+	}
+}
+
+func TestHubAttachErrors(t *testing.T) {
+	h := NewHub(nil)
+	if _, err := h.Attach("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Attach("a", nil); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	h.Close()
+	if _, err := h.Attach("b", nil); err == nil {
+		t.Fatal("attach to closed hub accepted")
+	}
+}
+
+func TestHubUnknownAndDetachedPeers(t *testing.T) {
+	h := NewHub(nil)
+	defer h.Close()
+	a, err := h.Attach("a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to unknown peer: %v", err)
+	}
+	b, _ := h.Attach("b", func(string, any) {})
+	b.Close()
+	if err := a.Send("b", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send to detached peer: %v", err)
+	}
+}
+
+func TestHubPartition(t *testing.T) {
+	f := NewFabric()
+	h := NewHub(f)
+	defer h.Close()
+	delivered := make(chan string, 16)
+	a, _ := h.Attach("a", nil)
+	if _, err := h.Attach("b", func(from string, payload any) { delivered <- payload.(string) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "before"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-delivered:
+		if got != "before" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pre-partition delivery timed out")
+	}
+
+	f.Partition("a", "b")
+	if err := a.Send("b", "during"); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send across partition: %v", err)
+	}
+	f.Heal("a", "b")
+	if err := a.Send("b", "after"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-delivered:
+		if got != "after" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-heal delivery timed out")
+	}
+}
+
+func TestHubDropsWhenQueueFull(t *testing.T) {
+	h := NewHub(nil)
+	defer h.Close()
+	a, _ := h.Attach("a", nil)
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	if _, err := h.Attach("b", func(string, any) {
+		once.Do(func() { close(first) })
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+	// Park the delivery goroutine in the handler, then overfill the
+	// bounded queue: the excess must be dropped silently (nil error),
+	// never block the sender.
+	dropsBefore := mHubDrops.Value()
+	if err := a.Send("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	<-first
+	for i := 0; i < hubQueueDepth+100; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if d := mHubDrops.Value() - dropsBefore; d < 100 {
+		t.Fatalf("hub_drops advanced by %d, want >= 100", d)
+	}
+}
+
+// TestHubGossipPartition runs a three-agent gossip group over a hub —
+// the transport the liveness scale bench uses — and drives a full
+// partition/heal cycle through the fabric: the isolated member is
+// declared dead by the majority's reporter with quorum, and refutes
+// its way back after the heal.
+func TestHubGossipPartition(t *testing.T) {
+	f := NewFabric()
+	h := NewHub(f)
+	defer h.Close()
+	hosts := []string{"snipe://hosts/a", "snipe://hosts/b", "snipe://hosts/c"}
+	short := map[string]string{"snipe://hosts/a": "a", "snipe://hosts/b": "b", "snipe://hosts/c": "c"}
+
+	// Handlers look the agent up lazily so nodes can attach before the
+	// agents that use them exist.
+	var mu sync.Mutex
+	agents := make(map[string]*gossip.Agent, len(hosts))
+	var digestMu sync.Mutex
+	digests := make(map[string][]*gossip.Digest)
+	for _, host := range hosts {
+		host := host
+		node, err := h.Attach(short[host], func(from string, payload any) {
+			mu.Lock()
+			ag := agents[host]
+			mu.Unlock()
+			if ag == nil {
+				return
+			}
+			if m, err := gossip.DecodeMessage(payload.([]byte)); err == nil {
+				ag.Deliver(&m)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := gossip.NewAgent(gossip.Config{
+			Self: host,
+			Transport: gossip.TransportFunc(func(to string, m *gossip.Message) error {
+				return node.Send(short[to], m.Encode())
+			}),
+			Peers:          func() ([]string, error) { return hosts, nil },
+			ProbeInterval:  20 * time.Millisecond,
+			AckTimeout:     8 * time.Millisecond,
+			ProbeTimeout:   50 * time.Millisecond,
+			SuspectTimeout: 60 * time.Millisecond,
+			WriteDigest: func(d *gossip.Digest) error {
+				digestMu.Lock()
+				digests[host] = append(digests[host], d)
+				digestMu.Unlock()
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		agents[host] = ag
+		mu.Unlock()
+	}
+	for _, host := range hosts {
+		ag := agents[host]
+		if err := ag.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer ag.Stop()
+	}
+
+	aliveEverywhere := func() bool {
+		for _, ag := range agents {
+			n := 0
+			for _, u := range ag.Members() {
+				if u.State != gossip.StateAlive || u.Inc < 1 {
+					return false
+				}
+				n++
+			}
+			if n != len(hosts) {
+				return false
+			}
+		}
+		return true
+	}
+	waitHub(t, "full alive convergence", aliveEverywhere)
+
+	f.Isolate("c")
+	waitHub(t, "majority digest carries the death with quorum", func() bool {
+		digestMu.Lock()
+		defer digestMu.Unlock()
+		for _, host := range hosts[:2] {
+			ds := digests[host]
+			if len(ds) == 0 {
+				continue
+			}
+			d := ds[len(ds)-1]
+			if !d.Quorum {
+				continue
+			}
+			for _, u := range d.Members {
+				if u.Host == "snipe://hosts/c" && u.State == gossip.StateDead {
+					return true
+				}
+			}
+		}
+		return false
+	})
+
+	f.Rejoin("c")
+	waitHub(t, "isolated member refutes and revives", aliveEverywhere)
+}
+
+func waitHub(t *testing.T, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", desc)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -57,6 +57,16 @@ const (
 	// liveness for the replica ride its host's heartbeat, so joining a
 	// group costs exactly one extra assertion.
 	AttrServiceReplica = "service-replica"
+	// AttrGroupDigest is a gossip group's liveness digest, published by
+	// the group's elected reporter under the group's liveness URI: one
+	// catalog assertion per group per interval carrying every member's
+	// incarnation, sequence, state and load (see internal/gossip). It
+	// replaces per-host heartbeat writes on the catalog hot path.
+	AttrGroupDigest = "group-digest"
+	// AttrGossipGroup records which gossip group a host belongs to, as
+	// "<group>/<groups>", written once by its daemon at startup so load
+	// and liveness readers can find the host's digest.
+	AttrGossipGroup = "gossip-group"
 )
 
 // Assertion is one replicated metadata element: for resource URI, the

@@ -84,6 +84,10 @@ const (
 	// the console's window into a running host (§3.7).
 	TagStatsReq  = TagSystemBase + 16
 	TagStatsResp = TagSystemBase + 17
+	// TagGossip carries SWIM-style liveness gossip between host daemons
+	// (see internal/gossip): ping/ack probes, indirect ping-req relays
+	// and membership-state pushes.
+	TagGossip = TagSystemBase + 18
 )
 
 // Errors of the task layer.
