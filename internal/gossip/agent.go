@@ -120,6 +120,18 @@ func (c *Config) fill() {
 	}
 }
 
+// bootInc derives an agent's starting incarnation from the boot clock.
+// A host that crashes and restarts after its peers expunged the dead
+// record (Retention) rejoins a table that remembers nothing to refute:
+// were the incarnation a constant, the reborn agent would never hear
+// the old death verdict, and any monitor still holding the frozen
+// verdict would keep it Dead for roughly its previous uptime (seq
+// restarts at 1 and cannot out-sequence the old record). A wall-clock
+// incarnation supersedes every claim from a previous life by
+// construction; the refutation path (Inc = claim + 1) keeps working on
+// top of it.
+func bootInc() uint64 { return uint64(time.Now().UnixNano()) }
+
 func maxDur(a, b time.Duration) time.Duration {
 	if a > b {
 		return a
@@ -210,7 +222,7 @@ func NewAgent(cfg Config) (*Agent, error) {
 		done:    make(chan struct{}),
 		metrics: stats.NewRegistry(),
 	}
-	a.self = &member{Update: Update{Host: cfg.Self, Inc: 1, Seq: 1, State: StateAlive}, changedAt: time.Now()}
+	a.self = &member{Update: Update{Host: cfg.Self, Inc: bootInc(), Seq: 1, State: StateAlive}, changedAt: time.Now()}
 	a.members[cfg.Self] = a.self
 	a.mProbes = a.metrics.Counter("probes")
 	a.mPingReqs = a.metrics.Counter("ping_reqs")

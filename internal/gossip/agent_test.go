@@ -295,9 +295,10 @@ func TestRebirthAfterDeadVerdict(t *testing.T) {
 	agents[a].Stop()
 	waitFor(t, 5*time.Second, "a declared dead", func() bool { return sees(agents[b], a, StateDead) })
 
-	// The host restarts: a fresh agent at incarnation 1 joins while the
-	// group still holds a dead verdict at incarnation >= 1. Hearing its
-	// own death, the newcomer must refute past it.
+	// The host restarts while the group still holds a dead verdict for
+	// it. The reborn agent's boot-derived incarnation supersedes the
+	// verdict outright (and refutation backstops a clock that didn't
+	// advance); either way the group must re-accept it as alive.
 	reborn, err := NewAgent(Config{
 		Self: a, Transport: m.transport(a),
 		ProbeInterval: testProbe, AckTimeout: 8 * time.Millisecond,
@@ -316,6 +317,29 @@ func TestRebirthAfterDeadVerdict(t *testing.T) {
 		v, ok := view(agents[b], a)
 		return ok && v.State == StateAlive && v.Inc >= 2
 	})
+}
+
+func TestRebornAgentSupersedesPreviousLife(t *testing.T) {
+	// A reborn agent must start at an incarnation that outranks anything
+	// its previous life could have gossiped, even when the old verdict
+	// has been expunged everywhere (so refutation never triggers). The
+	// boot-derived incarnation guarantees this without persistence.
+	tr := TransportFunc(func(string, *Message) error { return nil })
+	host := "snipe://hosts/phoenix"
+	old, err := NewAgent(Config{Self: host, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := NewAgent(Config{Self: host, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := old.Self()
+	verdict := Update{Host: host, Inc: prev.Inc, Seq: prev.Seq + 1000, State: StateDead}
+	if !reborn.Self().Supersedes(verdict) {
+		t.Fatalf("reborn claim %+v does not supersede previous life's dead verdict %+v",
+			reborn.Self(), verdict)
+	}
 }
 
 func TestIndirectProbeBridgesAsymmetricLoss(t *testing.T) {

@@ -96,6 +96,13 @@ type Options struct {
 	// ScanInterval is the catalog poll period when the catalog offers
 	// neither push subscriptions nor version long-poll (default 100ms).
 	ScanInterval time.Duration
+	// Retention is how long a Dead or Left record is kept once both its
+	// last transition and the last evidence mentioning it are in the
+	// past (default 10 × MaxSuspect, floored at one minute). Expiring
+	// settled records bounds monitor memory under host churn and lets a
+	// host reborn after a long outage meet a clean slate instead of its
+	// old verdict.
+	Retention time.Duration
 }
 
 func (o *Options) fill() {
@@ -117,6 +124,12 @@ func (o *Options) fill() {
 	if o.ScanInterval <= 0 {
 		o.ScanInterval = 100 * time.Millisecond
 	}
+	if o.Retention <= 0 {
+		o.Retention = 10 * o.MaxSuspect
+		if o.Retention < time.Minute {
+			o.Retention = time.Minute
+		}
+	}
 }
 
 // historySize is the inter-arrival window behind the adaptive bound.
@@ -126,12 +139,25 @@ const historySize = 32
 type hostRecord struct {
 	state     State
 	seq       uint64
+	aliveSeq  uint64    // highest seq any alive claim carried at inc
 	inc       uint64    // gossip incarnation (zero for legacy heartbeats)
 	load      float64
 	lastBeat  time.Time // local arrival time of the last NEW evidence
+	lastSeen  time.Time // last intake mentioning the host, fresh or stale
+	changedAt time.Time // when the current state was adopted
 	intervals []time.Duration
 	next      int // ring cursor into intervals
 	failures  int // consecutive comm-reported failures
+}
+
+// digestMark records the newest digest ingested for one gossip group.
+// The scan-based watch paths re-read every group's digest each cycle,
+// and a lagging replica can serve an older one during catch-up; a
+// digest that is not strictly newer than the mark contributes no
+// liveness evidence twice.
+type digestMark struct {
+	reporter string
+	seq      uint64
 }
 
 // subscriber is the push face of a catalog (satisfied by
@@ -158,6 +184,7 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	hosts map[string]*hostRecord
+	marks map[int]digestMark // newest ingested digest per gossip group
 
 	subMu   sync.Mutex
 	subs    map[int]chan Event
@@ -189,6 +216,7 @@ func NewMonitor(cat naming.Catalog, opts Options) *Monitor {
 		cat:     cat,
 		opts:    opts,
 		hosts:   make(map[string]*hostRecord),
+		marks:   make(map[int]digestMark),
 		subs:    make(map[int]chan Event),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -430,15 +458,24 @@ func (m *Monitor) observe(hostURL, value string, now time.Time) {
 	var ev *Event
 	m.mu.Lock()
 	rec := m.recordLocked(hostURL)
+	rec.lastSeen = now
 	switch {
 	case hb.Down:
 		if rec.state != Left {
 			ev = m.transitionLocked(hostURL, rec, Left, "clean shutdown")
 		}
 		rec.seq = hb.Seq
-	case hb.Seq > rec.seq || rec.state == Left:
-		// A restarted daemon begins a new incarnation at seq 1; any
-		// heartbeat after a tombstone is such a rebirth.
+	case hb.Seq > rec.seq || rec.state == Left ||
+		(rec.state == Dead && rec.inc == 0 && hb.Seq < rec.seq):
+		// A restarted daemon begins a new incarnation at seq 1: any
+		// heartbeat after a tombstone is such a rebirth, and so is a
+		// LOWER-seq heartbeat after a death verdict on a legacy record —
+		// without that clause a reborn host stays Dead until its new
+		// counter outruns its old one. Gossip-fed records (inc > 0)
+		// instead revive through their agent's boot-derived incarnation;
+		// for them the frozen startup heartbeat a crashed host leaves in
+		// the catalog must not keep resurrecting the record. An equal-seq
+		// re-read of the final pre-death heartbeat stays old news.
 		m.mHeartbeats.Inc()
 		if !rec.lastBeat.IsZero() && hb.Seq > rec.seq && rec.state != Left {
 			// The catalog may batch several beats between scans: spread
@@ -466,15 +503,31 @@ func (m *Monitor) observe(hostURL, value string, now time.Time) {
 // --- gossip digest intake ------------------------------------------------
 
 // observeDigest ingests one gossip group digest: the second tier of
-// the hierarchical detector. Every member entry is merged as gossip
-// evidence; a minority digest (reporter partitioned from most of its
-// group) has its death verdicts downgraded to suspicion, so an
-// isolated ex-reporter cannot condemn the healthy majority.
+// the hierarchical detector. Intake is deduplicated on the digest's
+// (reporter, seq): the scan-based watch paths re-read every group's
+// digest each cycle, and a digest that stops changing — the whole
+// group crashed and no reporter remains to write — must contribute no
+// new liveness evidence, or its members stay Alive forever. An older
+// seq from the same reporter (a lagging replica during catch-up) is
+// likewise a replay; a different reporter is always admitted — that is
+// failover, not a replay. Every member entry of an admitted digest is
+// merged as gossip evidence; a minority digest (reporter partitioned
+// from most of its group) has its death verdicts downgraded to
+// suspicion, so an isolated ex-reporter cannot condemn the healthy
+// majority.
 func (m *Monitor) observeDigest(value string, now time.Time) {
 	d, err := gossip.ParseDigest(value)
 	if err != nil {
 		return // tolerate foreign records in open metadata
 	}
+	m.mu.Lock()
+	mark, seen := m.marks[d.Group]
+	if seen && mark.reporter == d.Reporter && d.Seq <= mark.seq {
+		m.mu.Unlock()
+		return
+	}
+	m.marks[d.Group] = digestMark{reporter: d.Reporter, seq: d.Seq}
+	m.mu.Unlock()
 	m.mDigests.Inc()
 	for _, u := range d.Members {
 		m.ObserveGossipQuorum(u, d.Quorum, now)
@@ -527,13 +580,27 @@ func gossipStateRank(s uint8) int {
 // verdict carries the sequence at which the member was LAST HEARD,
 // which lags its final alive dissemination, so a higher state rank
 // wins even at a lower sequence; conversely an alive claim whose
-// sequence strictly advances past a verdict's frozen sequence proves
-// the member made progress after the verdict and resurrects it — the
-// victim of a healed partition never bumps its incarnation when its
-// peers expired it silently, so progress is the only revival signal.
-// At equal ranks an equal-or-advancing sequence refreshes the arrival
-// clock. quorum=false marks evidence from a minority digest, whose
-// death verdicts count only as suspicion.
+// sequence strictly advances past both the verdict's frozen sequence
+// and the highest alive sequence ever credited proves the member made
+// progress after the verdict and resurrects it — the victim of a
+// healed partition never bumps its incarnation when its peers expired
+// it silently, so progress is the only revival signal. An alive claim
+// that advances nothing still refreshes the arrival clock of an Alive
+// record — an admitted digest re-asserting an unchanged member seq is
+// the reporter's detector vouching for it despite dissemination lag —
+// but cannot touch a record under a verdict, and replayed digests are
+// deduped before their claims reach this merge at all.
+//
+// quorum=false marks evidence from a minority digest: its death
+// verdicts count only as suspicion, and its alive claims refresh the
+// record but cannot overturn a Dead or Left verdict — in a gossip
+// split where both sides still reach the catalog, a minority
+// reporter's advancing sequences would otherwise flap its members
+// between Dead and Alive every digest interval. Suspicion is still
+// cleared by minority evidence: a two-member group can never form a
+// quorum, and its lone survivor must be able to refute a false
+// suspicion of itself. An incarnation bump — the member's own
+// refutation — revives from any state regardless of quorum.
 func (m *Monitor) ObserveGossipQuorum(u gossip.Update, quorum bool, now time.Time) {
 	if u.Host == "" {
 		return
@@ -541,17 +608,45 @@ func (m *Monitor) ObserveGossipQuorum(u gossip.Update, quorum bool, now time.Tim
 	var ev *Event
 	m.mu.Lock()
 	rec := m.recordLocked(u.Host)
+	rec.lastSeen = now
 	ur, rr := gossipStateRank(u.State), gossipRank(rec.state)
-	fresh := u.Inc > rec.inc ||
-		(u.Inc == rec.inc && (ur > rr || u.Seq > rec.seq ||
-			(ur == rr && u.Seq == rec.seq)))
+	incAdvance := u.Inc > rec.inc
+	var fresh bool
+	switch {
+	case u.Inc != rec.inc:
+		fresh = incAdvance
+	case u.State == gossip.StateAlive:
+		// Progress past rec.seq alone is not enough: a verdict froze
+		// rec.seq at its lagging last-heard value, so a replayed older
+		// alive claim (an out-of-order digest from a lagging replica)
+		// can sit between the frozen seq and the highest alive seq
+		// already credited. Genuine life advances past both.
+		fresh = ur > rr || (u.Seq > rec.seq && u.Seq > rec.aliveSeq)
+	default:
+		fresh = ur > rr || u.Seq > rec.seq
+	}
 	if !fresh {
+		if u.State == gossip.StateAlive && u.Seq == rec.seq && rec.state == Alive {
+			// A newer digest re-asserting the member at an unchanged seq
+			// is the reporter's failure detector still vouching for it:
+			// fresh group-level evidence even though dissemination lag
+			// kept the member's own counter from advancing between
+			// digest writes. Replayed digests never reach this point —
+			// intake dedupes them — so refreshing the arrival clock here
+			// cannot keep a crashed group alive. A record under a
+			// verdict (Suspect/Dead/Left) still demands seq progress.
+			rec.lastBeat = now
+			rec.failures = 0
+		}
 		m.mu.Unlock()
 		return
 	}
+	if incAdvance {
+		rec.aliveSeq = 0 // sequences restart with the new incarnation
+	}
 	switch u.State {
 	case gossip.StateAlive:
-		if !rec.lastBeat.IsZero() && u.Inc == rec.inc && u.Seq > rec.seq {
+		if !rec.lastBeat.IsZero() && !incAdvance && u.Seq > rec.seq {
 			// Digests batch several gossip rounds between catalog writes:
 			// spread the elapsed time over the sequence distance so the
 			// history reflects the member's cadence, not the digest's.
@@ -561,10 +656,17 @@ func (m *Monitor) ObserveGossipQuorum(u gossip.Update, quorum bool, now time.Tim
 			}
 		}
 		rec.inc, rec.seq, rec.load = u.Inc, u.Seq, u.Load
+		if u.Seq > rec.aliveSeq {
+			rec.aliveSeq = u.Seq
+		}
 		rec.lastBeat = now
 		rec.failures = 0
 		if rec.state != Alive {
-			ev = m.transitionLocked(u.Host, rec, Alive, "gossip alive")
+			if !quorum && !incAdvance && (rec.state == Dead || rec.state == Left) {
+				// Minority evidence refreshes but cannot resurrect.
+			} else {
+				ev = m.transitionLocked(u.Host, rec, Alive, "gossip alive")
+			}
 		}
 	case gossip.StateSuspect:
 		rec.inc, rec.seq = u.Inc, u.Seq
@@ -664,6 +766,8 @@ func (m *Monitor) suspectBoundLocked(rec *hostRecord) time.Duration {
 func (m *Monitor) transitionLocked(hostURL string, rec *hostRecord, to State, reason string) *Event {
 	from := rec.state
 	rec.state = to
+	at := time.Now()
+	rec.changedAt = at
 	switch to {
 	case Suspect:
 		m.mSuspects.Inc()
@@ -674,7 +778,7 @@ func (m *Monitor) transitionLocked(hostURL string, rec *hostRecord, to State, re
 	case Left:
 		m.mLefts.Inc()
 	}
-	return &Event{Host: hostURL, From: from, To: to, Reason: reason, At: time.Now()}
+	return &Event{Host: hostURL, From: from, To: to, Reason: reason, At: at}
 }
 
 // emit broadcasts an event (nil is a no-op) to all subscribers. A full
@@ -852,12 +956,25 @@ func (m *Monitor) evalLoop() {
 	}
 }
 
-// evaluate applies the timeout state machine to every tracked host.
+// evaluate applies the timeout state machine to every tracked host and
+// expires settled records.
 func (m *Monitor) evaluate(now time.Time) {
 	var evs []*Event
 	m.mu.Lock()
 	for url, rec := range m.hosts {
-		if rec.lastBeat.IsZero() || rec.state == Dead || rec.state == Left {
+		if rec.state == Dead || rec.state == Left {
+			// A settled record is kept while anything still mentions the
+			// host (scan mode re-reads whatever the catalog retains) and
+			// expired once the evidence stops, mirroring the gossip
+			// agents' own member retention: bounded memory under churn,
+			// and a host reborn after a long outage meets a clean slate
+			// instead of a verdict it can no longer out-sequence.
+			if now.Sub(rec.changedAt) > m.opts.Retention && now.Sub(rec.lastSeen) > m.opts.Retention {
+				delete(m.hosts, url)
+			}
+			continue
+		}
+		if rec.lastBeat.IsZero() {
 			continue
 		}
 		age := now.Sub(rec.lastBeat)

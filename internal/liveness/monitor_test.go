@@ -230,6 +230,30 @@ func TestMonitorStateMachine(t *testing.T) {
 	}
 }
 
+func TestLegacyRebirthAtLowerSeq(t *testing.T) {
+	w := newBeatWorld(t, quickOptions())
+	for i := 0; i < 6; i++ {
+		w.beat(1.0)
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.waitState(Alive, time.Second)
+	w.waitState(Dead, 2*time.Second) // silence ages it out
+
+	// A re-read of the final pre-death heartbeat (equal seq, fresh
+	// timestamp) is old news, not a revival.
+	w.cat.Set(w.host, rcds.AttrHeartbeat, Heartbeat{Seq: w.seq, Time: time.Now().UnixNano(), Load: 1}.String())
+	time.Sleep(25 * time.Millisecond)
+	if got := w.mon.State(w.host); got != Dead {
+		t.Fatalf("equal-seq re-read revived a dead host: %v", got)
+	}
+
+	// The restarted daemon begins a new life at seq 1 — far below the
+	// dead record's counter. For a legacy (heartbeat-only) record that
+	// lower-seq beat is the rebirth signal.
+	w.cat.Set(w.host, rcds.AttrHeartbeat, Heartbeat{Seq: 1, Time: time.Now().UnixNano(), Load: 0.25}.String())
+	w.waitState(Alive, time.Second)
+}
+
 func TestTombstoneGoesToLeftNeverSuspect(t *testing.T) {
 	w := newBeatWorld(t, quickOptions())
 	events := w.mon.Events()
